@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration binaries: suite
+ * iteration, scaled-down run budgets, and failure reporting.
+ */
+
+#ifndef ROCKCRESS_BENCH_COMMON_HH
+#define ROCKCRESS_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+namespace rockcress
+{
+
+/**
+ * Benchmarks to sweep. Set ROCKCRESS_BENCHES=comma,separated,names
+ * to restrict a bench binary to a subset (useful on slow machines,
+ * mirroring the artifact's small/medium/large evaluation sizes).
+ */
+inline std::vector<std::string>
+benchList()
+{
+    const char *env = std::getenv("ROCKCRESS_BENCHES");
+    if (!env)
+        return suiteNames();
+    std::vector<std::string> out;
+    std::string s(env), cur;
+    for (char c : s + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    return out;
+}
+
+/** Run and loudly report verification failures (results still print). */
+inline RunResult
+runChecked(const std::string &bench, const std::string &config,
+           const RunOverrides &overrides = {})
+{
+    RunResult r = runManycore(bench, config, overrides);
+    if (!r.ok) {
+        std::cerr << "!! " << bench << "/" << config
+                  << " failed verification: " << r.error << "\n";
+    }
+    return r;
+}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_BENCH_COMMON_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Figure 10, the paper's headline result: per-benchmark
+ * (a) speedup relative to the NV baseline, (b) I-cache accesses
+ * relative to NV, and (c) total on-chip energy relative to NV, for
+ * NV, NV_PF, and BEST_V (the faster of V4 and V16, as the paper's
+ * compile-time vector-length selection).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace rockcress;
+
+int
+main()
+{
+    Report speed("Figure 10a: Speedup relative to NV",
+                 {"Benchmark", "NV", "NV_PF", "BEST_V", "(best cfg)"});
+    Report icache("Figure 10b: I-cache accesses relative to NV",
+                  {"Benchmark", "NV", "NV_PF", "BEST_V"});
+    Report energy("Figure 10c: Total on-chip energy relative to NV",
+                  {"Benchmark", "NV", "NV_PF", "BEST_V"});
+
+    std::vector<double> sp_pf, sp_best, ic_pf, ic_best, en_pf, en_best;
+
+    for (const std::string &bench : benchList()) {
+        RunResult nv = runChecked(bench, "NV");
+        RunResult pf = runChecked(bench, "NV_PF");
+        RunResult v4 = runChecked(bench, "V4");
+        RunResult v16 = runChecked(bench, "V16");
+        const RunResult &best = betterOf(v4, v16);
+
+        double base = static_cast<double>(nv.cycles);
+        double s_pf = base / static_cast<double>(pf.cycles);
+        double s_best = base / static_cast<double>(best.cycles);
+        double i_base = static_cast<double>(nv.icacheAccesses);
+        double i_pf = static_cast<double>(pf.icacheAccesses) / i_base;
+        double i_best =
+            static_cast<double>(best.icacheAccesses) / i_base;
+        double e_pf = pf.energyPj / nv.energyPj;
+        double e_best = best.energyPj / nv.energyPj;
+
+        speed.row({bench, "1.00", fmt(s_pf), fmt(s_best), best.config});
+        icache.row({bench, "1.00", fmt(i_pf), fmt(i_best)});
+        energy.row({bench, "1.00", fmt(e_pf), fmt(e_best)});
+
+        sp_pf.push_back(s_pf);
+        sp_best.push_back(s_best);
+        ic_pf.push_back(i_pf);
+        ic_best.push_back(i_best);
+        en_pf.push_back(e_pf);
+        en_best.push_back(e_best);
+    }
+
+    speed.row({"GeoMean", "1.00", fmt(geomean(sp_pf)),
+               fmt(geomean(sp_best)), ""});
+    icache.row({"GeoMean", "1.00", fmt(geomean(ic_pf)),
+                fmt(geomean(ic_best))});
+    energy.row({"GeoMean", "1.00", fmt(geomean(en_pf)),
+                fmt(geomean(en_best))});
+
+    speed.print(std::cout);
+    icache.print(std::cout);
+    energy.print(std::cout);
+
+    std::cout << "\nHeadline: BEST_V speedup over NV_PF (paper: ~1.7x): "
+              << fmt(geomean(sp_best) / geomean(sp_pf)) << "x\n"
+              << "Headline: BEST_V energy vs NV_PF (paper: ~0.78x): "
+              << fmt(geomean(en_best) / geomean(en_pf)) << "x\n";
+    return 0;
+}

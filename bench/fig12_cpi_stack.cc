@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 12: CPI stacks (issued / frame stall / other
+ * stall, normalized to issued instructions) for NV_PF at 1, 16, and
+ * 64 cores. As core count grows, memory (frame) stalls dominate.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+RunOverrides
+sized(int cols, int rows)
+{
+    RunOverrides o;
+    o.cols = cols;
+    o.rows = rows;
+    o.llcBankBytes = 256 * 1024 / static_cast<Addr>(2 * cols);
+    return o;
+}
+
+void
+stack(Report &t, const std::string &bench, const std::string &label,
+      const RunResult &r)
+{
+    double issued = static_cast<double>(r.issued);
+    t.row({bench, label, fmt(1.0),
+           fmt(static_cast<double>(r.stallFrame) / issued),
+           fmt(static_cast<double>(r.stallOther) / issued),
+           fmt(static_cast<double>(r.coreCycles) / issued)});
+}
+
+} // namespace
+
+int
+main()
+{
+    Report t("Figure 12: NV_PF CPI stacks by machine size",
+             {"Benchmark", "Cores", "Issued", "Frame Stall",
+              "Other Stall", "CPI"});
+    std::vector<double> f1, f16, f64, c1, c16, c64;
+    for (const std::string &bench : benchList()) {
+        RunResult r1 = runChecked(bench, "NV_PF", sized(1, 1));
+        RunResult r16 = runChecked(bench, "NV_PF", sized(4, 4));
+        RunResult r64 = runChecked(bench, "NV_PF", sized(8, 8));
+        stack(t, bench, "1", r1);
+        stack(t, bench, "16", r16);
+        stack(t, bench, "64", r64);
+        f1.push_back(static_cast<double>(r1.stallFrame) /
+                     static_cast<double>(r1.issued));
+        f16.push_back(static_cast<double>(r16.stallFrame) /
+                      static_cast<double>(r16.issued));
+        f64.push_back(static_cast<double>(r64.stallFrame) /
+                      static_cast<double>(r64.issued));
+        c1.push_back(static_cast<double>(r1.coreCycles) /
+                     static_cast<double>(r1.issued));
+        c16.push_back(static_cast<double>(r16.coreCycles) /
+                      static_cast<double>(r16.issued));
+        c64.push_back(static_cast<double>(r64.coreCycles) /
+                      static_cast<double>(r64.issued));
+    }
+    t.row({"ArithMean", "1", "1.00", fmt(amean(f1)), "-", fmt(amean(c1))});
+    t.row({"ArithMean", "16", "1.00", fmt(amean(f16)), "-",
+           fmt(amean(c16))});
+    t.row({"ArithMean", "64", "1.00", fmt(amean(f64)), "-",
+           fmt(amean(c64))});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Figure 14: performance, I-cache accesses, and energy
+ * with per-core SIMD units and the GPU, all relative to NV_PF —
+ * PCV_PF (narrow SIMD baseline), BEST_V, BEST_V_PCV (SIMD composed
+ * into vector groups), and the matched GPU model.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace rockcress;
+
+int
+main()
+{
+    Report speed("Figure 14a: Speedup relative to NV_PF",
+                 {"Benchmark", "NV_PF", "PCV_PF", "BEST_V",
+                  "BEST_V_PCV", "GPU"});
+    Report icache("Figure 14b: I-cache accesses relative to NV_PF",
+                  {"Benchmark", "NV_PF", "PCV_PF", "BEST_V",
+                   "BEST_V_PCV"});
+    Report energy("Figure 14c: On-chip energy relative to NV_PF",
+                  {"Benchmark", "NV_PF", "PCV_PF", "BEST_V",
+                   "BEST_V_PCV"});
+
+    std::vector<double> s_pcv, s_best, s_bpcv, s_gpu;
+    std::vector<double> i_pcv, i_best, i_bpcv;
+    std::vector<double> e_pcv, e_best, e_bpcv;
+
+    for (const std::string &bench : benchList()) {
+        RunResult pf = runChecked(bench, "NV_PF");
+        RunResult pcv = runChecked(bench, "PCV_PF");
+        RunResult best =
+            betterOf(runChecked(bench, "V4"), runChecked(bench, "V16"));
+        RunResult bpcv = betterOf(runChecked(bench, "V4_PCV"),
+                                  runChecked(bench, "V16_PCV"));
+        RunResult gpu = runGpu(bench);
+        if (!gpu.ok)
+            std::cerr << "!! " << bench << "/GPU: " << gpu.error
+                      << "\n";
+
+        double base = static_cast<double>(pf.cycles);
+        double sp = base / static_cast<double>(pcv.cycles);
+        double sb = base / static_cast<double>(best.cycles);
+        double sv = base / static_cast<double>(bpcv.cycles);
+        double sg = base / static_cast<double>(gpu.cycles);
+        speed.row({bench, "1.00", fmt(sp), fmt(sb), fmt(sv), fmt(sg)});
+        s_pcv.push_back(sp);
+        s_best.push_back(sb);
+        s_bpcv.push_back(sv);
+        s_gpu.push_back(sg);
+
+        double ib = static_cast<double>(pf.icacheAccesses);
+        icache.row(
+            {bench, "1.00",
+             fmt(static_cast<double>(pcv.icacheAccesses) / ib),
+             fmt(static_cast<double>(best.icacheAccesses) / ib),
+             fmt(static_cast<double>(bpcv.icacheAccesses) / ib)});
+        i_pcv.push_back(static_cast<double>(pcv.icacheAccesses) / ib);
+        i_best.push_back(static_cast<double>(best.icacheAccesses) / ib);
+        i_bpcv.push_back(static_cast<double>(bpcv.icacheAccesses) / ib);
+
+        energy.row({bench, "1.00", fmt(pcv.energyPj / pf.energyPj),
+                    fmt(best.energyPj / pf.energyPj),
+                    fmt(bpcv.energyPj / pf.energyPj)});
+        e_pcv.push_back(pcv.energyPj / pf.energyPj);
+        e_best.push_back(best.energyPj / pf.energyPj);
+        e_bpcv.push_back(bpcv.energyPj / pf.energyPj);
+    }
+
+    speed.row({"GeoMean", "1.00", fmt(geomean(s_pcv)),
+               fmt(geomean(s_best)), fmt(geomean(s_bpcv)),
+               fmt(geomean(s_gpu))});
+    icache.row({"GeoMean", "1.00", fmt(geomean(i_pcv)),
+                fmt(geomean(i_best)), fmt(geomean(i_bpcv))});
+    energy.row({"GeoMean", "1.00", fmt(geomean(e_pcv)),
+                fmt(geomean(e_best)), fmt(geomean(e_bpcv))});
+    speed.print(std::cout);
+    icache.print(std::cout);
+    energy.print(std::cout);
+
+    std::cout << "\nHeadline: Rockcress vs GPU (paper: ~1.9x): "
+              << fmt(geomean(s_best) / geomean(s_gpu)) << "x\n";
+    return 0;
+}

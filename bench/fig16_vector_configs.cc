@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates Figure 16: speedup of V4_LL_PCV, V16, and V16_LL_PCV
+ * relative to V4 — vector length flexibility plus the long-cache-line
+ * experiment (1024-byte lines, Section 6.6).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace rockcress;
+
+int
+main()
+{
+    Report t("Figure 16: Speedup relative to V4",
+             {"Benchmark", "V4", "V4_LL_PCV", "V16", "V16_LL_PCV"});
+    std::vector<double> g_llpcv, g_v16, g_16ll;
+    for (const std::string &bench : benchList()) {
+        RunResult v4 = runChecked(bench, "V4");
+        RunResult v4ll = runChecked(bench, "V4_LL_PCV");
+        RunResult v16 = runChecked(bench, "V16");
+        RunResult v16ll = runChecked(bench, "V16_LL_PCV");
+        double base = static_cast<double>(v4.cycles);
+        double a = base / static_cast<double>(v4ll.cycles);
+        double b = base / static_cast<double>(v16.cycles);
+        double c = base / static_cast<double>(v16ll.cycles);
+        t.row({bench, "1.00", fmt(a), fmt(b), fmt(c)});
+        g_llpcv.push_back(a);
+        g_v16.push_back(b);
+        g_16ll.push_back(c);
+    }
+    t.row({"GeoMean", "1.00", fmt(geomean(g_llpcv)),
+           fmt(geomean(g_v16)), fmt(geomean(g_16ll))});
+    t.print(std::cout);
+    std::cout << "\nPaper shape: V16 wins on the group-load benchmarks "
+                 "(atax, bicg, mvt); V4 is the better geomean alone.\n";
+    return 0;
+}

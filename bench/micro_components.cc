@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's substrate
+ * components: cache tag throughput, mesh routing, inet forwarding,
+ * assembler throughput, and whole-machine simulation rate. These
+ * guard the simulator's own performance (simulation speed is the
+ * artifact's usability constraint, Appendix A).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/codegen.hh"
+#include "machine/machine.hh"
+#include "mem/cachetags.hh"
+#include "sim/rng.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+void
+BM_CacheTagsAccess(benchmark::State &state)
+{
+    StatRegistry reg;
+    StatScope scope(reg, "bm.");
+    CacheTags tags(16 * 1024, 4, 64, scope);
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr a = static_cast<Addr>(rng.below(1 << 20)) * 64;
+        benchmark::DoNotOptimize(tags.access(a, false).hit);
+    }
+}
+BENCHMARK(BM_CacheTagsAccess);
+
+void
+BM_MeshRandomTraffic(benchmark::State &state)
+{
+    StatRegistry reg;
+    StatScope scope(reg, "bm.");
+    Mesh mesh(8, 10, 4, scope);
+    long delivered = 0;
+    for (int n = 0; n < 80; ++n)
+        mesh.setSink(n, [&delivered](const Packet &) { ++delivered; });
+    Rng rng(13);
+    Cycle now = 0;
+    for (auto _ : state) {
+        Packet p;
+        p.srcNode = static_cast<int>(rng.below(80));
+        p.dstNode = static_cast<int>(rng.below(80));
+        p.words = 1;
+        mesh.send(p);
+        mesh.tick(now++);
+    }
+    while (!mesh.idle())
+        mesh.tick(now++);
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_MeshRandomTraffic);
+
+void
+BM_InetForwardChain(benchmark::State &state)
+{
+    StatRegistry reg;
+    StatScope scope(reg, "bm.");
+    Inet inet(17, 2, scope);
+    std::vector<CoreId> chain;
+    for (CoreId c = 0; c < 17; ++c)
+        chain.push_back(c);
+    inet.configureChain(chain);
+    InetMsg msg;
+    msg.kind = InetMsg::Kind::Instr;
+    Cycle now = 0;
+    for (auto _ : state) {
+        if (inet.canSend(0))
+            inet.send(0, msg);
+        for (CoreId c = 1; c < 17; ++c) {
+            if (inet.hasMsg(c)) {
+                if (c < 16 && inet.canSend(c))
+                    inet.send(c, inet.front(c));
+                else if (c < 16)
+                    continue;
+                inet.pop(c);
+            }
+        }
+        inet.tick(now++);
+    }
+}
+BENCHMARK(BM_InetForwardChain);
+
+void
+BM_AssemblerEmit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Assembler as("bm");
+        for (int i = 0; i < 1000; ++i) {
+            as.addi(x(5), x(5), 1);
+            as.fmadd(f(0), f(1), f(2), f(0));
+        }
+        as.halt();
+        Program p = as.finish();
+        benchmark::DoNotOptimize(p.size());
+    }
+}
+BENCHMARK(BM_AssemblerEmit);
+
+void
+BM_MachineSimRate(benchmark::State &state)
+{
+    // Whole-machine simulation throughput: 16 cores spinning.
+    for (auto _ : state) {
+        MachineParams params;
+        params.cols = 4;
+        params.rows = 4;
+        Machine m(params);
+        Assembler as("spin");
+        as.li(x(5), 0);
+        as.li(x(6), 2000);
+        {
+            Loop l(as, x(5), x(6), 1);
+            as.add(x(7), x(7), x(5));
+            l.end();
+        }
+        as.halt();
+        m.loadAll(std::make_shared<Program>(as.finish()));
+        benchmark::DoNotOptimize(m.run(10'000'000));
+    }
+}
+BENCHMARK(BM_MachineSimRate);
+
+} // namespace

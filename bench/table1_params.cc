@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Table 1: microarchitectural parameters of the manycore
+ * (1a) and the APU comparison model (1b).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "gpu/gpu.hh"
+#include "machine/params.hh"
+
+using namespace rockcress;
+
+int
+main()
+{
+    MachineParams m;
+    Report a("Table 1a: Manycore", {"Component", "Setting"});
+    a.row({"Cores", std::to_string(m.numCores())});
+    a.row({"ALU Latency", std::to_string(fuLatency(Opcode::ADD))});
+    a.row({"Multiply Latency", std::to_string(fuLatency(Opcode::MUL))});
+    a.row({"Divide Latency", std::to_string(fuLatency(Opcode::DIV))});
+    a.row({"FP ALU Latency", std::to_string(fuLatency(Opcode::FADD))});
+    a.row({"FP MUL Latency", std::to_string(fuLatency(Opcode::FMUL))});
+    a.row({"SIMD Width", std::to_string(m.core.simdWidth) + " words"});
+    a.row({"SIMD ALU Latency",
+           std::to_string(fuLatency(Opcode::SIMD_FADD))});
+    a.row({"Load Queue Entries", std::to_string(m.core.lqEntries)});
+    a.row({"inet Queue Entries", std::to_string(m.inetQueueEntries)});
+    a.row({"Cache line Size", std::to_string(m.lineBytes) + " bytes"});
+    a.row({"I-Cache Capacity",
+           std::to_string(m.core.icache.capacityBytes / 1024) + "kB"});
+    a.row({"I-Cache Hit Latency",
+           std::to_string(m.core.icache.hitLatency) + " cycle"});
+    a.row({"I-Cache Ways", std::to_string(m.core.icache.ways)});
+    a.row({"Spm Capacity", std::to_string(m.spadBytes / 1024) + "kB"});
+    a.row({"Spm Hit Latency",
+           std::to_string(m.core.spadLatency) + " cycles"});
+    a.row({"Router Hop Latency", "1"});
+    a.row({"On-Chip Net Width",
+           std::to_string(m.nocWidthWords) + " words"});
+    a.row({"LLC Capacity",
+           std::to_string(m.llcTotalBytes / 1024) + "kB"});
+    a.row({"LLC Banks", std::to_string(m.numBanks())});
+    a.row({"LLC Hit Latency",
+           std::to_string(m.llcHitLatency) + " cycle"});
+    a.row({"LLC Ways", std::to_string(m.llcWays)});
+    a.row({"Frame Counters", std::to_string(m.frameCounters)});
+    a.row({"DRAM Latency",
+           std::to_string(m.dramLatencyCycles) + "ns"});
+    a.row({"DRAM Bandwidth",
+           fmt(m.dramBytesPerCycle, 0) + "GB/s"});
+    a.print(std::cout);
+
+    GpuParams g;
+    Report b("Table 1b: APU", {"Component", "Setting"});
+    b.row({"Compute Units (CUs)", std::to_string(g.cus)});
+    b.row({"Lanes per vALU", "16"});
+    b.row({"vALUs per CU", "4"});
+    b.row({"vALU Latency", std::to_string(g.valuLatency)});
+    b.row({"Wavefront Size", std::to_string(g.wavefrontSize)});
+    b.row({"Wavefronts per CU", std::to_string(g.wavefrontsPerCu)});
+    b.row({"Cacheline Size", std::to_string(g.lineBytes) + " bytes"});
+    b.row({"TCP Capacity", std::to_string(g.tcpBytes / 1024) + "kB"});
+    b.row({"TCP Hit Latency",
+           std::to_string(g.tcpHitLatency) + " cycle"});
+    b.row({"TCP Ways", std::to_string(g.tcpWays)});
+    b.row({"TCC Capacity", std::to_string(g.tccBytes / 1024) + "kB"});
+    b.row({"TCC Hit Latency",
+           std::to_string(g.tccHitLatency) + " cycles"});
+    b.row({"LLC Capacity",
+           std::to_string(g.llcBytes / 1024 / 1024) + "MB"});
+    b.row({"LLC Hit Latency",
+           std::to_string(g.llcHitLatency) + " cycles"});
+    b.row({"LLC Ways", std::to_string(g.llcWays)});
+    b.row({"DRAM Latency", std::to_string(g.dramLatency) + "ns"});
+    b.row({"DRAM Bandwidth", fmt(g.dramBytesPerCycle, 0) + "GB/s"});
+    b.print(std::cout);
+    return 0;
+}

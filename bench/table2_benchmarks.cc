@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Regenerates Table 2: the PolyBench/GPU applications, their inputs
+ * (scaled for cycle-level simulation; see EXPERIMENTS.md), and
+ * kernel counts.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace rockcress;
+
+int
+main()
+{
+    Report t("Table 2: PolyBench/GPU applications",
+             {"Name", "Description", "Kernels"});
+    for (const std::string &name : suiteNames()) {
+        auto b = makeBenchmark(name);
+        t.row({b->name(), b->description(),
+               std::to_string(b->kernelCount())});
+    }
+    auto bfs = makeBenchmark("bfs");
+    t.row({bfs->name(), bfs->description() + " (Section 6.6)",
+           std::to_string(bfs->kernelCount())});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Table 3: the benchmark configurations and their
+ * features (group size, SIMD words, wide access, DAE, long lines).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "compiler/codegen.hh"
+
+using namespace rockcress;
+
+int
+main()
+{
+    Report t("Table 3: Benchmark configurations",
+             {"Config", "Group Size", "SIMD Words", "Wide Access",
+              "DAE", "Long Lines"});
+    for (const std::string &name : allConfigNames()) {
+        BenchConfig c = configByName(name);
+        auto mark = [](bool b) { return b ? std::string("x") : ""; };
+        t.row({c.name, std::to_string(c.groupSize),
+               std::to_string(c.simdWords), mark(c.wideAccess),
+               mark(c.dae), mark(c.longLines)});
+    }
+    t.row({"BEST_V", "4 or 16", "1", "x", "x", "?"});
+    t.row({"GPU", "1", "16", "", "", ""});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,387 @@
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+BenchConfig
+configByName(const std::string &name)
+{
+    BenchConfig c;
+    c.name = name;
+    if (name == "NV") {
+        // Basic MIMD baseline.
+    } else if (name == "NV_PF") {
+        c.wideAccess = true;
+        c.dae = true;  // Self-loads staged through the frame queue.
+    } else if (name == "PCV_PF") {
+        c.wideAccess = true;
+        c.dae = true;
+        c.simdWords = 4;
+    } else if (name == "V4") {
+        c.groupSize = 4;
+        c.wideAccess = true;
+        c.dae = true;
+    } else if (name == "V16") {
+        c.groupSize = 16;
+        c.wideAccess = true;
+        c.dae = true;
+    } else if (name == "V4_PCV") {
+        c.groupSize = 4;
+        c.wideAccess = true;
+        c.dae = true;
+        c.simdWords = 4;
+    } else if (name == "V16_PCV") {
+        c.groupSize = 16;
+        c.wideAccess = true;
+        c.dae = true;
+        c.simdWords = 4;
+    } else if (name == "V4_LL_PCV") {
+        c.groupSize = 4;
+        c.wideAccess = true;
+        c.dae = true;
+        c.simdWords = 4;
+        c.longLines = true;
+    } else if (name == "V16_LL") {
+        c.groupSize = 16;
+        c.wideAccess = true;
+        c.dae = true;
+        c.longLines = true;
+    } else if (name == "V16_LL_PCV") {
+        c.groupSize = 16;
+        c.wideAccess = true;
+        c.dae = true;
+        c.simdWords = 4;
+        c.longLines = true;
+    } else {
+        fatal("codegen: unknown configuration '", name, "'");
+    }
+    return c;
+}
+
+std::vector<std::string>
+allConfigNames()
+{
+    return {"NV", "NV_PF", "PCV_PF", "V4", "V16", "V4_PCV", "V16_PCV",
+            "V4_LL_PCV", "V16_LL", "V16_LL_PCV"};
+}
+
+MachineParams
+machineFor(const BenchConfig &cfg, int cols, int rows)
+{
+    MachineParams p;
+    p.cols = cols;
+    p.rows = rows;
+    if (cfg.longLines)
+        p.lineBytes = 1024;
+    return p;
+}
+
+// --- Loop ----------------------------------------------------------------
+
+Loop::Loop(Assembler &as, RegIdx i, RegIdx bound, int step)
+    : as_(as), i_(i), bound_(bound), step_(step)
+{
+    exit_ = as_.newLabel();
+    as_.bge(i_, bound_, exit_);
+    top_ = as_.here();
+}
+
+void
+Loop::end()
+{
+    if (ended_)
+        fatal("codegen: loop closed twice");
+    as_.addi(i_, i_, step_);
+    as_.blt(i_, bound_, top_);
+    as_.bind(exit_);
+    ended_ = true;
+}
+
+// --- Address math ----------------------------------------------------------
+
+namespace
+{
+
+int
+log2Exact(int v)
+{
+    int l = 0;
+    while ((1 << l) < v)
+        ++l;
+    return (1 << l) == v ? l : -1;
+}
+
+} // namespace
+
+void
+emitScale(Assembler &as, RegIdx dst, RegIdx src, int mult, RegIdx tmp)
+{
+    if (mult == 1) {
+        if (dst != src)
+            as.mv(dst, src);
+        return;
+    }
+    int l = log2Exact(mult);
+    if (l >= 0) {
+        as.slli(dst, src, l);
+        return;
+    }
+    as.li(tmp, mult);
+    as.mul(dst, src, tmp);
+}
+
+void
+emitAffine(Assembler &as, RegIdx dst, RegIdx base, RegIdx idx,
+           int stride_bytes, RegIdx tmp)
+{
+    emitScale(as, tmp, idx, stride_bytes, tmp);
+    as.add(dst, base, tmp);
+}
+
+void
+emitAddImm(Assembler &as, RegIdx dst, RegIdx src, int imm, RegIdx tmp)
+{
+    if (imm >= -2048 && imm <= 2047) {
+        as.addi(dst, src, imm);
+        return;
+    }
+    as.li(tmp, imm);
+    as.add(dst, src, tmp);
+}
+
+// --- FrameRotator ------------------------------------------------------------
+
+FrameRotator::FrameRotator(Assembler &as, RegIdx off_reg, int frame_bytes,
+                           int num_frames, RegIdx region_reg)
+    : as_(as), off_(off_reg), regionReg_(region_reg),
+      frameBytes_(frame_bytes), regionBytes_(frame_bytes * num_frames),
+      regionMask_(frame_bytes * num_frames - 1),
+      pow2_((regionBytes_ & (regionBytes_ - 1)) == 0)
+{
+    if (!pow2_ && regionReg_ == regZero)
+        fatal("codegen: non-power-of-two frame region (", regionBytes_,
+              "B) needs a donated region register");
+}
+
+void
+FrameRotator::emitInit()
+{
+    as_.li(off_, 0);
+    if (!pow2_)
+        as_.li(regionReg_, regionBytes_);
+}
+
+void
+FrameRotator::emitAdvance()
+{
+    as_.addi(off_, off_, frameBytes_);
+    if (pow2_) {
+        as_.andi(off_, off_, regionMask_);
+    } else {
+        Label skip = as_.newLabel();
+        as_.blt(off_, regionReg_, skip);
+        as_.li(off_, 0);
+        as_.bind(skip);
+    }
+}
+
+// --- DAE streams -----------------------------------------------------------------
+
+void
+emitMimdStream(Assembler &as, const DaeStreamSpec &spec,
+               FrameRotator &rot, const DaeStreamRegs &regs)
+{
+    if (!spec.fill || !spec.consume)
+        fatal("codegen: MIMD stream needs fill and consume callbacks");
+    int ahead = std::min(spec.ahead, spec.iters);
+    for (int k = 0; k < ahead; ++k) {
+        spec.fill(as, regs.off);
+        rot.emitAdvance();
+    }
+    as.li(regs.it, 0);
+    as.li(regs.bound, spec.iters);
+    Loop loop(as, regs.it, regs.bound, 1);
+    {
+        // Top up one future frame while iterations remain.
+        Label skip = as.newLabel();
+        as.addi(regs.tmp, regs.it, ahead);
+        as.bge(regs.tmp, regs.bound, skip);
+        spec.fill(as, regs.off);
+        rot.emitAdvance();
+        as.bind(skip);
+
+        as.frameStart(regs.frameBase);
+        spec.consume(as, regs.frameBase);
+        as.remem();
+    }
+    loop.end();
+}
+
+void
+emitScalarStream(Assembler &as, const DaeStreamSpec &spec,
+                 FrameRotator &rot, const DaeStreamRegs &regs)
+{
+    if (!spec.fill)
+        fatal("codegen: scalar stream needs a fill callback");
+    int ahead = std::min(spec.ahead, spec.iters);
+    for (int k = 0; k < ahead; ++k) {
+        spec.fill(as, regs.off);
+        rot.emitAdvance();
+    }
+    as.li(regs.it, 0);
+    as.li(regs.bound, spec.iters);
+    Loop loop(as, regs.it, regs.bound, 1);
+    {
+        Label skip = as.newLabel();
+        as.addi(regs.tmp, regs.it, ahead);
+        as.bge(regs.tmp, regs.bound, skip);
+        spec.fill(as, regs.off);
+        rot.emitAdvance();
+        as.bind(skip);
+
+        as.vissue(spec.bodyMt);
+    }
+    loop.end();
+}
+
+// --- SpmdBuilder ------------------------------------------------------------------
+
+SpmdBuilder::SpmdBuilder(const std::string &name, const BenchConfig &cfg,
+                         const MachineParams &params)
+    : cfg_(cfg), params_(params), as_(name)
+{
+    emitEntry();
+}
+
+int
+SpmdBuilder::tilesPerGroup() const
+{
+    return cfg_.isVector() ? cfg_.groupSize + 1 : 1;
+}
+
+int
+SpmdBuilder::numGroups() const
+{
+    return cfg_.isVector() ? params_.numCores() / tilesPerGroup() : 0;
+}
+
+int
+SpmdBuilder::numWorkers() const
+{
+    return cfg_.isVector() ? numGroups() * cfg_.groupSize
+                           : params_.numCores();
+}
+
+int
+SpmdBuilder::activeCores() const
+{
+    return cfg_.isVector() ? numGroups() * tilesPerGroup()
+                           : params_.numCores();
+}
+
+int
+SpmdBuilder::lineWords() const
+{
+    return static_cast<int>(params_.lineBytes / wordBytes);
+}
+
+void
+SpmdBuilder::emitEntry()
+{
+    as_.csrr(rCoreId, Csr::CoreId);
+    if (!cfg_.isVector())
+        return;
+    as_.li(rScratch, tilesPerGroup());
+    as_.div(rGroupId, rCoreId, rScratch);
+    as_.rem(rPos, rCoreId, rScratch);
+    // Leftover cores that do not fit a whole group halt immediately
+    // (the evaluation leaves them idle, Section 6.2).
+    Label active = as_.newLabel();
+    as_.li(rScratch, numGroups());
+    as_.blt(rGroupId, rScratch, active);
+    as_.halt();
+    as_.bind(active);
+}
+
+void
+SpmdBuilder::mimdPhase(const std::function<void(Assembler &)> &body)
+{
+    // Also legal in vector configurations: all non-halted cores
+    // (ids [0, groups * tilesPerGroup)) participate with rCoreId as
+    // the worker id, e.g. for cross-lane reduction phases.
+    body(as_);
+    as_.barrier();
+}
+
+void
+SpmdBuilder::vectorPhase(
+    int frame_words, int num_frames,
+    const std::function<void(Assembler &)> &scalar_body)
+{
+    if (!cfg_.isVector())
+        fatal("codegen: vectorPhase on a MIMD configuration");
+    // Vector cores (pos != 0) configure their frame queue, then every
+    // group member writes vconfig. The scalar core falls through into
+    // its scalar-only stream; vector cores sit in vector mode until
+    // the devec below redirects them to the resume label.
+    Label is_scalar = as_.newLabel();
+    as_.beq(rPos, regZero, is_scalar);
+    as_.li(rScratch,
+           frame_words | (num_frames << 16));
+    as_.csrw(Csr::FrameCfg, rScratch);
+    as_.bind(is_scalar);
+    as_.li(rScratch, 1);
+    as_.csrw(Csr::Vconfig, rScratch);
+
+    scalar_body(as_);
+
+    Label resume = as_.newLabel();
+    as_.devec(resume);
+    as_.bind(resume);
+    as_.barrier();
+}
+
+Label
+SpmdBuilder::declareMicrothread()
+{
+    return as_.newLabel();
+}
+
+void
+SpmdBuilder::defineMicrothread(
+    Label l, const std::function<void(Assembler &)> &body)
+{
+    microthreads_.emplace_back(l, body);
+}
+
+void
+SpmdBuilder::emitWorkerId(Assembler &as, RegIdx wid, RegIdx tmp)
+{
+    as.csrr(tmp, Csr::CoreId);
+    as.li(wid, tilesPerGroup());
+    as.div(tmp, tmp, wid);              // tmp = group id
+    emitScale(as, tmp, tmp, vlen(), wid);
+    as.csrr(wid, Csr::GroupTid);
+    as.add(wid, wid, tmp);              // wid = group * VLEN + tid
+}
+
+Program
+SpmdBuilder::finish()
+{
+    if (finished_)
+        fatal("codegen: finish() called twice");
+    as_.halt();
+    for (auto &[label, body] : microthreads_) {
+        as_.bind(label);
+        body(as_);
+        as_.vend();
+    }
+    finished_ = true;
+    return as_.finish();
+}
+
+} // namespace rockcress

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The code-generation layer standing in for the paper's toolchain
+ * (Section 4.1): benchmark kernels are written against these
+ * emitters, which perform the scalar/microthread split, strip-mining,
+ * frame-queue pacing, and vector-group scaffolding that the paper's
+ * GCC + assembly post-processing pass performs.
+ */
+
+#ifndef ROCKCRESS_COMPILER_CODEGEN_HH
+#define ROCKCRESS_COMPILER_CODEGEN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "machine/params.hh"
+
+namespace rockcress
+{
+
+/**
+ * A software configuration from Table 3. GPU runs are handled by the
+ * separate GPU model (src/gpu).
+ */
+struct BenchConfig
+{
+    std::string name = "NV";
+    int groupSize = 1;       ///< Vector cores per group; 1 = MIMD.
+    int simdWords = 1;       ///< Per-core SIMD width used by the code.
+    bool wideAccess = false; ///< vload available.
+    bool dae = false;        ///< Frame queue used.
+    bool longLines = false;  ///< 1024-byte cache lines.
+
+    bool isVector() const { return groupSize > 1; }
+};
+
+/** Look up a canonical configuration by its Table 3 name. */
+BenchConfig configByName(const std::string &name);
+
+/** All manycore configuration names in Table 3 order. */
+std::vector<std::string> allConfigNames();
+
+/** Derive machine parameters for a configuration. */
+MachineParams machineFor(const BenchConfig &cfg, int cols = 8,
+                         int rows = 8);
+
+/** @name Reserved register conventions. */
+///@{
+constexpr RegIdx rCoreId = x(28);
+constexpr RegIdx rGroupId = x(29);
+constexpr RegIdx rPos = x(30);      ///< Position in group (0 = scalar).
+constexpr RegIdx rScratch = x(31);  ///< Builder-internal temporary.
+///@}
+
+/**
+ * Emits a bottom-tested counted loop:
+ *   for (i = i; i < bound; i += step) { ... }
+ * The caller pre-loads the induction register; `bound` is a register.
+ */
+class Loop
+{
+  public:
+    Loop(Assembler &as, RegIdx i, RegIdx bound, int step);
+    /** Close the loop (emits increment + back-branch). */
+    void end();
+
+  private:
+    Assembler &as_;
+    RegIdx i_;
+    RegIdx bound_;
+    int step_;
+    Label top_;
+    Label exit_;
+    bool ended_ = false;
+};
+
+/** dst = base + idx * stride_bytes (shift+add when stride is 2^k). */
+void emitAffine(Assembler &as, RegIdx dst, RegIdx base, RegIdx idx,
+                int stride_bytes, RegIdx tmp);
+
+/** dst = src + imm, expanding through tmp when imm exceeds 12 bits. */
+void emitAddImm(Assembler &as, RegIdx dst, RegIdx src, int imm,
+                RegIdx tmp);
+
+/** dst = value * mult (shift when power of two, else mul via tmp). */
+void emitScale(Assembler &as, RegIdx dst, RegIdx src, int mult,
+               RegIdx tmp);
+
+/**
+ * Maintains a scalar-side rotating frame byte offset. When the frame
+ * region (frame_bytes * num_frames) is a power of two the wrap is a
+ * single ANDI; otherwise the caller must donate a register to hold
+ * the region size and the wrap is a compare-and-reset.
+ */
+class FrameRotator
+{
+  public:
+    FrameRotator(Assembler &as, RegIdx off_reg, int frame_bytes,
+                 int num_frames, RegIdx region_reg = regZero);
+    void emitInit();
+    void emitAdvance();
+    RegIdx reg() const { return off_; }
+
+  private:
+    Assembler &as_;
+    RegIdx off_;
+    RegIdx regionReg_;
+    int frameBytes_;
+    int regionBytes_;
+    int regionMask_;
+    bool pow2_;
+};
+
+/**
+ * The canonical DAE streaming pattern (Section 2.3.1): a prologue
+ * fills `ahead` frames, then each iteration tops up one future frame
+ * and consumes the head frame. Used directly by NV_PF (self-loads)
+ * and split across scalar core + microthread for vector groups.
+ */
+struct DaeStreamSpec
+{
+    int iters = 0;          ///< Frames to stream (compile-time).
+    int frameBytes = 0;
+    int numFrames = 0;
+    int ahead = 4;          ///< Run-ahead depth (<= counters - 1).
+    /** Emit the vloads filling one frame at scratch offset off_reg.
+     * The callback owns and advances its stream pointer registers. */
+    std::function<void(Assembler &, RegIdx off_reg)> fill;
+    /** MIMD: consume the head frame at global address frame_base. */
+    std::function<void(Assembler &, RegIdx frame_base)> consume;
+    /** Vector: the body microthread label (frame_start/.../remem/vend). */
+    Label bodyMt;
+};
+
+/** Registers the stream emitters clobber. */
+struct DaeStreamRegs
+{
+    RegIdx off = x(26);
+    RegIdx it = x(25);
+    RegIdx bound = x(24);
+    RegIdx tmp = x(23);
+    RegIdx frameBase = x(22);
+};
+
+/**
+ * Emit the full fill+consume loop inline (NV_PF / PCV_PF style).
+ * The rotator must be initialized once per phase and is shared across
+ * calls so the software frame pointer stays aligned with the
+ * hardware frame-queue head.
+ */
+void emitMimdStream(Assembler &as, const DaeStreamSpec &spec,
+                    FrameRotator &rot, const DaeStreamRegs &regs = {});
+
+/** Emit the scalar-side fill+vissue loop (vector-group style). */
+void emitScalarStream(Assembler &as, const DaeStreamSpec &spec,
+                      FrameRotator &rot, const DaeStreamRegs &regs = {});
+
+/**
+ * Builds one SPMD program shared by every core of a configuration:
+ * entry dispatch (core id, group id, position), per-phase vector
+ * group formation/disband, the global barrier between kernels, and
+ * deferred microthread emission after the halt.
+ */
+class SpmdBuilder
+{
+  public:
+    SpmdBuilder(const std::string &name, const BenchConfig &cfg,
+                const MachineParams &params);
+
+    Assembler &as() { return as_; }
+    const BenchConfig &config() const { return cfg_; }
+
+    /** @name Worker topology. */
+    ///@{
+    int tilesPerGroup() const;
+    int numGroups() const;
+    /** MIMD: core count; vector: groups * groupSize. */
+    int numWorkers() const;
+    /** Cores that do not halt at entry (MIMD: all; vector: groups *
+     * tilesPerGroup) — the worker count for mimdPhase bodies. */
+    int activeCores() const;
+    int vlen() const { return cfg_.groupSize; }
+    /** Words per cache line of the target machine. */
+    int lineWords() const;
+    ///@}
+
+    /**
+     * A MIMD phase: body runs on every active core with rCoreId as
+     * the worker id; a global barrier follows.
+     */
+    void mimdPhase(const std::function<void(Assembler &)> &body);
+
+    /**
+     * A vector phase: vector cores configure frames and join the
+     * group; the scalar core runs scalar_body (vloads + vissues) and
+     * disbands; everyone meets at a barrier.
+     */
+    void vectorPhase(int frame_words, int num_frames,
+                     const std::function<void(Assembler &)> &scalar_body);
+
+    /** Forward-declare a microthread for vissue references. */
+    Label declareMicrothread();
+    /** Provide its body (vend is appended automatically). */
+    void defineMicrothread(Label l,
+                           const std::function<void(Assembler &)> &body);
+
+    /**
+     * Emit code (microthread context) computing the global worker id:
+     * wid = groupId * VLEN + GroupTid.
+     */
+    void emitWorkerId(Assembler &as, RegIdx wid, RegIdx tmp);
+
+    /** Finish: emits halt + deferred microthreads; returns program. */
+    Program finish();
+
+  private:
+    void emitEntry();
+
+    BenchConfig cfg_;
+    MachineParams params_;
+    Assembler as_;
+    std::vector<std::pair<Label, std::function<void(Assembler &)>>>
+        microthreads_;
+    bool finished_ = false;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_COMPILER_CODEGEN_HH

@@ -1,0 +1,41 @@
+#include "compiler/sync.hh"
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+SyncParams
+syncParams(const MachineParams &params)
+{
+    SyncParams p;
+    p.qInet = params.inetQueueEntries;
+    p.pipelineBufs = params.core.decodeDepth + 2;
+    p.robEntries = params.core.robEntries;
+    return p;
+}
+
+int
+instructionDelayBound(const SyncParams &p, int hops)
+{
+    if (hops < 0)
+        fatal("sync: negative hop count");
+    return hops * p.qInet + p.pipelineBufs + p.robEntries;
+}
+
+int
+numActiveFrames(int delay_bound, int instructions_per_frame)
+{
+    if (instructions_per_frame <= 0)
+        fatal("sync: non-positive microthread length");
+    return ceilDiv(delay_bound, instructions_per_frame);
+}
+
+int
+aheadOffset(int max_frames, int num_active_frames, int q_inet)
+{
+    return max_frames - (num_active_frames + q_inet);
+}
+
+} // namespace rockcress

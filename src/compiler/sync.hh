@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The compiler-driven implicit synchronization math of Section 4.2.
+ *
+ * The inet forms a bounded queue, so any two instructions in the
+ * pipelines of any two cores of an m x m vector group are separated
+ * by at most
+ *
+ *     n = (2m - 2) * q_inet + sum_i buf_i + ROB
+ *
+ * dynamic instructions. From n the compiler derives how many frames
+ * may be in flight and how far ahead the scalar core may run:
+ *
+ *     num_active_frames = ceil(n / instructions_per_frame)
+ *     ahead_offset = max_frames - (num_active_frames + q_inet)
+ */
+
+#ifndef ROCKCRESS_COMPILER_SYNC_HH
+#define ROCKCRESS_COMPILER_SYNC_HH
+
+#include "machine/params.hh"
+
+namespace rockcress
+{
+
+/** Pipeline buffering visible to the sync bound. */
+struct SyncParams
+{
+    int qInet = 2;          ///< inet queue entries.
+    int pipelineBufs = 4;   ///< Sum of decode/rename/issue/commit bufs.
+    int robEntries = 8;
+};
+
+/** Extract SyncParams from a machine configuration. */
+SyncParams syncParams(const MachineParams &params);
+
+/**
+ * Maximum dynamic-instruction separation between any two cores of a
+ * group whose longest forwarding path has `hops` links
+ * (for an m x m group, hops = 2m - 2; for a linear chain of k vector
+ * cores, hops = k - 1).
+ */
+int instructionDelayBound(const SyncParams &p, int hops);
+
+/** Frames that can be receiving data simultaneously. */
+int numActiveFrames(int delay_bound, int instructions_per_frame);
+
+/**
+ * How many frames the scalar core can safely run ahead given
+ * max_frames hardware counters (Section 4.2). Can be <= 0 when the
+ * microthreads are too short for the configured counter count; the
+ * hardware guard then paces the scalar core dynamically.
+ */
+int aheadOffset(int max_frames, int num_active_frames, int q_inet);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_COMPILER_SYNC_HH

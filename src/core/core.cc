@@ -1,0 +1,1148 @@
+#include "core/core.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Core::Core(CoreId id, const CoreParams &params, CoreEnv &env,
+           Scratchpad &spad, Inet &inet, const StatScope &stats)
+    : id_(id), params_(params), env_(env), spad_(spad), inet_(inet),
+      icache_(params.icache, stats.nested("icache")),
+      simdRegs_(static_cast<size_t>(params.simdWidth))
+{
+    statCycles_ = stats.counter("cycles");
+    statVectorCycles_ = stats.counter("vector_cycles");
+    statIssued_ = stats.counter("issued");
+    statStallFrame_ = stats.counter("stall_frame");
+    statStallInetInput_ = stats.counter("stall_inet_input");
+    statStallBackpressure_ = stats.counter("stall_backpressure");
+    statStallOther_ = stats.counter("stall_other");
+    statStallDae_ = stats.counter("stall_dae");
+    statIntAlu_ = stats.counter("n_int_alu");
+    statMul_ = stats.counter("n_mul");
+    statDiv_ = stats.counter("n_div");
+    statFp_ = stats.counter("n_fp");
+    statLoadGlobal_ = stats.counter("n_load_global");
+    statLoadSpad_ = stats.counter("n_load_spad");
+    statStoreGlobal_ = stats.counter("n_store_global");
+    statStoreSpad_ = stats.counter("n_store_spad");
+    statStoreRemote_ = stats.counter("n_store_remote");
+    statSimd_ = stats.counter("n_simd");
+    statVload_ = stats.counter("n_vload");
+    statVissue_ = stats.counter("n_vissue");
+    statInetInstrs_ = stats.counter("inet_instrs");
+    statUnalignedVload_ = stats.counter("n_vload_unaligned");
+}
+
+void
+Core::setProgram(std::shared_ptr<const Program> program, int entry_pc)
+{
+    program_ = std::move(program);
+    fetchPc_ = entry_pc;
+    regs_.fill(0);
+    for (auto &lane : simdRegs_)
+        lane.fill(0);
+    predFlag_ = true;
+    role_ = Role::Independent;
+    fetchBusy_ = false;
+    fetchPausedForBranch_ = false;
+    forwardBlocked_ = false;
+    mtActive_ = false;
+    decodeQueue_.clear();
+    rob_.clear();
+    lq_.clear();
+    busy_.fill(0);
+    halted_ = false;
+    barrierWaiting_ = false;
+    joinPending_ = false;
+    icache_.flush();
+}
+
+Word
+Core::readIntReg(int n) const
+{
+    return regs_[static_cast<size_t>(x(n))];
+}
+
+float
+Core::readFpReg(int n) const
+{
+    return wordToFloat(regs_[static_cast<size_t>(f(n))]);
+}
+
+void
+Core::setIntReg(RegIdx r, Word v)
+{
+    if (r != regZero)
+        regs_[r] = v;
+}
+
+void
+Core::setFpReg(RegIdx r, float v)
+{
+    regs_[r] = floatToWord(v);
+}
+
+void
+Core::setBusy(int reg, bool busy)
+{
+    if (reg <= 0)
+        return;
+    busy_[static_cast<size_t>(reg)] = busy ? 1 : 0;
+}
+
+bool
+Core::sourcesReady(const Instruction &inst, bool &load_wait) const
+{
+    load_wait = false;
+    RegIdx srcs[3] = {inst.rs1, inst.rs2, inst.rs3};
+    for (RegIdx r : srcs) {
+        if (r != regZero && busy_[r]) {
+            // Is a pending load the producer? Then this is a
+            // load-use (frame-class) stall.
+            for (const LqEntry &e : lq_) {
+                if (e.destReg == r)
+                    load_wait = true;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Core::destReady(const Instruction &inst) const
+{
+    int rd = destReg(inst);
+    return rd < 0 || busy_[static_cast<size_t>(rd)] == 0;
+}
+
+bool
+Core::quiesced() const
+{
+    return rob_.empty() && lq_.empty() && decodeQueue_.empty() &&
+           !fetchBusy_;
+}
+
+// --- Mesh sink --------------------------------------------------------------
+
+void
+Core::receive(const Packet &pkt)
+{
+    switch (pkt.kind) {
+      case PacketKind::MemRespKind: {
+        const MemResp &resp = pkt.resp;
+        if (resp.toSpad) {
+            spad_.networkWrite(resp.spadOffset, resp.data);
+            return;
+        }
+        for (size_t i = 0; i < lq_.size(); ++i) {
+            if (lq_[i].reqId == resp.reqId) {
+                setIntReg(resp.destReg, resp.data);
+                setBusy(resp.destReg, false);
+                for (RobEntry &e : rob_) {
+                    if (e.seq == lq_[i].robSeq) {
+                        e.done = true;
+                        e.doneAt = 0;
+                        e.busyCleared = true;
+                    }
+                }
+                lq_.erase(lq_.begin() + static_cast<long>(i));
+                return;
+            }
+        }
+        panic("core ", id_, ": load response with unknown reqId ",
+              resp.reqId);
+      }
+      case PacketKind::SpadWriteKind:
+        spad_.networkWrite(pkt.spadWrite.spadOffset, pkt.spadWrite.data);
+        return;
+      default:
+        panic("core ", id_, ": unexpected packet kind");
+    }
+}
+
+// --- Vector group transitions ------------------------------------------------
+
+void
+Core::squashFrontend()
+{
+    decodeQueue_.clear();
+    fetchBusy_ = false;
+    fetchPausedForBranch_ = false;
+    forwardBlocked_ = false;
+}
+
+void
+Core::enterVectorMode()
+{
+    if (env_.plannedAsScalar(id_)) {
+        role_ = Role::Scalar;
+        // The scalar core keeps its frontend and continues in its
+        // own instruction stream.
+    } else if (env_.plannedAsExpander(id_)) {
+        role_ = Role::Expander;
+        squashFrontend();
+        mtActive_ = false;
+    } else {
+        role_ = Role::Vector;
+        squashFrontend();
+    }
+}
+
+void
+Core::exitVectorMode(int resume_pc)
+{
+    env_.leftGroup(id_);
+    role_ = Role::Independent;
+    mtActive_ = false;
+    predFlag_ = true;
+    squashFrontend();
+    fetchPc_ = resume_pc;
+}
+
+// --- vload -----------------------------------------------------------------
+
+Core::VloadGeom
+Core::vloadGeom(const Instruction &inst) const
+{
+    VloadGeom g;
+    g.addr = intReg(inst.rs1);
+    g.spadOffset = intReg(inst.rs2);
+    g.width = inst.imm2;
+    g.coreOff = inst.imm;
+    g.variant = static_cast<VloadVariant>(inst.sub);
+    g.group = env_.groupLayout(id_);
+
+    switch (g.variant) {
+      case VloadVariant::Self:
+        g.totalWords = g.width;
+        g.respPerCore = g.width;
+        g.destCores = {id_};
+        break;
+      case VloadVariant::Single:
+        if (!g.group)
+            fatal("core ", id_, ": vload.single outside a vector group");
+        g.totalWords = g.width;
+        g.respPerCore = g.width;
+        g.destCores = {g.group->vectorCores.at(
+            static_cast<size_t>(g.coreOff))};
+        break;
+      case VloadVariant::Group: {
+        if (!g.group)
+            fatal("core ", id_, ": vload.group outside a vector group");
+        int n = g.group->size() - g.coreOff;
+        g.totalWords = g.width * n;
+        g.respPerCore = g.width;
+        for (int i = g.coreOff; i < g.group->size(); ++i)
+            g.destCores.push_back(g.group->vectorCores[
+                static_cast<size_t>(i)]);
+        break;
+      }
+    }
+
+    Addr line = env_.addrMap().lineBytes;
+    if (static_cast<Addr>(g.totalWords) * wordBytes > line)
+        fatal("core ", id_, ": vload of ", g.totalWords,
+              " words exceeds the cache line (", line, "B)");
+    if (g.addr % wordBytes != 0)
+        fatal("core ", id_, ": unaligned vload address ", g.addr);
+    return g;
+}
+
+bool
+Core::vloadGuardOk(const Instruction &inst) const
+{
+    VloadGeom g = vloadGeom(inst);
+    Word last = g.spadOffset +
+                static_cast<Word>(g.respPerCore - 1) * wordBytes;
+    for (CoreId dst : g.destCores) {
+        const Scratchpad &sp = env_.spadOf(dst);
+        if (!sp.canAcceptFrameWrite(g.spadOffset) ||
+            !sp.canAcceptFrameWrite(last)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Core::doVload(const Instruction &inst, Cycle)
+{
+    VloadGeom g = vloadGeom(inst);
+    const AddrMap &map = env_.addrMap();
+    if (!map.isGlobal(g.addr))
+        fatal("core ", id_, ": vload source must be a global address");
+
+    MemReq req;
+    req.op = MemOp::ReadWide;
+    req.addr = g.addr;
+    req.src = id_;
+    req.variant = g.variant;
+    req.baseCoreOff = g.coreOff;
+    req.spadOffset = g.spadOffset;
+    req.respPerCore = g.respPerCore;
+    req.group = g.group;
+
+    // Aligned blocks hit one line; unaligned blocks are issued as the
+    // suffix/prefix request pair of Section 2.3.2.
+    Addr line = map.lineBytes;
+    int first = static_cast<int>(
+        std::min<Addr>(static_cast<Addr>(g.totalWords),
+                       (line - g.addr % line) / wordBytes));
+    req.wordLo = 0;
+    req.wordHi = first;
+    env_.sendMemReq(id_, req);
+    if (first < g.totalWords) {
+        MemReq second = req;
+        second.wordLo = first;
+        second.wordHi = g.totalWords;
+        env_.sendMemReq(id_, second);
+        *statUnalignedVload_ += 1;
+    }
+    *statVload_ += 1;
+}
+
+// --- Issue-side memory ops ----------------------------------------------------
+
+void
+Core::doLoadGlobal(const Instruction &inst, Cycle, RobEntry &rob)
+{
+    Addr addr = intReg(inst.rs1) + static_cast<Addr>(inst.imm);
+    MemReq req;
+    req.op = MemOp::ReadWord;
+    req.addr = addr;
+    req.src = id_;
+    req.reqId = nextReqId_++;
+    req.destReg = inst.rd;
+    env_.sendMemReq(id_, req);
+
+    LqEntry e;
+    e.reqId = req.reqId;
+    e.destReg = inst.rd;
+    e.robSeq = rob.seq;
+    e.addr = addr;
+    lq_.push_back(e);
+
+    setBusy(destReg(inst), true);
+    rob.waitingLoad = true;
+    rob.done = false;
+    *statLoadGlobal_ += 1;
+}
+
+void
+Core::doStore(const Instruction &inst, Cycle)
+{
+    Addr addr = intReg(inst.rs1) + static_cast<Addr>(inst.imm);
+    const AddrMap &map = env_.addrMap();
+
+    if (inst.op == Opcode::SIMD_SW) {
+        if (map.isSpad(addr) && map.spadCore(addr) == id_) {
+            Addr off = map.spadOffset(addr);
+            for (int l = 0; l < params_.simdWidth; ++l) {
+                spad_.writeWord(off + static_cast<Addr>(l) * wordBytes,
+                                simdRegs_[static_cast<size_t>(l)]
+                                         [inst.rs2 - simdRegBase]);
+            }
+            *statStoreSpad_ += 1;
+            return;
+        }
+        if (!map.isGlobal(addr))
+            fatal("core ", id_, ": simd store to a remote scratchpad");
+        MemReq req;
+        req.op = MemOp::WriteWord;
+        req.addr = addr;
+        req.src = id_;
+        for (int l = 0; l < params_.simdWidth; ++l) {
+            env_.mainMem().writeWord(
+                addr + static_cast<Addr>(l) * wordBytes,
+                simdRegs_[static_cast<size_t>(l)][inst.rs2 - simdRegBase]);
+        }
+        env_.sendMemReq(id_, req);
+        *statStoreGlobal_ += 1;
+        return;
+    }
+
+    Word data = regs_[inst.rs2];
+    if (map.isGlobal(addr)) {
+        for (const LqEntry &e : lq_) {
+            if (e.addr == addr)
+                panic("core ", id_, ": WAR hazard: store to ", addr,
+                      " while an older load is outstanding");
+        }
+        env_.mainMem().writeWord(addr, data);
+        MemReq req;
+        req.op = MemOp::WriteWord;
+        req.addr = addr;
+        req.data = data;
+        req.src = id_;
+        env_.sendMemReq(id_, req);
+        *statStoreGlobal_ += 1;
+    } else if (map.spadCore(addr) == id_) {
+        spad_.writeWord(map.spadOffset(addr), data);
+        *statStoreSpad_ += 1;
+    } else {
+        // Remote scratchpad store (shuffles, Section 2.4).
+        SpadWrite w;
+        w.dst = map.spadCore(addr);
+        w.spadOffset = map.spadOffset(addr);
+        w.data = data;
+        env_.sendSpadWrite(id_, w);
+        *statStoreRemote_ += 1;
+    }
+}
+
+// --- Functional execution -----------------------------------------------------
+
+void
+Core::execute(const Instruction &inst, Cycle now, RobEntry &rob)
+{
+    auto si = [this](RegIdx r) {
+        return static_cast<std::int32_t>(regs_[r]);
+    };
+    Opcode op = inst.op;
+    Cycle lat = static_cast<Cycle>(fuLatency(op));
+    rob.doneAt = now + lat;
+    rob.done = true;
+
+    Word result = 0;
+    bool write = destReg(inst) >= 0;
+
+    switch (op) {
+      case Opcode::NOP:
+        write = false;
+        break;
+      case Opcode::ADD: result = regs_[inst.rs1] + regs_[inst.rs2]; break;
+      case Opcode::SUB: result = regs_[inst.rs1] - regs_[inst.rs2]; break;
+      case Opcode::AND: result = regs_[inst.rs1] & regs_[inst.rs2]; break;
+      case Opcode::OR:  result = regs_[inst.rs1] | regs_[inst.rs2]; break;
+      case Opcode::XOR: result = regs_[inst.rs1] ^ regs_[inst.rs2]; break;
+      case Opcode::SLL: result = regs_[inst.rs1]
+                                 << (regs_[inst.rs2] & 31); break;
+      case Opcode::SRL: result = regs_[inst.rs1] >>
+                                 (regs_[inst.rs2] & 31); break;
+      case Opcode::SRA:
+        result = static_cast<Word>(si(inst.rs1) >>
+                                   (regs_[inst.rs2] & 31));
+        break;
+      case Opcode::SLT:
+        result = si(inst.rs1) < si(inst.rs2) ? 1 : 0;
+        break;
+      case Opcode::SLTU:
+        result = regs_[inst.rs1] < regs_[inst.rs2] ? 1 : 0;
+        break;
+      case Opcode::MUL:
+        result = static_cast<Word>(si(inst.rs1) * si(inst.rs2));
+        break;
+      case Opcode::MULH:
+        result = static_cast<Word>(
+            (static_cast<std::int64_t>(si(inst.rs1)) *
+             static_cast<std::int64_t>(si(inst.rs2))) >> 32);
+        break;
+      case Opcode::DIV:
+        result = regs_[inst.rs2] == 0
+                     ? static_cast<Word>(-1)
+                     : static_cast<Word>(si(inst.rs1) / si(inst.rs2));
+        break;
+      case Opcode::REM:
+        result = regs_[inst.rs2] == 0
+                     ? regs_[inst.rs1]
+                     : static_cast<Word>(si(inst.rs1) % si(inst.rs2));
+        break;
+      case Opcode::ADDI:
+        result = regs_[inst.rs1] + static_cast<Word>(inst.imm);
+        break;
+      case Opcode::ANDI:
+        result = regs_[inst.rs1] & static_cast<Word>(inst.imm);
+        break;
+      case Opcode::ORI:
+        result = regs_[inst.rs1] | static_cast<Word>(inst.imm);
+        break;
+      case Opcode::XORI:
+        result = regs_[inst.rs1] ^ static_cast<Word>(inst.imm);
+        break;
+      case Opcode::SLLI: result = regs_[inst.rs1] << inst.imm; break;
+      case Opcode::SRLI: result = regs_[inst.rs1] >> inst.imm; break;
+      case Opcode::SRAI:
+        result = static_cast<Word>(si(inst.rs1) >> inst.imm);
+        break;
+      case Opcode::SLTI:
+        result = si(inst.rs1) < inst.imm ? 1 : 0;
+        break;
+      case Opcode::LUI:
+        result = static_cast<Word>(inst.imm) << 12;
+        break;
+
+      case Opcode::FADD:
+        setFpReg(inst.rd, fpReg(inst.rs1) + fpReg(inst.rs2));
+        write = false;
+        break;
+      case Opcode::FSUB:
+        setFpReg(inst.rd, fpReg(inst.rs1) - fpReg(inst.rs2));
+        write = false;
+        break;
+      case Opcode::FMUL:
+        setFpReg(inst.rd, fpReg(inst.rs1) * fpReg(inst.rs2));
+        write = false;
+        break;
+      case Opcode::FDIV:
+        setFpReg(inst.rd, fpReg(inst.rs1) / fpReg(inst.rs2));
+        write = false;
+        break;
+      case Opcode::FSQRT:
+        setFpReg(inst.rd, std::sqrt(fpReg(inst.rs1)));
+        write = false;
+        break;
+      case Opcode::FMIN:
+        setFpReg(inst.rd, std::fmin(fpReg(inst.rs1), fpReg(inst.rs2)));
+        write = false;
+        break;
+      case Opcode::FMAX:
+        setFpReg(inst.rd, std::fmax(fpReg(inst.rs1), fpReg(inst.rs2)));
+        write = false;
+        break;
+      case Opcode::FMADD:
+        setFpReg(inst.rd, fpReg(inst.rs1) * fpReg(inst.rs2) +
+                              fpReg(inst.rs3));
+        write = false;
+        break;
+      case Opcode::FABS:
+        setFpReg(inst.rd, std::fabs(fpReg(inst.rs1)));
+        write = false;
+        break;
+      case Opcode::FSGNJ:
+        setFpReg(inst.rd, std::copysign(fpReg(inst.rs1),
+                                        fpReg(inst.rs2)));
+        write = false;
+        break;
+      case Opcode::FEQ:
+        result = fpReg(inst.rs1) == fpReg(inst.rs2) ? 1 : 0;
+        break;
+      case Opcode::FLT:
+        result = fpReg(inst.rs1) < fpReg(inst.rs2) ? 1 : 0;
+        break;
+      case Opcode::FLE:
+        result = fpReg(inst.rs1) <= fpReg(inst.rs2) ? 1 : 0;
+        break;
+      case Opcode::FCVT_WS:
+        result = static_cast<Word>(
+            static_cast<std::int32_t>(fpReg(inst.rs1)));
+        break;
+      case Opcode::FCVT_SW:
+        setFpReg(inst.rd, static_cast<float>(si(inst.rs1)));
+        write = false;
+        break;
+      case Opcode::FMV_XW:
+        result = regs_[inst.rs1];
+        break;
+      case Opcode::FMV_WX:
+        regs_[inst.rd] = regs_[inst.rs1];
+        write = false;
+        break;
+
+      // SIMD lane-wise arithmetic.
+      case Opcode::SIMD_ADD:
+      case Opcode::SIMD_SUB:
+      case Opcode::SIMD_MUL:
+      case Opcode::SIMD_FADD:
+      case Opcode::SIMD_FSUB:
+      case Opcode::SIMD_FMUL:
+      case Opcode::SIMD_FMA: {
+        int rd = inst.rd - simdRegBase;
+        int a = inst.rs1 - simdRegBase;
+        int b = inst.rs2 - simdRegBase;
+        int c = inst.rs3 - simdRegBase;
+        for (int l = 0; l < params_.simdWidth; ++l) {
+            auto &lane = simdRegs_[static_cast<size_t>(l)];
+            switch (op) {
+              case Opcode::SIMD_ADD:
+                lane[rd] = lane[a] + lane[b];
+                break;
+              case Opcode::SIMD_SUB:
+                lane[rd] = lane[a] - lane[b];
+                break;
+              case Opcode::SIMD_MUL:
+                lane[rd] = static_cast<Word>(
+                    static_cast<std::int32_t>(lane[a]) *
+                    static_cast<std::int32_t>(lane[b]));
+                break;
+              case Opcode::SIMD_FADD:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) +
+                                       wordToFloat(lane[b]));
+                break;
+              case Opcode::SIMD_FSUB:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) -
+                                       wordToFloat(lane[b]));
+                break;
+              case Opcode::SIMD_FMUL:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) *
+                                       wordToFloat(lane[b]));
+                break;
+              case Opcode::SIMD_FMA:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) *
+                                           wordToFloat(lane[b]) +
+                                       wordToFloat(lane[c]));
+                break;
+              default:
+                break;
+            }
+        }
+        write = false;
+        break;
+      }
+      case Opcode::SIMD_BCAST: {
+        int rd = inst.rd - simdRegBase;
+        for (int l = 0; l < params_.simdWidth; ++l)
+            simdRegs_[static_cast<size_t>(l)][rd] = regs_[inst.rs1];
+        write = false;
+        break;
+      }
+      case Opcode::SIMD_REDSUM: {
+        int a = inst.rs1 - simdRegBase;
+        float sum = 0.0f;
+        for (int l = 0; l < params_.simdWidth; ++l)
+            sum += wordToFloat(simdRegs_[static_cast<size_t>(l)][a]);
+        setFpReg(inst.rd, sum);
+        write = false;
+        break;
+      }
+
+      default:
+        panic("core ", id_, ": execute() got non-functional op ",
+              opcodeName(op));
+    }
+
+    if (write)
+        setIntReg(inst.rd, result);
+
+    // Reserve the destination until the FU completes.
+    int rd = destReg(inst);
+    if (rd >= 0 && lat > 1) {
+        setBusy(rd, true);
+        rob.waitingLoad = false;
+    }
+}
+
+// --- Issue --------------------------------------------------------------------
+
+void
+Core::issue(Cycle now)
+{
+    if (halted_)
+        return;
+    *statCycles_ += 1;
+    bool vector_mode = role_ == Role::Vector || role_ == Role::Expander;
+    if (vector_mode)
+        *statVectorCycles_ += 1;
+
+    // Free destination registers whose FU completes this cycle —
+    // exactly once per entry, or a younger writer that re-acquired
+    // the register would be released early.
+    for (RobEntry &e : rob_) {
+        if (e.done && !e.waitingLoad && !e.busyCleared &&
+            e.doneAt <= now) {
+            int rd = destReg(e.inst);
+            if (rd >= 0)
+                setBusy(rd, false);
+            e.busyCleared = true;
+        }
+    }
+
+    if (static_cast<int>(rob_.size()) >= params_.robEntries) {
+        *statStallOther_ += 1;
+        return;
+    }
+
+    if (decodeQueue_.empty() || decodeQueue_.front().readyAt > now) {
+        if (vector_mode && !mtActive_ && !inet_.hasMsg(id_) &&
+            decodeQueue_.empty() && !fetchBusy_) {
+            *statStallInetInput_ += 1;
+        } else {
+            *statStallOther_ += 1;
+        }
+        return;
+    }
+
+    const Instruction inst = decodeQueue_.front().inst;
+    Opcode op = inst.op;
+
+    auto retire_simple = [&](Cycle done_at) {
+        decodeQueue_.pop_front();
+        RobEntry e;
+        e.inst = inst;
+        e.seq = nextSeq_++;
+        e.done = true;
+        e.doneAt = done_at;
+        rob_.push_back(e);
+        *statIssued_ += 1;
+    };
+
+    // Predication: with the flag clear, non-predicate instructions
+    // execute as nops but still flow through the pipeline.
+    if (!predFlag_ && op != Opcode::PRED_EQ && op != Opcode::PRED_NEQ &&
+        op != Opcode::DEVEC && op != Opcode::VEND) {
+        retire_simple(now + 1);
+        return;
+    }
+
+    bool load_wait = false;
+    if (!sourcesReady(inst, load_wait) || !destReady(inst)) {
+        if (load_wait)
+            *statStallFrame_ += 1;
+        else
+            *statStallOther_ += 1;
+        return;
+    }
+
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU: {
+        auto sa = static_cast<std::int32_t>(regs_[inst.rs1]);
+        auto sb = static_cast<std::int32_t>(regs_[inst.rs2]);
+        bool taken = false;
+        switch (op) {
+          case Opcode::BEQ: taken = sa == sb; break;
+          case Opcode::BNE: taken = sa != sb; break;
+          case Opcode::BLT: taken = sa < sb; break;
+          case Opcode::BGE: taken = sa >= sb; break;
+          case Opcode::BLTU: taken = regs_[inst.rs1] < regs_[inst.rs2];
+                             break;
+          case Opcode::BGEU: taken = regs_[inst.rs1] >= regs_[inst.rs2];
+                             break;
+          default: break;
+        }
+        fetchPc_ = taken ? inst.imm : fetchPc_ + 1;
+        fetchPausedForBranch_ = false;
+        retire_simple(now + 1);
+        *statIntAlu_ += 1;
+        return;
+      }
+      case Opcode::JAL:
+        setIntReg(inst.rd, static_cast<Word>(fetchPc_ + 1));
+        fetchPc_ = inst.imm;
+        fetchPausedForBranch_ = false;
+        retire_simple(now + 1);
+        *statIntAlu_ += 1;
+        return;
+      case Opcode::JALR: {
+        Word target = regs_[inst.rs1] + static_cast<Word>(inst.imm);
+        setIntReg(inst.rd, static_cast<Word>(fetchPc_ + 1));
+        fetchPc_ = static_cast<int>(target);
+        fetchPausedForBranch_ = false;
+        retire_simple(now + 1);
+        *statIntAlu_ += 1;
+        return;
+      }
+
+      case Opcode::LW: case Opcode::FLW: {
+        Addr addr = regs_[inst.rs1] + static_cast<Addr>(inst.imm);
+        const AddrMap &map = env_.addrMap();
+        if (map.isGlobal(addr)) {
+            if (static_cast<int>(lq_.size()) >= params_.lqEntries) {
+                *statStallOther_ += 1;
+                return;
+            }
+            decodeQueue_.pop_front();
+            RobEntry e;
+            e.inst = inst;
+            e.seq = nextSeq_++;
+            rob_.push_back(e);
+            doLoadGlobal(inst, now, rob_.back());
+            *statIssued_ += 1;
+            return;
+        }
+        if (map.spadCore(addr) != id_)
+            fatal("core ", id_, ": load from a remote scratchpad");
+        Word data = spad_.readWord(map.spadOffset(addr));
+        setIntReg(inst.rd, data);
+        int rd = destReg(inst);
+        if (rd >= 0)
+            setBusy(rd, true);
+        retire_simple(now + params_.spadLatency);
+        rob_.back().waitingLoad = false;
+        *statLoadSpad_ += 1;
+        return;
+      }
+
+      case Opcode::SIMD_LW: {
+        Addr addr = regs_[inst.rs1] + static_cast<Addr>(inst.imm);
+        const AddrMap &map = env_.addrMap();
+        if (!map.isSpad(addr) || map.spadCore(addr) != id_)
+            fatal("core ", id_, ": simd load must target own scratchpad");
+        Addr off = map.spadOffset(addr);
+        int rd = inst.rd - simdRegBase;
+        for (int l = 0; l < params_.simdWidth; ++l) {
+            simdRegs_[static_cast<size_t>(l)][rd] =
+                spad_.readWord(off + static_cast<Addr>(l) * wordBytes);
+        }
+        setBusy(destReg(inst), true);
+        retire_simple(now + params_.spadLatency);
+        *statSimd_ += 1;
+        *statLoadSpad_ += 1;
+        return;
+      }
+
+      case Opcode::SW: case Opcode::FSW: case Opcode::SIMD_SW:
+        doStore(inst, now);
+        retire_simple(now + 1);
+        if (op == Opcode::SIMD_SW)
+            *statSimd_ += 1;
+        return;
+
+      case Opcode::VLOAD:
+        if (!vloadGuardOk(inst)) {
+            *statStallDae_ += 1;
+            return;
+        }
+        doVload(inst, now);
+        retire_simple(now + 1);
+        return;
+
+      case Opcode::VISSUE:
+        // The launch message is sent at commit (Section 3.2).
+        retire_simple(now + 1);
+        *statVissue_ += 1;
+        return;
+
+      case Opcode::VEND:
+        retire_simple(now + 1);
+        return;
+
+      case Opcode::DEVEC:
+        if (role_ == Role::Vector || role_ == Role::Expander) {
+            int resume = inst.imm;
+            decodeQueue_.pop_front();
+            RobEntry e;
+            e.inst = inst;
+            e.seq = nextSeq_++;
+            e.done = true;
+            e.doneAt = now + 1;
+            rob_.push_back(e);
+            *statIssued_ += 1;
+            exitVectorMode(resume);
+            return;
+        }
+        // Scalar core: message sent at commit.
+        retire_simple(now + 1);
+        return;
+
+      case Opcode::FRAME_START:
+        if (!spad_.frameReady()) {
+            *statStallFrame_ += 1;
+            return;
+        }
+        setIntReg(inst.rd, env_.addrMap().spadBase(id_) +
+                               spad_.headFrameByteOffset());
+        retire_simple(now + 1);
+        return;
+
+      case Opcode::REMEM:
+        spad_.freeFrame();
+        retire_simple(now + 1);
+        return;
+
+      case Opcode::PRED_EQ:
+        predFlag_ = regs_[inst.rs1] == regs_[inst.rs2];
+        retire_simple(now + 1);
+        return;
+      case Opcode::PRED_NEQ:
+        predFlag_ = regs_[inst.rs1] != regs_[inst.rs2];
+        retire_simple(now + 1);
+        return;
+
+      case Opcode::CSRW: {
+        Csr csr = static_cast<Csr>(inst.sub);
+        Word value = regs_[inst.rs1];
+        if (csr == Csr::Vconfig) {
+            if (value != 0) {
+                if (!joinPending_) {
+                    env_.groupJoin(id_);
+                    joinPending_ = true;
+                }
+                if (!env_.groupFormed(id_)) {
+                    *statStallOther_ += 1;
+                    return;
+                }
+                joinPending_ = false;
+                retire_simple(now + 1);
+                enterVectorMode();
+                return;
+            }
+            retire_simple(now + 1);
+            return;
+        }
+        if (csr == Csr::FrameCfg) {
+            spad_.configureFrames(static_cast<int>(value & 0xffff),
+                                  static_cast<int>(value >> 16));
+            retire_simple(now + 1);
+            return;
+        }
+        fatal("core ", id_, ": write to read-only CSR");
+      }
+
+      case Opcode::CSRR: {
+        Csr csr = static_cast<Csr>(inst.sub);
+        Word value = 0;
+        switch (csr) {
+          case Csr::CoreId: value = static_cast<Word>(id_); break;
+          case Csr::NumCores:
+            value = static_cast<Word>(env_.addrMap().numCores);
+            break;
+          case Csr::GroupTid:
+            value = static_cast<Word>(env_.groupTid(id_));
+            break;
+          case Csr::GroupLen: {
+            GroupLayoutPtr g = env_.groupLayout(id_);
+            value = g ? static_cast<Word>(g->size()) : 0;
+            break;
+          }
+          default:
+            fatal("core ", id_, ": read of unknown CSR");
+        }
+        setIntReg(inst.rd, value);
+        retire_simple(now + 1);
+        return;
+      }
+
+      case Opcode::HALT:
+        halted_ = true;
+        *statIssued_ += 1;
+        return;
+
+      case Opcode::BARRIER:
+        if (!barrierWaiting_) {
+            env_.barrierArrive(id_);
+            barrierWaiting_ = true;
+        }
+        if (!env_.barrierReleased(id_)) {
+            *statStallOther_ += 1;
+            return;
+        }
+        barrierWaiting_ = false;
+        retire_simple(now + 1);
+        return;
+
+      default: {
+        // Plain functional instruction.
+        decodeQueue_.pop_front();
+        RobEntry e;
+        e.inst = inst;
+        e.seq = nextSeq_++;
+        rob_.push_back(e);
+        execute(inst, now, rob_.back());
+        *statIssued_ += 1;
+        if (isSimd(op))
+            *statSimd_ += 1;
+        else if (op == Opcode::MUL || op == Opcode::MULH)
+            *statMul_ += 1;
+        else if (op == Opcode::DIV || op == Opcode::REM)
+            *statDiv_ += 1;
+        else if (isFloatOp(op))
+            *statFp_ += 1;
+        else
+            *statIntAlu_ += 1;
+        return;
+      }
+    }
+}
+
+// --- Commit -------------------------------------------------------------------
+
+void
+Core::commit(Cycle now)
+{
+    if (rob_.empty())
+        return;
+    RobEntry &head = rob_.front();
+    if (!head.done || head.doneAt > now)
+        return;
+
+    Opcode op = head.inst.op;
+    if (op == Opcode::VISSUE) {
+        if (!inet_.canSend(id_))
+            return;  // Hold commit until the launch message can go out.
+        InetMsg msg;
+        msg.kind = InetMsg::Kind::Vissue;
+        msg.pc = head.inst.imm;
+        inet_.send(id_, msg);
+    } else if (op == Opcode::DEVEC && role_ == Role::Scalar) {
+        if (!inet_.canSend(id_))
+            return;
+        InetMsg msg;
+        msg.kind = InetMsg::Kind::Devec;
+        msg.pc = head.inst.imm;
+        inet_.send(id_, msg);
+        env_.leftGroup(id_);
+        role_ = Role::Independent;
+    }
+
+    int rd = destReg(head.inst);
+    if (rd >= 0 && !head.waitingLoad && !head.busyCleared)
+        setBusy(rd, false);
+    rob_.pop_front();
+}
+
+// --- Inet pump ------------------------------------------------------------------
+
+void
+Core::pumpInet(Cycle now)
+{
+    if (halted_)
+        return;
+
+    if (role_ == Role::Vector) {
+        if (static_cast<int>(decodeQueue_.size()) >= params_.decodeDepth)
+            return;
+        if (!inet_.hasMsg(id_))
+            return;
+        const InetMsg &msg = inet_.front(id_);
+        bool must_forward = inet_.hasDownstream(id_);
+        if (must_forward && !inet_.canSend(id_)) {
+            *statStallBackpressure_ += 1;
+            return;
+        }
+        switch (msg.kind) {
+          case InetMsg::Kind::Instr: {
+            DecodedOp d;
+            d.inst = msg.inst;
+            d.readyAt = now + 1;
+            d.isMicrothread = true;
+            if (must_forward)
+                inet_.send(id_, msg);
+            decodeQueue_.push_back(d);
+            inet_.pop(id_);
+            *statInetInstrs_ += 1;
+            return;
+          }
+          case InetMsg::Kind::Devec: {
+            DecodedOp d;
+            d.inst.op = Opcode::DEVEC;
+            d.inst.imm = msg.pc;
+            d.readyAt = now + 1;
+            d.isMicrothread = true;
+            if (must_forward)
+                inet_.send(id_, msg);
+            decodeQueue_.push_back(d);
+            inet_.pop(id_);
+            return;
+          }
+          case InetMsg::Kind::Vissue:
+            panic("core ", id_,
+                  ": vissue message reached a non-expander vector core");
+        }
+        return;
+    }
+
+    if (role_ == Role::Expander && !mtActive_ && !fetchBusy_) {
+        if (!inet_.hasMsg(id_))
+            return;
+        const InetMsg &msg = inet_.front(id_);
+        switch (msg.kind) {
+          case InetMsg::Kind::Vissue:
+            mtActive_ = true;
+            fetchPc_ = msg.pc;
+            inet_.pop(id_);
+            return;
+          case InetMsg::Kind::Devec: {
+            if (static_cast<int>(decodeQueue_.size()) >=
+                params_.decodeDepth) {
+                return;
+            }
+            bool must_forward = inet_.hasDownstream(id_);
+            if (must_forward && !inet_.canSend(id_)) {
+                *statStallBackpressure_ += 1;
+                return;
+            }
+            DecodedOp d;
+            d.inst.op = Opcode::DEVEC;
+            d.inst.imm = msg.pc;
+            d.readyAt = now + 1;
+            d.isMicrothread = true;
+            if (must_forward)
+                inet_.send(id_, msg);
+            decodeQueue_.push_back(d);
+            inet_.pop(id_);
+            return;
+          }
+          case InetMsg::Kind::Instr:
+            panic("core ", id_,
+                  ": raw instruction message reached the expander");
+        }
+    }
+}
+
+// --- Fetch ----------------------------------------------------------------------
+
+void
+Core::fetch(Cycle now)
+{
+    if (halted_)
+        return;
+    bool frontend_on =
+        role_ == Role::Independent || role_ == Role::Scalar ||
+        (role_ == Role::Expander && mtActive_);
+    if (!frontend_on)
+        return;
+
+    // Complete an outstanding fetch.
+    if (fetchBusy_ && fetchReadyAt_ <= now) {
+        const Instruction &inst = fetchedInst_;
+        bool is_ctl = isBranch(inst.op);
+        bool forward = role_ == Role::Expander && !is_ctl &&
+                       inst.op != Opcode::VEND &&
+                       inet_.hasDownstream(id_);
+        if (forward && !inet_.canSend(id_)) {
+            forwardBlocked_ = true;
+            *statStallBackpressure_ += 1;
+            return;  // Retry next cycle; fetch buffer holds the inst.
+        }
+        forwardBlocked_ = false;
+        if (forward) {
+            InetMsg msg;
+            msg.kind = InetMsg::Kind::Instr;
+            msg.inst = inst;
+            inet_.send(id_, msg);
+        }
+        DecodedOp d;
+        d.inst = inst;
+        d.readyAt = now + params_.frontendDelay;
+        d.isMicrothread = role_ == Role::Expander;
+        decodeQueue_.push_back(d);
+        fetchBusy_ = false;
+        if (is_ctl || inst.op == Opcode::HALT) {
+            // Pause until the branch issues (also keeps the expander
+            // from ever forwarding wrong-path instructions). A HALT
+            // terminates the stream, so never fetch past it.
+            fetchPausedForBranch_ = true;
+        } else {
+            if (role_ == Role::Expander && inst.op == Opcode::VEND)
+                mtActive_ = false;
+            else
+                fetchPc_ += 1;
+        }
+    }
+
+    // Start a new fetch.
+    if (!fetchBusy_ && !fetchPausedForBranch_ &&
+        static_cast<int>(decodeQueue_.size()) < params_.decodeDepth) {
+        if (role_ == Role::Expander && !mtActive_)
+            return;  // vend consumed; wait for the next vissue.
+        fetchedInst_ = program_->at(fetchPc_);
+        fetchReadyAt_ = icache_.fetch(fetchPc_, now);
+        fetchBusy_ = true;
+    }
+}
+
+void
+Core::tick(Cycle now)
+{
+    commit(now);
+    issue(now);
+    pumpInet(now);
+    fetch(now);
+}
+
+} // namespace rockcress

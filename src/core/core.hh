@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The tile CPU (Sections 3.1-3.2): an 8-stage, single-issue core with
+ * in-order issue, out-of-order writeback, and in-order commit,
+ * augmented with the Rockcress roles. A core is Independent by
+ * default; writing vconfig turns it into the Scalar core, the
+ * Expander (a vector core that still fetches), or a trailing Vector
+ * core whose frontend and I-cache are disabled in favor of the inet.
+ *
+ * Branch handling pauses fetch until the branch issues, which both
+ * models a simple in-order frontend and guarantees the expander never
+ * forwards wrong-path instructions (Section 3.2).
+ */
+
+#ifndef ROCKCRESS_CORE_CORE_HH
+#define ROCKCRESS_CORE_CORE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/env.hh"
+#include "isa/program.hh"
+#include "mem/icache.hh"
+#include "mem/scratchpad.hh"
+#include "noc/inet.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace rockcress
+{
+
+/** Tile microarchitectural parameters (Table 1a). */
+struct CoreParams
+{
+    int robEntries = 8;
+    int lqEntries = 2;          ///< Load Queue Entries: 2.
+    int decodeDepth = 2;        ///< Decode/issue buffer entries.
+    Cycle frontendDelay = 2;    ///< Fetch-to-issueable pipeline depth.
+    Cycle spadLatency = 2;      ///< Spm Hit Latency: 2 cycles.
+    int simdWidth = 4;          ///< SIMD Width: 4 words (PCV).
+    ICache::Params icache;
+};
+
+/** One tile CPU. */
+class Core : public Ticked
+{
+  public:
+    /** Execution role; Expander is a vector core that fetches. */
+    enum class Role
+    {
+        Independent,
+        Scalar,
+        Expander,
+        Vector,
+    };
+
+    Core(CoreId id, const CoreParams &params, CoreEnv &env,
+         Scratchpad &spad, Inet &inet, const StatScope &stats);
+
+    /** Load a program and reset architectural state. */
+    void setProgram(std::shared_ptr<const Program> program, int entry_pc);
+
+    /** Mesh sink: memory responses and remote scratchpad writes. */
+    void receive(const Packet &pkt);
+
+    void tick(Cycle now) override;
+
+    bool halted() const { return halted_; }
+    Role role() const { return role_; }
+    CoreId id() const { return id_; }
+
+    /** Pipeline is empty and no loads outstanding (for drain checks). */
+    bool quiesced() const;
+
+    /** @name Architectural state access (for tests). */
+    ///@{
+    Word readIntReg(int n) const;
+    float readFpReg(int n) const;
+    ///@}
+
+  private:
+    struct RobEntry
+    {
+        Instruction inst;
+        std::uint64_t seq = 0;
+        Cycle doneAt = 0;
+        bool waitingLoad = false;
+        bool done = false;
+        /** The destination's scoreboard bit was already released; a
+         * younger writer may own it now, so never clear it again. */
+        bool busyCleared = false;
+    };
+
+    struct LqEntry
+    {
+        std::uint32_t reqId = 0;
+        RegIdx destReg = 0;
+        std::uint64_t robSeq = 0;
+        Addr addr = 0;
+    };
+
+    struct DecodedOp
+    {
+        Instruction inst;
+        Cycle readyAt = 0;
+        bool isMicrothread = false;  ///< Came from the inet / mt fetch.
+    };
+
+    /** @name Stage logic, called in reverse pipeline order. */
+    ///@{
+    void commit(Cycle now);
+    void issue(Cycle now);
+    void pumpInet(Cycle now);
+    void fetch(Cycle now);
+    ///@}
+
+    /** Execute the instruction functionally and write results. */
+    void execute(const Instruction &inst, Cycle now, RobEntry &rob);
+
+    /** Issue-side memory operations. */
+    void doLoadGlobal(const Instruction &inst, Cycle now, RobEntry &rob);
+    void doStore(const Instruction &inst, Cycle now);
+    void doVload(const Instruction &inst, Cycle now);
+
+    /** True when the vload's destination frames fit the counter window. */
+    bool vloadGuardOk(const Instruction &inst) const;
+
+    /** Resolve vload geometry shared by the guard and the send path. */
+    struct VloadGeom
+    {
+        Addr addr = 0;
+        Word spadOffset = 0;
+        int width = 0;
+        int coreOff = 0;
+        VloadVariant variant = VloadVariant::Self;
+        int totalWords = 0;
+        int respPerCore = 0;
+        GroupLayoutPtr group;
+        std::vector<CoreId> destCores;
+    };
+    VloadGeom vloadGeom(const Instruction &inst) const;
+
+    bool sourcesReady(const Instruction &inst, bool &load_wait) const;
+    bool destReady(const Instruction &inst) const;
+    void setBusy(int reg, bool busy);
+
+    Word intReg(RegIdx r) const { return regs_[r]; }
+    void setIntReg(RegIdx r, Word v);
+    float fpReg(RegIdx r) const { return wordToFloat(regs_[r]); }
+    void setFpReg(RegIdx r, float v);
+
+    /** Enter vector mode with the planned role (vconfig commit). */
+    void enterVectorMode();
+    /** Leave vector mode and resume MIMD execution at pc. */
+    void exitVectorMode(int resume_pc);
+
+    void squashFrontend();
+
+    CoreId id_;
+    CoreParams params_;
+    CoreEnv &env_;
+    Scratchpad &spad_;
+    Inet &inet_;
+    ICache icache_;
+
+    std::shared_ptr<const Program> program_;
+
+    // Architectural state.
+    std::array<Word, numArchRegs> regs_{};
+    std::vector<std::array<Word, 32>> simdRegs_;  ///< [lane][vreg].
+    bool predFlag_ = true;
+
+    // Frontend.
+    Role role_ = Role::Independent;
+    int fetchPc_ = 0;
+    bool fetchBusy_ = false;
+    Cycle fetchReadyAt_ = 0;
+    Instruction fetchedInst_;
+    bool fetchPausedForBranch_ = false;
+    bool forwardBlocked_ = false;
+    bool mtActive_ = false;     ///< Expander: microthread in progress.
+    std::deque<DecodedOp> decodeQueue_;
+
+    // Backend.
+    std::deque<RobEntry> rob_;
+    std::vector<LqEntry> lq_;
+    std::array<int, numArchRegs> busy_{};
+    std::uint64_t nextSeq_ = 1;
+    std::uint32_t nextReqId_ = 1;
+
+    bool halted_ = false;
+    bool barrierWaiting_ = false;
+    bool joinPending_ = false;
+
+    // Statistics.
+    std::uint64_t *statCycles_;
+    std::uint64_t *statVectorCycles_;
+    std::uint64_t *statIssued_;
+    std::uint64_t *statStallFrame_;
+    std::uint64_t *statStallInetInput_;
+    std::uint64_t *statStallBackpressure_;
+    std::uint64_t *statStallOther_;
+    std::uint64_t *statStallDae_;
+    std::uint64_t *statIntAlu_;
+    std::uint64_t *statMul_;
+    std::uint64_t *statDiv_;
+    std::uint64_t *statFp_;
+    std::uint64_t *statLoadGlobal_;
+    std::uint64_t *statLoadSpad_;
+    std::uint64_t *statStoreGlobal_;
+    std::uint64_t *statStoreSpad_;
+    std::uint64_t *statStoreRemote_;
+    std::uint64_t *statSimd_;
+    std::uint64_t *statVload_;
+    std::uint64_t *statVissue_;
+    std::uint64_t *statInetInstrs_;
+    std::uint64_t *statUnalignedVload_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_CORE_CORE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The interface a tile core uses to reach the rest of the machine:
+ * memory request injection, vector group bookkeeping, the global
+ * barrier, and the DAE run-ahead guard. Implemented by Machine.
+ */
+
+#ifndef ROCKCRESS_CORE_ENV_HH
+#define ROCKCRESS_CORE_ENV_HH
+
+#include "mem/addrmap.hh"
+#include "mem/mainmem.hh"
+#include "mem/msg.hh"
+#include "mem/scratchpad.hh"
+
+namespace rockcress
+{
+
+/** Machine services visible to a core. */
+class CoreEnv
+{
+  public:
+    virtual ~CoreEnv() = default;
+
+    /** Route a memory request to the LLC bank owning its line. */
+    virtual void sendMemReq(CoreId src, const MemReq &req) = 0;
+
+    /** Remote scratchpad store (shuffles). */
+    virtual void sendSpadWrite(CoreId src, const SpadWrite &write) = 0;
+
+    /** @name Vector group formation and membership. */
+    ///@{
+    /** Core arrived at its vconfig write (idempotent). */
+    virtual void groupJoin(CoreId core) = 0;
+    /** Has every member of this core's planned group joined? */
+    virtual bool groupFormed(CoreId core) const = 0;
+    /** The memory-system view of the core's group (null if none). */
+    virtual GroupLayoutPtr groupLayout(CoreId core) const = 0;
+    /** Thread id within the group (expander = 0). */
+    virtual int groupTid(CoreId core) const = 0;
+    /** Planned role of this core when its group forms. */
+    virtual bool plannedAsScalar(CoreId core) const = 0;
+    virtual bool plannedAsExpander(CoreId core) const = 0;
+    /** Core left vector mode (on devec). */
+    virtual void leftGroup(CoreId core) = 0;
+    ///@}
+
+    /** @name Global kernel barrier. */
+    ///@{
+    virtual void barrierArrive(CoreId core) = 0;
+    /** True once the generation this core arrived in has released. */
+    virtual bool barrierReleased(CoreId core) const = 0;
+    ///@}
+
+    /** Another core's scratchpad (DAE run-ahead guard checks). */
+    virtual Scratchpad &spadOf(CoreId core) = 0;
+
+    /** Functional global memory (stores apply at execute). */
+    virtual MainMemory &mainMem() = 0;
+
+    virtual const AddrMap &addrMap() const = 0;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_CORE_ENV_HH

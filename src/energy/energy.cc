@@ -1,0 +1,66 @@
+#include "energy/energy.hh"
+
+namespace rockcress
+{
+
+EnergyBreakdown
+computeEnergy(const StatRegistry &stats, int simd_width,
+              const EnergyCosts &costs)
+{
+    EnergyBreakdown e;
+
+    // Frontend: one I-cache access is modeled per fetched
+    // instruction; vector cores' frontends are powered down so their
+    // counters never move (Section 5.2).
+    double fetches =
+        static_cast<double>(stats.sumSuffix("icache.accesses"));
+    e.fetch = fetches * (costs.icacheAccess + costs.fetchPipe);
+
+    double issued = static_cast<double>(stats.sumSuffix(".issued"));
+    e.pipeline = issued * costs.basePipe;
+
+    e.functional =
+        static_cast<double>(stats.sumSuffix(".n_int_alu")) *
+            costs.intAlu +
+        static_cast<double>(stats.sumSuffix(".n_mul")) * costs.mul +
+        static_cast<double>(stats.sumSuffix(".n_div")) * costs.divide +
+        static_cast<double>(stats.sumSuffix(".n_fp")) * costs.fpAlu +
+        static_cast<double>(stats.sumSuffix(".n_simd")) *
+            costs.simdPerLane * simd_width;
+
+    double mem_ops =
+        static_cast<double>(stats.sumSuffix(".n_load_global")) +
+        static_cast<double>(stats.sumSuffix(".n_load_spad")) +
+        static_cast<double>(stats.sumSuffix(".n_store_global")) +
+        static_cast<double>(stats.sumSuffix(".n_store_spad")) +
+        static_cast<double>(stats.sumSuffix(".n_store_remote")) +
+        static_cast<double>(stats.sumSuffix(".n_vload"));
+    e.memOps = mem_ops * costs.memOp;
+
+    double spad_accesses =
+        static_cast<double>(stats.sumSuffix("spad.reads")) +
+        static_cast<double>(stats.sumSuffix("spad.writes")) +
+        static_cast<double>(stats.sumSuffix("spad.network_writes"));
+    e.spad = spad_accesses * costs.spadAccess;
+
+    // LLC: tag energy per request, word energy per word moved. A
+    // 4-wide vector load thus costs as much as 4 scalar loads on the
+    // data side, as the paper's model prescribes.
+    double llc_reqs =
+        static_cast<double>(stats.sumSuffix(".wide_accesses")) +
+        static_cast<double>(stats.sumSuffix(".word_reads")) +
+        static_cast<double>(stats.sumSuffix(".word_writes"));
+    double llc_words =
+        static_cast<double>(stats.sumSuffix(".response_words")) +
+        static_cast<double>(stats.sumSuffix(".word_writes"));
+    e.llc = llc_reqs * costs.llcTag + llc_words * costs.llcAccess;
+
+    e.inet = static_cast<double>(stats.get("inet.sends")) *
+             costs.inetHop;
+    e.noc = static_cast<double>(stats.get("noc.word_hops")) *
+            costs.nocWordHop;
+
+    return e;
+}
+
+} // namespace rockcress

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * First-order dynamic energy model (Section 5.2): per-event costs
+ * assigned to simulation statistics — Ariane-style per-instruction
+ * pipeline costs, CACTI-style SRAM access costs for the I-caches,
+ * scratchpads, and LLC, and a small per-hop cost for the NoC and
+ * inet. Cores in vector mode contribute no fetch or I-cache energy
+ * (their counters simply never increment). DRAM energy is excluded:
+ * the paper reports total *on-chip* energy.
+ */
+
+#ifndef ROCKCRESS_ENERGY_ENERGY_HH
+#define ROCKCRESS_ENERGY_ENERGY_HH
+
+#include "sim/stats.hh"
+
+namespace rockcress
+{
+
+/** Per-event energy costs in picojoules. */
+struct EnergyCosts
+{
+    // Frontend (only frontend-enabled cores accrue these).
+    double icacheAccess = 20.0;   ///< 4 kB SRAM read.
+    double fetchPipe = 8.0;       ///< Fetch-stage logic per instruction.
+    // Backend, per issued instruction on any core.
+    double basePipe = 15.0;       ///< Decode/issue/writeback/commit.
+    double intAlu = 6.0;
+    double mul = 24.0;            ///< Multiplier scaled to 2 cycles.
+    double divide = 120.0;        ///< Divider scaled to its latency.
+    double fpAlu = 12.0;
+    double memOp = 10.0;          ///< AGU + LSQ per load/store.
+    // SIMD: FU + writeback scaled by the vector length (Section 5.2).
+    double simdPerLane = 10.0;
+    // Memories.
+    double spadAccess = 12.0;     ///< 4 kB scratchpad word access.
+    double llcAccess = 25.0;      ///< Per word moved at an LLC bank.
+    double llcTag = 15.0;         ///< Per request (tag + control).
+    // Interconnect.
+    double inetHop = 1.5;         ///< 32-bit register read + write.
+    double nocWordHop = 4.0;
+};
+
+/** Energy breakdown for one run, in picojoules. */
+struct EnergyBreakdown
+{
+    double fetch = 0;      ///< I-cache + fetch pipe.
+    double pipeline = 0;   ///< Base per-instruction cost.
+    double functional = 0; ///< ALU/MUL/DIV/FP/SIMD.
+    double memOps = 0;     ///< LSQ-side costs.
+    double spad = 0;
+    double llc = 0;
+    double inet = 0;
+    double noc = 0;
+
+    double
+    total() const
+    {
+        return fetch + pipeline + functional + memOps + spad + llc +
+               inet + noc;
+    }
+};
+
+/**
+ * Compute the dynamic on-chip energy of a finished run from its
+ * statistics.
+ * @param simd_width Lanes per SIMD instruction for the simd scaling.
+ */
+EnergyBreakdown computeEnergy(const StatRegistry &stats,
+                              int simd_width = 4,
+                              const EnergyCosts &costs = {});
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ENERGY_ENERGY_HH

@@ -1,0 +1,371 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mem/addrmap.hh"
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+GpuMachine::GpuMachine(const GpuParams &params)
+    : params_(params)
+{
+    StatScope root(registry_, "gpu.");
+    mem_ = std::make_unique<MainMemory>(params_.heapBytes);
+    dram_ = std::make_unique<Dram>(16, params_.dramBytesPerCycle,
+                                   params_.dramLatency,
+                                   root.nested("dram"));
+    for (int cu = 0; cu < params_.cus; ++cu) {
+        tcp_.push_back(std::make_unique<CacheTags>(
+            params_.tcpBytes, params_.tcpWays, params_.lineBytes,
+            root.nested("tcp" + std::to_string(cu))));
+    }
+    tcc_ = std::make_unique<CacheTags>(params_.tccBytes, params_.tccWays,
+                                       params_.lineBytes,
+                                       root.nested("tcc"));
+    llc_ = std::make_unique<CacheTags>(params_.llcBytes, params_.llcWays,
+                                       params_.lineBytes,
+                                       root.nested("llc"));
+    statInstructions_ = root.counter("instructions");
+    statWavefronts_ = root.counter("wavefronts");
+    statCycles_ = root.counter("cycles");
+}
+
+Cycle
+GpuMachine::loadLatency(int cu, const std::vector<Addr> &addrs)
+{
+    std::set<Addr> lines;
+    for (Addr a : addrs)
+        lines.insert(a - a % params_.lineBytes);
+    Cycle worst = 0;
+    int idx = 0;
+    for (Addr line : lines) {
+        Cycle t = params_.tcpHitLatency;
+        if (!tcp_[static_cast<size_t>(cu)]->access(line, false).hit) {
+            t += params_.tccHitLatency;
+            if (!tcc_->access(line, false).hit) {
+                t += params_.llcHitLatency;
+                if (!llc_->access(line, false).hit) {
+                    int channel = static_cast<int>(
+                        (line / params_.lineBytes) % 16);
+                    Cycle ready = dram_->request(
+                        channel, params_.lineBytes, now_);
+                    t += ready - now_;
+                }
+            }
+        }
+        worst = std::max(worst, t + static_cast<Cycle>(idx));
+        ++idx;
+    }
+    return worst;
+}
+
+void
+GpuMachine::storeAccess(int cu, const std::vector<Addr> &addrs)
+{
+    std::set<Addr> lines;
+    for (Addr a : addrs)
+        lines.insert(a - a % params_.lineBytes);
+    for (Addr line : lines) {
+        if (!tcp_[static_cast<size_t>(cu)]->access(line, true).hit) {
+            if (!tcc_->access(line, true).hit) {
+                if (!llc_->access(line, true).hit) {
+                    int channel = static_cast<int>(
+                        (line / params_.lineBytes) % 16);
+                    dram_->request(channel, params_.lineBytes, now_);
+                }
+            }
+        }
+    }
+}
+
+namespace
+{
+
+/** Functional execution of a non-memory, non-branch op on one lane. */
+void
+execLane(std::array<Word, numArchRegs> &r, const Instruction &i)
+{
+    auto si = [&](RegIdx reg) {
+        return static_cast<std::int32_t>(r[reg]);
+    };
+    auto fp = [&](RegIdx reg) { return wordToFloat(r[reg]); };
+    auto setI = [&](Word v) {
+        if (i.rd != regZero)
+            r[i.rd] = v;
+    };
+    auto setF = [&](float v) { r[i.rd] = floatToWord(v); };
+
+    switch (i.op) {
+      case Opcode::NOP: break;
+      case Opcode::ADD: setI(r[i.rs1] + r[i.rs2]); break;
+      case Opcode::SUB: setI(r[i.rs1] - r[i.rs2]); break;
+      case Opcode::AND: setI(r[i.rs1] & r[i.rs2]); break;
+      case Opcode::OR: setI(r[i.rs1] | r[i.rs2]); break;
+      case Opcode::XOR: setI(r[i.rs1] ^ r[i.rs2]); break;
+      case Opcode::SLL: setI(r[i.rs1] << (r[i.rs2] & 31)); break;
+      case Opcode::SRL: setI(r[i.rs1] >> (r[i.rs2] & 31)); break;
+      case Opcode::SRA:
+        setI(static_cast<Word>(si(i.rs1) >> (r[i.rs2] & 31)));
+        break;
+      case Opcode::SLT: setI(si(i.rs1) < si(i.rs2) ? 1 : 0); break;
+      case Opcode::SLTU: setI(r[i.rs1] < r[i.rs2] ? 1 : 0); break;
+      case Opcode::MUL:
+        setI(static_cast<Word>(si(i.rs1) * si(i.rs2)));
+        break;
+      case Opcode::DIV:
+        setI(r[i.rs2] == 0 ? static_cast<Word>(-1)
+                           : static_cast<Word>(si(i.rs1) / si(i.rs2)));
+        break;
+      case Opcode::REM:
+        setI(r[i.rs2] == 0 ? r[i.rs1]
+                           : static_cast<Word>(si(i.rs1) % si(i.rs2)));
+        break;
+      case Opcode::ADDI: setI(r[i.rs1] + static_cast<Word>(i.imm));
+        break;
+      case Opcode::ANDI: setI(r[i.rs1] & static_cast<Word>(i.imm));
+        break;
+      case Opcode::ORI: setI(r[i.rs1] | static_cast<Word>(i.imm));
+        break;
+      case Opcode::XORI: setI(r[i.rs1] ^ static_cast<Word>(i.imm));
+        break;
+      case Opcode::SLLI: setI(r[i.rs1] << i.imm); break;
+      case Opcode::SRLI: setI(r[i.rs1] >> i.imm); break;
+      case Opcode::SRAI:
+        setI(static_cast<Word>(si(i.rs1) >> i.imm));
+        break;
+      case Opcode::SLTI: setI(si(i.rs1) < i.imm ? 1 : 0); break;
+      case Opcode::LUI: setI(static_cast<Word>(i.imm) << 12); break;
+      case Opcode::FADD: setF(fp(i.rs1) + fp(i.rs2)); break;
+      case Opcode::FSUB: setF(fp(i.rs1) - fp(i.rs2)); break;
+      case Opcode::FMUL: setF(fp(i.rs1) * fp(i.rs2)); break;
+      case Opcode::FDIV: setF(fp(i.rs1) / fp(i.rs2)); break;
+      case Opcode::FSQRT: setF(std::sqrt(fp(i.rs1))); break;
+      case Opcode::FMIN: setF(std::fmin(fp(i.rs1), fp(i.rs2))); break;
+      case Opcode::FMAX: setF(std::fmax(fp(i.rs1), fp(i.rs2))); break;
+      case Opcode::FMADD:
+        setF(fp(i.rs1) * fp(i.rs2) + fp(i.rs3));
+        break;
+      case Opcode::FABS: setF(std::fabs(fp(i.rs1))); break;
+      case Opcode::FEQ: setI(fp(i.rs1) == fp(i.rs2) ? 1 : 0); break;
+      case Opcode::FLT: setI(fp(i.rs1) < fp(i.rs2) ? 1 : 0); break;
+      case Opcode::FLE: setI(fp(i.rs1) <= fp(i.rs2) ? 1 : 0); break;
+      case Opcode::FCVT_WS:
+        setI(static_cast<Word>(static_cast<std::int32_t>(fp(i.rs1))));
+        break;
+      case Opcode::FCVT_SW:
+        setF(static_cast<float>(si(i.rs1)));
+        break;
+      case Opcode::FMV_XW: setI(r[i.rs1]); break;
+      case Opcode::FMV_WX: r[i.rd] = r[i.rs1]; break;
+      default:
+        fatal("gpu: unsupported lane opcode ", opcodeName(i.op));
+    }
+}
+
+bool
+evalBranch(const std::array<Word, numArchRegs> &r, const Instruction &i)
+{
+    auto sa = static_cast<std::int32_t>(r[i.rs1]);
+    auto sb = static_cast<std::int32_t>(r[i.rs2]);
+    switch (i.op) {
+      case Opcode::BEQ: return sa == sb;
+      case Opcode::BNE: return sa != sb;
+      case Opcode::BLT: return sa < sb;
+      case Opcode::BGE: return sa >= sb;
+      case Opcode::BLTU: return r[i.rs1] < r[i.rs2];
+      case Opcode::BGEU: return r[i.rs1] >= r[i.rs2];
+      default: panic("gpu: not a branch");
+    }
+}
+
+} // namespace
+
+Cycle
+GpuMachine::step(Wavefront &wf, int cu)
+{
+    const Instruction &inst = wf.program->at(wf.pc);
+    *statInstructions_ += 1;
+    int lanes = static_cast<int>(wf.lanes.size());
+
+    if (inst.op == Opcode::HALT) {
+        wf.done = true;
+        return params_.valuLatency;
+    }
+
+    if (isCondBranch(inst.op)) {
+        bool taken = evalBranch(wf.lanes[0], inst);
+        for (int l = 1; l < lanes; ++l) {
+            if (evalBranch(wf.lanes[static_cast<size_t>(l)], inst) !=
+                taken) {
+                fatal("gpu: divergent branch at pc ", wf.pc,
+                      " (wavefronts must stay uniform; use "
+                      "predication)");
+            }
+        }
+        wf.pc = taken ? inst.imm : wf.pc + 1;
+        return params_.valuLatency;
+    }
+    if (inst.op == Opcode::JAL) {
+        for (auto &r : wf.lanes) {
+            if (inst.rd != regZero)
+                r[inst.rd] = static_cast<Word>(wf.pc + 1);
+        }
+        wf.pc = inst.imm;
+        return params_.valuLatency;
+    }
+
+    if (inst.op == Opcode::PRED_EQ || inst.op == Opcode::PRED_NEQ) {
+        for (int l = 0; l < lanes; ++l) {
+            auto &r = wf.lanes[static_cast<size_t>(l)];
+            bool eq = r[inst.rs1] == r[inst.rs2];
+            wf.pred[static_cast<size_t>(l)] =
+                inst.op == Opcode::PRED_EQ ? eq : !eq;
+        }
+        wf.pc += 1;
+        return params_.valuLatency;
+    }
+
+    if (inst.op == Opcode::LW || inst.op == Opcode::FLW) {
+        std::vector<Addr> addrs;
+        for (int l = 0; l < lanes; ++l) {
+            if (!wf.pred[static_cast<size_t>(l)])
+                continue;
+            auto &r = wf.lanes[static_cast<size_t>(l)];
+            Addr a = r[inst.rs1] + static_cast<Addr>(inst.imm);
+            addrs.push_back(a);
+            if (inst.rd != regZero)
+                r[inst.rd] = mem_->readWord(a);
+        }
+        Cycle t = addrs.empty() ? 0 : loadLatency(cu, addrs);
+        wf.pc += 1;
+        return params_.valuLatency + t;
+    }
+    if (inst.op == Opcode::SW || inst.op == Opcode::FSW) {
+        std::vector<Addr> addrs;
+        for (int l = 0; l < lanes; ++l) {
+            if (!wf.pred[static_cast<size_t>(l)])
+                continue;
+            auto &r = wf.lanes[static_cast<size_t>(l)];
+            Addr a = r[inst.rs1] + static_cast<Addr>(inst.imm);
+            addrs.push_back(a);
+            mem_->writeWord(a, r[inst.rs2]);
+        }
+        if (!addrs.empty())
+            storeAccess(cu, addrs);
+        wf.pc += 1;
+        return params_.valuLatency;
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+        if (wf.pred[static_cast<size_t>(l)])
+            execLane(wf.lanes[static_cast<size_t>(l)], inst);
+    }
+    wf.pc += 1;
+    return params_.valuLatency;
+}
+
+void
+GpuMachine::runDispatch(const GpuKernelSpec &spec, Cycle max_cycles)
+{
+    if (spec.threads <= 0)
+        return;
+    Assembler as("gpu_dispatch");
+    spec.emit(as);
+    as.halt();
+    auto program = std::make_shared<const Program>(as.finish());
+
+    // Kernel-launch overhead: real APU dispatches cost on the order
+    // of a microsecond before the first wavefront issues.
+    now_ += params_.dispatchOverhead;
+    int wf_size = params_.wavefrontSize;
+    int num_wf = ceilDiv(spec.threads, wf_size);
+    std::deque<Wavefront> pending;
+    for (int w = 0; w < num_wf; ++w) {
+        Wavefront wf;
+        wf.program = program;
+        wf.lanes.resize(static_cast<size_t>(wf_size));
+        wf.pred.assign(static_cast<size_t>(wf_size), true);
+        for (int l = 0; l < wf_size; ++l) {
+            wf.lanes[static_cast<size_t>(l)].fill(0);
+            int tid = w * wf_size + l;
+            // Clamp spilled lanes to the last valid thread: they
+            // redundantly recompute one element (threads is normally
+            // a multiple of the wavefront size).
+            if (tid >= spec.threads)
+                tid = spec.threads - 1;
+            wf.lanes[static_cast<size_t>(l)][gpuTidReg] =
+                static_cast<Word>(tid);
+        }
+        pending.push_back(std::move(wf));
+        *statWavefronts_ += 1;
+    }
+
+    // Resident wavefront slots per CU.
+    std::vector<std::vector<Wavefront>> resident(
+        static_cast<size_t>(params_.cus));
+    std::vector<size_t> rr(static_cast<size_t>(params_.cus), 0);
+
+    auto all_done = [&] {
+        if (!pending.empty())
+            return false;
+        for (const auto &slots : resident) {
+            if (!slots.empty())
+                return false;
+        }
+        return true;
+    };
+
+    Cycle start = now_;
+    while (!all_done()) {
+        if (now_ - start > max_cycles)
+            fatal("gpu: dispatch watchdog tripped");
+        for (int cu = 0; cu < params_.cus; ++cu) {
+            auto &slots = resident[static_cast<size_t>(cu)];
+            // Retire finished wavefronts and refill.
+            for (size_t i = 0; i < slots.size();) {
+                if (slots[i].done && slots[i].readyAt <= now_) {
+                    slots.erase(slots.begin() + static_cast<long>(i));
+                } else {
+                    ++i;
+                }
+            }
+            while (static_cast<int>(slots.size()) <
+                       params_.wavefrontsPerCu &&
+                   !pending.empty()) {
+                slots.push_back(std::move(pending.front()));
+                pending.pop_front();
+            }
+            // Issue one instruction from one ready wavefront.
+            if (slots.empty())
+                continue;
+            size_t n = slots.size();
+            for (size_t k = 0; k < n; ++k) {
+                size_t idx = (rr[static_cast<size_t>(cu)] + k) % n;
+                Wavefront &wf = slots[idx];
+                if (!wf.done && wf.readyAt <= now_) {
+                    Cycle cost = step(wf, cu);
+                    wf.readyAt = now_ + cost;
+                    rr[static_cast<size_t>(cu)] = (idx + 1) % n;
+                    break;
+                }
+            }
+        }
+        ++now_;
+        *statCycles_ += 1;
+    }
+}
+
+Cycle
+GpuMachine::run(const GpuProgram &program, Cycle max_cycles)
+{
+    Cycle start = now_;
+    for (const GpuKernelSpec &spec : program.dispatches)
+        runDispatch(spec, max_cycles);
+    return now_ - start;
+}
+
+} // namespace rockcress

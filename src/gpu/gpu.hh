@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The APU-style GPU comparison model (Section 5.3, Table 1b): four
+ * compute units, each with four 16-lane vALUs executing a 64-thread
+ * wavefront every four cycles, four resident wavefronts per CU, and
+ * a TCP (16 kB per CU) / TCC (256 kB shared) / GPU-LLC (4 MB) cache
+ * hierarchy over the same fixed-latency, fixed-bandwidth DRAM as the
+ * manycore.
+ *
+ * Wavefronts execute lane programs in our ISA in lockstep; control
+ * flow must be wavefront-uniform (divergence is expressed with the
+ * predication instructions, which mask per-lane side effects).
+ */
+
+#ifndef ROCKCRESS_GPU_GPU_HH
+#define ROCKCRESS_GPU_GPU_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernels/common.hh"
+#include "mem/cachetags.hh"
+#include "mem/dram.hh"
+#include "mem/mainmem.hh"
+#include "sim/stats.hh"
+
+namespace rockcress
+{
+
+/** GPU configuration (Table 1b). */
+struct GpuParams
+{
+    int cus = 4;
+    int wavefrontsPerCu = 4;
+    int wavefrontSize = 64;
+    Cycle valuLatency = 4;      ///< Wavefront issue occupancy.
+    Addr lineBytes = 64;
+    Addr tcpBytes = 16 * 1024;  ///< Per-CU L1.
+    int tcpWays = 16;
+    Cycle tcpHitLatency = 1;
+    Addr tccBytes = 256 * 1024; ///< Shared L2.
+    int tccWays = 16;
+    Cycle tccHitLatency = 2;
+    Addr llcBytes = 4 * 1024 * 1024;
+    int llcWays = 16;
+    Cycle llcHitLatency = 2;
+    Cycle dispatchOverhead = 600;  ///< Kernel-launch cost per dispatch.
+    Cycle dramLatency = 60;
+    double dramBytesPerCycle = 16.0;
+    Addr heapBytes = 64u * 1024 * 1024;
+};
+
+/** A self-contained GPU machine that runs GpuProgram dispatches. */
+class GpuMachine
+{
+  public:
+    explicit GpuMachine(const GpuParams &params = {});
+
+    MainMemory &mem() { return *mem_; }
+    const MainMemory &mem() const { return *mem_; }
+    StatRegistry &stats() { return registry_; }
+
+    /** Run all dispatches back to back. @return total cycles. */
+    Cycle run(const GpuProgram &program, Cycle max_cycles = 500'000'000);
+
+    Cycle cycles() const { return now_; }
+
+  private:
+    struct Wavefront
+    {
+        std::shared_ptr<const Program> program;
+        int pc = 0;
+        Cycle readyAt = 0;
+        bool done = false;
+        std::vector<std::array<Word, numArchRegs>> lanes;
+        std::vector<bool> pred;
+    };
+
+    /** Run one dispatch to completion. */
+    void runDispatch(const GpuKernelSpec &spec, Cycle max_cycles);
+
+    /** Execute one instruction across a wavefront; returns its cost. */
+    Cycle step(Wavefront &wf, int cu);
+
+    /** Memory access timing through TCP/TCC/LLC/DRAM. */
+    Cycle loadLatency(int cu, const std::vector<Addr> &addrs);
+    void storeAccess(int cu, const std::vector<Addr> &addrs);
+
+    GpuParams params_;
+    StatRegistry registry_;
+    std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<Dram> dram_;
+    std::vector<std::unique_ptr<CacheTags>> tcp_;  ///< Per CU.
+    std::unique_ptr<CacheTags> tcc_;
+    std::unique_ptr<CacheTags> llc_;
+    Cycle now_ = 0;
+
+    std::uint64_t *statInstructions_;
+    std::uint64_t *statWavefronts_;
+    std::uint64_t *statCycles_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_GPU_GPU_HH

@@ -1,0 +1,80 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace rockcress
+{
+
+Report::Report(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+}
+
+void
+Report::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Report::print(std::ostream &os) const
+{
+    std::vector<size_t> width(columns_.size(), 0);
+    for (size_t i = 0; i < columns_.size(); ++i)
+        width[i] = columns_[i].size();
+    for (const auto &r : rows_) {
+        for (size_t i = 0; i < r.size() && i < width.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    }
+    os << "\n== " << title_ << " ==\n";
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < columns_.size(); ++i) {
+            std::string c = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << c;
+        }
+        os << "\n";
+    };
+    line(columns_);
+    std::vector<std::string> dashes;
+    for (size_t w : width)
+        dashes.push_back(std::string(w, '-'));
+    line(dashes);
+    for (const auto &r : rows_)
+        line(r);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace rockcress

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text-table reporting for the bench binaries: aligned columns,
+ * numeric formatting, geometric and arithmetic means — the same rows
+ * and series the paper's figures plot.
+ */
+
+#ifndef ROCKCRESS_HARNESS_REPORT_HH
+#define ROCKCRESS_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rockcress
+{
+
+/** A printable aligned table. */
+class Report
+{
+  public:
+    Report(std::string title, std::vector<std::string> columns);
+
+    void row(std::vector<std::string> cells);
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-precision numeric cell. */
+std::string fmt(double v, int precision = 2);
+
+/** Geometric mean (values must be positive). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &values);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_HARNESS_REPORT_HH

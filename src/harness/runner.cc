@@ -1,0 +1,128 @@
+#include "harness/runner.hh"
+
+#include "gpu/gpu.hh"
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+RunResult
+runManycore(const std::string &bench, const std::string &config,
+            const RunOverrides &overrides)
+{
+    RunResult r;
+    r.bench = bench;
+    r.config = config;
+
+    BenchConfig cfg = configByName(config);
+    MachineParams params =
+        machineFor(cfg, overrides.cols, overrides.rows);
+    params.dramBytesPerCycle = overrides.dramBytesPerCycle;
+    params.llcTotalBytes =
+        overrides.llcBankBytes * static_cast<Addr>(params.numBanks());
+    params.nocWidthWords = overrides.nocWidthWords;
+
+    Machine machine(params);
+    auto benchmark = makeBenchmark(bench);
+    try {
+        benchmark->prepare(machine, cfg);
+        r.cycles = machine.run(overrides.maxCycles);
+        r.error = benchmark->check(machine.mem());
+        r.ok = r.error.empty();
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+        return r;
+    }
+
+    const StatRegistry &stats = machine.stats();
+    r.icacheAccesses = stats.sumSuffix("icache.accesses");
+    r.issued = stats.sumSuffix(".issued");
+    r.coreCycles = stats.sumSuffix(".cycles");
+    r.stallFrame = stats.sumSuffix(".stall_frame");
+    r.stallInet = stats.sumSuffix(".stall_inet_input");
+    r.stallBackpressure = stats.sumSuffix(".stall_backpressure");
+    r.stallOther = stats.sumSuffix(".stall_other") +
+                   stats.sumSuffix(".stall_dae");
+
+    std::uint64_t llc_accesses = 0, llc_misses = 0;
+    for (int b = 0; b < params.numBanks(); ++b) {
+        std::string p = "llc" + std::to_string(b) + ".";
+        llc_accesses += stats.get(p + "accesses");
+        llc_misses += stats.get(p + "misses");
+    }
+    r.llcMissRate = llc_accesses == 0
+                        ? 0.0
+                        : static_cast<double>(llc_misses) /
+                              static_cast<double>(llc_accesses);
+
+    r.energy = computeEnergy(stats, params.core.simdWidth);
+    r.energyPj = r.energy.total();
+
+    // Per-hop inet statistics and expander-only CPI stacks.
+    if (cfg.isVector()) {
+        for (CoreId c = 0; c < machine.numCores(); ++c) {
+            int hop = machine.groupHop(c);
+            if (hop < 0)
+                continue;
+            std::string p = "core" + std::to_string(c) + ".";
+            if (hop >= 1) {
+                r.hopInetStalls[hop] +=
+                    stats.get(p + "stall_inet_input");
+                r.hopBackpressure[hop] +=
+                    stats.get(p + "stall_backpressure");
+                r.hopCycles[hop] += stats.get(p + "vector_cycles");
+                r.vectorCycles += stats.get(p + "vector_cycles");
+                r.frameStallVector += stats.get(p + "stall_frame");
+            }
+            if (hop == 1) {
+                r.expCycles += stats.get(p + "cycles");
+                r.expIssued += stats.get(p + "issued");
+                r.expStallFrame += stats.get(p + "stall_frame");
+                r.expStallInet += stats.get(p + "stall_inet_input");
+                r.expStallOther += stats.get(p + "stall_other") +
+                                   stats.get(p + "stall_backpressure");
+            }
+        }
+    }
+    return r;
+}
+
+RunResult
+runGpu(const std::string &bench)
+{
+    RunResult r;
+    r.bench = bench;
+    r.config = "GPU";
+    GpuMachine gpu;
+    auto benchmark = makeBenchmark(bench);
+    try {
+        Heap heap(GpuParams{}.heapBytes);
+        benchmark->setup(gpu.mem(), heap);
+        GpuProgram program = benchmark->gpuProgram();
+        if (program.dispatches.empty()) {
+            r.error = "no GPU realization";
+            return r;
+        }
+        r.cycles = gpu.run(program);
+        r.error = benchmark->check(gpu.mem());
+        r.ok = r.error.empty();
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+        return r;
+    }
+    return r;
+}
+
+const RunResult &
+betterOf(const RunResult &a, const RunResult &b)
+{
+    if (!a.ok)
+        return b;
+    if (!b.ok)
+        return a;
+    return a.cycles <= b.cycles ? a : b;
+}
+
+} // namespace rockcress

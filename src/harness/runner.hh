@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment harness: runs one benchmark under one configuration
+ * (Table 3) on a freshly built machine, verifies the result against
+ * the host reference, and extracts the statistics every figure
+ * needs (cycles, I-cache accesses, CPI-stack components, LLC miss
+ * rate, per-hop inet stalls, energy).
+ */
+
+#ifndef ROCKCRESS_HARNESS_RUNNER_HH
+#define ROCKCRESS_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+
+#include "energy/energy.hh"
+#include "kernels/common.hh"
+
+namespace rockcress
+{
+
+/** Machine-level knobs the evaluation sweeps. */
+struct RunOverrides
+{
+    int cols = 8;
+    int rows = 8;
+    double dramBytesPerCycle = 16.0;   ///< Fig. 13: 32.0 for 2xBW.
+    Addr llcBankBytes = 16 * 1024;     ///< Fig. 17b: 32 kB.
+    int nocWidthWords = 4;             ///< Fig. 17c: 1.
+    Cycle maxCycles = 400'000'000;
+};
+
+/** Everything the figures need from one run. */
+struct RunResult
+{
+    std::string bench;
+    std::string config;
+    bool ok = false;
+    std::string error;
+
+    Cycle cycles = 0;
+    double energyPj = 0;
+    EnergyBreakdown energy;
+
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t issued = 0;
+
+    // CPI-stack components summed over all cores. For vector
+    // configurations the paper averages expander cores only
+    // (Figure 13 caption); those sums are provided separately.
+    std::uint64_t coreCycles = 0;
+    std::uint64_t stallFrame = 0;
+    std::uint64_t stallInet = 0;
+    std::uint64_t stallBackpressure = 0;
+    std::uint64_t stallOther = 0;
+
+    std::uint64_t expCycles = 0;
+    std::uint64_t expIssued = 0;
+    std::uint64_t expStallFrame = 0;
+    std::uint64_t expStallInet = 0;
+    std::uint64_t expStallOther = 0;
+
+    double llcMissRate = 0;
+
+    // Per-hop inet characterization (Figure 15); hop 1 = expander.
+    std::map<int, std::uint64_t> hopInetStalls;
+    std::map<int, std::uint64_t> hopBackpressure;
+    std::map<int, std::uint64_t> hopCycles;
+    std::uint64_t vectorCycles = 0;
+    std::uint64_t frameStallVector = 0;   ///< Frame stalls, vector cores.
+};
+
+/** Run a benchmark under a Table 3 configuration on the manycore. */
+RunResult runManycore(const std::string &bench, const std::string &config,
+                      const RunOverrides &overrides = {});
+
+/** Run a benchmark on the GPU model. */
+RunResult runGpu(const std::string &bench);
+
+/** Pick the faster of two results (the BEST_V selection rule). */
+const RunResult &betterOf(const RunResult &a, const RunResult &b);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_HARNESS_RUNNER_HH

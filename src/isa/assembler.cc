@@ -1,0 +1,433 @@
+#include "isa/assembler.hh"
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr std::int32_t immMin = -2048;
+constexpr std::int32_t immMax = 2047;
+
+Instruction
+rrr(Opcode op, RegIdx rd, RegIdx rs1, RegIdx rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+rri(Opcode op, RegIdx rd, RegIdx rs1, std::int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+Label
+Assembler::newLabel()
+{
+    labelPcs_.push_back(-1);
+    return Label{static_cast<int>(labelPcs_.size()) - 1};
+}
+
+void
+Assembler::bind(Label l)
+{
+    if (l.id < 0 || l.id >= static_cast<int>(labelPcs_.size()))
+        fatal("assembler '", name_, "': bind of invalid label");
+    if (labelPcs_[static_cast<size_t>(l.id)] != -1)
+        fatal("assembler '", name_, "': label bound twice");
+    labelPcs_[static_cast<size_t>(l.id)] = pc();
+}
+
+Label
+Assembler::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+Assembler::symbol(const std::string &name)
+{
+    symbols_[name] = pc();
+}
+
+void
+Assembler::emit(const Instruction &inst)
+{
+    if (finished_)
+        fatal("assembler '", name_, "': emit after finish");
+    code_.push_back(inst);
+}
+
+void
+Assembler::useLabel(Label l, int at)
+{
+    if (l.id < 0 || l.id >= static_cast<int>(labelPcs_.size()))
+        fatal("assembler '", name_, "': reference to invalid label");
+    fixups_.emplace_back(at, l.id);
+}
+
+// --- Integer ALU ---------------------------------------------------------
+
+void Assembler::add(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::ADD, rd, a, b)); }
+void Assembler::sub(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SUB, rd, a, b)); }
+void Assembler::and_(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::AND, rd, a, b)); }
+void Assembler::or_(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::OR, rd, a, b)); }
+void Assembler::xor_(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::XOR, rd, a, b)); }
+void Assembler::sll(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SLL, rd, a, b)); }
+void Assembler::srl(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SRL, rd, a, b)); }
+void Assembler::slt(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SLT, rd, a, b)); }
+void Assembler::sltu(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SLTU, rd, a, b)); }
+void Assembler::mul(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::MUL, rd, a, b)); }
+void Assembler::div(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::DIV, rd, a, b)); }
+void Assembler::rem(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::REM, rd, a, b)); }
+
+void
+Assembler::addi(RegIdx rd, RegIdx rs1, std::int32_t imm)
+{
+    if (imm < immMin || imm > immMax)
+        fatal("assembler '", name_, "': addi immediate ", imm,
+              " out of 12-bit range; use li into a temporary");
+    emit(rri(Opcode::ADDI, rd, rs1, imm));
+}
+
+void Assembler::andi(RegIdx rd, RegIdx rs1, std::int32_t imm)
+{ emit(rri(Opcode::ANDI, rd, rs1, imm)); }
+void Assembler::slli(RegIdx rd, RegIdx rs1, std::int32_t sh)
+{ emit(rri(Opcode::SLLI, rd, rs1, sh)); }
+void Assembler::srli(RegIdx rd, RegIdx rs1, std::int32_t sh)
+{ emit(rri(Opcode::SRLI, rd, rs1, sh)); }
+void Assembler::srai(RegIdx rd, RegIdx rs1, std::int32_t sh)
+{ emit(rri(Opcode::SRAI, rd, rs1, sh)); }
+void Assembler::slti(RegIdx rd, RegIdx rs1, std::int32_t imm)
+{ emit(rri(Opcode::SLTI, rd, rs1, imm)); }
+void Assembler::lui(RegIdx rd, std::int32_t upper20)
+{ emit(rri(Opcode::LUI, rd, regZero, upper20)); }
+
+void
+Assembler::li(RegIdx rd, std::int32_t value)
+{
+    if (value >= immMin && value <= immMax) {
+        addi(rd, regZero, value);
+        return;
+    }
+    // LUI + ADDI with sign-correction, as a real assembler expands it.
+    std::int32_t upper = (value + 0x800) >> 12;
+    std::int32_t lower = value - (upper << 12);
+    lui(rd, upper);
+    emit(rri(Opcode::ADDI, rd, rd, lower));
+}
+
+void
+Assembler::la(RegIdx rd, Addr addr)
+{
+    li(rd, static_cast<std::int32_t>(addr));
+}
+
+void Assembler::mv(RegIdx rd, RegIdx rs) { addi(rd, rs, 0); }
+void Assembler::nop() { emit(Instruction{}); }
+
+// --- Control flow --------------------------------------------------------
+
+void
+Assembler::branchTo(Opcode op, RegIdx rs1, RegIdx rs2, Label target)
+{
+    Instruction i = rrr(op, regZero, rs1, rs2);
+    useLabel(target, pc());
+    emit(i);
+}
+
+void Assembler::beq(RegIdx a, RegIdx b, Label t)
+{ branchTo(Opcode::BEQ, a, b, t); }
+void Assembler::bne(RegIdx a, RegIdx b, Label t)
+{ branchTo(Opcode::BNE, a, b, t); }
+void Assembler::blt(RegIdx a, RegIdx b, Label t)
+{ branchTo(Opcode::BLT, a, b, t); }
+void Assembler::bge(RegIdx a, RegIdx b, Label t)
+{ branchTo(Opcode::BGE, a, b, t); }
+void Assembler::bltu(RegIdx a, RegIdx b, Label t)
+{ branchTo(Opcode::BLTU, a, b, t); }
+void Assembler::bgeu(RegIdx a, RegIdx b, Label t)
+{ branchTo(Opcode::BGEU, a, b, t); }
+
+void
+Assembler::j(Label target)
+{
+    jal(regZero, target);
+}
+
+void
+Assembler::jal(RegIdx rd, Label target)
+{
+    Instruction i;
+    i.op = Opcode::JAL;
+    i.rd = rd;
+    useLabel(target, pc());
+    emit(i);
+}
+
+void
+Assembler::jalr(RegIdx rd, RegIdx rs1, std::int32_t imm)
+{
+    emit(rri(Opcode::JALR, rd, rs1, imm));
+}
+
+// --- Memory ---------------------------------------------------------------
+
+void
+Assembler::lw(RegIdx rd, RegIdx base, std::int32_t offset)
+{
+    if (offset < immMin || offset > immMax)
+        fatal("assembler '", name_, "': lw offset out of range");
+    emit(rri(Opcode::LW, rd, base, offset));
+}
+
+void
+Assembler::sw(RegIdx src, RegIdx base, std::int32_t offset)
+{
+    Instruction i;
+    i.op = Opcode::SW;
+    i.rs1 = base;
+    i.rs2 = src;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+Assembler::flw(RegIdx frd, RegIdx base, std::int32_t offset)
+{
+    emit(rri(Opcode::FLW, frd, base, offset));
+}
+
+void
+Assembler::fsw(RegIdx fsrc, RegIdx base, std::int32_t offset)
+{
+    Instruction i;
+    i.op = Opcode::FSW;
+    i.rs1 = base;
+    i.rs2 = fsrc;
+    i.imm = offset;
+    emit(i);
+}
+
+// --- Floating point -------------------------------------------------------
+
+void Assembler::fadd(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FADD, rd, a, b)); }
+void Assembler::fsub(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FSUB, rd, a, b)); }
+void Assembler::fmul(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FMUL, rd, a, b)); }
+void Assembler::fdiv(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FDIV, rd, a, b)); }
+void Assembler::fsqrt(RegIdx rd, RegIdx a)
+{ emit(rrr(Opcode::FSQRT, rd, a, regZero)); }
+void Assembler::fmin(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FMIN, rd, a, b)); }
+void Assembler::fmax(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FMAX, rd, a, b)); }
+void Assembler::fabs_(RegIdx rd, RegIdx a)
+{ emit(rrr(Opcode::FABS, rd, a, regZero)); }
+void Assembler::feq(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FEQ, rd, a, b)); }
+void Assembler::flt(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FLT, rd, a, b)); }
+void Assembler::fle(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::FLE, rd, a, b)); }
+void Assembler::fcvtWS(RegIdx rd, RegIdx a)
+{ emit(rrr(Opcode::FCVT_WS, rd, a, regZero)); }
+void Assembler::fcvtSW(RegIdx rd, RegIdx a)
+{ emit(rrr(Opcode::FCVT_SW, rd, a, regZero)); }
+void Assembler::fmvXW(RegIdx rd, RegIdx a)
+{ emit(rrr(Opcode::FMV_XW, rd, a, regZero)); }
+void Assembler::fmvWX(RegIdx rd, RegIdx a)
+{ emit(rrr(Opcode::FMV_WX, rd, a, regZero)); }
+
+void
+Assembler::fmadd(RegIdx rd, RegIdx a, RegIdx b, RegIdx c)
+{
+    Instruction i = rrr(Opcode::FMADD, rd, a, b);
+    i.rs3 = c;
+    emit(i);
+}
+
+// --- System ---------------------------------------------------------------
+
+void Assembler::halt() { emit(rrr(Opcode::HALT, 0, 0, 0)); }
+void Assembler::barrier() { emit(rrr(Opcode::BARRIER, 0, 0, 0)); }
+
+void
+Assembler::csrw(Csr csr, RegIdx rs1)
+{
+    Instruction i;
+    i.op = Opcode::CSRW;
+    i.rs1 = rs1;
+    i.sub = static_cast<std::uint8_t>(csr);
+    emit(i);
+}
+
+void
+Assembler::csrr(RegIdx rd, Csr csr)
+{
+    Instruction i;
+    i.op = Opcode::CSRR;
+    i.rd = rd;
+    i.sub = static_cast<std::uint8_t>(csr);
+    emit(i);
+}
+
+// --- Software-defined vector extension ------------------------------------
+
+void
+Assembler::vissue(Label microthread)
+{
+    Instruction i;
+    i.op = Opcode::VISSUE;
+    useLabel(microthread, pc());
+    emit(i);
+}
+
+void Assembler::vend() { emit(rrr(Opcode::VEND, 0, 0, 0)); }
+
+void
+Assembler::devec(Label resume)
+{
+    Instruction i;
+    i.op = Opcode::DEVEC;
+    useLabel(resume, pc());
+    emit(i);
+}
+
+void
+Assembler::vload(RegIdx addr_reg, RegIdx sp_off_reg, int core_off,
+                 int width_words, VloadVariant variant)
+{
+    if (width_words <= 0 || width_words > 4096)
+        fatal("assembler '", name_, "': vload width ", width_words);
+    Instruction i;
+    i.op = Opcode::VLOAD;
+    i.rs1 = addr_reg;
+    i.rs2 = sp_off_reg;
+    i.imm = core_off;
+    i.imm2 = width_words;
+    i.sub = static_cast<std::uint8_t>(variant);
+    emit(i);
+}
+
+void
+Assembler::frameStart(RegIdx rd)
+{
+    Instruction i;
+    i.op = Opcode::FRAME_START;
+    i.rd = rd;
+    emit(i);
+}
+
+void Assembler::remem() { emit(rrr(Opcode::REMEM, 0, 0, 0)); }
+
+void
+Assembler::predEq(RegIdx rs1, RegIdx rs2)
+{
+    Instruction i;
+    i.op = Opcode::PRED_EQ;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i);
+}
+
+void
+Assembler::predNeq(RegIdx rs1, RegIdx rs2)
+{
+    Instruction i;
+    i.op = Opcode::PRED_NEQ;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i);
+}
+
+// --- SIMD -------------------------------------------------------------------
+
+void Assembler::simdLw(RegIdx vrd, RegIdx base, std::int32_t offset)
+{ emit(rri(Opcode::SIMD_LW, vrd, base, offset)); }
+
+void
+Assembler::simdSw(RegIdx vsrc, RegIdx base, std::int32_t offset)
+{
+    Instruction i;
+    i.op = Opcode::SIMD_SW;
+    i.rs1 = base;
+    i.rs2 = vsrc;
+    i.imm = offset;
+    emit(i);
+}
+
+void Assembler::simdAdd(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SIMD_ADD, rd, a, b)); }
+void Assembler::simdFadd(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SIMD_FADD, rd, a, b)); }
+void Assembler::simdFsub(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SIMD_FSUB, rd, a, b)); }
+void Assembler::simdFmul(RegIdx rd, RegIdx a, RegIdx b)
+{ emit(rrr(Opcode::SIMD_FMUL, rd, a, b)); }
+
+void
+Assembler::simdFma(RegIdx rd, RegIdx a, RegIdx b, RegIdx c)
+{
+    Instruction i = rrr(Opcode::SIMD_FMA, rd, a, b);
+    i.rs3 = c;
+    emit(i);
+}
+
+void Assembler::simdBcast(RegIdx vrd, RegIdx frs1)
+{ emit(rrr(Opcode::SIMD_BCAST, vrd, frs1, regZero)); }
+void Assembler::simdRedsum(RegIdx frd, RegIdx vrs1)
+{ emit(rrr(Opcode::SIMD_REDSUM, frd, vrs1, regZero)); }
+
+// --- Finish -----------------------------------------------------------------
+
+Program
+Assembler::finish()
+{
+    for (const auto &[at, label_id] : fixups_) {
+        int target = labelPcs_[static_cast<size_t>(label_id)];
+        if (target < 0)
+            fatal("assembler '", name_, "': unbound label referenced at ",
+                  at);
+        code_[static_cast<size_t>(at)].imm = target;
+    }
+    finished_ = true;
+    Program p;
+    p.name = name_;
+    p.code = std::move(code_);
+    p.symbols = std::move(symbols_);
+    return p;
+}
+
+} // namespace rockcress

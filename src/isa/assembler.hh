@@ -1,0 +1,190 @@
+/**
+ * @file
+ * An in-process assembler DSL. Together with src/compiler it plays
+ * the role of the paper's toolchain (GCC to RISC-V assembly plus the
+ * custom assembly-manipulation pass of Section 4.1): benchmark code
+ * is written against this builder, which performs label resolution
+ * and honest pseudo-instruction expansion so dynamic instruction
+ * counts match what a real compiler would emit.
+ */
+
+#ifndef ROCKCRESS_ISA_ASSEMBLER_HH
+#define ROCKCRESS_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rockcress
+{
+
+/** An opaque forward-referenceable code label. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Streaming assembler: emit instructions, bind labels, finish().
+ *
+ * Immediate fields follow RISC-V limits: 12-bit signed for ADDI-class
+ * and memory offsets. li()/la() expand to LUI+ADDI pairs when needed
+ * so instruction counts stay honest.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name) : name_(std::move(name)) {}
+
+    /** @name Labels and symbols. */
+    ///@{
+    Label newLabel();
+    void bind(Label l);
+    /** Create and immediately bind. */
+    Label here();
+    /** Export the current position as a named program symbol. */
+    void symbol(const std::string &name);
+    /** Current instruction index. */
+    int pc() const { return static_cast<int>(code_.size()); }
+    ///@}
+
+    /** Emit a raw instruction. */
+    void emit(const Instruction &inst);
+
+    /** @name Integer ALU. */
+    ///@{
+    void add(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void sub(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void and_(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void or_(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void xor_(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void sll(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void srl(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void slt(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void sltu(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void mul(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void div(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void rem(RegIdx rd, RegIdx rs1, RegIdx rs2);
+    void addi(RegIdx rd, RegIdx rs1, std::int32_t imm);
+    void andi(RegIdx rd, RegIdx rs1, std::int32_t imm);
+    void slli(RegIdx rd, RegIdx rs1, std::int32_t sh);
+    void srli(RegIdx rd, RegIdx rs1, std::int32_t sh);
+    void srai(RegIdx rd, RegIdx rs1, std::int32_t sh);
+    void slti(RegIdx rd, RegIdx rs1, std::int32_t imm);
+    void lui(RegIdx rd, std::int32_t upper20);
+    ///@}
+
+    /** @name Pseudo-instructions (expand honestly). */
+    ///@{
+    void li(RegIdx rd, std::int32_t value);       ///< 1 or 2 instrs.
+    void la(RegIdx rd, Addr addr);                ///< Address form of li.
+    void mv(RegIdx rd, RegIdx rs);                ///< addi rd, rs, 0.
+    void nop();
+    ///@}
+
+    /** @name Control flow. */
+    ///@{
+    void beq(RegIdx rs1, RegIdx rs2, Label target);
+    void bne(RegIdx rs1, RegIdx rs2, Label target);
+    void blt(RegIdx rs1, RegIdx rs2, Label target);
+    void bge(RegIdx rs1, RegIdx rs2, Label target);
+    void bltu(RegIdx rs1, RegIdx rs2, Label target);
+    void bgeu(RegIdx rs1, RegIdx rs2, Label target);
+    void j(Label target);                          ///< jal x0, target.
+    void jal(RegIdx rd, Label target);
+    void jalr(RegIdx rd, RegIdx rs1, std::int32_t imm);
+    ///@}
+
+    /** @name Memory. */
+    ///@{
+    void lw(RegIdx rd, RegIdx base, std::int32_t offset);
+    void sw(RegIdx src, RegIdx base, std::int32_t offset);
+    void flw(RegIdx frd, RegIdx base, std::int32_t offset);
+    void fsw(RegIdx fsrc, RegIdx base, std::int32_t offset);
+    ///@}
+
+    /** @name Floating point. */
+    ///@{
+    void fadd(RegIdx frd, RegIdx frs1, RegIdx frs2);
+    void fsub(RegIdx frd, RegIdx frs1, RegIdx frs2);
+    void fmul(RegIdx frd, RegIdx frs1, RegIdx frs2);
+    void fdiv(RegIdx frd, RegIdx frs1, RegIdx frs2);
+    void fsqrt(RegIdx frd, RegIdx frs1);
+    void fmadd(RegIdx frd, RegIdx frs1, RegIdx frs2, RegIdx frs3);
+    void fmin(RegIdx frd, RegIdx frs1, RegIdx frs2);
+    void fmax(RegIdx frd, RegIdx frs1, RegIdx frs2);
+    void fabs_(RegIdx frd, RegIdx frs1);
+    void feq(RegIdx rd, RegIdx frs1, RegIdx frs2);
+    void flt(RegIdx rd, RegIdx frs1, RegIdx frs2);
+    void fle(RegIdx rd, RegIdx frs1, RegIdx frs2);
+    void fcvtWS(RegIdx rd, RegIdx frs1);   ///< float -> int.
+    void fcvtSW(RegIdx frd, RegIdx rs1);   ///< int -> float.
+    void fmvXW(RegIdx rd, RegIdx frs1);    ///< move fp bits to int reg.
+    void fmvWX(RegIdx frd, RegIdx rs1);    ///< move int bits to fp reg.
+    ///@}
+
+    /** @name System. */
+    ///@{
+    void halt();
+    void barrier();
+    void csrw(Csr csr, RegIdx rs1);
+    void csrr(RegIdx rd, Csr csr);
+    ///@}
+
+    /** @name Software-defined vector extension. */
+    ///@{
+    void vissue(Label microthread);
+    void vend();
+    void devec(Label resume);
+    /**
+     * Wide vector load (Section 2.3.2).
+     * @param addr_reg   Register holding the global byte address.
+     * @param sp_off_reg Register holding the destination scratchpad
+     *                   byte offset (frame base + intra-frame offset).
+     * @param core_off   Offset of the first responding core in the group.
+     * @param width_words Words delivered per vector core.
+     * @param variant    Response routing variant.
+     */
+    void vload(RegIdx addr_reg, RegIdx sp_off_reg, int core_off,
+               int width_words, VloadVariant variant);
+    void frameStart(RegIdx rd);
+    void remem();
+    void predEq(RegIdx rs1, RegIdx rs2);
+    void predNeq(RegIdx rs1, RegIdx rs2);
+    ///@}
+
+    /** @name Per-core SIMD (PCV). */
+    ///@{
+    void simdLw(RegIdx vrd, RegIdx base, std::int32_t offset);
+    void simdSw(RegIdx vsrc, RegIdx base, std::int32_t offset);
+    void simdAdd(RegIdx vrd, RegIdx vrs1, RegIdx vrs2);
+    void simdFadd(RegIdx vrd, RegIdx vrs1, RegIdx vrs2);
+    void simdFsub(RegIdx vrd, RegIdx vrs1, RegIdx vrs2);
+    void simdFmul(RegIdx vrd, RegIdx vrs1, RegIdx vrs2);
+    void simdFma(RegIdx vrd, RegIdx vrs1, RegIdx vrs2, RegIdx vrs3);
+    void simdBcast(RegIdx vrd, RegIdx frs1);
+    void simdRedsum(RegIdx frd, RegIdx vrs1);
+    ///@}
+
+    /**
+     * Resolve all label references and produce the program.
+     * Fatal if any referenced label is unbound.
+     */
+    Program finish();
+
+  private:
+    void branchTo(Opcode op, RegIdx rs1, RegIdx rs2, Label target);
+    void useLabel(Label l, int at);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<int> labelPcs_;                 ///< -1 while unbound.
+    std::vector<std::pair<int, int>> fixups_;   ///< (instr idx, label id).
+    std::map<std::string, int> symbols_;
+    bool finished_ = false;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ISA_ASSEMBLER_HH

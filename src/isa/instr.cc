@@ -1,0 +1,297 @@
+#include "isa/instr.hh"
+
+#include <array>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    const char *name;
+    int latency;
+};
+
+const OpInfo &
+info(Opcode op)
+{
+    // Latencies follow Table 1a: ALU 1, MUL 2, DIV 20, FP ALU 3,
+    // FP MUL 3, SIMD ALU 3. FDIV/FSQRT use the divide latency.
+    static const std::array<OpInfo,
+                            static_cast<size_t>(Opcode::NUM_OPCODES)>
+        table = {{
+            {"nop", 1},
+            {"add", 1}, {"sub", 1}, {"and", 1}, {"or", 1}, {"xor", 1},
+            {"sll", 1}, {"srl", 1}, {"sra", 1}, {"slt", 1}, {"sltu", 1},
+            {"mul", 2}, {"mulh", 2}, {"div", 20}, {"rem", 20},
+            {"addi", 1}, {"andi", 1}, {"ori", 1}, {"xori", 1},
+            {"slli", 1}, {"srli", 1}, {"srai", 1}, {"slti", 1},
+            {"lui", 1},
+            {"beq", 1}, {"bne", 1}, {"blt", 1}, {"bge", 1},
+            {"bltu", 1}, {"bgeu", 1}, {"jal", 1}, {"jalr", 1},
+            {"lw", 1}, {"sw", 1}, {"flw", 1}, {"fsw", 1},
+            {"fadd", 3}, {"fsub", 3}, {"fmul", 3}, {"fdiv", 20},
+            {"fsqrt", 20}, {"fmin", 3}, {"fmax", 3}, {"fmadd", 3},
+            {"feq", 3}, {"flt", 3}, {"fle", 3},
+            {"fcvt.w.s", 3}, {"fcvt.s.w", 3},
+            {"fmv.x.w", 1}, {"fmv.w.x", 1}, {"fsgnj", 1}, {"fabs", 1},
+            {"halt", 1}, {"barrier", 1}, {"csrw", 1}, {"csrr", 1},
+            {"vissue", 1}, {"vend", 1}, {"devec", 1}, {"vload", 1},
+            {"frame_start", 1}, {"remem", 1},
+            {"pred_eq", 1}, {"pred_neq", 1},
+            {"simd.lw", 1}, {"simd.sw", 1},
+            {"simd.add", 3}, {"simd.sub", 3}, {"simd.mul", 3},
+            {"simd.fadd", 3}, {"simd.fsub", 3}, {"simd.fmul", 3},
+            {"simd.fma", 3}, {"simd.bcast", 1}, {"simd.redsum", 3},
+        }};
+    return table[static_cast<size_t>(op)];
+}
+
+} // namespace
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBranch(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::JAL || op == Opcode::JALR;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LW || op == Opcode::FLW || op == Opcode::SIMD_LW;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::SW || op == Opcode::FSW || op == Opcode::SIMD_SW;
+}
+
+bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op) || op == Opcode::VLOAD;
+}
+
+bool
+isFloatOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FMADD: case Opcode::FEQ:
+      case Opcode::FLT: case Opcode::FLE: case Opcode::FCVT_WS:
+      case Opcode::FCVT_SW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSimd(Opcode op)
+{
+    return op >= Opcode::SIMD_LW && op <= Opcode::SIMD_REDSUM;
+}
+
+bool
+isVectorCtl(Opcode op)
+{
+    switch (op) {
+      case Opcode::VISSUE: case Opcode::VEND: case Opcode::DEVEC:
+      case Opcode::VLOAD: case Opcode::FRAME_START: case Opcode::REMEM:
+      case Opcode::PRED_EQ: case Opcode::PRED_NEQ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+destReg(const Instruction &inst)
+{
+    switch (inst.op) {
+      // No destination.
+      case Opcode::NOP: case Opcode::SW: case Opcode::FSW:
+      case Opcode::SIMD_SW:
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+      case Opcode::HALT: case Opcode::BARRIER: case Opcode::CSRW:
+      case Opcode::VISSUE: case Opcode::VEND: case Opcode::DEVEC:
+      case Opcode::VLOAD: case Opcode::REMEM:
+      case Opcode::PRED_EQ: case Opcode::PRED_NEQ:
+        return -1;
+      default:
+        break;
+    }
+    if (inst.rd == regZero)
+        return -1;  // Writes to x0 are discarded.
+    return inst.rd;
+}
+
+bool
+writesIntReg(const Instruction &inst)
+{
+    int rd = destReg(inst);
+    return rd >= intRegBase && rd < fpRegBase;
+}
+
+int
+fuLatency(Opcode op)
+{
+    return info(op).latency;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return info(op).name;
+}
+
+namespace
+{
+
+std::string
+regName(RegIdx r)
+{
+    std::ostringstream os;
+    if (r < fpRegBase)
+        os << "x" << int(r);
+    else if (r < simdRegBase)
+        os << "f" << int(r - fpRegBase);
+    else
+        os << "v" << int(r - simdRegBase);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::NOP: case Opcode::HALT: case Opcode::BARRIER:
+      case Opcode::VEND: case Opcode::REMEM:
+        break;
+      case Opcode::VISSUE: case Opcode::DEVEC:
+        os << " @" << inst.imm;
+        break;
+      case Opcode::JAL:
+        os << " " << regName(inst.rd) << ", @" << inst.imm;
+        break;
+      case Opcode::JALR:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << inst.imm;
+        break;
+      case Opcode::FRAME_START: case Opcode::CSRR:
+        os << " " << regName(inst.rd);
+        if (inst.op == Opcode::CSRR)
+            os << ", csr" << int(inst.sub);
+        break;
+      case Opcode::CSRW:
+        os << " csr" << int(inst.sub) << ", " << regName(inst.rs1);
+        break;
+      case Opcode::PRED_EQ: case Opcode::PRED_NEQ:
+        os << " " << regName(inst.rs1) << ", " << regName(inst.rs2);
+        break;
+      case Opcode::VLOAD:
+        os << " sp+" << regName(inst.rs2) << ", [" << regName(inst.rs1)
+           << "], off=" << inst.imm << ", w=" << inst.imm2
+           << ", var=" << int(inst.sub);
+        break;
+      case Opcode::LW: case Opcode::FLW: case Opcode::SIMD_LW:
+        os << " " << regName(inst.rd) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case Opcode::SW: case Opcode::FSW: case Opcode::SIMD_SW:
+        os << " " << regName(inst.rs2) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        os << " " << regName(inst.rs1) << ", " << regName(inst.rs2)
+           << ", @" << inst.imm;
+        break;
+      case Opcode::LUI:
+        os << " " << regName(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::FMADD: case Opcode::SIMD_FMA:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << regName(inst.rs2) << ", " << regName(inst.rs3);
+        break;
+      default:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1);
+        // Immediate-type ops print imm; register-type print rs2.
+        switch (inst.op) {
+          case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+          case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+          case Opcode::SRAI: case Opcode::SLTI:
+            os << ", " << inst.imm;
+            break;
+          case Opcode::FSQRT: case Opcode::FCVT_WS: case Opcode::FCVT_SW:
+          case Opcode::FMV_XW: case Opcode::FMV_WX: case Opcode::FABS:
+          case Opcode::SIMD_BCAST: case Opcode::SIMD_REDSUM:
+            break;
+          default:
+            os << ", " << regName(inst.rs2);
+            break;
+        }
+        break;
+    }
+    return os.str();
+}
+
+Encoded
+encode(const Instruction &inst)
+{
+    Encoded e;
+    e.w0 = (static_cast<std::uint32_t>(inst.op) << 24) |
+           (static_cast<std::uint32_t>(inst.rd) << 16) |
+           (static_cast<std::uint32_t>(inst.rs1) << 8) |
+           static_cast<std::uint32_t>(inst.rs2);
+    e.w1 = (static_cast<std::uint32_t>(inst.rs3) << 24) |
+           (static_cast<std::uint32_t>(inst.sub) << 16) |
+           (static_cast<std::uint32_t>(inst.imm2) & 0xffffu);
+    e.w2 = static_cast<std::uint32_t>(inst.imm);
+    return e;
+}
+
+Instruction
+decode(const Encoded &bits)
+{
+    Instruction inst;
+    auto opval = (bits.w0 >> 24) & 0xff;
+    if (opval >= static_cast<std::uint32_t>(Opcode::NUM_OPCODES))
+        fatal("decode: illegal opcode ", opval);
+    inst.op = static_cast<Opcode>(opval);
+    inst.rd = static_cast<RegIdx>((bits.w0 >> 16) & 0xff);
+    inst.rs1 = static_cast<RegIdx>((bits.w0 >> 8) & 0xff);
+    inst.rs2 = static_cast<RegIdx>(bits.w0 & 0xff);
+    inst.rs3 = static_cast<RegIdx>((bits.w1 >> 24) & 0xff);
+    inst.sub = static_cast<std::uint8_t>((bits.w1 >> 16) & 0xff);
+    // Sign-extend the 16-bit imm2 field.
+    inst.imm2 = static_cast<std::int16_t>(bits.w1 & 0xffffu);
+    inst.imm = static_cast<std::int32_t>(bits.w2);
+    return inst;
+}
+
+} // namespace rockcress

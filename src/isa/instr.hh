@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The Rockcress instruction set: a RISC-like base ISA plus the
+ * software-defined vector extension from Section 2 of the paper
+ * (vconfig CSR, vissue/vend/devec, vload, frame_start/remem,
+ * predication) and a fixed-width per-core SIMD (PCV) extension
+ * standing in for the RISC-V "V" extension of Section 5.1.
+ */
+
+#ifndef ROCKCRESS_ISA_INSTR_HH
+#define ROCKCRESS_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** All operations understood by the tile pipeline and the GPU model. */
+enum class Opcode : std::uint8_t
+{
+    NOP = 0,
+
+    // Integer register-register.
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    MUL, MULH, DIV, REM,
+
+    // Integer register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI,
+
+    // Control flow.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR,
+
+    // Memory (word granularity; FLW/FSW move float registers).
+    LW, SW, FLW, FSW,
+
+    // Floating point.
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX, FMADD,
+    FEQ, FLT, FLE, FCVT_WS, FCVT_SW, FMV_XW, FMV_WX, FSGNJ, FABS,
+
+    // System.
+    HALT, BARRIER, CSRW, CSRR,
+
+    // Software-defined vector extension (Section 2).
+    VISSUE,       ///< Launch a microthread at instruction index imm.
+    VEND,         ///< Terminate the current microthread.
+    DEVEC,        ///< Disband the vector group; resume at PC imm.
+    VLOAD,        ///< Wide vector load (see VloadVariant).
+    FRAME_START,  ///< Stall until head frame ready; rd = frame byte base.
+    REMEM,        ///< Free the head frame.
+    PRED_EQ,      ///< flag = (rs1 == rs2); flag 0 squashes to nops.
+    PRED_NEQ,     ///< flag = (rs1 != rs2).
+
+    // Per-core SIMD (PCV), fixed width (default 4 words).
+    SIMD_LW,      ///< vrd = simdWidth contiguous words at rs1 + imm.
+    SIMD_SW,      ///< store vrs2 to rs1 + imm.
+    SIMD_ADD, SIMD_SUB, SIMD_MUL,
+    SIMD_FADD, SIMD_FSUB, SIMD_FMUL, SIMD_FMA,
+    SIMD_BCAST,   ///< Broadcast scalar fp register rs1 into vrd lanes.
+    SIMD_REDSUM,  ///< frd = horizontal float sum of vrs1.
+
+    NUM_OPCODES
+};
+
+/** Where a vload's LLC line response is directed (Section 2.3.2). */
+enum class VloadVariant : std::uint8_t
+{
+    Single = 0,  ///< Entire response to one vector core.
+    Group = 1,   ///< Consecutive chunks to each core in the group.
+    Self = 2,    ///< Entire response back to the requesting core.
+};
+
+/** Control/status registers. */
+enum class Csr : std::uint8_t
+{
+    Vconfig = 1,   ///< Nonzero write enters vector mode; 0 exits.
+    FrameCfg = 2,  ///< frame size (words) | num frames << 16.
+    CoreId = 3,    ///< Read-only linear core id.
+    NumCores = 4,  ///< Read-only total core count.
+    GroupTid = 5,  ///< Thread id within the vector group (Section 2.1).
+    GroupLen = 6,  ///< Number of vector cores in this core's group.
+};
+
+/**
+ * Register name space: a flat index covering the integer, floating
+ * point, and SIMD files so the scoreboard can treat them uniformly.
+ */
+constexpr RegIdx regZero = 0;           ///< x0, hardwired zero.
+constexpr RegIdx intRegBase = 0;        ///< x0..x31 -> 0..31
+constexpr RegIdx fpRegBase = 32;        ///< f0..f31 -> 32..63
+constexpr RegIdx simdRegBase = 64;      ///< v0..v31 -> 64..95
+constexpr int numArchRegs = 96;
+
+/** Build a flat index for integer register n. */
+constexpr RegIdx x(int n) { return static_cast<RegIdx>(intRegBase + n); }
+/** Build a flat index for floating-point register n. */
+constexpr RegIdx f(int n) { return static_cast<RegIdx>(fpRegBase + n); }
+/** Build a flat index for SIMD vector register n. */
+constexpr RegIdx v(int n) { return static_cast<RegIdx>(simdRegBase + n); }
+
+/**
+ * A decoded instruction.
+ *
+ * PCs and branch/jump targets are instruction indices into the
+ * program image (the I-cache model converts to byte addresses).
+ * For VLOAD: rs1 = global byte address, rs2 = destination scratchpad
+ * byte offset, imm = base core offset within the group, imm2 = access
+ * width in words per core, sub = VloadVariant.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIdx rd = 0;
+    RegIdx rs1 = 0;
+    RegIdx rs2 = 0;
+    RegIdx rs3 = 0;            ///< Third source (FMADD/SIMD_FMA).
+    std::int32_t imm = 0;      ///< Primary immediate / branch target.
+    std::int32_t imm2 = 0;     ///< Secondary immediate (vload width).
+    std::uint8_t sub = 0;      ///< Subfunction (vload variant, CSR id).
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** @name Static instruction properties. */
+///@{
+bool isBranch(Opcode op);       ///< Conditional branch or jump.
+bool isCondBranch(Opcode op);
+bool isLoad(Opcode op);         ///< LW/FLW/SIMD_LW (not VLOAD).
+bool isStore(Opcode op);
+bool isMem(Opcode op);
+bool isFloatOp(Opcode op);      ///< Uses the FP ALU.
+bool isSimd(Opcode op);
+bool isVectorCtl(Opcode op);    ///< VISSUE/VEND/DEVEC/VLOAD/frames/pred.
+bool writesIntReg(const Instruction &inst);
+/** Destination register if any (flat index), else -1. */
+int destReg(const Instruction &inst);
+/** Execution latency in cycles on the tile FUs (Table 1a). */
+int fuLatency(Opcode op);
+///@}
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Human-readable disassembly of one instruction. */
+std::string disassemble(const Instruction &inst);
+
+/**
+ * A packed machine encoding of one instruction (three 32-bit words).
+ * The modeled fabric forwards decoded instructions directly; the
+ * packed form exists to pin down a concrete binary format and to
+ * exercise encode/decode round-trips in tests.
+ */
+struct Encoded
+{
+    std::uint32_t w0 = 0;  ///< op:8 rd:8 rs1:8 rs2:8
+    std::uint32_t w1 = 0;  ///< rs3:8 sub:8 imm2(low 16)
+    std::uint32_t w2 = 0;  ///< imm
+
+    bool operator==(const Encoded &) const = default;
+};
+
+/** Pack an instruction into its binary encoding. */
+Encoded encode(const Instruction &inst);
+
+/** Inverse of encode(). */
+Instruction decode(const Encoded &bits);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ISA_INSTR_HH

@@ -1,0 +1,45 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+const Instruction &
+Program::at(int pc) const
+{
+    if (pc < 0 || pc >= size())
+        fatal("program '", name, "': PC ", pc, " out of range [0, ",
+              size(), ")");
+    return code[static_cast<size_t>(pc)];
+}
+
+int
+Program::entry(const std::string &symbol) const
+{
+    auto it = symbols.find(symbol);
+    if (it == symbols.end())
+        fatal("program '", name, "': no symbol '", symbol, "'");
+    return it->second;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    std::map<int, std::string> by_pc;
+    for (const auto &[sym, pc] : symbols)
+        by_pc[pc] += sym + ":\n";
+    for (int pc = 0; pc < size(); ++pc) {
+        auto it = by_pc.find(pc);
+        if (it != by_pc.end())
+            os << it->second;
+        os << "  " << pc << ": "
+           << disassemble(code[static_cast<size_t>(pc)]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rockcress

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A program image: a flat sequence of decoded instructions addressed
+ * by instruction index. The I-cache model maps indices to byte
+ * addresses (4 bytes per instruction) for tag purposes.
+ */
+
+#ifndef ROCKCRESS_ISA_PROGRAM_HH
+#define ROCKCRESS_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+/** An assembled program plus its named entry points. */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+    std::map<std::string, int> symbols;  ///< Named entry points.
+
+    /** Number of instructions. */
+    int size() const { return static_cast<int>(code.size()); }
+
+    /** Fetch by instruction index (bounds-checked). */
+    const Instruction &at(int pc) const;
+
+    /** Look up a named entry point; fatal if missing. */
+    int entry(const std::string &symbol) const;
+
+    /** Multi-line disassembly listing for debugging. */
+    std::string listing() const;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ISA_PROGRAM_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Factory declarations for every benchmark (Table 2 plus bfs).
+ */
+
+#ifndef ROCKCRESS_KERNELS_BENCH_DECLS_HH
+#define ROCKCRESS_KERNELS_BENCH_DECLS_HH
+
+#include <memory>
+
+#include "kernels/common.hh"
+
+namespace rockcress
+{
+
+std::unique_ptr<Benchmark> makeConv2d();
+std::unique_ptr<Benchmark> make2mm();
+std::unique_ptr<Benchmark> makeConv3d();
+std::unique_ptr<Benchmark> make3mm();
+std::unique_ptr<Benchmark> makeAtax();
+std::unique_ptr<Benchmark> makeBicg();
+std::unique_ptr<Benchmark> makeCorr();
+std::unique_ptr<Benchmark> makeCovar();
+std::unique_ptr<Benchmark> makeFdtd2d();
+std::unique_ptr<Benchmark> makeGemm();
+std::unique_ptr<Benchmark> makeGesummv();
+std::unique_ptr<Benchmark> makeGramschm();
+std::unique_ptr<Benchmark> makeMvt();
+std::unique_ptr<Benchmark> makeSyr2k();
+std::unique_ptr<Benchmark> makeSyrk();
+std::unique_ptr<Benchmark> makeBfs();
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_KERNELS_BENCH_DECLS_HH

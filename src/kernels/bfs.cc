@@ -1,0 +1,248 @@
+/**
+ * @file
+ * bfs: level-synchronized breadth-first search over a synthetic
+ * constant-degree graph (Section 6.6's irregular workload). The
+ * manycore version branches freely; the vector version must ship
+ * adjacency rows through frames, gather distances with word loads,
+ * and squash non-frontier work with predication — exactly the
+ * overheads that make a standard vector machine a poor fit.
+ */
+
+#include <queue>
+
+#include "kernels/bench_decls.hh"
+#include "kernels/emitters.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr int bV = 1024;   ///< Vertices.
+constexpr int bD = 8;      ///< Constant out-degree.
+constexpr Word unvisited = 0xffffffffu;
+
+class Bfs final : public Benchmark
+{
+  public:
+    std::string name() const override { return "bfs"; }
+    std::string description() const override
+    {
+        return "Breadth-first search (irregular)";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        // Synthetic graph: deterministic pseudo-random neighbors with
+        // a ring edge to guarantee connectivity.
+        Rng rng(4242);
+        adj_.resize(static_cast<size_t>(bV) * bD);
+        for (int v = 0; v < bV; ++v) {
+            adj_[static_cast<size_t>(v) * bD] =
+                static_cast<Word>((v + 1) % bV);
+            for (int e = 1; e < bD; ++e)
+                adj_[static_cast<size_t>(v) * bD + e] =
+                    static_cast<Word>(rng.below(bV));
+        }
+        hostBfs();
+        adjAddr_ = heap.alloc(bV * bD * 4);
+        distAddr_ = heap.alloc(bV * 4);
+        uploadWords(mem, adjAddr_, adj_);
+        std::vector<Word> dist(bV, unvisited);
+        dist[0] = 0;
+        uploadWords(mem, distAddr_, dist);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto got = downloadWords(mem, distAddr_, bV);
+        for (int v = 0; v < bV; ++v) {
+            if (got[static_cast<size_t>(v)] !=
+                hostDist_[static_cast<size_t>(v)]) {
+                return "dist[" + std::to_string(v) + "] = " +
+                       std::to_string(got[static_cast<size_t>(v)]) +
+                       ", expected " +
+                       std::to_string(
+                           hostDist_[static_cast<size_t>(v)]);
+            }
+        }
+        return "";
+    }
+
+    /** The paper does not evaluate bfs on the GPU. */
+    GpuProgram gpuProgram() override { return {}; }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        if (b.config().isVector())
+            emitVector(b);
+        else
+            emitMimd(b);
+    }
+
+  private:
+    void
+    hostBfs()
+    {
+        hostDist_.assign(bV, unvisited);
+        hostDist_[0] = 0;
+        std::queue<int> q;
+        q.push(0);
+        levels_ = 0;
+        while (!q.empty()) {
+            int v = q.front();
+            q.pop();
+            for (int e = 0; e < bD; ++e) {
+                int w = static_cast<int>(
+                    adj_[static_cast<size_t>(v) * bD + e]);
+                if (hostDist_[static_cast<size_t>(w)] == unvisited) {
+                    hostDist_[static_cast<size_t>(w)] =
+                        hostDist_[static_cast<size_t>(v)] + 1;
+                    q.push(w);
+                }
+            }
+        }
+        for (Word d : hostDist_)
+            levels_ = std::max(levels_, static_cast<int>(d));
+    }
+
+    void
+    emitMimd(SpmdBuilder &b)
+    {
+        // One level per phase; concurrent same-level relaxations are
+        // benign (all writers store the same value).
+        for (int level = 0; level < levels_; ++level) {
+            b.mimdPhase([&, level](Assembler &as) {
+                int W = b.activeCores();
+                as.la(x(6), adjAddr_);
+                as.la(x(7), distAddr_);
+                as.li(x(8), level);
+                as.li(x(9), level + 1);
+                as.mv(x(5), rCoreId);
+                as.li(x(10), bV);
+                Loop vl(as, x(5), x(10), W);
+                {
+                    emitAffine(as, x(11), x(7), x(5), 4, x(13));
+                    as.lw(x(12), x(11), 0);
+                    Label skip = as.newLabel();
+                    as.bne(x(12), x(8), skip);
+                    emitAffine(as, x(14), x(6), x(5), bD * 4, x(13));
+                    for (int e = 0; e < bD; ++e) {
+                        as.lw(x(15), x(14), 4 * e);   // neighbor id
+                        emitAffine(as, x(16), x(7), x(15), 4, x(13));
+                        as.lw(x(17), x(16), 0);       // its distance
+                        Label visited = as.newLabel();
+                        as.addi(x(18), x(17), 1);
+                        as.bne(x(18), regZero, visited);
+                        as.sw(x(9), x(16), 0);
+                        as.bind(visited);
+                    }
+                    as.bind(skip);
+                }
+                vl.end();
+            });
+        }
+    }
+
+    void
+    emitVector(SpmdBuilder &b)
+    {
+        const BenchConfig &cfg = b.config();
+        int VLEN = cfg.groupSize;
+        int G = b.numGroups();
+        const int frame_words = bD;
+        const int num_frames = 8;
+
+        for (int level = 0; level < levels_; ++level) {
+            Label init = b.declareMicrothread();
+            Label body = b.declareMicrothread();
+
+            b.defineMicrothread(init, [=, this](Assembler &as) {
+                as.csrr(x(5), Csr::GroupTid);
+                as.csrr(x(6), Csr::CoreId);
+                as.li(x(7), VLEN + 1);
+                as.div(x(6), x(6), x(7));
+                emitScale(as, x(9), x(6), VLEN, x(7));
+                as.add(x(9), x(9), x(5));        // lane vertex
+                as.li(x(17), G * VLEN);          // vertex step
+                as.la(x(16), distAddr_);
+                as.li(x(8), level);
+                as.li(x(15), level + 1);
+            });
+            b.defineMicrothread(body, [=, this](Assembler &as) {
+                as.frameStart(x(13));            // adjacency row
+                emitAffine(as, x(10), x(16), x(9), 4, x(11));
+                as.lw(x(12), x(10), 0);          // dist[v] gather
+                as.predEq(x(12), x(8));          // frontier mask
+                for (int e = 0; e < bD; ++e) {
+                    as.lw(x(11), x(13), 4 * e);  // neighbor id
+                    emitAffine(as, x(10), x(16), x(11), 4, x(12));
+                    as.lw(x(12), x(10), 0);      // dist[w] gather
+                    // sel = visited ? dist[w] : level + 1, branchless.
+                    as.addi(x(11), x(12), 1);
+                    as.sltu(x(11), regZero, x(11));   // visited flag
+                    as.sub(x(14), x(12), x(15));
+                    as.mul(x(14), x(14), x(11));
+                    as.add(x(14), x(15), x(14));
+                    as.sw(x(14), x(10), 0);
+                }
+                as.predEq(regZero, regZero);
+                as.add(x(9), x(9), x(17));       // next vertex
+                as.remem();
+            });
+
+            b.vectorPhase(frame_words, num_frames, [=, &b,
+                                                    this](Assembler &as) {
+                as.vissue(init);
+                DaeStreamRegs regs;
+                FrameRotator rot(as, regs.off, frame_words * 4,
+                                 num_frames, x(27));
+                rot.emitInit();
+                as.mv(x(7), rGroupId);
+                as.li(x(8), bV / VLEN);
+                Loop chunks(as, x(7), x(8), G);
+                {
+                    as.la(x(9), adjAddr_);
+                    emitAffine(as, x(10), x(9), x(7), VLEN * bD * 4,
+                               x(11));
+                    DaeStreamSpec spec;
+                    spec.iters = 1;
+                    spec.frameBytes = frame_words * 4;
+                    spec.numFrames = num_frames;
+                    spec.bodyMt = body;
+                    spec.fill = [=](Assembler &a, RegIdx off) {
+                        for (int l = 0; l < VLEN; ++l) {
+                            RegIdx areg = x(10);
+                            if (l > 0) {
+                                a.addi(x(12), x(10), l * bD * 4);
+                                areg = x(12);
+                            }
+                            a.vload(areg, off, l, bD,
+                                    VloadVariant::Single);
+                        }
+                    };
+                    emitScalarStream(as, spec, rot, regs);
+                }
+                chunks.end();
+            });
+        }
+    }
+
+    std::vector<Word> adj_;
+    std::vector<Word> hostDist_;
+    int levels_ = 0;
+
+    Addr adjAddr_ = 0, distAddr_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> makeBfs() { return std::make_unique<Bfs>(); }
+
+} // namespace rockcress

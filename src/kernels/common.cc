@@ -1,0 +1,157 @@
+#include "kernels/common.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Addr
+Heap::alloc(Addr bytes, Addr align)
+{
+    Addr base = (next_ + align - 1) / align * align;
+    next_ = base + bytes;
+    if (next_ > capacity_)
+        fatal("heap: out of global memory (", next_, " > ", capacity_,
+              ")");
+    return AddrMap::globalBase + base;
+}
+
+void
+uploadFloats(MainMemory &mem, Addr base, const std::vector<float> &data)
+{
+    for (size_t i = 0; i < data.size(); ++i)
+        mem.writeFloat(base + static_cast<Addr>(i) * wordBytes, data[i]);
+}
+
+std::vector<float>
+downloadFloats(const MainMemory &mem, Addr base, size_t count)
+{
+    std::vector<float> out(count);
+    for (size_t i = 0; i < count; ++i)
+        out[i] = mem.readFloat(base + static_cast<Addr>(i) * wordBytes);
+    return out;
+}
+
+void
+uploadWords(MainMemory &mem, Addr base, const std::vector<Word> &data)
+{
+    for (size_t i = 0; i < data.size(); ++i)
+        mem.writeWord(base + static_cast<Addr>(i) * wordBytes, data[i]);
+}
+
+std::vector<Word>
+downloadWords(const MainMemory &mem, Addr base, size_t count)
+{
+    std::vector<Word> out(count);
+    for (size_t i = 0; i < count; ++i)
+        out[i] = mem.readWord(base + static_cast<Addr>(i) * wordBytes);
+    return out;
+}
+
+std::vector<float>
+randomFloats(size_t count, std::uint64_t seed, float lo, float hi)
+{
+    Rng rng(seed);
+    std::vector<float> out(count);
+    for (float &v : out)
+        v = lo + (hi - lo) * rng.uniform();
+    return out;
+}
+
+std::string
+compareFloats(const std::vector<float> &expect,
+              const std::vector<float> &got, float rel_tol, float abs_tol)
+{
+    if (expect.size() != got.size())
+        return "size mismatch";
+    for (size_t i = 0; i < expect.size(); ++i) {
+        float e = expect[i], g = got[i];
+        float err = std::fabs(e - g);
+        if (err > abs_tol && err > rel_tol * std::fabs(e)) {
+            std::ostringstream os;
+            os << "mismatch at [" << i << "]: expected " << e << ", got "
+               << g;
+            return os.str();
+        }
+    }
+    return "";
+}
+
+void
+Benchmark::planGroups(Machine &machine, const BenchConfig &cfg)
+{
+    if (!cfg.isVector())
+        return;
+    int tpg = cfg.groupSize + 1;
+    int groups = machine.numCores() / tpg;
+    for (int g = 0; g < groups; ++g) {
+        GroupPlan plan;
+        for (int i = 0; i < tpg; ++i)
+            plan.chain.push_back(g * tpg + i);
+        machine.planGroup(plan);
+    }
+}
+
+void
+Benchmark::prepare(Machine &machine, const BenchConfig &cfg)
+{
+    Heap heap(machine.params().heapBytes);
+    setup(machine.mem(), heap);
+    SpmdBuilder b(name() + "_" + cfg.name, cfg, machine.params());
+    emit(b);
+    auto prog = std::make_shared<Program>(b.finish());
+    machine.loadAll(prog);
+    planGroups(machine, cfg);
+}
+
+} // namespace rockcress
+
+#include "kernels/bench_decls.hh"
+
+namespace rockcress
+{
+
+std::vector<std::string>
+suiteNames()
+{
+    // Table 2 order.
+    return {"2dconv", "2mm",     "3dconv",   "3mm",  "atax",
+            "bicg",   "corr",    "covar",    "fdtd-2d", "gemm",
+            "gesummv", "gramschm", "mvt",    "syr2k", "syrk"};
+}
+
+std::unique_ptr<Benchmark>
+makeBenchmark(const std::string &name)
+{
+    if (name == "2dconv") return makeConv2d();
+    if (name == "2mm") return make2mm();
+    if (name == "3dconv") return makeConv3d();
+    if (name == "3mm") return make3mm();
+    if (name == "atax") return makeAtax();
+    if (name == "bicg") return makeBicg();
+    if (name == "corr") return makeCorr();
+    if (name == "covar") return makeCovar();
+    if (name == "fdtd-2d") return makeFdtd2d();
+    if (name == "gemm") return makeGemm();
+    if (name == "gesummv") return makeGesummv();
+    if (name == "gramschm") return makeGramschm();
+    if (name == "mvt") return makeMvt();
+    if (name == "syr2k") return makeSyr2k();
+    if (name == "syrk") return makeSyrk();
+    if (name == "bfs") return makeBfs();
+    fatal("unknown benchmark '", name, "'");
+}
+
+std::vector<std::unique_ptr<Benchmark>>
+makeSuite()
+{
+    std::vector<std::unique_ptr<Benchmark>> suite;
+    for (const std::string &n : suiteNames())
+        suite.push_back(makeBenchmark(n));
+    return suite;
+}
+
+} // namespace rockcress

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Benchmark infrastructure: the global-heap allocator, host-side
+ * array mirroring, and the Benchmark interface every PolyBench/GPU
+ * kernel implements (Table 2), covering the NV / NV_PF / PCV_PF
+ * manycore variants, the V4/V16 (+PCV/+LL) vector variants, and a
+ * GPU lane program.
+ */
+
+#ifndef ROCKCRESS_KERNELS_COMMON_HH
+#define ROCKCRESS_KERNELS_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "machine/machine.hh"
+#include "sim/rng.hh"
+
+namespace rockcress
+{
+
+/** Bump allocator for the DRAM-backed global heap. */
+class Heap
+{
+  public:
+    explicit Heap(Addr capacity) : capacity_(capacity) {}
+
+    /** Allocate cache-line-aligned storage; returns global address. */
+    Addr alloc(Addr bytes, Addr align = 64);
+
+    /** Words allocated so far. */
+    Addr used() const { return next_; }
+
+  private:
+    Addr capacity_;
+    Addr next_ = 0;
+};
+
+/** Upload a host float vector to machine memory. */
+void uploadFloats(MainMemory &mem, Addr base,
+                  const std::vector<float> &data);
+/** Download a float vector from machine memory. */
+std::vector<float> downloadFloats(const MainMemory &mem, Addr base,
+                                  size_t count);
+/** Upload a host word vector. */
+void uploadWords(MainMemory &mem, Addr base,
+                 const std::vector<Word> &data);
+std::vector<Word> downloadWords(const MainMemory &mem, Addr base,
+                                size_t count);
+
+/** Deterministic pseudo-random float in (lo, hi). */
+std::vector<float> randomFloats(size_t count, std::uint64_t seed,
+                                float lo = 0.0f, float hi = 1.0f);
+
+/**
+ * Compare a downloaded result against the host reference with the
+ * PolyBench-style relative tolerance.
+ * @return Empty string on success, else a description of the first
+ *         mismatch.
+ */
+std::string compareFloats(const std::vector<float> &expect,
+                          const std::vector<float> &got,
+                          float rel_tol = 5e-2f, float abs_tol = 1e-3f);
+
+/** A GPU dispatch: a lane program run once per thread. */
+struct GpuKernelSpec
+{
+    /** Total threads; must be a multiple of the wavefront size. */
+    int threads = 0;
+    /**
+     * Emit the lane program. The thread id is pre-loaded in
+     * gpuTidReg; the program must end (builder appends halt).
+     */
+    std::function<void(Assembler &)> emit;
+};
+
+/** Register holding the global thread id in GPU lane programs. */
+constexpr RegIdx gpuTidReg = x(28);
+
+/** A full multi-dispatch GPU run. */
+struct GpuProgram
+{
+    std::vector<GpuKernelSpec> dispatches;
+};
+
+/**
+ * One benchmark of the suite: owns its sizes, host reference, memory
+ * image, and per-configuration code generation.
+ */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::string description() const = 0;
+    virtual int kernelCount() const = 0;
+
+    /**
+     * Allocate and initialize the benchmark's arrays in machine
+     * memory, build the per-configuration program, load it, and plan
+     * the vector groups. After this the machine is ready to run().
+     */
+    void prepare(Machine &machine, const BenchConfig &cfg);
+
+    /**
+     * Verify machine memory against the host reference.
+     * @return Empty string on success, else the mismatch description.
+     */
+    virtual std::string check(const MainMemory &mem) const = 0;
+
+    /** The GPU realization of this benchmark (element-per-thread). */
+    virtual GpuProgram gpuProgram() = 0;
+
+    /** Set up arrays in memory (shared by manycore and GPU paths). */
+    virtual void setup(MainMemory &mem, Heap &heap) = 0;
+
+  protected:
+    /** Emit all phases for the configuration into the builder. */
+    virtual void emit(SpmdBuilder &b) = 0;
+
+    /** Plan the standard consecutive-id vector groups. */
+    static void planGroups(Machine &machine, const BenchConfig &cfg);
+};
+
+/** Create the full PolyBench/GPU suite in Table 2 order. */
+std::vector<std::unique_ptr<Benchmark>> makeSuite();
+
+/** Create one benchmark by name (includes "bfs"). */
+std::unique_ptr<Benchmark> makeBenchmark(const std::string &name);
+
+/** All suite names in Table 2 order. */
+std::vector<std::string> suiteNames();
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_KERNELS_COMMON_HH

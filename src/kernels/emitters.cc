@@ -1,0 +1,1027 @@
+#include "kernels/emitters.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+void
+emitFConst(Assembler &as, RegIdx freg, float value, RegIdx tmp)
+{
+    as.li(tmp, static_cast<std::int32_t>(floatToWord(value)));
+    as.fmvWX(freg, tmp);
+}
+
+void
+emitFZero(Assembler &as, RegIdx freg)
+{
+    Instruction i;
+    i.op = Opcode::FCVT_SW;
+    i.rd = freg;
+    i.rs1 = regZero;
+    as.emit(i);
+}
+
+namespace
+{
+
+/** Chunk geometry for streamed phases. */
+struct Chunking
+{
+    int w = 16;        ///< Words per lane per Group vload.
+    int F = 16;        ///< Words per lane per stream per frame.
+    int numFrames = 8;
+};
+
+Chunking
+vectorChunking(const SpmdBuilder &b)
+{
+    Chunking c;
+    const BenchConfig &cfg = b.config();
+    c.w = std::min(16, b.lineWords() / cfg.groupSize);
+    c.F = cfg.longLines ? 16 : std::max(8, c.w);
+    return c;
+}
+
+void
+fzero(Assembler &as, RegIdx freg)
+{
+    emitFZero(as, freg);
+}
+
+void
+emitFrameCfg(Assembler &as, int frame_words, int num_frames, RegIdx tmp)
+{
+    as.li(tmp, frame_words | (num_frames << 16));
+    as.csrw(Csr::FrameCfg, tmp);
+}
+
+/** Emit the dot-product macs over one frame (scalar or SIMD). */
+void
+emitDotChunk(Assembler &as, RegIdx fb, int f_words, bool selfdot,
+             int second_off_bytes, bool simd)
+{
+    if (!simd) {
+        for (int u = 0; u < f_words; ++u) {
+            as.flw(f(1), fb, 4 * u);
+            if (selfdot) {
+                as.fmadd(f(0), f(1), f(1), f(0));
+            } else {
+                as.flw(f(2), fb, second_off_bytes + 4 * u);
+                as.fmadd(f(0), f(1), f(2), f(0));
+            }
+        }
+        return;
+    }
+    for (int u = 0; u < f_words; u += 4) {
+        as.simdLw(v(0), fb, 4 * u);
+        if (selfdot) {
+            as.simdFma(v(2), v(0), v(0), v(2));
+        } else {
+            as.simdLw(v(1), fb, second_off_bytes + 4 * u);
+            as.simdFma(v(2), v(0), v(1), v(2));
+        }
+    }
+}
+
+} // namespace
+
+// ===========================================================================
+// Matvec family
+// ===========================================================================
+
+namespace
+{
+
+void
+emitMatvecNv(SpmdBuilder &b, const MatvecSpec &s)
+{
+    bool selfdot = s.vecIn == 0;
+    b.mimdPhase([&, selfdot](Assembler &as) {
+        int W = b.activeCores();
+        as.la(x(8), s.mat);
+        if (!selfdot)
+            as.la(x(10), s.vecIn);
+        as.la(x(16), s.out);
+        if (s.alpha != 1.0f)
+            emitFConst(as, f(3), s.alpha, x(9));
+        as.mv(x(5), rCoreId);
+        as.li(x(6), s.rows);
+        Loop rows(as, x(5), x(6), W);
+        {
+            emitAffine(as, x(7), x(8), x(5), s.cols * 4, x(9));
+            if (!selfdot)
+                as.mv(x(11), x(10));
+            fzero(as, f(0));
+            as.li(x(12), 0);
+            as.li(x(13), s.cols);
+            Loop kl(as, x(12), x(13), 4);
+            for (int u = 0; u < 4; ++u) {
+                as.flw(f(1), x(7), 4 * u);
+                if (selfdot) {
+                    as.fmadd(f(0), f(1), f(1), f(0));
+                } else {
+                    as.flw(f(2), x(11), 4 * u);
+                    as.fmadd(f(0), f(1), f(2), f(0));
+                }
+            }
+            as.addi(x(7), x(7), 16);
+            if (!selfdot)
+                as.addi(x(11), x(11), 16);
+            kl.end();
+            emitAffine(as, x(14), x(16), x(5), 4, x(9));
+            if (s.alpha != 1.0f)
+                as.fmul(f(0), f(0), f(3));
+            if (s.accumulate) {
+                as.flw(f(2), x(14), 0);
+                as.fadd(f(0), f(0), f(2));
+            }
+            as.fsw(f(0), x(14), 0);
+        }
+        rows.end();
+    });
+}
+
+void
+emitMatvecPf(SpmdBuilder &b, const MatvecSpec &s)
+{
+    bool selfdot = s.vecIn == 0;
+    bool simd = b.config().simdWords > 1;
+    const int F = 16;
+    int nstreams = selfdot ? 1 : 2;
+    int frame_words = nstreams * F;
+    const int num_frames = 8;
+    if (s.cols % F != 0)
+        fatal("matvec: cols must divide by ", F);
+
+    b.mimdPhase([&, selfdot, simd](Assembler &as) {
+        int W = b.activeCores();
+        emitFrameCfg(as, frame_words, num_frames, x(9));
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, num_frames);
+        rot.emitInit();
+        as.la(x(8), s.mat);
+        if (!selfdot)
+            as.la(x(10), s.vecIn);
+        as.la(x(16), s.out);
+        if (s.alpha != 1.0f)
+            emitFConst(as, f(3), s.alpha, x(9));
+        as.mv(x(5), rCoreId);
+        as.li(x(6), s.rows);
+        Loop rows(as, x(5), x(6), W);
+        {
+            emitAffine(as, x(7), x(8), x(5), s.cols * 4, x(9));
+            if (!selfdot)
+                as.mv(x(11), x(10));
+            fzero(as, f(0));
+            if (simd) {
+                fzero(as, f(2));
+                as.simdBcast(v(2), f(2));
+            }
+            DaeStreamSpec spec;
+            spec.iters = s.cols / F;
+            spec.frameBytes = frame_words * 4;
+            spec.numFrames = num_frames;
+            spec.fill = [&, selfdot](Assembler &a, RegIdx off) {
+                a.vload(x(7), off, 0, F, VloadVariant::Self);
+                a.addi(x(7), x(7), F * 4);
+                if (!selfdot) {
+                    a.addi(regs.tmp, off, F * 4);
+                    a.vload(x(11), regs.tmp, 0, F, VloadVariant::Self);
+                    a.addi(x(11), x(11), F * 4);
+                }
+            };
+            spec.consume = [&, selfdot, simd](Assembler &a, RegIdx fb) {
+                emitDotChunk(a, fb, F, selfdot, F * 4, simd);
+            };
+            emitMimdStream(as, spec, rot, regs);
+            if (simd)
+                as.simdRedsum(f(0), v(2));
+            emitAffine(as, x(14), x(16), x(5), 4, x(9));
+            if (s.alpha != 1.0f)
+                as.fmul(f(0), f(0), f(3));
+            if (s.accumulate) {
+                as.flw(f(2), x(14), 0);
+                as.fadd(f(0), f(0), f(2));
+            }
+            as.fsw(f(0), x(14), 0);
+        }
+        rows.end();
+    });
+}
+
+void
+emitMatvecVector(SpmdBuilder &b, const MatvecSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    bool selfdot = s.vecIn == 0;
+    bool simd = cfg.simdWords > 1;
+    Chunking ch = vectorChunking(b);
+    int VLEN = cfg.groupSize;
+    int G = b.numGroups();
+    int nstreams = selfdot ? 1 : 2;
+    // Shrink the chunk until it divides the row length (long lines
+    // with wide groups can otherwise overshoot short rows).
+    while (ch.F > 1 && s.cols % (ch.F * VLEN) != 0)
+        ch.F /= 2;
+    ch.w = std::min(ch.w, ch.F);
+    int frame_words = nstreams * ch.F;
+    if (s.cols % (ch.F * VLEN) != 0)
+        fatal("matvec: cols ", s.cols, " must divide by ", ch.F * VLEN);
+    if (s.partials == 0)
+        fatal("matvec: vector configuration needs a partials buffer");
+
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+    Label rowfin = b.declareMicrothread();
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        fzero(as, f(0));
+        if (simd) {
+            fzero(as, f(2));
+            as.simdBcast(v(2), f(2));
+        }
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        as.li(x(7), VLEN + 1);
+        as.div(x(6), x(6), x(7));              // group id
+        as.la(x(9), s.partials);
+        emitScale(as, x(10), x(6), 16 * 4, x(11));
+        as.add(x(9), x(9), x(10));
+        emitScale(as, x(10), x(5), 4, x(11));
+        as.add(x(9), x(9), x(10));
+        as.li(x(12), G * 16 * 4);              // partials row step
+    });
+    b.defineMicrothread(body, [=](Assembler &as) {
+        as.frameStart(x(13));
+        emitDotChunk(as, x(13), ch.F, selfdot, ch.F * 4, simd);
+        as.remem();
+    });
+    b.defineMicrothread(rowfin, [=](Assembler &as) {
+        if (simd) {
+            as.simdRedsum(f(0), v(2));
+            fzero(as, f(2));
+            as.simdBcast(v(2), f(2));
+        }
+        as.fsw(f(0), x(9), 0);
+        fzero(as, f(0));
+        as.add(x(9), x(9), x(12));
+    });
+
+    b.vectorPhase(frame_words, ch.numFrames, [=, &b](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), s.mat);
+        if (!selfdot)
+            as.la(x(6), s.vecIn);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, ch.numFrames);
+        rot.emitInit();
+        as.mv(x(7), rGroupId);
+        as.li(x(8), s.rows);
+        Loop rows(as, x(7), x(8), G);
+        {
+            emitAffine(as, x(9), x(5), x(7), s.cols * 4, x(10));
+            if (!selfdot)
+                as.mv(x(11), x(6));
+            DaeStreamSpec spec;
+            spec.iters = s.cols / (ch.F * VLEN);
+            spec.frameBytes = frame_words * 4;
+            spec.numFrames = ch.numFrames;
+            spec.bodyMt = body;
+            int vps = ch.F / ch.w;  // Group vloads per stream per frame
+            spec.fill = [=](Assembler &a, RegIdx off) {
+                for (int si = 0; si < vps; ++si) {
+                    RegIdx areg = x(9);
+                    RegIdx oreg = off;
+                    if (si > 0) {
+                        a.addi(x(13), x(9), si * ch.w * VLEN * 4);
+                        areg = x(13);
+                        a.addi(x(14), off, si * ch.w * 4);
+                        oreg = x(14);
+                    }
+                    a.vload(areg, oreg, 0, ch.w, VloadVariant::Group);
+                }
+                a.addi(x(9), x(9), ch.F * VLEN * 4);
+                if (!selfdot) {
+                    for (int si = 0; si < vps; ++si) {
+                        RegIdx areg = x(11);
+                        if (si > 0) {
+                            a.addi(x(13), x(11), si * ch.w * VLEN * 4);
+                            areg = x(13);
+                        }
+                        a.addi(x(14), off, ch.F * 4 + si * ch.w * 4);
+                        a.vload(areg, x(14), 0, ch.w,
+                                VloadVariant::Group);
+                    }
+                    a.addi(x(11), x(11), ch.F * VLEN * 4);
+                }
+            };
+            emitScalarStream(as, spec, rot, regs);
+            as.vissue(rowfin);
+        }
+        rows.end();
+    });
+
+    // Reduce the per-lane partials: out[i] (+)= alpha * sum(partials).
+    b.mimdPhase([=, &b](Assembler &as) {
+        int W = b.activeCores();
+        as.la(x(5), s.partials);
+        as.la(x(6), s.out);
+        if (s.alpha != 1.0f)
+            emitFConst(as, f(3), s.alpha, x(9));
+        as.mv(x(7), rCoreId);
+        as.li(x(8), s.rows);
+        Loop r(as, x(7), x(8), W);
+        {
+            emitScale(as, x(9), x(7), 16 * 4, x(10));
+            as.add(x(9), x(5), x(9));
+            fzero(as, f(0));
+            for (int l = 0; l < VLEN; ++l) {
+                as.flw(f(1), x(9), 4 * l);
+                as.fadd(f(0), f(0), f(1));
+            }
+            if (s.alpha != 1.0f)
+                as.fmul(f(0), f(0), f(3));
+            emitAffine(as, x(10), x(6), x(7), 4, x(11));
+            if (s.accumulate) {
+                as.flw(f(2), x(10), 0);
+                as.fadd(f(0), f(0), f(2));
+            }
+            as.fsw(f(0), x(10), 0);
+        }
+        r.end();
+    });
+}
+
+} // namespace
+
+void
+emitMatvecPhase(SpmdBuilder &b, const MatvecSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    if (cfg.isVector())
+        emitMatvecVector(b, s);
+    else if (cfg.dae)
+        emitMatvecPf(b, s);
+    else
+        emitMatvecNv(b, s);
+}
+
+// ===========================================================================
+// Transpose-side matvec (y = A^T x)
+// ===========================================================================
+
+namespace
+{
+
+/**
+ * NV / NV_PF: each worker owns 4-column blocks and walks rows with
+ * plain word loads. The column access cannot be coalesced into wide
+ * loads (Section 6.6: these benchmarks "use group loads where NV_PF
+ * cannot"), so both baselines take the strided-scalar-load path; with
+ * the matrix far larger than the LLC, every pass over a column block
+ * refetches its lines from DRAM.
+ */
+void
+emitMatvecTMimd(SpmdBuilder &b, const MatvecTSpec &s)
+{
+    const int jb = 4;          ///< Columns per block.
+
+    b.mimdPhase([&](Assembler &as) {
+        int W = b.activeCores();
+        as.la(x(16), s.mat);
+        as.la(x(17), s.vecIn);
+        as.la(x(18), s.out);
+        emitScale(as, x(5), rCoreId, jb, x(9));  // first column block
+        as.li(x(6), s.cols);
+        Loop blocks(as, x(5), x(6), W * jb);
+        {
+            for (int u = 0; u < jb; ++u)
+                fzero(as, f(10 + u));
+            emitAffine(as, x(7), x(16), x(5), 4, x(9));  // &A[0][jb]
+            as.mv(x(8), x(17));                          // x pointer
+            as.li(x(10), 0);
+            as.li(x(11), s.rows);
+            Loop il(as, x(10), x(11), 1);
+            {
+                as.flw(f(1), x(8), 0);
+                for (int u = 0; u < jb; ++u) {
+                    as.flw(f(2), x(7), 4 * u);
+                    as.fmadd(f(10 + u), f(2), f(1), f(10 + u));
+                }
+                emitAddImm(as, x(7), x(7), s.cols * 4, x(9));
+                as.addi(x(8), x(8), 4);
+            }
+            il.end();
+            emitAffine(as, x(9), x(18), x(5), 4, x(10));
+            for (int u = 0; u < jb; ++u) {
+                if (s.accumulate) {
+                    as.flw(f(2), x(9), 4 * u);
+                    as.fadd(f(10 + u), f(10 + u), f(2));
+                }
+                as.fsw(f(10 + u), x(9), 4 * u);
+            }
+        }
+        blocks.end();
+    });
+}
+
+/** Vector groups: stream rows with Group loads; lanes accumulate
+ * their column slice in scratchpad and flush at the end. */
+void
+emitMatvecTVector(SpmdBuilder &b, const MatvecTSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    int VLEN = cfg.groupSize;
+    int G = b.numGroups();
+    Chunking ch = vectorChunking(b);
+    int lane_cols = s.cols / VLEN;     ///< Columns owned per lane.
+    int frame_words = lane_cols + 1;   ///< Row slice + x broadcast.
+    // Frames plus the partial slice must fit the 4 kB scratchpad.
+    int num_frames =
+        (frame_words * 8 + lane_cols) * 4 <= 4096 ? 8 : 5;
+    int pbase = frame_words * 4 * num_frames;  ///< Spad partial base.
+    if (s.cols % (ch.w * VLEN) != 0)
+        fatal("matvecT: cols must divide by ", ch.w * VLEN);
+    if (s.partials == 0)
+        fatal("matvecT: vector configuration needs a partials buffer");
+
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+    Label fin = b.declareMicrothread();
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        // Own scratchpad base in the global address map.
+        as.slli(x(9), x(6), 16);
+        emitAddImm(as, x(9), x(9), pbase, x(7));
+        // Zero the partial slice.
+        for (int p = 0; p < lane_cols; ++p)
+            as.sw(regZero, x(9), 4 * p);
+        // Global flush base: partials + g*cols*4 + tid*w*4.
+        as.li(x(7), VLEN + 1);
+        as.div(x(6), x(6), x(7));
+        as.la(x(11), s.partials);
+        emitScale(as, x(10), x(6), s.cols * 4, x(7));
+        as.add(x(11), x(11), x(10));
+        emitScale(as, x(10), x(5), ch.w * 4, x(7));
+        as.add(x(11), x(11), x(10));
+    });
+    b.defineMicrothread(body, [=](Assembler &as) {
+        as.frameStart(x(13));
+        as.flw(f(1), x(13), lane_cols * 4);   // broadcast x[i]
+        for (int p = 0; p < lane_cols; ++p) {
+            as.flw(f(2), x(13), 4 * p);       // A row slice
+            as.flw(f(3), x(9), 4 * p);        // partial (scratchpad)
+            as.fmadd(f(3), f(2), f(1), f(3));
+            as.fsw(f(3), x(9), 4 * p);
+        }
+        as.remem();
+    });
+    b.defineMicrothread(fin, [=](Assembler &as) {
+        // Flush partials: lane column j(p) = (p/w)*w*VLEN + l*w + p%w.
+        for (int p = 0; p < lane_cols; ++p) {
+            int goff = ((p / ch.w) * ch.w * VLEN + (p % ch.w)) * 4;
+            as.flw(f(3), x(9), 4 * p);
+            as.fsw(f(3), x(11), goff);
+        }
+    });
+
+    b.vectorPhase(frame_words, num_frames, [=, &b](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), s.mat);
+        as.la(x(6), s.vecIn);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, num_frames,
+                         x(27));
+        rot.emitInit();
+        emitAffine(as, x(10), x(6), rGroupId, 4, x(9));  // x pointer
+        as.mv(x(7), rGroupId);
+        as.li(x(8), s.rows);
+        int vps = lane_cols / ch.w;   ///< Group loads per row.
+        Loop rows(as, x(7), x(8), G);
+        {
+            emitAffine(as, x(9), x(5), x(7), s.cols * 4, x(11));
+            for (int si = 0; si < vps; ++si) {
+                RegIdx areg = x(9);
+                RegIdx oreg = regs.off;
+                if (si > 0) {
+                    emitAddImm(as, x(13), x(9), si * ch.w * VLEN * 4,
+                               x(11));
+                    areg = x(13);
+                    as.addi(x(14), regs.off, si * ch.w * 4);
+                    oreg = x(14);
+                }
+                as.vload(areg, oreg, 0, ch.w, VloadVariant::Group);
+            }
+            // Broadcast x[i] to every lane's frame.
+            as.addi(x(14), regs.off, lane_cols * 4);
+            for (int l = 0; l < VLEN; ++l)
+                as.vload(x(10), x(14), l, 1, VloadVariant::Single);
+            rot.emitAdvance();
+            as.vissue(body);
+            as.addi(x(10), x(10), G * 4);
+        }
+        rows.end();
+        as.vissue(fin);
+    });
+
+    // Reduce: y[j] (+)= sum over groups of partials[g][j].
+    b.mimdPhase([=, &b](Assembler &as) {
+        int W = b.activeCores();
+        as.la(x(5), s.partials);
+        as.la(x(6), s.out);
+        as.mv(x(7), rCoreId);
+        as.li(x(8), s.cols);
+        Loop jl(as, x(7), x(8), W);
+        {
+            emitAffine(as, x(9), x(5), x(7), 4, x(10));
+            fzero(as, f(0));
+            for (int g = 0; g < G; ++g) {
+                as.flw(f(1), x(9), 0);
+                as.fadd(f(0), f(0), f(1));
+                emitAddImm(as, x(9), x(9), s.cols * 4, x(10));
+            }
+            emitAffine(as, x(9), x(6), x(7), 4, x(10));
+            if (s.accumulate) {
+                as.flw(f(2), x(9), 0);
+                as.fadd(f(0), f(0), f(2));
+            }
+            as.fsw(f(0), x(9), 0);
+        }
+        jl.end();
+    });
+}
+
+} // namespace
+
+void
+emitMatvecTransposePhase(SpmdBuilder &b, const MatvecTSpec &s)
+{
+    if (b.config().isVector())
+        emitMatvecTVector(b, s);
+    else
+        emitMatvecTMimd(b, s);
+}
+
+// ===========================================================================
+// Matmul family
+// ===========================================================================
+
+namespace
+{
+
+/** Emit alpha/beta application and the store of C[i][j]. */
+void
+emitCStore(Assembler &as, const MatmulSpec &s, RegIdx ptr_c, bool simd)
+{
+    if (simd) {
+        as.simdRedsum(f(0), v(2));
+        fzero(as, f(2));
+        as.simdBcast(v(2), f(2));
+    }
+    if (s.alpha != 1.0f)
+        as.fmul(f(0), f(0), f(3));
+    if (s.beta != 0.0f) {
+        as.flw(f(2), ptr_c, 0);
+        as.fmul(f(2), f(2), f(4));
+        as.fadd(f(0), f(0), f(2));
+    }
+    as.fsw(f(0), ptr_c, 0);
+    fzero(as, f(0));
+}
+
+void
+emitMatmulNv(SpmdBuilder &b, const MatmulSpec &s)
+{
+    b.mimdPhase([&](Assembler &as) {
+        int W = b.activeCores();
+        as.la(x(16), s.a);
+        as.la(x(17), s.bt);
+        as.la(x(18), s.c);
+        if (s.alpha != 1.0f)
+            emitFConst(as, f(3), s.alpha, x(9));
+        if (s.beta != 0.0f)
+            emitFConst(as, f(4), s.beta, x(9));
+        as.mv(x(5), rCoreId);
+        as.li(x(6), s.n);
+        Loop rows(as, x(5), x(6), W);
+        {
+            emitAffine(as, x(7), x(16), x(5), s.k * 4, x(9)); // A row
+            emitAffine(as, x(15), x(18), x(5),
+                       s.storeTransposed ? 4 : s.m * 4, x(9)); // C row
+            as.mv(x(8), x(17));                               // BT row
+            as.li(x(10), 0);
+            as.li(x(11), s.m);
+            Loop jl(as, x(10), x(11), 1);
+            {
+                fzero(as, f(0));
+                as.mv(x(12), x(7));
+                as.mv(x(13), x(8));
+                as.li(x(14), 0);
+                as.li(x(19), s.k);
+                Loop kl(as, x(14), x(19), 4);
+                for (int u = 0; u < 4; ++u) {
+                    as.flw(f(1), x(12), 4 * u);
+                    as.flw(f(2), x(13), 4 * u);
+                    as.fmadd(f(0), f(1), f(2), f(0));
+                }
+                as.addi(x(12), x(12), 16);
+                as.addi(x(13), x(13), 16);
+                kl.end();
+                emitCStore(as, s, x(15), false);
+                as.addi(x(15), x(15),
+                        s.storeTransposed ? s.n * 4 : 4);
+                as.addi(x(8), x(8), s.k * 4);
+            }
+            jl.end();
+        }
+        rows.end();
+    });
+}
+
+void
+emitMatmulPf(SpmdBuilder &b, const MatmulSpec &s)
+{
+    bool simd = b.config().simdWords > 1;
+    const int F = 16;
+    const int frame_words = 2 * F;
+    const int num_frames = 8;
+    if (s.k % F != 0)
+        fatal("matmul: k must divide by ", F);
+    b.mimdPhase([&, simd](Assembler &as) {
+        int W = b.activeCores();
+        emitFrameCfg(as, frame_words, num_frames, x(9));
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, num_frames);
+        rot.emitInit();
+        as.la(x(16), s.a);
+        as.la(x(17), s.bt);
+        as.la(x(18), s.c);
+        if (s.alpha != 1.0f)
+            emitFConst(as, f(3), s.alpha, x(9));
+        if (s.beta != 0.0f)
+            emitFConst(as, f(4), s.beta, x(9));
+        if (simd) {
+            fzero(as, f(2));
+            as.simdBcast(v(2), f(2));
+        }
+        as.mv(x(5), rCoreId);
+        as.li(x(6), s.n);
+        Loop rows(as, x(5), x(6), W);
+        {
+            emitAffine(as, x(7), x(16), x(5), s.k * 4, x(9));
+            emitAffine(as, x(15), x(18), x(5),
+                       s.storeTransposed ? 4 : s.m * 4, x(9));
+            as.mv(x(8), x(17));
+            as.li(x(10), 0);
+            as.li(x(11), s.m);
+            Loop jl(as, x(10), x(11), 1);
+            {
+                fzero(as, f(0));
+                as.mv(x(12), x(7));
+                as.mv(x(13), x(8));
+                DaeStreamSpec spec;
+                spec.iters = s.k / F;
+                spec.frameBytes = frame_words * 4;
+                spec.numFrames = num_frames;
+                spec.fill = [&](Assembler &a, RegIdx off) {
+                    a.vload(x(12), off, 0, F, VloadVariant::Self);
+                    a.addi(x(12), x(12), F * 4);
+                    a.addi(regs.tmp, off, F * 4);
+                    a.vload(x(13), regs.tmp, 0, F, VloadVariant::Self);
+                    a.addi(x(13), x(13), F * 4);
+                };
+                spec.consume = [&, simd](Assembler &a, RegIdx fb) {
+                    emitDotChunk(a, fb, F, false, F * 4, simd);
+                };
+                emitMimdStream(as, spec, rot, regs);
+                emitCStore(as, s, x(15), simd);
+                as.addi(x(15), x(15),
+                        s.storeTransposed ? s.n * 4 : 4);
+                as.addi(x(8), x(8), s.k * 4);
+            }
+            jl.end();
+        }
+        rows.end();
+    });
+}
+
+void
+emitMatmulVector(SpmdBuilder &b, const MatmulSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    bool simd = cfg.simdWords > 1;
+    int VLEN = cfg.groupSize;
+    int G = b.numGroups();
+    const int F = 16;  // Per-lane Single-load width (one line).
+    const int frame_words = 2 * F;
+    const int num_frames = 8;
+    if (s.n % VLEN != 0)
+        fatal("matmul: n must divide by the group size");
+    if (s.k % F != 0)
+        fatal("matmul: k must divide by ", F);
+
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+    Label storej = b.declareMicrothread();
+    Label chunkfin = b.declareMicrothread();
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        fzero(as, f(0));
+        if (simd) {
+            fzero(as, f(2));
+            as.simdBcast(v(2), f(2));
+        }
+        if (s.alpha != 1.0f)
+            emitFConst(as, f(3), s.alpha, x(7));
+        if (s.beta != 0.0f)
+            emitFConst(as, f(4), s.beta, x(7));
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        as.li(x(7), VLEN + 1);
+        as.div(x(6), x(6), x(7));              // group id
+        emitScale(as, x(9), x(6), VLEN, x(7));
+        as.add(x(9), x(9), x(5));              // lane row index
+        as.li(x(15), s.storeTransposed ? 4 : s.m * 4);
+        as.li(x(18), s.storeTransposed ? s.n * 4 : 4);
+        as.la(x(16), s.c);
+        as.mul(x(10), x(9), x(15));
+        as.add(x(10), x(16), x(10));           // C pointer
+        as.li(x(17), G * VLEN);                // chunk row step
+    });
+    b.defineMicrothread(body, [=](Assembler &as) {
+        as.frameStart(x(13));
+        emitDotChunk(as, x(13), F, false, F * 4, simd);
+        as.remem();
+    });
+    b.defineMicrothread(storej, [=](Assembler &as) {
+        emitCStore(as, s, x(10), simd);
+        as.add(x(10), x(10), x(18));
+    });
+    b.defineMicrothread(chunkfin, [=](Assembler &as) {
+        as.add(x(9), x(9), x(17));
+        as.mul(x(11), x(9), x(15));
+        as.add(x(10), x(16), x(11));
+    });
+
+    b.vectorPhase(frame_words, num_frames, [=, &b](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), s.a);
+        as.la(x(6), s.bt);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, num_frames);
+        rot.emitInit();
+        as.mv(x(7), rGroupId);
+        as.li(x(8), s.n / VLEN);
+        Loop chunks(as, x(7), x(8), G);
+        {
+            emitAffine(as, x(9), x(5), x(7), VLEN * s.k * 4, x(10));
+            as.mv(x(12), x(6));                 // BT row base
+            as.li(x(10), 0);
+            as.li(x(11), s.m);
+            Loop jl(as, x(10), x(11), 1);
+            {
+                as.mv(x(13), x(9));             // A chunk pointer
+                as.mv(x(14), x(12));            // BT chunk pointer
+                DaeStreamSpec spec;
+                spec.iters = s.k / F;
+                spec.frameBytes = frame_words * 4;
+                spec.numFrames = num_frames;
+                spec.bodyMt = body;
+                spec.fill = [=](Assembler &a, RegIdx off) {
+                    for (int l = 0; l < VLEN; ++l) {
+                        RegIdx areg = x(13);
+                        if (l > 0) {
+                            a.li(x(19), l * s.k * 4);
+                            a.add(x(20), x(13), x(19));
+                            areg = x(20);
+                        }
+                        a.vload(areg, off, l, F, VloadVariant::Single);
+                    }
+                    a.addi(x(21), off, F * 4);
+                    for (int l = 0; l < VLEN; ++l)
+                        a.vload(x(14), x(21), l, F,
+                                VloadVariant::Single);
+                    a.addi(x(13), x(13), F * 4);
+                    a.addi(x(14), x(14), F * 4);
+                };
+                emitScalarStream(as, spec, rot, regs);
+                as.vissue(storej);
+                as.addi(x(12), x(12), s.k * 4);
+            }
+            jl.end();
+            as.vissue(chunkfin);
+        }
+        chunks.end();
+    });
+}
+
+} // namespace
+
+void
+emitMatmulPhase(SpmdBuilder &b, const MatmulSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    if (cfg.isVector())
+        emitMatmulVector(b, s);
+    else if (cfg.dae)
+        emitMatmulPf(b, s);
+    else
+        emitMatmulNv(b, s);
+}
+
+// ===========================================================================
+// Row map
+// ===========================================================================
+
+namespace
+{
+
+/** Per-element transform: f0 = (f0 - fsub) * fscale. */
+void
+emitMapOp(Assembler &as, const RowMapSpec &s)
+{
+    if (s.sub != 0)
+        as.fsub(f(0), f(0), f(5));
+    if (s.scale != 0)
+        as.fmul(f(0), f(0), f(6));
+}
+
+void
+emitRowMapMimd(SpmdBuilder &b, const RowMapSpec &s)
+{
+    bool pf = b.config().dae;
+    const int F = 16;
+    const int num_frames = 8;
+    b.mimdPhase([&, pf](Assembler &as) {
+        int W = b.activeCores();
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, F * 4, num_frames);
+        if (pf) {
+            emitFrameCfg(as, F, num_frames, x(9));
+            rot.emitInit();
+        }
+        as.la(x(16), s.in);
+        as.la(x(17), s.out);
+        if (s.sub)
+            as.la(x(18), s.sub);
+        if (s.scale)
+            as.la(x(19), s.scale);
+        as.mv(x(5), rCoreId);
+        as.li(x(6), s.rows);
+        Loop rows(as, x(5), x(6), W);
+        {
+            emitAffine(as, x(7), x(16), x(5), s.cols * 4, x(9));
+            emitAffine(as, x(8), x(17), x(5), s.cols * 4, x(9));
+            if (s.sub) {
+                emitAffine(as, x(10), x(18), x(5), 4, x(9));
+                as.flw(f(5), x(10), 0);
+            }
+            if (s.scale) {
+                emitAffine(as, x(10), x(19), x(5), 4, x(9));
+                as.flw(f(6), x(10), 0);
+            }
+            if (!pf) {
+                as.li(x(11), 0);
+                as.li(x(12), s.cols);
+                Loop cl(as, x(11), x(12), 2);
+                for (int u = 0; u < 2; ++u) {
+                    as.flw(f(0), x(7), 4 * u);
+                    emitMapOp(as, s);
+                    as.fsw(f(0), x(8), 4 * u);
+                }
+                as.addi(x(7), x(7), 8);
+                as.addi(x(8), x(8), 8);
+                cl.end();
+            } else {
+                DaeStreamSpec spec;
+                spec.iters = s.cols / F;
+                spec.frameBytes = F * 4;
+                spec.numFrames = num_frames;
+                spec.fill = [&](Assembler &a, RegIdx off) {
+                    a.vload(x(7), off, 0, F, VloadVariant::Self);
+                    a.addi(x(7), x(7), F * 4);
+                };
+                spec.consume = [&](Assembler &a, RegIdx fb) {
+                    for (int u = 0; u < F; ++u) {
+                        a.flw(f(0), fb, 4 * u);
+                        emitMapOp(a, s);
+                        a.fsw(f(0), x(8), 4 * u);
+                    }
+                    a.addi(x(8), x(8), F * 4);
+                };
+                emitMimdStream(as, spec, rot, regs);
+            }
+        }
+        rows.end();
+    });
+}
+
+void
+emitRowMapVector(SpmdBuilder &b, const RowMapSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    int VLEN = cfg.groupSize;
+    int G = b.numGroups();
+    const int F = 16;
+    const int num_frames = 8;
+    if (s.rows % VLEN != 0)
+        fatal("rowmap: rows must divide by the group size");
+    if (s.cols % F != 0)
+        fatal("rowmap: cols must divide by ", F);
+
+    Label init = b.declareMicrothread();
+    Label nextrow = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        as.li(x(7), VLEN + 1);
+        as.div(x(6), x(6), x(7));
+        emitScale(as, x(9), x(6), VLEN, x(7));
+        as.add(x(9), x(9), x(5));          // lane row
+        as.li(x(17), G * VLEN);            // row step
+        as.sub(x(9), x(9), x(17));         // pre-decrement; nextrow adds
+        as.la(x(16), s.out);
+        as.li(x(15), s.cols * 4);
+        if (s.sub)
+            as.la(x(18), s.sub);
+        if (s.scale)
+            as.la(x(19), s.scale);
+    });
+    b.defineMicrothread(nextrow, [=](Assembler &as) {
+        as.add(x(9), x(9), x(17));
+        as.mul(x(10), x(9), x(15));
+        as.add(x(10), x(16), x(10));       // out pointer
+        if (s.sub) {
+            emitAffine(as, x(11), x(18), x(9), 4, x(12));
+            as.flw(f(5), x(11), 0);
+        }
+        if (s.scale) {
+            emitAffine(as, x(11), x(19), x(9), 4, x(12));
+            as.flw(f(6), x(11), 0);
+        }
+    });
+    b.defineMicrothread(body, [=](Assembler &as) {
+        as.frameStart(x(13));
+        for (int u = 0; u < F; ++u) {
+            as.flw(f(0), x(13), 4 * u);
+            emitMapOp(as, s);
+            as.fsw(f(0), x(10), 4 * u);
+        }
+        as.addi(x(10), x(10), F * 4);
+        as.remem();
+    });
+
+    b.vectorPhase(F, num_frames, [=, &b](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), s.in);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, F * 4, num_frames);
+        rot.emitInit();
+        as.mv(x(7), rGroupId);
+        as.li(x(8), s.rows / VLEN);
+        Loop chunks(as, x(7), x(8), G);
+        {
+            as.vissue(nextrow);
+            emitAffine(as, x(9), x(5), x(7), VLEN * s.cols * 4, x(10));
+            DaeStreamSpec spec;
+            spec.iters = s.cols / F;
+            spec.frameBytes = F * 4;
+            spec.numFrames = num_frames;
+            spec.bodyMt = body;
+            spec.fill = [=](Assembler &a, RegIdx off) {
+                for (int l = 0; l < VLEN; ++l) {
+                    RegIdx areg = x(9);
+                    if (l > 0) {
+                        a.li(x(19), l * s.cols * 4);
+                        a.add(x(20), x(9), x(19));
+                        areg = x(20);
+                    }
+                    a.vload(areg, off, l, F, VloadVariant::Single);
+                }
+                a.addi(x(9), x(9), F * 4);
+            };
+            emitScalarStream(as, spec, rot, regs);
+        }
+        chunks.end();
+    });
+}
+
+} // namespace
+
+void
+emitRowMapPhase(SpmdBuilder &b, const RowMapSpec &s)
+{
+    if (b.config().isVector())
+        emitRowMapVector(b, s);
+    else
+        emitRowMapMimd(b, s);
+}
+
+} // namespace rockcress

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared kernel-family emitters. Each emitter specializes its code
+ * for the active configuration (Table 3):
+ *  - NV: direct global word loads (plain manycore),
+ *  - NV_PF / PCV_PF: self wide loads staged through the frame queue,
+ *  - V4 / V16 (+PCV/+LL): scalar-core wide loads feeding microthreads.
+ *
+ * The matvec family uses cooperative rows with Group loads (the
+ * paper's second work-division schema, Section 2.3.2); the matmul
+ * family uses per-lane rows with Single loads (the first schema).
+ */
+
+#ifndef ROCKCRESS_KERNELS_EMITTERS_HH
+#define ROCKCRESS_KERNELS_EMITTERS_HH
+
+#include "compiler/codegen.hh"
+
+namespace rockcress
+{
+
+/** Materialize a float constant into an fp register. */
+void emitFConst(Assembler &as, RegIdx freg, float value, RegIdx tmp);
+
+/** Zero an fp register (fcvt.s.w f, x0). */
+void emitFZero(Assembler &as, RegIdx freg);
+
+/**
+ * out[i] (+)= alpha * dot(M[i, :], x)  for i in [0, rows).
+ *
+ * Vector configurations process each row cooperatively: Group loads
+ * scatter consecutive row/vector chunks across lanes, each lane
+ * accumulates a partial, and a trailing MIMD phase reduces the
+ * partials (out[i] from partials[i*16 + lane]).
+ */
+struct MatvecSpec
+{
+    Addr mat = 0;
+    Addr vecIn = 0;     ///< 0 selects self-dot: dot(M[i,:], M[i,:]).
+    Addr out = 0;
+    Addr partials = 0;  ///< rows x 16 floats of scratch (vector cfgs).
+    int rows = 0;
+    int cols = 0;       ///< Must divide by the chunking (multiple of 128).
+    bool accumulate = false;
+    float alpha = 1.0f;
+};
+
+void emitMatvecPhase(SpmdBuilder &b, const MatvecSpec &s);
+
+/**
+ * out[j] (+)= sum_i M[i][j] * x[i] with M stored row-major — the
+ * transpose-side matrix-vector product of atax/bicg/mvt.
+ *
+ * This is the access pattern where wide loads pay off most (Section
+ * 6.6): the manycore baselines walk columns — NV with strided word
+ * loads, NV_PF with narrow 4-word slices that underuse cache lines —
+ * while vector groups stream whole rows with Group loads, accumulate
+ * per-lane column partials in their scratchpads, and reduce at the
+ * end.
+ */
+struct MatvecTSpec
+{
+    Addr mat = 0;       ///< rows x cols, row-major.
+    Addr vecIn = 0;     ///< x, length rows.
+    Addr out = 0;       ///< y, length cols.
+    Addr partials = 0;  ///< numGroups x cols floats (vector cfgs).
+    int rows = 0;
+    int cols = 0;       ///< Multiple of 128.
+    bool accumulate = false;
+};
+
+void emitMatvecTransposePhase(SpmdBuilder &b, const MatvecTSpec &s);
+
+/**
+ * C[i][j] = alpha * dot(A[i, :], BT[j, :]) + beta * C[i][j].
+ * BT is the transposed right operand (Table 2's transpose mem-opt).
+ * Vector configurations deal VLEN-row chunks to groups; each lane
+ * owns one row and receives Single loads.
+ */
+struct MatmulSpec
+{
+    Addr a = 0;
+    Addr bt = 0;
+    Addr c = 0;
+    int n = 0;   ///< Rows of C/A; must be a multiple of 16.
+    int m = 0;   ///< Columns of C = rows of BT.
+    int k = 0;   ///< Depth; must be a multiple of 16.
+    float alpha = 1.0f;
+    float beta = 0.0f;
+    /** Write C transposed (C[j][i]); lets chained multiplies consume
+     * a runtime-computed right operand without a transpose pass. */
+    bool storeTransposed = false;
+};
+
+void emitMatmulPhase(SpmdBuilder &b, const MatmulSpec &s);
+
+/**
+ * Row-wise elementwise transform:
+ *   out[i][j] = (in[i][j] - sub[i]) * scale[i]
+ * with sub/scale optional (0 address = identity). Used by corr/covar
+ * mean-centering and normalization. Rows are dealt per worker (MIMD)
+ * or per lane (vector, Single loads).
+ */
+struct RowMapSpec
+{
+    Addr in = 0;
+    Addr out = 0;       ///< May equal in (in-place).
+    Addr sub = 0;       ///< Per-row subtrahend array (optional).
+    Addr scale = 0;     ///< Per-row scale array (optional).
+    int rows = 0;
+    int cols = 0;       ///< Multiple of 16.
+};
+
+void emitRowMapPhase(SpmdBuilder &b, const RowMapSpec &s);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_KERNELS_EMITTERS_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Small shared emitters for GPU lane programs (element-per-thread,
+ * as the PolyBench/GPU CUDA kernels are written).
+ */
+
+#ifndef ROCKCRESS_KERNELS_GPU_HELPERS_HH
+#define ROCKCRESS_KERNELS_GPU_HELPERS_HH
+
+#include "kernels/common.hh"
+#include "kernels/emitters.hh"
+
+namespace rockcress
+{
+
+/**
+ * Lane program: out[tid] = alpha * dot(M[tid, :], x) (+ out[tid]).
+ * One thread per row.
+ */
+inline void
+gpuDotRow(Assembler &as, Addr mat, Addr vec, Addr out, int cols,
+          float alpha = 1.0f, bool accumulate = false)
+{
+    as.la(x(5), mat);
+    emitAffine(as, x(6), x(5), gpuTidReg, cols * 4, x(7));
+    as.la(x(8), vec);
+    emitFZero(as, f(0));
+    as.li(x(9), 0);
+    as.li(x(10), cols);
+    Loop kl(as, x(9), x(10), 4);
+    for (int u = 0; u < 4; ++u) {
+        as.flw(f(1), x(6), 4 * u);
+        as.flw(f(2), x(8), 4 * u);
+        as.fmadd(f(0), f(1), f(2), f(0));
+    }
+    as.addi(x(6), x(6), 16);
+    as.addi(x(8), x(8), 16);
+    kl.end();
+    as.la(x(11), out);
+    emitAffine(as, x(12), x(11), gpuTidReg, 4, x(7));
+    if (alpha != 1.0f) {
+        emitFConst(as, f(3), alpha, x(7));
+        as.fmul(f(0), f(0), f(3));
+    }
+    if (accumulate) {
+        as.flw(f(2), x(12), 0);
+        as.fadd(f(0), f(0), f(2));
+    }
+    as.fsw(f(0), x(12), 0);
+}
+
+/**
+ * Lane program: out[tid] (+)= dot(M[:, tid], x) — the transpose-side
+ * matvec. One thread per column; consecutive threads touch
+ * consecutive words, so the wavefront coalescer merges each row's
+ * accesses into full lines (GPUs handle this layout natively).
+ */
+inline void
+gpuDotCol(Assembler &as, Addr mat, Addr vec, Addr out, int rows,
+          int cols, bool accumulate = false)
+{
+    as.la(x(5), mat);
+    emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));  // &M[0][tid]
+    as.la(x(8), vec);
+    emitFZero(as, f(0));
+    as.li(x(9), 0);
+    as.li(x(10), rows);
+    Loop il(as, x(9), x(10), 1);
+    {
+        as.flw(f(1), x(6), 0);
+        as.flw(f(2), x(8), 0);
+        as.fmadd(f(0), f(1), f(2), f(0));
+        emitAddImm(as, x(6), x(6), cols * 4, x(7));
+        as.addi(x(8), x(8), 4);
+    }
+    il.end();
+    as.la(x(11), out);
+    emitAffine(as, x(12), x(11), gpuTidReg, 4, x(7));
+    if (accumulate) {
+        as.flw(f(2), x(12), 0);
+        as.fadd(f(0), f(0), f(2));
+    }
+    as.fsw(f(0), x(12), 0);
+}
+
+/**
+ * Lane program: one thread per C element.
+ *   C[i][j] = alpha * dot(A[i,:], BT[j,:]) + beta * C[i][j]
+ * where tid = i * m + j.
+ */
+inline void
+gpuMatmulElem(Assembler &as, Addr a, Addr bt, Addr c, int m, int k,
+              float alpha = 1.0f, float beta = 0.0f)
+{
+    as.li(x(5), m);
+    as.div(x(6), gpuTidReg, x(5));   // i
+    as.rem(x(7), gpuTidReg, x(5));   // j
+    as.la(x(8), a);
+    emitAffine(as, x(9), x(8), x(6), k * 4, x(10));
+    as.la(x(8), bt);
+    emitAffine(as, x(11), x(8), x(7), k * 4, x(10));
+    emitFZero(as, f(0));
+    as.li(x(12), 0);
+    as.li(x(13), k);
+    Loop kl(as, x(12), x(13), 4);
+    for (int u = 0; u < 4; ++u) {
+        as.flw(f(1), x(9), 4 * u);
+        as.flw(f(2), x(11), 4 * u);
+        as.fmadd(f(0), f(1), f(2), f(0));
+    }
+    as.addi(x(9), x(9), 16);
+    as.addi(x(11), x(11), 16);
+    kl.end();
+    as.la(x(8), c);
+    emitAffine(as, x(14), x(8), gpuTidReg, 4, x(10));
+    if (alpha != 1.0f) {
+        emitFConst(as, f(3), alpha, x(10));
+        as.fmul(f(0), f(0), f(3));
+    }
+    if (beta != 0.0f) {
+        emitFConst(as, f(4), beta, x(10));
+        as.flw(f(2), x(14), 0);
+        as.fmul(f(2), f(2), f(4));
+        as.fadd(f(0), f(0), f(2));
+    }
+    as.fsw(f(0), x(14), 0);
+}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_KERNELS_GPU_HELPERS_HH

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Gram-Schmidt orthonormalization. Column-major access defeats wide
+ * loads (Section 6.3: "not able to take advantage of vector loads
+ * due to its access pattern and must resort to scalar loads"), so
+ * every configuration runs the cooperative scalar-load version; for
+ * vector-group configurations the active cores execute it in
+ * independent mode (the paper substitutes "the closest valid
+ * configuration" for this benchmark too, Section 6.2).
+ */
+
+#include <cmath>
+
+#include "kernels/bench_decls.hh"
+#include "kernels/emitters.hh"
+#include "kernels/gpu_helpers.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr int GM = 64;  ///< Rows (vector length).
+constexpr int GN = 64;  ///< Columns (number of vectors).
+
+class Gramschm final : public Benchmark
+{
+  public:
+    std::string name() const override { return "gramschm"; }
+    std::string description() const override
+    {
+        return "Gram-Schmidt decomposition";
+    }
+    int kernelCount() const override { return 3; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(GM) * GN, 301, 0.1f, 1.1f);
+        aAddr_ = heap.alloc(GM * GN * 4);
+        qAddr_ = heap.alloc(GM * GN * 4);
+        rAddr_ = heap.alloc(GN * GN * 4);
+        partials_ = heap.alloc(64 * 4);
+        scratch_ = heap.alloc(4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, rAddr_,
+                     std::vector<float>(static_cast<size_t>(GN) * GN,
+                                        0.0f));
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        std::vector<float> a = a_;
+        std::vector<float> q(static_cast<size_t>(GM) * GN, 0.0f);
+        std::vector<float> r(static_cast<size_t>(GN) * GN, 0.0f);
+        auto A = [&](int i, int j) -> float & {
+            return a[static_cast<size_t>(i) * GN + j];
+        };
+        auto Q = [&](int i, int j) -> float & {
+            return q[static_cast<size_t>(i) * GN + j];
+        };
+        auto R = [&](int i, int j) -> float & {
+            return r[static_cast<size_t>(i) * GN + j];
+        };
+        for (int k = 0; k < GN; ++k) {
+            float nrm = 0;
+            for (int i = 0; i < GM; ++i)
+                nrm += A(i, k) * A(i, k);
+            R(k, k) = std::sqrt(nrm);
+            for (int i = 0; i < GM; ++i)
+                Q(i, k) = A(i, k) / R(k, k);
+            for (int j = k + 1; j < GN; ++j) {
+                float rkj = 0;
+                for (int i = 0; i < GM; ++i)
+                    rkj += Q(i, k) * A(i, j);
+                R(k, j) = rkj;
+                for (int i = 0; i < GM; ++i)
+                    A(i, j) -= Q(i, k) * rkj;
+            }
+        }
+        std::string e = compareFloats(
+            q, downloadFloats(mem, qAddr_, q.size()), 0.1f, 1e-2f);
+        if (!e.empty())
+            return "Q: " + e;
+        e = compareFloats(r, downloadFloats(mem, rAddr_, r.size()),
+                          0.1f, 1e-2f);
+        return e.empty() ? "" : "R: " + e;
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        // Per-k dispatches with uniform control flow: the triangular
+        // column range is handled with predication (lane masking)
+        // instead of divergent branches.
+        GpuProgram p;
+        for (int k = 0; k < GN; ++k) {
+            // d1: partial[tid] = A[tid][k]^2.
+            p.dispatches.push_back({GM, [this, k](Assembler &as) {
+                as.la(x(5), aAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, GN * 4, x(7));
+                as.flw(f(1), x(6), 4 * k);
+                as.fmul(f(0), f(1), f(1));
+                as.la(x(5), partials_);
+                emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+                as.fsw(f(0), x(6), 0);
+            }});
+            // d2: every lane redundantly reduces and stores R[k][k]
+            // and its reciprocal (same value from every lane).
+            p.dispatches.push_back({GM, [this, k](Assembler &as) {
+                as.la(x(5), partials_);
+                emitFZero(as, f(0));
+                for (int w = 0; w < GM; ++w) {
+                    as.flw(f(1), x(5), 4 * w);
+                    as.fadd(f(0), f(0), f(1));
+                }
+                as.fsqrt(f(0), f(0));
+                as.la(x(6), rAddr_);
+                emitAddImm(as, x(6), x(6), k * (GN + 1) * 4, x(7));
+                as.fsw(f(0), x(6), 0);
+                emitFConst(as, f(2), 1.0f, x(7));
+                as.fdiv(f(2), f(2), f(0));
+                as.la(x(6), scratch_);
+                as.fsw(f(2), x(6), 0);
+            }});
+            // d3: Q[tid][k] = A[tid][k] / R[k][k].
+            p.dispatches.push_back({GM, [this, k](Assembler &as) {
+                as.la(x(5), scratch_);
+                as.flw(f(2), x(5), 0);
+                as.la(x(5), aAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, GN * 4, x(7));
+                as.flw(f(1), x(6), 4 * k);
+                as.fmul(f(1), f(1), f(2));
+                as.la(x(5), qAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, GN * 4, x(7));
+                as.fsw(f(1), x(6), 4 * k);
+            }});
+            // d4: lane j computes R[k][j] and updates A[:, j],
+            // masked to j > k.
+            p.dispatches.push_back({GN, [this, k](Assembler &as) {
+                as.li(x(5), k);
+                as.slt(x(6), x(5), gpuTidReg);   // j > k
+                as.predNeq(x(6), regZero);
+                as.la(x(7), qAddr_);
+                emitAddImm(as, x(7), x(7), 4 * k, x(9));
+                as.la(x(8), aAddr_);
+                emitAffine(as, x(8), x(8), gpuTidReg, 4, x(9));
+                emitFZero(as, f(0));
+                as.mv(x(11), x(7));
+                as.mv(x(12), x(8));
+                for (int i = 0; i < GM; ++i) {
+                    as.flw(f(1), x(11), 0);
+                    as.flw(f(3), x(12), 0);
+                    as.fmadd(f(0), f(1), f(3), f(0));
+                    as.addi(x(11), x(11), GN * 4);
+                    as.addi(x(12), x(12), GN * 4);
+                }
+                as.la(x(10), rAddr_);
+                emitAddImm(as, x(10), x(10), k * GN * 4, x(9));
+                emitAffine(as, x(10), x(10), gpuTidReg, 4, x(9));
+                as.fsw(f(0), x(10), 0);
+                as.mv(x(11), x(7));
+                as.mv(x(12), x(8));
+                for (int i = 0; i < GM; ++i) {
+                    as.flw(f(1), x(11), 0);
+                    as.flw(f(3), x(12), 0);
+                    as.fmul(f(1), f(1), f(0));
+                    as.fsub(f(3), f(3), f(1));
+                    as.fsw(f(3), x(12), 0);
+                    as.addi(x(11), x(11), GN * 4);
+                    as.addi(x(12), x(12), GN * 4);
+                }
+                as.predEq(regZero, regZero);
+            }});
+        }
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        b.mimdPhase([this, &b](Assembler &as) {
+            as.mv(x(5), rCoreId);
+            emitBody(as, x(5), b.activeCores(), true);
+        });
+    }
+
+  private:
+    /**
+     * The full decomposition for worker `wid` of W. On the GPU the
+     * barrier degenerates: only thread 0's lane does the reductions,
+     * which is correct because a single wavefront runs in lockstep.
+     */
+    void
+    emitBody(Assembler &as, RegIdx wid, int W, bool with_barriers)
+    {
+        auto barrier = [&] {
+            if (with_barriers)
+                as.barrier();
+        };
+        as.la(x(6), aAddr_);
+        as.la(x(7), qAddr_);
+        as.la(x(8), rAddr_);
+        as.la(x(9), partials_);
+        as.la(x(10), scratch_);
+        as.li(x(11), 0);      // k
+        as.li(x(12), GN);     // bound
+        Loop kl(as, x(11), x(12), 1);
+        {
+            // Partial sum of A[i][k]^2, i strided by W.
+            emitFZero(as, f(0));
+            emitAffine(as, x(13), x(6), x(11), 4, x(15));  // &A[0][k]
+            emitAffine(as, x(14), x(13), wid, GN * 4, x(15));
+            as.mv(x(16), wid);
+            as.li(x(17), GM);
+            {
+                Loop il(as, x(16), x(17), W);
+                as.flw(f(1), x(14), 0);
+                as.fmadd(f(0), f(1), f(1), f(0));
+                emitAddImm(as, x(14), x(14), W * GN * 4, x(15));
+                il.end();
+            }
+            emitAffine(as, x(14), x(9), wid, 4, x(15));
+            as.fsw(f(0), x(14), 0);
+            barrier();
+
+            // Worker 0 reduces, stores R[k][k] and 1/R[k][k].
+            {
+                Label skip = as.newLabel();
+                as.bne(wid, regZero, skip);
+                emitFZero(as, f(0));
+                for (int w = 0; w < W; ++w) {
+                    as.flw(f(1), x(9), 4 * w);
+                    as.fadd(f(0), f(0), f(1));
+                }
+                as.fsqrt(f(0), f(0));
+                emitScale(as, x(14), x(11), (GN + 1) * 4, x(15));
+                as.add(x(14), x(8), x(14));   // &R[k][k]
+                as.fsw(f(0), x(14), 0);
+                emitFConst(as, f(2), 1.0f, x(15));
+                as.fdiv(f(2), f(2), f(0));
+                as.fsw(f(2), x(10), 0);
+                as.bind(skip);
+            }
+            barrier();
+
+            // Q[:, k] = A[:, k] / R[k][k].
+            as.flw(f(2), x(10), 0);
+            emitAffine(as, x(13), x(6), x(11), 4, x(15));
+            emitAffine(as, x(14), x(13), wid, GN * 4, x(15));
+            emitAffine(as, x(13), x(7), x(11), 4, x(15));
+            emitAffine(as, x(18), x(13), wid, GN * 4, x(15));
+            as.mv(x(16), wid);
+            as.li(x(17), GM);
+            {
+                Loop il(as, x(16), x(17), W);
+                as.flw(f(1), x(14), 0);
+                as.fmul(f(1), f(1), f(2));
+                as.fsw(f(1), x(18), 0);
+                emitAddImm(as, x(14), x(14), W * GN * 4, x(15));
+                emitAddImm(as, x(18), x(18), W * GN * 4, x(15));
+                il.end();
+            }
+            barrier();
+
+            // Columns j > k dealt to workers.
+            as.addi(x(16), x(11), 1);
+            as.add(x(16), x(16), wid);   // j
+            as.li(x(17), GN);
+            {
+                Loop jl(as, x(16), x(17), W);
+                // rkj = dot(Q[:, k], A[:, j])
+                emitFZero(as, f(0));
+                emitAffine(as, x(13), x(7), x(11), 4, x(15));
+                emitAffine(as, x(14), x(6), x(16), 4, x(15));
+                for (int i = 0; i < GM; ++i) {
+                    as.flw(f(1), x(13), 0);
+                    as.flw(f(3), x(14), 0);
+                    as.fmadd(f(0), f(1), f(3), f(0));
+                    as.addi(x(13), x(13), GN * 4);
+                    as.addi(x(14), x(14), GN * 4);
+                }
+                emitAffine(as, x(13), x(8), x(11), GN * 4, x(15));
+                emitAffine(as, x(13), x(13), x(16), 4, x(15));
+                as.fsw(f(0), x(13), 0);   // R[k][j]
+                // A[:, j] -= Q[:, k] * rkj
+                emitAffine(as, x(13), x(7), x(11), 4, x(15));
+                emitAffine(as, x(14), x(6), x(16), 4, x(15));
+                for (int i = 0; i < GM; ++i) {
+                    as.flw(f(1), x(13), 0);
+                    as.flw(f(3), x(14), 0);
+                    as.fmul(f(1), f(1), f(0));
+                    as.fsub(f(3), f(3), f(1));
+                    as.fsw(f(3), x(14), 0);
+                    as.addi(x(13), x(13), GN * 4);
+                    as.addi(x(14), x(14), GN * 4);
+                }
+                jl.end();
+            }
+            barrier();
+        }
+        kl.end();
+    }
+
+    std::vector<float> a_;
+    Addr aAddr_ = 0, qAddr_ = 0, rAddr_ = 0, partials_ = 0, scratch_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeGramschm()
+{
+    return std::make_unique<Gramschm>();
+}
+
+} // namespace rockcress

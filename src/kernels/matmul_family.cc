@@ -1,0 +1,734 @@
+/**
+ * @file
+ * The matrix-multiply benchmark family: 2mm, 3mm, gemm, syrk, syr2k,
+ * plus the correlation/covariance kernels that reduce to symmetric
+ * matrix products after centering. Right operands are stored
+ * transposed (Table 2's transpose memory optimization); chained
+ * products store their result transposed so the next multiply can
+ * stream it.
+ */
+
+#include <cmath>
+
+#include "kernels/bench_decls.hh"
+#include "kernels/emitters.hh"
+#include "kernels/gpu_helpers.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr int MM = 48;  ///< Square matmul dimension.
+
+std::vector<float>
+hostTranspose(const std::vector<float> &m, int rows, int cols)
+{
+    std::vector<float> t(m.size());
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < cols; ++j)
+            t[static_cast<size_t>(j) * rows + i] =
+                m[static_cast<size_t>(i) * cols + j];
+    return t;
+}
+
+/** Host C = alpha * A(n x k) * BT(m x k)^T + beta * C. */
+std::vector<float>
+hostMatmulT(const std::vector<float> &a, const std::vector<float> &bt,
+            const std::vector<float> &c0, int n, int m, int k,
+            float alpha = 1.0f, float beta = 0.0f)
+{
+    std::vector<float> c(static_cast<size_t>(n) * m, 0.0f);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < m; ++j) {
+            float s = 0;
+            for (int kk = 0; kk < k; ++kk)
+                s += a[static_cast<size_t>(i) * k + kk] *
+                     bt[static_cast<size_t>(j) * k + kk];
+            float prev =
+                beta == 0.0f ? 0.0f : c0[static_cast<size_t>(i) * m + j];
+            c[static_cast<size_t>(i) * m + j] = alpha * s + beta * prev;
+        }
+    }
+    return c;
+}
+
+// --- gemm ---------------------------------------------------------------------
+
+class Gemm final : public Benchmark
+{
+  public:
+    std::string name() const override { return "gemm"; }
+    std::string description() const override
+    {
+        return "Matrix multiply (C = alpha A B + beta C)";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(MM) * MM, 51);
+        b_ = randomFloats(static_cast<size_t>(MM) * MM, 52);
+        c_ = randomFloats(static_cast<size_t>(MM) * MM, 53);
+        bt_ = hostTranspose(b_, MM, MM);
+        aAddr_ = heap.alloc(MM * MM * 4);
+        btAddr_ = heap.alloc(MM * MM * 4);
+        cAddr_ = heap.alloc(MM * MM * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, btAddr_, bt_);
+        uploadFloats(mem, cAddr_, c_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto expect =
+            hostMatmulT(a_, bt_, c_, MM, MM, MM, alpha_, beta_);
+        return compareFloats(expect, downloadFloats(mem, cAddr_,
+                                                    expect.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, aAddr_, btAddr_, cAddr_, MM, MM,
+                               alpha_, beta_);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatmulSpec s;
+        s.a = aAddr_;
+        s.bt = btAddr_;
+        s.c = cAddr_;
+        s.n = s.m = s.k = MM;
+        s.alpha = alpha_;
+        s.beta = beta_;
+        emitMatmulPhase(b, s);
+    }
+
+  private:
+    const float alpha_ = 32412.0f / 32768.0f;
+    const float beta_ = 2123.0f / 4096.0f;
+    std::vector<float> a_, b_, bt_, c_;
+    Addr aAddr_ = 0, btAddr_ = 0, cAddr_ = 0;
+};
+
+// --- 2mm: D = A B ; E = D C ------------------------------------------------------
+
+class TwoMm final : public Benchmark
+{
+  public:
+    std::string name() const override { return "2mm"; }
+    std::string description() const override
+    {
+        return "Two matrix multiplies (E = (A B) C)";
+    }
+    int kernelCount() const override { return 2; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(MM) * MM, 61);
+        b_ = randomFloats(static_cast<size_t>(MM) * MM, 62);
+        c_ = randomFloats(static_cast<size_t>(MM) * MM, 63);
+        bt_ = hostTranspose(b_, MM, MM);
+        ct_ = hostTranspose(c_, MM, MM);
+        aAddr_ = heap.alloc(MM * MM * 4);
+        btAddr_ = heap.alloc(MM * MM * 4);
+        ctAddr_ = heap.alloc(MM * MM * 4);
+        dAddr_ = heap.alloc(MM * MM * 4);
+        eAddr_ = heap.alloc(MM * MM * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, btAddr_, bt_);
+        uploadFloats(mem, ctAddr_, ct_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto d = hostMatmulT(a_, bt_, {}, MM, MM, MM);
+        auto e = hostMatmulT(d, ct_, {}, MM, MM, MM);
+        return compareFloats(
+            e, downloadFloats(mem, eAddr_, e.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, aAddr_, btAddr_, dAddr_, MM, MM);
+             }});
+        // Second multiply reads D rows and CT rows: E[i][j] =
+        // dot(D[i,:], CT[j,:]) since (D C)[i][j] = dot(D[i,:], C[:,j]).
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, dAddr_, ctAddr_, eAddr_, MM, MM);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatmulSpec s1;
+        s1.a = aAddr_;
+        s1.bt = btAddr_;
+        s1.c = dAddr_;
+        s1.n = s1.m = s1.k = MM;
+        emitMatmulPhase(b, s1);
+        MatmulSpec s2 = s1;
+        s2.a = dAddr_;
+        s2.bt = ctAddr_;
+        s2.c = eAddr_;
+        emitMatmulPhase(b, s2);
+    }
+
+  private:
+    std::vector<float> a_, b_, c_, bt_, ct_;
+    Addr aAddr_ = 0, btAddr_ = 0, ctAddr_ = 0, dAddr_ = 0, eAddr_ = 0;
+};
+
+// --- 3mm: G = (A B) (C D) ---------------------------------------------------------
+
+class ThreeMm final : public Benchmark
+{
+  public:
+    std::string name() const override { return "3mm"; }
+    std::string description() const override
+    {
+        return "Three matrix multiplies (G = (A B)(C D))";
+    }
+    int kernelCount() const override { return 3; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(MM) * MM, 71);
+        b_ = randomFloats(static_cast<size_t>(MM) * MM, 72);
+        c_ = randomFloats(static_cast<size_t>(MM) * MM, 73);
+        d_ = randomFloats(static_cast<size_t>(MM) * MM, 74);
+        bt_ = hostTranspose(b_, MM, MM);
+        dt_ = hostTranspose(d_, MM, MM);
+        aAddr_ = heap.alloc(MM * MM * 4);
+        btAddr_ = heap.alloc(MM * MM * 4);
+        cAddr_ = heap.alloc(MM * MM * 4);
+        dtAddr_ = heap.alloc(MM * MM * 4);
+        eAddr_ = heap.alloc(MM * MM * 4);
+        ftAddr_ = heap.alloc(MM * MM * 4);
+        gAddr_ = heap.alloc(MM * MM * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, btAddr_, bt_);
+        uploadFloats(mem, cAddr_, c_);
+        uploadFloats(mem, dtAddr_, dt_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto e = hostMatmulT(a_, bt_, {}, MM, MM, MM);   // E = A B
+        auto f = hostMatmulT(c_, dt_, {}, MM, MM, MM);   // F = C D
+        auto ft = hostTranspose(f, MM, MM);
+        auto g = hostMatmulT(e, ft, {}, MM, MM, MM);     // G = E F
+        return compareFloats(
+            g, downloadFloats(mem, gAddr_, g.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, aAddr_, btAddr_, eAddr_, MM, MM);
+             }});
+        // F is stored transposed by swapping i/j: FT[j][i] =
+        // dot(C[j,:] ... ) — emit a plain elem kernel into FT by
+        // computing dot(C[i,:], DT[j,:]) and storing at [j*n + i].
+        p.dispatches.push_back({MM * MM, [this](Assembler &as) {
+            as.li(x(5), MM);
+            as.div(x(6), gpuTidReg, x(5));   // i
+            as.rem(x(7), gpuTidReg, x(5));   // j
+            as.la(x(8), cAddr_);
+            emitAffine(as, x(9), x(8), x(6), MM * 4, x(10));
+            as.la(x(8), dtAddr_);
+            emitAffine(as, x(11), x(8), x(7), MM * 4, x(10));
+            emitFZero(as, f(0));
+            as.li(x(12), 0);
+            as.li(x(13), MM);
+            Loop kl(as, x(12), x(13), 4);
+            for (int u = 0; u < 4; ++u) {
+                as.flw(f(1), x(9), 4 * u);
+                as.flw(f(2), x(11), 4 * u);
+                as.fmadd(f(0), f(1), f(2), f(0));
+            }
+            as.addi(x(9), x(9), 16);
+            as.addi(x(11), x(11), 16);
+            kl.end();
+            // Store transposed: FT[j][i].
+            as.la(x(8), ftAddr_);
+            emitAffine(as, x(14), x(8), x(7), MM * 4, x(10));
+            emitAffine(as, x(14), x(14), x(6), 4, x(10));
+            as.fsw(f(0), x(14), 0);
+        }});
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, eAddr_, ftAddr_, gAddr_, MM, MM);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatmulSpec s1;
+        s1.a = aAddr_;
+        s1.bt = btAddr_;
+        s1.c = eAddr_;
+        s1.n = s1.m = s1.k = MM;
+        emitMatmulPhase(b, s1);
+        MatmulSpec s2 = s1;       // F = C D stored transposed.
+        s2.a = cAddr_;
+        s2.bt = dtAddr_;
+        s2.c = ftAddr_;
+        s2.storeTransposed = true;
+        emitMatmulPhase(b, s2);
+        MatmulSpec s3 = s1;       // G = E F.
+        s3.a = eAddr_;
+        s3.bt = ftAddr_;
+        s3.c = gAddr_;
+        emitMatmulPhase(b, s3);
+    }
+
+  private:
+    std::vector<float> a_, b_, c_, d_, bt_, dt_;
+    Addr aAddr_ = 0, btAddr_ = 0, cAddr_ = 0, dtAddr_ = 0, eAddr_ = 0,
+         ftAddr_ = 0, gAddr_ = 0;
+};
+
+// --- syrk: C = alpha A A^T + beta C ----------------------------------------------
+
+class Syrk final : public Benchmark
+{
+  public:
+    std::string name() const override { return "syrk"; }
+    std::string description() const override
+    {
+        return "Symmetric rank-K update (C = alpha A A^T + beta C)";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(MM) * MM, 81);
+        c_ = randomFloats(static_cast<size_t>(MM) * MM, 82);
+        aAddr_ = heap.alloc(MM * MM * 4);
+        cAddr_ = heap.alloc(MM * MM * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, cAddr_, c_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto expect = hostMatmulT(a_, a_, c_, MM, MM, MM, alpha_, beta_);
+        return compareFloats(expect, downloadFloats(mem, cAddr_,
+                                                    expect.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, aAddr_, aAddr_, cAddr_, MM, MM,
+                               alpha_, beta_);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatmulSpec s;
+        s.a = aAddr_;
+        s.bt = aAddr_;
+        s.c = cAddr_;
+        s.n = s.m = s.k = MM;
+        s.alpha = alpha_;
+        s.beta = beta_;
+        emitMatmulPhase(b, s);
+    }
+
+  private:
+    const float alpha_ = 1.5f;
+    const float beta_ = 1.25f;
+    std::vector<float> a_, c_;
+    Addr aAddr_ = 0, cAddr_ = 0;
+};
+
+// --- syr2k: C = alpha (A B^T + B A^T) + beta C ------------------------------------
+
+class Syr2k final : public Benchmark
+{
+  public:
+    std::string name() const override { return "syr2k"; }
+    std::string description() const override
+    {
+        return "Symmetric rank-2K update";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(MM) * MM, 91);
+        b_ = randomFloats(static_cast<size_t>(MM) * MM, 92);
+        c_ = randomFloats(static_cast<size_t>(MM) * MM, 93);
+        aAddr_ = heap.alloc(MM * MM * 4);
+        bAddr_ = heap.alloc(MM * MM * 4);
+        cAddr_ = heap.alloc(MM * MM * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, bAddr_, b_);
+        uploadFloats(mem, cAddr_, c_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto c1 = hostMatmulT(a_, b_, c_, MM, MM, MM, alpha_, beta_);
+        auto c2 = hostMatmulT(b_, a_, c1, MM, MM, MM, alpha_, 1.0f);
+        return compareFloats(
+            c2, downloadFloats(mem, cAddr_, c2.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, aAddr_, bAddr_, cAddr_, MM, MM,
+                               alpha_, beta_);
+             }});
+        p.dispatches.push_back(
+            {MM * MM, [this](Assembler &as) {
+                 gpuMatmulElem(as, bAddr_, aAddr_, cAddr_, MM, MM,
+                               alpha_, 1.0f);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        // C[i][j] = alpha (dot(A[i],B[j]) + dot(B[i],A[j])) + beta C.
+        MatmulSpec s1;
+        s1.a = aAddr_;
+        s1.bt = bAddr_;
+        s1.c = cAddr_;
+        s1.n = s1.m = s1.k = MM;
+        s1.alpha = alpha_;
+        s1.beta = beta_;
+        emitMatmulPhase(b, s1);
+        MatmulSpec s2 = s1;
+        s2.a = bAddr_;
+        s2.bt = aAddr_;
+        s2.beta = 1.0f;
+        emitMatmulPhase(b, s2);
+    }
+
+  private:
+    const float alpha_ = 1.1f;
+    const float beta_ = 0.9f;
+    std::vector<float> a_, b_, c_;
+    Addr aAddr_ = 0, bAddr_ = 0, cAddr_ = 0;
+};
+
+// --- corr / covar -------------------------------------------------------------------
+
+constexpr int CM = 48;   ///< Variables (rows of the transposed data).
+constexpr int CN = 128;  ///< Observations (columns).
+
+/** Shared implementation; corr additionally normalizes by stddev. */
+class CorrBase : public Benchmark
+{
+  public:
+    explicit CorrBase(bool correlate) : correlate_(correlate) {}
+
+    int kernelCount() const override { return correlate_ ? 4 : 3; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        data_ = randomFloats(static_cast<size_t>(CM) * CN, 101);
+        ones_.assign(CN, 1.0f);
+        dataAddr_ = heap.alloc(CM * CN * 4);
+        onesAddr_ = heap.alloc(CN * 4);
+        meanAddr_ = heap.alloc(CM * 4);
+        sumsqAddr_ = heap.alloc(CM * 4);
+        invstdAddr_ = heap.alloc(CM * 4);
+        outAddr_ = heap.alloc(CM * CM * 4);
+        partials_ = heap.alloc(CM * 16 * 4);
+        uploadFloats(mem, dataAddr_, data_);
+        uploadFloats(mem, onesAddr_, ones_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        // Host reference mirrors the emitted pipeline.
+        std::vector<float> d = data_;
+        std::vector<float> mean(CM, 0.0f);
+        for (int i = 0; i < CM; ++i) {
+            for (int k = 0; k < CN; ++k)
+                mean[static_cast<size_t>(i)] +=
+                    d[static_cast<size_t>(i) * CN + k];
+            mean[static_cast<size_t>(i)] /= static_cast<float>(CN);
+        }
+        for (int i = 0; i < CM; ++i)
+            for (int k = 0; k < CN; ++k)
+                d[static_cast<size_t>(i) * CN + k] -=
+                    mean[static_cast<size_t>(i)];
+        if (correlate_) {
+            for (int i = 0; i < CM; ++i) {
+                float ss = 0;
+                for (int k = 0; k < CN; ++k) {
+                    float v = d[static_cast<size_t>(i) * CN + k];
+                    ss += v * v;
+                }
+                float inv =
+                    1.0f / std::sqrt(ss / static_cast<float>(CN));
+                for (int k = 0; k < CN; ++k)
+                    d[static_cast<size_t>(i) * CN + k] *= inv;
+            }
+        }
+        float alpha = correlate_ ? 1.0f / static_cast<float>(CN)
+                                 : 1.0f / static_cast<float>(CN - 1);
+        auto expect = hostMatmulT(d, d, {}, CM, CM, CN, alpha, 0.0f);
+        return compareFloats(expect, downloadFloats(mem, outAddr_,
+                                                    expect.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        float inv_n = 1.0f / static_cast<float>(CN);
+        p.dispatches.push_back(
+            {CM, [this, inv_n](Assembler &as) {
+                 gpuDotRow(as, dataAddr_, onesAddr_, meanAddr_, CN,
+                           inv_n);
+             }});
+        // Center (one thread per element).
+        p.dispatches.push_back({CM * CN, [this](Assembler &as) {
+            as.li(x(5), CN);
+            as.div(x(6), gpuTidReg, x(5));   // row
+            as.la(x(7), meanAddr_);
+            emitAffine(as, x(8), x(7), x(6), 4, x(9));
+            as.flw(f(5), x(8), 0);
+            as.la(x(7), dataAddr_);
+            emitAffine(as, x(8), x(7), gpuTidReg, 4, x(9));
+            as.flw(f(0), x(8), 0);
+            as.fsub(f(0), f(0), f(5));
+            as.fsw(f(0), x(8), 0);
+        }});
+        if (correlate_) {
+            // Sum of squares per row (self-dot, one thread per row).
+            p.dispatches.push_back({CM, [this](Assembler &as) {
+                as.la(x(5), dataAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, CN * 4, x(7));
+                emitFZero(as, f(0));
+                as.li(x(9), 0);
+                as.li(x(10), CN);
+                Loop kl(as, x(9), x(10), 4);
+                for (int u = 0; u < 4; ++u) {
+                    as.flw(f(1), x(6), 4 * u);
+                    as.fmadd(f(0), f(1), f(1), f(0));
+                }
+                as.addi(x(6), x(6), 16);
+                kl.end();
+                as.la(x(5), sumsqAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+                as.fsw(f(0), x(6), 0);
+            }});
+            p.dispatches.push_back({CM, [this](Assembler &as) {
+                as.la(x(5), sumsqAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+                as.flw(f(0), x(6), 0);
+                emitFConst(as, f(1), 1.0f / static_cast<float>(CN),
+                           x(7));
+                as.fmul(f(0), f(0), f(1));
+                as.fsqrt(f(0), f(0));
+                emitFConst(as, f(2), 1.0f, x(7));
+                as.fdiv(f(0), f(2), f(0));
+                as.la(x(5), invstdAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+                as.fsw(f(0), x(6), 0);
+            }});
+            p.dispatches.push_back({CM * CN, [this](Assembler &as) {
+                as.li(x(5), CN);
+                as.div(x(6), gpuTidReg, x(5));
+                as.la(x(7), invstdAddr_);
+                emitAffine(as, x(8), x(7), x(6), 4, x(9));
+                as.flw(f(6), x(8), 0);
+                as.la(x(7), dataAddr_);
+                emitAffine(as, x(8), x(7), gpuTidReg, 4, x(9));
+                as.flw(f(0), x(8), 0);
+                as.fmul(f(0), f(0), f(6));
+                as.fsw(f(0), x(8), 0);
+            }});
+        }
+        float alpha = correlate_ ? 1.0f / static_cast<float>(CN)
+                                 : 1.0f / static_cast<float>(CN - 1);
+        p.dispatches.push_back(
+            {CM * CM, [this, alpha](Assembler &as) {
+                 gpuMatmulElem(as, dataAddr_, dataAddr_, outAddr_, CM,
+                               CN, alpha, 0.0f);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        // Phase 1: column means (rows of the transposed data).
+        MatvecSpec mv;
+        mv.mat = dataAddr_;
+        mv.vecIn = onesAddr_;
+        mv.out = meanAddr_;
+        mv.partials = partials_;
+        mv.rows = CM;
+        mv.cols = CN;
+        mv.alpha = 1.0f / static_cast<float>(CN);
+        emitMatvecPhase(b, mv);
+
+        // Phase 2: center the data in place.
+        RowMapSpec center;
+        center.in = dataAddr_;
+        center.out = dataAddr_;
+        center.sub = meanAddr_;
+        center.rows = CM;
+        center.cols = CN;
+        emitRowMapPhase(b, center);
+
+        if (correlate_) {
+            // Phase 3: sum of squares per row (self-dot).
+            MatvecSpec ss = mv;
+            ss.vecIn = 0;
+            ss.out = sumsqAddr_;
+            ss.alpha = 1.0f;
+            emitMatvecPhase(b, ss);
+            // Small phase: invstd[i] = 1/sqrt(sumsq/n).
+            b.mimdPhase([this, &b](Assembler &as) {
+                int W = b.activeCores();
+                as.la(x(5), sumsqAddr_);
+                as.la(x(6), invstdAddr_);
+                emitFConst(as, f(1), 1.0f / static_cast<float>(CN),
+                           x(9));
+                emitFConst(as, f(2), 1.0f, x(9));
+                as.mv(x(7), rCoreId);
+                as.li(x(8), CM);
+                Loop l(as, x(7), x(8), W);
+                {
+                    emitAffine(as, x(10), x(5), x(7), 4, x(9));
+                    as.flw(f(0), x(10), 0);
+                    as.fmul(f(0), f(0), f(1));
+                    as.fsqrt(f(0), f(0));
+                    as.fdiv(f(0), f(2), f(0));
+                    emitAffine(as, x(10), x(6), x(7), 4, x(9));
+                    as.fsw(f(0), x(10), 0);
+                }
+                l.end();
+            });
+            // Phase 4: normalize rows.
+            RowMapSpec norm;
+            norm.in = dataAddr_;
+            norm.out = dataAddr_;
+            norm.scale = invstdAddr_;
+            norm.rows = CM;
+            norm.cols = CN;
+            emitRowMapPhase(b, norm);
+        }
+
+        // Final phase: symmetric product.
+        MatmulSpec prod;
+        prod.a = dataAddr_;
+        prod.bt = dataAddr_;
+        prod.c = outAddr_;
+        prod.n = prod.m = CM;
+        prod.k = CN;
+        prod.alpha = correlate_ ? 1.0f / static_cast<float>(CN)
+                                : 1.0f / static_cast<float>(CN - 1);
+        emitMatmulPhase(b, prod);
+    }
+
+    bool correlate_;
+    std::vector<float> data_, ones_;
+    Addr dataAddr_ = 0, onesAddr_ = 0, meanAddr_ = 0, sumsqAddr_ = 0,
+         invstdAddr_ = 0, outAddr_ = 0, partials_ = 0;
+};
+
+class Corr final : public CorrBase
+{
+  public:
+    Corr() : CorrBase(true) {}
+    std::string name() const override { return "corr"; }
+    std::string description() const override
+    {
+        return "Matrix correlation";
+    }
+};
+
+class Covar final : public CorrBase
+{
+  public:
+    Covar() : CorrBase(false) {}
+    std::string name() const override { return "covar"; }
+    std::string description() const override
+    {
+        return "Matrix covariance";
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> makeGemm() { return std::make_unique<Gemm>(); }
+std::unique_ptr<Benchmark> make2mm() { return std::make_unique<TwoMm>(); }
+std::unique_ptr<Benchmark>
+make3mm()
+{
+    return std::make_unique<ThreeMm>();
+}
+std::unique_ptr<Benchmark> makeSyrk() { return std::make_unique<Syrk>(); }
+std::unique_ptr<Benchmark>
+makeSyr2k()
+{
+    return std::make_unique<Syr2k>();
+}
+std::unique_ptr<Benchmark> makeCorr() { return std::make_unique<Corr>(); }
+std::unique_ptr<Benchmark>
+makeCovar()
+{
+    return std::make_unique<Covar>();
+}
+
+} // namespace rockcress

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * The matrix-vector benchmark family: atax, bicg, mvt, gesummv.
+ * These are the kernels where Group loads shine (Section 6.6): all
+ * lanes cooperate on one matrix row, so one wide request feeds the
+ * whole group and amortization grows with the vector length.
+ */
+
+#include <cmath>
+
+#include "kernels/bench_decls.hh"
+#include "kernels/emitters.hh"
+#include "kernels/gpu_helpers.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr int N = 512;
+
+/** Transpose an N x N host matrix. */
+std::vector<float>
+transposed(const std::vector<float> &m, int rows, int cols)
+{
+    std::vector<float> t(m.size());
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < cols; ++j)
+            t[static_cast<size_t>(j) * rows + i] =
+                m[static_cast<size_t>(i) * cols + j];
+    return t;
+}
+
+/** Host y (+)= alpha * M x. */
+void
+hostMatvec(const std::vector<float> &m, const std::vector<float> &x,
+           std::vector<float> &y, int rows, int cols, bool acc = false,
+           float alpha = 1.0f)
+{
+    for (int i = 0; i < rows; ++i) {
+        float s = 0;
+        for (int k = 0; k < cols; ++k)
+            s += m[static_cast<size_t>(i) * cols + k] *
+                 x[static_cast<size_t>(k)];
+        if (acc)
+            y[static_cast<size_t>(i)] += alpha * s;
+        else
+            y[static_cast<size_t>(i)] = alpha * s;
+    }
+}
+
+// --- atax: y = A^T (A x) ----------------------------------------------------
+
+class Atax final : public Benchmark
+{
+  public:
+    std::string name() const override { return "atax"; }
+    std::string description() const override
+    {
+        return "Mat-transpose vec (y = A^T A x)";
+    }
+    int kernelCount() const override { return 2; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(N) * N, 11);
+        x_ = randomFloats(N, 12);
+        at_ = transposed(a_, N, N);   // host reference only
+        aAddr_ = heap.alloc(N * N * 4);
+        xAddr_ = heap.alloc(N * 4);
+        tmpAddr_ = heap.alloc(N * 4);
+        yAddr_ = heap.alloc(N * 4);
+        partials_ = heap.alloc(N * 16 * 4);
+        partialsT_ = heap.alloc(12 * N * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, xAddr_, x_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        std::vector<float> tmp(N), y(N);
+        hostMatvec(a_, x_, tmp, N, N);
+        hostMatvec(at_, tmp, y, N, N);
+        return compareFloats(y, downloadFloats(mem, yAddr_, N));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotRow(as, aAddr_, xAddr_, tmpAddr_, N);
+             }});
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotCol(as, aAddr_, tmpAddr_, yAddr_, N, N);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatvecSpec s1;
+        s1.mat = aAddr_;
+        s1.vecIn = xAddr_;
+        s1.out = tmpAddr_;
+        s1.partials = partials_;
+        s1.rows = N;
+        s1.cols = N;
+        emitMatvecPhase(b, s1);
+        MatvecTSpec s2;
+        s2.mat = aAddr_;
+        s2.vecIn = tmpAddr_;
+        s2.out = yAddr_;
+        s2.partials = partialsT_;
+        s2.rows = N;
+        s2.cols = N;
+        emitMatvecTransposePhase(b, s2);
+    }
+
+  private:
+    std::vector<float> a_, at_, x_;
+    Addr aAddr_ = 0, xAddr_ = 0, tmpAddr_ = 0, yAddr_ = 0,
+         partials_ = 0, partialsT_ = 0;
+};
+
+// --- bicg: q = A p ; s = A^T r ----------------------------------------------
+
+class Bicg final : public Benchmark
+{
+  public:
+    std::string name() const override { return "bicg"; }
+    std::string description() const override
+    {
+        return "Biconjugate gradient kernels (q = A p, s = A^T r)";
+    }
+    int kernelCount() const override { return 2; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(N) * N, 21);
+        p_ = randomFloats(N, 22);
+        r_ = randomFloats(N, 23);
+        at_ = transposed(a_, N, N);   // host reference only
+        aAddr_ = heap.alloc(N * N * 4);
+        pAddr_ = heap.alloc(N * 4);
+        rAddr_ = heap.alloc(N * 4);
+        qAddr_ = heap.alloc(N * 4);
+        sAddr_ = heap.alloc(N * 4);
+        partials_ = heap.alloc(N * 16 * 4);
+        partialsT_ = heap.alloc(12 * N * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, pAddr_, p_);
+        uploadFloats(mem, rAddr_, r_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        std::vector<float> q(N), s(N);
+        hostMatvec(a_, p_, q, N, N);
+        hostMatvec(at_, r_, s, N, N);
+        std::string e =
+            compareFloats(q, downloadFloats(mem, qAddr_, N));
+        if (!e.empty())
+            return "q: " + e;
+        e = compareFloats(s, downloadFloats(mem, sAddr_, N));
+        return e.empty() ? "" : "s: " + e;
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotRow(as, aAddr_, pAddr_, qAddr_, N);
+             }});
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotCol(as, aAddr_, rAddr_, sAddr_, N, N);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatvecSpec s1;
+        s1.mat = aAddr_;
+        s1.vecIn = pAddr_;
+        s1.out = qAddr_;
+        s1.partials = partials_;
+        s1.rows = N;
+        s1.cols = N;
+        emitMatvecPhase(b, s1);
+        MatvecTSpec s2;
+        s2.mat = aAddr_;
+        s2.vecIn = rAddr_;
+        s2.out = sAddr_;
+        s2.partials = partialsT_;
+        s2.rows = N;
+        s2.cols = N;
+        emitMatvecTransposePhase(b, s2);
+    }
+
+  private:
+    std::vector<float> a_, at_, p_, r_;
+    Addr aAddr_ = 0, pAddr_ = 0, rAddr_ = 0, qAddr_ = 0,
+         sAddr_ = 0, partials_ = 0, partialsT_ = 0;
+};
+
+// --- mvt: x1 += A y1 ; x2 += A^T y2 ------------------------------------------
+
+class Mvt final : public Benchmark
+{
+  public:
+    std::string name() const override { return "mvt"; }
+    std::string description() const override
+    {
+        return "Mat-vec (A y1) and transpose (A^T y2)";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(N) * N, 31);
+        y1_ = randomFloats(N, 32);
+        y2_ = randomFloats(N, 33);
+        x1_ = randomFloats(N, 34);
+        x2_ = randomFloats(N, 35);
+        at_ = transposed(a_, N, N);   // host reference only
+        aAddr_ = heap.alloc(N * N * 4);
+        y1Addr_ = heap.alloc(N * 4);
+        y2Addr_ = heap.alloc(N * 4);
+        x1Addr_ = heap.alloc(N * 4);
+        x2Addr_ = heap.alloc(N * 4);
+        partials_ = heap.alloc(N * 16 * 4);
+        partialsT_ = heap.alloc(12 * N * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, y1Addr_, y1_);
+        uploadFloats(mem, y2Addr_, y2_);
+        uploadFloats(mem, x1Addr_, x1_);
+        uploadFloats(mem, x2Addr_, x2_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        std::vector<float> x1 = x1_, x2 = x2_;
+        hostMatvec(a_, y1_, x1, N, N, true);
+        hostMatvec(at_, y2_, x2, N, N, true);
+        std::string e =
+            compareFloats(x1, downloadFloats(mem, x1Addr_, N));
+        if (!e.empty())
+            return "x1: " + e;
+        e = compareFloats(x2, downloadFloats(mem, x2Addr_, N));
+        return e.empty() ? "" : "x2: " + e;
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotRow(as, aAddr_, y1Addr_, x1Addr_, N, 1.0f, true);
+             }});
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotCol(as, aAddr_, y2Addr_, x2Addr_, N, N, true);
+             }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatvecSpec s1;
+        s1.mat = aAddr_;
+        s1.vecIn = y1Addr_;
+        s1.out = x1Addr_;
+        s1.partials = partials_;
+        s1.rows = N;
+        s1.cols = N;
+        s1.accumulate = true;
+        emitMatvecPhase(b, s1);
+        MatvecTSpec s2;
+        s2.mat = aAddr_;
+        s2.vecIn = y2Addr_;
+        s2.out = x2Addr_;
+        s2.partials = partialsT_;
+        s2.rows = N;
+        s2.cols = N;
+        s2.accumulate = true;
+        emitMatvecTransposePhase(b, s2);
+    }
+
+  private:
+    std::vector<float> a_, at_, y1_, y2_, x1_, x2_;
+    Addr aAddr_ = 0, y1Addr_ = 0, y2Addr_ = 0, x1Addr_ = 0,
+         x2Addr_ = 0, partials_ = 0, partialsT_ = 0;
+};
+
+// --- gesummv: y = alpha A x + beta B x ----------------------------------------
+
+class Gesummv final : public Benchmark
+{
+  public:
+    std::string name() const override { return "gesummv"; }
+    std::string description() const override
+    {
+        return "Matrix vector (y = alpha A x + beta B x)";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        a_ = randomFloats(static_cast<size_t>(N) * N, 41);
+        bmat_ = randomFloats(static_cast<size_t>(N) * N, 42);
+        x_ = randomFloats(N, 43);
+        aAddr_ = heap.alloc(N * N * 4);
+        bAddr_ = heap.alloc(N * N * 4);
+        xAddr_ = heap.alloc(N * 4);
+        t1Addr_ = heap.alloc(N * 4);
+        t2Addr_ = heap.alloc(N * 4);
+        yAddr_ = heap.alloc(N * 4);
+        partials_ = heap.alloc(N * 16 * 4);
+        uploadFloats(mem, aAddr_, a_);
+        uploadFloats(mem, bAddr_, bmat_);
+        uploadFloats(mem, xAddr_, x_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        std::vector<float> t1(N), t2(N), y(N);
+        hostMatvec(a_, x_, t1, N, N);
+        hostMatvec(bmat_, x_, t2, N, N);
+        for (int i = 0; i < N; ++i)
+            y[static_cast<size_t>(i)] =
+                alpha_ * t1[static_cast<size_t>(i)] +
+                beta_ * t2[static_cast<size_t>(i)];
+        return compareFloats(y, downloadFloats(mem, yAddr_, N));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotRow(as, aAddr_, xAddr_, t1Addr_, N);
+             }});
+        p.dispatches.push_back(
+            {N, [this](Assembler &as) {
+                 gpuDotRow(as, bAddr_, xAddr_, t2Addr_, N);
+             }});
+        p.dispatches.push_back({N, [this](Assembler &as) {
+                                    emitCombine(as, gpuTidReg, 1, true);
+                                }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        MatvecSpec s1;
+        s1.mat = aAddr_;
+        s1.vecIn = xAddr_;
+        s1.out = t1Addr_;
+        s1.partials = partials_;
+        s1.rows = N;
+        s1.cols = N;
+        emitMatvecPhase(b, s1);
+        MatvecSpec s2 = s1;
+        s2.mat = bAddr_;
+        s2.out = t2Addr_;
+        emitMatvecPhase(b, s2);
+        // Combine phase: y[i] = alpha t1[i] + beta t2[i].
+        b.mimdPhase([this, &b](Assembler &as) {
+            int W = b.activeCores();
+            as.mv(x(5), rCoreId);
+            emitCombine(as, x(5), W, false);
+        });
+    }
+
+  private:
+    /** y[i] = alpha t1 + beta t2 for i = start, start+step, ... */
+    void
+    emitCombine(Assembler &as, RegIdx start, int step, bool one_elem)
+    {
+        emitFConst(as, f(3), alpha_, x(9));
+        emitFConst(as, f(4), beta_, x(9));
+        as.la(x(6), t1Addr_);
+        as.la(x(7), t2Addr_);
+        as.la(x(8), yAddr_);
+        if (one_elem) {
+            // GPU: one element per thread.
+            emitAffine(as, x(10), x(6), start, 4, x(9));
+            as.flw(f(0), x(10), 0);
+            emitAffine(as, x(10), x(7), start, 4, x(9));
+            as.flw(f(1), x(10), 0);
+            as.fmul(f(0), f(0), f(3));
+            as.fmul(f(1), f(1), f(4));
+            as.fadd(f(0), f(0), f(1));
+            emitAffine(as, x(10), x(8), start, 4, x(9));
+            as.fsw(f(0), x(10), 0);
+            return;
+        }
+        as.li(x(11), N);
+        Loop l(as, start, x(11), step);
+        {
+            emitAffine(as, x(10), x(6), start, 4, x(9));
+            as.flw(f(0), x(10), 0);
+            emitAffine(as, x(10), x(7), start, 4, x(9));
+            as.flw(f(1), x(10), 0);
+            as.fmul(f(0), f(0), f(3));
+            as.fmul(f(1), f(1), f(4));
+            as.fadd(f(0), f(0), f(1));
+            emitAffine(as, x(10), x(8), start, 4, x(9));
+            as.fsw(f(0), x(10), 0);
+        }
+        l.end();
+    }
+
+    const float alpha_ = 1.5f;
+    const float beta_ = 1.2f;
+    std::vector<float> a_, bmat_, x_;
+    Addr aAddr_ = 0, bAddr_ = 0, xAddr_ = 0, t1Addr_ = 0, t2Addr_ = 0,
+         yAddr_ = 0, partials_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> makeAtax() { return std::make_unique<Atax>(); }
+std::unique_ptr<Benchmark> makeBicg() { return std::make_unique<Bicg>(); }
+std::unique_ptr<Benchmark> makeMvt() { return std::make_unique<Mvt>(); }
+std::unique_ptr<Benchmark>
+makeGesummv()
+{
+    return std::make_unique<Gesummv>();
+}
+
+} // namespace rockcress

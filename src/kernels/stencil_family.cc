@@ -1,0 +1,889 @@
+/**
+ * @file
+ * The stencil benchmark family: 2dconv, 3dconv, and fdtd-2d. Rows
+ * are dealt per worker (MIMD) or per lane (vector, Single loads,
+ * possibly unaligned — the suffix/prefix vload pair of Section
+ * 2.3.2). A shared row-stencil emitter covers 2dconv and the three
+ * fdtd-2d update kernels; 3dconv layers three plane-frames per
+ * output chunk.
+ */
+
+#include <cmath>
+
+#include "kernels/bench_decls.hh"
+#include "kernels/emitters.hh"
+#include "kernels/gpu_helpers.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+/** Donated register holding the frame-region size (non-pow2 wrap). */
+constexpr RegIdx rRegion = x(27);
+
+/** One input stream of a row-stencil phase. */
+struct StencilStream
+{
+    Addr base = 0;
+    int rowDelta = 0;   ///< Input row = output row + rowDelta.
+    int colStart = 0;   ///< First column fetched for chunk 0.
+    /** Pointer group: streams sharing a base pointer register (<=4
+     * groups). The group pointer sits at row (task + rowBase +
+     * groupRowDelta), column 0; the stream is addressed with an
+     * immediate offset from it. */
+    int group = 0;
+    int groupRowDelta = 0;
+};
+
+/** Immediate byte offset of stream element idx from its group ptr. */
+int
+streamOff(const StencilStream &st, int row_words, int idx)
+{
+    return ((st.rowDelta - st.groupRowDelta) * row_words + st.colStart +
+            idx) *
+           4;
+}
+
+/** Number of pointer groups used by a phase. */
+int
+numGroupsOf(const std::vector<StencilStream> &streams)
+{
+    int n = 0;
+    for (const StencilStream &st : streams)
+        n = std::max(n, st.group + 1);
+    return n;
+}
+
+/** Loads element `idx` of stream `s` into an fp register. */
+using StencilLoad = std::function<void(RegIdx freg, int s, int idx)>;
+
+/** A row-parallel stencil phase. */
+struct RowStencilSpec
+{
+    int tasks = 0;           ///< Output rows; row = task + rowBase.
+    int rowBase = 0;
+    int rowWords = 0;        ///< Row stride of every grid involved.
+    Addr outBase = 0;
+    int outColStart = 0;
+    int chunkOutputs = 0;    ///< Outputs per frame.
+    int chunksPerTask = 0;
+    std::vector<StencilStream> streams;  ///< 16 words each per frame.
+    /** Emit the computation of output t into f0. */
+    std::function<void(Assembler &, const StencilLoad &, int t)> compute;
+    /** Hoisted coefficient constants (may clobber f20..f31, x9). */
+    std::function<void(Assembler &)> hoist;
+};
+
+constexpr int stW = 16;  ///< Stream words per frame.
+
+/** Frames sized to fit the 4 kB scratchpad (>= the 5 hw counters). */
+int
+stencilFrames(int frame_words)
+{
+    return frame_words * 8 * 4 <= 3072 ? 8 : 5;
+}
+
+void
+emitRowStencilMimd(SpmdBuilder &b, const RowStencilSpec &s)
+{
+    bool pf = b.config().dae;
+    int ns = static_cast<int>(s.streams.size());
+    int ng = numGroupsOf(s.streams);
+    int frame_words = ns * stW;
+    const int num_frames = stencilFrames(frame_words);
+    // Group pointer registers (<= 4 groups).
+    const RegIdx sp[4] = {x(8), x(10), x(11), x(14)};
+    if (ng > 4)
+        fatal("stencil: more than 4 pointer groups");
+    // Base address and row delta per group (first stream wins; all
+    // members must share the base).
+    Addr gbase[4] = {0, 0, 0, 0};
+    int gdelta[4] = {0, 0, 0, 0};
+    for (const StencilStream &st : s.streams) {
+        if (gbase[st.group] == 0) {
+            gbase[st.group] = st.base;
+            gdelta[st.group] = st.groupRowDelta;
+        }
+    }
+
+    b.mimdPhase([&, pf, ns, ng, frame_words](Assembler &as) {
+        int W = b.activeCores();
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, num_frames,
+                         rRegion);
+        if (pf) {
+            as.li(x(9), frame_words | (num_frames << 16));
+            as.csrw(Csr::FrameCfg, x(9));
+            rot.emitInit();
+        }
+        if (s.hoist)
+            s.hoist(as);
+        as.la(x(17), s.outBase);
+        as.mv(x(5), rCoreId);
+        as.li(x(6), s.tasks);
+        Loop rows(as, x(5), x(6), W);
+        {
+            // Group pointers for this row (column 0 of their row).
+            for (int g = 0; g < ng; ++g) {
+                as.la(x(9), gbase[g]);
+                emitAffine(as, sp[g], x(9), x(5), s.rowWords * 4,
+                           x(12));
+                emitAddImm(as, sp[g], sp[g],
+                           (s.rowBase + gdelta[g]) * s.rowWords * 4,
+                           x(12));
+            }
+            emitAffine(as, x(13), x(17), x(5), s.rowWords * 4, x(12));
+            emitAddImm(as, x(13), x(13),
+                       (s.rowBase * s.rowWords + s.outColStart) * 4,
+                       x(12));
+            if (!pf) {
+                // Direct loads: same chunk structure, no frames.
+                for (int c = 0; c < s.chunksPerTask; ++c) {
+                    StencilLoad load = [&](RegIdx fr, int st, int idx) {
+                        const StencilStream &str =
+                            s.streams[static_cast<size_t>(st)];
+                        as.flw(fr, sp[str.group],
+                               streamOff(str, s.rowWords, idx));
+                    };
+                    for (int t = 0; t < s.chunkOutputs; ++t) {
+                        s.compute(as, load, t);
+                        as.fsw(f(0), x(13), 4 * t);
+                    }
+                    for (int g = 0; g < ng; ++g)
+                        as.addi(sp[g], sp[g], s.chunkOutputs * 4);
+                    as.addi(x(13), x(13), s.chunkOutputs * 4);
+                }
+            } else {
+                DaeStreamSpec spec;
+                spec.iters = s.chunksPerTask;
+                spec.frameBytes = frame_words * 4;
+                spec.numFrames = num_frames;
+                spec.fill = [&, ns, ng](Assembler &a, RegIdx off) {
+                    for (int i = 0; i < ns; ++i) {
+                        const StencilStream &str =
+                            s.streams[static_cast<size_t>(i)];
+                        RegIdx areg = sp[str.group];
+                        int aoff = streamOff(str, s.rowWords, 0);
+                        if (aoff != 0) {
+                            a.addi(x(15), areg, aoff);
+                            areg = x(15);
+                        }
+                        RegIdx oreg = off;
+                        if (i > 0) {
+                            a.addi(x(16), off, i * stW * 4);
+                            oreg = x(16);
+                        }
+                        a.vload(areg, oreg, 0, stW,
+                                VloadVariant::Self);
+                    }
+                    for (int g = 0; g < ng; ++g)
+                        a.addi(sp[g], sp[g], s.chunkOutputs * 4);
+                };
+                spec.consume = [&](Assembler &a, RegIdx fb) {
+                    StencilLoad load = [&](RegIdx fr, int st, int idx) {
+                        a.flw(fr, fb, (st * stW + idx) * 4);
+                    };
+                    for (int t = 0; t < s.chunkOutputs; ++t) {
+                        s.compute(a, load, t);
+                        a.fsw(f(0), x(13), 4 * t);
+                    }
+                    a.addi(x(13), x(13), s.chunkOutputs * 4);
+                };
+                emitMimdStream(as, spec, rot, regs);
+            }
+        }
+        rows.end();
+    });
+}
+
+void
+emitRowStencilVector(SpmdBuilder &b, const RowStencilSpec &s)
+{
+    const BenchConfig &cfg = b.config();
+    int VLEN = cfg.groupSize;
+    int G = b.numGroups();
+    int ns = static_cast<int>(s.streams.size());
+    int ng = numGroupsOf(s.streams);
+    int frame_words = ns * stW;
+    const int num_frames = stencilFrames(frame_words);
+    if (s.tasks % VLEN != 0)
+        fatal("stencil: tasks must divide by the group size");
+    if (ng > 4)
+        fatal("stencil: more than 4 pointer groups");
+    Addr gbase[4] = {0, 0, 0, 0};
+    int gdelta[4] = {0, 0, 0, 0};
+    for (const StencilStream &st : s.streams) {
+        if (gbase[st.group] == 0) {
+            gbase[st.group] = st.base;
+            gdelta[st.group] = st.groupRowDelta;
+        }
+    }
+
+    Label init = b.declareMicrothread();
+    Label nextrow = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        if (s.hoist)
+            s.hoist(as);   // May clobber temporaries; run first.
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        as.li(x(7), VLEN + 1);
+        as.div(x(6), x(6), x(7));
+        emitScale(as, x(9), x(6), VLEN, x(7));
+        as.add(x(9), x(9), x(5));          // lane task
+        as.li(x(17), G * VLEN);
+        as.sub(x(9), x(9), x(17));         // pre-decrement
+        as.la(x(16), s.outBase);
+        as.li(x(15), s.rowWords * 4);
+    });
+    b.defineMicrothread(nextrow, [=](Assembler &as) {
+        as.add(x(9), x(9), x(17));
+        as.mul(x(10), x(9), x(15));
+        as.add(x(10), x(16), x(10));
+        emitAddImm(as, x(10), x(10),
+                   (s.rowBase * s.rowWords + s.outColStart) * 4, x(11));
+    });
+    b.defineMicrothread(body, [=](Assembler &as) {
+        as.frameStart(x(13));
+        StencilLoad load = [&](RegIdx fr, int st, int idx) {
+            as.flw(fr, x(13), (st * stW + idx) * 4);
+        };
+        for (int t = 0; t < s.chunkOutputs; ++t) {
+            s.compute(as, load, t);
+            as.fsw(f(0), x(10), 4 * t);
+        }
+        as.addi(x(10), x(10), s.chunkOutputs * 4);
+        as.remem();
+    });
+
+    b.vectorPhase(frame_words, num_frames, [=, &b](Assembler &as) {
+        as.vissue(init);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, frame_words * 4, num_frames,
+                         rRegion);
+        rot.emitInit();
+        const RegIdx sp[4] = {x(13), x(14), x(18), x(19)};
+        as.mv(x(7), rGroupId);
+        as.li(x(8), s.tasks / VLEN);
+        Loop chunks(as, x(7), x(8), G);
+        {
+            as.vissue(nextrow);
+            for (int g = 0; g < ng; ++g) {
+                as.la(x(9), gbase[g]);
+                emitAffine(as, sp[g], x(9), x(7),
+                           VLEN * s.rowWords * 4, x(12));
+                emitAddImm(as, sp[g], sp[g],
+                           (s.rowBase + gdelta[g]) * s.rowWords * 4,
+                           x(12));
+            }
+            DaeStreamSpec spec;
+            spec.iters = s.chunksPerTask;
+            spec.frameBytes = frame_words * 4;
+            spec.numFrames = num_frames;
+            spec.bodyMt = body;
+            spec.fill = [=, &s](Assembler &a, RegIdx off) {
+                for (int i = 0; i < ns; ++i) {
+                    const StencilStream &str =
+                        s.streams[static_cast<size_t>(i)];
+                    for (int l = 0; l < VLEN; ++l) {
+                        int aoff = streamOff(str, s.rowWords, 0) +
+                                   l * s.rowWords * 4;
+                        RegIdx areg = sp[str.group];
+                        if (aoff != 0) {
+                            emitAddImm(a, x(20), areg, aoff, x(21));
+                            areg = x(20);
+                        }
+                        RegIdx oreg = off;
+                        if (i > 0) {
+                            a.addi(x(12), off, i * stW * 4);
+                            oreg = x(12);
+                        }
+                        a.vload(areg, oreg, l, stW,
+                                VloadVariant::Single);
+                    }
+                }
+                for (int g = 0; g < ng; ++g)
+                    a.addi(sp[g], sp[g], s.chunkOutputs * 4);
+            };
+            emitScalarStream(as, spec, rot, regs);
+        }
+        chunks.end();
+    });
+}
+
+void
+emitRowStencilPhase(SpmdBuilder &b, const RowStencilSpec &s)
+{
+    if (b.config().isVector())
+        emitRowStencilVector(b, s);
+    else
+        emitRowStencilMimd(b, s);
+}
+
+// --- 2dconv --------------------------------------------------------------------
+
+constexpr int cNI = 66;  ///< Image rows; 64 interior output rows.
+constexpr int cNJ = 58;  ///< Image columns; 56 computed per row.
+constexpr int cChunk = 14;
+
+const float conv2Coef[3][3] = {{0.2f, -0.3f, 0.4f},
+                               {-0.8f, 0.6f, 0.7f},
+                               {-0.9f, 0.5f, 0.15f}};
+
+class Conv2d final : public Benchmark
+{
+  public:
+    std::string name() const override { return "2dconv"; }
+    std::string description() const override
+    {
+        return "3x3 filter applied to an image";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        in_ = randomFloats(static_cast<size_t>(cNI) * cNJ, 201);
+        inAddr_ = heap.alloc(cNI * cNJ * 4);
+        outAddr_ = heap.alloc(cNI * cNJ * 4);
+        uploadFloats(mem, inAddr_, in_);
+        uploadFloats(mem, outAddr_,
+                     std::vector<float>(static_cast<size_t>(cNI) * cNJ,
+                                        0.0f));
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        std::vector<float> expect(static_cast<size_t>(cNI) * cNJ, 0.0f);
+        for (int i = 1; i < cNI - 1; ++i) {
+            for (int j = 1; j < 1 + 4 * cChunk; ++j) {
+                float acc = 0;
+                for (int r = 0; r < 3; ++r)
+                    for (int u = 0; u < 3; ++u)
+                        acc += conv2Coef[r][u] *
+                               in_[static_cast<size_t>(i + r - 1) * cNJ +
+                                   (j + u - 1)];
+                expect[static_cast<size_t>(i) * cNJ + j] = acc;
+            }
+        }
+        return compareFloats(
+            expect, downloadFloats(mem, outAddr_, expect.size()));
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        // One thread per output row (64 rows -> one wavefront).
+        GpuProgram p;
+        p.dispatches.push_back({64, [this](Assembler &as) {
+            as.addi(x(5), gpuTidReg, 1);   // row
+            as.la(x(6), inAddr_);
+            emitAffine(as, x(7), x(6), x(5), cNJ * 4, x(9));
+            as.la(x(6), outAddr_);
+            emitAffine(as, x(8), x(6), x(5), cNJ * 4, x(9));
+            as.addi(x(8), x(8), 4);
+            for (int r = 0; r < 3; ++r)
+                for (int u = 0; u < 3; ++u)
+                    emitFConst(as, f(20 + r * 3 + u), conv2Coef[r][u],
+                               x(9));
+            as.li(x(10), 0);
+            as.li(x(11), 4 * cChunk);
+            Loop jl(as, x(10), x(11), 1);
+            {
+                emitFZero(as, f(0));
+                for (int r = 0; r < 3; ++r)
+                    for (int u = 0; u < 3; ++u) {
+                        as.flw(f(1), x(7), ((r - 1) * cNJ + u) * 4);
+                        as.fmadd(f(0), f(1), f(20 + r * 3 + u), f(0));
+                    }
+                as.fsw(f(0), x(8), 0);
+                as.addi(x(7), x(7), 4);
+                as.addi(x(8), x(8), 4);
+            }
+            jl.end();
+        }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        RowStencilSpec s;
+        s.tasks = cNI - 2;
+        s.rowBase = 1;
+        s.rowWords = cNJ;
+        s.outBase = outAddr_;
+        s.outColStart = 1;
+        s.chunkOutputs = cChunk;
+        s.chunksPerTask = 4;
+        s.streams = {{inAddr_, -1, 0}, {inAddr_, 0, 0}, {inAddr_, 1, 0}};
+        s.hoist = [](Assembler &as) {
+            for (int r = 0; r < 3; ++r)
+                for (int u = 0; u < 3; ++u)
+                    emitFConst(as, f(20 + r * 3 + u), conv2Coef[r][u],
+                               x(9));
+        };
+        s.compute = [](Assembler &as, const StencilLoad &load, int t) {
+            emitFZero(as, f(0));
+            for (int r = 0; r < 3; ++r)
+                for (int u = 0; u < 3; ++u) {
+                    load(f(1), r, t + u);
+                    as.fmadd(f(0), f(1), f(20 + r * 3 + u), f(0));
+                }
+        };
+        emitRowStencilPhase(b, s);
+    }
+
+  private:
+    std::vector<float> in_;
+    Addr inAddr_ = 0, outAddr_ = 0;
+};
+
+// --- fdtd-2d --------------------------------------------------------------------
+
+constexpr int fNX = 64;   ///< 65 rows allocated (padding row).
+constexpr int fNY = 64;
+constexpr int fTmax = 4;
+
+class Fdtd2d final : public Benchmark
+{
+  public:
+    std::string name() const override { return "fdtd-2d"; }
+    std::string description() const override
+    {
+        return "Finite-difference time-domain";
+    }
+    int kernelCount() const override { return 3; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        size_t cells = static_cast<size_t>(fNX + 1) * fNY;
+        ex_ = randomFloats(cells, 211);
+        ey_ = randomFloats(cells, 212);
+        hz_ = randomFloats(cells, 213);
+        fict_ = randomFloats(fTmax, 214);
+        exAddr_ = heap.alloc((fNX + 1) * fNY * 4);
+        eyAddr_ = heap.alloc((fNX + 1) * fNY * 4);
+        hzAddr_ = heap.alloc((fNX + 1) * fNY * 4);
+        uploadFloats(mem, exAddr_, ex_);
+        uploadFloats(mem, eyAddr_, ey_);
+        uploadFloats(mem, hzAddr_, hz_);
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        auto at = [](std::vector<float> &g, int i, int j) -> float & {
+            return g[static_cast<size_t>(i) * fNY + j];
+        };
+        std::vector<float> ex = ex_, ey = ey_, hz = hz_;
+        for (int t = 0; t < fTmax; ++t) {
+            for (int j = 0; j < fNY; ++j)
+                at(ey, 0, j) = fict_[static_cast<size_t>(t)];
+            for (int i = 1; i < fNX + 1; ++i)
+                for (int j = 0; j < fNY; ++j)
+                    at(ey, i, j) -=
+                        0.5f * (at(hz, i, j) - at(hz, i - 1, j));
+            for (int i = 0; i < fNX; ++i)
+                for (int j = 1; j < 1 + 4 * 14; ++j)
+                    at(ex, i, j) -=
+                        0.5f * (at(hz, i, j) - at(hz, i, j - 1));
+            for (int i = 0; i < fNX; ++i)
+                for (int j = 0; j < 4 * 14; ++j)
+                    at(hz, i, j) -=
+                        0.7f * (at(ex, i, j + 1) - at(ex, i, j) +
+                                at(ey, i + 1, j) - at(ey, i, j));
+        }
+        std::string e = compareFloats(
+            hz, downloadFloats(mem, hzAddr_, hz.size()));
+        if (!e.empty())
+            return "hz: " + e;
+        e = compareFloats(ey,
+                          downloadFloats(mem, eyAddr_, ey.size()));
+        return e.empty() ? "" : "ey: " + e;
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        for (int t = 0; t < fTmax; ++t) {
+            // ey rows (row 0 handled by lane 0's special case via
+            // a separate dispatch writing the fict row).
+            p.dispatches.push_back({fNY, [this, t](Assembler &as) {
+                as.la(x(5), eyAddr_);
+                emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+                emitFConst(as, f(0), fict_[static_cast<size_t>(t)],
+                           x(7));
+                as.fsw(f(0), x(6), 0);
+            }});
+            p.dispatches.push_back({fNX, [this](Assembler &as) {
+                gpuRowUpdate(as, 1);   // ey
+            }});
+            p.dispatches.push_back({fNX, [this](Assembler &as) {
+                gpuRowUpdate(as, 2);   // ex
+            }});
+            p.dispatches.push_back({fNX, [this](Assembler &as) {
+                gpuRowUpdate(as, 3);   // hz
+            }});
+        }
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        for (int t = 0; t < fTmax; ++t) {
+            // Row 0 of ey gets the excitation value.
+            float fict = fict_[static_cast<size_t>(t)];
+            b.mimdPhase([&b, fict, this](Assembler &as) {
+                int W = b.activeCores();
+                as.la(x(5), eyAddr_);
+                emitFConst(as, f(0), fict, x(9));
+                as.mv(x(6), rCoreId);
+                as.li(x(7), fNY);
+                Loop l(as, x(6), x(7), W);
+                {
+                    emitAffine(as, x(8), x(5), x(6), 4, x(9));
+                    as.fsw(f(0), x(8), 0);
+                }
+                l.end();
+            });
+
+            // ey update: rows 1..NX, full 64-column rows.
+            RowStencilSpec ey;
+            ey.tasks = fNX;
+            ey.rowBase = 1;
+            ey.rowWords = fNY;
+            ey.outBase = eyAddr_;
+            ey.outColStart = 0;
+            ey.chunkOutputs = 16;
+            ey.chunksPerTask = fNY / 16;
+            ey.streams = {{eyAddr_, 0, 0, 0, 0},
+                          {hzAddr_, 0, 0, 1, 0},
+                          {hzAddr_, -1, 0, 1, 0}};
+            ey.hoist = [](Assembler &as) {
+                emitFConst(as, f(20), -0.5f, x(9));
+            };
+            ey.compute = [](Assembler &as, const StencilLoad &load,
+                            int tt) {
+                load(f(1), 0, tt);
+                load(f(2), 1, tt);
+                load(f(3), 2, tt);
+                as.fsub(f(2), f(2), f(3));
+                as.fmadd(f(0), f(2), f(20), f(1));
+            };
+            emitRowStencilPhase(b, ey);
+
+            // ex update: rows 0..NX-1, columns 1..57.
+            RowStencilSpec ex;
+            ex.tasks = fNX;
+            ex.rowBase = 0;
+            ex.rowWords = fNY;
+            ex.outBase = exAddr_;
+            ex.outColStart = 1;
+            ex.chunkOutputs = 14;
+            ex.chunksPerTask = 4;
+            ex.streams = {{exAddr_, 0, 1, 0, 0},
+                          {hzAddr_, 0, 0, 1, 0}};
+            ex.hoist = [](Assembler &as) {
+                emitFConst(as, f(20), -0.5f, x(9));
+            };
+            ex.compute = [](Assembler &as, const StencilLoad &load,
+                            int tt) {
+                load(f(1), 0, tt);
+                load(f(2), 1, tt + 1);
+                load(f(3), 1, tt);
+                as.fsub(f(2), f(2), f(3));
+                as.fmadd(f(0), f(2), f(20), f(1));
+            };
+            emitRowStencilPhase(b, ex);
+
+            // hz update: rows 0..NX-1, columns 0..55.
+            RowStencilSpec hz;
+            hz.tasks = fNX;
+            hz.rowBase = 0;
+            hz.rowWords = fNY;
+            hz.outBase = hzAddr_;
+            hz.outColStart = 0;
+            hz.chunkOutputs = 14;
+            hz.chunksPerTask = 4;
+            hz.streams = {{hzAddr_, 0, 0, 0, 0},
+                          {exAddr_, 0, 0, 1, 0},
+                          {eyAddr_, 0, 0, 2, 0},
+                          {eyAddr_, 1, 0, 2, 0}};
+            hz.hoist = [](Assembler &as) {
+                emitFConst(as, f(20), -0.7f, x(9));
+            };
+            hz.compute = [](Assembler &as, const StencilLoad &load,
+                            int tt) {
+                load(f(1), 0, tt);    // hz
+                load(f(2), 1, tt + 1);  // ex[j+1]
+                load(f(3), 1, tt);      // ex[j]
+                as.fsub(f(2), f(2), f(3));
+                load(f(4), 3, tt);      // ey[i+1][j]
+                load(f(3), 2, tt);      // ey[i][j]
+                as.fsub(f(4), f(4), f(3));
+                as.fadd(f(2), f(2), f(4));
+                as.fmadd(f(0), f(2), f(20), f(1));
+            };
+            emitRowStencilPhase(b, hz);
+        }
+    }
+
+  private:
+    /** GPU: one thread per row for the three updates. */
+    void
+    gpuRowUpdate(Assembler &as, int which)
+    {
+        emitFConst(as, f(20), which == 3 ? -0.7f : -0.5f, x(9));
+        // Row index: ey uses rows 1.., others 0..
+        if (which == 1)
+            as.addi(x(5), gpuTidReg, 1);
+        else
+            as.mv(x(5), gpuTidReg);
+        as.la(x(6), exAddr_);
+        emitAffine(as, x(10), x(6), x(5), fNY * 4, x(9));
+        as.la(x(6), eyAddr_);
+        emitAffine(as, x(11), x(6), x(5), fNY * 4, x(9));
+        as.la(x(6), hzAddr_);
+        emitAffine(as, x(12), x(6), x(5), fNY * 4, x(9));
+        as.li(x(7), 0);
+        as.li(x(8), which == 1 ? fNY : 4 * 14);
+        Loop jl(as, x(7), x(8), 1);
+        {
+            if (which == 1) {
+                as.flw(f(1), x(11), 0);
+                as.flw(f(2), x(12), 0);
+                as.flw(f(3), x(12), -static_cast<int>(fNY) * 4);
+                as.fsub(f(2), f(2), f(3));
+                as.fmadd(f(0), f(2), f(20), f(1));
+                as.fsw(f(0), x(11), 0);
+            } else if (which == 2) {
+                as.flw(f(1), x(10), 4);
+                as.flw(f(2), x(12), 4);
+                as.flw(f(3), x(12), 0);
+                as.fsub(f(2), f(2), f(3));
+                as.fmadd(f(0), f(2), f(20), f(1));
+                as.fsw(f(0), x(10), 4);
+            } else {
+                as.flw(f(1), x(12), 0);
+                as.flw(f(2), x(10), 4);
+                as.flw(f(3), x(10), 0);
+                as.fsub(f(2), f(2), f(3));
+                as.flw(f(4), x(11), fNY * 4);
+                as.flw(f(3), x(11), 0);
+                as.fsub(f(4), f(4), f(3));
+                as.fadd(f(2), f(2), f(4));
+                as.fmadd(f(0), f(2), f(20), f(1));
+                as.fsw(f(0), x(12), 0);
+            }
+            as.addi(x(10), x(10), 4);
+            as.addi(x(11), x(11), 4);
+            as.addi(x(12), x(12), 4);
+        }
+        jl.end();
+    }
+
+    std::vector<float> ex_, ey_, hz_, fict_;
+    Addr exAddr_ = 0, eyAddr_ = 0, hzAddr_ = 0;
+};
+
+// --- 3dconv --------------------------------------------------------------------
+
+constexpr int dNI = 18, dNJ = 18, dNK = 30;
+constexpr int dChunk = 14;
+constexpr int dInterior = 16;   ///< Interior i and j extents.
+
+float
+conv3Coef(int di, int dj, int dk)
+{
+    // Deterministic small coefficients.
+    return (static_cast<float>((di + 1) * 9 + (dj + 1) * 3 + dk + 1) -
+            13.0f) /
+           16.0f;
+}
+
+class Conv3d final : public Benchmark
+{
+  public:
+    std::string name() const override { return "3dconv"; }
+    std::string description() const override
+    {
+        return "3x3x3 filter applied to a volume";
+    }
+    int kernelCount() const override { return 1; }
+
+    void
+    setup(MainMemory &mem, Heap &heap) override
+    {
+        size_t cells = static_cast<size_t>(dNI) * dNJ * dNK;
+        in_ = randomFloats(cells, 221);
+        inAddr_ = heap.alloc(dNI * dNJ * dNK * 4);
+        outAddr_ = heap.alloc(dNI * dNJ * dNK * 4);
+        uploadFloats(mem, inAddr_, in_);
+        uploadFloats(mem, outAddr_,
+                     std::vector<float>(cells, 0.0f));
+    }
+
+    std::string
+    check(const MainMemory &mem) const override
+    {
+        // Only interior cells are specified; halo rows written by the
+        // padded task range hold unspecified values and are skipped.
+        auto got = downloadFloats(mem, outAddr_,
+                                  static_cast<size_t>(dNI) * dNJ * dNK);
+        auto at = [this](int i, int j, int k) {
+            return in_[(static_cast<size_t>(i) * dNJ + j) * dNK + k];
+        };
+        std::vector<float> expect, actual;
+        for (int i = 1; i <= dInterior; ++i)
+            for (int j = 1; j <= dInterior; ++j)
+                for (int k = 1; k < 1 + 2 * dChunk; ++k) {
+                    float acc = 0;
+                    for (int di = -1; di <= 1; ++di)
+                        for (int dj = -1; dj <= 1; ++dj)
+                            for (int dk = -1; dk <= 1; ++dk)
+                                acc += conv3Coef(di, dj, dk) *
+                                       at(i + di, j + dj, k + dk);
+                    expect.push_back(acc);
+                    actual.push_back(
+                        got[(static_cast<size_t>(i) * dNJ + j) * dNK +
+                            k]);
+                }
+        return compareFloats(expect, actual);
+    }
+
+    GpuProgram
+    gpuProgram() override
+    {
+        GpuProgram p;
+        // One thread per (i, j) interior pair: 256 threads.
+        p.dispatches.push_back({dInterior * dInterior,
+                                [this](Assembler &as) {
+            as.li(x(5), dInterior);
+            as.div(x(6), gpuTidReg, x(5));
+            as.rem(x(7), gpuTidReg, x(5));
+            as.addi(x(6), x(6), 1);   // i
+            as.addi(x(7), x(7), 1);   // j
+            as.la(x(8), inAddr_);
+            // base = in + ((i*dNJ + j) * dNK) * 4
+            as.li(x(9), dNJ);
+            as.mul(x(10), x(6), x(9));
+            as.add(x(10), x(10), x(7));
+            emitScale(as, x(10), x(10), dNK * 4, x(11));
+            as.add(x(10), x(8), x(10));
+            as.la(x(8), outAddr_);
+            as.li(x(9), dNJ);
+            as.mul(x(12), x(6), x(9));
+            as.add(x(12), x(12), x(7));
+            emitScale(as, x(12), x(12), dNK * 4, x(11));
+            as.add(x(12), x(8), x(12));
+            as.addi(x(12), x(12), 4);
+            for (int p = 0; p < 27; ++p)
+                emitFConst(as, f(4 + p),
+                           conv3Coef(p / 9 - 1, (p / 3) % 3 - 1,
+                                     p % 3 - 1),
+                           x(11));
+            as.li(x(13), 0);
+            as.li(x(14), 2 * dChunk);
+            Loop kl(as, x(13), x(14), 1);
+            {
+                emitFZero(as, f(0));
+                for (int p = 0; p < 27; ++p) {
+                    int di = p / 9 - 1, dj = (p / 3) % 3 - 1,
+                        dk = p % 3 - 1;
+                    as.flw(f(1), x(10),
+                           ((di * dNJ + dj) * dNK + dk + 1) * 4);
+                    as.fmadd(f(0), f(1), f(4 + p), f(0));
+                }
+                as.fsw(f(0), x(12), 0);
+                as.addi(x(10), x(10), 4);
+                as.addi(x(12), x(12), 4);
+            }
+            kl.end();
+        }});
+        return p;
+    }
+
+  protected:
+    void
+    emit(SpmdBuilder &b) override
+    {
+        // Express the volume as a row-linearized stencil: grid row
+        // g = i*dNJ + j is a run of dNK contiguous words, and the
+        // nine (di, dj) neighbor rows are at fixed row deltas
+        // di*dNJ + dj. Tasks walk grid rows g = 19 .. 306 (covering
+        // every interior (i, j)); the halo rows inside that range are
+        // computed too but never verified — their neighbor reads stay
+        // inside the allocated heap.
+        RowStencilSpec s;
+        s.tasks = dInterior * dNJ;  // 288 grid rows: 19 .. 306.
+        s.rowBase = 0;
+        s.rowWords = dNK;
+        s.outBase = outAddr_ +
+                    static_cast<Addr>((dNJ + 1) * dNK) * 4;
+        s.outColStart = 1;
+        s.chunkOutputs = dChunk;
+        s.chunksPerTask = 2;
+        s.streams.clear();
+        for (int di = -1; di <= 1; ++di)
+            for (int dj = -1; dj <= 1; ++dj)
+                s.streams.push_back(
+                    {inAddr_ +
+                         static_cast<Addr>((dNJ + 1) * dNK) * 4,
+                     di * dNJ + dj, 0,
+                     // One pointer group per di plane keeps every
+                     // immediate offset within the 12-bit range.
+                     di + 1, di * dNJ});
+        // Hoist all 27 taps into f4..f30.
+        s.hoist = [](Assembler &as) {
+            for (int p = 0; p < 27; ++p)
+                emitFConst(as, f(4 + p),
+                           conv3Coef(p / 9 - 1, (p / 3) % 3 - 1,
+                                     p % 3 - 1),
+                           x(9));
+        };
+        s.compute = [](Assembler &as, const StencilLoad &load, int t) {
+            emitFZero(as, f(0));
+            for (int p = 0; p < 9; ++p) {
+                for (int dk = -1; dk <= 1; ++dk) {
+                    load(f(1), p, t + dk + 1);
+                    as.fmadd(f(0), f(1), f(4 + p * 3 + dk + 1), f(0));
+                }
+            }
+        };
+        emitRowStencilPhase(b, s);
+    }
+
+  private:
+    std::vector<float> in_;
+    Addr inAddr_ = 0, outAddr_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+makeConv2d()
+{
+    return std::make_unique<Conv2d>();
+}
+std::unique_ptr<Benchmark>
+makeFdtd2d()
+{
+    return std::make_unique<Fdtd2d>();
+}
+std::unique_ptr<Benchmark>
+makeConv3d()
+{
+    return std::make_unique<Conv3d>();
+}
+
+} // namespace rockcress

@@ -1,0 +1,335 @@
+#include "machine/machine.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Machine::Machine(const MachineParams &params)
+    : params_(params)
+{
+    int n = params_.numCores();
+    map_.numCores = n;
+    map_.lineBytes = params_.lineBytes;
+    map_.numBanks = params_.numBanks();
+
+    mem_ = std::make_unique<MainMemory>(params_.heapBytes);
+
+    StatScope root(registry_, "");
+    mesh_ = std::make_unique<Mesh>(params_.cols, params_.rows + 2,
+                                   params_.nocWidthWords,
+                                   root.nested("noc"));
+    inet_ = std::make_unique<Inet>(n, params_.inetQueueEntries,
+                                   root.nested("inet"));
+    dram_ = std::make_unique<Dram>(params_.numBanks(),
+                                   params_.dramBytesPerCycle,
+                                   params_.dramLatencyCycles,
+                                   root.nested("dram"));
+
+    groupOfCore_.assign(static_cast<size_t>(n), -1);
+    arrivedGen_.assign(static_cast<size_t>(n), 0);
+
+    // Tiles.
+    for (CoreId c = 0; c < n; ++c) {
+        std::ostringstream name;
+        name << "core" << c << ".";
+        StatScope scope(registry_, name.str());
+        spads_.push_back(std::make_unique<Scratchpad>(
+            c, params_.spadBytes, params_.frameCounters,
+            scope.nested("spad")));
+        cores_.push_back(std::make_unique<Core>(
+            c, params_.core, *this, *spads_.back(), *inet_, scope));
+        Core *core = cores_.back().get();
+        mesh_->setSink(tileNode(c),
+                       [core](const Packet &pkt) { core->receive(pkt); });
+    }
+
+    // LLC banks.
+    LlcParams llc;
+    llc.capacityBytes = params_.llcBankBytes();
+    llc.ways = params_.llcWays;
+    llc.lineBytes = params_.lineBytes;
+    llc.hitLatency = params_.llcHitLatency;
+    std::vector<int> core_nodes;
+    for (CoreId c = 0; c < n; ++c)
+        core_nodes.push_back(tileNode(c));
+    for (int b = 0; b < params_.numBanks(); ++b) {
+        std::ostringstream name;
+        name << "llc" << b << ".";
+        StatScope scope(registry_, name.str());
+        banks_.push_back(std::make_unique<LlcBank>(
+            b, bankNode(b), llc, *mesh_, *dram_, *mem_, map_, core_nodes,
+            scope));
+        LlcBank *bank = banks_.back().get();
+        mesh_->setSink(bankNode(b),
+                       [bank](const Packet &pkt) { bank->receive(pkt); });
+    }
+
+    // Tick order: cores, inet, mesh, LLCs, then machine bookkeeping.
+    for (auto &core : cores_)
+        sim_.add(core.get());
+    sim_.add(inet_.get());
+    sim_.add(mesh_.get());
+    for (auto &bank : banks_)
+        sim_.add(bank.get());
+    sim_.add(this);
+}
+
+std::pair<int, int>
+Machine::coreCoord(CoreId c) const
+{
+    int y = c / params_.cols;
+    int in_row = c % params_.cols;
+    int x = (y % 2 == 0) ? in_row : params_.cols - 1 - in_row;
+    return {x, y};
+}
+
+int
+Machine::tileNode(CoreId c) const
+{
+    auto [x, y] = coreCoord(c);
+    return mesh_->nodeId(x, y + 1);  // Row 0 is the top LLC row.
+}
+
+int
+Machine::bankNode(int bank) const
+{
+    int x = bank % params_.cols;
+    int y = bank < params_.cols ? 0 : params_.rows + 1;
+    return mesh_->nodeId(x, y);
+}
+
+void
+Machine::loadProgram(CoreId core, std::shared_ptr<const Program> program,
+                     int entry_pc)
+{
+    cores_.at(static_cast<size_t>(core))
+        ->setProgram(std::move(program), entry_pc);
+}
+
+void
+Machine::loadAll(std::shared_ptr<const Program> program, int entry_pc)
+{
+    for (auto &core : cores_)
+        core->setProgram(program, entry_pc);
+}
+
+void
+Machine::planGroup(const GroupPlan &plan)
+{
+    if (plan.chain.size() < 2)
+        fatal("machine: a vector group needs a scalar and >= 1 vector "
+              "core");
+    GroupState state;
+    state.plan = plan;
+    auto layout = std::make_shared<GroupLayout>();
+    layout->scalar = plan.chain[0];
+    layout->vectorCores.assign(plan.chain.begin() + 1, plan.chain.end());
+    state.layout = layout;
+    int gid = static_cast<int>(groups_.size());
+    for (CoreId c : plan.chain) {
+        if (groupOfCore_.at(static_cast<size_t>(c)) != -1)
+            fatal("machine: core ", c, " in two group plans");
+        groupOfCore_[static_cast<size_t>(c)] = gid;
+    }
+    // Every chain hop must be a physical mesh neighbor.
+    for (size_t i = 0; i + 1 < plan.chain.size(); ++i) {
+        auto [ax, ay] = coreCoord(plan.chain[i]);
+        auto [bx, by] = coreCoord(plan.chain[i + 1]);
+        if (std::abs(ax - bx) + std::abs(ay - by) != 1)
+            fatal("machine: group chain hop ", plan.chain[i], " -> ",
+                  plan.chain[i + 1], " is not a mesh neighbor");
+    }
+    groups_.push_back(std::move(state));
+}
+
+Cycle
+Machine::run(Cycle max_cycles)
+{
+    return sim_.run(
+        [this] {
+            for (const auto &core : cores_) {
+                if (!core->halted())
+                    return false;
+            }
+            return true;
+        },
+        max_cycles);
+}
+
+bool
+Machine::memIdle() const
+{
+    if (!mesh_->idle())
+        return false;
+    for (const auto &bank : banks_) {
+        if (!bank->idle())
+            return false;
+    }
+    return dram_->idle(sim_.now());
+}
+
+void
+Machine::tick(Cycle now)
+{
+    (void)now;
+    // Release the barrier when every live core has arrived and the
+    // memory system has drained (gives kernels store-drain semantics).
+    int alive = 0;
+    for (const auto &core : cores_) {
+        if (!core->halted())
+            ++alive;
+    }
+    if (alive > 0 && arrivals_ >= alive && memIdle()) {
+        ++barrierGen_;
+        arrivals_ = 0;
+    }
+}
+
+// --- CoreEnv ------------------------------------------------------------------
+
+void
+Machine::sendMemReq(CoreId src, const MemReq &req)
+{
+    Addr probe = req.addr + static_cast<Addr>(req.wordLo) * wordBytes;
+    if (!map_.isGlobal(probe))
+        fatal("machine: memory request to non-global address ", probe);
+    int bank = map_.bankOf(probe);
+    Packet pkt;
+    pkt.srcNode = tileNode(src);
+    pkt.dstNode = bankNode(bank);
+    pkt.kind = PacketKind::MemReqKind;
+    pkt.req = req;
+    pkt.words = req.op == MemOp::WriteWord ? 1 + req.sizeWords : 1;
+    mesh_->send(pkt);
+}
+
+void
+Machine::sendSpadWrite(CoreId src, const SpadWrite &write)
+{
+    Packet pkt;
+    pkt.srcNode = tileNode(src);
+    pkt.dstNode = tileNode(write.dst);
+    pkt.kind = PacketKind::SpadWriteKind;
+    pkt.spadWrite = write;
+    pkt.words = 2;
+    mesh_->send(pkt);
+}
+
+void
+Machine::groupJoin(CoreId core)
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    if (gid < 0)
+        fatal("machine: core ", core,
+              " wrote vconfig but has no group plan");
+    GroupState &g = groups_[static_cast<size_t>(gid)];
+    ++g.joined;
+    if (g.joined == static_cast<int>(g.plan.chain.size())) {
+        g.formed = true;
+        inet_->configureChain(g.plan.chain);
+    }
+}
+
+bool
+Machine::groupFormed(CoreId core) const
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    return gid >= 0 && groups_[static_cast<size_t>(gid)].formed;
+}
+
+GroupLayoutPtr
+Machine::groupLayout(CoreId core) const
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    if (gid < 0)
+        return nullptr;
+    const GroupState &g = groups_[static_cast<size_t>(gid)];
+    return g.formed ? g.layout : nullptr;
+}
+
+int
+Machine::groupTid(CoreId core) const
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    if (gid < 0)
+        return 0;
+    const GroupState &g = groups_[static_cast<size_t>(gid)];
+    for (size_t i = 0; i < g.layout->vectorCores.size(); ++i) {
+        if (g.layout->vectorCores[i] == core)
+            return static_cast<int>(i);
+    }
+    return 0;
+}
+
+int
+Machine::groupHop(CoreId core) const
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    if (gid < 0)
+        return -1;
+    const GroupState &g = groups_[static_cast<size_t>(gid)];
+    for (size_t i = 0; i < g.plan.chain.size(); ++i) {
+        if (g.plan.chain[i] == core)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+Machine::plannedAsScalar(CoreId core) const
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    return gid >= 0 &&
+           groups_[static_cast<size_t>(gid)].plan.chain[0] == core;
+}
+
+bool
+Machine::plannedAsExpander(CoreId core) const
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    return gid >= 0 &&
+           groups_[static_cast<size_t>(gid)].plan.chain[1] == core;
+}
+
+void
+Machine::leftGroup(CoreId core)
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    if (gid < 0)
+        panic("machine: leftGroup from unplanned core ", core);
+    GroupState &g = groups_[static_cast<size_t>(gid)];
+    ++g.left;
+    if (g.left == static_cast<int>(g.plan.chain.size())) {
+        // Fully disbanded: tear down the chain and allow re-formation
+        // (groups reform at the next kernel).
+        for (CoreId c : g.plan.chain)
+            inet_->clearCore(c);
+        g.joined = 0;
+        g.formed = false;
+        g.left = 0;
+    }
+}
+
+void
+Machine::barrierArrive(CoreId core)
+{
+    arrivedGen_.at(static_cast<size_t>(core)) = barrierGen_;
+    ++arrivals_;
+}
+
+bool
+Machine::barrierReleased(CoreId core) const
+{
+    return arrivedGen_.at(static_cast<size_t>(core)) < barrierGen_;
+}
+
+Scratchpad &
+Machine::spadOf(CoreId core)
+{
+    return *spads_.at(static_cast<size_t>(core));
+}
+
+} // namespace rockcress

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The assembled manycore machine (Section 5.1): a serpentine-ordered
+ * tile grid, LLC slices at the top and bottom of each mesh column,
+ * per-slice DRAM channels, the data NoC, and the inet. Implements
+ * CoreEnv: group formation/disband bookkeeping (the "software
+ * runtime" that computes the paper's vconfig bitmasks) and the global
+ * kernel barrier.
+ *
+ * Core ids follow a serpentine (boustrophedon) order so that
+ * consecutive ids are always mesh neighbors; a vector group is any
+ * range of consecutive core ids, and its inet chain hops are all
+ * physical 1-cycle links.
+ */
+
+#ifndef ROCKCRESS_MACHINE_MACHINE_HH
+#define ROCKCRESS_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "core/env.hh"
+#include "machine/params.hh"
+#include "mem/dram.hh"
+#include "mem/llc.hh"
+#include "noc/inet.hh"
+#include "noc/mesh.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace rockcress
+{
+
+/** A planned vector group: scalar first, then expander, then vectors. */
+struct GroupPlan
+{
+    std::vector<CoreId> chain;
+};
+
+/** The full manycore system. */
+class Machine : public CoreEnv, public Ticked
+{
+  public:
+    explicit Machine(const MachineParams &params);
+
+    /** @name Software configuration before running. */
+    ///@{
+    /** Load a program into one core at a named entry point. */
+    void loadProgram(CoreId core, std::shared_ptr<const Program> program,
+                     int entry_pc = 0);
+    /** Load the same program into every core. */
+    void loadAll(std::shared_ptr<const Program> program, int entry_pc = 0);
+    /**
+     * Register a vector group plan (the runtime computation of the
+     * vconfig bitmask). chain[0] is the scalar core; the remaining
+     * entries must be consecutive mesh neighbors.
+     */
+    void planGroup(const GroupPlan &plan);
+    ///@}
+
+    /** Run until all cores halt. @return total cycles. */
+    Cycle run(Cycle max_cycles = 500'000'000);
+
+    void tick(Cycle now) override;
+
+    /** @name Accessors. */
+    ///@{
+    StatRegistry &stats() { return registry_; }
+    const StatRegistry &stats() const { return registry_; }
+    MainMemory &mem() { return *mem_; }
+    const MainMemory &mem() const { return *mem_; }
+    const MachineParams &params() const { return params_; }
+    Core &core(CoreId c) { return *cores_.at(static_cast<size_t>(c)); }
+    int numCores() const { return params_.numCores(); }
+    Cycle cycles() const { return sim_.now(); }
+    /** Grid coordinate of a core (serpentine order). */
+    std::pair<int, int> coreCoord(CoreId c) const;
+    /** Hop distance of a core from its group's scalar core (0 = scalar). */
+    int groupHop(CoreId c) const;
+    ///@}
+
+    /** @name CoreEnv implementation. */
+    ///@{
+    void sendMemReq(CoreId src, const MemReq &req) override;
+    void sendSpadWrite(CoreId src, const SpadWrite &write) override;
+    void groupJoin(CoreId core) override;
+    bool groupFormed(CoreId core) const override;
+    GroupLayoutPtr groupLayout(CoreId core) const override;
+    int groupTid(CoreId core) const override;
+    bool plannedAsScalar(CoreId core) const override;
+    bool plannedAsExpander(CoreId core) const override;
+    void leftGroup(CoreId core) override;
+    void barrierArrive(CoreId core) override;
+    bool barrierReleased(CoreId core) const override;
+    Scratchpad &spadOf(CoreId core) override;
+    MainMemory &mainMem() override { return *mem_; }
+    const AddrMap &addrMap() const override { return map_; }
+    ///@}
+
+  private:
+    struct GroupState
+    {
+        GroupPlan plan;
+        GroupLayoutPtr layout;
+        int joined = 0;
+        bool formed = false;
+        int left = 0;
+    };
+
+    int tileNode(CoreId c) const;
+    int bankNode(int bank) const;
+    bool memIdle() const;
+
+    MachineParams params_;
+    StatRegistry registry_;
+    AddrMap map_;
+    std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<Mesh> mesh_;
+    std::unique_ptr<Inet> inet_;
+    std::unique_ptr<Dram> dram_;
+    std::vector<std::unique_ptr<Scratchpad>> spads_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<LlcBank>> banks_;
+    Simulator sim_;
+
+    // Group bookkeeping.
+    std::vector<GroupState> groups_;
+    std::vector<int> groupOfCore_;   ///< -1 when unplanned.
+
+    // Global barrier.
+    std::uint64_t barrierGen_ = 1;
+    std::vector<std::uint64_t> arrivedGen_;  ///< 0 = not waiting.
+    int arrivals_ = 0;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MACHINE_MACHINE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Machine-level parameters mirroring Table 1a plus the knobs the
+ * evaluation sweeps (core count, DRAM bandwidth, LLC capacity, NoC
+ * width, cache line size).
+ */
+
+#ifndef ROCKCRESS_MACHINE_PARAMS_HH
+#define ROCKCRESS_MACHINE_PARAMS_HH
+
+#include "core/core.hh"
+#include "mem/llc.hh"
+
+namespace rockcress
+{
+
+/** Full manycore machine configuration. */
+struct MachineParams
+{
+    int cols = 8;                    ///< Tile grid columns.
+    int rows = 8;                    ///< Tile grid rows (64 cores).
+    int nocWidthWords = 4;           ///< On-Chip Net Width: 4 words.
+    int inetQueueEntries = 2;        ///< inet Queue Entries: 2.
+    Addr spadBytes = 4 * 1024;       ///< Spm Capacity: 4 kB.
+    int frameCounters = 5;           ///< Five 10-bit frame counters.
+    Addr llcTotalBytes = 256 * 1024; ///< LLC Capacity: 256 kB.
+    int llcWays = 4;                 ///< LLC Ways: 4.
+    Addr lineBytes = 64;             ///< Cache line size (LL: 1024).
+    Cycle llcHitLatency = 1;         ///< LLC Hit Latency: 1 cycle.
+    Cycle dramLatencyCycles = 60;    ///< DRAM Latency: 60 ns at 1 GHz.
+    double dramBytesPerCycle = 16.0; ///< DRAM Bandwidth: 16 GB/s.
+    Addr heapBytes = 64u * 1024 * 1024;
+    CoreParams core;
+
+    int numCores() const { return cols * rows; }
+    int numBanks() const { return 2 * cols; }
+
+    Addr
+    llcBankBytes() const
+    {
+        return llcTotalBytes / static_cast<Addr>(numBanks());
+    }
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MACHINE_PARAMS_HH

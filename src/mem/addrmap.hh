@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The global address map. Scratchpads occupy a low window (one
+ * 64 KiB stride per core); the DRAM-backed global heap, striped
+ * across LLC banks by cache line, starts at globalBase.
+ */
+
+#ifndef ROCKCRESS_MEM_ADDRMAP_HH
+#define ROCKCRESS_MEM_ADDRMAP_HH
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Static layout of the 32-bit physical address space. */
+struct AddrMap
+{
+    /** Address stride between consecutive cores' scratchpad windows. */
+    static constexpr Addr spadStride = 0x10000;
+
+    /** Base of the DRAM-backed global heap. */
+    static constexpr Addr globalBase = 0x40000000;
+
+    int numCores = 0;
+    Addr lineBytes = 64;
+    int numBanks = 16;
+
+    bool isSpad(Addr a) const { return a < globalBase; }
+    bool isGlobal(Addr a) const { return a >= globalBase; }
+
+    CoreId
+    spadCore(Addr a) const
+    {
+        CoreId c = static_cast<CoreId>(a / spadStride);
+        if (c >= numCores)
+            fatal("addrmap: scratchpad address ", a,
+                  " beyond core count ", numCores);
+        return c;
+    }
+
+    Addr spadOffset(Addr a) const { return a % spadStride; }
+
+    Addr
+    spadBase(CoreId c) const
+    {
+        return static_cast<Addr>(c) * spadStride;
+    }
+
+    /** LLC banks partition the heap by striping cache lines. */
+    int
+    bankOf(Addr a) const
+    {
+        return static_cast<int>(((a - globalBase) / lineBytes) %
+                                static_cast<Addr>(numBanks));
+    }
+
+    /** Align an address down to its containing line. */
+    Addr lineOf(Addr a) const { return a - (a % lineBytes); }
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_ADDRMAP_HH

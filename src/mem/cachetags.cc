@@ -1,0 +1,161 @@
+#include "mem/cachetags.hh"
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+bool
+isPow2(Addr v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheTags::CacheTags(Addr capacity_bytes, int ways, Addr line_bytes,
+                     const StatScope &stats)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    if (!isPow2(line_bytes) || ways <= 0 || capacity_bytes == 0)
+        fatal("cachetags: bad geometry");
+    Addr lines = capacity_bytes / line_bytes;
+    if (lines % static_cast<Addr>(ways) != 0)
+        fatal("cachetags: capacity not divisible by ways*line");
+    numSets_ = static_cast<int>(lines / static_cast<Addr>(ways));
+    if (!isPow2(static_cast<Addr>(numSets_)))
+        fatal("cachetags: number of sets must be a power of two");
+    lines_.resize(lines);
+    plru_.resize(static_cast<size_t>(numSets_), 0);
+
+    statAccesses_ = stats.counter("accesses");
+    statHits_ = stats.counter("hits");
+    statMisses_ = stats.counter("misses");
+    statWritebacks_ = stats.counter("writebacks");
+}
+
+Addr
+CacheTags::setIndex(Addr addr) const
+{
+    return (addr / lineBytes_) & static_cast<Addr>(numSets_ - 1);
+}
+
+Addr
+CacheTags::tagOf(Addr addr) const
+{
+    return addr / lineBytes_ / static_cast<Addr>(numSets_);
+}
+
+bool
+CacheTags::probe(Addr addr) const
+{
+    Addr set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    for (int w = 0; w < ways_; ++w) {
+        const Line &l = lines_[set * static_cast<Addr>(ways_) +
+                               static_cast<Addr>(w)];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+int
+CacheTags::plruVictim(int set) const
+{
+    // Tree pseudo-LRU: walk internal nodes; bit 0 means "go left".
+    std::uint64_t bits = plru_[static_cast<size_t>(set)];
+    int node = 0;
+    int way = 0;
+    int levels = 0;
+    for (int w = ways_; w > 1; w >>= 1)
+        ++levels;
+    for (int lvl = 0; lvl < levels; ++lvl) {
+        int bit = static_cast<int>((bits >> node) & 1);
+        way = (way << 1) | bit;
+        node = 2 * node + 1 + bit;
+    }
+    return way;
+}
+
+void
+CacheTags::plruTouch(int set, int way)
+{
+    // Flip bits along the path so the victim walk avoids this way.
+    std::uint64_t &bits = plru_[static_cast<size_t>(set)];
+    int levels = 0;
+    for (int w = ways_; w > 1; w >>= 1)
+        ++levels;
+    int node = 0;
+    for (int lvl = levels - 1; lvl >= 0; --lvl) {
+        int bit = (way >> lvl) & 1;
+        if (bit)
+            bits &= ~(1ull << node);
+        else
+            bits |= (1ull << node);
+        node = 2 * node + 1 + bit;
+    }
+}
+
+TagAccess
+CacheTags::access(Addr addr, bool is_write)
+{
+    *statAccesses_ += 1;
+    TagAccess result;
+    Addr set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *lines = &lines_[set * static_cast<Addr>(ways_)];
+
+    for (int w = 0; w < ways_; ++w) {
+        if (lines[w].valid && lines[w].tag == tag) {
+            result.hit = true;
+            if (is_write)
+                lines[w].dirty = true;
+            plruTouch(static_cast<int>(set), w);
+            *statHits_ += 1;
+            return result;
+        }
+    }
+
+    *statMisses_ += 1;
+
+    // Prefer an invalid way before evicting.
+    int victim = -1;
+    for (int w = 0; w < ways_; ++w) {
+        if (!lines[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim < 0) {
+        victim = plruVictim(static_cast<int>(set));
+        result.victimValid = true;
+        result.victimDirty = lines[victim].dirty;
+        result.victimAddr = (lines[victim].tag *
+                                 static_cast<Addr>(numSets_) +
+                             set) *
+                            lineBytes_;
+        if (result.victimDirty)
+            *statWritebacks_ += 1;
+    }
+
+    lines[victim].valid = true;
+    lines[victim].dirty = is_write;
+    lines[victim].tag = tag;
+    plruTouch(static_cast<int>(set), victim);
+    return result;
+}
+
+void
+CacheTags::flush()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    for (auto &b : plru_)
+        b = 0;
+}
+
+} // namespace rockcress

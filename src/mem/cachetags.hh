@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A generic set-associative tag array with tree pseudo-LRU
+ * replacement and write-back dirty tracking. Used by the LLC banks
+ * (Section 5.1: write-back, pseudo-LRU, 64-byte lines) and by the
+ * GPU's TCP/TCC caches.
+ */
+
+#ifndef ROCKCRESS_MEM_CACHETAGS_HH
+#define ROCKCRESS_MEM_CACHETAGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Result of a tag lookup-and-update. */
+struct TagAccess
+{
+    bool hit = false;
+    bool victimValid = false;   ///< A line was evicted.
+    bool victimDirty = false;   ///< The evicted line needs write-back.
+    Addr victimAddr = 0;        ///< Line address of the victim.
+};
+
+/** Set-associative tag array; data lives in the functional memory. */
+class CacheTags
+{
+  public:
+    /**
+     * @param capacity_bytes Total capacity.
+     * @param ways Associativity.
+     * @param line_bytes Line size.
+     * @param stats Stat scope for accesses/hits/misses/writebacks.
+     */
+    CacheTags(Addr capacity_bytes, int ways, Addr line_bytes,
+              const StatScope &stats);
+
+    /**
+     * Probe without allocating or touching replacement state.
+     * @return True on hit.
+     */
+    bool probe(Addr addr) const;
+
+    /**
+     * Access a line: on miss, allocate (evicting the pseudo-LRU way).
+     * @param addr Any address within the line.
+     * @param is_write Marks the line dirty.
+     */
+    TagAccess access(Addr addr, bool is_write);
+
+    /** Invalidate everything (between kernels in some experiments). */
+    void flush();
+
+    Addr lineBytes() const { return lineBytes_; }
+    int numSets() const { return numSets_; }
+    int ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+    };
+
+    Addr setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    int plruVictim(int set) const;
+    void plruTouch(int set, int way);
+
+    Addr lineBytes_;
+    int ways_;
+    int numSets_;
+    std::vector<Line> lines_;       ///< set-major [set*ways + way].
+    std::vector<std::uint64_t> plru_;  ///< One tree bitmask per set.
+
+    std::uint64_t *statAccesses_;
+    std::uint64_t *statHits_;
+    std::uint64_t *statMisses_;
+    std::uint64_t *statWritebacks_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_CACHETAGS_HH

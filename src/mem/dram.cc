@@ -1,0 +1,44 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Dram::Dram(int channels, double total_bytes_per_cycle,
+           Cycle latency_cycles, const StatScope &stats)
+    : freeAt_(static_cast<size_t>(channels), 0.0),
+      cyclesPerByte_(static_cast<double>(channels) /
+                     total_bytes_per_cycle),
+      latency_(latency_cycles)
+{
+    if (channels <= 0 || total_bytes_per_cycle <= 0)
+        fatal("dram: invalid parameters");
+    statReads_ = stats.counter("transfers");
+    statBytes_ = stats.counter("bytes");
+}
+
+Cycle
+Dram::request(int channel, Addr bytes, Cycle now)
+{
+    double &free = freeAt_.at(static_cast<size_t>(channel));
+    double start = std::max(static_cast<double>(now), free);
+    free = start + static_cast<double>(bytes) * cyclesPerByte_;
+    *statReads_ += 1;
+    *statBytes_ += bytes;
+    return static_cast<Cycle>(free) + latency_;
+}
+
+bool
+Dram::idle(Cycle now) const
+{
+    for (double f : freeAt_) {
+        if (f > static_cast<double>(now))
+            return false;
+    }
+    return true;
+}
+
+} // namespace rockcress

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-latency, fixed-bandwidth DRAM model (Table 1a: 60 ns latency,
+ * 16 GB/s aggregate). Each LLC slice owns one channel; per-channel
+ * bandwidth is the aggregate divided by the number of channels.
+ */
+
+#ifndef ROCKCRESS_MEM_DRAM_HH
+#define ROCKCRESS_MEM_DRAM_HH
+
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** All DRAM channels of the machine. */
+class Dram
+{
+  public:
+    /**
+     * @param channels Number of channels (one per LLC bank).
+     * @param total_bytes_per_cycle Aggregate bandwidth at 1 GHz
+     *        (16 GB/s -> 16 bytes per cycle).
+     * @param latency_cycles Access latency (60 ns -> 60 cycles).
+     * @param stats Stat scope ("dram.").
+     */
+    Dram(int channels, double total_bytes_per_cycle, Cycle latency_cycles,
+         const StatScope &stats);
+
+    /**
+     * Schedule a transfer of `bytes` on a channel.
+     * @return The cycle at which the data is available.
+     */
+    Cycle request(int channel, Addr bytes, Cycle now);
+
+    /** True when every channel has drained its queue. */
+    bool idle(Cycle now) const;
+
+    Cycle latency() const { return latency_; }
+
+  private:
+    std::vector<double> freeAt_;   ///< Per-channel bandwidth horizon.
+    double cyclesPerByte_;
+    Cycle latency_;
+    std::uint64_t *statReads_;
+    std::uint64_t *statBytes_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_DRAM_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A tile's private instruction cache (Table 1a: 4 kB, 2-way, 1-cycle
+ * hit). Vector cores power it down entirely and fetch from the inet;
+ * the energy model charges one I-cache access per fetched instruction
+ * on frontend-enabled cores only (Section 5.2).
+ *
+ * Misses refill with a flat latency rather than traversing the data
+ * NoC: the paper's kernels are small and icache misses are cold-only,
+ * so the simplification has no steady-state effect (see DESIGN.md).
+ */
+
+#ifndef ROCKCRESS_MEM_ICACHE_HH
+#define ROCKCRESS_MEM_ICACHE_HH
+
+#include "mem/cachetags.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Tag-only I-cache model; instruction bits come from the program. */
+class ICache
+{
+  public:
+    struct Params
+    {
+        Addr capacityBytes = 4 * 1024;
+        int ways = 2;
+        Addr lineBytes = 64;
+        Cycle hitLatency = 1;
+        Cycle missLatency = 30;
+    };
+
+    ICache(const Params &params, const StatScope &stats)
+        : params_(params),
+          tags_(params.capacityBytes, params.ways, params.lineBytes,
+                stats)
+    {}
+
+    /**
+     * Fetch the instruction at the given PC (instruction index).
+     * @return Cycle at which the instruction is available.
+     */
+    Cycle
+    fetch(int pc, Cycle now)
+    {
+        Addr addr = static_cast<Addr>(pc) * wordBytes;
+        TagAccess r = tags_.access(addr, false);
+        return now + (r.hit ? params_.hitLatency : params_.missLatency);
+    }
+
+    void flush() { tags_.flush(); }
+
+  private:
+    Params params_;
+    CacheTags tags_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_ICACHE_HH

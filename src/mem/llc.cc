@@ -1,0 +1,162 @@
+#include "mem/llc.hh"
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+LlcBank::LlcBank(int bank, int node, const LlcParams &params, Mesh &mesh,
+                 Dram &dram, MainMemory &mem, const AddrMap &map,
+                 std::vector<int> coreNodeOf, const StatScope &stats)
+    : bank_(bank), node_(node), params_(params), mesh_(mesh), dram_(dram),
+      mem_(mem), map_(map), coreNodeOf_(std::move(coreNodeOf)),
+      tags_(params.capacityBytes, params.ways, params.lineBytes, stats)
+{
+    statWideAccesses_ = stats.counter("wide_accesses");
+    statWordReads_ = stats.counter("word_reads");
+    statWordWrites_ = stats.counter("word_writes");
+    statRespWords_ = stats.counter("response_words");
+}
+
+void
+LlcBank::receive(const Packet &pkt)
+{
+    if (pkt.kind != PacketKind::MemReqKind)
+        panic("llc bank ", bank_, ": unexpected packet kind");
+    reqQueue_.push_back(pkt.req);
+}
+
+CoreId
+LlcBank::responseDest(const MemReq &req, int cnt) const
+{
+    switch (req.variant) {
+      case VloadVariant::Self:
+        return req.src;
+      case VloadVariant::Single:
+        return req.group->vectorCores.at(
+            static_cast<size_t>(req.baseCoreOff));
+      case VloadVariant::Group:
+        return req.group->vectorCores.at(static_cast<size_t>(
+            req.baseCoreOff + cnt / req.respPerCore));
+    }
+    panic("llc: bad vload variant");
+}
+
+void
+LlcBank::enqueueResponses(const MemReq &req)
+{
+    ActiveResp ar;
+    ar.req = req;
+    ar.cnt = req.wordLo;
+    // Data is read functionally when the line becomes available (hit
+    // or fill completion); the serial response engine then streams
+    // the captured words one per cycle.
+    for (int c = req.wordLo; c < req.wordHi; ++c)
+        ar.snap.push_back(
+            mem_.readWord(req.addr + static_cast<Addr>(c) * wordBytes));
+    respQueue_.push_back(ar);
+}
+
+void
+LlcBank::startRequest(const MemReq &req, Cycle now)
+{
+    Addr line = map_.lineOf(req.addr +
+                            static_cast<Addr>(req.wordLo) * wordBytes);
+    bool is_write = req.op == MemOp::WriteWord;
+
+    switch (req.op) {
+      case MemOp::ReadWide: *statWideAccesses_ += 1; break;
+      case MemOp::ReadWord: *statWordReads_ += 1; break;
+      case MemOp::WriteWord: *statWordWrites_ += 1; break;
+    }
+
+    auto it = mshrs_.find(line);
+    if (it != mshrs_.end()) {
+        it->second.waiting.push_back(req);
+        return;
+    }
+
+    TagAccess result = tags_.access(line, is_write);
+    if (result.hit) {
+        if (!is_write)
+            enqueueResponses(req);
+        return;
+    }
+
+    // Miss: fill from DRAM; a dirty victim costs write-back bandwidth.
+    Addr bytes = params_.lineBytes +
+                 (result.victimDirty ? params_.lineBytes : 0);
+    Mshr mshr;
+    mshr.ready = dram_.request(bank_, bytes, now);
+    if (!is_write)
+        mshr.waiting.push_back(req);
+    mshrs_.emplace(line, std::move(mshr));
+}
+
+void
+LlcBank::emitOneWord(Cycle)
+{
+    if (respQueue_.empty())
+        return;
+    ActiveResp &ar = respQueue_.front();
+    const MemReq &req = ar.req;
+
+    MemResp resp;
+    resp.dst = responseDest(req, ar.cnt);
+    resp.addr = req.addr + static_cast<Addr>(ar.cnt) * wordBytes;
+    resp.data = ar.snap[static_cast<size_t>(ar.cnt - ar.req.wordLo)];
+    resp.toSpad = req.op == MemOp::ReadWide;
+    resp.spadOffset = req.spadOffset +
+                      static_cast<Word>(ar.cnt % req.respPerCore) *
+                          wordBytes;
+    resp.reqId = req.reqId;
+    resp.destReg = req.destReg;
+
+    Packet pkt;
+    pkt.srcNode = node_;
+    pkt.dstNode = coreNodeOf_.at(static_cast<size_t>(resp.dst));
+    pkt.words = 1;
+    pkt.kind = PacketKind::MemRespKind;
+    pkt.resp = resp;
+    mesh_.send(pkt);
+    *statRespWords_ += 1;
+
+    ++ar.cnt;
+    if (ar.cnt >= req.wordHi)
+        respQueue_.pop_front();
+}
+
+void
+LlcBank::tick(Cycle now)
+{
+    // Retire completed fills.
+    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+        if (it->second.ready <= now) {
+            for (const MemReq &req : it->second.waiting) {
+                if (req.op != MemOp::WriteWord)
+                    enqueueResponses(req);
+            }
+            it = mshrs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Accept one request per cycle (tag port).
+    if (!reqQueue_.empty()) {
+        MemReq req = reqQueue_.front();
+        reqQueue_.pop_front();
+        startRequest(req, now);
+    }
+
+    // One response word per cycle per CPU-side port.
+    emitOneWord(now);
+}
+
+bool
+LlcBank::idle() const
+{
+    return reqQueue_.empty() && mshrs_.empty() && respQueue_.empty();
+}
+
+} // namespace rockcress

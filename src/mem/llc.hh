@@ -1,0 +1,107 @@
+/**
+ * @file
+ * One shared LLC bank (Sections 3.1, 3.4). Banks stripe the global
+ * address space by cache line. Each bank is write-back with tree
+ * pseudo-LRU replacement and owns a DRAM channel.
+ *
+ * Wide accesses are served by a response counter: for response count
+ * Cnt the word at (Addr + Cnt) goes to core (BC + Cnt/RPC) at
+ * scratchpad offset (BO + Cnt%RPC), one word per cycle per CPU-side
+ * port, exactly the serial response generation of Section 3.4.
+ */
+
+#ifndef ROCKCRESS_MEM_LLC_HH
+#define ROCKCRESS_MEM_LLC_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "mem/addrmap.hh"
+#include "mem/cachetags.hh"
+#include "mem/dram.hh"
+#include "mem/mainmem.hh"
+#include "mem/msg.hh"
+#include "noc/mesh.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace rockcress
+{
+
+/** Geometry and timing of an LLC bank. */
+struct LlcParams
+{
+    Addr capacityBytes = 16 * 1024;  ///< Per-bank (256 kB / 16 banks).
+    int ways = 4;
+    Addr lineBytes = 64;
+    Cycle hitLatency = 1;
+};
+
+/** A single LLC bank attached to a mesh node and a DRAM channel. */
+class LlcBank : public Ticked
+{
+  public:
+    /**
+     * @param bank Bank index (also the DRAM channel).
+     * @param node This bank's mesh node id.
+     * @param coreNodeOf Maps a CoreId to its mesh node id.
+     */
+    LlcBank(int bank, int node, const LlcParams &params, Mesh &mesh,
+            Dram &dram, MainMemory &mem, const AddrMap &map,
+            std::vector<int> coreNodeOf, const StatScope &stats);
+
+    /** Mesh sink: accept a request packet. */
+    void receive(const Packet &pkt);
+
+    void tick(Cycle now) override;
+
+    /** True when no requests, fills, or responses are outstanding. */
+    bool idle() const;
+
+    const CacheTags &tags() const { return tags_; }
+
+  private:
+    struct Mshr
+    {
+        Cycle ready = 0;
+        std::vector<MemReq> waiting;
+    };
+
+    /** An accepted read generating serial word responses. */
+    struct ActiveResp
+    {
+        MemReq req;
+        int cnt = 0;   ///< Next response index in [wordLo, wordHi).
+        std::vector<Word> snap;
+    };
+
+    void startRequest(const MemReq &req, Cycle now);
+    void enqueueResponses(const MemReq &req);
+    void emitOneWord(Cycle now);
+    CoreId responseDest(const MemReq &req, int cnt) const;
+
+    int bank_;
+    int node_;
+    LlcParams params_;
+    Mesh &mesh_;
+    Dram &dram_;
+    MainMemory &mem_;
+    const AddrMap &map_;
+    std::vector<int> coreNodeOf_;
+    CacheTags tags_;
+
+    std::deque<MemReq> reqQueue_;
+    std::map<Addr, Mshr> mshrs_;
+    std::deque<ActiveResp> respQueue_;
+    Cycle respPortFreeAt_ = 0;
+
+    std::uint64_t *statWideAccesses_;
+    std::uint64_t *statWordReads_;
+    std::uint64_t *statWordWrites_;
+    std::uint64_t *statRespWords_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_LLC_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Functional backing store for the global heap. Timing is modeled by
+ * the LLC/DRAM components; data lives here so the cache hierarchy can
+ * stay tag-only (the address spaces are disjoint and non-coherent,
+ * Section 3.1, so a single functional image is exact).
+ */
+
+#ifndef ROCKCRESS_MEM_MAINMEM_HH
+#define ROCKCRESS_MEM_MAINMEM_HH
+
+#include <vector>
+
+#include "mem/addrmap.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Word-addressable functional memory for the global heap. */
+class MainMemory
+{
+  public:
+    /** @param bytes Heap capacity starting at AddrMap::globalBase. */
+    explicit MainMemory(Addr bytes)
+        : words_(bytes / wordBytes, 0), bytes_(bytes)
+    {}
+
+    Word readWord(Addr a) const;
+    void writeWord(Addr a, Word w);
+
+    float readFloat(Addr a) const { return wordToFloat(readWord(a)); }
+    void writeFloat(Addr a, float f) { writeWord(a, floatToWord(f)); }
+
+    Addr capacity() const { return bytes_; }
+
+  private:
+    Addr index(Addr a) const;
+
+    std::vector<Word> words_;
+    Addr bytes_;
+};
+
+inline Addr
+MainMemory::index(Addr a) const
+{
+    if (a < AddrMap::globalBase || a >= AddrMap::globalBase + bytes_)
+        fatal("mainmem: address ", a, " outside the global heap");
+    if (a % wordBytes != 0)
+        fatal("mainmem: unaligned word access at ", a);
+    return (a - AddrMap::globalBase) / wordBytes;
+}
+
+inline Word
+MainMemory::readWord(Addr a) const
+{
+    return words_[index(a)];
+}
+
+inline void
+MainMemory::writeWord(Addr a, Word w)
+{
+    words_[index(a)] = w;
+}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_MAINMEM_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Message types exchanged between tiles, LLC banks, and DRAM over the
+ * data NoC, plus the vector-group layout descriptor that wide-access
+ * packets carry (Section 3.4: "this layout must be provided by a wide
+ * access packet").
+ */
+
+#ifndef ROCKCRESS_MEM_MSG_HH
+#define ROCKCRESS_MEM_MSG_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/**
+ * The shape of a vector group as seen by the memory system: the
+ * ordered list of vector cores that receive consecutive chunks of a
+ * wide response. Owned by the machine; requests carry a shared_ptr so
+ * in-flight packets stay valid across group reconfiguration.
+ */
+struct GroupLayout
+{
+    CoreId scalar = -1;                ///< The group's scalar core.
+    std::vector<CoreId> vectorCores;   ///< Expander first, chain order.
+
+    int size() const { return static_cast<int>(vectorCores.size()); }
+};
+
+using GroupLayoutPtr = std::shared_ptr<const GroupLayout>;
+
+/** Operation carried by a request packet. */
+enum class MemOp : std::uint8_t
+{
+    ReadWord,   ///< Scalar word load into a register.
+    WriteWord,  ///< Non-blocking word store.
+    ReadWide,   ///< vload: line-sized read, chunked responses.
+};
+
+/** A request from a tile to an LLC bank. */
+struct MemReq
+{
+    MemOp op = MemOp::ReadWord;
+    Addr addr = 0;             ///< Global byte address.
+    Word data = 0;             ///< Store data (WriteWord).
+    CoreId src = -1;           ///< Requesting core.
+    std::uint32_t reqId = 0;   ///< Matches ReadWord responses to LQ slots.
+    RegIdx destReg = 0;        ///< Register target for ReadWord.
+    int sizeWords = 1;         ///< Payload words (store data width).
+
+    // Wide access fields (ReadWide). The request describes a whole
+    // block starting at addr; this packet covers words
+    // [wordLo, wordHi) of the block, all within one cache line. An
+    // unaligned block is issued as a suffix/prefix request pair
+    // (Section 2.3.2's unaligned load variants).
+    VloadVariant variant = VloadVariant::Self;
+    int baseCoreOff = 0;       ///< BC: first responding core's group index.
+    Word spadOffset = 0;       ///< BO: destination scratchpad byte offset.
+    int respPerCore = 1;       ///< RPC: words per responding core.
+    int wordLo = 0;            ///< First block word covered here.
+    int wordHi = 1;            ///< One past the last block word.
+    GroupLayoutPtr group;      ///< Layout for Group/Single routing.
+};
+
+/** A single-word response from an LLC bank to a tile. */
+struct MemResp
+{
+    CoreId dst = -1;
+    Addr addr = 0;             ///< Source global address (debugging).
+    Word data = 0;
+    bool toSpad = false;       ///< Deliver into scratchpad vs. register.
+    Word spadOffset = 0;       ///< Byte offset within the scratchpad.
+    std::uint32_t reqId = 0;
+    RegIdx destReg = 0;
+};
+
+/** Remote scratchpad store (shuffles, Section 2.4). */
+struct SpadWrite
+{
+    CoreId dst = -1;
+    Word spadOffset = 0;       ///< Byte offset within the scratchpad.
+    Word data = 0;
+};
+
+/** What a NoC packet carries. */
+enum class PacketKind : std::uint8_t
+{
+    MemReqKind,
+    MemRespKind,
+    SpadWriteKind,
+};
+
+/** A packet on the data NoC. Payload size drives link bandwidth use. */
+struct Packet
+{
+    int srcNode = -1;
+    int dstNode = -1;
+    int words = 1;             ///< Payload words (>= 1, header folded in).
+    PacketKind kind = PacketKind::MemReqKind;
+    MemReq req;
+    MemResp resp;
+    SpadWrite spadWrite;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_MSG_HH

@@ -1,0 +1,136 @@
+#include "mem/scratchpad.hh"
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Scratchpad::Scratchpad(CoreId owner, Addr size_bytes, int num_counters,
+                       const StatScope &stats)
+    : owner_(owner), size_(size_bytes), numCounters_(num_counters),
+      words_(size_bytes / wordBytes, 0)
+{
+    statReads_ = stats.counter("reads");
+    statWrites_ = stats.counter("writes");
+    statNetworkWrites_ = stats.counter("network_writes");
+}
+
+Word
+Scratchpad::readWord(Addr offset) const
+{
+    if (offset % wordBytes != 0 || offset >= size_)
+        fatal("spad ", owner_, ": bad read offset ", offset);
+    *statReads_ += 1;
+    return words_[offset / wordBytes];
+}
+
+void
+Scratchpad::writeWord(Addr offset, Word data)
+{
+    if (offset % wordBytes != 0 || offset >= size_)
+        fatal("spad ", owner_, ": bad write offset ", offset);
+    *statWrites_ += 1;
+    words_[offset / wordBytes] = data;
+}
+
+void
+Scratchpad::configureFrames(int frame_size_words, int num_frames)
+{
+    if (frame_size_words == 0 && num_frames == 0) {
+        frameSize_ = 0;
+        numFrames_ = 0;
+        counters_.clear();
+        head_ = 0;
+        return;
+    }
+    if (frame_size_words <= 0 || num_frames <= 0)
+        fatal("spad ", owner_, ": bad frame config");
+    if (num_frames < numCounters_)
+        fatal("spad ", owner_, ": fewer frames (", num_frames,
+              ") than hardware counters (", numCounters_, ")");
+    Addr region = static_cast<Addr>(frame_size_words) *
+                  static_cast<Addr>(num_frames) * wordBytes;
+    if (region > size_)
+        fatal("spad ", owner_, ": frame region ", region,
+              "B exceeds scratchpad size ", size_, "B");
+    if (frame_size_words >= 1024)
+        fatal("spad ", owner_, ": frame size exceeds a 10-bit counter");
+    frameSize_ = frame_size_words;
+    numFrames_ = num_frames;
+    head_ = 0;
+    counters_.assign(static_cast<size_t>(numCounters_), 0);
+}
+
+bool
+Scratchpad::inFrameRegion(Addr offset) const
+{
+    return frameSize_ > 0 &&
+           offset < static_cast<Addr>(frameSize_) *
+                        static_cast<Addr>(numFrames_) * wordBytes;
+}
+
+int
+Scratchpad::frameDelta(Addr offset) const
+{
+    int slot = static_cast<int>(offset / wordBytes) / frameSize_;
+    int head_slot = static_cast<int>(head_ % numFrames_);
+    return (slot - head_slot + numFrames_) % numFrames_;
+}
+
+void
+Scratchpad::networkWrite(Addr offset, Word data)
+{
+    if (offset % wordBytes != 0 || offset >= size_)
+        fatal("spad ", owner_, ": bad network write offset ", offset);
+    *statNetworkWrites_ += 1;
+    words_[offset / wordBytes] = data;
+    if (!inFrameRegion(offset))
+        return;
+    int delta = frameDelta(offset);
+    if (delta >= numCounters_)
+        fatal("spad ", owner_, ": arrival for frame +", delta,
+              " beyond the ", numCounters_,
+              " hardware counters (mis-paced run-ahead)");
+    int &cnt = counters_[static_cast<size_t>(delta)];
+    if (++cnt > frameSize_)
+        fatal("spad ", owner_, ": frame overfilled");
+}
+
+bool
+Scratchpad::frameReady() const
+{
+    if (frameSize_ == 0)
+        fatal("spad ", owner_, ": frame_start with frames unconfigured");
+    return counters_[0] == frameSize_;
+}
+
+Addr
+Scratchpad::headFrameByteOffset() const
+{
+    return static_cast<Addr>(head_ % numFrames_) *
+           static_cast<Addr>(frameSize_) * wordBytes;
+}
+
+void
+Scratchpad::freeFrame()
+{
+    if (frameSize_ == 0)
+        fatal("spad ", owner_, ": remem with frames unconfigured");
+    if (counters_[0] != frameSize_)
+        fatal("spad ", owner_, ": remem of a non-full frame");
+    // Shift counters left; the rightmost count becomes zero.
+    for (size_t i = 0; i + 1 < counters_.size(); ++i)
+        counters_[i] = counters_[i + 1];
+    counters_.back() = 0;
+    ++head_;
+}
+
+bool
+Scratchpad::canAcceptFrameWrite(Addr offset) const
+{
+    if (!inFrameRegion(offset))
+        return true;
+    return frameDelta(offset) < numCounters_;
+}
+
+} // namespace rockcress

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A tile's explicitly managed data scratchpad (4 kB, 2-cycle hit)
+ * augmented with the frame bookkeeping of Section 3.3: a small set of
+ * counters (five 10-bit counters in Rockcress) tracks how many words
+ * have arrived in each open frame, allowing out-of-order arrival
+ * within a frame while enforcing in-order consumption of frames.
+ */
+
+#ifndef ROCKCRESS_MEM_SCRATCHPAD_HH
+#define ROCKCRESS_MEM_SCRATCHPAD_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** One core's scratchpad: functional storage plus DAE frame queue. */
+class Scratchpad
+{
+  public:
+    /**
+     * @param owner Owning core (for diagnostics).
+     * @param size_bytes Capacity (Table 1a: 4 kB).
+     * @param num_counters Hardware frame counters (Rockcress: 5).
+     */
+    Scratchpad(CoreId owner, Addr size_bytes, int num_counters,
+               const StatScope &stats);
+
+    /** @name Functional access (local loads/stores, 2-cycle hit). */
+    ///@{
+    Word readWord(Addr offset) const;
+    void writeWord(Addr offset, Word data);
+    ///@}
+
+    /**
+     * Configure the frame queue (CSR write before forming a group).
+     * Allocates frame_size * num_frames words at offset 0; the rest
+     * of the scratchpad remains free for program data and stack.
+     * Passing 0, 0 disables frames.
+     */
+    void configureFrames(int frame_size_words, int num_frames);
+
+    /**
+     * A word arriving from the data network. Bumps the counter of the
+     * frame containing the destination address when it lands in the
+     * frame region.
+     */
+    void networkWrite(Addr offset, Word data);
+
+    /** @name DAE consumption (frame_start / remem). */
+    ///@{
+    /** Is the frame at the head of the queue completely filled? */
+    bool frameReady() const;
+    /** Byte offset of the head frame (frame_start writeback value). */
+    Addr headFrameByteOffset() const;
+    /** Free the head frame: shift counters left (remem). */
+    void freeFrame();
+    ///@}
+
+    /**
+     * Scalar-side guard: may a network write to this offset be
+     * initiated now, i.e. does its frame fall within the counter
+     * window? (With correctly paced codegen this is always true; the
+     * guard converts pacing bugs into visible stalls.)
+     */
+    bool canAcceptFrameWrite(Addr offset) const;
+
+    /** Words per frame (0 when frames are disabled). */
+    int frameSizeWords() const { return frameSize_; }
+    int numFrames() const { return numFrames_; }
+    int numCounters() const { return numCounters_; }
+
+    Addr sizeBytes() const { return size_; }
+
+  private:
+    /** Frame-queue slot delta of an offset relative to the head. */
+    int frameDelta(Addr offset) const;
+    bool inFrameRegion(Addr offset) const;
+
+    CoreId owner_;
+    Addr size_;
+    int numCounters_;
+    std::vector<Word> words_;
+
+    int frameSize_ = 0;    ///< Words per frame; 0 = disabled.
+    int numFrames_ = 0;
+    long head_ = 0;        ///< Absolute index of the head frame.
+    std::vector<int> counters_;
+
+    std::uint64_t *statReads_;
+    std::uint64_t *statWrites_;
+    std::uint64_t *statNetworkWrites_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_MEM_SCRATCHPAD_HH

@@ -1,0 +1,120 @@
+#include "noc/inet.hh"
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Inet::Inet(int num_cores, int queue_capacity, const StatScope &stats)
+    : capacity_(queue_capacity)
+{
+    if (num_cores <= 0 || queue_capacity <= 0)
+        fatal("inet: invalid parameters");
+    nodes_.resize(static_cast<size_t>(num_cores));
+    statSends_ = stats.counter("sends");
+}
+
+void
+Inet::configureChain(const std::vector<CoreId> &chain)
+{
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        Node &n = nodes_.at(static_cast<size_t>(chain[i]));
+        if (n.downstream != -1)
+            fatal("inet: core ", chain[i], " already in a chain");
+        n.downstream = chain[i + 1];
+    }
+}
+
+void
+Inet::clearCore(CoreId core)
+{
+    Node &n = nodes_.at(static_cast<size_t>(core));
+    n.downstream = -1;
+    n.queue.clear();
+    n.linkBusy = false;
+}
+
+bool
+Inet::hasDownstream(CoreId core) const
+{
+    return nodes_.at(static_cast<size_t>(core)).downstream != -1;
+}
+
+bool
+Inet::canSend(CoreId core) const
+{
+    const Node &n = nodes_.at(static_cast<size_t>(core));
+    if (n.downstream == -1 || n.linkBusy)
+        return false;
+    const Node &down = nodes_[static_cast<size_t>(n.downstream)];
+    return static_cast<int>(down.queue.size()) < capacity_;
+}
+
+void
+Inet::send(CoreId core, const InetMsg &msg)
+{
+    Node &n = nodes_.at(static_cast<size_t>(core));
+    if (!canSend(core))
+        panic("inet: send from core ", core, " without space");
+    n.linkBusy = true;
+    n.inFlight = msg;
+    *statSends_ += 1;
+}
+
+bool
+Inet::hasMsg(CoreId core) const
+{
+    return !nodes_.at(static_cast<size_t>(core)).queue.empty();
+}
+
+const InetMsg &
+Inet::front(CoreId core) const
+{
+    const Node &n = nodes_.at(static_cast<size_t>(core));
+    if (n.queue.empty())
+        panic("inet: front() on empty queue of core ", core);
+    return n.queue.front();
+}
+
+void
+Inet::pop(CoreId core)
+{
+    Node &n = nodes_.at(static_cast<size_t>(core));
+    if (n.queue.empty())
+        panic("inet: pop() on empty queue of core ", core);
+    n.queue.pop_front();
+}
+
+int
+Inet::queueSize(CoreId core) const
+{
+    return static_cast<int>(nodes_.at(static_cast<size_t>(core))
+                                .queue.size());
+}
+
+void
+Inet::tick(Cycle)
+{
+    // Deliver in-flight messages: one register write per link per cycle.
+    for (Node &n : nodes_) {
+        if (!n.linkBusy)
+            continue;
+        Node &down = nodes_[static_cast<size_t>(n.downstream)];
+        if (static_cast<int>(down.queue.size()) >= capacity_)
+            panic("inet: downstream queue overflow");
+        down.queue.push_back(n.inFlight);
+        n.linkBusy = false;
+    }
+}
+
+bool
+Inet::idle() const
+{
+    for (const Node &n : nodes_) {
+        if (n.linkBusy || !n.queue.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace rockcress

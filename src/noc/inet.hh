@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The instruction forwarding network (inet), Section 3.2: a static
+ * network of direct 1-cycle connections between neighboring tiles,
+ * with a small input queue per tile (Table 1a: 2 entries). Within a
+ * vector group, messages flow along a chain: scalar -> expander ->
+ * vector core -> ... Backpressure arises when a downstream queue is
+ * full; the inet as a whole forms the bounded queue that the
+ * compiler's implicit synchronization scheme relies on (Section 4.2).
+ */
+
+#ifndef ROCKCRESS_NOC_INET_HH
+#define ROCKCRESS_NOC_INET_HH
+
+#include <deque>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace rockcress
+{
+
+/** A message on the inet. */
+struct InetMsg
+{
+    enum class Kind : std::uint8_t
+    {
+        Instr,   ///< A forwarded instruction.
+        Vissue,  ///< Microthread launch: pc = starting instruction index.
+        Devec,   ///< Disband: pc = resume instruction index.
+    };
+
+    Kind kind = Kind::Instr;
+    Instruction inst;
+    int pc = 0;
+};
+
+/**
+ * All inet links and queues in the fabric. The machine configures a
+ * chain per vector group at formation time and clears it at disband.
+ */
+class Inet : public Ticked
+{
+  public:
+    /**
+     * @param num_cores Tiles in the fabric.
+     * @param queue_capacity Per-tile input queue entries (q_inet).
+     * @param stats Stat scope ("inet.").
+     */
+    Inet(int num_cores, int queue_capacity, const StatScope &stats);
+
+    /**
+     * Wire the forwarding chain for one group.
+     * chain[0] is the scalar core, chain[1] the expander, then the
+     * remaining vector cores in snake order.
+     */
+    void configureChain(const std::vector<CoreId> &chain);
+
+    /** Tear down a core's link and queue (on devec). */
+    void clearCore(CoreId core);
+
+    /** Does this core have a downstream neighbor to forward to? */
+    bool hasDownstream(CoreId core) const;
+
+    /**
+     * Can this core send a message downstream this cycle?
+     * False when the link is occupied or the downstream queue
+     * (counting the in-flight message) is full.
+     */
+    bool canSend(CoreId core) const;
+
+    /** Send one message downstream; arrives next cycle. */
+    void send(CoreId core, const InetMsg &msg);
+
+    /** @name Input queue access for the receiving core. */
+    ///@{
+    bool hasMsg(CoreId core) const;
+    const InetMsg &front(CoreId core) const;
+    void pop(CoreId core);
+    int queueSize(CoreId core) const;
+    ///@}
+
+    int queueCapacity() const { return capacity_; }
+
+    void tick(Cycle now) override;
+
+    /** True when all queues and links are empty. */
+    bool idle() const;
+
+  private:
+    struct Node
+    {
+        CoreId downstream = -1;
+        std::deque<InetMsg> queue;
+        bool linkBusy = false;
+        InetMsg inFlight;
+    };
+
+    std::vector<Node> nodes_;
+    int capacity_;
+    std::uint64_t *statSends_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_NOC_INET_HH

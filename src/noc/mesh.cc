@@ -1,0 +1,132 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Mesh::Mesh(int cols, int rows, int width_words, const StatScope &stats)
+    : cols_(cols), rows_(rows), width_(width_words)
+{
+    if (cols <= 0 || rows <= 0 || width_words <= 0)
+        fatal("mesh: invalid geometry ", cols, "x", rows, " width ",
+              width_words);
+    routers_.resize(static_cast<size_t>(cols * rows));
+    statPackets_ = stats.counter("packets");
+    statWords_ = stats.counter("words");
+    statWordHops_ = stats.counter("word_hops");
+}
+
+void
+Mesh::setSink(int node, Sink sink)
+{
+    routers_.at(static_cast<size_t>(node)).sink = std::move(sink);
+}
+
+int
+Mesh::routeDir(int router, int dst) const
+{
+    if (router == dst)
+        return Local;
+    int rx = router % cols_, ry = router / cols_;
+    int dx = dst % cols_, dy = dst / cols_;
+    // XY dimension-order routing: X first, then Y.
+    if (dx > rx)
+        return East;
+    if (dx < rx)
+        return West;
+    return dy > ry ? South : North;
+}
+
+void
+Mesh::acceptAt(int router, Packet &&pkt)
+{
+    int dir = routeDir(router, pkt.dstNode);
+    routers_[static_cast<size_t>(router)]
+        .ports[dir]
+        .queue.push_back(std::move(pkt));
+}
+
+void
+Mesh::send(Packet pkt)
+{
+    if (pkt.srcNode < 0 || pkt.srcNode >= cols_ * rows_ ||
+        pkt.dstNode < 0 || pkt.dstNode >= cols_ * rows_) {
+        panic("mesh: packet with bad endpoints ", pkt.srcNode, " -> ",
+              pkt.dstNode);
+    }
+    ++inFlightPackets_;
+    *statPackets_ += 1;
+    *statWords_ += static_cast<std::uint64_t>(pkt.words);
+    acceptAt(pkt.srcNode, std::move(pkt));
+}
+
+void
+Mesh::tick(Cycle now)
+{
+    // Complete transits that arrive this cycle.
+    size_t keep = 0;
+    for (size_t i = 0; i < transits_.size(); ++i) {
+        Transit &t = transits_[i];
+        if (t.ready > now) {
+            if (keep != i)
+                transits_[keep] = std::move(transits_[i]);
+            ++keep;
+            continue;
+        }
+        if (t.router < 0) {
+            Router &r = routers_[static_cast<size_t>(t.localOf)];
+            if (!r.sink)
+                panic("mesh: packet for node ", t.localOf,
+                      " which has no sink");
+            --inFlightPackets_;
+            r.sink(t.pkt);
+        } else {
+            acceptAt(t.router, std::move(t.pkt));
+        }
+    }
+    transits_.resize(keep);
+
+    // Launch packets from output ports.
+    for (size_t rid = 0; rid < routers_.size(); ++rid) {
+        Router &r = routers_[rid];
+        int rx = static_cast<int>(rid) % cols_;
+        int ry = static_cast<int>(rid) / cols_;
+        for (int d = 0; d < NumDirs; ++d) {
+            OutPort &port = r.ports[d];
+            if (port.queue.empty() || port.busyUntil > now)
+                continue;
+            Packet pkt = std::move(port.queue.front());
+            port.queue.pop_front();
+            Cycle span = std::max<Cycle>(
+                1, static_cast<Cycle>(ceilDiv(pkt.words, width_)));
+            port.busyUntil = now + span;
+            *statWordHops_ += static_cast<std::uint64_t>(pkt.words);
+            Transit t;
+            t.ready = now + span;
+            if (d == Local) {
+                t.router = -1;
+                t.localOf = static_cast<int>(rid);
+            } else {
+                int nx = rx, ny = ry;
+                switch (d) {
+                  case North: ny -= 1; break;
+                  case South: ny += 1; break;
+                  case East:  nx += 1; break;
+                  case West:  nx -= 1; break;
+                  default: break;
+                }
+                if (nx < 0 || nx >= cols_ || ny < 0 || ny >= rows_)
+                    panic("mesh: route off grid at router ", rid);
+                t.router = nodeId(nx, ny);
+                t.localOf = -1;
+            }
+            t.pkt = std::move(pkt);
+            transits_.push_back(std::move(t));
+        }
+    }
+}
+
+} // namespace rockcress

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The data NoC: a 2D mesh with XY dimension-order routing, 1-cycle
+ * hops, and a configurable link width in words per cycle (Table 1a:
+ * "On-Chip Net Width 4 words"; Figure 17c sweeps 1 vs 4).
+ *
+ * The model is packet-switched store-and-forward: a packet of N words
+ * occupies an output link for ceil(N / width) cycles. Queues are
+ * unbounded (the real Garnet network is credit-flow-controlled; an
+ * unbounded queue keeps the model deadlock-free while preserving the
+ * serialization and congestion behaviour the evaluation depends on).
+ */
+
+#ifndef ROCKCRESS_NOC_MESH_HH
+#define ROCKCRESS_NOC_MESH_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace rockcress
+{
+
+/**
+ * A cols x rows router grid. Every router has an attached local node
+ * whose sink callback receives packets addressed to it.
+ */
+class Mesh : public Ticked
+{
+  public:
+    using Sink = std::function<void(const Packet &)>;
+
+    /**
+     * @param cols Grid columns.
+     * @param rows Grid rows (tiles plus LLC rows).
+     * @param width_words Link bandwidth in words per cycle.
+     * @param stats Stat scope ("noc.").
+     */
+    Mesh(int cols, int rows, int width_words, const StatScope &stats);
+
+    /** Node id for grid coordinate (x, y). */
+    int nodeId(int x, int y) const { return y * cols_ + x; }
+
+    /** Attach the packet sink for a node. */
+    void setSink(int node, Sink sink);
+
+    /** Inject a packet at its source node's router. */
+    void send(Packet pkt);
+
+    /** True when no packets are queued or in flight. */
+    bool idle() const { return inFlightPackets_ == 0; }
+
+    void tick(Cycle now) override;
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+
+  private:
+    /** Output port directions. */
+    enum Dir { North = 0, South, East, West, Local, NumDirs };
+
+    struct OutPort
+    {
+        std::deque<Packet> queue;
+        Cycle busyUntil = 0;
+    };
+
+    struct Router
+    {
+        OutPort ports[NumDirs];
+        Sink sink;
+    };
+
+    struct Transit
+    {
+        Cycle ready;
+        int router;     ///< Destination router (or -1 for local sink).
+        int localOf;    ///< If delivering locally, the router id.
+        Packet pkt;
+    };
+
+    int routeDir(int router, int dst) const;
+    void acceptAt(int router, Packet &&pkt);
+
+    int cols_;
+    int rows_;
+    int width_;
+    std::vector<Router> routers_;
+    std::vector<Transit> transits_;
+    long inFlightPackets_ = 0;
+
+    std::uint64_t *statPackets_;
+    std::uint64_t *statWords_;
+    std::uint64_t *statWordHops_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_NOC_MESH_HH

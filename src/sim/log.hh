@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers in the spirit of
+ * gem5's base/logging.hh: fatal() for user errors, panic() for
+ * simulator bugs, warn()/inform() for status messages.
+ */
+
+#ifndef ROCKCRESS_SIM_LOG_HH
+#define ROCKCRESS_SIM_LOG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rockcress
+{
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Thrown by fatal(): the simulated program or configuration is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Thrown by panic(): the simulator itself reached an impossible state. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/**
+ * Report an unrecoverable user-level error (bad program, bad config).
+ * Throws FatalError so tests can assert on misconfiguration.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::concat("fatal: ", args...));
+}
+
+/**
+ * Report a condition that should never happen regardless of input:
+ * an actual simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::concat("panic: ", args...));
+}
+
+/** Non-fatal notice that something may be modeled approximately. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::concat(args...) << "\n";
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cerr << "info: " << detail::concat(args...) << "\n";
+}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_SIM_LOG_HH

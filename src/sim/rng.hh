@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis
+ * and property tests (SplitMix64).
+ */
+
+#ifndef ROCKCRESS_SIM_RNG_HH
+#define ROCKCRESS_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace rockcress
+{
+
+/** SplitMix64: tiny, fast, deterministic, good enough for test data. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return static_cast<float>(next() >> 40) /
+               static_cast<float>(1ull << 24);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_SIM_RNG_HH

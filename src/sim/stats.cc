@@ -1,0 +1,101 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+namespace rockcress
+{
+
+std::uint64_t *
+StatRegistry::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name, std::make_unique<std::uint64_t>(0))
+                 .first;
+    }
+    return it->second.get();
+}
+
+std::uint64_t
+StatRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : *it->second;
+}
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+std::uint64_t
+StatRegistry::sumSuffix(const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : counters_) {
+        if (endsWith(name, suffix))
+            total += *value;
+    }
+    return total;
+}
+
+std::uint64_t
+StatRegistry::sumPrefix(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : counters_) {
+        if (startsWith(name, prefix))
+            total += *value;
+    }
+    return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatRegistry::matchSuffix(const std::string &suffix) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto &[name, value] : counters_) {
+        if (endsWith(name, suffix))
+            out.emplace_back(name, *value);
+    }
+    return out;
+}
+
+std::map<std::string, std::uint64_t>
+StatRegistry::all() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, value] : counters_)
+        out.emplace(name, *value);
+    return out;
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &[name, value] : counters_)
+        *value = 0;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : counters_)
+        os << name << " " << *value << "\n";
+}
+
+} // namespace rockcress

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A small statistics registry. Components allocate named counters once
+ * at construction and bump them through raw pointers on the fast path;
+ * the harness reads them back by name, prefix, or suffix after a run.
+ */
+
+#ifndef ROCKCRESS_SIM_STATS_HH
+#define ROCKCRESS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rockcress
+{
+
+/**
+ * Registry of named 64-bit event counters.
+ *
+ * Names are hierarchical by convention: "core3.icache_accesses",
+ * "llc5.misses". Aggregation helpers sum across the hierarchy.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /**
+     * Allocate (or look up) a counter.
+     * @param name Fully-qualified counter name.
+     * @return Stable pointer valid for the registry's lifetime.
+     */
+    std::uint64_t *counter(const std::string &name);
+
+    /** Read a counter by exact name; 0 if it was never allocated. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Sum all counters whose name ends with the given suffix. */
+    std::uint64_t sumSuffix(const std::string &suffix) const;
+
+    /** Sum all counters whose name starts with the given prefix. */
+    std::uint64_t sumPrefix(const std::string &prefix) const;
+
+    /** All counters whose name ends with the suffix, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    matchSuffix(const std::string &suffix) const;
+
+    /** Snapshot every counter. */
+    std::map<std::string, std::uint64_t> all() const;
+
+    /** Reset every counter to zero (e.g. between kernels). */
+    void reset();
+
+    /** Human-readable dump, one counter per line, sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
+};
+
+/**
+ * Convenience wrapper binding a name prefix to a registry so components
+ * can allocate relative counter names.
+ */
+class StatScope
+{
+  public:
+    StatScope(StatRegistry &registry, std::string prefix)
+        : registry_(registry), prefix_(std::move(prefix))
+    {}
+
+    /** Allocate a counter named prefix + name. */
+    std::uint64_t *
+    counter(const std::string &name) const
+    {
+        return registry_.counter(prefix_ + name);
+    }
+
+    /** Derive a nested scope: prefix + inner + ".". */
+    StatScope
+    nested(const std::string &inner) const
+    {
+        return StatScope(registry_, prefix_ + inner + ".");
+    }
+
+    StatRegistry &registry() const { return registry_; }
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    StatRegistry &registry_;
+    std::string prefix_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_SIM_STATS_HH

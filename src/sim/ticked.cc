@@ -1,0 +1,29 @@
+#include "sim/ticked.hh"
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+void
+Simulator::step()
+{
+    for (Ticked *c : components_)
+        c->tick(now_);
+    ++now_;
+}
+
+Cycle
+Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
+{
+    while (!done()) {
+        if (now_ >= max_cycles) {
+            fatal("simulation watchdog tripped at cycle ", now_,
+                  " (deadlock or runaway program?)");
+        }
+        step();
+    }
+    return now_;
+}
+
+} // namespace rockcress

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cycle-ticked simulation kernel.
+ *
+ * The paper's artifact uses gem5's event-driven core; this reproduction
+ * substitutes a deterministic fixed-order per-cycle tick, which is
+ * sufficient because every modeled component does work every cycle
+ * (pipelines, routers, cache response engines). See DESIGN.md S1.
+ */
+
+#ifndef ROCKCRESS_SIM_TICKED_HH
+#define ROCKCRESS_SIM_TICKED_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Interface for a component that does work once per clock cycle. */
+class Ticked
+{
+  public:
+    virtual ~Ticked() = default;
+
+    /** Advance the component by one cycle. */
+    virtual void tick(Cycle now) = 0;
+};
+
+/**
+ * Drives a set of Ticked components in registration order until a
+ * completion predicate holds or a watchdog limit trips.
+ */
+class Simulator
+{
+  public:
+    /** Register a component. Order of registration is tick order. */
+    void add(Ticked *component) { components_.push_back(component); }
+
+    /**
+     * Run until done() returns true.
+     *
+     * @param done Completion predicate, checked once per cycle.
+     * @param max_cycles Watchdog: exceeding this aborts via fatal().
+     * @return The cycle count at completion.
+     */
+    Cycle run(const std::function<bool()> &done, Cycle max_cycles);
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** Advance exactly one cycle (for fine-grained tests). */
+    void step();
+
+  private:
+    std::vector<Ticked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_SIM_TICKED_HH

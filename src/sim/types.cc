@@ -1,0 +1,24 @@
+#include "sim/types.hh"
+
+#include <cstring>
+
+namespace rockcress
+{
+
+Word
+floatToWord(float f)
+{
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+float
+wordToFloat(Word w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+} // namespace rockcress

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef ROCKCRESS_SIM_TYPES_HH
+#define ROCKCRESS_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace rockcress
+{
+
+/** Simulation time, in core clock cycles (1 GHz nominal). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the 32-bit global address space. */
+using Addr = std::uint32_t;
+
+/** Machine word: 32 bits, also the flit payload unit on the NoC. */
+using Word = std::uint32_t;
+
+/** Architectural register index (x0..x31 / f0..f31 / v0..v31). */
+using RegIdx = std::uint8_t;
+
+/** Linear core identifier within the fabric. */
+using CoreId = std::int32_t;
+
+/** Bytes per machine word. */
+constexpr Addr wordBytes = 4;
+
+/** Reinterpret a float as its word-level bit pattern. */
+Word floatToWord(float f);
+
+/** Reinterpret a word-level bit pattern as a float. */
+float wordToFloat(Word w);
+
+/** Integer ceiling division for non-negative operands. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_SIM_TYPES_HH

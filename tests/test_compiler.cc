@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the codegen layer: configuration lookup (Table 3),
+ * the implicit-synchronization bound math (Section 4.2), the loop
+ * and address-math emitters (validated by executing the emitted code
+ * on a machine), and the frame rotator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hh"
+#include "compiler/sync.hh"
+#include "machine/machine.hh"
+
+using namespace rockcress;
+
+TEST(Configs, Table3Features)
+{
+    BenchConfig nv = configByName("NV");
+    EXPECT_FALSE(nv.isVector());
+    EXPECT_FALSE(nv.dae);
+
+    BenchConfig pf = configByName("NV_PF");
+    EXPECT_TRUE(pf.wideAccess);
+    EXPECT_TRUE(pf.dae);
+    EXPECT_EQ(pf.groupSize, 1);
+
+    BenchConfig v16 = configByName("V16_LL_PCV");
+    EXPECT_EQ(v16.groupSize, 16);
+    EXPECT_EQ(v16.simdWords, 4);
+    EXPECT_TRUE(v16.longLines);
+
+    EXPECT_THROW(configByName("bogus"), FatalError);
+    EXPECT_EQ(allConfigNames().size(), 10u);
+}
+
+TEST(Configs, MachineForLongLines)
+{
+    MachineParams std_p = machineFor(configByName("V4"));
+    EXPECT_EQ(std_p.lineBytes, 64u);
+    MachineParams ll = machineFor(configByName("V16_LL"));
+    EXPECT_EQ(ll.lineBytes, 1024u);
+}
+
+TEST(Sync, DelayBoundFormula)
+{
+    // n = hops * q_inet + sum(buf) + ROB (Section 4.2).
+    SyncParams p;
+    p.qInet = 2;
+    p.pipelineBufs = 4;
+    p.robEntries = 8;
+    // A 4x4 group: longest path 2m-2 = 6.
+    EXPECT_EQ(instructionDelayBound(p, 6), 6 * 2 + 4 + 8);
+    EXPECT_EQ(instructionDelayBound(p, 0), 12);
+    EXPECT_THROW(instructionDelayBound(p, -1), FatalError);
+}
+
+TEST(Sync, ActiveFramesAndAheadOffset)
+{
+    EXPECT_EQ(numActiveFrames(24, 10), 3);   // ceil(24/10)
+    EXPECT_EQ(numActiveFrames(20, 10), 2);
+    EXPECT_THROW(numActiveFrames(10, 0), FatalError);
+
+    // ahead = max_frames - (active + q_inet); can go negative for
+    // very short microthreads (the hardware guard then paces).
+    EXPECT_EQ(aheadOffset(8, 3, 2), 3);
+    EXPECT_LT(aheadOffset(5, 5, 2), 0);
+}
+
+TEST(Sync, FromMachineParams)
+{
+    MachineParams mp;
+    SyncParams sp = syncParams(mp);
+    EXPECT_EQ(sp.qInet, mp.inetQueueEntries);
+    EXPECT_EQ(sp.robEntries, mp.core.robEntries);
+}
+
+namespace
+{
+
+/** Run a single-core program and return the word at `out`. */
+Word
+runProgram(Assembler &as, Addr out)
+{
+    MachineParams p;
+    p.cols = 2;
+    p.rows = 2;
+    Machine m(p);
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, std::make_shared<Program>(as.finish()));
+    m.run(10'000'000);
+    return m.mem().readWord(out);
+}
+
+} // namespace
+
+TEST(Codegen, LoopExecutesExactTripCount)
+{
+    for (int trips : {0, 1, 7, 33}) {
+        Assembler as("loop");
+        Addr out = AddrMap::globalBase;
+        as.li(x(5), 0);
+        as.li(x(6), trips);
+        as.li(x(7), 0);
+        {
+            Loop l(as, x(5), x(6), 1);
+            as.addi(x(7), x(7), 1);
+            l.end();
+        }
+        as.la(x(8), out);
+        as.sw(x(7), x(8), 0);
+        as.halt();
+        EXPECT_EQ(runProgram(as, out), static_cast<Word>(trips));
+    }
+}
+
+TEST(Codegen, LoopWithStride)
+{
+    Assembler as("loop");
+    Addr out = AddrMap::globalBase;
+    as.li(x(5), 3);     // start
+    as.li(x(6), 40);    // bound
+    as.li(x(7), 0);
+    {
+        Loop l(as, x(5), x(6), 7);   // 3, 10, 17, 24, 31, 38 -> 6 trips
+        as.addi(x(7), x(7), 1);
+        l.end();
+    }
+    as.la(x(8), out);
+    as.sw(x(7), x(8), 0);
+    as.halt();
+    EXPECT_EQ(runProgram(as, out), 6u);
+}
+
+TEST(Codegen, AffineAddressing)
+{
+    for (int stride : {4, 12, 256, 1000}) {
+        Assembler as("affine");
+        Addr out = AddrMap::globalBase;
+        as.li(x(5), 1000);
+        as.li(x(6), 13);
+        emitAffine(as, x(7), x(5), x(6), stride, x(8));
+        as.la(x(9), out);
+        as.sw(x(7), x(9), 0);
+        as.halt();
+        EXPECT_EQ(runProgram(as, out),
+                  static_cast<Word>(1000 + 13 * stride));
+    }
+}
+
+TEST(Codegen, AddImmLargeValues)
+{
+    Assembler as("addimm");
+    Addr out = AddrMap::globalBase;
+    as.li(x(5), 5);
+    emitAddImm(as, x(6), x(5), 100000, x(7));
+    as.la(x(9), out);
+    as.sw(x(6), x(9), 0);
+    as.halt();
+    EXPECT_EQ(runProgram(as, out), 100005u);
+}
+
+TEST(Codegen, FrameRotatorPow2Wrap)
+{
+    // 4 frames x 64 bytes: offsets cycle 0, 64, 128, 192, 0, ...
+    Assembler as("rot");
+    Addr out = AddrMap::globalBase;
+    FrameRotator rot(as, x(5), 64, 4);
+    rot.emitInit();
+    for (int i = 0; i < 5; ++i)
+        rot.emitAdvance();
+    as.la(x(9), out);
+    as.sw(x(5), x(9), 0);
+    as.halt();
+    EXPECT_EQ(runProgram(as, out), 64u);
+}
+
+TEST(Codegen, FrameRotatorNonPow2Wrap)
+{
+    // 5 frames x 20 bytes = 100B region (not a power of two).
+    Assembler as("rot");
+    Addr out = AddrMap::globalBase;
+    FrameRotator rot(as, x(5), 20, 5, x(6));
+    rot.emitInit();
+    for (int i = 0; i < 7; ++i)
+        rot.emitAdvance();
+    as.la(x(9), out);
+    as.sw(x(5), x(9), 0);
+    as.halt();
+    EXPECT_EQ(runProgram(as, out), 40u);   // 7 mod 5 = 2 frames in.
+}
+
+TEST(Codegen, NonPow2RotatorNeedsRegion)
+{
+    Assembler as("rot");
+    EXPECT_THROW(FrameRotator(as, x(5), 20, 5), FatalError);
+}
+
+TEST(Codegen, SpmdBuilderTopology)
+{
+    MachineParams p;   // 8x8
+    SpmdBuilder v4("t", configByName("V4"), p);
+    EXPECT_EQ(v4.tilesPerGroup(), 5);
+    EXPECT_EQ(v4.numGroups(), 12);
+    EXPECT_EQ(v4.numWorkers(), 48);
+    EXPECT_EQ(v4.activeCores(), 60);
+
+    SpmdBuilder v16("t", configByName("V16"), p);
+    EXPECT_EQ(v16.numGroups(), 3);
+    EXPECT_EQ(v16.numWorkers(), 48);
+    EXPECT_EQ(v16.activeCores(), 51);
+
+    SpmdBuilder nv("t", configByName("NV"), p);
+    EXPECT_EQ(nv.numWorkers(), 64);
+    EXPECT_EQ(nv.activeCores(), 64);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the GPU model (wavefront lockstep, predication
+ * masking, coalescing-sensitive timing) and the first-order energy
+ * model (per-event accounting, vector-mode fetch exemption).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+#include "gpu/gpu.hh"
+#include "harness/runner.hh"
+
+using namespace rockcress;
+
+TEST(Gpu, ElementwiseKernel)
+{
+    GpuMachine gpu;
+    const int n = 256;
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + 4096;
+    for (int i = 0; i < n; ++i)
+        gpu.mem().writeFloat(in + 4 * static_cast<Addr>(i),
+                             static_cast<float>(i));
+
+    GpuProgram p;
+    p.dispatches.push_back({n, [&](Assembler &as) {
+        as.la(x(5), in);
+        emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+        as.flw(f(0), x(6), 0);
+        as.fadd(f(0), f(0), f(0));
+        as.la(x(5), out);
+        emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+        as.fsw(f(0), x(6), 0);
+    }});
+    Cycle cycles = gpu.run(p);
+    EXPECT_GT(cycles, 0u);
+    for (int i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(gpu.mem().readFloat(
+                            out + 4 * static_cast<Addr>(i)),
+                        2.0f * static_cast<float>(i));
+}
+
+TEST(Gpu, PredicationMasksLanes)
+{
+    GpuMachine gpu;
+    Addr out = AddrMap::globalBase;
+    const int n = 64;
+    for (int i = 0; i < n; ++i)
+        gpu.mem().writeWord(out + 4 * static_cast<Addr>(i), 7);
+
+    GpuProgram p;
+    p.dispatches.push_back({n, [&](Assembler &as) {
+        // Only even lanes store.
+        as.andi(x(5), gpuTidReg, 1);
+        as.predEq(x(5), regZero);
+        as.la(x(6), out);
+        emitAffine(as, x(7), x(6), gpuTidReg, 4, x(8));
+        as.li(x(9), 1);
+        as.sw(x(9), x(7), 0);
+        as.predEq(regZero, regZero);
+    }});
+    gpu.run(p);
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(gpu.mem().readWord(out + 4 * static_cast<Addr>(i)),
+                  i % 2 == 0 ? 1u : 7u);
+}
+
+TEST(Gpu, DivergentBranchIsFatal)
+{
+    GpuMachine gpu;
+    GpuProgram p;
+    p.dispatches.push_back({64, [&](Assembler &as) {
+        Label skip = as.newLabel();
+        as.andi(x(5), gpuTidReg, 1);
+        as.beq(x(5), regZero, skip);   // Diverges across lanes.
+        as.nop();
+        as.bind(skip);
+    }});
+    EXPECT_THROW(gpu.run(p), FatalError);
+}
+
+TEST(Gpu, CoalescedBeatsScattered)
+{
+    // 64 lanes loading consecutive words (4 lines) must be faster
+    // than 64 lanes striding one line apart (64 lines).
+    auto run = [](int stride_words) {
+        GpuMachine gpu;
+        Addr in = AddrMap::globalBase;
+        GpuProgram p;
+        p.dispatches.push_back({64, [&](Assembler &as) {
+            as.la(x(5), in);
+            emitAffine(as, x(6), x(5), gpuTidReg, stride_words * 4,
+                       x(7));
+            for (int k = 0; k < 16; ++k) {
+                as.flw(f(0), x(6), 0);
+                emitAddImm(as, x(6), x(6), 64 * stride_words * 4,
+                           x(7));
+            }
+        }});
+        gpu.run(p);
+        return gpu.cycles();
+    };
+    Cycle coalesced = run(1);
+    Cycle scattered = run(16);
+    EXPECT_LT(coalesced * 2, scattered);
+}
+
+TEST(Energy, CountsEvents)
+{
+    StatRegistry reg;
+    *reg.counter("core0.icache.accesses") = 100;
+    *reg.counter("core0.issued") = 100;
+    *reg.counter("core0.n_int_alu") = 60;
+    *reg.counter("core0.n_fp") = 20;
+    *reg.counter("core0.spad.reads") = 10;
+    *reg.counter("inet.sends") = 50;
+    EnergyCosts costs;
+    EnergyBreakdown e = computeEnergy(reg, 4, costs);
+    EXPECT_DOUBLE_EQ(e.fetch,
+                     100 * (costs.icacheAccess + costs.fetchPipe));
+    EXPECT_DOUBLE_EQ(e.pipeline, 100 * costs.basePipe);
+    EXPECT_DOUBLE_EQ(e.functional,
+                     60 * costs.intAlu + 20 * costs.fpAlu);
+    EXPECT_DOUBLE_EQ(e.spad, 10 * costs.spadAccess);
+    EXPECT_DOUBLE_EQ(e.inet, 50 * costs.inetHop);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(Energy, SimdScalesWithWidth)
+{
+    StatRegistry reg;
+    *reg.counter("core0.n_simd") = 10;
+    EnergyBreakdown w4 = computeEnergy(reg, 4);
+    EnergyBreakdown w1 = computeEnergy(reg, 1);
+    EXPECT_DOUBLE_EQ(w4.functional, 4 * w1.functional);
+}
+
+TEST(Energy, VectorModeSavesFetchEnergy)
+{
+    // The same benchmark under V4 must spend less fetch+I-cache
+    // energy than under NV_PF, because most frontends are off.
+    RunResult pf = runManycore("gesummv", "NV_PF");
+    RunResult v4 = runManycore("gesummv", "V4");
+    ASSERT_TRUE(pf.ok) << pf.error;
+    ASSERT_TRUE(v4.ok) << v4.error;
+    EXPECT_LT(v4.energy.fetch, 0.6 * pf.energy.fetch);
+    // And the inet component only exists in vector mode.
+    EXPECT_GT(v4.energy.inet, 0.0);
+}

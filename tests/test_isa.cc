@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: instruction properties, encode/decode
+ * round trips, disassembly, and the assembler DSL (labels, fixups,
+ * pseudo-expansion, immediate range enforcement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+using namespace rockcress;
+
+TEST(Isa, OpcodeProperties)
+{
+    EXPECT_TRUE(isBranch(Opcode::BEQ));
+    EXPECT_TRUE(isBranch(Opcode::JAL));
+    EXPECT_FALSE(isCondBranch(Opcode::JAL));
+    EXPECT_TRUE(isLoad(Opcode::LW));
+    EXPECT_TRUE(isLoad(Opcode::FLW));
+    EXPECT_FALSE(isLoad(Opcode::VLOAD));
+    EXPECT_TRUE(isMem(Opcode::VLOAD));
+    EXPECT_TRUE(isStore(Opcode::FSW));
+    EXPECT_TRUE(isFloatOp(Opcode::FMADD));
+    EXPECT_FALSE(isFloatOp(Opcode::FMV_XW));
+    EXPECT_TRUE(isSimd(Opcode::SIMD_FMA));
+    EXPECT_TRUE(isVectorCtl(Opcode::FRAME_START));
+}
+
+TEST(Isa, FuLatenciesMatchTable1a)
+{
+    EXPECT_EQ(fuLatency(Opcode::ADD), 1);
+    EXPECT_EQ(fuLatency(Opcode::MUL), 2);
+    EXPECT_EQ(fuLatency(Opcode::DIV), 20);
+    EXPECT_EQ(fuLatency(Opcode::FADD), 3);
+    EXPECT_EQ(fuLatency(Opcode::FMUL), 3);
+    EXPECT_EQ(fuLatency(Opcode::SIMD_FADD), 3);
+}
+
+TEST(Isa, DestRegRules)
+{
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.rd = x(5);
+    EXPECT_EQ(destReg(add), x(5));
+    add.rd = regZero;
+    EXPECT_EQ(destReg(add), -1);   // x0 writes are discarded.
+
+    Instruction store;
+    store.op = Opcode::SW;
+    store.rd = x(5);               // rd is meaningless for stores.
+    EXPECT_EQ(destReg(store), -1);
+
+    Instruction fs;
+    fs.op = Opcode::FRAME_START;
+    fs.rd = x(6);
+    EXPECT_EQ(destReg(fs), x(6));
+}
+
+TEST(Isa, EncodeDecodeRoundTripRandomized)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Instruction in;
+        in.op = static_cast<Opcode>(
+            rng.below(static_cast<int>(Opcode::NUM_OPCODES)));
+        in.rd = static_cast<RegIdx>(rng.below(numArchRegs));
+        in.rs1 = static_cast<RegIdx>(rng.below(numArchRegs));
+        in.rs2 = static_cast<RegIdx>(rng.below(numArchRegs));
+        in.rs3 = static_cast<RegIdx>(rng.below(numArchRegs));
+        in.imm = static_cast<std::int32_t>(rng.next());
+        in.imm2 = static_cast<std::int16_t>(rng.below(4096));
+        in.sub = static_cast<std::uint8_t>(rng.below(4));
+        Instruction out = decode(encode(in));
+        EXPECT_EQ(in, out) << disassemble(in);
+    }
+}
+
+TEST(Isa, DecodeRejectsIllegalOpcode)
+{
+    Encoded e;
+    e.w0 = 0xffu << 24;
+    EXPECT_THROW(decode(e), FatalError);
+}
+
+TEST(Isa, DisassembleSamples)
+{
+    Instruction i;
+    i.op = Opcode::ADDI;
+    i.rd = x(5);
+    i.rs1 = x(6);
+    i.imm = -3;
+    EXPECT_EQ(disassemble(i), "addi x5, x6, -3");
+
+    Instruction v;
+    v.op = Opcode::VLOAD;
+    v.rs1 = x(9);
+    v.rs2 = x(26);
+    v.imm = 2;
+    v.imm2 = 8;
+    v.sub = static_cast<std::uint8_t>(VloadVariant::Group);
+    EXPECT_EQ(disassemble(v), "vload sp+x26, [x9], off=2, w=8, var=1");
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Assembler as("t");
+    Label top = as.here();
+    as.addi(x(5), x(5), 1);
+    as.bne(x(5), x(6), top);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.size(), 3);
+    EXPECT_EQ(p.at(1).imm, 0);   // Branch targets the loop head.
+}
+
+TEST(Assembler, ForwardLabel)
+{
+    Assembler as("t");
+    Label skip = as.newLabel();
+    as.beq(x(5), x(6), skip);
+    as.addi(x(7), x(7), 1);
+    as.bind(skip);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Assembler, UnboundLabelIsFatal)
+{
+    Assembler as("t");
+    Label never = as.newLabel();
+    as.j(never);
+    EXPECT_THROW(as.finish(), FatalError);
+}
+
+TEST(Assembler, LiExpandsHonestly)
+{
+    Assembler small("s");
+    small.li(x(5), 42);
+    EXPECT_EQ(small.pc(), 1);   // Single addi.
+
+    Assembler big("b");
+    big.li(x(5), 0x12345678);
+    EXPECT_EQ(big.pc(), 2);     // LUI + ADDI pair.
+    Program p = big.finish();
+    EXPECT_EQ(p.at(0).op, Opcode::LUI);
+
+    // The pair must reconstruct the value.
+    std::int32_t upper = p.at(0).imm;
+    std::int32_t lower = p.at(1).imm;
+    EXPECT_EQ((upper << 12) + lower, 0x12345678);
+}
+
+TEST(Assembler, AddiRangeEnforced)
+{
+    Assembler as("t");
+    EXPECT_THROW(as.addi(x(5), x(5), 5000), FatalError);
+    EXPECT_THROW(as.lw(x(5), x(6), -4000), FatalError);
+}
+
+TEST(Assembler, SymbolsResolve)
+{
+    Assembler as("t");
+    as.nop();
+    as.symbol("entry2");
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.entry("entry2"), 1);
+    EXPECT_THROW(p.entry("missing"), FatalError);
+}
+
+TEST(Assembler, VloadWidthValidated)
+{
+    Assembler as("t");
+    EXPECT_THROW(as.vload(x(5), x(6), 0, 0, VloadVariant::Self),
+                 FatalError);
+    EXPECT_THROW(as.vload(x(5), x(6), 0, 100000, VloadVariant::Self),
+                 FatalError);
+}
+
+TEST(Program, ListingContainsSymbolsAndPcs)
+{
+    Assembler as("t");
+    as.symbol("main");
+    as.nop();
+    as.halt();
+    Program p = as.finish();
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("main:"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(Program, OutOfRangePcIsFatal)
+{
+    Assembler as("t");
+    as.halt();
+    Program p = as.finish();
+    EXPECT_THROW(p.at(5), FatalError);
+    EXPECT_THROW(p.at(-1), FatalError);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parameterized correctness sweep: every benchmark under every
+ * manycore configuration (and the GPU) must reproduce the host
+ * reference. This is the property that makes performance claims
+ * meaningful (Section 6.1: "We check correctness using a serial
+ * version of each kernel").
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+struct Case
+{
+    std::string bench;
+    std::string config;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const Case &c)
+{
+    return os << c.bench << "_" << c.config;
+}
+
+class KernelCorrectness : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(KernelCorrectness, MatchesHostReference)
+{
+    const Case &c = GetParam();
+    RunResult r = c.config == "GPU" ? runGpu(c.bench)
+                                    : runManycore(c.bench, c.config);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.cycles, 0u);
+}
+
+namespace
+{
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    std::vector<std::string> benches = suiteNames();
+    benches.push_back("bfs");
+    for (const std::string &b : benches) {
+        for (const std::string &cfg :
+             {"NV", "NV_PF", "PCV_PF", "V4", "V16"}) {
+            cases.push_back({b, cfg});
+        }
+        if (b != "bfs")
+            cases.push_back({b, "GPU"});
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string n = info.param.bench + "_" + info.param.config;
+    for (char &c : n) {
+        if (c == '-')
+            c = '_';
+    }
+    return n;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Suite, KernelCorrectness,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+// Long-line and PCV vector variants on a representative subset.
+namespace
+{
+
+std::vector<Case>
+variantCases()
+{
+    std::vector<Case> cases;
+    for (const std::string &b : {"atax", "gemm", "2dconv", "gesummv"}) {
+        for (const std::string &cfg :
+             {"V4_PCV", "V16_PCV", "V16_LL", "V4_LL_PCV",
+              "V16_LL_PCV"}) {
+            cases.push_back({b, cfg});
+        }
+    }
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Variants, KernelCorrectness,
+                         ::testing::ValuesIn(variantCases()), caseName);

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * End-to-end smoke tests for the assembled machine: MIMD programs,
+ * global loads/stores, barriers, and a minimal vector group running
+ * a DAE-streamed microthread.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hh"
+#include "machine/machine.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+MachineParams
+tinyParams()
+{
+    MachineParams p;
+    p.cols = 2;
+    p.rows = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(MachineBasic, SingleCoreArithmeticAndStore)
+{
+    MachineParams p = tinyParams();
+    Machine m(p);
+
+    Addr out = AddrMap::globalBase;
+    Assembler as("arith");
+    as.li(x(5), 21);
+    as.slli(x(6), x(5), 1);     // 42
+    as.la(x(7), out);
+    as.sw(x(6), x(7), 0);
+    as.li(x(8), 7);
+    as.li(x(9), 3);
+    as.mul(x(10), x(8), x(9));  // 21
+    as.sw(x(10), x(7), 4);
+    as.halt();
+    auto prog = std::make_shared<Program>(as.finish());
+
+    // Only core 0 does work; others halt immediately.
+    Assembler idle("idle");
+    idle.halt();
+    auto idle_prog = std::make_shared<Program>(idle.finish());
+    m.loadAll(idle_prog);
+    m.loadProgram(0, prog);
+
+    Cycle cycles = m.run(100000);
+    EXPECT_GT(cycles, 0u);
+    EXPECT_EQ(m.mem().readWord(out), 42u);
+    EXPECT_EQ(m.mem().readWord(out + 4), 21u);
+}
+
+TEST(MachineBasic, GlobalLoadRoundTrip)
+{
+    Machine m(tinyParams());
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + 256;
+    m.mem().writeWord(in, 1234);
+
+    Assembler as("load");
+    as.la(x(5), in);
+    as.lw(x(6), x(5), 0);
+    as.addi(x(6), x(6), 1);
+    as.la(x(7), out);
+    as.sw(x(6), x(7), 0);
+    as.halt();
+    auto prog = std::make_shared<Program>(as.finish());
+
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, prog);
+    m.run(100000);
+    EXPECT_EQ(m.mem().readWord(out), 1235u);
+}
+
+TEST(MachineBasic, SpmdAllCoresStoreTheirId)
+{
+    Machine m(tinyParams());
+    Addr out = AddrMap::globalBase;
+
+    Assembler as("spmd");
+    as.csrr(x(5), Csr::CoreId);
+    as.la(x(6), out);
+    emitAffine(as, x(7), x(6), x(5), 4, x(8));
+    as.sw(x(5), x(7), 0);
+    as.barrier();
+    as.halt();
+    m.loadAll(std::make_shared<Program>(as.finish()));
+    m.run(100000);
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(m.mem().readWord(out + 4 * static_cast<Addr>(c)),
+                  static_cast<Word>(c));
+}
+
+TEST(MachineBasic, LoopSumsArray)
+{
+    Machine m(tinyParams());
+    Addr in = AddrMap::globalBase;
+    const int n = 20;
+    Word expect = 0;
+    for (int i = 0; i < n; ++i) {
+        m.mem().writeWord(in + 4 * static_cast<Addr>(i),
+                          static_cast<Word>(i * 3));
+        expect += static_cast<Word>(i * 3);
+    }
+    Addr out = AddrMap::globalBase + 4096;
+
+    Assembler as("sum");
+    as.la(x(5), in);       // pointer
+    as.li(x(6), 0);        // i
+    as.li(x(7), n);        // bound
+    as.li(x(8), 0);        // acc
+    {
+        Loop loop(as, x(6), x(7), 1);
+        as.lw(x(9), x(5), 0);
+        as.add(x(8), x(8), x(9));
+        as.addi(x(5), x(5), 4);
+        loop.end();
+    }
+    as.la(x(10), out);
+    as.sw(x(8), x(10), 0);
+    as.halt();
+
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, std::make_shared<Program>(as.finish()));
+    m.run(1000000);
+    EXPECT_EQ(m.mem().readWord(out), expect);
+}
+
+TEST(MachineBasic, FloatArithmetic)
+{
+    Machine m(tinyParams());
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + 64;
+    m.mem().writeFloat(in, 1.5f);
+    m.mem().writeFloat(in + 4, 2.25f);
+
+    Assembler as("fp");
+    as.la(x(5), in);
+    as.flw(f(0), x(5), 0);
+    as.flw(f(1), x(5), 4);
+    as.fadd(f(2), f(0), f(1));     // 3.75
+    as.fmul(f(3), f(2), f(1));     // 8.4375
+    as.fmadd(f(4), f(0), f(1), f(3));  // 1.5*2.25 + 8.4375 = 11.8125
+    as.la(x(6), out);
+    as.fsw(f(4), x(6), 0);
+    as.halt();
+
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, std::make_shared<Program>(as.finish()));
+    m.run(100000);
+    EXPECT_FLOAT_EQ(m.mem().readFloat(out), 11.8125f);
+}
+
+TEST(MachineBasic, NvPfSelfLoadStream)
+{
+    // NV_PF style: stage chunks of a global array through the frame
+    // queue with vload.self, then consume from the scratchpad.
+    Machine m(tinyParams());
+    const int chunk_words = 8;
+    const int chunks = 6;
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + 8192;
+    Word expect = 0;
+    for (int i = 0; i < chunk_words * chunks; ++i) {
+        m.mem().writeWord(in + 4 * static_cast<Addr>(i),
+                          static_cast<Word>(i + 1));
+        expect += static_cast<Word>(i + 1);
+    }
+
+    Assembler as("nvpf");
+    const int frame_bytes = chunk_words * 4;
+    as.li(x(5), chunk_words | (8 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.la(x(9), in);   // stream pointer
+
+    DaeStreamSpec spec;
+    spec.iters = chunks;
+    spec.frameBytes = frame_bytes;
+    spec.numFrames = 8;
+    spec.fill = [&](Assembler &a, RegIdx off) {
+        a.vload(x(9), off, 0, chunk_words, VloadVariant::Self);
+        a.addi(x(9), x(9), frame_bytes);
+    };
+    spec.consume = [&](Assembler &a, RegIdx fb) {
+        for (int w = 0; w < chunk_words; ++w) {
+            a.lw(x(10), fb, 4 * w);
+            a.add(x(11), x(11), x(10));
+        }
+    };
+    as.li(x(11), 0);
+    DaeStreamRegs regs;
+    FrameRotator rot(as, regs.off, spec.frameBytes, spec.numFrames);
+    rot.emitInit();
+    emitMimdStream(as, spec, rot, regs);
+    as.la(x(12), out);
+    as.sw(x(11), x(12), 0);
+    as.halt();
+
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, std::make_shared<Program>(as.finish()));
+    m.run(1000000);
+    EXPECT_EQ(m.mem().readWord(out), expect);
+}
+
+TEST(MachineBasic, VectorGroupStreamsAndComputes)
+{
+    // One group: scalar core 0, expander 1, vector core 2 on a 2x2
+    // fabric. The scalar core group-loads chunks; each vector core
+    // adds its received words into an accumulator; a final
+    // microthread stores per-core sums to global memory.
+    BenchConfig cfg = configByName("V4");
+    cfg.groupSize = 2;  // 2 vector cores + 1 scalar = 3 tiles of 4.
+    MachineParams p = tinyParams();
+    Machine m(p);
+
+    const int w = 4;           // words per core per chunk
+    const int chunks = 5;
+    const int vlen = 2;
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + 8192;
+    for (int i = 0; i < w * vlen * chunks; ++i)
+        m.mem().writeWord(in + 4 * static_cast<Addr>(i),
+                          static_cast<Word>(i + 1));
+    // Expected per-lane sums.
+    Word expect[2] = {0, 0};
+    for (int c = 0; c < chunks; ++c) {
+        for (int lane = 0; lane < vlen; ++lane) {
+            for (int k = 0; k < w; ++k)
+                expect[lane] += static_cast<Word>(
+                    c * w * vlen + lane * w + k + 1);
+        }
+    }
+
+    SpmdBuilder b("vgroup", cfg, p);
+    Label init_mt = b.declareMicrothread();
+    Label body_mt = b.declareMicrothread();
+    Label fini_mt = b.declareMicrothread();
+
+    b.defineMicrothread(init_mt, [&](Assembler &a) {
+        a.li(x(11), 0);                 // accumulator
+        a.csrr(x(12), Csr::GroupTid);   // lane id
+    });
+    b.defineMicrothread(body_mt, [&](Assembler &a) {
+        a.frameStart(x(13));
+        for (int k = 0; k < w; ++k) {
+            a.lw(x(10), x(13), 4 * k);
+            a.add(x(11), x(11), x(10));
+        }
+        a.remem();
+    });
+    b.defineMicrothread(fini_mt, [&](Assembler &a) {
+        a.la(x(14), out);
+        emitAffine(a, x(14), x(14), x(12), 4, x(15));
+        a.sw(x(11), x(14), 0);
+    });
+
+    b.vectorPhase(w, 8, [&](Assembler &a) {
+        a.vissue(init_mt);
+        a.la(x(9), in);
+        DaeStreamSpec spec;
+        spec.iters = chunks;
+        spec.frameBytes = w * 4;
+        spec.numFrames = 8;
+        spec.bodyMt = body_mt;
+        spec.fill = [&](Assembler &aa, RegIdx off) {
+            aa.vload(x(9), off, 0, w, VloadVariant::Group);
+            aa.addi(x(9), x(9), w * 4 * vlen);
+        };
+        DaeStreamRegs regs;
+        FrameRotator rot(a, regs.off, spec.frameBytes, spec.numFrames);
+        rot.emitInit();
+        emitScalarStream(a, spec, rot, regs);
+        a.vissue(fini_mt);
+    });
+
+    auto prog = std::make_shared<Program>(b.finish());
+    m.loadAll(prog);
+    GroupPlan plan;
+    plan.chain = {0, 1, 2};
+    m.planGroup(plan);
+    m.run(1000000);
+
+    EXPECT_EQ(m.mem().readWord(out), expect[0]);
+    EXPECT_EQ(m.mem().readWord(out + 4), expect[1]);
+
+    // Vector cores must not have touched their I-caches while in
+    // vector mode; only cores 0 (scalar) and 1 (expander) fetch.
+    EXPECT_GT(m.stats().get("core1.icache.accesses"), 0u);
+}
+
+TEST(MachineBasic, PredicationSquashesToNops)
+{
+    Machine m(tinyParams());
+    Addr out = AddrMap::globalBase;
+
+    Assembler as("pred");
+    as.li(x(5), 1);
+    as.li(x(6), 2);
+    as.li(x(7), 100);
+    as.predEq(x(5), x(6));     // false: following ops are nops
+    as.addi(x(7), x(7), 23);
+    as.predEq(regZero, regZero);  // true again
+    as.addi(x(7), x(7), 1);    // 101
+    as.la(x(8), out);
+    as.sw(x(7), x(8), 0);
+    as.halt();
+
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, std::make_shared<Program>(as.finish()));
+    m.run(100000);
+    EXPECT_EQ(m.mem().readWord(out), 101u);
+}
+
+TEST(MachineBasic, RemoteScratchpadStore)
+{
+    Machine m(tinyParams());
+    Addr out = AddrMap::globalBase;
+
+    // Core 0 stores into core 1's scratchpad; core 1 polls its
+    // scratchpad and publishes what it sees.
+    Assembler as0("writer");
+    as0.li(x(5), 77);
+    as0.la(x(6), AddrMap{}.spadBase(1) + 128);
+    as0.sw(x(5), x(6), 0);
+    as0.halt();
+
+    Assembler as1("reader");
+    Addr spad_base = AddrMap{}.spadBase(1);
+    as1.la(x(5), spad_base + 128);
+    Label top = as1.here();
+    as1.lw(x(6), x(5), 0);
+    as1.beq(x(6), regZero, top);   // spin until the word arrives
+    as1.la(x(7), out);
+    as1.sw(x(6), x(7), 0);
+    as1.halt();
+
+    Assembler idle("idle");
+    idle.halt();
+    m.loadAll(std::make_shared<Program>(idle.finish()));
+    m.loadProgram(0, std::make_shared<Program>(as0.finish()));
+    m.loadProgram(1, std::make_shared<Program>(as1.finish()));
+    m.run(100000);
+    EXPECT_EQ(m.mem().readWord(out), 77u);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: cache tag behavior (hits,
+ * pseudo-LRU eviction, write-back marking), the DRAM bandwidth model,
+ * the scratchpad frame queue (Section 3.3 semantics), and the
+ * address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addrmap.hh"
+#include "mem/cachetags.hh"
+#include "mem/dram.hh"
+#include "mem/mainmem.hh"
+#include "mem/scratchpad.hh"
+#include "sim/rng.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+StatRegistry g_reg;
+
+StatScope
+scope(const std::string &p)
+{
+    return StatScope(g_reg, p + ".");
+}
+
+} // namespace
+
+TEST(AddrMap, SpadAndGlobalDecoding)
+{
+    AddrMap m;
+    m.numCores = 64;
+    m.lineBytes = 64;
+    m.numBanks = 16;
+    EXPECT_TRUE(m.isSpad(0));
+    EXPECT_TRUE(m.isSpad(m.spadBase(63) + 4092));
+    EXPECT_TRUE(m.isGlobal(AddrMap::globalBase));
+    EXPECT_EQ(m.spadCore(m.spadBase(7) + 16), 7);
+    EXPECT_EQ(m.spadOffset(m.spadBase(7) + 16), 16u);
+    EXPECT_THROW(m.spadCore(m.spadBase(64)), FatalError);
+}
+
+TEST(AddrMap, LineStriping)
+{
+    AddrMap m;
+    m.numCores = 64;
+    m.lineBytes = 64;
+    m.numBanks = 16;
+    // Consecutive lines go to consecutive banks, wrapping at 16.
+    for (int i = 0; i < 64; ++i) {
+        Addr a = AddrMap::globalBase + static_cast<Addr>(i) * 64;
+        EXPECT_EQ(m.bankOf(a), i % 16);
+    }
+    // All addresses within one line share a bank.
+    EXPECT_EQ(m.bankOf(AddrMap::globalBase + 60),
+              m.bankOf(AddrMap::globalBase));
+}
+
+TEST(MainMemory, ReadWriteAndBounds)
+{
+    MainMemory mem(4096);
+    mem.writeWord(AddrMap::globalBase + 8, 77);
+    EXPECT_EQ(mem.readWord(AddrMap::globalBase + 8), 77u);
+    mem.writeFloat(AddrMap::globalBase, 1.25f);
+    EXPECT_FLOAT_EQ(mem.readFloat(AddrMap::globalBase), 1.25f);
+    EXPECT_THROW(mem.readWord(AddrMap::globalBase + 4096), FatalError);
+    EXPECT_THROW(mem.readWord(AddrMap::globalBase + 2), FatalError);
+    EXPECT_THROW(mem.readWord(0), FatalError);
+}
+
+TEST(CacheTags, HitAfterFill)
+{
+    CacheTags tags(1024, 2, 64, scope("tags1"));
+    Addr a = AddrMap::globalBase;
+    EXPECT_FALSE(tags.access(a, false).hit);
+    EXPECT_TRUE(tags.access(a, false).hit);
+    EXPECT_TRUE(tags.access(a + 60, false).hit);   // Same line.
+    EXPECT_FALSE(tags.access(a + 64, false).hit);  // Next line.
+}
+
+TEST(CacheTags, WritebackOnDirtyEviction)
+{
+    // 2 ways x 64B lines, 128B capacity: a single set.
+    CacheTags tags(128, 2, 64, scope("tags2"));
+    Addr a = AddrMap::globalBase;
+    tags.access(a, true);            // Dirty fill.
+    tags.access(a + 128, false);     // Second way.
+    TagAccess r = tags.access(a + 256, false);  // Evicts the LRU way.
+    EXPECT_TRUE(r.victimValid);
+    EXPECT_TRUE(r.victimDirty);
+    EXPECT_EQ(r.victimAddr, a);
+}
+
+TEST(CacheTags, PlruPrefersRecentlyTouched)
+{
+    CacheTags tags(256, 4, 64, scope("tags3"));
+    Addr a = AddrMap::globalBase;
+    // Fill all four ways of the single set.
+    for (int i = 0; i < 4; ++i)
+        tags.access(a + static_cast<Addr>(i) * 64, false);
+    // Touch line 0 again, then force one eviction.
+    tags.access(a, false);
+    tags.access(a + 4 * 64, false);
+    // Line 0 must have survived.
+    EXPECT_TRUE(tags.probe(a));
+}
+
+TEST(CacheTags, FlushInvalidatesEverything)
+{
+    CacheTags tags(1024, 2, 64, scope("tags4"));
+    tags.access(AddrMap::globalBase, false);
+    tags.flush();
+    EXPECT_FALSE(tags.probe(AddrMap::globalBase));
+}
+
+TEST(Dram, BandwidthSerializesTransfers)
+{
+    Dram dram(1, 16.0, 60, scope("dram1"));
+    // Two 64-byte transfers at 16 B/cycle: the second finishes 4
+    // cycles after the first.
+    Cycle t1 = dram.request(0, 64, 0);
+    Cycle t2 = dram.request(0, 64, 0);
+    EXPECT_EQ(t1, 64u);   // 4 cycles transfer + 60 latency.
+    EXPECT_EQ(t2, 68u);
+    EXPECT_FALSE(dram.idle(0));
+    EXPECT_TRUE(dram.idle(100));
+}
+
+TEST(Dram, ChannelsAreIndependent)
+{
+    Dram dram(4, 16.0, 60, scope("dram2"));
+    Cycle a = dram.request(0, 64, 0);
+    Cycle b = dram.request(1, 64, 0);
+    EXPECT_EQ(a, b);   // No cross-channel serialization.
+    // But per-channel bandwidth is the aggregate divided by 4.
+    Cycle c = dram.request(0, 64, 100);
+    EXPECT_EQ(c, 100 + 16 + 60);
+}
+
+TEST(Scratchpad, PlainReadWrite)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp1"));
+    sp.writeWord(16, 99);
+    EXPECT_EQ(sp.readWord(16), 99u);
+    EXPECT_THROW(sp.readWord(4096), FatalError);
+    EXPECT_THROW(sp.writeWord(2, 1), FatalError);
+}
+
+TEST(Scratchpad, FrameFillAndConsume)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp2"));
+    sp.configureFrames(4, 8);
+    EXPECT_FALSE(sp.frameReady());
+    // Words may arrive out of order within the frame.
+    sp.networkWrite(12, 4);
+    sp.networkWrite(0, 1);
+    sp.networkWrite(8, 3);
+    EXPECT_FALSE(sp.frameReady());
+    sp.networkWrite(4, 2);
+    EXPECT_TRUE(sp.frameReady());
+    EXPECT_EQ(sp.headFrameByteOffset(), 0u);
+    EXPECT_EQ(sp.readWord(0), 1u);
+    sp.freeFrame();
+    EXPECT_FALSE(sp.frameReady());
+    EXPECT_EQ(sp.headFrameByteOffset(), 16u);
+}
+
+TEST(Scratchpad, CountersShiftOnFree)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp3"));
+    sp.configureFrames(2, 8);
+    // Fill frames 0 and partially fill 1 and 2.
+    sp.networkWrite(0, 1);
+    sp.networkWrite(4, 2);
+    sp.networkWrite(8, 3);    // Frame 1, one of two words.
+    sp.networkWrite(20, 5);   // Frame 2, one of two words.
+    EXPECT_TRUE(sp.frameReady());
+    sp.freeFrame();
+    EXPECT_FALSE(sp.frameReady());  // Frame 1 only half full.
+    sp.networkWrite(12, 4);
+    EXPECT_TRUE(sp.frameReady());
+}
+
+TEST(Scratchpad, GuardsRunawayWrites)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp4"));
+    sp.configureFrames(2, 8);
+    // Writing 6 frames ahead exceeds the 5 hardware counters.
+    EXPECT_FALSE(sp.canAcceptFrameWrite(2 * 4 * 6));
+    EXPECT_TRUE(sp.canAcceptFrameWrite(2 * 4 * 4));
+    EXPECT_THROW(sp.networkWrite(2 * 4 * 6, 1), FatalError);
+}
+
+TEST(Scratchpad, RememOfPartialFrameIsFatal)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp5"));
+    sp.configureFrames(2, 8);
+    sp.networkWrite(0, 1);
+    EXPECT_THROW(sp.freeFrame(), FatalError);
+}
+
+TEST(Scratchpad, ConfigValidation)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp6"));
+    EXPECT_THROW(sp.configureFrames(2, 3), FatalError);    // < counters.
+    EXPECT_THROW(sp.configureFrames(1024, 8), FatalError); // Too big.
+    EXPECT_THROW(sp.configureFrames(2000, 5), FatalError); // > 10 bits.
+    sp.configureFrames(0, 0);   // Disable is legal.
+}
+
+TEST(Scratchpad, NonFrameRegionWritesDontCount)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp7"));
+    sp.configureFrames(4, 8);
+    Addr outside = 4 * 8 * 4 + 64;
+    sp.networkWrite(outside, 42);
+    EXPECT_EQ(sp.readWord(outside), 42u);
+    EXPECT_FALSE(sp.frameReady());
+}

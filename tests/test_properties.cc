@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the architectural
+ * invariants: the frame queue under randomized arrival orders and
+ * geometries, vector groups of every supported shape computing the
+ * same result, and the DAE guard pacing arbitrary microthread
+ * lengths without deadlock or corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hh"
+#include "kernels/common.hh"
+#include "machine/machine.hh"
+#include "sim/rng.hh"
+
+using namespace rockcress;
+
+// ---------------------------------------------------------------------------
+// Frame queue invariants under random arrival order.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+struct FrameGeom
+{
+    int frameWords;
+    int numFrames;
+    std::uint64_t seed;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const FrameGeom &g)
+{
+    return os << "f" << g.frameWords << "x" << g.numFrames << "s"
+              << g.seed;
+}
+
+class FrameQueueProperty : public ::testing::TestWithParam<FrameGeom>
+{
+};
+
+} // namespace
+
+TEST_P(FrameQueueProperty, InOrderConsumptionUnderRandomArrival)
+{
+    const FrameGeom &g = GetParam();
+    StatRegistry reg;
+    Scratchpad sp(0, 4096, 5, StatScope(reg, "sp."));
+    sp.configureFrames(g.frameWords, g.numFrames);
+    Rng rng(g.seed);
+
+    const int total_frames = 40;
+    int filled = 0;    // Frames fully written.
+    int freed = 0;
+    std::vector<Addr> pending;  // Offsets not yet written.
+
+    auto refill_pending = [&](int frame) {
+        for (int w = 0; w < g.frameWords; ++w)
+            pending.push_back(
+                static_cast<Addr>((frame % g.numFrames) * g.frameWords +
+                                  w) *
+                4);
+    };
+    refill_pending(0);
+
+    while (freed < total_frames) {
+        bool can_fill = filled < total_frames &&
+                        filled - freed < sp.numCounters();
+        bool do_fill = can_fill && !pending.empty() &&
+                       (freed == filled || rng.below(2) == 0);
+        if (do_fill) {
+            // Write a random outstanding word of the filling frame.
+            size_t pick = rng.below(pending.size());
+            Addr off = pending[pick];
+            pending.erase(pending.begin() + static_cast<long>(pick));
+            sp.networkWrite(off, static_cast<Word>(filled + 1));
+            if (pending.empty()) {
+                ++filled;
+                if (filled < total_frames &&
+                    filled - freed < sp.numCounters()) {
+                    refill_pending(filled);
+                }
+            }
+            continue;
+        }
+        // Consume: the head frame must be ready iff fully written.
+        if (freed < filled) {
+            ASSERT_TRUE(sp.frameReady());
+            // Every word of the head frame holds its fill tag.
+            Addr base = sp.headFrameByteOffset();
+            for (int w = 0; w < g.frameWords; ++w) {
+                EXPECT_EQ(sp.readWord(base + static_cast<Addr>(w) * 4),
+                          static_cast<Word>(freed + 1));
+            }
+            sp.freeFrame();
+            ++freed;
+            if (pending.empty() && filled < total_frames)
+                refill_pending(filled);
+        } else {
+            EXPECT_FALSE(sp.frameReady());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FrameQueueProperty,
+    ::testing::Values(FrameGeom{4, 8, 1}, FrameGeom{4, 8, 2},
+                      FrameGeom{16, 8, 3}, FrameGeom{1, 5, 4},
+                      FrameGeom{7, 5, 5}, FrameGeom{32, 6, 6},
+                      FrameGeom{3, 16, 7}, FrameGeom{8, 5, 8}),
+    [](const ::testing::TestParamInfo<FrameGeom> &info) {
+        return "f" + std::to_string(info.param.frameWords) + "x" +
+               std::to_string(info.param.numFrames) + "s" +
+               std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Vector groups of every shape produce identical results.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+struct GroupShape
+{
+    int vlen;
+    int chunkWords;
+    int chunks;
+};
+
+class GroupShapeProperty : public ::testing::TestWithParam<GroupShape>
+{
+};
+
+/** Stream-sum with one group of the given shape; returns lane sums. */
+std::vector<Word>
+runGroupSum(const GroupShape &shape)
+{
+    BenchConfig cfg;
+    cfg.name = "prop";
+    cfg.groupSize = shape.vlen;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+    MachineParams p;
+    p.cols = 8;
+    p.rows = 8;
+    Machine m(p);
+
+    int vlen = shape.vlen;
+    int w = shape.chunkWords;
+    int chunks = shape.chunks;
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + 1 << 20;
+    out = AddrMap::globalBase + (1u << 20);
+    for (int i = 0; i < w * vlen * chunks; ++i)
+        m.mem().writeWord(in + 4 * static_cast<Addr>(i),
+                          static_cast<Word>(i * 3 + 1));
+
+    SpmdBuilder b("prop", cfg, p);
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+    Label fini = b.declareMicrothread();
+    b.defineMicrothread(init, [&](Assembler &a) {
+        a.li(x(11), 0);
+        a.csrr(x(12), Csr::GroupTid);
+    });
+    b.defineMicrothread(body, [&](Assembler &a) {
+        a.frameStart(x(13));
+        for (int k = 0; k < w; ++k) {
+            a.lw(x(10), x(13), 4 * k);
+            a.add(x(11), x(11), x(10));
+        }
+        a.remem();
+    });
+    b.defineMicrothread(fini, [&](Assembler &a) {
+        a.la(x(14), out);
+        emitAffine(a, x(14), x(14), x(12), 4, x(15));
+        a.sw(x(11), x(14), 0);
+    });
+    b.vectorPhase(w, 8, [&](Assembler &a) {
+        a.vissue(init);
+        a.la(x(9), in);
+        DaeStreamSpec spec;
+        spec.iters = chunks;
+        spec.frameBytes = w * 4;
+        spec.numFrames = 8;
+        spec.bodyMt = body;
+        spec.fill = [&](Assembler &aa, RegIdx off) {
+            aa.vload(x(9), off, 0, w, VloadVariant::Group);
+            aa.addi(x(9), x(9), w * 4 * vlen);
+        };
+        DaeStreamRegs regs;
+        FrameRotator rot(a, regs.off, spec.frameBytes, spec.numFrames);
+        rot.emitInit();
+        emitScalarStream(a, spec, rot, regs);
+        a.vissue(fini);
+    });
+    // Only the first group does work; others' scalars run the same
+    // stream against the same data (idempotent writes).
+    m.loadAll(std::make_shared<Program>(b.finish()));
+    int tpg = vlen + 1;
+    for (int g = 0; g < 64 / tpg; ++g) {
+        GroupPlan plan;
+        for (int i = 0; i < tpg; ++i)
+            plan.chain.push_back(g * tpg + i);
+        m.planGroup(plan);
+    }
+    m.run(50'000'000);
+    return downloadWords(m.mem(), out, static_cast<size_t>(vlen));
+}
+
+} // namespace
+
+TEST_P(GroupShapeProperty, LaneSumsMatchHost)
+{
+    const GroupShape &s = GetParam();
+    std::vector<Word> got = runGroupSum(s);
+    for (int lane = 0; lane < s.vlen; ++lane) {
+        Word expect = 0;
+        for (int c = 0; c < s.chunks; ++c)
+            for (int k = 0; k < s.chunkWords; ++k)
+                expect += static_cast<Word>(
+                    (c * s.chunkWords * s.vlen + lane * s.chunkWords +
+                     k) *
+                        3 +
+                    1);
+        EXPECT_EQ(got[static_cast<size_t>(lane)], expect)
+            << "lane " << lane;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GroupShapeProperty,
+    ::testing::Values(GroupShape{8, 2, 6}, GroupShape{2, 4, 5},
+                      GroupShape{3, 4, 9}, GroupShape{4, 4, 12},
+                      GroupShape{7, 2, 8}, GroupShape{15, 1, 10}),
+    [](const ::testing::TestParamInfo<GroupShape> &info) {
+        return "v" + std::to_string(info.param.vlen) + "w" +
+               std::to_string(info.param.chunkWords) + "c" +
+               std::to_string(info.param.chunks);
+    });
+
+// ---------------------------------------------------------------------------
+// The sync/guard machinery paces arbitrary microthread lengths.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+class MicrothreadLengthProperty : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(MicrothreadLengthProperty, GuardPacesWithoutDeadlock)
+{
+    // Very short microthreads make the scalar core outrun the frame
+    // counters; the hardware guard must throttle it (visible as DAE
+    // stalls) and the result must still be exact.
+    int work = GetParam();
+    BenchConfig cfg;
+    cfg.groupSize = 2;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+    MachineParams p;
+    p.cols = 2;
+    p.rows = 2;
+    Machine m(p);
+
+    const int chunks = 30;
+    Addr in = AddrMap::globalBase;
+    Addr out = AddrMap::globalBase + (1u << 16);
+    for (int i = 0; i < 2 * chunks; ++i)
+        m.mem().writeWord(in + 4 * static_cast<Addr>(i),
+                          static_cast<Word>(i));
+
+    SpmdBuilder b("pace", cfg, p);
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+    Label fini = b.declareMicrothread();
+    b.defineMicrothread(init, [&](Assembler &a) {
+        a.li(x(11), 0);
+        a.csrr(x(12), Csr::GroupTid);
+    });
+    b.defineMicrothread(body, [&](Assembler &a) {
+        a.frameStart(x(13));
+        a.lw(x(10), x(13), 0);
+        a.add(x(11), x(11), x(10));
+        for (int i = 0; i < work; ++i)
+            a.nop();   // Vary the microthread length.
+        a.remem();
+    });
+    b.defineMicrothread(fini, [&](Assembler &a) {
+        a.la(x(14), out);
+        emitAffine(a, x(14), x(14), x(12), 4, x(15));
+        a.sw(x(11), x(14), 0);
+    });
+    b.vectorPhase(1, 8, [&](Assembler &a) {
+        a.vissue(init);
+        a.la(x(9), in);
+        DaeStreamSpec spec;
+        spec.iters = chunks;
+        spec.frameBytes = 4;
+        spec.numFrames = 8;
+        spec.bodyMt = body;
+        spec.fill = [&](Assembler &aa, RegIdx off) {
+            aa.vload(x(9), off, 0, 1, VloadVariant::Group);
+            aa.addi(x(9), x(9), 8);
+        };
+        DaeStreamRegs regs;
+        FrameRotator rot(a, regs.off, spec.frameBytes, spec.numFrames);
+        rot.emitInit();
+        emitScalarStream(a, spec, rot, regs);
+        a.vissue(fini);
+    });
+    m.loadAll(std::make_shared<Program>(b.finish()));
+    GroupPlan plan;
+    plan.chain = {0, 1, 2};
+    m.planGroup(plan);
+    m.run(20'000'000);
+
+    for (int lane = 0; lane < 2; ++lane) {
+        Word expect = 0;
+        for (int c = 0; c < chunks; ++c)
+            expect += static_cast<Word>(2 * c + lane);
+        EXPECT_EQ(m.mem().readWord(out + 4 * static_cast<Addr>(lane)),
+                  expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MicrothreadLengthProperty,
+                         ::testing::Values(0, 1, 3, 8, 20, 50));
