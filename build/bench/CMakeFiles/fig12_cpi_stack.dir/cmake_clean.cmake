@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpi_stack.dir/fig12_cpi_stack.cc.o"
+  "CMakeFiles/fig12_cpi_stack.dir/fig12_cpi_stack.cc.o.d"
+  "fig12_cpi_stack"
+  "fig12_cpi_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpi_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_simd_gpu.dir/fig14_simd_gpu.cc.o"
+  "CMakeFiles/fig14_simd_gpu.dir/fig14_simd_gpu.cc.o.d"
+  "fig14_simd_gpu"
+  "fig14_simd_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_simd_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

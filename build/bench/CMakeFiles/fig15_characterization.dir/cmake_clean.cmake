@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_characterization.dir/fig15_characterization.cc.o"
+  "CMakeFiles/fig15_characterization.dir/fig15_characterization.cc.o.d"
+  "fig15_characterization"
+  "fig15_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

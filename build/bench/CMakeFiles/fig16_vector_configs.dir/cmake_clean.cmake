@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_vector_configs.dir/fig16_vector_configs.cc.o"
+  "CMakeFiles/fig16_vector_configs.dir/fig16_vector_configs.cc.o.d"
+  "fig16_vector_configs"
+  "fig16_vector_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_vector_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_bfs.dir/irregular_bfs.cc.o"
+  "CMakeFiles/irregular_bfs.dir/irregular_bfs.cc.o.d"
+  "irregular_bfs"
+  "irregular_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

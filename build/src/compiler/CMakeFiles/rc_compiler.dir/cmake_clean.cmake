@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_compiler.dir/codegen.cc.o"
+  "CMakeFiles/rc_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/rc_compiler.dir/sync.cc.o"
+  "CMakeFiles/rc_compiler.dir/sync.cc.o.d"
+  "librc_compiler.a"
+  "librc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_core.dir/core.cc.o"
+  "CMakeFiles/rc_core.dir/core.cc.o.d"
+  "librc_core.a"
+  "librc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_energy.dir/energy.cc.o"
+  "CMakeFiles/rc_energy.dir/energy.cc.o.d"
+  "librc_energy.a"
+  "librc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

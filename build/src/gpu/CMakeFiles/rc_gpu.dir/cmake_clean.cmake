@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_gpu.dir/gpu.cc.o"
+  "CMakeFiles/rc_gpu.dir/gpu.cc.o.d"
+  "librc_gpu.a"
+  "librc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_harness.dir/report.cc.o"
+  "CMakeFiles/rc_harness.dir/report.cc.o.d"
+  "CMakeFiles/rc_harness.dir/runner.cc.o"
+  "CMakeFiles/rc_harness.dir/runner.cc.o.d"
+  "librc_harness.a"
+  "librc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

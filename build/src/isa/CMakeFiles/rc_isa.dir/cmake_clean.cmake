@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_isa.dir/assembler.cc.o"
+  "CMakeFiles/rc_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/rc_isa.dir/instr.cc.o"
+  "CMakeFiles/rc_isa.dir/instr.cc.o.d"
+  "CMakeFiles/rc_isa.dir/program.cc.o"
+  "CMakeFiles/rc_isa.dir/program.cc.o.d"
+  "librc_isa.a"
+  "librc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

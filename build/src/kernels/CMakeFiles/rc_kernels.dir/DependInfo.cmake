@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bfs.cc" "src/kernels/CMakeFiles/rc_kernels.dir/bfs.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/bfs.cc.o.d"
+  "/root/repo/src/kernels/common.cc" "src/kernels/CMakeFiles/rc_kernels.dir/common.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/common.cc.o.d"
+  "/root/repo/src/kernels/emitters.cc" "src/kernels/CMakeFiles/rc_kernels.dir/emitters.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/emitters.cc.o.d"
+  "/root/repo/src/kernels/gramschm.cc" "src/kernels/CMakeFiles/rc_kernels.dir/gramschm.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/gramschm.cc.o.d"
+  "/root/repo/src/kernels/matmul_family.cc" "src/kernels/CMakeFiles/rc_kernels.dir/matmul_family.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/matmul_family.cc.o.d"
+  "/root/repo/src/kernels/matvec_family.cc" "src/kernels/CMakeFiles/rc_kernels.dir/matvec_family.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/matvec_family.cc.o.d"
+  "/root/repo/src/kernels/stencil_family.cc" "src/kernels/CMakeFiles/rc_kernels.dir/stencil_family.cc.o" "gcc" "src/kernels/CMakeFiles/rc_kernels.dir/stencil_family.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/rc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_kernels.dir/bfs.cc.o"
+  "CMakeFiles/rc_kernels.dir/bfs.cc.o.d"
+  "CMakeFiles/rc_kernels.dir/common.cc.o"
+  "CMakeFiles/rc_kernels.dir/common.cc.o.d"
+  "CMakeFiles/rc_kernels.dir/emitters.cc.o"
+  "CMakeFiles/rc_kernels.dir/emitters.cc.o.d"
+  "CMakeFiles/rc_kernels.dir/gramschm.cc.o"
+  "CMakeFiles/rc_kernels.dir/gramschm.cc.o.d"
+  "CMakeFiles/rc_kernels.dir/matmul_family.cc.o"
+  "CMakeFiles/rc_kernels.dir/matmul_family.cc.o.d"
+  "CMakeFiles/rc_kernels.dir/matvec_family.cc.o"
+  "CMakeFiles/rc_kernels.dir/matvec_family.cc.o.d"
+  "CMakeFiles/rc_kernels.dir/stencil_family.cc.o"
+  "CMakeFiles/rc_kernels.dir/stencil_family.cc.o.d"
+  "librc_kernels.a"
+  "librc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

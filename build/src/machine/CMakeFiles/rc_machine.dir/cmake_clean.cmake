@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_machine.dir/machine.cc.o"
+  "CMakeFiles/rc_machine.dir/machine.cc.o.d"
+  "librc_machine.a"
+  "librc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cachetags.cc" "src/mem/CMakeFiles/rc_mem.dir/cachetags.cc.o" "gcc" "src/mem/CMakeFiles/rc_mem.dir/cachetags.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/rc_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/rc_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/llc.cc" "src/mem/CMakeFiles/rc_mem.dir/llc.cc.o" "gcc" "src/mem/CMakeFiles/rc_mem.dir/llc.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "src/mem/CMakeFiles/rc_mem.dir/scratchpad.cc.o" "gcc" "src/mem/CMakeFiles/rc_mem.dir/scratchpad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_mem.dir/cachetags.cc.o"
+  "CMakeFiles/rc_mem.dir/cachetags.cc.o.d"
+  "CMakeFiles/rc_mem.dir/dram.cc.o"
+  "CMakeFiles/rc_mem.dir/dram.cc.o.d"
+  "CMakeFiles/rc_mem.dir/llc.cc.o"
+  "CMakeFiles/rc_mem.dir/llc.cc.o.d"
+  "CMakeFiles/rc_mem.dir/scratchpad.cc.o"
+  "CMakeFiles/rc_mem.dir/scratchpad.cc.o.d"
+  "librc_mem.a"
+  "librc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_noc.dir/inet.cc.o"
+  "CMakeFiles/rc_noc.dir/inet.cc.o.d"
+  "CMakeFiles/rc_noc.dir/mesh.cc.o"
+  "CMakeFiles/rc_noc.dir/mesh.cc.o.d"
+  "librc_noc.a"
+  "librc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

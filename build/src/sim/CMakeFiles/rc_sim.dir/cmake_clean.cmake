@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sim.dir/stats.cc.o"
+  "CMakeFiles/rc_sim.dir/stats.cc.o.d"
+  "CMakeFiles/rc_sim.dir/ticked.cc.o"
+  "CMakeFiles/rc_sim.dir/ticked.cc.o.d"
+  "CMakeFiles/rc_sim.dir/types.cc.o"
+  "CMakeFiles/rc_sim.dir/types.cc.o.d"
+  "librc_sim.a"
+  "librc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

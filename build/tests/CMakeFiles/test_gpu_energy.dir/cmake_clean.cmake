@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_energy.dir/test_gpu_energy.cc.o"
+  "CMakeFiles/test_gpu_energy.dir/test_gpu_energy.cc.o.d"
+  "test_gpu_energy"
+  "test_gpu_energy.pdb"
+  "test_gpu_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

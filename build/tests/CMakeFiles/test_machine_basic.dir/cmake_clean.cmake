@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_basic.dir/test_machine_basic.cc.o"
+  "CMakeFiles/test_machine_basic.dir/test_machine_basic.cc.o.d"
+  "test_machine_basic"
+  "test_machine_basic.pdb"
+  "test_machine_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

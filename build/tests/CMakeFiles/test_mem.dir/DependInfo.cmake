@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/test_mem.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/rc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/rc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rc_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
