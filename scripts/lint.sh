@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the sources using the CMake compile database.
+#
+# Usage: scripts/lint.sh [build-dir] [extra clang-tidy args...]
+#   build-dir defaults to ./build; it must have been configured (the
+#   root CMakeLists.txt exports compile_commands.json automatically).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift 2>/dev/null || true
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+        tidy="$candidate"
+        break
+    fi
+done
+if [ -z "$tidy" ]; then
+    echo "lint.sh: clang-tidy not found on PATH; skipping lint." >&2
+    echo "         Install clang-tidy (LLVM) to enable this check." >&2
+    exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+    echo "lint.sh: no compile database at $db" >&2
+    echo "         Configure first: cmake -B \"$build_dir\" -S \"$repo_root\"" >&2
+    exit 1
+fi
+
+# Lint the project's own translation units (not tests' generated
+# files); the .clang-tidy at the repo root supplies the check list.
+files=$(find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+             "$repo_root/examples" -name '*.cc' 2> /dev/null | sort)
+if [ -z "$files" ]; then
+    echo "lint.sh: no source files found" >&2
+    exit 1
+fi
+
+echo "lint.sh: running $tidy over $(echo "$files" | wc -l) files"
+status=0
+for f in $files; do
+    "$tidy" -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+exit $status

@@ -1,0 +1,125 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace rockcress
+{
+
+Cfg
+buildCfg(const Program &p)
+{
+    Cfg cfg;
+    cfg.prog = &p;
+    int n = p.size();
+    cfg.succs.resize(static_cast<size_t>(n));
+
+    auto addSucc = [&](int pc, int to) {
+        if (to < 0 || to >= n) {
+            cfg.fallsOffEnd.push_back(pc);
+            return;
+        }
+        auto &s = cfg.succs[static_cast<size_t>(pc)];
+        if (std::find(s.begin(), s.end(), to) == s.end())
+            s.push_back(to);
+    };
+
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = p.code[static_cast<size_t>(pc)];
+        switch (inst.op) {
+          case Opcode::HALT:
+          case Opcode::VEND:
+            break;  // Terminates the stream.
+          case Opcode::JALR:
+            cfg.indirectJumps.push_back(pc);
+            break;
+          case Opcode::JAL:
+            addSucc(pc, inst.imm);
+            break;
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+          case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+            addSucc(pc, inst.imm);
+            addSucc(pc, pc + 1);
+            break;
+          case Opcode::DEVEC:
+            // Scalar core continues in sequence; vector cores resume
+            // at the target. Both are program points of this routine.
+            addSucc(pc, inst.imm);
+            addSucc(pc, pc + 1);
+            break;
+          case Opcode::VISSUE:
+            if (std::find(cfg.microthreadEntries.begin(),
+                          cfg.microthreadEntries.end(),
+                          inst.imm) == cfg.microthreadEntries.end()) {
+                cfg.microthreadEntries.push_back(inst.imm);
+            }
+            addSucc(pc, pc + 1);
+            break;
+          default:
+            addSucc(pc, pc + 1);
+            break;
+        }
+    }
+    return cfg;
+}
+
+std::vector<bool>
+reachableFrom(const Cfg &cfg, int entry)
+{
+    std::vector<bool> seen(static_cast<size_t>(cfg.size()), false);
+    if (entry < 0 || entry >= cfg.size())
+        return seen;
+    std::deque<int> work{entry};
+    seen[static_cast<size_t>(entry)] = true;
+    while (!work.empty()) {
+        int pc = work.front();
+        work.pop_front();
+        for (int s : cfg.succs[static_cast<size_t>(pc)]) {
+            if (!seen[static_cast<size_t>(s)]) {
+                seen[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<int>
+shortestPath(const Cfg &cfg, int entry, int target,
+             const std::vector<bool> *blocked)
+{
+    int n = cfg.size();
+    if (entry < 0 || entry >= n || target < 0 || target >= n)
+        return {};
+    auto isBlocked = [&](int pc) {
+        return pc != target && blocked &&
+               (*blocked)[static_cast<size_t>(pc)];
+    };
+    if (isBlocked(entry))
+        return {};
+
+    std::vector<int> from(static_cast<size_t>(n), -2);  // -2 = unseen.
+    from[static_cast<size_t>(entry)] = -1;
+    std::deque<int> work{entry};
+    while (!work.empty()) {
+        int pc = work.front();
+        work.pop_front();
+        if (pc == target)
+            break;
+        for (int s : cfg.succs[static_cast<size_t>(pc)]) {
+            if (from[static_cast<size_t>(s)] != -2 || isBlocked(s))
+                continue;
+            from[static_cast<size_t>(s)] = pc;
+            work.push_back(s);
+        }
+    }
+    if (from[static_cast<size_t>(target)] == -2)
+        return {};
+    std::vector<int> path;
+    for (int pc = target; pc != -1; pc = from[static_cast<size_t>(pc)])
+        path.push_back(pc);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace rockcress

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Control-flow graph over an assembled Program. Instruction indices
+ * are the nodes; edges follow the semantics of the tile pipeline
+ * (src/core): conditional branches fall through or jump, JAL jumps,
+ * HALT and VEND terminate a stream, DEVEC continues at both the next
+ * instruction (scalar core) and the resume target (vector cores).
+ *
+ * A program is partitioned into routines: the main SPMD body entered
+ * at instruction 0, plus one routine per microthread entry point
+ * (the target of each VISSUE). The launching core does not branch at
+ * a VISSUE — the microthread runs on the group's vector cores — so
+ * VISSUE contributes a routine entry, not an edge.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_CFG_HH
+#define ROCKCRESS_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rockcress
+{
+
+/** The flow graph of one assembled program. */
+struct Cfg
+{
+    const Program *prog = nullptr;
+
+    /** Per-instruction successor indices (empty for HALT/VEND/JALR). */
+    std::vector<std::vector<int>> succs;
+
+    /** Distinct VISSUE targets in first-reference order. */
+    std::vector<int> microthreadEntries;
+
+    /** Instruction indices whose successor would fall off the end. */
+    std::vector<int> fallsOffEnd;
+
+    /** Indices of JALR instructions (statically unanalyzable). */
+    std::vector<int> indirectJumps;
+
+    int size() const { return static_cast<int>(succs.size()); }
+};
+
+/** Build the CFG for a program. */
+Cfg buildCfg(const Program &p);
+
+/**
+ * Instructions reachable from `entry` following CFG edges only
+ * (VISSUE does not enter its microthread). Returned as a bitmap
+ * indexed by instruction.
+ */
+std::vector<bool> reachableFrom(const Cfg &cfg, int entry);
+
+/**
+ * Shortest CFG path from `entry` to `target`, optionally skipping
+ * nodes for which `blocked` returns true (the target itself is never
+ * blocked). Empty when unreachable. Used to attach a witness path to
+ * a diagnostic, e.g. the path along which a register stays undefined.
+ */
+std::vector<int> shortestPath(const Cfg &cfg, int entry, int target,
+                              const std::vector<bool> *blocked = nullptr);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_CFG_HH

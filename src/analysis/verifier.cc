@@ -1,0 +1,1250 @@
+#include "analysis/verifier.hh"
+
+#include <algorithm>
+#include <array>
+#include <bitset>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+// --- Instruction read sets ---------------------------------------------------
+
+/** Flat register indices an instruction reads (x0 reads included). */
+void
+readRegs(const Instruction &i, std::vector<RegIdx> &out)
+{
+    out.clear();
+    switch (i.op) {
+      case Opcode::NOP: case Opcode::LUI: case Opcode::JAL:
+      case Opcode::HALT: case Opcode::BARRIER: case Opcode::CSRR:
+      case Opcode::VISSUE: case Opcode::VEND: case Opcode::DEVEC:
+      case Opcode::REMEM: case Opcode::FRAME_START:
+        return;
+      case Opcode::CSRW: case Opcode::JALR:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::LW: case Opcode::FLW: case Opcode::SIMD_LW:
+      case Opcode::FSQRT: case Opcode::FABS: case Opcode::FCVT_WS:
+      case Opcode::FCVT_SW: case Opcode::FMV_XW: case Opcode::FMV_WX:
+      case Opcode::SIMD_BCAST: case Opcode::SIMD_REDSUM:
+        out.push_back(i.rs1);
+        return;
+      case Opcode::FMADD: case Opcode::SIMD_FMA:
+        out.push_back(i.rs1);
+        out.push_back(i.rs2);
+        out.push_back(i.rs3);
+        return;
+      default:
+        // Register-register ALU/FP/SIMD ops, branches, stores, vload,
+        // predication: rs1 and rs2 (unused slots hold x0).
+        out.push_back(i.rs1);
+        out.push_back(i.rs2);
+        return;
+    }
+}
+
+// --- Constant propagation ----------------------------------------------------
+
+/** Integer-register constant state (x0..x31 only). */
+struct ConstState
+{
+    std::uint32_t known = 0;             ///< Bit n: x(n) has value v[n].
+    std::array<std::int32_t, 32> v{};
+
+    bool
+    get(RegIdx r, std::int32_t &out) const
+    {
+        if (r == regZero) {
+            out = 0;
+            return true;
+        }
+        if (r >= 32 || !(known & (1u << r)))
+            return false;
+        out = v[r];
+        return true;
+    }
+
+    void
+    set(RegIdx r, std::int32_t value)
+    {
+        if (r == regZero || r >= 32)
+            return;
+        known |= 1u << r;
+        v[r] = value;
+    }
+
+    void
+    clobber(RegIdx r)
+    {
+        if (r < 32)
+            known &= ~(1u << r);
+    }
+
+    /** Lattice meet: keep only registers equal on both sides. */
+    bool
+    meet(const ConstState &other)
+    {
+        std::uint32_t k = known & other.known;
+        for (int r = 1; r < 32; ++r) {
+            if ((k & (1u << r)) && v[static_cast<size_t>(r)] !=
+                                       other.v[static_cast<size_t>(r)]) {
+                k &= ~(1u << r);
+            }
+        }
+        bool changed = k != known;
+        known = k;
+        return changed;
+    }
+};
+
+/** Apply one instruction to a constant state. */
+void
+constTransfer(const Instruction &i, ConstState &s)
+{
+    int rd = destReg(i);
+    if (rd < 0)
+        return;
+    if (rd >= 32) {
+        return;  // FP/SIMD destinations are not tracked.
+    }
+    auto bin = [&](auto f) {
+        std::int32_t a, b;
+        if (s.get(i.rs1, a) && s.get(i.rs2, b))
+            s.set(static_cast<RegIdx>(rd), f(a, b));
+        else
+            s.clobber(static_cast<RegIdx>(rd));
+    };
+    auto uni = [&](auto f) {
+        std::int32_t a;
+        if (s.get(i.rs1, a))
+            s.set(static_cast<RegIdx>(rd), f(a));
+        else
+            s.clobber(static_cast<RegIdx>(rd));
+    };
+    auto u32 = [](std::int32_t x) { return static_cast<std::uint32_t>(x); };
+    std::int32_t imm = i.imm;
+    switch (i.op) {
+      case Opcode::ADD: bin([](auto a, auto b) { return a + b; }); return;
+      case Opcode::SUB: bin([](auto a, auto b) { return a - b; }); return;
+      case Opcode::AND: bin([](auto a, auto b) { return a & b; }); return;
+      case Opcode::OR:  bin([](auto a, auto b) { return a | b; }); return;
+      case Opcode::XOR: bin([](auto a, auto b) { return a ^ b; }); return;
+      case Opcode::SLL:
+        bin([&](auto a, auto b) {
+            return static_cast<std::int32_t>(u32(a) << (u32(b) & 31));
+        });
+        return;
+      case Opcode::SRL:
+        bin([&](auto a, auto b) {
+            return static_cast<std::int32_t>(u32(a) >> (u32(b) & 31));
+        });
+        return;
+      case Opcode::SRA:
+        bin([&](auto a, auto b) { return a >> (u32(b) & 31); });
+        return;
+      case Opcode::SLT:
+        bin([](auto a, auto b) { return a < b ? 1 : 0; });
+        return;
+      case Opcode::SLTU:
+        bin([&](auto a, auto b) { return u32(a) < u32(b) ? 1 : 0; });
+        return;
+      case Opcode::MUL:
+        bin([](auto a, auto b) {
+            return static_cast<std::int32_t>(
+                static_cast<std::int64_t>(a) * b);
+        });
+        return;
+      case Opcode::DIV:
+        bin([](auto a, auto b) { return b == 0 ? -1 : a / b; });
+        return;
+      case Opcode::REM:
+        bin([](auto a, auto b) { return b == 0 ? a : a % b; });
+        return;
+      case Opcode::ADDI: uni([&](auto a) { return a + imm; }); return;
+      case Opcode::ANDI: uni([&](auto a) { return a & imm; }); return;
+      case Opcode::ORI:  uni([&](auto a) { return a | imm; }); return;
+      case Opcode::XORI: uni([&](auto a) { return a ^ imm; }); return;
+      case Opcode::SLLI:
+        uni([&](auto a) {
+            return static_cast<std::int32_t>(u32(a) << (u32(imm) & 31));
+        });
+        return;
+      case Opcode::SRLI:
+        uni([&](auto a) {
+            return static_cast<std::int32_t>(u32(a) >> (u32(imm) & 31));
+        });
+        return;
+      case Opcode::SRAI:
+        uni([&](auto a) { return a >> (u32(imm) & 31); });
+        return;
+      case Opcode::SLTI:
+        uni([&](auto a) { return a < imm ? 1 : 0; });
+        return;
+      case Opcode::LUI:
+        s.set(static_cast<RegIdx>(rd),
+              static_cast<std::int32_t>(u32(imm) << 12));
+        return;
+      default:
+        // Loads, CSR reads, frame_start, FP moves: value unknown.
+        s.clobber(static_cast<RegIdx>(rd));
+        return;
+    }
+}
+
+// --- The verifier ------------------------------------------------------------
+
+using DefSet = std::bitset<numArchRegs>;
+
+class Verifier
+{
+  public:
+    Verifier(const Program &p, const BenchConfig &cfg,
+             const MachineParams &params, const VerifierOptions &opts)
+        : p_(p), cfg_(cfg), params_(params), opts_(opts),
+          graph_(buildCfg(p))
+    {}
+
+    VerifyReport
+    run()
+    {
+        mainReach_ = reachableFrom(graph_, 0);
+        for (int e : graph_.microthreadEntries)
+            mtReach_[e] = reachableFrom(graph_, e);
+
+        checkStructure();
+        runConstProp();
+        checkVectorRegions();
+        checkMicrothreadBodies();
+        checkFrameBalance();
+        checkFrameConfigs();
+        checkVloads();
+        checkPredication();
+        if (opts_.checkUseBeforeDef)
+            checkUseBeforeDef();
+
+        VerifyReport rep;
+        rep.diagnostics = std::move(diags_);
+        return rep;
+    }
+
+  private:
+    // --- Diagnostics ---------------------------------------------------------
+
+    void
+    diag(Check c, int pc, const std::string &msg,
+         std::vector<int> path = {})
+    {
+        if (static_cast<int>(diags_.size()) >= opts_.maxDiagnostics)
+            return;
+        if (!reported_.insert({static_cast<int>(c), pc}).second)
+            return;
+        Diagnostic d;
+        d.check = c;
+        d.pc = pc;
+        d.message = msg;
+        d.path = std::move(path);
+        diags_.push_back(std::move(d));
+    }
+
+    /** Witness path from `entry` to `pc` (plain shortest path). */
+    std::vector<int>
+    witness(int entry, int pc) const
+    {
+        return shortestPath(graph_, entry, pc);
+    }
+
+    /** Routine entry whose reach covers `pc` (main preferred). */
+    int
+    routineEntryOf(int pc) const
+    {
+        if (pc >= 0 && pc < graph_.size() &&
+            mainReach_[static_cast<size_t>(pc)]) {
+            return 0;
+        }
+        for (const auto &[entry, reach] : mtReach_) {
+            if (pc >= 0 && pc < graph_.size() &&
+                reach[static_cast<size_t>(pc)]) {
+                return entry;
+            }
+        }
+        return -1;
+    }
+
+    // --- Structural checks ---------------------------------------------------
+
+    void
+    checkStructure()
+    {
+        for (int pc : graph_.fallsOffEnd) {
+            diag(Check::Cfg, pc,
+                 "control flow falls off the end of the program",
+                 witness(std::max(0, routineEntryOf(pc)), pc));
+        }
+        for (int pc : graph_.indirectJumps) {
+            diag(Check::Cfg, pc,
+                 "indirect jump (jalr) is not statically analyzable; "
+                 "the verifier cannot prove this program well-formed");
+        }
+        for (int e : graph_.microthreadEntries) {
+            if (e < 0 || e >= graph_.size()) {
+                diag(Check::Cfg, e,
+                     "vissue targets instruction " + std::to_string(e) +
+                         ", outside the program");
+            }
+        }
+        // VEND reachable from the main entry means either a vend in
+        // plain SPMD code or main code flowing into a microthread.
+        for (int pc = 0; pc < graph_.size(); ++pc) {
+            if (mainReach_[static_cast<size_t>(pc)] &&
+                p_.code[static_cast<size_t>(pc)].op == Opcode::VEND) {
+                diag(Check::VectorRegion, pc,
+                     "vend reached from the main instruction stream "
+                     "(microthread code must only be entered by vissue)",
+                     witness(0, pc));
+            }
+        }
+        // A microthread that can flow into another microthread's entry
+        // is missing its vend (a dangling vissue region).
+        for (const auto &[entry, reach] : mtReach_) {
+            for (int other : graph_.microthreadEntries) {
+                if (other != entry && reach[static_cast<size_t>(other)]) {
+                    diag(Check::VectorRegion, other,
+                         "microthread at " + std::to_string(entry) +
+                             " falls through into the microthread at " +
+                             std::to_string(other) +
+                             " (missing vend)",
+                         shortestPath(graph_, entry, other));
+                }
+            }
+        }
+    }
+
+    // --- Constant propagation ------------------------------------------------
+
+    void
+    runConstProp()
+    {
+        int n = graph_.size();
+        constIn_.assign(static_cast<size_t>(n), ConstState{});
+        std::vector<bool> seeded(static_cast<size_t>(n), false);
+        std::deque<int> work;
+        auto seed = [&](int entry) {
+            if (entry < 0 || entry >= n ||
+                seeded[static_cast<size_t>(entry)]) {
+                return;
+            }
+            seeded[static_cast<size_t>(entry)] = true;
+            visited_.insert(entry);
+            work.push_back(entry);
+        };
+        seed(0);
+        for (int e : graph_.microthreadEntries)
+            seed(e);
+
+        // Entry states start with nothing known (x0 is implicit), so
+        // the meet with any propagated state only narrows.
+        std::vector<bool> inWork(static_cast<size_t>(n), false);
+        for (int pc : work)
+            inWork[static_cast<size_t>(pc)] = true;
+        while (!work.empty()) {
+            int pc = work.front();
+            work.pop_front();
+            inWork[static_cast<size_t>(pc)] = false;
+            ConstState out = constIn_[static_cast<size_t>(pc)];
+            constTransfer(p_.code[static_cast<size_t>(pc)], out);
+            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
+                ConstState &in = constIn_[static_cast<size_t>(s)];
+                bool changed;
+                if (!visited_.count(s)) {
+                    visited_.insert(s);
+                    in = out;
+                    changed = true;
+                } else {
+                    changed = in.meet(out);
+                }
+                if (changed && !inWork[static_cast<size_t>(s)]) {
+                    inWork[static_cast<size_t>(s)] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    /** Constant value of an integer register at a program point. */
+    bool
+    constAt(int pc, RegIdx r, std::int32_t &out) const
+    {
+        return constIn_[static_cast<size_t>(pc)].get(r, out);
+    }
+
+    /** Is this CSRW-to-Vconfig a region entry (nonzero write)? */
+    bool
+    entersVectorMode(int pc, const Instruction &i) const
+    {
+        std::int32_t v;
+        if (constAt(pc, i.rs1, v))
+            return v != 0;
+        return true;  // Unknown value: assume it enters.
+    }
+
+    // --- Vector regions ------------------------------------------------------
+
+    enum RegionState : std::uint8_t
+    {
+        rsUnreached = 0,
+        rsOutside,
+        rsInside,
+        rsConflict,
+    };
+
+    void
+    checkVectorRegions()
+    {
+        int n = graph_.size();
+        region_.assign(static_cast<size_t>(n), rsUnreached);
+        if (n == 0)
+            return;
+        region_[0] = rsOutside;
+        std::deque<int> work{0};
+        while (!work.empty()) {
+            int pc = work.front();
+            work.pop_front();
+            RegionState in = region_[static_cast<size_t>(pc)];
+            if (in == rsConflict)
+                continue;
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            RegionState out = in;
+            bool inside = in == rsInside;
+            switch (i.op) {
+              case Opcode::CSRW:
+                if (static_cast<Csr>(i.sub) == Csr::Vconfig &&
+                    entersVectorMode(pc, i)) {
+                    if (!cfg_.isVector()) {
+                        diag(Check::VectorRegion, pc,
+                             "vector region entered under the "
+                             "non-vector configuration '" + cfg_.name +
+                                 "' (group size 1)",
+                             witness(0, pc));
+                    }
+                    if (inside) {
+                        diag(Check::VectorRegion, pc,
+                             "nested vector region: vconfig written "
+                             "while already in a vector region",
+                             witness(0, pc));
+                    }
+                    out = rsInside;
+                }
+                break;
+              case Opcode::DEVEC:
+                if (!inside) {
+                    diag(Check::VectorRegion, pc,
+                         "devec outside a vector region",
+                         witness(0, pc));
+                }
+                out = rsOutside;
+                break;
+              case Opcode::VISSUE:
+                if (!inside) {
+                    diag(Check::VectorRegion, pc,
+                         "vissue outside a vector region (no vconfig "
+                         "write dominates it)",
+                         witness(0, pc));
+                }
+                break;
+              case Opcode::VLOAD: {
+                auto variant = static_cast<VloadVariant>(i.sub);
+                if (variant != VloadVariant::Self && !inside) {
+                    diag(Check::VectorRegion, pc,
+                         "group-routed vload outside a vector region",
+                         witness(0, pc));
+                }
+                break;
+              }
+              case Opcode::BARRIER:
+                if (inside) {
+                    diag(Check::VectorRegion, pc,
+                         "barrier inside a vector region (devec must "
+                         "disband the group first)",
+                         witness(0, pc));
+                }
+                break;
+              case Opcode::HALT:
+                if (inside) {
+                    diag(Check::VectorRegion, pc,
+                         "halt inside a vector region (dangling "
+                         "region: no devec on this path)",
+                         witness(0, pc));
+                }
+                break;
+              default:
+                break;
+            }
+            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
+                RegionState &dst = region_[static_cast<size_t>(s)];
+                RegionState merged;
+                if (dst == rsUnreached) {
+                    merged = out;
+                } else if (dst == out || dst == rsConflict) {
+                    continue;
+                } else {
+                    merged = rsConflict;
+                    diag(Check::VectorRegion, s,
+                         "inconsistent vector-region state at join: "
+                         "in a region on one incoming path, outside "
+                         "on another",
+                         witness(0, s));
+                }
+                dst = merged;
+                work.push_back(s);
+            }
+        }
+    }
+
+    /** Region state at a main-routine pc (valid after the pass). */
+    bool
+    insideRegion(int pc) const
+    {
+        return region_[static_cast<size_t>(pc)] == rsInside;
+    }
+
+    // --- Microthread body legality ------------------------------------------
+
+    void
+    checkMicrothreadBodies()
+    {
+        for (const auto &[entry, reach] : mtReach_) {
+            for (int pc = 0; pc < graph_.size(); ++pc) {
+                if (!reach[static_cast<size_t>(pc)])
+                    continue;
+                const Instruction &i = p_.code[static_cast<size_t>(pc)];
+                const char *what = nullptr;
+                switch (i.op) {
+                  case Opcode::VISSUE: what = "vissue"; break;
+                  case Opcode::DEVEC: what = "devec"; break;
+                  case Opcode::BARRIER: what = "barrier"; break;
+                  case Opcode::HALT: what = "halt"; break;
+                  case Opcode::CSRW:
+                    what = "CSR write";
+                    break;
+                  default: break;
+                }
+                if (what) {
+                    diag(Check::VectorRegion, pc,
+                         std::string(what) +
+                             " inside the microthread entered at " +
+                             std::to_string(entry) +
+                             " (microthreads must end in vend)",
+                         shortestPath(graph_, entry, pc));
+                }
+            }
+        }
+    }
+
+    // --- Frame balance -------------------------------------------------------
+
+    void
+    checkFrameBalance()
+    {
+        checkFrameBalanceRoutine(0, mainReach_, "main body");
+        for (const auto &[entry, reach] : mtReach_) {
+            checkFrameBalanceRoutine(
+                entry, reach,
+                "microthread at " + std::to_string(entry));
+        }
+    }
+
+    void
+    checkFrameBalanceRoutine(int entry, const std::vector<bool> &reach,
+                             const std::string &where)
+    {
+        int n = graph_.size();
+        if (entry < 0 || entry >= n)
+            return;
+        // Per-pc open-frame count; -1 unreached, -2 conflict.
+        std::vector<int> open(static_cast<size_t>(n), -1);
+        open[static_cast<size_t>(entry)] = 0;
+        std::deque<int> work{entry};
+        while (!work.empty()) {
+            int pc = work.front();
+            work.pop_front();
+            int in = open[static_cast<size_t>(pc)];
+            if (in == -2)
+                continue;
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            int out = in;
+            switch (i.op) {
+              case Opcode::FRAME_START:
+                if (in >= 1) {
+                    diag(Check::FrameBalance, pc,
+                         "frame_start while a frame is already open in "
+                         "the " + where + " (missing remem)",
+                         shortestPath(graph_, entry, pc));
+                }
+                out = std::min(in + 1, 4);
+                break;
+              case Opcode::REMEM:
+                if (in == 0) {
+                    diag(Check::FrameBalance, pc,
+                         "remem without a matching frame_start in the " +
+                             where +
+                             " (would free a frame that was never "
+                             "consumed)",
+                         shortestPath(graph_, entry, pc));
+                    out = 0;
+                } else {
+                    out = in - 1;
+                }
+                break;
+              case Opcode::HALT:
+              case Opcode::VEND:
+                if (in > 0) {
+                    diag(Check::FrameBalance, pc,
+                         "path through the " + where +
+                             " ends with " + std::to_string(in) +
+                             " open frame(s): frame_start without "
+                             "remem deadlocks the frame queue",
+                         shortestPath(graph_, entry, pc));
+                }
+                break;
+              case Opcode::DEVEC:
+                if (in > 0) {
+                    diag(Check::FrameBalance, pc,
+                         "devec with " + std::to_string(in) +
+                             " open frame(s) in the " + where,
+                         shortestPath(graph_, entry, pc));
+                }
+                break;
+              default:
+                break;
+            }
+            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
+                if (!reach[static_cast<size_t>(s)])
+                    continue;
+                int &dst = open[static_cast<size_t>(s)];
+                if (dst == -1) {
+                    dst = out;
+                    work.push_back(s);
+                } else if (dst != out && dst != -2) {
+                    diag(Check::FrameBalance, s,
+                         "inconsistent frame_start/remem balance at "
+                         "join in the " + where + " (" +
+                             std::to_string(dst) + " vs " +
+                             std::to_string(out) +
+                             " open frames depending on path)",
+                         shortestPath(graph_, entry, s));
+                    dst = -2;
+                }
+            }
+        }
+    }
+
+    // --- FrameCfg legality ---------------------------------------------------
+
+    void
+    checkFrameConfigs()
+    {
+        bool haveFrameOps = false;
+        bool haveFrameCfg = false;
+        for (int pc = 0; pc < graph_.size(); ++pc) {
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            if (i.op == Opcode::FRAME_START || i.op == Opcode::REMEM)
+                haveFrameOps = true;
+            if (i.op != Opcode::CSRW ||
+                static_cast<Csr>(i.sub) != Csr::FrameCfg) {
+                continue;
+            }
+            haveFrameCfg = true;
+            if (routineEntryOf(pc) < 0)
+                continue;  // Unreachable: no point checking values.
+            std::int32_t v;
+            if (!constAt(pc, i.rs1, v))
+                continue;
+            int fw = v & 0xffff;
+            int nf = (v >> 16) & 0xffff;
+            if (fw == 0 && nf == 0)
+                continue;  // Disables frames; always legal.
+            std::string prefix =
+                "frame config " + std::to_string(fw) + " words x " +
+                std::to_string(nf) + " frames: ";
+            if (fw <= 0 || nf <= 0) {
+                diag(Check::FrameBalance, pc,
+                     prefix + "both fields must be positive",
+                     witness(0, pc));
+            } else {
+                if (nf < params_.frameCounters) {
+                    diag(Check::FrameBalance, pc,
+                         prefix + "fewer frames than the " +
+                             std::to_string(params_.frameCounters) +
+                             " hardware frame counters",
+                         witness(0, pc));
+                }
+                if (fw >= 1024) {
+                    diag(Check::FrameBalance, pc,
+                         prefix +
+                             "frame size exceeds a 10-bit counter",
+                         witness(0, pc));
+                }
+                Addr region = static_cast<Addr>(fw) *
+                              static_cast<Addr>(nf) * wordBytes;
+                if (region > params_.spadBytes) {
+                    diag(Check::FrameBalance, pc,
+                         prefix + "frame region (" +
+                             std::to_string(region) +
+                             "B) exceeds the " +
+                             std::to_string(params_.spadBytes) +
+                             "B scratchpad",
+                         witness(0, pc));
+                }
+            }
+        }
+        if (haveFrameOps && !haveFrameCfg) {
+            for (int pc = 0; pc < graph_.size(); ++pc) {
+                Opcode op = p_.code[static_cast<size_t>(pc)].op;
+                if (op == Opcode::FRAME_START || op == Opcode::REMEM) {
+                    diag(Check::FrameBalance, pc,
+                         "frame_start/remem with no FrameCfg write "
+                         "anywhere in the program",
+                         witness(std::max(0, routineEntryOf(pc)), pc));
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- vload legality ------------------------------------------------------
+
+    void
+    checkVloads()
+    {
+        Addr line = cfg_.longLines ? 1024 : params_.lineBytes;
+        for (int pc = 0; pc < graph_.size(); ++pc) {
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            if (i.op != Opcode::VLOAD)
+                continue;
+            int entry = routineEntryOf(pc);
+            if (entry < 0)
+                continue;  // Unreachable.
+            auto path = [&] { return witness(entry, pc); };
+            auto variant = static_cast<VloadVariant>(i.sub);
+            int w = i.imm2;
+            int coreOff = i.imm;
+            if (!cfg_.wideAccess) {
+                diag(Check::Vload, pc,
+                     "vload under configuration '" + cfg_.name +
+                         "', which has no wide-access support",
+                     path());
+                continue;
+            }
+            if (w <= 0) {
+                diag(Check::Vload, pc,
+                     "vload width must be positive (got " +
+                         std::to_string(w) + ")",
+                     path());
+                continue;
+            }
+            int total = w;
+            if (variant != VloadVariant::Self) {
+                if (!cfg_.isVector()) {
+                    diag(Check::Vload, pc,
+                         "group-routed vload under the non-vector "
+                         "configuration '" + cfg_.name + "'",
+                         path());
+                    continue;
+                }
+                if (coreOff < 0 || coreOff >= cfg_.groupSize) {
+                    diag(Check::Vload, pc,
+                         "vload core offset " + std::to_string(coreOff) +
+                             " outside the group [0, " +
+                             std::to_string(cfg_.groupSize) + ")",
+                         path());
+                    continue;
+                }
+                if (variant == VloadVariant::Group)
+                    total = w * (cfg_.groupSize - coreOff);
+            }
+            if (static_cast<Addr>(total) * wordBytes > line) {
+                diag(Check::Vload, pc,
+                     "vload of " + std::to_string(total) +
+                         " words exceeds the " + std::to_string(line) +
+                         "-byte cache line",
+                     path());
+            }
+            std::int32_t addr;
+            if (constAt(pc, i.rs1, addr) && addr % 4 != 0) {
+                diag(Check::Vload, pc,
+                     "misaligned vload address " + std::to_string(addr) +
+                         " (must be word-aligned; the prefix/suffix "
+                         "variants only handle line-boundary splits)",
+                     path());
+            }
+            std::int32_t spOff;
+            if (constAt(pc, i.rs2, spOff)) {
+                if (spOff % 4 != 0) {
+                    diag(Check::Vload, pc,
+                         "misaligned vload scratchpad offset " +
+                             std::to_string(spOff),
+                         path());
+                } else if (spOff < 0 ||
+                           static_cast<Addr>(spOff) +
+                                   static_cast<Addr>(w) * wordBytes >
+                               params_.spadBytes) {
+                    diag(Check::Vload, pc,
+                         "vload of " + std::to_string(w) +
+                             " words at scratchpad offset " +
+                             std::to_string(spOff) + " overruns the " +
+                             std::to_string(params_.spadBytes) +
+                             "B scratchpad",
+                         path());
+                }
+            }
+        }
+    }
+
+    // --- Predication ---------------------------------------------------------
+
+    enum PredState : std::uint8_t
+    {
+        psUnreached = 0,
+        psTrue,
+        psMaybeFalse,
+    };
+
+    void
+    checkPredication()
+    {
+        checkPredicationRoutine(0, mainReach_, false);
+        for (const auto &[entry, reach] : mtReach_)
+            checkPredicationRoutine(entry, reach, true);
+    }
+
+    bool
+    predDefinitelyTrue(int pc, const Instruction &i) const
+    {
+        std::int32_t a = 0, b = 0;
+        bool ka = constAt(pc, i.rs1, a);
+        bool kb = constAt(pc, i.rs2, b);
+        if (i.op == Opcode::PRED_EQ) {
+            if (i.rs1 == i.rs2)
+                return true;
+            return ka && kb && a == b;
+        }
+        return ka && kb && a != b;  // PRED_NEQ.
+    }
+
+    void
+    checkPredicationRoutine(int entry, const std::vector<bool> &reach,
+                            bool isMicrothread)
+    {
+        int n = graph_.size();
+        if (entry < 0 || entry >= n)
+            return;
+        std::vector<PredState> st(static_cast<size_t>(n), psUnreached);
+        st[static_cast<size_t>(entry)] = psTrue;
+        std::deque<int> work{entry};
+        while (!work.empty()) {
+            int pc = work.front();
+            work.pop_front();
+            PredState in = st[static_cast<size_t>(pc)];
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            PredState out = in;
+            if (i.op == Opcode::PRED_EQ || i.op == Opcode::PRED_NEQ) {
+                if (i.op == Opcode::PRED_NEQ && i.rs1 == i.rs2) {
+                    diag(Check::Predication, pc,
+                         "pred_neq of a register with itself leaves "
+                         "the predicate permanently false",
+                         shortestPath(graph_, entry, pc));
+                }
+                out = predDefinitelyTrue(pc, i) ? psTrue : psMaybeFalse;
+            } else if (in == psMaybeFalse) {
+                const char *why = nullptr;
+                switch (i.op) {
+                  case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+                  case Opcode::BGE: case Opcode::BLTU:
+                  case Opcode::BGEU: case Opcode::JAL:
+                  case Opcode::JALR:
+                    why = "a squashed branch never resolves and "
+                          "deadlocks the frontend";
+                    break;
+                  case Opcode::FRAME_START:
+                  case Opcode::REMEM:
+                    why = "squashing it unbalances the frame queue";
+                    break;
+                  case Opcode::VISSUE:
+                    why = "squashing it desynchronizes the vector "
+                          "group";
+                    break;
+                  case Opcode::BARRIER:
+                    why = "a squashed barrier arrival hangs the "
+                          "machine";
+                    break;
+                  case Opcode::HALT:
+                    why = "a squashed halt never terminates the core";
+                    break;
+                  case Opcode::CSRW:
+                    why = "a squashed CSR write corrupts the "
+                          "vector-mode handshake";
+                    break;
+                  case Opcode::VEND:
+                    if (isMicrothread) {
+                        diag(Check::Predication, pc,
+                             "microthread may end with the predicate "
+                             "off; reset it (pred_eq x0, x0) before "
+                             "vend so the next microthread is not "
+                             "squashed",
+                             shortestPath(graph_, entry, pc));
+                    }
+                    break;
+                  default:
+                    break;
+                }
+                if (why) {
+                    diag(Check::Predication, pc,
+                         std::string(opcodeName(i.op)) +
+                             " while the predicate may be off: " + why,
+                         shortestPath(graph_, entry, pc));
+                }
+            }
+            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
+                if (!reach[static_cast<size_t>(s)])
+                    continue;
+                PredState &dst = st[static_cast<size_t>(s)];
+                PredState merged =
+                    dst == psUnreached
+                        ? out
+                        : (dst == out ? dst : psMaybeFalse);
+                if (merged != dst) {
+                    dst = merged;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    // --- Use before def ------------------------------------------------------
+
+    void
+    checkUseBeforeDef()
+    {
+        int n = graph_.size();
+        if (n == 0)
+            return;
+
+        // Pass 1: definitely-defined sets over the main routine.
+        std::vector<DefSet> mainIn = defDataflow(0, mainReach_, seedSet());
+
+        // Pass 2: chain microthread entry states through the scalar
+        // core's vissue order. A token is either a region entry pc
+        // (the defs every core holds when the group forms) or a
+        // previously issued microthread (defs at its vend).
+        struct Token
+        {
+            bool isRegion;
+            int pc;  ///< Region-entry pc or microthread entry pc.
+            bool operator<(const Token &o) const
+            {
+                return std::tie(isRegion, pc) <
+                       std::tie(o.isRegion, o.pc);
+            }
+        };
+        std::vector<std::set<Token>> lastRun(static_cast<size_t>(n));
+        std::vector<bool> tokSeen(static_cast<size_t>(n), false);
+        {
+            std::deque<int> work{0};
+            tokSeen[0] = true;
+            // Before any region entry nothing vector-side has run.
+            while (!work.empty()) {
+                int pc = work.front();
+                work.pop_front();
+                const Instruction &i = p_.code[static_cast<size_t>(pc)];
+                std::set<Token> out = lastRun[static_cast<size_t>(pc)];
+                if (i.op == Opcode::CSRW &&
+                    static_cast<Csr>(i.sub) == Csr::Vconfig &&
+                    entersVectorMode(pc, i)) {
+                    out = {Token{true, pc}};
+                } else if (i.op == Opcode::VISSUE) {
+                    out = {Token{false, i.imm}};
+                }
+                for (int s : graph_.succs[static_cast<size_t>(pc)]) {
+                    auto &dst = lastRun[static_cast<size_t>(s)];
+                    size_t before = dst.size();
+                    dst.insert(out.begin(), out.end());
+                    if (!tokSeen[static_cast<size_t>(s)] ||
+                        dst.size() != before) {
+                        tokSeen[static_cast<size_t>(s)] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+
+        // Fixpoint over microthread entry/exit def sets.
+        std::map<int, DefSet> mtIn, mtOut;
+        for (int e : graph_.microthreadEntries) {
+            mtIn[e].set();   // Start at top; iteration only narrows.
+            mtOut[e].set();
+        }
+        std::map<int, std::vector<DefSet>> mtStates;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            // Recompute each entry state from the vissue sites.
+            for (int e : graph_.microthreadEntries) {
+                DefSet in;
+                in.set();
+                bool any = false;
+                for (int pc = 0; pc < n; ++pc) {
+                    if (!mainReach_[static_cast<size_t>(pc)])
+                        continue;
+                    const Instruction &i =
+                        p_.code[static_cast<size_t>(pc)];
+                    if (i.op != Opcode::VISSUE || i.imm != e)
+                        continue;
+                    for (const Token &t :
+                         lastRun[static_cast<size_t>(pc)]) {
+                        any = true;
+                        if (t.isRegion)
+                            in &= mainIn[static_cast<size_t>(t.pc)];
+                        else
+                            in &= mtOut[t.pc];
+                    }
+                }
+                if (!any)
+                    in = seedSet();  // Unreached or outside a region.
+                in |= seedSet();
+                if (in != mtIn[e]) {
+                    mtIn[e] = in;
+                    changed = true;
+                }
+            }
+            // Re-run each microthread's dataflow with its entry state.
+            for (int e : graph_.microthreadEntries) {
+                if (e < 0 || e >= n)
+                    continue;
+                auto states = defDataflow(e, mtReach_.at(e), mtIn[e]);
+                DefSet out;
+                out.set();
+                bool sawEnd = false;
+                for (int pc = 0; pc < n; ++pc) {
+                    if (!mtReach_.at(e)[static_cast<size_t>(pc)])
+                        continue;
+                    if (p_.code[static_cast<size_t>(pc)].op ==
+                        Opcode::VEND) {
+                        out &= states[static_cast<size_t>(pc)];
+                        sawEnd = true;
+                    }
+                }
+                if (!sawEnd)
+                    out = mtIn[e];
+                if (out != mtOut[e]) {
+                    mtOut[e] = out;
+                    changed = true;
+                }
+                mtStates[e] = std::move(states);
+            }
+        }
+
+        flagUndefinedReads(0, mainReach_, mainIn, "main body");
+        for (int e : graph_.microthreadEntries) {
+            if (e < 0 || e >= n || !mtStates.count(e))
+                continue;
+            flagUndefinedReads(e, mtReach_.at(e), mtStates[e],
+                               "microthread at " + std::to_string(e));
+        }
+    }
+
+    /** Registers treated as always defined (x0 and reserved regs). */
+    static DefSet
+    seedSet()
+    {
+        DefSet s;
+        s.set(regZero);
+        return s;
+    }
+
+    /** Definitely-defined-register dataflow over one routine. */
+    std::vector<DefSet>
+    defDataflow(int entry, const std::vector<bool> &reach,
+                const DefSet &entryState) const
+    {
+        int n = graph_.size();
+        std::vector<DefSet> in(static_cast<size_t>(n));
+        std::vector<bool> seen(static_cast<size_t>(n), false);
+        for (auto &s : in)
+            s.set();  // Top for unreached; meets only narrow.
+        in[static_cast<size_t>(entry)] = entryState;
+        seen[static_cast<size_t>(entry)] = true;
+        std::deque<int> work{entry};
+        while (!work.empty()) {
+            int pc = work.front();
+            work.pop_front();
+            DefSet out = in[static_cast<size_t>(pc)];
+            int rd = destReg(p_.code[static_cast<size_t>(pc)]);
+            if (rd >= 0)
+                out.set(static_cast<size_t>(rd));
+            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
+                if (!reach[static_cast<size_t>(s)])
+                    continue;
+                DefSet merged = in[static_cast<size_t>(s)] & out;
+                if (!seen[static_cast<size_t>(s)]) {
+                    seen[static_cast<size_t>(s)] = true;
+                    in[static_cast<size_t>(s)] = out;
+                    work.push_back(s);
+                } else if (merged != in[static_cast<size_t>(s)]) {
+                    in[static_cast<size_t>(s)] = merged;
+                    work.push_back(s);
+                }
+            }
+        }
+        return in;
+    }
+
+    /** Name a flat register index ("x5", "f0", "v2"). */
+    static std::string
+    regName(RegIdx r)
+    {
+        if (r < fpRegBase)
+            return "x" + std::to_string(r);
+        if (r < simdRegBase)
+            return "f" + std::to_string(r - fpRegBase);
+        return "v" + std::to_string(r - simdRegBase);
+    }
+
+    void
+    flagUndefinedReads(int entry, const std::vector<bool> &reach,
+                       const std::vector<DefSet> &in,
+                       const std::string &where)
+    {
+        std::vector<RegIdx> reads;
+        for (int pc = 0; pc < graph_.size(); ++pc) {
+            if (!reach[static_cast<size_t>(pc)])
+                continue;
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            readRegs(i, reads);
+            for (RegIdx r : reads) {
+                if (r == regZero || in[static_cast<size_t>(pc)][r])
+                    continue;
+                // Witness: a path from the routine entry that never
+                // defines r.
+                std::vector<bool> defines(
+                    static_cast<size_t>(graph_.size()), false);
+                for (int q = 0; q < graph_.size(); ++q) {
+                    if (destReg(p_.code[static_cast<size_t>(q)]) ==
+                        static_cast<int>(r)) {
+                        defines[static_cast<size_t>(q)] = true;
+                    }
+                }
+                auto path = shortestPath(graph_, entry, pc, &defines);
+                if (path.empty())
+                    path = witness(entry, pc);
+                diag(Check::UseBeforeDef, pc,
+                     "register " + regName(r) + " read in the " +
+                         where +
+                         " but never defined on this path",
+                     std::move(path));
+                break;  // One finding per instruction is enough.
+            }
+        }
+    }
+
+    // --- Members -------------------------------------------------------------
+
+    const Program &p_;
+    const BenchConfig &cfg_;
+    const MachineParams &params_;
+    const VerifierOptions &opts_;
+    Cfg graph_;
+
+    std::vector<bool> mainReach_;
+    std::map<int, std::vector<bool>> mtReach_;
+    std::vector<ConstState> constIn_;
+    std::set<int> visited_;  ///< Const-prop: pcs with initialized IN.
+    std::vector<RegionState> region_;
+
+    std::vector<Diagnostic> diags_;
+    std::set<std::pair<int, int>> reported_;
+};
+
+} // namespace
+
+// --- Public API --------------------------------------------------------------
+
+const char *
+checkName(Check c)
+{
+    switch (c) {
+      case Check::Cfg: return "cfg";
+      case Check::VectorRegion: return "vector-region";
+      case Check::FrameBalance: return "frame-balance";
+      case Check::Vload: return "vload";
+      case Check::Predication: return "predication";
+      case Check::UseBeforeDef: return "use-before-def";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::render(const Program &p) const
+{
+    std::ostringstream os;
+    os << "[" << checkName(check) << "] pc " << pc;
+    if (pc >= 0 && pc < p.size())
+        os << ": " << disassemble(p.code[static_cast<size_t>(pc)]);
+    os << "\n    " << message;
+    if (!path.empty()) {
+        os << "\n    path:";
+        // Elide the middle of long paths.
+        constexpr size_t kHead = 4, kTail = 4;
+        for (size_t k = 0; k < path.size(); ++k) {
+            if (path.size() > kHead + kTail + 1 && k == kHead) {
+                os << "\n      ... (" << path.size() - kHead - kTail
+                   << " instructions elided)";
+                k = path.size() - kTail - 1;
+                continue;
+            }
+            int q = path[k];
+            os << "\n      " << q << ": ";
+            if (q >= 0 && q < p.size())
+                os << disassemble(p.code[static_cast<size_t>(q)]);
+        }
+    }
+    return os.str();
+}
+
+bool
+VerifyReport::has(Check c) const
+{
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [&](const Diagnostic &d) { return d.check == c; });
+}
+
+std::string
+VerifyReport::text(const Program &p) const
+{
+    if (ok())
+        return "";
+    std::ostringstream os;
+    os << "verifier: program '" << p.name << "' failed "
+       << diagnostics.size() << " static check(s):\n";
+    for (const Diagnostic &d : diagnostics)
+        os << "  " << d.render(p) << "\n";
+    return os.str();
+}
+
+VerifyReport
+verifyProgram(const Program &p, const BenchConfig &cfg,
+              const MachineParams &params, const VerifierOptions &opts)
+{
+    return Verifier(p, cfg, params, opts).run();
+}
+
+} // namespace rockcress

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Static verifier for assembled vector-group programs — the analysis
+ * half of the paper's toolchain guarantee (Section 4.1): before a
+ * program reaches the fabric, check that its vector-group scaffolding
+ * is well-formed so that malformed kernels are rejected with a
+ * readable diagnostic instead of deadlocking or corrupting statistics
+ * deep inside the simulator.
+ *
+ * Checks, each a dataflow or structural pass over the CFG:
+ *  - vector-region: every vissue happens inside a vconfig/devec
+ *    region on all paths, regions never nest or dangle, barriers and
+ *    halts never fire mid-region;
+ *  - frame-balance: frame_start/remem pair on every path, remem never
+ *    frees an unopened frame, no path leaves a frame open at a
+ *    routine exit (the deadlock the DAE pacing of Section 2.3.1
+ *    avoids), and FrameCfg writes satisfy the hardware limits;
+ *  - vload: width against the cache line, core offsets against the
+ *    group size, and — where constant propagation pins the operands —
+ *    word alignment and scratchpad bounds;
+ *  - predication: no branch, frame, vissue, barrier, halt, or CSR
+ *    write is reachable while the pred_eq/pred_neq flag may be off
+ *    (the pipeline squashes them, which desynchronizes the group or
+ *    deadlocks the frontend), and microthreads re-enable the flag
+ *    before vend;
+ *  - use-before-def: no register is read on a path that never defined
+ *    it, with microthread entry states chained through the scalar
+ *    core's vissue order.
+ *
+ * Diagnostics carry the instruction index, its disassembly, and a
+ * shortest witness path through the CFG.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_VERIFIER_HH
+#define ROCKCRESS_ANALYSIS_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "isa/program.hh"
+#include "machine/params.hh"
+
+namespace rockcress
+{
+
+/** Identifies the pass that produced a diagnostic. */
+enum class Check
+{
+    Cfg,           ///< Structural: falls off the end, indirect jumps.
+    VectorRegion,  ///< vissue/vend/devec region well-formedness.
+    FrameBalance,  ///< frame_start/remem pairing and FrameCfg limits.
+    Vload,         ///< vload width/alignment/bounds legality.
+    Predication,   ///< pred_eq/pred_neq region well-formedness.
+    UseBeforeDef,  ///< Register read with no reaching definition.
+};
+
+/** Short kebab-case name of a check ("vector-region", ...). */
+const char *checkName(Check c);
+
+/** One verifier finding, anchored to an instruction. */
+struct Diagnostic
+{
+    Check check = Check::Cfg;
+    int pc = -1;               ///< Offending instruction index.
+    std::string message;
+    std::vector<int> path;     ///< Witness CFG path ending at pc.
+
+    /** "[check] pc N: <disasm>: message" plus the witness path. */
+    std::string render(const Program &p) const;
+};
+
+/** Knobs for the verifier (mostly diagnostic shaping). */
+struct VerifierOptions
+{
+    int maxDiagnostics = 32;   ///< Stop after this many findings.
+    int maxPathLines = 12;     ///< Witness-path lines per diagnostic.
+    bool checkUseBeforeDef = true;
+};
+
+/** Everything the verifier found in one program. */
+struct VerifyReport
+{
+    std::vector<Diagnostic> diagnostics;
+
+    bool ok() const { return diagnostics.empty(); }
+
+    /** Full human-readable report (empty string when ok). */
+    std::string text(const Program &p) const;
+
+    /** True if some diagnostic belongs to `c`. */
+    bool has(Check c) const;
+};
+
+/**
+ * Statically verify an assembled program against the configuration
+ * and machine it will run on. Never throws on malformed input — all
+ * findings are returned as diagnostics.
+ */
+VerifyReport verifyProgram(const Program &p, const BenchConfig &cfg,
+                           const MachineParams &params,
+                           const VerifierOptions &opts = {});
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_VERIFIER_HH

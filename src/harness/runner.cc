@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include "analysis/verifier.hh"
 #include "gpu/gpu.hh"
 #include "sim/log.hh"
 
@@ -25,7 +26,15 @@ runManycore(const std::string &bench, const std::string &config,
     Machine machine(params);
     auto benchmark = makeBenchmark(bench);
     try {
-        benchmark->prepare(machine, cfg);
+        auto program = benchmark->prepare(machine, cfg);
+        if (overrides.verify) {
+            VerifyReport report = verifyProgram(*program, cfg, params);
+            if (!report.ok()) {
+                r.ok = false;
+                r.error = report.text(*program);
+                return r;
+            }
+        }
         r.cycles = machine.run(overrides.maxCycles);
         r.error = benchmark->check(machine.mem());
         r.ok = r.error.empty();

@@ -28,6 +28,12 @@ struct RunOverrides
     Addr llcBankBytes = 16 * 1024;     ///< Fig. 17b: 32 kB.
     int nocWidthWords = 4;             ///< Fig. 17c: 1.
     Cycle maxCycles = 400'000'000;
+    /**
+     * Statically verify the assembled program before simulating and
+     * fail the run on any finding. Off only for experiments that
+     * deliberately run malformed programs (fault injection).
+     */
+    bool verify = true;
 };
 
 /** Everything the figures need from one run. */

@@ -1,5 +1,6 @@
 #include "isa/program.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -7,12 +8,59 @@
 namespace rockcress
 {
 
+namespace
+{
+
+/** Edit distance for "did you mean" symbol suggestions. */
+int
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<int> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+        int diag = row[0];
+        row[0] = static_cast<int>(i);
+        for (size_t j = 1; j <= b.size(); ++j) {
+            int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            int next = std::min({row[j] + 1, row[j - 1] + 1,
+                                 diag + cost});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
 const Instruction &
 Program::at(int pc) const
 {
-    if (pc < 0 || pc >= size())
-        fatal("program '", name, "': PC ", pc, " out of range [0, ",
-              size(), ")");
+    if (pc < 0 || pc >= size()) {
+        std::ostringstream os;
+        os << "program '" << name << "': PC " << pc
+           << " out of range [0, " << size() << ")";
+        // Name the symbol whose code the runaway PC left, so the
+        // report points at a routine instead of a bare index.
+        std::string sym;
+        int best = -1;
+        for (const auto &[s, spc] : symbols) {
+            if (spc <= pc && spc > best) {
+                best = spc;
+                sym = s;
+            }
+        }
+        if (!sym.empty()) {
+            os << "; nearest preceding symbol '" << sym << "' at "
+               << best;
+        }
+        if (size() > 0) {
+            os << "; last instruction " << size() - 1 << ": "
+               << disassemble(code.back());
+        }
+        fatal(os.str());
+    }
     return code[static_cast<size_t>(pc)];
 }
 
@@ -20,8 +68,28 @@ int
 Program::entry(const std::string &symbol) const
 {
     auto it = symbols.find(symbol);
-    if (it == symbols.end())
-        fatal("program '", name, "': no symbol '", symbol, "'");
+    if (it == symbols.end()) {
+        std::ostringstream os;
+        os << "program '" << name << "': no symbol '" << symbol << "'";
+        // Closest few known symbols by edit distance.
+        std::vector<std::pair<int, std::string>> ranked;
+        for (const auto &[s, pc] : symbols) {
+            (void)pc;
+            ranked.emplace_back(editDistance(symbol, s), s);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        if (!ranked.empty()) {
+            os << "; known symbols:";
+            size_t shown = std::min<size_t>(ranked.size(), 3);
+            for (size_t k = 0; k < shown; ++k)
+                os << (k ? ", '" : " '") << ranked[k].second << "'";
+            if (ranked.size() > shown)
+                os << ", ... (" << ranked.size() - shown << " more)";
+        } else {
+            os << " (the program defines no symbols)";
+        }
+        fatal(os.str());
+    }
     return it->second;
 }
 

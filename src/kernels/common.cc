@@ -95,16 +95,17 @@ Benchmark::planGroups(Machine &machine, const BenchConfig &cfg)
     }
 }
 
-void
+std::shared_ptr<const Program>
 Benchmark::prepare(Machine &machine, const BenchConfig &cfg)
 {
     Heap heap(machine.params().heapBytes);
     setup(machine.mem(), heap);
     SpmdBuilder b(name() + "_" + cfg.name, cfg, machine.params());
     emit(b);
-    auto prog = std::make_shared<Program>(b.finish());
+    auto prog = std::make_shared<const Program>(b.finish());
     machine.loadAll(prog);
     planGroups(machine, cfg);
+    return prog;
 }
 
 } // namespace rockcress

@@ -103,8 +103,11 @@ class Benchmark
      * Allocate and initialize the benchmark's arrays in machine
      * memory, build the per-configuration program, load it, and plan
      * the vector groups. After this the machine is ready to run().
+     * @return The assembled program, for static verification and
+     *         listing.
      */
-    void prepare(Machine &machine, const BenchConfig &cfg);
+    std::shared_ptr<const Program> prepare(Machine &machine,
+                                           const BenchConfig &cfg);
 
     /**
      * Verify machine memory against the host reference.

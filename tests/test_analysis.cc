@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Static-verifier tests: every in-tree kernel emitter must pass the
+ * verifier under every Table 3 configuration, and hand-built
+ * malformed programs must each be rejected with the right check and
+ * a witness path. Also covers the structured Program::entry()/at()
+ * diagnostics the verifier reports build on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/verifier.hh"
+#include "harness/runner.hh"
+#include "isa/assembler.hh"
+#include "kernels/common.hh"
+#include "sim/log.hh"
+
+namespace rockcress
+{
+namespace
+{
+
+// --- Every emitter, every configuration --------------------------------------
+
+struct SweepCase
+{
+    std::string bench;
+    std::string config;
+};
+
+std::vector<SweepCase>
+allSweepCases()
+{
+    std::vector<SweepCase> cases;
+    std::vector<std::string> benches = suiteNames();
+    if (std::find(benches.begin(), benches.end(), "bfs") ==
+        benches.end()) {
+        benches.push_back("bfs");
+    }
+    for (const std::string &b : benches)
+        for (const std::string &c : allConfigNames())
+            cases.push_back({b, c});
+    return cases;
+}
+
+class VerifierAccepts : public ::testing::TestWithParam<SweepCase>
+{};
+
+TEST_P(VerifierAccepts, EmitterPassesAllChecks)
+{
+    const SweepCase &sc = GetParam();
+    BenchConfig cfg = configByName(sc.config);
+    MachineParams params = machineFor(cfg);
+    Machine machine(params);
+    auto bench = makeBenchmark(sc.bench);
+    auto program = bench->prepare(machine, cfg);
+    VerifyReport report = verifyProgram(*program, cfg, params);
+    EXPECT_TRUE(report.ok()) << report.text(*program);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, VerifierAccepts, ::testing::ValuesIn(allSweepCases()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        std::string n = info.param.bench + "_" + info.param.config;
+        std::replace(n.begin(), n.end(), '-', '_');
+        return n;
+    });
+
+// --- Malformed fixtures ------------------------------------------------------
+
+/** An assembled fixture plus its verification report. */
+struct Fixture
+{
+    Program p;
+    VerifyReport rep;
+};
+
+/** Finish and verify a fixture under a canonical vector config. */
+Fixture
+verifyFixture(Assembler &as, const std::string &config = "V4")
+{
+    Fixture f;
+    f.p = as.finish();
+    BenchConfig cfg = configByName(config);
+    f.rep = verifyProgram(f.p, cfg, machineFor(cfg));
+    return f;
+}
+
+/** First diagnostic of a given check, or nullptr. */
+const Diagnostic *
+findDiag(const VerifyReport &rep, Check c)
+{
+    for (const Diagnostic &d : rep.diagnostics)
+        if (d.check == c)
+            return &d;
+    return nullptr;
+}
+
+TEST(VerifierRejects, DanglingVissueMicrothreadEndsInHalt)
+{
+    Assembler as("dangling_vissue");
+    Label resume = as.newLabel();
+    Label mt = as.newLabel();
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.vissue(mt);
+    as.devec(resume);
+    as.bind(resume);
+    as.halt();
+    as.bind(mt);
+    as.addi(x(6), x(0), 7);
+    as.halt();  // Should be vend: the microthread never terminates.
+
+    Fixture f = verifyFixture(as);
+    ASSERT_FALSE(f.rep.ok());
+    const Diagnostic *d = findDiag(f.rep, Check::VectorRegion);
+    ASSERT_NE(d, nullptr) << f.rep.text(f.p);
+    EXPECT_EQ(d->pc, 6);  // li csrw vissue devec halt addi | halt.
+    EXPECT_NE(d->message.find("halt"), std::string::npos);
+    EXPECT_NE(d->message.find("microthread"), std::string::npos);
+    EXPECT_FALSE(d->path.empty());
+    EXPECT_EQ(d->path.back(), d->pc);
+}
+
+TEST(VerifierRejects, VissueOutsideVectorRegion)
+{
+    Assembler as("vissue_outside");
+    Label mt = as.newLabel();
+    as.vissue(mt);
+    as.halt();
+    as.bind(mt);
+    as.vend();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::VectorRegion);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 0);
+    EXPECT_NE(d->message.find("vissue outside a vector region"),
+              std::string::npos);
+}
+
+TEST(VerifierRejects, HaltInsideVectorRegion)
+{
+    Assembler as("halt_in_region");
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.halt();  // No devec on this path: dangling region.
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::VectorRegion);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("dangling"), std::string::npos);
+    // The witness path walks entry -> csrw -> halt.
+    ASSERT_GE(d->path.size(), 3u);
+    EXPECT_EQ(d->path.front(), 0);
+}
+
+TEST(VerifierRejects, NestedVectorRegion)
+{
+    Assembler as("nested_region");
+    Label resume = as.newLabel();
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.csrw(Csr::Vconfig, x(5));  // Nested entry.
+    as.devec(resume);
+    as.bind(resume);
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::VectorRegion);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("nested"), std::string::npos);
+}
+
+TEST(VerifierRejects, OverDeepRemem)
+{
+    Assembler as("over_deep_remem");
+    as.li(x(5), 64 | (5 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.frameStart(x(6));
+    as.remem();
+    as.remem();  // Frees a frame that was never consumed.
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::FrameBalance);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("remem without a matching frame_start"),
+              std::string::npos);
+    // The diagnostic lands on the second remem, not the first.
+    EXPECT_EQ(f.p.code[static_cast<size_t>(d->pc)].op, Opcode::REMEM);
+    EXPECT_EQ(f.p.code[static_cast<size_t>(d->pc) - 1].op,
+              Opcode::REMEM);
+}
+
+TEST(VerifierRejects, OpenFrameAtHalt)
+{
+    Assembler as("open_frame");
+    as.li(x(5), 64 | (5 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.frameStart(x(6));
+    as.halt();  // Missing remem.
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::FrameBalance);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("open frame"), std::string::npos);
+}
+
+TEST(VerifierRejects, IllegalFrameConfig)
+{
+    Assembler as("bad_framecfg");
+    as.li(x(5), 2000 | (5 << 16));  // 2000 words overflows a counter.
+    as.csrw(Csr::FrameCfg, x(5));
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::FrameBalance);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("10-bit counter"), std::string::npos);
+}
+
+TEST(VerifierRejects, MisalignedVload)
+{
+    Assembler as("misaligned_vload");
+    as.li(x(5), 6);  // Not word-aligned.
+    as.li(x(6), 0);
+    as.vload(x(5), x(6), 0, 4, VloadVariant::Self);
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::Vload);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("misaligned vload address 6"),
+              std::string::npos);
+}
+
+TEST(VerifierRejects, VloadWiderThanLine)
+{
+    Assembler as("wide_vload");
+    as.li(x(5), 64);
+    as.li(x(6), 0);
+    as.vload(x(5), x(6), 0, 32, VloadVariant::Self);  // 128 bytes.
+    as.halt();
+
+    Fixture f = verifyFixture(as);  // V4: 64-byte lines.
+    const Diagnostic *d = findDiag(f.rep, Check::Vload);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("exceeds the 64-byte cache line"),
+              std::string::npos);
+}
+
+TEST(VerifierAcceptsFixture, LongLinesAllowWideVload)
+{
+    Assembler as("ll_vload");
+    as.li(x(5), 64);
+    as.li(x(6), 0);
+    as.vload(x(5), x(6), 0, 32, VloadVariant::Self);
+    as.halt();
+
+    Fixture f = verifyFixture(as, "V16_LL");
+    EXPECT_EQ(findDiag(f.rep, Check::Vload), nullptr)
+        << f.rep.text(f.p);
+}
+
+TEST(VerifierRejects, VloadUnderPlainNV)
+{
+    Assembler as("nv_vload");
+    as.li(x(5), 64);
+    as.li(x(6), 0);
+    as.vload(x(5), x(6), 0, 4, VloadVariant::Self);
+    as.halt();
+
+    Fixture f = verifyFixture(as, "NV");
+    const Diagnostic *d = findDiag(f.rep, Check::Vload);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("no wide-access support"),
+              std::string::npos);
+}
+
+TEST(VerifierRejects, BranchUnderPredicate)
+{
+    Assembler as("pred_branch");
+    Label t = as.newLabel();
+    as.li(x(5), 1);
+    as.li(x(6), 2);
+    as.predEq(x(5), x(6));
+    as.beq(x(5), x(6), t);  // Squashed branch deadlocks the frontend.
+    as.bind(t);
+    as.predEq(x(0), x(0));
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::Predication);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("deadlocks the frontend"),
+              std::string::npos);
+}
+
+TEST(VerifierRejects, PredNeqOfRegisterWithItself)
+{
+    Assembler as("pred_neq_self");
+    as.predNeq(x(5), x(5));
+    as.predEq(x(0), x(0));
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::Predication);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("permanently false"), std::string::npos);
+}
+
+TEST(VerifierRejects, UseBeforeDefOnOnePath)
+{
+    Assembler as("use_before_def");
+    Label skip = as.newLabel();
+    Label join = as.newLabel();
+    as.li(x(7), 3);
+    as.beq(x(7), x(0), skip);
+    as.li(x(5), 1);
+    as.j(join);
+    as.bind(skip);
+    as.nop();
+    as.bind(join);
+    as.add(x(6), x(5), x(0));  // x5 undefined via the skip path.
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::UseBeforeDef);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("x5"), std::string::npos);
+    // The witness path must avoid the defining li and go via skip.
+    ASSERT_FALSE(d->path.empty());
+    for (int pc : d->path) {
+        const Instruction &inst = f.p.code[static_cast<size_t>(pc)];
+        EXPECT_NE(destReg(inst), static_cast<int>(x(5)))
+            << "witness path passes through the definition at " << pc;
+    }
+}
+
+TEST(VerifierRejects, FallsOffTheEnd)
+{
+    Assembler as("falls_off");
+    as.li(x(5), 1);  // No halt.
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::Cfg);
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("falls off the end"), std::string::npos);
+}
+
+TEST(VerifierRejects, CapsDiagnosticsAtConfiguredMaximum)
+{
+    Assembler as("many_errors");
+    for (int k = 0; k < 50; ++k)
+        as.remem();  // 50 unmatched remems (plus no-FrameCfg finding).
+    as.halt();
+
+    Program p = as.finish();
+    BenchConfig cfg = configByName("V4");
+    VerifierOptions opts;
+    opts.maxDiagnostics = 5;
+    VerifyReport rep = verifyProgram(p, cfg, machineFor(cfg), opts);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_EQ(rep.diagnostics.size(), 5u);
+}
+
+TEST(VerifierAcceptsFixture, WellFormedVectorFixture)
+{
+    // A hand-built program in the SpmdBuilder shape: configure
+    // frames, enter the region, issue a frame-consuming microthread,
+    // disband, halt; the microthread pairs frame_start with remem.
+    Assembler as("well_formed");
+    Label resume = as.newLabel();
+    Label mt = as.newLabel();
+    as.li(x(5), 16 | (5 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.li(x(6), 1024);
+    as.li(x(7), 0);
+    as.vload(x(6), x(7), 0, 4, VloadVariant::Group);
+    as.vissue(mt);
+    as.devec(resume);
+    as.bind(resume);
+    as.halt();
+    as.bind(mt);
+    as.frameStart(x(8));
+    as.lw(x(9), x(8), 0);
+    as.remem();
+    as.vend();
+
+    Fixture f = verifyFixture(as);
+    EXPECT_TRUE(f.rep.ok()) << f.rep.text(f.p);
+}
+
+// --- Report plumbing ---------------------------------------------------------
+
+TEST(VerifyReportText, NamesTheCheckAndDisassemblesTheInstruction)
+{
+    Assembler as("report_text");
+    Label mt = as.newLabel();
+    as.vissue(mt);
+    as.halt();
+    as.bind(mt);
+    as.vend();
+
+    Fixture f = verifyFixture(as);
+    ASSERT_FALSE(f.rep.ok());
+    std::string text = f.rep.text(f.p);
+    EXPECT_NE(text.find("report_text"), std::string::npos);
+    EXPECT_NE(text.find("[vector-region]"), std::string::npos);
+    EXPECT_NE(text.find("vissue"), std::string::npos);
+    EXPECT_EQ(std::string(checkName(Check::UseBeforeDef)),
+              "use-before-def");
+}
+
+TEST(RunnerGate, AcceptsAHealthyRun)
+{
+    // The on-by-default runner gate must not reject a healthy run.
+    RunOverrides ov;
+    ASSERT_TRUE(ov.verify);
+    RunResult r = runManycore("mvt", "V4", ov);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+// --- Program lookup diagnostics ----------------------------------------------
+
+TEST(ProgramDiagnostics, EntrySuggestsNearestSymbols)
+{
+    Program p;
+    p.name = "prog";
+    p.code.resize(4);
+    p.symbols = {{"alpha", 0}, {"beta", 2}};
+    try {
+        p.entry("alpa");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no symbol 'alpa'"), std::string::npos);
+        EXPECT_NE(msg.find("'alpha'"), std::string::npos);
+    }
+}
+
+TEST(ProgramDiagnostics, AtNamesTheNearestPrecedingSymbol)
+{
+    Program p;
+    p.name = "prog";
+    p.code.resize(4);
+    p.symbols = {{"alpha", 0}, {"beta", 2}};
+    try {
+        p.at(17);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("PC 17 out of range"), std::string::npos);
+        EXPECT_NE(msg.find("nearest preceding symbol 'beta'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("last instruction 3"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace rockcress
