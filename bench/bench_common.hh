@@ -1,17 +1,25 @@
 /**
  * @file
  * Shared helpers for the figure-regeneration binaries: suite
- * iteration, scaled-down run budgets, and failure reporting.
+ * iteration, sweep declaration over the parallel experiment engine
+ * (src/exp), and failure-propagating ratio cells.
+ *
+ * A figure binary declares every (bench, config, overrides) point it
+ * needs up front, runs them in one engine sweep — parallel across
+ * ROCKCRESS_JOBS workers, memoized in ROCKCRESS_CACHE_DIR — and then
+ * reads the results back by handle in deterministic point order.
  */
 
 #ifndef ROCKCRESS_BENCH_COMMON_HH
 #define ROCKCRESS_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "exp/engine.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -43,17 +51,94 @@ benchList()
     return out;
 }
 
-/** Run and loudly report verification failures (results still print). */
-inline RunResult
-runChecked(const std::string &bench, const std::string &config,
-           const RunOverrides &overrides = {})
+/**
+ * A declared batch of simulation points. Declare every point with
+ * add()/addGpu(), run() the batch once, then index results by the
+ * returned handles. Identical points collapse onto one simulation.
+ */
+class Sweep
 {
-    RunResult r = runManycore(bench, config, overrides);
-    if (!r.ok) {
-        std::cerr << "!! " << bench << "/" << config
-                  << " failed verification: " << r.error << "\n";
+  public:
+    using Id = std::size_t;
+
+    /** Declare a manycore point; @return its result handle. */
+    Id
+    add(const std::string &bench, const std::string &config,
+        const RunOverrides &overrides = {})
+    {
+        points_.push_back(RunPoint{bench, config, overrides});
+        return points_.size() - 1;
     }
-    return r;
+
+    /** Declare a GPU-model point. */
+    Id
+    addGpu(const std::string &bench)
+    {
+        points_.push_back(RunPoint{bench, "GPU", {}});
+        return points_.size() - 1;
+    }
+
+    /**
+     * Run every declared point on the engine. Verification failures
+     * are reported loudly on stderr (results still print as FAIL
+     * cells downstream).
+     */
+    void
+    run()
+    {
+        ExperimentEngine engine;
+        results_ = engine.sweep(points_);
+        for (const RunResult &r : results_) {
+            if (!r.ok)
+                std::cerr << "!! " << r.bench << "/" << r.config
+                          << " failed: " << r.error << "\n";
+        }
+    }
+
+    /** Result of a declared point (run() must have completed). */
+    const RunResult &
+    operator[](Id id) const
+    {
+        return results_.at(id);
+    }
+
+  private:
+    std::vector<RunPoint> points_;
+    std::vector<RunResult> results_;
+};
+
+/** Did the run complete with a nonzero cycle count? */
+inline bool
+usable(const RunResult &r)
+{
+    return r.ok && r.cycles > 0;
+}
+
+/**
+ * A relative-metric table cell that propagates failure: "FAIL" when
+ * either run failed or the ratio is degenerate, instead of inf/nan.
+ * Successful values are optionally accumulated for the mean row.
+ * @param ok Both runs completed (see usable()).
+ */
+inline std::string
+ratioCell(double num, double den, bool ok,
+          std::vector<double> *acc = nullptr)
+{
+    if (!ok || !(den > 0) || !std::isfinite(num / den))
+        return "FAIL";
+    double v = num / den;
+    if (acc)
+        acc->push_back(v);
+    return fmt(v);
+}
+
+/** Mean cell: "n/a" when every contributing point failed. */
+inline std::string
+meanCell(const std::vector<double> &values, bool geometric = true)
+{
+    if (values.empty())
+        return "n/a";
+    return fmt(geometric ? geomean(values) : amean(values));
 }
 
 } // namespace rockcress

@@ -23,51 +23,64 @@ main()
     Report energy("Figure 10c: Total on-chip energy relative to NV",
                   {"Benchmark", "NV", "NV_PF", "BEST_V"});
 
+    const std::vector<std::string> benches = benchList();
+
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id nv, pf, v4, v16;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "NV"), s.add(bench, "NV_PF"),
+                       s.add(bench, "V4"), s.add(bench, "V16")});
+    s.run();
+
     std::vector<double> sp_pf, sp_best, ic_pf, ic_best, en_pf, en_best;
 
-    for (const std::string &bench : benchList()) {
-        RunResult nv = runChecked(bench, "NV");
-        RunResult pf = runChecked(bench, "NV_PF");
-        RunResult v4 = runChecked(bench, "V4");
-        RunResult v16 = runChecked(bench, "V16");
-        const RunResult &best = betterOf(v4, v16);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const std::string &bench = benches[i];
+        const RunResult &nv = s[ids[i].nv];
+        const RunResult &pf = s[ids[i].pf];
+        const RunResult &best = betterOf(s[ids[i].v4], s[ids[i].v16]);
 
         double base = static_cast<double>(nv.cycles);
-        double s_pf = base / static_cast<double>(pf.cycles);
-        double s_best = base / static_cast<double>(best.cycles);
+        speed.row({bench, usable(nv) ? "1.00" : "FAIL",
+                   ratioCell(base, static_cast<double>(pf.cycles),
+                             usable(nv) && usable(pf), &sp_pf),
+                   ratioCell(base, static_cast<double>(best.cycles),
+                             usable(nv) && usable(best), &sp_best),
+                   best.config});
         double i_base = static_cast<double>(nv.icacheAccesses);
-        double i_pf = static_cast<double>(pf.icacheAccesses) / i_base;
-        double i_best =
-            static_cast<double>(best.icacheAccesses) / i_base;
-        double e_pf = pf.energyPj / nv.energyPj;
-        double e_best = best.energyPj / nv.energyPj;
-
-        speed.row({bench, "1.00", fmt(s_pf), fmt(s_best), best.config});
-        icache.row({bench, "1.00", fmt(i_pf), fmt(i_best)});
-        energy.row({bench, "1.00", fmt(e_pf), fmt(e_best)});
-
-        sp_pf.push_back(s_pf);
-        sp_best.push_back(s_best);
-        ic_pf.push_back(i_pf);
-        ic_best.push_back(i_best);
-        en_pf.push_back(e_pf);
-        en_best.push_back(e_best);
+        icache.row(
+            {bench, usable(nv) ? "1.00" : "FAIL",
+             ratioCell(static_cast<double>(pf.icacheAccesses), i_base,
+                       usable(nv) && usable(pf), &ic_pf),
+             ratioCell(static_cast<double>(best.icacheAccesses),
+                       i_base, usable(nv) && usable(best), &ic_best)});
+        energy.row({bench, usable(nv) ? "1.00" : "FAIL",
+                    ratioCell(pf.energyPj, nv.energyPj,
+                              usable(nv) && usable(pf), &en_pf),
+                    ratioCell(best.energyPj, nv.energyPj,
+                              usable(nv) && usable(best), &en_best)});
     }
 
-    speed.row({"GeoMean", "1.00", fmt(geomean(sp_pf)),
-               fmt(geomean(sp_best)), ""});
-    icache.row({"GeoMean", "1.00", fmt(geomean(ic_pf)),
-                fmt(geomean(ic_best))});
-    energy.row({"GeoMean", "1.00", fmt(geomean(en_pf)),
-                fmt(geomean(en_best))});
+    speed.row({"GeoMean", "1.00", meanCell(sp_pf), meanCell(sp_best),
+               ""});
+    icache.row({"GeoMean", "1.00", meanCell(ic_pf), meanCell(ic_best)});
+    energy.row({"GeoMean", "1.00", meanCell(en_pf), meanCell(en_best)});
 
     speed.print(std::cout);
     icache.print(std::cout);
     energy.print(std::cout);
 
-    std::cout << "\nHeadline: BEST_V speedup over NV_PF (paper: ~1.7x): "
-              << fmt(geomean(sp_best) / geomean(sp_pf)) << "x\n"
-              << "Headline: BEST_V energy vs NV_PF (paper: ~0.78x): "
-              << fmt(geomean(en_best) / geomean(en_pf)) << "x\n";
+    if (!sp_pf.empty() && !sp_best.empty() && !en_pf.empty() &&
+        !en_best.empty()) {
+        std::cout
+            << "\nHeadline: BEST_V speedup over NV_PF (paper: ~1.7x): "
+            << fmt(geomean(sp_best) / geomean(sp_pf)) << "x\n"
+            << "Headline: BEST_V energy vs NV_PF (paper: ~0.78x): "
+            << fmt(geomean(en_best) / geomean(en_pf)) << "x\n";
+    }
     return 0;
 }

@@ -33,23 +33,39 @@ main()
     Report t("Figure 11: NV_PF speedup vs a single core",
              {"Benchmark", "NV_PF_1", "NV_PF_4", "NV_PF_16",
               "NV_PF_64"});
+
+    const std::vector<std::string> benches = benchList();
+
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id r1, r4, r16, r64;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "NV_PF", sized(1, 1)),
+                       s.add(bench, "NV_PF", sized(2, 2)),
+                       s.add(bench, "NV_PF", sized(4, 4)),
+                       s.add(bench, "NV_PF", sized(8, 8))});
+    s.run();
+
     std::vector<double> g4, g16, g64;
-    for (const std::string &bench : benchList()) {
-        RunResult r1 = runChecked(bench, "NV_PF", sized(1, 1));
-        RunResult r4 = runChecked(bench, "NV_PF", sized(2, 2));
-        RunResult r16 = runChecked(bench, "NV_PF", sized(4, 4));
-        RunResult r64 = runChecked(bench, "NV_PF", sized(8, 8));
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const RunResult &r1 = s[ids[i].r1];
+        const RunResult &r4 = s[ids[i].r4];
+        const RunResult &r16 = s[ids[i].r16];
+        const RunResult &r64 = s[ids[i].r64];
         double base = static_cast<double>(r1.cycles);
-        double s4 = base / static_cast<double>(r4.cycles);
-        double s16 = base / static_cast<double>(r16.cycles);
-        double s64 = base / static_cast<double>(r64.cycles);
-        t.row({bench, "1.00", fmt(s4), fmt(s16), fmt(s64)});
-        g4.push_back(s4);
-        g16.push_back(s16);
-        g64.push_back(s64);
+        t.row({benches[i], usable(r1) ? "1.00" : "FAIL",
+               ratioCell(base, static_cast<double>(r4.cycles),
+                         usable(r1) && usable(r4), &g4),
+               ratioCell(base, static_cast<double>(r16.cycles),
+                         usable(r1) && usable(r16), &g16),
+               ratioCell(base, static_cast<double>(r64.cycles),
+                         usable(r1) && usable(r64), &g64)});
     }
-    t.row({"GeoMean", "1.00", fmt(geomean(g4)), fmt(geomean(g16)),
-           fmt(geomean(g64))});
+    t.row({"GeoMean", "1.00", meanCell(g4), meanCell(g16),
+           meanCell(g64)});
     t.print(std::cout);
     std::cout << "\nPaper shape: 2mm/3mm/gemm scale ~linearly; most "
                  "others go sub-linear past 16 cores (DRAM-bound).\n";

@@ -24,15 +24,20 @@ sized(int cols, int rows)
     return o;
 }
 
+/** One CPI-stack row; accumulates frame-stall and CPI components. */
 void
 stack(Report &t, const std::string &bench, const std::string &label,
-      const RunResult &r)
+      const RunResult &r, std::vector<double> &frame_acc,
+      std::vector<double> &cpi_acc)
 {
+    bool ok = usable(r) && r.issued > 0;
     double issued = static_cast<double>(r.issued);
-    t.row({bench, label, fmt(1.0),
-           fmt(static_cast<double>(r.stallFrame) / issued),
-           fmt(static_cast<double>(r.stallOther) / issued),
-           fmt(static_cast<double>(r.coreCycles) / issued)});
+    t.row({bench, label, ok ? "1.00" : "FAIL",
+           ratioCell(static_cast<double>(r.stallFrame), issued, ok,
+                     &frame_acc),
+           ratioCell(static_cast<double>(r.stallOther), issued, ok),
+           ratioCell(static_cast<double>(r.coreCycles), issued, ok,
+                     &cpi_acc)});
 }
 
 } // namespace
@@ -43,32 +48,33 @@ main()
     Report t("Figure 12: NV_PF CPI stacks by machine size",
              {"Benchmark", "Cores", "Issued", "Frame Stall",
               "Other Stall", "CPI"});
+
+    const std::vector<std::string> benches = benchList();
+
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id r1, r16, r64;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "NV_PF", sized(1, 1)),
+                       s.add(bench, "NV_PF", sized(4, 4)),
+                       s.add(bench, "NV_PF", sized(8, 8))});
+    s.run();
+
     std::vector<double> f1, f16, f64, c1, c16, c64;
-    for (const std::string &bench : benchList()) {
-        RunResult r1 = runChecked(bench, "NV_PF", sized(1, 1));
-        RunResult r16 = runChecked(bench, "NV_PF", sized(4, 4));
-        RunResult r64 = runChecked(bench, "NV_PF", sized(8, 8));
-        stack(t, bench, "1", r1);
-        stack(t, bench, "16", r16);
-        stack(t, bench, "64", r64);
-        f1.push_back(static_cast<double>(r1.stallFrame) /
-                     static_cast<double>(r1.issued));
-        f16.push_back(static_cast<double>(r16.stallFrame) /
-                      static_cast<double>(r16.issued));
-        f64.push_back(static_cast<double>(r64.stallFrame) /
-                      static_cast<double>(r64.issued));
-        c1.push_back(static_cast<double>(r1.coreCycles) /
-                     static_cast<double>(r1.issued));
-        c16.push_back(static_cast<double>(r16.coreCycles) /
-                      static_cast<double>(r16.issued));
-        c64.push_back(static_cast<double>(r64.coreCycles) /
-                      static_cast<double>(r64.issued));
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        stack(t, benches[i], "1", s[ids[i].r1], f1, c1);
+        stack(t, benches[i], "16", s[ids[i].r16], f16, c16);
+        stack(t, benches[i], "64", s[ids[i].r64], f64, c64);
     }
-    t.row({"ArithMean", "1", "1.00", fmt(amean(f1)), "-", fmt(amean(c1))});
-    t.row({"ArithMean", "16", "1.00", fmt(amean(f16)), "-",
-           fmt(amean(c16))});
-    t.row({"ArithMean", "64", "1.00", fmt(amean(f64)), "-",
-           fmt(amean(c64))});
+    t.row({"ArithMean", "1", "1.00", meanCell(f1, false), "-",
+           meanCell(c1, false)});
+    t.row({"ArithMean", "16", "1.00", meanCell(f16, false), "-",
+           meanCell(c16, false)});
+    t.row({"ArithMean", "64", "1.00", meanCell(f64, false), "-",
+           meanCell(c64, false)});
     t.print(std::cout);
     return 0;
 }

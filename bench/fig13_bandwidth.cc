@@ -19,39 +19,63 @@ main()
     Report t("Figure 13: CPI stacks vs DRAM bandwidth",
              {"Benchmark", "Config", "Issued", "Frame", "INET",
               "Other", "CPI"});
+
+    const std::vector<std::string> benches = benchList();
+
+    RunOverrides bw2;
+    bw2.dramBytesPerCycle = 32.0;
+
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id base, twox, v4;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "NV_PF"),
+                       s.add(bench, "NV_PF", bw2),
+                       s.add(bench, "V4")});
+    s.run();
+
     std::vector<double> cpi_b, cpi_2x, cpi_v4;
-    for (const std::string &bench : benchList()) {
-        RunResult base = runChecked(bench, "NV_PF");
-        RunOverrides bw2;
-        bw2.dramBytesPerCycle = 32.0;
-        RunResult twox = runChecked(bench, "NV_PF", bw2);
-        RunResult v4 = runChecked(bench, "V4");
-
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const std::string &bench = benches[i];
         auto mimd_row = [&](const std::string &label,
-                            const RunResult &r) {
+                            const RunResult &r,
+                            std::vector<double> &acc) {
+            bool ok = usable(r) && r.issued > 0;
             double issued = static_cast<double>(r.issued);
-            t.row({bench, label, "1.00",
-                   fmt(static_cast<double>(r.stallFrame) / issued),
+            t.row({bench, label, ok ? "1.00" : "FAIL",
+                   ratioCell(static_cast<double>(r.stallFrame),
+                             issued, ok),
                    "-",
-                   fmt(static_cast<double>(r.stallOther) / issued),
-                   fmt(static_cast<double>(r.coreCycles) / issued)});
-            return static_cast<double>(r.coreCycles) / issued;
+                   ratioCell(static_cast<double>(r.stallOther),
+                             issued, ok),
+                   ratioCell(static_cast<double>(r.coreCycles),
+                             issued, ok, &acc)});
         };
-        cpi_b.push_back(mimd_row("B", base));
-        cpi_2x.push_back(mimd_row("2X", twox));
+        mimd_row("B", s[ids[i].base], cpi_b);
+        mimd_row("2X", s[ids[i].twox], cpi_2x);
 
+        const RunResult &v4 = s[ids[i].v4];
+        bool ok = usable(v4) && v4.expIssued > 0;
         double issued = static_cast<double>(v4.expIssued);
-        double cpi = static_cast<double>(v4.expCycles) / issued;
-        t.row({bench, "V4", "1.00",
-               fmt(static_cast<double>(v4.expStallFrame) / issued),
-               fmt(static_cast<double>(v4.expStallInet) / issued),
-               fmt(static_cast<double>(v4.expStallOther) / issued),
-               fmt(cpi)});
-        cpi_v4.push_back(cpi);
+        t.row({bench, "V4", ok ? "1.00" : "FAIL",
+               ratioCell(static_cast<double>(v4.expStallFrame),
+                         issued, ok),
+               ratioCell(static_cast<double>(v4.expStallInet),
+                         issued, ok),
+               ratioCell(static_cast<double>(v4.expStallOther),
+                         issued, ok),
+               ratioCell(static_cast<double>(v4.expCycles), issued,
+                         ok, &cpi_v4)});
     }
-    t.row({"ArithMean", "B", "-", "-", "-", "-", fmt(amean(cpi_b))});
-    t.row({"ArithMean", "2X", "-", "-", "-", "-", fmt(amean(cpi_2x))});
-    t.row({"ArithMean", "V4", "-", "-", "-", "-", fmt(amean(cpi_v4))});
+    t.row({"ArithMean", "B", "-", "-", "-", "-",
+           meanCell(cpi_b, false)});
+    t.row({"ArithMean", "2X", "-", "-", "-", "-",
+           meanCell(cpi_2x, false)});
+    t.row({"ArithMean", "V4", "-", "-", "-", "-",
+           meanCell(cpi_v4, false)});
     t.print(std::cout);
     std::cout << "\nPaper shape: V4 at 16 GB/s beats several "
                  "benchmarks' NV_PF even at 32 GB/s — better use of "

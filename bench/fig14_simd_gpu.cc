@@ -25,63 +25,77 @@ main()
                   {"Benchmark", "NV_PF", "PCV_PF", "BEST_V",
                    "BEST_V_PCV"});
 
+    const std::vector<std::string> benches = benchList();
+
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id pf, pcv, v4, v16, v4pcv, v16pcv, gpu;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "NV_PF"), s.add(bench, "PCV_PF"),
+                       s.add(bench, "V4"), s.add(bench, "V16"),
+                       s.add(bench, "V4_PCV"),
+                       s.add(bench, "V16_PCV"), s.addGpu(bench)});
+    s.run();
+
     std::vector<double> s_pcv, s_best, s_bpcv, s_gpu;
     std::vector<double> i_pcv, i_best, i_bpcv;
     std::vector<double> e_pcv, e_best, e_bpcv;
 
-    for (const std::string &bench : benchList()) {
-        RunResult pf = runChecked(bench, "NV_PF");
-        RunResult pcv = runChecked(bench, "PCV_PF");
-        RunResult best =
-            betterOf(runChecked(bench, "V4"), runChecked(bench, "V16"));
-        RunResult bpcv = betterOf(runChecked(bench, "V4_PCV"),
-                                  runChecked(bench, "V16_PCV"));
-        RunResult gpu = runGpu(bench);
-        if (!gpu.ok)
-            std::cerr << "!! " << bench << "/GPU: " << gpu.error
-                      << "\n";
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const std::string &bench = benches[i];
+        const RunResult &pf = s[ids[i].pf];
+        const RunResult &pcv = s[ids[i].pcv];
+        const RunResult &best = betterOf(s[ids[i].v4], s[ids[i].v16]);
+        const RunResult &bpcv =
+            betterOf(s[ids[i].v4pcv], s[ids[i].v16pcv]);
+        const RunResult &gpu = s[ids[i].gpu];
 
         double base = static_cast<double>(pf.cycles);
-        double sp = base / static_cast<double>(pcv.cycles);
-        double sb = base / static_cast<double>(best.cycles);
-        double sv = base / static_cast<double>(bpcv.cycles);
-        double sg = base / static_cast<double>(gpu.cycles);
-        speed.row({bench, "1.00", fmt(sp), fmt(sb), fmt(sv), fmt(sg)});
-        s_pcv.push_back(sp);
-        s_best.push_back(sb);
-        s_bpcv.push_back(sv);
-        s_gpu.push_back(sg);
+        speed.row(
+            {bench, usable(pf) ? "1.00" : "FAIL",
+             ratioCell(base, static_cast<double>(pcv.cycles),
+                       usable(pf) && usable(pcv), &s_pcv),
+             ratioCell(base, static_cast<double>(best.cycles),
+                       usable(pf) && usable(best), &s_best),
+             ratioCell(base, static_cast<double>(bpcv.cycles),
+                       usable(pf) && usable(bpcv), &s_bpcv),
+             ratioCell(base, static_cast<double>(gpu.cycles),
+                       usable(pf) && usable(gpu), &s_gpu)});
 
         double ib = static_cast<double>(pf.icacheAccesses);
         icache.row(
-            {bench, "1.00",
-             fmt(static_cast<double>(pcv.icacheAccesses) / ib),
-             fmt(static_cast<double>(best.icacheAccesses) / ib),
-             fmt(static_cast<double>(bpcv.icacheAccesses) / ib)});
-        i_pcv.push_back(static_cast<double>(pcv.icacheAccesses) / ib);
-        i_best.push_back(static_cast<double>(best.icacheAccesses) / ib);
-        i_bpcv.push_back(static_cast<double>(bpcv.icacheAccesses) / ib);
+            {bench, usable(pf) ? "1.00" : "FAIL",
+             ratioCell(static_cast<double>(pcv.icacheAccesses), ib,
+                       usable(pf) && usable(pcv), &i_pcv),
+             ratioCell(static_cast<double>(best.icacheAccesses), ib,
+                       usable(pf) && usable(best), &i_best),
+             ratioCell(static_cast<double>(bpcv.icacheAccesses), ib,
+                       usable(pf) && usable(bpcv), &i_bpcv)});
 
-        energy.row({bench, "1.00", fmt(pcv.energyPj / pf.energyPj),
-                    fmt(best.energyPj / pf.energyPj),
-                    fmt(bpcv.energyPj / pf.energyPj)});
-        e_pcv.push_back(pcv.energyPj / pf.energyPj);
-        e_best.push_back(best.energyPj / pf.energyPj);
-        e_bpcv.push_back(bpcv.energyPj / pf.energyPj);
+        energy.row({bench, usable(pf) ? "1.00" : "FAIL",
+                    ratioCell(pcv.energyPj, pf.energyPj,
+                              usable(pf) && usable(pcv), &e_pcv),
+                    ratioCell(best.energyPj, pf.energyPj,
+                              usable(pf) && usable(best), &e_best),
+                    ratioCell(bpcv.energyPj, pf.energyPj,
+                              usable(pf) && usable(bpcv), &e_bpcv)});
     }
 
-    speed.row({"GeoMean", "1.00", fmt(geomean(s_pcv)),
-               fmt(geomean(s_best)), fmt(geomean(s_bpcv)),
-               fmt(geomean(s_gpu))});
-    icache.row({"GeoMean", "1.00", fmt(geomean(i_pcv)),
-                fmt(geomean(i_best)), fmt(geomean(i_bpcv))});
-    energy.row({"GeoMean", "1.00", fmt(geomean(e_pcv)),
-                fmt(geomean(e_best)), fmt(geomean(e_bpcv))});
+    speed.row({"GeoMean", "1.00", meanCell(s_pcv), meanCell(s_best),
+               meanCell(s_bpcv), meanCell(s_gpu)});
+    icache.row({"GeoMean", "1.00", meanCell(i_pcv), meanCell(i_best),
+                meanCell(i_bpcv)});
+    energy.row({"GeoMean", "1.00", meanCell(e_pcv), meanCell(e_best),
+                meanCell(e_bpcv)});
     speed.print(std::cout);
     icache.print(std::cout);
     energy.print(std::cout);
 
-    std::cout << "\nHeadline: Rockcress vs GPU (paper: ~1.9x): "
-              << fmt(geomean(s_best) / geomean(s_gpu)) << "x\n";
+    if (!s_best.empty() && !s_gpu.empty())
+        std::cout << "\nHeadline: Rockcress vs GPU (paper: ~1.9x): "
+                  << fmt(geomean(s_best) / geomean(s_gpu)) << "x\n";
     return 0;
 }

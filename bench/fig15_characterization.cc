@@ -21,20 +21,24 @@ const std::vector<std::string> hopBenches = {"2dconv", "3dconv", "bicg",
 void
 hopReport(const std::string &title,
           std::map<int, std::uint64_t> RunResult::*field,
-          const std::string &config, std::ostream &os)
+          const std::string &config, const Sweep &s,
+          const std::vector<Sweep::Id> &ids, std::ostream &os)
 {
     int hops = config == "V4" ? 3 : 7;
     std::vector<std::string> cols = {"Benchmark"};
     for (int h = 1; h <= hops; ++h)
         cols.push_back("hop" + std::to_string(h));
     Report t(title, cols);
-    for (const std::string &bench : hopBenches) {
-        RunResult r = runChecked(bench, config);
-        std::vector<std::string> row = {bench};
+    for (std::size_t i = 0; i < hopBenches.size(); ++i) {
+        RunResult r = s[ids[i]];
+        std::vector<std::string> row = {hopBenches[i]};
         for (int h = 1; h <= hops; ++h) {
             double cyc = static_cast<double>(r.hopCycles[h]);
             double stalls = static_cast<double>((r.*field)[h]);
-            row.push_back(cyc > 0 ? fmt(stalls / cyc) : "-");
+            if (!usable(r))
+                row.push_back("FAIL");
+            else
+                row.push_back(cyc > 0 ? fmt(stalls / cyc) : "-");
         }
         t.row(row);
     }
@@ -46,33 +50,58 @@ hopReport(const std::string &title,
 int
 main()
 {
+    const std::vector<std::string> benches = benchList();
+
+    Sweep s;
+    std::vector<Sweep::Id> hopV4, hopV16;
+    for (const std::string &bench : hopBenches) {
+        hopV4.push_back(s.add(bench, "V4"));
+        hopV16.push_back(s.add(bench, "V16"));
+    }
+    struct Ids
+    {
+        Sweep::Id pf, v4;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "NV_PF"), s.add(bench, "V4")});
+    s.run();
+
     hopReport("Figure 15a: Input inet stalls per hop (V4)",
-              &RunResult::hopInetStalls, "V4", std::cout);
+              &RunResult::hopInetStalls, "V4", s, hopV4, std::cout);
     hopReport("Figure 15a: Input inet stalls per hop (V16)",
-              &RunResult::hopInetStalls, "V16", std::cout);
+              &RunResult::hopInetStalls, "V16", s, hopV16, std::cout);
     hopReport("Figure 15b: Backpressure stalls per hop (V4)",
-              &RunResult::hopBackpressure, "V4", std::cout);
+              &RunResult::hopBackpressure, "V4", s, hopV4, std::cout);
     hopReport("Figure 15b: Backpressure stalls per hop (V16)",
-              &RunResult::hopBackpressure, "V16", std::cout);
+              &RunResult::hopBackpressure, "V16", s, hopV16,
+              std::cout);
 
     Report t("Figure 15c: Fraction of cycles waiting for a frame",
              {"Benchmark", "NV_PF", "V4"});
     std::vector<double> a_pf, a_v4;
-    for (const std::string &bench : benchList()) {
-        RunResult pf = runChecked(bench, "NV_PF");
-        RunResult v4 = runChecked(bench, "V4");
-        double frac_pf = static_cast<double>(pf.stallFrame) /
-                         static_cast<double>(pf.coreCycles);
-        double frac_v4 =
-            v4.vectorCycles == 0
-                ? 0.0
-                : static_cast<double>(v4.frameStallVector) /
-                      static_cast<double>(v4.vectorCycles);
-        t.row({bench, fmt(frac_pf), fmt(frac_v4)});
-        a_pf.push_back(frac_pf);
-        a_v4.push_back(frac_v4);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const RunResult &pf = s[ids[i].pf];
+        const RunResult &v4 = s[ids[i].v4];
+        std::string pf_cell =
+            ratioCell(static_cast<double>(pf.stallFrame),
+                      static_cast<double>(pf.coreCycles), usable(pf),
+                      &a_pf);
+        std::string v4_cell;
+        if (!usable(v4)) {
+            v4_cell = "FAIL";
+        } else if (v4.vectorCycles == 0) {
+            a_v4.push_back(0.0);
+            v4_cell = fmt(0.0);
+        } else {
+            v4_cell =
+                ratioCell(static_cast<double>(v4.frameStallVector),
+                          static_cast<double>(v4.vectorCycles), true,
+                          &a_v4);
+        }
+        t.row({benches[i], pf_cell, v4_cell});
     }
-    t.row({"ArithMean", fmt(amean(a_pf)), fmt(amean(a_v4))});
+    t.row({"ArithMean", meanCell(a_pf, false), meanCell(a_v4, false)});
     t.print(std::cout);
     std::cout << "\nPaper shape: V4 roughly halves frame-wait stalls "
                  "vs NV_PF; inet stalls plateau after hop 2 (scalar "

@@ -16,23 +16,38 @@ main()
 {
     Report t("Figure 16: Speedup relative to V4",
              {"Benchmark", "V4", "V4_LL_PCV", "V16", "V16_LL_PCV"});
+
+    const std::vector<std::string> benches = benchList();
+
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id v4, v4ll, v16, v16ll;
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches)
+        ids.push_back({s.add(bench, "V4"), s.add(bench, "V4_LL_PCV"),
+                       s.add(bench, "V16"),
+                       s.add(bench, "V16_LL_PCV")});
+    s.run();
+
     std::vector<double> g_llpcv, g_v16, g_16ll;
-    for (const std::string &bench : benchList()) {
-        RunResult v4 = runChecked(bench, "V4");
-        RunResult v4ll = runChecked(bench, "V4_LL_PCV");
-        RunResult v16 = runChecked(bench, "V16");
-        RunResult v16ll = runChecked(bench, "V16_LL_PCV");
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const RunResult &v4 = s[ids[i].v4];
+        const RunResult &v4ll = s[ids[i].v4ll];
+        const RunResult &v16 = s[ids[i].v16];
+        const RunResult &v16ll = s[ids[i].v16ll];
         double base = static_cast<double>(v4.cycles);
-        double a = base / static_cast<double>(v4ll.cycles);
-        double b = base / static_cast<double>(v16.cycles);
-        double c = base / static_cast<double>(v16ll.cycles);
-        t.row({bench, "1.00", fmt(a), fmt(b), fmt(c)});
-        g_llpcv.push_back(a);
-        g_v16.push_back(b);
-        g_16ll.push_back(c);
+        t.row({benches[i], usable(v4) ? "1.00" : "FAIL",
+               ratioCell(base, static_cast<double>(v4ll.cycles),
+                         usable(v4) && usable(v4ll), &g_llpcv),
+               ratioCell(base, static_cast<double>(v16.cycles),
+                         usable(v4) && usable(v16), &g_v16),
+               ratioCell(base, static_cast<double>(v16ll.cycles),
+                         usable(v4) && usable(v16ll), &g_16ll)});
     }
-    t.row({"GeoMean", "1.00", fmt(geomean(g_llpcv)),
-           fmt(geomean(g_v16)), fmt(geomean(g_16ll))});
+    t.row({"GeoMean", "1.00", meanCell(g_llpcv), meanCell(g_v16),
+           meanCell(g_16ll)});
     t.print(std::cout);
     std::cout << "\nPaper shape: V16 wins on the group-load benchmarks "
                  "(atax, bicg, mvt); V4 is the better geomean alone.\n";

@@ -16,17 +16,61 @@ using namespace rockcress;
 int
 main()
 {
+    const std::vector<std::string> benches = benchList();
+
+    RunOverrides s16, s32;
+    s16.llcBankBytes = 16 * 1024;
+    s32.llcBankBytes = 32 * 1024;
+    RunOverrides w1, w4;
+    w1.nocWidthWords = 1;
+    w4.nocWidthWords = 4;
+
+    // All three panels in one engine sweep; identical points (the
+    // defaults overlap with the 16 kB / width-4 sweeps) simulate once.
+    Sweep s;
+    struct Ids
+    {
+        Sweep::Id nv, pf, v4, v16, ll;            // (a)
+        Sweep::Id pf16, pf32, v416, v432, ll16, ll32; // (b)
+        Sweep::Id pf1, pf4, v41, v44, ll1, ll4;   // (c)
+    };
+    std::vector<Ids> ids;
+    for (const std::string &bench : benches) {
+        Ids e;
+        e.nv = s.add(bench, "NV");
+        e.pf = s.add(bench, "NV_PF");
+        e.v4 = s.add(bench, "V4");
+        e.v16 = s.add(bench, "V16");
+        e.ll = s.add(bench, "V16_LL");
+        e.pf16 = s.add(bench, "NV_PF", s16);
+        e.pf32 = s.add(bench, "NV_PF", s32);
+        e.v416 = s.add(bench, "V4", s16);
+        e.v432 = s.add(bench, "V4", s32);
+        e.ll16 = s.add(bench, "V16_LL", s16);
+        e.ll32 = s.add(bench, "V16_LL", s32);
+        e.pf1 = s.add(bench, "NV_PF", w1);
+        e.pf4 = s.add(bench, "NV_PF", w4);
+        e.v41 = s.add(bench, "V4", w1);
+        e.v44 = s.add(bench, "V4", w4);
+        e.ll1 = s.add(bench, "V16_LL", w1);
+        e.ll4 = s.add(bench, "V16_LL", w4);
+        ids.push_back(e);
+    }
+    s.run();
+
     // (a) Miss rates.
     Report a("Figure 17a: LLC miss rate",
              {"Benchmark", "NV", "NV_PF", "BEST_V", "V16_LL"});
-    for (const std::string &bench : benchList()) {
-        RunResult nv = runChecked(bench, "NV");
-        RunResult pf = runChecked(bench, "NV_PF");
-        RunResult best =
-            betterOf(runChecked(bench, "V4"), runChecked(bench, "V16"));
-        RunResult ll = runChecked(bench, "V16_LL");
-        a.row({bench, fmt(nv.llcMissRate), fmt(pf.llcMissRate),
-               fmt(best.llcMissRate), fmt(ll.llcMissRate)});
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const RunResult &nv = s[ids[i].nv];
+        const RunResult &pf = s[ids[i].pf];
+        const RunResult &best = betterOf(s[ids[i].v4], s[ids[i].v16]);
+        const RunResult &ll = s[ids[i].ll];
+        auto cell = [](const RunResult &r) {
+            return usable(r) ? fmt(r.llcMissRate)
+                             : std::string("FAIL");
+        };
+        a.row({benches[i], cell(nv), cell(pf), cell(best), cell(ll)});
     }
     a.print(std::cout);
 
@@ -35,22 +79,18 @@ main()
              "(relative to NV_PF_32kB)",
              {"Benchmark", "NV_PF_16kB", "NV_PF_32kB", "V4_16kB",
               "V4_32kB", "V16_LL_16kB", "V16_LL_32kB"});
-    for (const std::string &bench : benchList()) {
-        RunOverrides s16, s32;
-        s16.llcBankBytes = 16 * 1024;
-        s32.llcBankBytes = 32 * 1024;
-        RunResult pf16 = runChecked(bench, "NV_PF", s16);
-        RunResult pf32 = runChecked(bench, "NV_PF", s32);
-        RunResult v416 = runChecked(bench, "V4", s16);
-        RunResult v432 = runChecked(bench, "V4", s32);
-        RunResult ll16 = runChecked(bench, "V16_LL", s16);
-        RunResult ll32 = runChecked(bench, "V16_LL", s32);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const RunResult &pf32 = s[ids[i].pf32];
         double base = static_cast<double>(pf32.cycles);
-        b.row({bench, fmt(base / static_cast<double>(pf16.cycles)),
-               "1.00", fmt(base / static_cast<double>(v416.cycles)),
-               fmt(base / static_cast<double>(v432.cycles)),
-               fmt(base / static_cast<double>(ll16.cycles)),
-               fmt(base / static_cast<double>(ll32.cycles))});
+        auto cell = [&](Sweep::Id id) {
+            const RunResult &r = s[id];
+            return ratioCell(base, static_cast<double>(r.cycles),
+                             usable(pf32) && usable(r));
+        };
+        b.row({benches[i], cell(ids[i].pf16),
+               usable(pf32) ? "1.00" : "FAIL", cell(ids[i].v416),
+               cell(ids[i].v432), cell(ids[i].ll16),
+               cell(ids[i].ll32)});
     }
     b.print(std::cout);
 
@@ -59,23 +99,17 @@ main()
              "(relative to NV_PF_NW1)",
              {"Benchmark", "NV_PF_NW1", "NV_PF_NW4", "V4_NW1",
               "V4_NW4", "V16_LL_NW1", "V16_LL_NW4"});
-    for (const std::string &bench : benchList()) {
-        RunOverrides w1, w4;
-        w1.nocWidthWords = 1;
-        w4.nocWidthWords = 4;
-        RunResult pf1 = runChecked(bench, "NV_PF", w1);
-        RunResult pf4 = runChecked(bench, "NV_PF", w4);
-        RunResult v41 = runChecked(bench, "V4", w1);
-        RunResult v44 = runChecked(bench, "V4", w4);
-        RunResult ll1 = runChecked(bench, "V16_LL", w1);
-        RunResult ll4 = runChecked(bench, "V16_LL", w4);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const RunResult &pf1 = s[ids[i].pf1];
         double base = static_cast<double>(pf1.cycles);
-        c.row({bench, "1.00",
-               fmt(base / static_cast<double>(pf4.cycles)),
-               fmt(base / static_cast<double>(v41.cycles)),
-               fmt(base / static_cast<double>(v44.cycles)),
-               fmt(base / static_cast<double>(ll1.cycles)),
-               fmt(base / static_cast<double>(ll4.cycles))});
+        auto cell = [&](Sweep::Id id) {
+            const RunResult &r = s[id];
+            return ratioCell(base, static_cast<double>(r.cycles),
+                             usable(pf1) && usable(r));
+        };
+        c.row({benches[i], usable(pf1) ? "1.00" : "FAIL",
+               cell(ids[i].pf4), cell(ids[i].v41), cell(ids[i].v44),
+               cell(ids[i].ll1), cell(ids[i].ll4)});
     }
     c.print(std::cout);
     std::cout << "\nPaper shape: group loads improve hit rates on "

@@ -15,19 +15,28 @@ using namespace rockcress;
 int
 main()
 {
-    RunResult nv = runChecked("bfs", "NV");
-    RunResult v4 = runChecked("bfs", "V4");
-    RunResult v16 = runChecked("bfs", "V16");
+    Sweep s;
+    Sweep::Id nv_id = s.add("bfs", "NV");
+    Sweep::Id v4_id = s.add("bfs", "V4");
+    Sweep::Id v16_id = s.add("bfs", "V16");
+    s.run();
+
+    const RunResult &nv = s[nv_id];
+    const RunResult &v4 = s[v4_id];
+    const RunResult &v16 = s[v16_id];
 
     Report t("Section 6.6: bfs (irregular) cycles",
              {"Config", "Cycles", "NV speedup over it"});
-    t.row({"NV", std::to_string(nv.cycles), "1.00"});
+    t.row({"NV", std::to_string(nv.cycles),
+           usable(nv) ? "1.00" : "FAIL"});
     t.row({"V4", std::to_string(v4.cycles),
-           fmt(static_cast<double>(v4.cycles) /
-               static_cast<double>(nv.cycles))});
+           ratioCell(static_cast<double>(v4.cycles),
+                     static_cast<double>(nv.cycles),
+                     usable(nv) && usable(v4))});
     t.row({"V16", std::to_string(v16.cycles),
-           fmt(static_cast<double>(v16.cycles) /
-               static_cast<double>(nv.cycles))});
+           ratioCell(static_cast<double>(v16.cycles),
+                     static_cast<double>(nv.cycles),
+                     usable(nv) && usable(v16))});
     t.print(std::cout);
     std::cout << "\nPaper shape: NV ~2.9x faster than the vector "
                  "configurations; Rockcress handles this by simply "

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Smoke-test the parallel experiment engine end to end through a real
+# figure binary: run fig16_vector_configs twice against a fresh cache
+# (cold, then warm) with a small ROCKCRESS_BENCHES subset and 2 jobs,
+# and assert that
+#   - the cold run actually simulates (simulated > 0, hits == 0),
+#   - the warm run is 100% cache hits (simulated == 0, hits == jobs),
+#   - both runs print byte-identical report tables.
+# If a TSan build (build-tsan/, or $ROCKCRESS_TSAN_BUILD) has the
+# test_exp binary, the 8-thread determinism test also runs under TSan.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bin="$build_dir/bench/fig16_vector_configs"
+if [[ ! -x "$bin" ]]; then
+    echo "bench_smoke: $bin not built" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+export ROCKCRESS_BENCHES="${ROCKCRESS_BENCHES:-atax}"
+export ROCKCRESS_JOBS=2
+export ROCKCRESS_CACHE_DIR="$workdir/cache"
+
+# The engine prints one summary line per sweep:
+#   [exp] sweep done: N jobs, D duplicates, H cache hits, S simulated, ...
+sweep_field() { # <stderr-file> <field-name>
+    grep '\[exp\] sweep done:' "$1" | sed -E \
+        "s/.* ([0-9]+) $2.*/\1/"
+}
+
+echo "bench_smoke: cold run (cache at $ROCKCRESS_CACHE_DIR)" >&2
+"$bin" > "$workdir/cold.out" 2> "$workdir/cold.err"
+cold_jobs=$(sweep_field "$workdir/cold.err" "jobs,")
+cold_hits=$(sweep_field "$workdir/cold.err" "cache hits,")
+cold_sim=$(sweep_field "$workdir/cold.err" "simulated,")
+
+echo "bench_smoke: warm run" >&2
+"$bin" > "$workdir/warm.out" 2> "$workdir/warm.err"
+warm_jobs=$(sweep_field "$workdir/warm.err" "jobs,")
+warm_hits=$(sweep_field "$workdir/warm.err" "cache hits,")
+warm_sim=$(sweep_field "$workdir/warm.err" "simulated,")
+
+echo "bench_smoke: cold jobs=$cold_jobs hits=$cold_hits" \
+     "simulated=$cold_sim; warm jobs=$warm_jobs hits=$warm_hits" \
+     "simulated=$warm_sim" >&2
+
+fail=0
+if [[ "$cold_sim" -eq 0 || "$cold_hits" -ne 0 ]]; then
+    echo "bench_smoke: FAIL: cold run should simulate everything" >&2
+    fail=1
+fi
+if [[ "$warm_sim" -ne 0 ]]; then
+    echo "bench_smoke: FAIL: warm run simulated $warm_sim jobs" >&2
+    fail=1
+fi
+if [[ "$warm_hits" -ne "$warm_jobs" ]]; then
+    echo "bench_smoke: FAIL: warm run hit $warm_hits of $warm_jobs" >&2
+    fail=1
+fi
+if ! diff -u "$workdir/cold.out" "$workdir/warm.out" >&2; then
+    echo "bench_smoke: FAIL: cold and warm stdout differ" >&2
+    fail=1
+fi
+[[ "$fail" -eq 0 ]] || exit 1
+echo "bench_smoke: engine OK (warm run: 100% cache hits)" >&2
+
+# Optional: re-run the 8-thread determinism test under TSan if a
+# thread-sanitized build exists next to this one.
+tsan_dir="${ROCKCRESS_TSAN_BUILD:-$(dirname "$build_dir")/build-tsan}"
+tsan_test="$tsan_dir/tests/test_exp"
+if [[ -x "$tsan_test" ]]; then
+    echo "bench_smoke: running determinism test under TSan" >&2
+    "$tsan_test" \
+        --gtest_filter='Engine.EightThreadSweepMatchesSerialBitIdentically:Pool.*' \
+        >&2
+    echo "bench_smoke: TSan determinism test OK" >&2
+else
+    echo "bench_smoke: no TSan build at $tsan_dir (skipping;" \
+         "configure with -DENABLE_SANITIZERS=thread to enable)" >&2
+fi
+echo "bench_smoke: PASS" >&2

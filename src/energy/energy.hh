@@ -59,6 +59,8 @@ struct EnergyBreakdown
         return fetch + pipeline + functional + memOps + spad + llc +
                inet + noc;
     }
+
+    bool operator==(const EnergyBreakdown &) const = default;
 };
 
 /**

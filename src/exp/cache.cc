@@ -1,0 +1,88 @@
+#include "exp/cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/result_io.hh"
+#include "sim/log.hh"
+
+namespace fs = std::filesystem;
+
+namespace rockcress
+{
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::entryPath(const std::string &keyHex) const
+{
+    return dir_ + "/" + keyHex + ".json";
+}
+
+bool
+ResultCache::load(const std::string &keyHex, RunResult &out) const
+{
+    if (!enabled() || keyHex.empty())
+        return false;
+    std::ifstream in(entryPath(keyHex));
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Json j;
+    if (!Json::parse(text.str(), j) || !j.isObj())
+        return false;
+    if (!j.has("version") ||
+        j.at("version").kind() != Json::Kind::Uint ||
+        j.at("version").asU64() != version)
+        return false;
+    if (!j.has("key") || j.at("key").kind() != Json::Kind::Str ||
+        j.at("key").asStr() != keyHex)
+        return false;
+    if (!j.has("result") || !resultFromJson(j.at("result"), out))
+        return false;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &keyHex, const RunResult &r) const
+{
+    if (!enabled() || keyHex.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        warn("exp cache: cannot create ", dir_, ": ", ec.message());
+        return;
+    }
+
+    Json j = Json::object();
+    j["version"] = Json(version);
+    j["key"] = Json(keyHex);
+    j["result"] = resultToJson(r);
+
+    // Write-then-rename so a concurrent or interrupted writer never
+    // leaves a half-written entry under the final name.
+    std::string tmp = entryPath(keyHex) + ".tmp." +
+                      std::to_string(::getpid());
+    {
+        std::ofstream outf(tmp, std::ios::trunc);
+        if (!outf) {
+            warn("exp cache: cannot write ", tmp);
+            return;
+        }
+        outf << j.dump() << "\n";
+    }
+    fs::rename(tmp, entryPath(keyHex), ec);
+    if (ec) {
+        warn("exp cache: rename failed: ", ec.message());
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace rockcress

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache. Entries are JSON run
+ * artifacts named by the SHA-256 of everything that determines the
+ * run (see ExperimentEngine::cacheKey); an entry carries its format
+ * version and its own key, and any mismatch, truncation, or parse
+ * failure is a miss — a damaged entry is re-simulated, never trusted.
+ */
+
+#ifndef ROCKCRESS_EXP_CACHE_HH
+#define ROCKCRESS_EXP_CACHE_HH
+
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace rockcress
+{
+
+/** Result cache rooted at a directory; empty directory = disabled. */
+class ResultCache
+{
+  public:
+    /** On-disk format version; bump on any RunResult schema change. */
+    static constexpr std::uint64_t version = 1;
+
+    /**
+     * @param dir Cache directory (created on first store). Empty
+     *            disables the cache entirely.
+     */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /**
+     * Look up a result by key.
+     * @return true on a valid hit; false on miss or a corrupt,
+     *         truncated, or mismatched entry.
+     */
+    bool load(const std::string &keyHex, RunResult &out) const;
+
+    /** Store a result (atomic write-then-rename; best-effort). */
+    void store(const std::string &keyHex, const RunResult &r) const;
+
+    /** The path an entry would live at (for tests). */
+    std::string entryPath(const std::string &keyHex) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_EXP_CACHE_HH

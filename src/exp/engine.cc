@@ -1,0 +1,263 @@
+#include "exp/engine.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "exp/hash.hh"
+#include "exp/pool.hh"
+#include "exp/result_io.hh"
+#include "gpu/gpu.hh"
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+int
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("ROCKCRESS_JOBS")) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+        warn("exp: ignoring ROCKCRESS_JOBS='", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::string
+cacheDirFromEnv()
+{
+    const char *env = std::getenv("ROCKCRESS_CACHE_DIR");
+    return env ? std::string(env) : std::string();
+}
+
+bool
+auditDefault()
+{
+    if (const char *env = std::getenv("ROCKCRESS_AUDIT"))
+        return std::atoi(env) != 0;
+#ifndef NDEBUG
+    return true;
+#else
+    return false;
+#endif
+}
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+/** Absorb an assembled program: instruction words + entry points. */
+void
+hashProgram(Sha256 &h, const Program &program)
+{
+    h.updateU64(static_cast<std::uint64_t>(program.size()));
+    for (const Instruction &inst : program.code) {
+        Encoded e = encode(inst);
+        h.updateU64(e.w0);
+        h.updateU64(e.w1);
+        h.updateU64(e.w2);
+    }
+    for (const auto &[symbol, pc] : program.symbols) {
+        h.update(symbol);
+        h.update("\0", 1);
+        h.updateU64(static_cast<std::uint64_t>(pc));
+    }
+}
+
+} // namespace
+
+ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
+
+ExperimentEngine::ExperimentEngine(Options opts)
+    : jobs_(opts.jobs >= 1 ? opts.jobs : jobsFromEnv()),
+      cache_(opts.cacheDir.empty() ? cacheDirFromEnv()
+                                   : opts.cacheDir),
+      progress_(opts.progress),
+      audit_(opts.audit < 0 ? auditDefault() : opts.audit != 0)
+{
+}
+
+RunResult
+ExperimentEngine::runPoint(const RunPoint &point)
+{
+    if (point.isGpu())
+        return runGpu(point.bench);
+    return runManycore(point.bench, point.config, point.overrides);
+}
+
+std::string
+ExperimentEngine::cacheKey(const RunPoint &point)
+{
+    Sha256 h;
+    h.update("rockcress-exp-cache-v1\n");
+    h.update(point.bench);
+    h.update("\0", 1);
+    h.update(point.config);
+    h.update("\0", 1);
+    h.update(overridesToJson(point.overrides).dump());
+
+    try {
+        auto benchmark = makeBenchmark(point.bench);
+        if (point.isGpu()) {
+            GpuMachine gpu;
+            Heap heap(GpuParams{}.heapBytes);
+            benchmark->setup(gpu.mem(), heap);
+            GpuProgram program = benchmark->gpuProgram();
+            h.updateU64(program.dispatches.size());
+            for (const GpuKernelSpec &spec : program.dispatches) {
+                h.updateU64(static_cast<std::uint64_t>(spec.threads));
+                // Assemble exactly as GpuMachine::runDispatch does.
+                Assembler as("gpu_dispatch");
+                spec.emit(as);
+                as.halt();
+                hashProgram(h, as.finish());
+            }
+        } else {
+            BenchConfig cfg = configByName(point.config);
+            MachineParams params = machineFor(
+                cfg, point.overrides.cols, point.overrides.rows);
+            params.dramBytesPerCycle =
+                point.overrides.dramBytesPerCycle;
+            params.llcTotalBytes =
+                point.overrides.llcBankBytes *
+                static_cast<Addr>(params.numBanks());
+            params.nocWidthWords = point.overrides.nocWidthWords;
+            Machine machine(params);
+            auto program = benchmark->prepare(machine, cfg);
+            hashProgram(h, *program);
+        }
+    } catch (const std::exception &) {
+        // Unassemblable point: bypass the cache, let the simulation
+        // path produce the error result.
+        return std::string();
+    }
+    return h.hex();
+}
+
+std::vector<RunResult>
+ExperimentEngine::sweep(const std::vector<RunPoint> &points)
+{
+    auto sweepStart = std::chrono::steady_clock::now();
+    std::size_t n = points.size();
+    std::vector<RunResult> results(n);
+
+    // Collapse duplicate points: cross-figure duplicates are caught
+    // by the on-disk cache, intra-sweep duplicates right here.
+    std::vector<std::size_t> canonical(n);
+    std::vector<std::size_t> unique;
+    for (std::size_t i = 0; i < n; ++i) {
+        canonical[i] = i;
+        for (std::size_t u : unique) {
+            if (points[u] == points[i]) {
+                canonical[i] = u;
+                break;
+            }
+        }
+        if (canonical[i] == i)
+            unique.push_back(i);
+    }
+
+    SweepStats stats;
+    stats.jobs = static_cast<int>(unique.size());
+    stats.duplicates = static_cast<int>(n - unique.size());
+
+    std::mutex progressMutex;
+    int done = 0;
+    double wallSum = 0;
+
+    {
+        ThreadPool pool(jobs_);
+        for (std::size_t u : unique) {
+            pool.submit([&, u] {
+                auto t0 = std::chrono::steady_clock::now();
+                const RunPoint &point = points[u];
+                bool hit = false;
+                RunResult r;
+                std::string key;
+                try {
+                    if (cache_.enabled())
+                        key = cacheKey(point);
+                    hit = cache_.load(key, r);
+                    if (!hit) {
+                        r = runPoint(point);
+                        if (r.ok)
+                            cache_.store(key, r);
+                    }
+                } catch (const std::exception &e) {
+                    r.bench = point.bench;
+                    r.config = point.config;
+                    r.ok = false;
+                    r.error = e.what();
+                }
+                results[u] = std::move(r);
+                double wall =
+                    seconds(std::chrono::steady_clock::now() - t0);
+
+                std::lock_guard<std::mutex> lock(progressMutex);
+                ++done;
+                if (hit)
+                    ++stats.cacheHits;
+                else
+                    ++stats.simulated;
+                wallSum += wall;
+                if (progress_) {
+                    double avg = wallSum / done;
+                    double eta = avg *
+                                 static_cast<double>(stats.jobs - done) /
+                                 static_cast<double>(jobs_);
+                    std::fprintf(stderr,
+                                 "[exp] %d/%d %s/%s %.2fs%s "
+                                 "(hits %d) eta %.0fs\n",
+                                 done, stats.jobs, point.bench.c_str(),
+                                 point.config.c_str(), wall,
+                                 hit ? " [cached]" : "",
+                                 stats.cacheHits, eta);
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        if (canonical[i] != i)
+            results[i] = results[canonical[i]];
+
+    stats.wallSeconds =
+        seconds(std::chrono::steady_clock::now() - sweepStart);
+    last_ = stats;
+    if (progress_) {
+        std::fprintf(stderr,
+                     "[exp] sweep done: %d jobs, %d duplicates, "
+                     "%d cache hits, %d simulated, wall %.2fs\n",
+                     stats.jobs, stats.duplicates, stats.cacheHits,
+                     stats.simulated, stats.wallSeconds);
+    }
+
+    // Determinism audit: a pooled simulation must be bit-identical to
+    // the same point run serially on this thread. A mismatch means
+    // mutable state is shared across concurrent simulations.
+    if (audit_ && jobs_ > 1) {
+        for (std::size_t u : unique) {
+            RunResult serial = runPoint(points[u]);
+            if (!(serial == results[u]))
+                panic("exp audit: parallel result for ",
+                      points[u].bench, "/", points[u].config,
+                      " differs from serial rerun — shared mutable "
+                      "state in the simulator?");
+            break; // One point: the audit is a spot check.
+        }
+    }
+    return results;
+}
+
+} // namespace rockcress

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The experiment engine: runs a sweep of independent simulation
+ * points on a work-stealing thread pool, memoizes finished runs in a
+ * content-addressed on-disk cache, and reports structured progress
+ * (done/total, per-job wall time, ETA, cache hits) to stderr.
+ *
+ * Every simulation is self-contained — a fresh Machine, its own
+ * StatRegistry, its own RNG — so points parallelize without touching
+ * the tick loop, and results are deterministic regardless of
+ * completion order: sweep() returns results in point order, and a
+ * debug-build audit re-runs one pooled point serially and asserts the
+ * two results are field-identical (guards against mutable global
+ * state creeping into the simulator).
+ *
+ * Environment knobs:
+ *   ROCKCRESS_JOBS       worker threads (default: hardware threads)
+ *   ROCKCRESS_CACHE_DIR  result cache directory (default: disabled)
+ */
+
+#ifndef ROCKCRESS_EXP_ENGINE_HH
+#define ROCKCRESS_EXP_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/cache.hh"
+#include "harness/runner.hh"
+
+namespace rockcress
+{
+
+/** One simulation to run: a (bench, config, overrides) coordinate. */
+struct RunPoint
+{
+    std::string bench;
+    std::string config;  ///< Table 3 name, or "GPU" for the GPU model.
+    RunOverrides overrides;
+
+    bool isGpu() const { return config == "GPU"; }
+    bool operator==(const RunPoint &) const = default;
+};
+
+/** What one sweep did (for smoke tests and wall-time reporting). */
+struct SweepStats
+{
+    int jobs = 0;       ///< Points submitted (after deduplication).
+    int duplicates = 0; ///< Points collapsed onto an earlier twin.
+    int cacheHits = 0;
+    int simulated = 0;
+    double wallSeconds = 0;
+};
+
+/** Thread-pooled, cache-memoized sweep runner. */
+class ExperimentEngine
+{
+  public:
+    struct Options
+    {
+        int jobs = 0;          ///< <= 0: ROCKCRESS_JOBS / hardware.
+        std::string cacheDir;  ///< Empty: ROCKCRESS_CACHE_DIR / off.
+        bool progress = true;  ///< Structured progress on stderr.
+        /**
+         * Re-run one pooled point serially after the sweep and
+         * assert bit-identical results. -1 = auto: on in debug
+         * builds and when ROCKCRESS_AUDIT=1; 0/1 force off/on.
+         */
+        int audit = -1;
+    };
+
+    /** Engine configured entirely from the environment. */
+    ExperimentEngine();
+    explicit ExperimentEngine(Options opts);
+
+    /**
+     * Run every point and return results in point order (identical
+     * points are simulated once and share one result). Failures are
+     * returned as !ok results, never thrown.
+     */
+    std::vector<RunResult> sweep(const std::vector<RunPoint> &points);
+
+    /** Statistics of the most recent sweep(). */
+    const SweepStats &lastSweep() const { return last_; }
+
+    int jobs() const { return jobs_; }
+    bool cacheEnabled() const { return cache_.enabled(); }
+
+    /**
+     * The content-addressed cache key of a point: SHA-256 over the
+     * engine format version, bench and config names, every override
+     * field, and the assembled program bytes (so kernel or codegen
+     * changes can never resurrect a stale result). Empty if the
+     * program cannot be assembled — such points bypass the cache.
+     */
+    static std::string cacheKey(const RunPoint &point);
+
+    /** Run one point inline, no pool/cache (for audits and tests). */
+    static RunResult runPoint(const RunPoint &point);
+
+  private:
+    int jobs_;
+    ResultCache cache_;
+    bool progress_;
+    bool audit_;
+    SweepStats last_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_EXP_ENGINE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SHA-256 for content-addressing cached run results. A cache entry's
+ * filename is the hex digest of everything that determines the run:
+ * benchmark name, configuration, machine overrides, and the assembled
+ * program bytes — so any change to kernels, codegen, or parameters
+ * produces a different key and never resurrects a stale result.
+ */
+
+#ifndef ROCKCRESS_EXP_HASH_HH
+#define ROCKCRESS_EXP_HASH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rockcress
+{
+
+/** Incremental SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb raw bytes. */
+    void update(const void *data, std::size_t len);
+
+    /** Absorb a string's bytes. */
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    /** Absorb an integer in a fixed (little-endian) byte order. */
+    void
+    updateU64(std::uint64_t v)
+    {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        update(b, sizeof(b));
+    }
+
+    /** Finalize and return the digest as lowercase hex. */
+    std::string hex();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buf_;
+    std::size_t bufLen_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** One-shot hex digest of a string. */
+std::string sha256Hex(const std::string &data);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_EXP_HASH_HH

@@ -1,0 +1,448 @@
+#include "exp/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Arr;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Obj;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: not a bool");
+    return bool_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    if (kind_ == Kind::Uint)
+        return uint_;
+    fatal("json: not an unsigned integer");
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Uint)
+        return static_cast<double>(uint_);
+    if (kind_ == Kind::Double)
+        return double_;
+    fatal("json: not a number");
+}
+
+const std::string &
+Json::asStr() const
+{
+    if (kind_ != Kind::Str)
+        fatal("json: not a string");
+    return str_;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Obj;
+    if (kind_ != Kind::Obj)
+        fatal("json: not an object");
+    return obj_[key];
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return kind_ == Kind::Obj && obj_.count(key) > 0;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (kind_ != Kind::Obj)
+        fatal("json: not an object");
+    auto it = obj_.find(key);
+    if (it == obj_.end())
+        fatal("json: missing member '", key, "'");
+    return it->second;
+}
+
+const std::map<std::string, Json> &
+Json::members() const
+{
+    if (kind_ != Kind::Obj)
+        fatal("json: not an object");
+    return obj_;
+}
+
+void
+Json::push(Json v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Arr;
+    if (kind_ != Kind::Arr)
+        fatal("json: not an array");
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Arr)
+        return arr_.size();
+    if (kind_ == Kind::Obj)
+        return obj_.size();
+    fatal("json: not a container");
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (kind_ != Kind::Arr)
+        fatal("json: not an array");
+    if (i >= arr_.size())
+        fatal("json: index out of range");
+    return arr_[i];
+}
+
+namespace
+{
+
+void
+dumpString(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    switch (kind_) {
+    case Kind::Null:
+        out = "null";
+        break;
+    case Kind::Bool:
+        out = bool_ ? "true" : "false";
+        break;
+    case Kind::Uint:
+        out = std::to_string(uint_);
+        break;
+    case Kind::Double: {
+        // Round-trip precision; JSON has no inf/nan, encode as null.
+        if (!std::isfinite(double_)) {
+            out = "null";
+            break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        out = buf;
+        // Mark as floating point so the parser keeps the kind.
+        if (out.find_first_of(".eE") == std::string::npos)
+            out += ".0";
+        break;
+    }
+    case Kind::Str:
+        dumpString(str_, out);
+        break;
+    case Kind::Arr: {
+        out = "[";
+        bool first = true;
+        for (const Json &v : arr_) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += v.dump();
+        }
+        out += "]";
+        break;
+    }
+    case Kind::Obj: {
+        out = "{";
+        bool first = true;
+        for (const auto &[k, v] : obj_) {
+            if (!first)
+                out += ",";
+            first = false;
+            dumpString(k, out);
+            out += ":";
+            out += v.dump();
+        }
+        out += "}";
+        break;
+    }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a text span. */
+struct Parser
+{
+    const char *p;
+    const char *end;
+    int depth = 0;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (static_cast<std::size_t>(end - p) < n ||
+            std::memcmp(p, lit, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                return false;
+            char e = *p++;
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (end - p < 4)
+                    return false;
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p++;
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // Only the escapes dump() emits (< 0x20) round-trip.
+                if (v > 0xff)
+                    return false;
+                out += static_cast<char>(v);
+                break;
+            }
+            default:
+                return false;
+            }
+        }
+        if (p >= end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                           *p == '.' || *p == 'e' || *p == 'E' ||
+                           *p == '+' || *p == '-'))
+            ++p;
+        std::string tok(start, p);
+        if (tok.empty())
+            return false;
+        bool integral =
+            tok.find_first_of(".eE") == std::string::npos;
+        if (integral && tok[0] != '-') {
+            std::uint64_t u = 0;
+            auto [ptr, ec] =
+                std::from_chars(tok.data(), tok.data() + tok.size(), u);
+            if (ec != std::errc() || ptr != tok.data() + tok.size())
+                return false;
+            out = Json(u);
+            return true;
+        }
+        try {
+            std::size_t used = 0;
+            double d = std::stod(tok, &used);
+            if (used != tok.size())
+                return false;
+            out = Json(d);
+            return true;
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        if (++depth > 64)
+            return false;
+        skipWs();
+        if (p >= end) {
+            --depth;
+            return false;
+        }
+        bool ok = false;
+        if (*p == '{') {
+            ++p;
+            out = Json::object();
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                ok = true;
+            } else {
+                while (true) {
+                    skipWs();
+                    std::string key;
+                    if (!parseString(key))
+                        break;
+                    skipWs();
+                    if (p >= end || *p != ':')
+                        break;
+                    ++p;
+                    Json v;
+                    if (!parseValue(v))
+                        break;
+                    out[key] = std::move(v);
+                    skipWs();
+                    if (p < end && *p == ',') {
+                        ++p;
+                        continue;
+                    }
+                    if (p < end && *p == '}') {
+                        ++p;
+                        ok = true;
+                    }
+                    break;
+                }
+            }
+        } else if (*p == '[') {
+            ++p;
+            out = Json::array();
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                ok = true;
+            } else {
+                while (true) {
+                    Json v;
+                    if (!parseValue(v))
+                        break;
+                    out.push(std::move(v));
+                    skipWs();
+                    if (p < end && *p == ',') {
+                        ++p;
+                        continue;
+                    }
+                    if (p < end && *p == ']') {
+                        ++p;
+                        ok = true;
+                    }
+                    break;
+                }
+            }
+        } else if (*p == '"') {
+            std::string s;
+            ok = parseString(s);
+            if (ok)
+                out = Json(std::move(s));
+        } else if (literal("true")) {
+            out = Json(true);
+            ok = true;
+        } else if (literal("false")) {
+            out = Json(false);
+            ok = true;
+        } else if (literal("null")) {
+            out = Json();
+            ok = true;
+        } else {
+            ok = parseNumber(out);
+        }
+        --depth;
+        return ok;
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out)
+{
+    Parser parser{text.data(), text.data() + text.size()};
+    Json v;
+    if (!parser.parseValue(v))
+        return false;
+    parser.skipWs();
+    if (parser.p != parser.end)
+        return false; // trailing garbage
+    out = std::move(v);
+    return true;
+}
+
+} // namespace rockcress

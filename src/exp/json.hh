@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A minimal JSON value type for the experiment engine's run
+ * artifacts: objects, arrays, strings, booleans, and numbers, with a
+ * deterministic (sorted-key) serializer and a strict parser. Numbers
+ * that arrive as non-negative integers are kept as exact uint64 so
+ * cycle and event counters round-trip bit-identically.
+ */
+
+#ifndef ROCKCRESS_EXP_JSON_HH
+#define ROCKCRESS_EXP_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rockcress
+{
+
+/** One JSON value (recursive). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Uint, Double, Str, Arr, Obj };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(std::uint64_t u) : kind_(Kind::Uint), uint_(u) {}
+    Json(double d) : kind_(Kind::Double), double_(d) {}
+    Json(std::string s) : kind_(Kind::Str), str_(std::move(s)) {}
+    Json(const char *s) : kind_(Kind::Str), str_(s) {}
+
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isObj() const { return kind_ == Kind::Obj; }
+    bool isArr() const { return kind_ == Kind::Arr; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Uint || kind_ == Kind::Double;
+    }
+
+    /** @name Readers (fatal on kind mismatch). */
+    ///@{
+    bool asBool() const;
+    std::uint64_t asU64() const;
+    /** Any number (uint or double) as double. */
+    double asDouble() const;
+    const std::string &asStr() const;
+    ///@}
+
+    /** @name Object access. */
+    ///@{
+    /** Set (creating) a member; value must be an object. */
+    Json &operator[](const std::string &key);
+    bool has(const std::string &key) const;
+    /** Read a member; fatal if missing or not an object. */
+    const Json &at(const std::string &key) const;
+    const std::map<std::string, Json> &members() const;
+    ///@}
+
+    /** @name Array access. */
+    ///@{
+    void push(Json v);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+    ///@}
+
+    /** Serialize (deterministic: object keys sorted). */
+    std::string dump() const;
+
+    /**
+     * Parse a complete JSON document.
+     * @return false on any syntax error or trailing garbage.
+     */
+    static bool parse(const std::string &text, Json &out);
+
+    bool operator==(const Json &) const = default;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    double double_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_EXP_JSON_HH

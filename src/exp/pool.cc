@@ -1,0 +1,103 @@
+#include "exp/pool.hh"
+
+#include <chrono>
+
+namespace rockcress
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    std::size_t n = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+    deques_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        deques_.push_back(std::make_unique<Deque>());
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        shutdown_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        ++pending_;
+        target = nextDeque_;
+        nextDeque_ = (nextDeque_ + 1) % deques_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(deques_[target]->mutex);
+        deques_[target]->jobs.push_back(std::move(job));
+    }
+    workReady_.notify_one();
+}
+
+bool
+ThreadPool::take(std::size_t self, std::function<void()> &job)
+{
+    // Own deque first (front: LIFO locality is irrelevant here, but
+    // front-of-own keeps submission order roughly intact)...
+    {
+        Deque &d = *deques_[self];
+        std::lock_guard<std::mutex> lock(d.mutex);
+        if (!d.jobs.empty()) {
+            job = std::move(d.jobs.front());
+            d.jobs.pop_front();
+            return true;
+        }
+    }
+    // ...then steal from the back of the other deques.
+    for (std::size_t k = 1; k < deques_.size(); ++k) {
+        Deque &d = *deques_[(self + k) % deques_.size()];
+        std::lock_guard<std::mutex> lock(d.mutex);
+        if (!d.jobs.empty()) {
+            job = std::move(d.jobs.back());
+            d.jobs.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    while (true) {
+        std::function<void()> job;
+        if (take(self, job)) {
+            job();
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            if (--pending_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(stateMutex_);
+        if (shutdown_)
+            return;
+        // Re-check under the lock: a submit may have raced the empty
+        // scan above; waking spuriously is fine, missing work is not.
+        workReady_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+} // namespace rockcress

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A work-stealing thread pool for independent simulation jobs. Each
+ * worker owns a deque: it pops its own work from the front and steals
+ * from the back of a victim's deque when empty, so large sweeps
+ * balance across workers without a single contended queue.
+ */
+
+#ifndef ROCKCRESS_EXP_POOL_HH
+#define ROCKCRESS_EXP_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rockcress
+{
+
+/** Fixed-size work-stealing pool; jobs must not throw. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; clamped to at least 1. */
+    explicit ThreadPool(int threads);
+
+    /** Drains remaining jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job (round-robin across worker deques). */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    struct Deque
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    void workerLoop(std::size_t self);
+    bool take(std::size_t self, std::function<void()> &job);
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::vector<std::thread> workers_;
+
+    std::mutex stateMutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0;  ///< Submitted but not yet finished.
+    std::size_t nextDeque_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_EXP_POOL_HH

@@ -1,0 +1,191 @@
+#include "exp/result_io.hh"
+
+#include <charconv>
+
+namespace rockcress
+{
+
+namespace
+{
+
+Json
+mapToJson(const std::map<int, std::uint64_t> &m)
+{
+    Json j = Json::object();
+    for (const auto &[hop, count] : m)
+        j[std::to_string(hop)] = Json(count);
+    return j;
+}
+
+bool
+mapFromJson(const Json &j, std::map<int, std::uint64_t> &out)
+{
+    if (!j.isObj())
+        return false;
+    out.clear();
+    for (const auto &[key, v] : j.members()) {
+        int hop = 0;
+        auto [ptr, ec] =
+            std::from_chars(key.data(), key.data() + key.size(), hop);
+        if (ec != std::errc() || ptr != key.data() + key.size())
+            return false;
+        if (v.kind() != Json::Kind::Uint)
+            return false;
+        out[hop] = v.asU64();
+    }
+    return true;
+}
+
+bool
+readU64(const Json &j, const char *name, std::uint64_t &out)
+{
+    if (!j.has(name) || j.at(name).kind() != Json::Kind::Uint)
+        return false;
+    out = j.at(name).asU64();
+    return true;
+}
+
+bool
+readDouble(const Json &j, const char *name, double &out)
+{
+    if (!j.has(name) || !j.at(name).isNumber())
+        return false;
+    out = j.at(name).asDouble();
+    return true;
+}
+
+bool
+readStr(const Json &j, const char *name, std::string &out)
+{
+    if (!j.has(name) || j.at(name).kind() != Json::Kind::Str)
+        return false;
+    out = j.at(name).asStr();
+    return true;
+}
+
+bool
+readBool(const Json &j, const char *name, bool &out)
+{
+    if (!j.has(name) || j.at(name).kind() != Json::Kind::Bool)
+        return false;
+    out = j.at(name).asBool();
+    return true;
+}
+
+} // namespace
+
+Json
+resultToJson(const RunResult &r)
+{
+    Json j = Json::object();
+    j["bench"] = Json(r.bench);
+    j["config"] = Json(r.config);
+    j["ok"] = Json(r.ok);
+    j["error"] = Json(r.error);
+    j["cycles"] = Json(r.cycles);
+    j["energyPj"] = Json(r.energyPj);
+
+    Json e = Json::object();
+    e["fetch"] = Json(r.energy.fetch);
+    e["pipeline"] = Json(r.energy.pipeline);
+    e["functional"] = Json(r.energy.functional);
+    e["memOps"] = Json(r.energy.memOps);
+    e["spad"] = Json(r.energy.spad);
+    e["llc"] = Json(r.energy.llc);
+    e["inet"] = Json(r.energy.inet);
+    e["noc"] = Json(r.energy.noc);
+    j["energy"] = std::move(e);
+
+    j["icacheAccesses"] = Json(r.icacheAccesses);
+    j["issued"] = Json(r.issued);
+    j["coreCycles"] = Json(r.coreCycles);
+    j["stallFrame"] = Json(r.stallFrame);
+    j["stallInet"] = Json(r.stallInet);
+    j["stallBackpressure"] = Json(r.stallBackpressure);
+    j["stallOther"] = Json(r.stallOther);
+    j["expCycles"] = Json(r.expCycles);
+    j["expIssued"] = Json(r.expIssued);
+    j["expStallFrame"] = Json(r.expStallFrame);
+    j["expStallInet"] = Json(r.expStallInet);
+    j["expStallOther"] = Json(r.expStallOther);
+    j["llcMissRate"] = Json(r.llcMissRate);
+    j["hopInetStalls"] = mapToJson(r.hopInetStalls);
+    j["hopBackpressure"] = mapToJson(r.hopBackpressure);
+    j["hopCycles"] = mapToJson(r.hopCycles);
+    j["vectorCycles"] = Json(r.vectorCycles);
+    j["frameStallVector"] = Json(r.frameStallVector);
+    return j;
+}
+
+bool
+resultFromJson(const Json &j, RunResult &out)
+{
+    if (!j.isObj())
+        return false;
+    RunResult r;
+    bool ok = readStr(j, "bench", r.bench) &&
+              readStr(j, "config", r.config) &&
+              readBool(j, "ok", r.ok) &&
+              readStr(j, "error", r.error) &&
+              readU64(j, "cycles", r.cycles) &&
+              readDouble(j, "energyPj", r.energyPj) &&
+              j.has("energy") && j.at("energy").isObj();
+    if (!ok)
+        return false;
+    const Json &e = j.at("energy");
+    ok = readDouble(e, "fetch", r.energy.fetch) &&
+         readDouble(e, "pipeline", r.energy.pipeline) &&
+         readDouble(e, "functional", r.energy.functional) &&
+         readDouble(e, "memOps", r.energy.memOps) &&
+         readDouble(e, "spad", r.energy.spad) &&
+         readDouble(e, "llc", r.energy.llc) &&
+         readDouble(e, "inet", r.energy.inet) &&
+         readDouble(e, "noc", r.energy.noc);
+    if (!ok)
+        return false;
+    ok = readU64(j, "icacheAccesses", r.icacheAccesses) &&
+         readU64(j, "issued", r.issued) &&
+         readU64(j, "coreCycles", r.coreCycles) &&
+         readU64(j, "stallFrame", r.stallFrame) &&
+         readU64(j, "stallInet", r.stallInet) &&
+         readU64(j, "stallBackpressure", r.stallBackpressure) &&
+         readU64(j, "stallOther", r.stallOther) &&
+         readU64(j, "expCycles", r.expCycles) &&
+         readU64(j, "expIssued", r.expIssued) &&
+         readU64(j, "expStallFrame", r.expStallFrame) &&
+         readU64(j, "expStallInet", r.expStallInet) &&
+         readU64(j, "expStallOther", r.expStallOther) &&
+         readDouble(j, "llcMissRate", r.llcMissRate) &&
+         readU64(j, "vectorCycles", r.vectorCycles) &&
+         readU64(j, "frameStallVector", r.frameStallVector);
+    if (!ok)
+        return false;
+    if (!j.has("hopInetStalls") ||
+        !mapFromJson(j.at("hopInetStalls"), r.hopInetStalls))
+        return false;
+    if (!j.has("hopBackpressure") ||
+        !mapFromJson(j.at("hopBackpressure"), r.hopBackpressure))
+        return false;
+    if (!j.has("hopCycles") ||
+        !mapFromJson(j.at("hopCycles"), r.hopCycles))
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+Json
+overridesToJson(const RunOverrides &o)
+{
+    Json j = Json::object();
+    j["cols"] = Json(static_cast<std::uint64_t>(o.cols));
+    j["rows"] = Json(static_cast<std::uint64_t>(o.rows));
+    j["dramBytesPerCycle"] = Json(o.dramBytesPerCycle);
+    j["llcBankBytes"] = Json(static_cast<std::uint64_t>(o.llcBankBytes));
+    j["nocWidthWords"] =
+        Json(static_cast<std::uint64_t>(o.nocWidthWords));
+    j["maxCycles"] = Json(o.maxCycles);
+    j["verify"] = Json(o.verify);
+    return j;
+}
+
+} // namespace rockcress

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * JSON (de)serialization of RunResult and RunOverrides: the on-disk
+ * format of the experiment engine's run artifacts and result cache.
+ * Every field round-trips bit-identically (counters as exact uint64,
+ * energies at full double precision, the per-hop maps as objects).
+ */
+
+#ifndef ROCKCRESS_EXP_RESULT_IO_HH
+#define ROCKCRESS_EXP_RESULT_IO_HH
+
+#include "exp/json.hh"
+#include "harness/runner.hh"
+
+namespace rockcress
+{
+
+/** Serialize a run result (all fields, including hop maps). */
+Json resultToJson(const RunResult &r);
+
+/**
+ * Deserialize a run result.
+ * @return false if any field is missing or has the wrong type — the
+ *         caller must treat the artifact as corrupt, never partial.
+ */
+bool resultFromJson(const Json &j, RunResult &out);
+
+/** Serialize the machine overrides (part of the cache key). */
+Json overridesToJson(const RunOverrides &o);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_EXP_RESULT_IO_HH

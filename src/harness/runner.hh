@@ -34,6 +34,8 @@ struct RunOverrides
      * deliberately run malformed programs (fault injection).
      */
     bool verify = true;
+
+    bool operator==(const RunOverrides &) const = default;
 };
 
 /** Everything the figures need from one run. */
@@ -74,6 +76,9 @@ struct RunResult
     std::map<int, std::uint64_t> hopCycles;
     std::uint64_t vectorCycles = 0;
     std::uint64_t frameStallVector = 0;   ///< Frame stalls, vector cores.
+
+    /** Field-wise (bit-identical) equality: determinism audits. */
+    bool operator==(const RunResult &) const = default;
 };
 
 /** Run a benchmark under a Table 3 configuration on the manycore. */

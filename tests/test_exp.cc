@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine (src/exp): JSON
+ * round-trips of every RunResult field, cache hit/poisoning
+ * behavior, work-stealing pool draining, sweep determinism between
+ * serial and 8-thread execution, and intra-sweep deduplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/cache.hh"
+#include "exp/engine.hh"
+#include "exp/hash.hh"
+#include "exp/json.hh"
+#include "exp/pool.hh"
+#include "exp/result_io.hh"
+
+using namespace rockcress;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** A RunResult with every field set to a distinct value. */
+RunResult
+fullResult()
+{
+    RunResult r;
+    r.bench = "atax";
+    r.config = "V4";
+    r.ok = true;
+    r.error = "with \"quotes\"\nand newline";
+    r.cycles = (1ull << 60) + 12345;  // Beyond double's 2^53 window.
+    r.energyPj = 123456.78901234567;
+    r.energy.fetch = 1.125;
+    r.energy.pipeline = 2.25;
+    r.energy.functional = 3.0625;
+    r.energy.memOps = 4.5;
+    r.energy.spad = 5.75;
+    r.energy.llc = 6.875;
+    r.energy.inet = 0.1;  // Not exactly representable: needs %.17g.
+    r.energy.noc = 8.0;
+    r.icacheAccesses = 11;
+    r.issued = 22;
+    r.coreCycles = 33;
+    r.stallFrame = 44;
+    r.stallInet = 55;
+    r.stallBackpressure = 66;
+    r.stallOther = 77;
+    r.expCycles = 88;
+    r.expIssued = 99;
+    r.expStallFrame = 110;
+    r.expStallInet = 121;
+    r.expStallOther = 132;
+    r.llcMissRate = 0.34567890123456789;
+    r.hopInetStalls = {{1, 10}, {2, 20}, {3, 30}};
+    r.hopBackpressure = {{1, 40}, {7, 70}};
+    r.hopCycles = {{1, 0}, {2, 0xffffffffffffffffull}};
+    r.vectorCycles = 143;
+    r.frameStallVector = 154;
+    return r;
+}
+
+/** Temp directory removed at scope exit. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("rc_exp_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter()++));
+        fs::create_directories(path);
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+
+    static int &
+    counter()
+    {
+        static int c = 0;
+        return c;
+    }
+};
+
+} // namespace
+
+TEST(Json, ScalarRoundTrip)
+{
+    Json j = Json::object();
+    j["u"] = Json(std::uint64_t(0xffffffffffffffffull));
+    j["d"] = Json(0.1);
+    j["neg"] = Json(-1.5);
+    j["b"] = Json(true);
+    j["s"] = Json(std::string("a\"b\\c\nd\te"));
+    j["whole"] = Json(4.0);  // Double that prints without a point.
+    Json arr = Json::array();
+    arr.push(Json(std::uint64_t(7)));
+    arr.push(Json(false));
+    j["arr"] = std::move(arr);
+
+    Json back;
+    ASSERT_TRUE(Json::parse(j.dump(), back));
+    EXPECT_EQ(back.at("u").asU64(), 0xffffffffffffffffull);
+    EXPECT_EQ(back.at("d").asDouble(), 0.1);
+    EXPECT_EQ(back.at("neg").asDouble(), -1.5);
+    EXPECT_EQ(back.at("b").asBool(), true);
+    EXPECT_EQ(back.at("s").asStr(), "a\"b\\c\nd\te");
+    EXPECT_EQ(back.at("whole").kind(), Json::Kind::Double);
+    EXPECT_EQ(back.at("whole").asDouble(), 4.0);
+    EXPECT_EQ(back.at("arr").at(std::size_t(0)).asU64(), 7u);
+    EXPECT_EQ(back, j);
+}
+
+TEST(Json, RejectsMalformed)
+{
+    Json out;
+    EXPECT_FALSE(Json::parse("", out));
+    EXPECT_FALSE(Json::parse("{", out));
+    EXPECT_FALSE(Json::parse("{\"a\":1", out));
+    EXPECT_FALSE(Json::parse("[1,2", out));
+    EXPECT_FALSE(Json::parse("{} trailing", out));
+    EXPECT_FALSE(Json::parse("\"unterminated", out));
+    EXPECT_FALSE(Json::parse("nul", out));
+}
+
+TEST(Sha256, KnownVectors)
+{
+    // FIPS 180-4 test vectors.
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    // Multi-block input (> 64 bytes).
+    EXPECT_EQ(
+        sha256Hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmgh"
+                  "ijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnop"
+                  "qrstnopqrstu"),
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9"
+        "d1");
+}
+
+TEST(ResultIo, RoundTripsEveryField)
+{
+    RunResult r = fullResult();
+    std::string text = resultToJson(r).dump();
+
+    Json j;
+    ASSERT_TRUE(Json::parse(text, j));
+    RunResult back;
+    ASSERT_TRUE(resultFromJson(j, back));
+    EXPECT_TRUE(r == back);
+
+    // Spot-check the trickiest fields individually for diagnosis.
+    EXPECT_EQ(back.cycles, r.cycles);
+    EXPECT_EQ(back.energyPj, r.energyPj);
+    EXPECT_EQ(back.energy.inet, r.energy.inet);
+    EXPECT_EQ(back.llcMissRate, r.llcMissRate);
+    EXPECT_EQ(back.hopInetStalls, r.hopInetStalls);
+    EXPECT_EQ(back.hopBackpressure, r.hopBackpressure);
+    EXPECT_EQ(back.hopCycles, r.hopCycles);
+    EXPECT_EQ(back.error, r.error);
+}
+
+TEST(ResultIo, RejectsMissingField)
+{
+    Json j = resultToJson(fullResult());
+    std::string text = j.dump();
+    // Knock out one required field.
+    Json broken;
+    ASSERT_TRUE(Json::parse(text, broken));
+    Json rebuilt = Json::object();
+    for (const auto &[k, v] : broken.members())
+        if (k != "stallFrame")
+            rebuilt[k] = v;
+    RunResult out;
+    EXPECT_FALSE(resultFromJson(rebuilt, out));
+}
+
+TEST(Cache, StoreThenLoadHits)
+{
+    TempDir dir;
+    ResultCache cache(dir.path.string());
+    RunResult r = fullResult();
+    std::string key = sha256Hex("some point");
+    cache.store(key, r);
+
+    RunResult back;
+    ASSERT_TRUE(cache.load(key, back));
+    EXPECT_TRUE(r == back);
+}
+
+TEST(Cache, DisabledCacheNeverHitsOrWrites)
+{
+    ResultCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    cache.store(sha256Hex("x"), fullResult());
+    RunResult back;
+    EXPECT_FALSE(cache.load(sha256Hex("x"), back));
+}
+
+TEST(Cache, TruncatedEntryIsAMiss)
+{
+    TempDir dir;
+    ResultCache cache(dir.path.string());
+    std::string key = sha256Hex("point");
+    cache.store(key, fullResult());
+
+    // Truncate the entry to half its size.
+    std::string path = cache.entryPath(key);
+    std::ostringstream buf;
+    buf << std::ifstream(path).rdbuf();
+    std::string text = buf.str();
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    RunResult back;
+    EXPECT_FALSE(cache.load(key, back));
+}
+
+TEST(Cache, VersionMismatchIsAMiss)
+{
+    TempDir dir;
+    ResultCache cache(dir.path.string());
+    std::string key = sha256Hex("point");
+    cache.store(key, fullResult());
+
+    std::string path = cache.entryPath(key);
+    std::ostringstream buf;
+    buf << std::ifstream(path).rdbuf();
+    Json j;
+    ASSERT_TRUE(Json::parse(buf.str(), j));
+    Json edited = j;
+    edited["version"] = Json(ResultCache::version + 1);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << edited.dump();
+    }
+    RunResult back;
+    EXPECT_FALSE(cache.load(key, back));
+}
+
+TEST(Cache, KeyMismatchIsAMiss)
+{
+    TempDir dir;
+    ResultCache cache(dir.path.string());
+    std::string key = sha256Hex("point");
+    cache.store(key, fullResult());
+
+    // A hand-copied entry under a different key must not be trusted:
+    // its embedded key no longer matches its address.
+    std::string other = sha256Hex("other point");
+    fs::copy_file(cache.entryPath(key), cache.entryPath(other));
+    RunResult back;
+    EXPECT_FALSE(cache.load(other, back));
+    EXPECT_TRUE(cache.load(key, back));  // Original still fine.
+}
+
+TEST(Cache, HandEditedResultFieldIsAMiss)
+{
+    TempDir dir;
+    ResultCache cache(dir.path.string());
+    std::string key = sha256Hex("point");
+    cache.store(key, fullResult());
+
+    std::string path = cache.entryPath(key);
+    std::ostringstream buf;
+    buf << std::ifstream(path).rdbuf();
+    Json j;
+    ASSERT_TRUE(Json::parse(buf.str(), j));
+    // Corrupt the payload structurally: cycles becomes a string.
+    Json edited = j;
+    Json result = edited.at("result");
+    result["cycles"] = Json(std::string("1e99"));
+    edited["result"] = std::move(result);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << edited.dump();
+    }
+    RunResult back;
+    EXPECT_FALSE(cache.load(key, back));
+}
+
+TEST(Pool, DrainsEveryJobAcrossWorkers)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 500; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 500);
+
+    // A second batch reuses the same workers.
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 600);
+}
+
+namespace
+{
+
+/** A small, fast sweep: 2x2-core machines over two benchmarks. */
+std::vector<RunPoint>
+smallSweepPoints()
+{
+    RunOverrides tiny;
+    tiny.cols = 2;
+    tiny.rows = 2;
+    std::vector<RunPoint> points;
+    for (const char *bench : {"atax", "mvt"})
+        for (const char *config : {"NV", "NV_PF"})
+            points.push_back(RunPoint{bench, config, tiny});
+    return points;
+}
+
+ExperimentEngine::Options
+quietOptions(int jobs)
+{
+    ExperimentEngine::Options opts;
+    opts.jobs = jobs;
+    opts.cacheDir = "";
+    opts.progress = false;
+    opts.audit = 0;
+    return opts;
+}
+
+} // namespace
+
+/**
+ * The determinism contract: the same (bench, config) point must
+ * produce bit-identical cycles, energy, and CPI-stack counters
+ * whether run serially on this thread or inside an 8-thread sweep.
+ * Guards the paper's reproducibility claim against shared mutable
+ * state sneaking into the simulator.
+ */
+TEST(Engine, EightThreadSweepMatchesSerialBitIdentically)
+{
+    std::vector<RunPoint> points = smallSweepPoints();
+
+    ExperimentEngine parallel(quietOptions(8));
+    std::vector<RunResult> pooled = parallel.sweep(points);
+    ASSERT_EQ(pooled.size(), points.size());
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        RunResult serial = ExperimentEngine::runPoint(points[i]);
+        ASSERT_TRUE(serial.ok) << serial.error;
+        ASSERT_TRUE(pooled[i].ok) << pooled[i].error;
+        EXPECT_EQ(serial.cycles, pooled[i].cycles);
+        EXPECT_EQ(serial.energyPj, pooled[i].energyPj);
+        EXPECT_EQ(serial.issued, pooled[i].issued);
+        EXPECT_EQ(serial.coreCycles, pooled[i].coreCycles);
+        EXPECT_EQ(serial.stallFrame, pooled[i].stallFrame);
+        EXPECT_EQ(serial.stallInet, pooled[i].stallInet);
+        EXPECT_EQ(serial.stallBackpressure,
+                  pooled[i].stallBackpressure);
+        EXPECT_EQ(serial.stallOther, pooled[i].stallOther);
+        // And everything else, field for field.
+        EXPECT_TRUE(serial == pooled[i])
+            << points[i].bench << "/" << points[i].config;
+    }
+}
+
+TEST(Engine, DuplicatePointsCollapseOntoOneSimulation)
+{
+    RunOverrides tiny;
+    tiny.cols = 2;
+    tiny.rows = 2;
+    std::vector<RunPoint> points = {
+        RunPoint{"atax", "NV", tiny},
+        RunPoint{"atax", "NV", tiny},
+        RunPoint{"atax", "NV", tiny},
+    };
+    ExperimentEngine engine(quietOptions(2));
+    std::vector<RunResult> results = engine.sweep(points);
+    EXPECT_EQ(engine.lastSweep().jobs, 1);
+    EXPECT_EQ(engine.lastSweep().duplicates, 2);
+    EXPECT_TRUE(results[0] == results[1]);
+    EXPECT_TRUE(results[0] == results[2]);
+}
+
+TEST(Engine, WarmCacheSweepSimulatesNothing)
+{
+    TempDir dir;
+    ExperimentEngine::Options opts = quietOptions(2);
+    opts.cacheDir = dir.path.string();
+
+    std::vector<RunPoint> points = smallSweepPoints();
+
+    ExperimentEngine cold(opts);
+    std::vector<RunResult> first = cold.sweep(points);
+    EXPECT_EQ(cold.lastSweep().cacheHits, 0);
+    EXPECT_EQ(cold.lastSweep().simulated,
+              static_cast<int>(points.size()));
+
+    ExperimentEngine warm(opts);
+    std::vector<RunResult> second = warm.sweep(points);
+    EXPECT_EQ(warm.lastSweep().simulated, 0);
+    EXPECT_EQ(warm.lastSweep().cacheHits,
+              static_cast<int>(points.size()));
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_TRUE(first[i] == second[i]);
+}
+
+TEST(Engine, FailedRunsAreReportedNotCached)
+{
+    TempDir dir;
+    ExperimentEngine::Options opts = quietOptions(2);
+    opts.cacheDir = dir.path.string();
+
+    // An unknown benchmark fails inside the job; the sweep must
+    // return a !ok result (not throw) and must not cache it.
+    std::vector<RunPoint> points = {
+        RunPoint{"no_such_bench", "NV", {}}};
+    ExperimentEngine engine(opts);
+    std::vector<RunResult> results = engine.sweep(points);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[0].error.empty());
+
+    ExperimentEngine again(opts);
+    again.sweep(points);
+    EXPECT_EQ(again.lastSweep().cacheHits, 0);
+}
+
+TEST(Engine, CacheKeyDependsOnEveryCoordinate)
+{
+    RunOverrides tiny;
+    tiny.cols = 2;
+    tiny.rows = 2;
+    RunPoint base{"atax", "NV", tiny};
+
+    std::string k0 = ExperimentEngine::cacheKey(base);
+    ASSERT_FALSE(k0.empty());
+    EXPECT_EQ(k0, ExperimentEngine::cacheKey(base));  // Stable.
+
+    RunPoint other_bench = base;
+    other_bench.bench = "mvt";
+    EXPECT_NE(k0, ExperimentEngine::cacheKey(other_bench));
+
+    RunPoint other_config = base;
+    other_config.config = "NV_PF";
+    EXPECT_NE(k0, ExperimentEngine::cacheKey(other_config));
+
+    RunPoint other_overrides = base;
+    other_overrides.overrides.dramBytesPerCycle = 32.0;
+    EXPECT_NE(k0, ExperimentEngine::cacheKey(other_overrides));
+
+    RunPoint other_budget = base;
+    other_budget.overrides.maxCycles = 123;
+    EXPECT_NE(k0, ExperimentEngine::cacheKey(other_budget));
+}
