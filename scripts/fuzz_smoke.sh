@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Differential-fuzzing smoke: 200 seeded random vector-group programs
+# cross-checked between the cycle-level machine and the functional
+# reference (commit streams + final memory). If an ASan build
+# (build-asan/, or $ROCKCRESS_ASAN_BUILD) has the ref_fuzz binary, a
+# shorter campaign also runs under ASan, mirroring bench_smoke.sh's
+# TSan pattern.
+#
+# Usage: scripts/fuzz_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bin="$build_dir/src/ref/ref_fuzz"
+if [[ ! -x "$bin" ]]; then
+    echo "fuzz_smoke: $bin not built" >&2
+    exit 1
+fi
+
+seeds="${ROCKCRESS_FUZZ_SEEDS:-200}"
+echo "fuzz_smoke: $seeds seeds" >&2
+"$bin" --seeds "$seeds" >&2
+
+asan_dir="${ROCKCRESS_ASAN_BUILD:-$(dirname "$build_dir")/build-asan}"
+asan_bin="$asan_dir/src/ref/ref_fuzz"
+if [[ -x "$asan_bin" ]]; then
+    echo "fuzz_smoke: running 50 seeds under ASan" >&2
+    "$asan_bin" --seeds 50 >&2
+    echo "fuzz_smoke: ASan campaign OK" >&2
+else
+    echo "fuzz_smoke: no ASan build at $asan_dir (skipping;" \
+         "configure with -DENABLE_SANITIZERS=address to enable)" >&2
+fi
+echo "fuzz_smoke: PASS" >&2

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the golden stats snapshots in tests/golden/ from the
+# current simulator. Run after an intentional counter-moving change
+# and commit the resulting diffs alongside it.
+#
+# Usage: scripts/update_golden.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bin="$build_dir/tests/test_golden"
+if [[ ! -x "$bin" ]]; then
+    echo "update_golden: $bin not built" >&2
+    exit 1
+fi
+
+ROCKCRESS_UPDATE_GOLDEN=1 "$bin" --gtest_brief=1
+echo "update_golden: snapshots rewritten in tests/golden/" >&2

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Architectural commit records: the co-simulation interface between
+ * the cycle-level core and the functional reference model (src/ref).
+ * Every instruction that retires through the ROB produces one record
+ * describing its architectural effects — register writebacks, memory
+ * effects, and resolved control flow — which a CommitSink (the
+ * golden-model checker) consumes in commit order.
+ */
+
+#ifndef ROCKCRESS_CORE_COMMIT_HH
+#define ROCKCRESS_CORE_COMMIT_HH
+
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/**
+ * One committed instruction's architectural effects.
+ *
+ * `pc` is the instruction index in the committing core's own fetch
+ * stream, or -1 for instructions delivered over the inet (trailing
+ * vector cores never know the expander's pc). `value` holds the
+ * written register's words (one for int/fp, simdWidth lanes for SIMD
+ * destinations). `aux` carries per-opcode extras: the resolved next
+ * pc for branches and jumps, the predicate flag for PRED_*, the CSR
+ * operand for CSRW, and {address, scratchpad offset} for VLOAD.
+ */
+struct CommitRecord
+{
+    Instruction inst;
+    int pc = -1;
+
+    bool wrote = false;           ///< A register writeback happened.
+    RegIdx rd = 0;                ///< Flat destination register index.
+    std::vector<Word> value;      ///< Written words (lanes for SIMD).
+
+    bool mem = false;             ///< Instruction touched memory.
+    bool isStore = false;
+    Addr addr = 0;
+    std::vector<Word> data;       ///< Stored words.
+
+    std::vector<Word> aux;        ///< Opcode-specific extras (above).
+};
+
+/** Consumer of a core's commit stream (the co-simulation checker). */
+class CommitSink
+{
+  public:
+    virtual ~CommitSink() = default;
+
+    /**
+     * Called at every commit, in commit order per core. May throw to
+     * abort the simulation (divergence found).
+     */
+    virtual void onCommit(CoreId core, Cycle now,
+                          const CommitRecord &rec) = 0;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_CORE_COMMIT_HH

@@ -32,6 +32,7 @@ Core::Core(CoreId id, const CoreParams &params, CoreEnv &env,
     statStoreRemote_ = stats.counter("n_store_remote");
     statSimd_ = stats.counter("n_simd");
     statVload_ = stats.counter("n_vload");
+    statVloadWords_ = stats.counter("vload_words");
     statVissue_ = stats.counter("n_vissue");
     statInetInstrs_ = stats.counter("inet_instrs");
     statUnalignedVload_ = stats.counter("n_vload_unaligned");
@@ -127,6 +128,55 @@ Core::quiesced() const
            !fetchBusy_;
 }
 
+// --- Co-simulation ----------------------------------------------------------
+
+CommitRecord *
+Core::attachRecord(const Instruction &inst, int pc)
+{
+    if (!cosim_)
+        return nullptr;
+    auto rec = std::make_unique<CommitRecord>();
+    rec->inst = inst;
+    rec->pc = pc;
+    rob_.back().rec = std::move(rec);
+    return rob_.back().rec.get();
+}
+
+void
+Core::injectCosimFault(std::uint64_t nth, Word mask)
+{
+    cosimFaultNth_ = nth;
+    cosimFaultMask_ = mask;
+    cosimWritebacks_ = 0;
+}
+
+void
+Core::emitRecord(RobEntry &e, Cycle now)
+{
+    if (!cosim_ || !e.rec)
+        return;
+    CommitRecord &r = *e.rec;
+    if (r.wrote && !r.value.empty()) {
+        ++cosimWritebacks_;
+        if (cosimFaultNth_ != 0 && cosimWritebacks_ == cosimFaultNth_)
+            r.value[0] ^= cosimFaultMask_;
+    }
+    cosim_->onCommit(id_, now, r);
+}
+
+bool
+Core::drainCosim(Cycle now)
+{
+    while (!rob_.empty()) {
+        RobEntry &head = rob_.front();
+        if (!head.done)
+            return false;  // In-flight load: never became architectural.
+        emitRecord(head, now);
+        rob_.pop_front();
+    }
+    return true;
+}
+
 // --- Mesh sink --------------------------------------------------------------
 
 void
@@ -148,6 +198,8 @@ Core::receive(const Packet &pkt)
                         e.done = true;
                         e.doneAt = 0;
                         e.busyCleared = true;
+                        if (e.rec)
+                            e.rec->value = {resp.data};
                     }
                 }
                 lq_.erase(lq_.begin() + static_cast<long>(i));
@@ -304,6 +356,7 @@ Core::doVload(const Instruction &inst, Cycle)
         *statUnalignedVload_ += 1;
     }
     *statVload_ += 1;
+    *statVloadWords_ += static_cast<std::uint64_t>(g.totalWords);
 }
 
 // --- Issue-side memory ops ----------------------------------------------------
@@ -435,7 +488,9 @@ Core::execute(const Instruction &inst, Cycle now, RobEntry &rob)
         result = regs_[inst.rs1] < regs_[inst.rs2] ? 1 : 0;
         break;
       case Opcode::MUL:
-        result = static_cast<Word>(si(inst.rs1) * si(inst.rs2));
+        // Unsigned wrap-around product; low 32 bits match the signed
+        // product without the signed-overflow UB.
+        result = regs_[inst.rs1] * regs_[inst.rs2];
         break;
       case Opcode::MULH:
         result = static_cast<Word>(
@@ -565,9 +620,7 @@ Core::execute(const Instruction &inst, Cycle now, RobEntry &rob)
                 lane[rd] = lane[a] - lane[b];
                 break;
               case Opcode::SIMD_MUL:
-                lane[rd] = static_cast<Word>(
-                    static_cast<std::int32_t>(lane[a]) *
-                    static_cast<std::int32_t>(lane[b]));
+                lane[rd] = lane[a] * lane[b];
                 break;
               case Opcode::SIMD_FADD:
                 lane[rd] = floatToWord(wordToFloat(lane[a]) +
@@ -667,6 +720,7 @@ Core::issue(Cycle now)
     }
 
     const Instruction inst = decodeQueue_.front().inst;
+    const int instPc = decodeQueue_.front().pc;
     Opcode op = inst.op;
 
     auto retire_simple = [&](Cycle done_at) {
@@ -676,7 +730,7 @@ Core::issue(Cycle now)
         e.seq = nextSeq_++;
         e.done = true;
         e.doneAt = done_at;
-        rob_.push_back(e);
+        rob_.push_back(std::move(e));
         *statIssued_ += 1;
     };
 
@@ -685,6 +739,7 @@ Core::issue(Cycle now)
     if (!predFlag_ && op != Opcode::PRED_EQ && op != Opcode::PRED_NEQ &&
         op != Opcode::DEVEC && op != Opcode::VEND) {
         retire_simple(now + 1);
+        attachRecord(inst, instPc);  // Squashed: bare record.
         return;
     }
 
@@ -717,22 +772,43 @@ Core::issue(Cycle now)
         fetchPc_ = taken ? inst.imm : fetchPc_ + 1;
         fetchPausedForBranch_ = false;
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc))
+            r->aux = {static_cast<Word>(fetchPc_)};
         *statIntAlu_ += 1;
         return;
       }
-      case Opcode::JAL:
-        setIntReg(inst.rd, static_cast<Word>(fetchPc_ + 1));
+      case Opcode::JAL: {
+        Word link = static_cast<Word>(fetchPc_ + 1);
+        setIntReg(inst.rd, link);
         fetchPc_ = inst.imm;
         fetchPausedForBranch_ = false;
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc)) {
+            if (destReg(inst) >= 0) {
+                r->wrote = true;
+                r->rd = inst.rd;
+                r->value = {link};
+            }
+            r->aux = {static_cast<Word>(fetchPc_)};
+        }
         *statIntAlu_ += 1;
         return;
+      }
       case Opcode::JALR: {
         Word target = regs_[inst.rs1] + static_cast<Word>(inst.imm);
-        setIntReg(inst.rd, static_cast<Word>(fetchPc_ + 1));
+        Word link = static_cast<Word>(fetchPc_ + 1);
+        setIntReg(inst.rd, link);
         fetchPc_ = static_cast<int>(target);
         fetchPausedForBranch_ = false;
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc)) {
+            if (destReg(inst) >= 0) {
+                r->wrote = true;
+                r->rd = inst.rd;
+                r->value = {link};
+            }
+            r->aux = {static_cast<Word>(fetchPc_)};
+        }
         *statIntAlu_ += 1;
         return;
       }
@@ -749,8 +825,14 @@ Core::issue(Cycle now)
             RobEntry e;
             e.inst = inst;
             e.seq = nextSeq_++;
-            rob_.push_back(e);
+            rob_.push_back(std::move(e));
             doLoadGlobal(inst, now, rob_.back());
+            if (auto *r = attachRecord(inst, instPc)) {
+                r->wrote = true;
+                r->rd = inst.rd;
+                r->mem = true;
+                r->addr = addr;  // Value lands with the response.
+            }
             *statIssued_ += 1;
             return;
         }
@@ -763,6 +845,13 @@ Core::issue(Cycle now)
             setBusy(rd, true);
         retire_simple(now + params_.spadLatency);
         rob_.back().waitingLoad = false;
+        if (auto *r = attachRecord(inst, instPc)) {
+            r->wrote = true;
+            r->rd = inst.rd;
+            r->value = {data};
+            r->mem = true;
+            r->addr = addr;
+        }
         *statLoadSpad_ += 1;
         return;
       }
@@ -780,6 +869,15 @@ Core::issue(Cycle now)
         }
         setBusy(destReg(inst), true);
         retire_simple(now + params_.spadLatency);
+        if (auto *r = attachRecord(inst, instPc)) {
+            r->wrote = true;
+            r->rd = inst.rd;
+            for (int l = 0; l < params_.simdWidth; ++l)
+                r->value.push_back(simdRegs_[static_cast<size_t>(l)]
+                                            [static_cast<size_t>(rd)]);
+            r->mem = true;
+            r->addr = addr;
+        }
         *statSimd_ += 1;
         *statLoadSpad_ += 1;
         return;
@@ -788,6 +886,19 @@ Core::issue(Cycle now)
       case Opcode::SW: case Opcode::FSW: case Opcode::SIMD_SW:
         doStore(inst, now);
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc)) {
+            r->mem = true;
+            r->isStore = true;
+            r->addr = regs_[inst.rs1] + static_cast<Addr>(inst.imm);
+            if (op == Opcode::SIMD_SW) {
+                for (int l = 0; l < params_.simdWidth; ++l)
+                    r->data.push_back(
+                        simdRegs_[static_cast<size_t>(l)]
+                                 [inst.rs2 - simdRegBase]);
+            } else {
+                r->data = {regs_[inst.rs2]};
+            }
+        }
         if (op == Opcode::SIMD_SW)
             *statSimd_ += 1;
         return;
@@ -799,16 +910,20 @@ Core::issue(Cycle now)
         }
         doVload(inst, now);
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc))
+            r->aux = {intReg(inst.rs1), intReg(inst.rs2)};
         return;
 
       case Opcode::VISSUE:
         // The launch message is sent at commit (Section 3.2).
         retire_simple(now + 1);
+        attachRecord(inst, instPc);
         *statVissue_ += 1;
         return;
 
       case Opcode::VEND:
         retire_simple(now + 1);
+        attachRecord(inst, instPc);
         return;
 
       case Opcode::DEVEC:
@@ -820,37 +935,51 @@ Core::issue(Cycle now)
             e.seq = nextSeq_++;
             e.done = true;
             e.doneAt = now + 1;
-            rob_.push_back(e);
+            rob_.push_back(std::move(e));
+            attachRecord(inst, instPc);
             *statIssued_ += 1;
             exitVectorMode(resume);
             return;
         }
         // Scalar core: message sent at commit.
         retire_simple(now + 1);
+        attachRecord(inst, instPc);
         return;
 
-      case Opcode::FRAME_START:
+      case Opcode::FRAME_START: {
         if (!spad_.frameReady()) {
             *statStallFrame_ += 1;
             return;
         }
-        setIntReg(inst.rd, env_.addrMap().spadBase(id_) +
-                               spad_.headFrameByteOffset());
+        Word base = env_.addrMap().spadBase(id_) +
+                    spad_.headFrameByteOffset();
+        setIntReg(inst.rd, base);
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc)) {
+            r->wrote = true;
+            r->rd = inst.rd;
+            r->value = {base};
+        }
         return;
+      }
 
       case Opcode::REMEM:
         spad_.freeFrame();
         retire_simple(now + 1);
+        attachRecord(inst, instPc);
         return;
 
       case Opcode::PRED_EQ:
         predFlag_ = regs_[inst.rs1] == regs_[inst.rs2];
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc))
+            r->aux = {predFlag_ ? Word(1) : Word(0)};
         return;
       case Opcode::PRED_NEQ:
         predFlag_ = regs_[inst.rs1] != regs_[inst.rs2];
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc))
+            r->aux = {predFlag_ ? Word(1) : Word(0)};
         return;
 
       case Opcode::CSRW: {
@@ -868,16 +997,22 @@ Core::issue(Cycle now)
                 }
                 joinPending_ = false;
                 retire_simple(now + 1);
+                if (auto *r = attachRecord(inst, instPc))
+                    r->aux = {value};
                 enterVectorMode();
                 return;
             }
             retire_simple(now + 1);
+            if (auto *r = attachRecord(inst, instPc))
+                r->aux = {value};
             return;
         }
         if (csr == Csr::FrameCfg) {
             spad_.configureFrames(static_cast<int>(value & 0xffff),
                                   static_cast<int>(value >> 16));
             retire_simple(now + 1);
+            if (auto *r = attachRecord(inst, instPc))
+                r->aux = {value};
             return;
         }
         fatal("core ", id_, ": write to read-only CSR");
@@ -904,6 +1039,13 @@ Core::issue(Cycle now)
         }
         setIntReg(inst.rd, value);
         retire_simple(now + 1);
+        if (auto *r = attachRecord(inst, instPc)) {
+            if (destReg(inst) >= 0) {
+                r->wrote = true;
+                r->rd = inst.rd;
+                r->value = {value};
+            }
+        }
         return;
       }
 
@@ -923,6 +1065,7 @@ Core::issue(Cycle now)
         }
         barrierWaiting_ = false;
         retire_simple(now + 1);
+        attachRecord(inst, instPc);
         return;
 
       default: {
@@ -931,8 +1074,23 @@ Core::issue(Cycle now)
         RobEntry e;
         e.inst = inst;
         e.seq = nextSeq_++;
-        rob_.push_back(e);
+        rob_.push_back(std::move(e));
         execute(inst, now, rob_.back());
+        if (auto *r = attachRecord(inst, instPc)) {
+            int rd = destReg(inst);
+            if (rd >= 0) {
+                r->wrote = true;
+                r->rd = static_cast<RegIdx>(rd);
+                if (rd >= simdRegBase) {
+                    for (int l = 0; l < params_.simdWidth; ++l)
+                        r->value.push_back(
+                            simdRegs_[static_cast<size_t>(l)]
+                                     [rd - simdRegBase]);
+                } else {
+                    r->value = {regs_[static_cast<size_t>(rd)]};
+                }
+            }
+        }
         *statIssued_ += 1;
         if (isSimd(op))
             *statSimd_ += 1;
@@ -982,6 +1140,7 @@ Core::commit(Cycle now)
     int rd = destReg(head.inst);
     if (rd >= 0 && !head.waitingLoad && !head.busyCleared)
         setBusy(rd, false);
+    emitRecord(head, now);
     rob_.pop_front();
 }
 
@@ -1110,6 +1269,7 @@ Core::fetch(Cycle now)
         d.inst = inst;
         d.readyAt = now + params_.frontendDelay;
         d.isMicrothread = role_ == Role::Expander;
+        d.pc = fetchPc_;
         decodeQueue_.push_back(d);
         fetchBusy_ = false;
         if (is_ctl || inst.op == Opcode::HALT) {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/commit.hh"
 #include "core/env.hh"
 #include "isa/program.hh"
 #include "mem/icache.hh"
@@ -74,6 +75,28 @@ class Core : public Ticked
     /** Pipeline is empty and no loads outstanding (for drain checks). */
     bool quiesced() const;
 
+    /** @name Co-simulation (RunOverrides::cosim). */
+    ///@{
+    /**
+     * Attach a commit-stream consumer. While attached, every retired
+     * instruction carries a CommitRecord delivered at commit; null
+     * detaches (record capture is fully skipped when detached).
+     */
+    void attachCosim(CommitSink *sink) { cosim_ = sink; }
+    /**
+     * Debug-only fault hook: corrupt the nth (1-based) committed
+     * register writeback on this core by XORing `mask` into its first
+     * word — proves the co-sim checker isn't vacuous.
+     */
+    void injectCosimFault(std::uint64_t nth, Word mask);
+    /**
+     * Flush records of completed-but-uncommitted ROB entries to the
+     * sink after the machine stops (halt never drains the ROB).
+     * @return false if an incomplete entry (in-flight load) remained.
+     */
+    bool drainCosim(Cycle now);
+    ///@}
+
     /** @name Architectural state access (for tests). */
     ///@{
     Word readIntReg(int n) const;
@@ -91,6 +114,8 @@ class Core : public Ticked
         /** The destination's scoreboard bit was already released; a
          * younger writer may own it now, so never clear it again. */
         bool busyCleared = false;
+        /** Architectural effects, captured only while cosim runs. */
+        std::unique_ptr<CommitRecord> rec;
     };
 
     struct LqEntry
@@ -106,6 +131,7 @@ class Core : public Ticked
         Instruction inst;
         Cycle readyAt = 0;
         bool isMicrothread = false;  ///< Came from the inet / mt fetch.
+        int pc = -1;                 ///< Fetch pc; -1 for inet ops.
     };
 
     /** @name Stage logic, called in reverse pipeline order. */
@@ -194,6 +220,16 @@ class Core : public Ticked
     bool barrierWaiting_ = false;
     bool joinPending_ = false;
 
+    // Co-simulation.
+    CommitSink *cosim_ = nullptr;
+    std::uint64_t cosimFaultNth_ = 0;   ///< 0 = no fault pending.
+    Word cosimFaultMask_ = 0;
+    std::uint64_t cosimWritebacks_ = 0;
+    /** Attach a fresh record to rob_.back(); null when detached. */
+    CommitRecord *attachRecord(const Instruction &inst, int pc);
+    /** Deliver one record to the sink (applies the fault hook). */
+    void emitRecord(RobEntry &e, Cycle now);
+
     // Statistics.
     std::uint64_t *statCycles_;
     std::uint64_t *statVectorCycles_;
@@ -214,6 +250,7 @@ class Core : public Ticked
     std::uint64_t *statStoreRemote_;
     std::uint64_t *statSimd_;
     std::uint64_t *statVload_;
+    std::uint64_t *statVloadWords_;
     std::uint64_t *statVissue_;
     std::uint64_t *statInetInstrs_;
     std::uint64_t *statUnalignedVload_;

@@ -98,6 +98,8 @@ resultToJson(const RunResult &r)
 
     j["icacheAccesses"] = Json(r.icacheAccesses);
     j["issued"] = Json(r.issued);
+    j["vloadBytes"] = Json(r.vloadBytes);
+    j["nocWordHops"] = Json(r.nocWordHops);
     j["coreCycles"] = Json(r.coreCycles);
     j["stallFrame"] = Json(r.stallFrame);
     j["stallInet"] = Json(r.stallInet);
@@ -145,6 +147,8 @@ resultFromJson(const Json &j, RunResult &out)
         return false;
     ok = readU64(j, "icacheAccesses", r.icacheAccesses) &&
          readU64(j, "issued", r.issued) &&
+         readU64(j, "vloadBytes", r.vloadBytes) &&
+         readU64(j, "nocWordHops", r.nocWordHops) &&
          readU64(j, "coreCycles", r.coreCycles) &&
          readU64(j, "stallFrame", r.stallFrame) &&
          readU64(j, "stallInet", r.stallInet) &&
@@ -185,6 +189,8 @@ overridesToJson(const RunOverrides &o)
         Json(static_cast<std::uint64_t>(o.nocWidthWords));
     j["maxCycles"] = Json(o.maxCycles);
     j["verify"] = Json(o.verify);
+    j["cosim"] = Json(o.cosim);
+    j["cosimStrictLoads"] = Json(o.cosimStrictLoads);
     return j;
 }
 

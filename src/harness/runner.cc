@@ -1,7 +1,10 @@
 #include "harness/runner.hh"
 
+#include <memory>
+
 #include "analysis/verifier.hh"
 #include "gpu/gpu.hh"
+#include "ref/cosim.hh"
 #include "sim/log.hh"
 
 namespace rockcress
@@ -35,7 +38,23 @@ runManycore(const std::string &bench, const std::string &config,
                 return r;
             }
         }
+        std::unique_ptr<CosimChecker> checker;
+        if (overrides.cosim) {
+            RefOptions ropts;
+            ropts.strictLoads = overrides.cosimStrictLoads;
+            checker = std::make_unique<CosimChecker>(machine, ropts);
+            machine.attachCosim(checker.get());
+        }
         r.cycles = machine.run(overrides.maxCycles);
+        if (checker) {
+            machine.drainCosim();
+            std::string div = checker->finish(machine.mem());
+            if (!div.empty()) {
+                r.ok = false;
+                r.error = "cosim: " + div;
+                return r;
+            }
+        }
         r.error = benchmark->check(machine.mem());
         r.ok = r.error.empty();
     } catch (const std::exception &e) {
@@ -53,6 +72,8 @@ runManycore(const std::string &bench, const std::string &config,
     r.stallBackpressure = stats.sumSuffix(".stall_backpressure");
     r.stallOther = stats.sumSuffix(".stall_other") +
                    stats.sumSuffix(".stall_dae");
+    r.vloadBytes = stats.sumSuffix(".vload_words") * wordBytes;
+    r.nocWordHops = stats.get("noc.word_hops");
 
     std::uint64_t llc_accesses = 0, llc_misses = 0;
     for (int b = 0; b < params.numBanks(); ++b) {

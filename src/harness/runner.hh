@@ -34,6 +34,20 @@ struct RunOverrides
      * deliberately run malformed programs (fault injection).
      */
     bool verify = true;
+    /**
+     * Differential co-simulation: check every committed instruction
+     * against the functional reference model (src/ref) and the final
+     * memory image against its golden result. A divergence fails the
+     * run with a structured report. Purely a checker — cycle counts
+     * and statistics are unchanged.
+     */
+    bool cosim = false;
+    /**
+     * With cosim: compare global-load values against reference
+     * memory. Disable for racy kernels (bfs), where only the address
+     * is checked and the reference adopts the loaded value.
+     */
+    bool cosimStrictLoads = true;
 
     bool operator==(const RunOverrides &) const = default;
 };
@@ -52,6 +66,8 @@ struct RunResult
 
     std::uint64_t icacheAccesses = 0;
     std::uint64_t issued = 0;
+    std::uint64_t vloadBytes = 0;    ///< Bytes moved by wide loads.
+    std::uint64_t nocWordHops = 0;   ///< Data NoC word-hops (traffic).
 
     // CPI-stack components summed over all cores. For vector
     // configurations the paper averages expander cores only

@@ -63,7 +63,11 @@ Assembler::here()
 void
 Assembler::symbol(const std::string &name)
 {
-    symbols_[name] = pc();
+    auto [it, inserted] = symbols_.emplace(name, pc());
+    if (!inserted)
+        fatal("assembler '", name_, "': duplicate symbol '", name,
+              "' at pc ", pc(), " (first defined at pc ", it->second,
+              ")");
 }
 
 void
@@ -418,8 +422,10 @@ Assembler::finish()
     for (const auto &[at, label_id] : fixups_) {
         int target = labelPcs_[static_cast<size_t>(label_id)];
         if (target < 0)
-            fatal("assembler '", name_, "': unbound label referenced at ",
-                  at);
+            fatal("assembler '", name_, "': unresolved link patch: label ",
+                  label_id, " referenced by '",
+                  disassemble(code_[static_cast<size_t>(at)]),
+                  "' at pc ", at, " was never bound");
         code_[static_cast<size_t>(at)].imm = target;
     }
     finished_ = true;

@@ -30,6 +30,8 @@ Machine::Machine(const MachineParams &params)
 
     groupOfCore_.assign(static_cast<size_t>(n), -1);
     arrivedGen_.assign(static_cast<size_t>(n), 0);
+    programs_.assign(static_cast<size_t>(n), nullptr);
+    entries_.assign(static_cast<size_t>(n), 0);
 
     // Tiles.
     for (CoreId c = 0; c < n; ++c) {
@@ -105,6 +107,8 @@ void
 Machine::loadProgram(CoreId core, std::shared_ptr<const Program> program,
                      int entry_pc)
 {
+    programs_.at(static_cast<size_t>(core)) = program;
+    entries_.at(static_cast<size_t>(core)) = entry_pc;
     cores_.at(static_cast<size_t>(core))
         ->setProgram(std::move(program), entry_pc);
 }
@@ -112,8 +116,22 @@ Machine::loadProgram(CoreId core, std::shared_ptr<const Program> program,
 void
 Machine::loadAll(std::shared_ptr<const Program> program, int entry_pc)
 {
+    for (CoreId c = 0; c < numCores(); ++c)
+        loadProgram(c, program, entry_pc);
+}
+
+void
+Machine::attachCosim(CommitSink *sink)
+{
     for (auto &core : cores_)
-        core->setProgram(program, entry_pc);
+        core->attachCosim(sink);
+}
+
+void
+Machine::drainCosim()
+{
+    for (auto &core : cores_)
+        core->drainCosim(sim_.now());
 }
 
 void
@@ -143,6 +161,7 @@ Machine::planGroup(const GroupPlan &plan)
                   plan.chain[i + 1], " is not a mesh neighbor");
     }
     groups_.push_back(std::move(state));
+    plans_.push_back(plan);
 }
 
 Cycle

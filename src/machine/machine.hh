@@ -78,6 +78,29 @@ class Machine : public CoreEnv, public Ticked
     std::pair<int, int> coreCoord(CoreId c) const;
     /** Hop distance of a core from its group's scalar core (0 = scalar). */
     int groupHop(CoreId c) const;
+    /** All registered group plans (for the reference model). */
+    const std::vector<GroupPlan> &groupPlans() const { return plans_; }
+    /** Program loaded into a core (null before loadProgram). */
+    std::shared_ptr<const Program> programOf(CoreId c) const
+    {
+        return programs_.at(static_cast<size_t>(c));
+    }
+    /** Entry pc the core was loaded with. */
+    int entryOf(CoreId c) const
+    {
+        return entries_.at(static_cast<size_t>(c));
+    }
+    ///@}
+
+    /** @name Co-simulation (see core/commit.hh). */
+    ///@{
+    /** Attach (or with null, detach) a commit sink on every core. */
+    void attachCosim(CommitSink *sink);
+    /**
+     * After run(): flush completed-but-uncommitted ROB entries of
+     * every core to the sink (halt stops the clock mid-drain).
+     */
+    void drainCosim();
     ///@}
 
     /** @name CoreEnv implementation. */
@@ -126,7 +149,12 @@ class Machine : public CoreEnv, public Ticked
 
     // Group bookkeeping.
     std::vector<GroupState> groups_;
+    std::vector<GroupPlan> plans_;   ///< Registration order.
     std::vector<int> groupOfCore_;   ///< -1 when unplanned.
+
+    // Loaded software (kept for the reference model).
+    std::vector<std::shared_ptr<const Program>> programs_;
+    std::vector<int> entries_;
 
     // Global barrier.
     std::uint64_t barrierGen_ = 1;

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The co-simulation checker: a CommitSink that drives the functional
+ * reference model in lockstep with the cycle-level machine's commit
+ * streams. Attach with Machine::attachCosim before run(); call
+ * Machine::drainCosim then finish() after.
+ */
+
+#ifndef ROCKCRESS_REF_COSIM_HH
+#define ROCKCRESS_REF_COSIM_HH
+
+#include <string>
+#include <vector>
+
+#include "ref/refmodel.hh"
+
+namespace rockcress
+{
+
+/** Checks every committed instruction against the reference model. */
+class CosimChecker : public CommitSink
+{
+  public:
+    /** Snapshot the (prepared, not-yet-run) machine. */
+    explicit CosimChecker(const Machine &m, const RefOptions &opts = {})
+        : ref_(m, opts)
+    {}
+
+    /** @throws CosimDivergence on the first mismatch. */
+    void onCommit(CoreId c, Cycle now, const CommitRecord &rec) override
+    {
+        if (recordStreams_)
+            streams_[static_cast<size_t>(c)].push_back(rec);
+        ref_.step(c, now, rec);
+        ++checked_;
+    }
+
+    /**
+     * End-of-run checks (walkers at halt, final memory image).
+     * @return Empty string when clean, else a report.
+     */
+    std::string finish(const MainMemory &timing_mem) const
+    {
+        return ref_.finish(timing_mem);
+    }
+
+    /** Total instructions checked (vacuousness guard for tests). */
+    std::uint64_t checked() const { return checked_; }
+
+    /** Also record the timing commit streams (fuzzer cross-check). */
+    void recordStreams(int num_cores)
+    {
+        recordStreams_ = true;
+        streams_.assign(static_cast<size_t>(num_cores), {});
+    }
+    const std::vector<std::vector<CommitRecord>> &streams() const
+    {
+        return streams_;
+    }
+
+  private:
+    RefMachine ref_;
+    std::uint64_t checked_ = 0;
+    bool recordStreams_ = false;
+    std::vector<std::vector<CommitRecord>> streams_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_REF_COSIM_HH

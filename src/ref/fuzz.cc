@@ -1,0 +1,438 @@
+#include "ref/fuzz.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "analysis/verifier.hh"
+#include "compiler/codegen.hh"
+#include "machine/machine.hh"
+#include "ref/cosim.hh"
+#include "sim/rng.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+struct Geometry
+{
+    int cols;
+    int rows;
+    int gs;
+};
+
+/** Four vector-group geometries: two group sizes on two meshes. */
+const Geometry kGeometries[] = {
+    {4, 2, 3},
+    {4, 4, 3},
+    {4, 2, 7},
+    {4, 4, 7},
+};
+
+std::string
+geometryName(const Geometry &g)
+{
+    return std::to_string(g.cols) + "x" + std::to_string(g.rows) +
+           "/g" + std::to_string(g.gs);
+}
+
+Addr
+roundUp(Addr v, Addr align)
+{
+    return (v + align - 1) / align * align;
+}
+
+std::string
+describeRecord(const CommitRecord &r)
+{
+    std::ostringstream os;
+    os << disassemble(r.inst) << " pc=" << r.pc;
+    if (r.wrote) {
+        os << " rd=" << static_cast<int>(r.rd) << " value=[";
+        for (size_t i = 0; i < r.value.size(); ++i)
+            os << (i ? "," : "") << r.value[i];
+        os << "]";
+    }
+    if (r.mem) {
+        os << (r.isStore ? " store" : " load") << " addr=" << r.addr;
+        if (!r.data.empty()) {
+            os << " data=[";
+            for (size_t i = 0; i < r.data.size(); ++i)
+                os << (i ? "," : "") << r.data[i];
+            os << "]";
+        }
+    }
+    if (!r.aux.empty()) {
+        os << " aux=[";
+        for (size_t i = 0; i < r.aux.size(); ++i)
+            os << (i ? "," : "") << r.aux[i];
+        os << "]";
+    }
+    return os.str();
+}
+
+bool
+recordsEqual(const CommitRecord &a, const CommitRecord &b)
+{
+    return a.inst == b.inst && a.pc == b.pc && a.wrote == b.wrote &&
+           a.rd == b.rd && a.value == b.value && a.mem == b.mem &&
+           a.isStore == b.isStore && a.addr == b.addr &&
+           a.data == b.data && a.aux == b.aux;
+}
+
+/** Everything one generated case needs to build and check itself. */
+struct CaseSpec
+{
+    Geometry geo;
+    int tpg = 0;
+    int groups = 0;
+    bool simd = false;
+    int F = 0;          ///< Frame size, words.
+    int numFrames = 8;
+    int w = 0;          ///< Words per core per vload.
+    int iters = 0;
+    int nLoads = 0;     ///< Frame words loaded into f1..f(nLoads).
+    int nFsw = 0;       ///< Scalar stores per iteration.
+    bool simdStore = false;
+    bool predRegion = false;
+    bool mimdEpilogue = false;
+    int nOps = 0;       ///< Random ALU ops in the body.
+    int S = 0;          ///< Words stored per worker per iteration.
+
+    Addr in = 0;
+    Addr out = 0;
+    Addr sig = 0;
+    std::uint64_t seed = 0;
+
+    std::string
+    describe() const
+    {
+        std::ostringstream os;
+        os << geometryName(geo) << " F=" << F << " w=" << w
+           << " iters=" << iters << " S=" << S
+           << (simd ? " simd" : "") << (predRegion ? " pred" : "")
+           << (mimdEpilogue ? " mimd" : "");
+        return os.str();
+    }
+};
+
+CaseSpec
+drawCase(Rng &rng, std::uint64_t seed)
+{
+    CaseSpec c;
+    c.seed = seed;
+    c.geo = kGeometries[rng.below(4)];
+    c.tpg = c.geo.gs + 1;
+    c.groups = c.geo.cols * c.geo.rows / c.tpg;
+    c.simd = rng.below(2) == 0;
+
+    const int fChoices[] = {4, 8, 16};
+    c.F = fChoices[rng.below(3)];
+
+    // Response width: w | F and w * groupSize within one cache line.
+    const int lineWords = 16;
+    std::vector<int> ws;
+    for (int w = 1; w <= c.F; ++w)
+        if (c.F % w == 0 && w * c.geo.gs <= lineWords)
+            ws.push_back(w);
+    c.w = ws[rng.below(ws.size())];
+
+    c.iters = 2 + static_cast<int>(rng.below(4));
+    c.nLoads = 2 + static_cast<int>(rng.below(3));
+    c.nFsw = 1 + static_cast<int>(rng.below(3));
+    c.simdStore = c.simd && rng.below(2) == 0;
+    c.predRegion = rng.below(2) == 0;
+    c.mimdEpilogue = rng.below(2) == 0;
+    c.nOps = 3 + static_cast<int>(rng.below(6));
+    c.S = c.nFsw + (c.simdStore ? 4 : 0);
+
+    c.in = AddrMap::globalBase;
+    Addr inBytes = static_cast<Addr>(c.iters) * c.F * c.geo.gs * 4;
+    c.out = c.in + roundUp(inBytes, 64);
+    int workers = c.groups * c.geo.gs;
+    Addr outBytes = static_cast<Addr>(workers) * c.iters * c.S * 4;
+    c.sig = c.out + roundUp(outBytes, 64);
+    return c;
+}
+
+/** Emit a random, defined-before-use ALU tail into the body mt. */
+void
+emitRandomOps(Assembler &as, Rng &rng, const CaseSpec &c)
+{
+    // Integer pool x10..x12 seeded from loaded data so every source
+    // is defined; fp pool is f1..f(nLoads).
+    as.fmvXW(x(10), f(1));
+    as.fmvXW(x(11), f(2));
+    as.li(x(12), static_cast<std::int32_t>(rng.below(4096)));
+
+    auto fsrc = [&] { return f(1 + static_cast<int>(rng.below(c.nLoads))); };
+    auto isrc = [&] { return x(10 + static_cast<int>(rng.below(3))); };
+
+    int predOpen = -1;
+    if (c.predRegion)
+        predOpen = static_cast<int>(rng.below(c.nOps));
+
+    for (int i = 0; i < c.nOps; ++i) {
+        if (i == predOpen)
+            as.predNeq(x(10), x(0));
+        switch (rng.below(8)) {
+          case 0: as.fadd(fsrc(), fsrc(), fsrc()); break;
+          case 1: as.fsub(fsrc(), fsrc(), fsrc()); break;
+          case 2: as.fmul(fsrc(), fsrc(), fsrc()); break;
+          case 3: as.fmadd(fsrc(), fsrc(), fsrc(), fsrc()); break;
+          case 4: as.add(isrc(), isrc(), isrc()); break;
+          case 5: as.xor_(isrc(), isrc(), isrc()); break;
+          case 6: as.mul(isrc(), isrc(), isrc()); break;
+          default:
+            as.srli(isrc(), isrc(),
+                    static_cast<std::int32_t>(1 + rng.below(8)));
+            break;
+        }
+    }
+    if (c.predRegion)
+        as.predEq(x(0), x(0));
+}
+
+std::shared_ptr<const Program>
+buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
+             const MachineParams &params)
+{
+    SpmdBuilder b("fuzz_" + std::to_string(c.seed), cfg, params);
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+
+    int gs = c.geo.gs;
+    int tpg = c.tpg;
+    int itersBytes = c.iters * c.S * 4;
+    Addr out = c.out;
+    bool simd = c.simd;
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        as.li(x(7), tpg);
+        as.div(x(6), x(6), x(7));          // group id
+        as.li(x(7), gs);
+        as.mul(x(6), x(6), x(7));
+        as.add(x(5), x(5), x(6));          // worker id
+        as.li(x(7), itersBytes);
+        as.mul(x(7), x(5), x(7));
+        as.la(x(9), out);
+        as.add(x(9), x(9), x(7));          // per-worker output cursor
+        as.li(x(11), 0);
+        as.fmvWX(f(0), x(11));
+        if (simd)
+            as.simdBcast(v(2), f(0));
+    });
+
+    // The Rng is consumed inside the deferred body lambda exactly
+    // once (defineMicrothread emits at finish()), keeping the draw
+    // order deterministic per seed.
+    auto *prng = &rng;
+    CaseSpec cc = c;
+    b.defineMicrothread(body, [=](Assembler &as) {
+        Rng &r = *prng;
+        as.frameStart(x(13));
+        for (int i = 0; i < cc.nLoads; ++i)
+            as.flw(f(1 + i), x(13),
+                   static_cast<std::int32_t>(r.below(cc.F)) * 4);
+        emitRandomOps(as, r, cc);
+        if (cc.simd) {
+            int off = static_cast<int>(r.below(cc.F - 3));
+            as.simdLw(v(1), x(13), off * 4);
+            as.simdFma(v(2), v(1), v(1), v(2));
+        }
+        for (int i = 0; i < cc.nFsw; ++i)
+            as.fsw(f(1 + static_cast<int>(r.below(cc.nLoads))),
+                   x(9), i * 4);
+        if (cc.simdStore)
+            as.simdSw(v(2), x(9), cc.nFsw * 4);
+        as.addi(x(9), x(9), cc.S * 4);
+        as.remem();
+    });
+
+    int F = c.F;
+    int w = c.w;
+    Addr in = c.in;
+    int iters = c.iters;
+    b.vectorPhase(F, c.numFrames, [=](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), in);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, F * 4, cc.numFrames);
+        rot.emitInit();
+        DaeStreamSpec spec;
+        spec.iters = iters;
+        spec.frameBytes = F * 4;
+        spec.numFrames = cc.numFrames;
+        spec.bodyMt = body;
+        int vps = F / w;
+        spec.fill = [=](Assembler &a, RegIdx off) {
+            for (int si = 0; si < vps; ++si) {
+                RegIdx areg = x(5);
+                RegIdx oreg = off;
+                if (si > 0) {
+                    a.addi(x(13), x(5), si * w * gs * 4);
+                    areg = x(13);
+                    a.addi(x(14), off, si * w * 4);
+                    oreg = x(14);
+                }
+                a.vload(areg, oreg, 0, w, VloadVariant::Group);
+            }
+            a.addi(x(5), x(5), F * gs * 4);
+        };
+        emitScalarStream(as, spec, rot, regs);
+    });
+
+    if (c.mimdEpilogue) {
+        Addr sig = c.sig;
+        std::int32_t salt =
+            static_cast<std::int32_t>(c.seed & 0xffff) + 17;
+        b.mimdPhase([=](Assembler &as) {
+            as.la(x(5), sig);
+            as.slli(x(6), rCoreId, 2);
+            as.add(x(5), x(5), x(6));
+            as.li(x(7), salt);
+            as.add(x(7), x(7), rCoreId);
+            as.sw(x(7), x(5), 0);
+        });
+    }
+    return std::make_shared<const Program>(b.finish());
+}
+
+} // namespace
+
+FuzzCaseResult
+runFuzzCase(std::uint64_t seed, bool verbose)
+{
+    FuzzCaseResult res;
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+    CaseSpec c = drawCase(rng, seed);
+    res.shape = c.describe();
+
+    BenchConfig cfg;
+    cfg.name = "FUZZ";
+    cfg.groupSize = c.geo.gs;
+    cfg.simdWords = c.simd ? 4 : 1;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+
+    MachineParams params = machineFor(cfg, c.geo.cols, c.geo.rows);
+    params.heapBytes = 1u << 20;   // Keep memory compares cheap.
+
+    try {
+        Machine machine(params);
+
+        // Input stream: nonzero random floats.
+        Addr inWords =
+            static_cast<Addr>(c.iters) * c.F * c.geo.gs;
+        for (Addr i = 0; i < inWords; ++i) {
+            float f = 0.25f +
+                      0.75f * static_cast<float>(rng.uniform());
+            machine.mem().writeWord(c.in + i * 4, floatToWord(f));
+        }
+
+        auto prog = buildProgram(c, rng, cfg, params);
+        machine.loadAll(prog);
+        for (int g = 0; g < c.groups; ++g) {
+            GroupPlan plan;
+            for (int i = 0; i < c.tpg; ++i)
+                plan.chain.push_back(g * c.tpg + i);
+            machine.planGroup(plan);
+        }
+
+        // The static verifier is the well-formedness oracle: any
+        // finding on a generated program is a fuzzer bug.
+        VerifyReport rep = verifyProgram(*prog, cfg, params);
+        if (!rep.ok()) {
+            res.error = "verifier rejected generated program:\n" +
+                        rep.text(*prog);
+            return res;
+        }
+
+        // Snapshot both checkers BEFORE the run mutates memory.
+        RefMachine batch(machine);
+        CosimChecker checker(machine);
+        checker.recordStreams(machine.numCores());
+        machine.attachCosim(&checker);
+
+        machine.run(20'000'000);
+        machine.drainCosim();
+        std::string div = checker.finish(machine.mem());
+        if (!div.empty()) {
+            res.error = "cosim: " + div;
+            return res;
+        }
+
+        auto br = batch.runBatch();
+        if (!br.ok) {
+            res.error = "batch reference failed: " + br.error;
+            return res;
+        }
+
+        // Cross-check per-core commit streams, timing vs batch.
+        const auto &ts = checker.streams();
+        for (size_t core = 0; core < ts.size(); ++core) {
+            const auto &a = ts[core];
+            const auto &b = br.streams[core];
+            size_t n = std::min(a.size(), b.size());
+            for (size_t i = 0; i < n; ++i) {
+                if (recordsEqual(a[i], b[i]))
+                    continue;
+                std::ostringstream os;
+                os << "stream mismatch core " << core << " record "
+                   << i << ":\n  timing: " << describeRecord(a[i])
+                   << "\n  batch:  " << describeRecord(b[i]);
+                res.error = os.str();
+                return res;
+            }
+            if (a.size() != b.size()) {
+                std::ostringstream os;
+                os << "stream length mismatch core " << core
+                   << ": timing " << a.size() << " vs batch "
+                   << b.size();
+                res.error = os.str();
+                return res;
+            }
+        }
+
+        std::string md = batch.finish(machine.mem());
+        if (!md.empty()) {
+            res.error = "batch memory mismatch: " + md;
+            return res;
+        }
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    (void)verbose;
+    return res;
+}
+
+FuzzSummary
+runFuzz(const FuzzOptions &opts)
+{
+    FuzzSummary sum;
+    std::vector<std::string> geoms;
+    for (int i = 0; i < opts.seeds; ++i) {
+        std::uint64_t seed = opts.baseSeed + static_cast<std::uint64_t>(i);
+        FuzzCaseResult r = runFuzzCase(seed, opts.verbose);
+        std::string geo = r.shape.substr(0, r.shape.find(' '));
+        if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
+            geoms.push_back(geo);
+        if (r.ok) {
+            ++sum.passed;
+        } else {
+            ++sum.failed;
+            sum.failures.push_back("seed " + std::to_string(seed) +
+                                   " (" + r.shape + "): " + r.error);
+        }
+    }
+    std::sort(geoms.begin(), geoms.end());
+    sum.geometries = geoms;
+    return sum;
+}
+
+} // namespace rockcress

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Vector-program fuzzer: generates seeded, verifier-clean random
+ * vector-group programs (frame streaming, predication, PCV SIMD,
+ * global stores, optional MIMD epilogue) and runs each one twice —
+ * on the cycle-level machine under the co-simulation checker and on
+ * the functional reference in batch mode — then cross-checks the
+ * per-core commit streams and the final memory images.
+ */
+
+#ifndef ROCKCRESS_REF_FUZZ_HH
+#define ROCKCRESS_REF_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rockcress
+{
+
+/** Fuzzer knobs (mirrors ref_fuzz's command line). */
+struct FuzzOptions
+{
+    std::uint64_t baseSeed = 0x5eed;
+    int seeds = 50;
+    bool verbose = false;
+};
+
+/** Outcome of one fuzzed program. */
+struct FuzzCaseResult
+{
+    bool ok = false;
+    std::string shape;   ///< One-line geometry/program description.
+    std::string error;   ///< First failure (empty when ok).
+};
+
+/** Generate and check a single seed. */
+FuzzCaseResult runFuzzCase(std::uint64_t seed, bool verbose = false);
+
+/** Aggregate over a seed range. */
+struct FuzzSummary
+{
+    int passed = 0;
+    int failed = 0;
+    /** One entry per failed seed: "seed N: <error>". */
+    std::vector<std::string> failures;
+    /** Distinct vector-group geometries exercised, e.g. "4x2/g3". */
+    std::vector<std::string> geometries;
+
+    bool ok() const { return failed == 0; }
+};
+
+/** Run the full campaign. */
+FuzzSummary runFuzz(const FuzzOptions &opts);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_REF_FUZZ_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ref_fuzz: differential fuzzing driver. Generates seeded random
+ * vector-group programs and cross-checks the cycle-level machine
+ * against the functional reference (commit streams + final memory).
+ *
+ *   ref_fuzz [--seeds N] [--base B] [--verbose]
+ *
+ * Exits nonzero on the first summary with failures.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ref/fuzz.hh"
+
+int
+main(int argc, char **argv)
+{
+    rockcress::FuzzOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+            opts.seeds = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--base") && i + 1 < argc) {
+            opts.baseSeed =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--verbose")) {
+            opts.verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--seeds N] [--base B] [--verbose]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    if (opts.verbose) {
+        for (int i = 0; i < opts.seeds; ++i) {
+            std::uint64_t seed =
+                opts.baseSeed + static_cast<std::uint64_t>(i);
+            rockcress::FuzzCaseResult r =
+                rockcress::runFuzzCase(seed, true);
+            std::printf("seed %llu: %s [%s]\n",
+                        static_cast<unsigned long long>(seed),
+                        r.ok ? "ok" : "FAIL", r.shape.c_str());
+            if (!r.ok)
+                std::printf("%s\n", r.error.c_str());
+            if (!r.ok)
+                return 1;
+        }
+        std::printf("ref_fuzz: %d seeds passed\n", opts.seeds);
+        return 0;
+    }
+
+    rockcress::FuzzSummary sum = rockcress::runFuzz(opts);
+    std::printf("ref_fuzz: %d passed, %d failed; geometries:",
+                sum.passed, sum.failed);
+    for (const auto &g : sum.geometries)
+        std::printf(" %s", g.c_str());
+    std::printf("\n");
+    for (const auto &f : sum.failures)
+        std::printf("FAIL %s\n", f.c_str());
+    return sum.ok() ? 0 : 1;
+}

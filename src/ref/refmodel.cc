@@ -1,0 +1,1177 @@
+#include "ref/refmodel.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+/** Render one commit record for divergence reports. */
+std::string
+renderRecord(const CommitRecord &r)
+{
+    std::ostringstream os;
+    os << disassemble(r.inst) << " | pc=" << r.pc;
+    if (r.wrote) {
+        os << " rd=" << static_cast<int>(r.rd) << " value=[";
+        for (size_t i = 0; i < r.value.size(); ++i)
+            os << (i ? "," : "") << r.value[i];
+        os << "]";
+    }
+    if (r.mem) {
+        os << (r.isStore ? " store" : " load") << " addr=" << r.addr;
+        if (!r.data.empty()) {
+            os << " data=[";
+            for (size_t i = 0; i < r.data.size(); ++i)
+                os << (i ? "," : "") << r.data[i];
+            os << "]";
+        }
+    }
+    if (!r.aux.empty()) {
+        os << " aux=[";
+        for (size_t i = 0; i < r.aux.size(); ++i)
+            os << (i ? "," : "") << r.aux[i];
+        os << "]";
+    }
+    return os.str();
+}
+
+} // namespace
+
+// --- Construction -------------------------------------------------------------
+
+RefMachine::RefMachine(const Machine &m, const RefOptions &opts)
+    : params_(m.params()), map_(m.addrMap()), opts_(opts), mem_(m.mem())
+{
+    int n = params_.numCores();
+    cores_.resize(static_cast<size_t>(n));
+    for (CoreId c = 0; c < n; ++c) {
+        RefCore &rc = core(c);
+        rc.program = m.programOf(c);
+        rc.pc = m.entryOf(c);
+        rc.simd.resize(static_cast<size_t>(params_.core.simdWidth));
+        rc.spad.assign(params_.spadBytes / wordBytes, 0);
+    }
+    for (const GroupPlan &plan : m.groupPlans()) {
+        Group g;
+        g.chain = plan.chain;
+        int gid = static_cast<int>(groups_.size());
+        for (size_t i = 0; i < plan.chain.size(); ++i) {
+            RefCore &rc = core(plan.chain[i]);
+            rc.group = gid;
+            // GroupTid: position among the vector cores; scalar = 0.
+            rc.tid = i >= 1 ? static_cast<int>(i) - 1 : 0;
+        }
+        groups_.push_back(std::move(g));
+    }
+}
+
+// --- Frames -------------------------------------------------------------------
+
+bool
+RefMachine::Frames::inRegion(Addr off) const
+{
+    return frameSize > 0 &&
+           off < static_cast<Addr>(frameSize) *
+                     static_cast<Addr>(numFrames) * wordBytes;
+}
+
+bool
+RefMachine::Frames::ready() const
+{
+    return fill[head % static_cast<std::uint64_t>(numFrames)] ==
+           frameSize;
+}
+
+Addr
+RefMachine::Frames::headByteOffset() const
+{
+    return static_cast<Addr>(head % static_cast<std::uint64_t>(numFrames)) *
+           static_cast<Addr>(frameSize) * wordBytes;
+}
+
+// --- Scratchpad ---------------------------------------------------------------
+
+Word
+RefMachine::spadRead(CoreId c, Addr off, Cycle)
+{
+    if (off % wordBytes != 0 || off >= params_.spadBytes)
+        fatal("ref spad ", c, ": bad read offset ", off);
+    return core(c).spad[off / wordBytes];
+}
+
+void
+RefMachine::spadWrite(CoreId c, Addr off, Word data, Cycle)
+{
+    if (off % wordBytes != 0 || off >= params_.spadBytes)
+        fatal("ref spad ", c, ": bad write offset ", off);
+    core(c).spad[off / wordBytes] = data;
+}
+
+void
+RefMachine::networkWrite(CoreId c, Addr off, Word data, Cycle now)
+{
+    spadWrite(c, off, data, now);
+    Frames &fr = core(c).frames;
+    if (!fr.configured() || !fr.inRegion(off))
+        return;
+    auto slot = static_cast<size_t>(off / wordBytes) /
+                static_cast<size_t>(fr.frameSize);
+    if (fr.fill[slot] >= fr.frameSize)
+        fatal("ref spad ", c, ": frame ", slot, " overfilled");
+    ++fr.fill[slot];
+}
+
+// --- vload --------------------------------------------------------------------
+
+void
+RefMachine::applyVload(CoreId c, const Instruction &inst, Cycle now)
+{
+    RefCore &rc = core(c);
+    Addr addr = rc.regs[inst.rs1];
+    Word spad_off = rc.regs[inst.rs2];
+    int width = inst.imm2;
+    int core_off = inst.imm;
+    auto variant = static_cast<VloadVariant>(inst.sub);
+
+    const std::vector<CoreId> *vec_cores = nullptr;
+    if (variant != VloadVariant::Self) {
+        if (rc.group < 0)
+            fatal("ref core ", c, ": group vload outside a vector group");
+        vec_cores = &groups_[static_cast<size_t>(rc.group)].chain;
+    }
+    // chain[0] is the scalar; vector cores start at chain[1].
+    auto dest_of = [&](int idx) {
+        return vec_cores->at(static_cast<size_t>(idx) + 1);
+    };
+
+    int total_words = width;
+    int resp_per_core = width;
+    if (variant == VloadVariant::Group) {
+        int n = static_cast<int>(vec_cores->size()) - 1 - core_off;
+        total_words = width * n;
+    }
+
+    if (static_cast<Addr>(total_words) * wordBytes > map_.lineBytes)
+        fatal("ref core ", c, ": vload exceeds the cache line");
+    if (addr % wordBytes != 0 || !map_.isGlobal(addr))
+        fatal("ref core ", c, ": bad vload source address ", addr);
+
+    for (int w = 0; w < total_words; ++w) {
+        CoreId dst = c;
+        switch (variant) {
+          case VloadVariant::Self: dst = c; break;
+          case VloadVariant::Single: dst = dest_of(core_off); break;
+          case VloadVariant::Group:
+            dst = dest_of(core_off + w / resp_per_core);
+            break;
+        }
+        Addr off = spad_off +
+                   static_cast<Addr>(w % resp_per_core) * wordBytes;
+        networkWrite(dst, off,
+                     mem_.readWord(addr + static_cast<Addr>(w) * wordBytes),
+                     now);
+    }
+}
+
+/** Tolerant run-ahead window check for a vload (BATCH pacing): every
+ * destination frame slot must be within numFrames of the head. The
+ * hardware window is the counter count; commit-order refill can
+ * legally run ahead of it (DESIGN.md 5e). */
+bool
+RefMachine::frameWindowOk(const Frames &fr, Addr off)
+{
+    if (!fr.configured() || !fr.inRegion(off))
+        return true;
+    // All numFrames slots are tracked, so only overfill can reject; a
+    // full not-yet-freed slot means the producer must wait.
+    auto slot = static_cast<size_t>(off / wordBytes) /
+                static_cast<size_t>(fr.frameSize);
+    return fr.fill[slot] < fr.frameSize;
+}
+
+// --- Divergence reporting ------------------------------------------------------
+
+void
+RefMachine::diverge(CoreId c, Cycle now, int pc, const Instruction &inst,
+                    const std::string &what) const
+{
+    std::ostringstream os;
+    os << "cosim divergence: core " << c << " cycle " << now << " pc "
+       << pc << "\n  inst: " << disassemble(inst) << "\n  " << what;
+    throw CosimDivergence(c, now, pc, inst, os.str());
+}
+
+void
+RefMachine::compareRecords(CoreId c, Cycle now, int ref_pc,
+                           const CommitRecord &exp,
+                           const CommitRecord &got) const
+{
+    auto fail = [&](const char *field) {
+        std::ostringstream os;
+        os << field << " mismatch\n  expected: " << renderRecord(exp)
+           << "\n  actual:   " << renderRecord(got);
+        diverge(c, now, ref_pc, got.inst, os.str());
+    };
+    if (exp.pc >= 0 && got.pc >= 0 && exp.pc != got.pc)
+        fail("pc");
+    if (exp.wrote != got.wrote)
+        fail("writeback presence");
+    if (exp.wrote && (exp.rd != got.rd || exp.value != got.value))
+        fail("register writeback");
+    if (exp.mem != got.mem || exp.isStore != got.isStore)
+        fail("memory-effect kind");
+    if (exp.mem && exp.addr != got.addr)
+        fail("memory address");
+    if (exp.data != got.data)
+        fail("store data");
+    if (exp.aux != got.aux)
+        fail("auxiliary state");
+}
+
+// --- The functional executor ---------------------------------------------------
+
+CommitRecord
+RefMachine::apply(CoreId c, const Instruction &inst, int rec_pc,
+                  const CommitRecord *timing, Cycle now)
+{
+    RefCore &rc = core(c);
+    CommitRecord r;
+    r.inst = inst;
+    r.pc = rec_pc;
+    Opcode op = inst.op;
+
+    // Predication: a clear flag squashes everything except the
+    // predicate/region-exit ops; the squashed op still commits a bare
+    // record and the stream advances.
+    if (!rc.pred && op != Opcode::PRED_EQ && op != Opcode::PRED_NEQ &&
+        op != Opcode::DEVEC && op != Opcode::VEND) {
+        rc.pc += 1;
+        return r;
+    }
+
+    auto &regs = rc.regs;
+    auto si = [&](RegIdx reg) {
+        return static_cast<std::int32_t>(regs[reg]);
+    };
+    auto fp = [&](RegIdx reg) { return wordToFloat(regs[reg]); };
+    auto set_int = [&](RegIdx reg, Word v) {
+        if (reg != regZero)
+            regs[reg] = v;
+    };
+    auto set_fp = [&](RegIdx reg, float v) { regs[reg] = floatToWord(v); };
+    int simd_width = params_.core.simdWidth;
+
+    /** Capture the flat/SIMD writeback of a plain functional op. */
+    auto capture_dest = [&]() {
+        int rd = destReg(inst);
+        if (rd < 0)
+            return;
+        r.wrote = true;
+        r.rd = static_cast<RegIdx>(rd);
+        if (rd >= simdRegBase) {
+            for (int l = 0; l < simd_width; ++l)
+                r.value.push_back(rc.simd[static_cast<size_t>(l)]
+                                         [rd - simdRegBase]);
+        } else {
+            r.value = {regs[static_cast<size_t>(rd)]};
+        }
+    };
+
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU: {
+        bool taken = false;
+        switch (op) {
+          case Opcode::BEQ: taken = si(inst.rs1) == si(inst.rs2); break;
+          case Opcode::BNE: taken = si(inst.rs1) != si(inst.rs2); break;
+          case Opcode::BLT: taken = si(inst.rs1) < si(inst.rs2); break;
+          case Opcode::BGE: taken = si(inst.rs1) >= si(inst.rs2); break;
+          case Opcode::BLTU: taken = regs[inst.rs1] < regs[inst.rs2];
+                             break;
+          case Opcode::BGEU: taken = regs[inst.rs1] >= regs[inst.rs2];
+                             break;
+          default: break;
+        }
+        rc.pc = taken ? inst.imm : rc.pc + 1;
+        r.aux = {static_cast<Word>(rc.pc)};
+        return r;
+      }
+      case Opcode::JAL: {
+        Word link = static_cast<Word>(rc.pc + 1);
+        set_int(inst.rd, link);
+        rc.pc = inst.imm;
+        if (destReg(inst) >= 0) {
+            r.wrote = true;
+            r.rd = inst.rd;
+            r.value = {link};
+        }
+        r.aux = {static_cast<Word>(rc.pc)};
+        return r;
+      }
+      case Opcode::JALR: {
+        Word target = regs[inst.rs1] + static_cast<Word>(inst.imm);
+        Word link = static_cast<Word>(rc.pc + 1);
+        set_int(inst.rd, link);
+        rc.pc = static_cast<int>(target);
+        if (destReg(inst) >= 0) {
+            r.wrote = true;
+            r.rd = inst.rd;
+            r.value = {link};
+        }
+        r.aux = {static_cast<Word>(rc.pc)};
+        return r;
+      }
+
+      case Opcode::LW: case Opcode::FLW: {
+        Addr addr = regs[inst.rs1] + static_cast<Addr>(inst.imm);
+        Word data;
+        if (map_.isGlobal(addr)) {
+            // Racy-load adoption: with strict checking off, take the
+            // timing model's loaded value (address still checked) so
+            // benign data races don't report false divergences.
+            if (timing && !opts_.strictLoads && timing->mem &&
+                !timing->isStore && timing->value.size() == 1) {
+                data = timing->value[0];
+            } else {
+                data = mem_.readWord(addr);
+            }
+        } else {
+            if (map_.spadCore(addr) != c)
+                fatal("ref core ", c, ": load from a remote scratchpad");
+            data = spadRead(c, map_.spadOffset(addr), now);
+        }
+        set_int(inst.rd, data);
+        r.wrote = true;
+        r.rd = inst.rd;
+        r.value = {data};
+        r.mem = true;
+        r.addr = addr;
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::SIMD_LW: {
+        Addr addr = regs[inst.rs1] + static_cast<Addr>(inst.imm);
+        if (!map_.isSpad(addr) || map_.spadCore(addr) != c)
+            fatal("ref core ", c,
+                  ": simd load must target own scratchpad");
+        Addr off = map_.spadOffset(addr);
+        int rd = inst.rd - simdRegBase;
+        r.wrote = true;
+        r.rd = inst.rd;
+        for (int l = 0; l < simd_width; ++l) {
+            Word w = spadRead(c, off + static_cast<Addr>(l) * wordBytes,
+                              now);
+            rc.simd[static_cast<size_t>(l)][rd] = w;
+            r.value.push_back(w);
+        }
+        r.mem = true;
+        r.addr = addr;
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::SW: case Opcode::FSW: {
+        Addr addr = regs[inst.rs1] + static_cast<Addr>(inst.imm);
+        Word data = regs[inst.rs2];
+        if (map_.isGlobal(addr)) {
+            mem_.writeWord(addr, data);
+        } else if (map_.spadCore(addr) == c) {
+            spadWrite(c, map_.spadOffset(addr), data, now);
+        } else {
+            // Remote scratchpad store: the arrival path counts toward
+            // the destination's frame fill, like the timing model.
+            networkWrite(map_.spadCore(addr), map_.spadOffset(addr),
+                         data, now);
+        }
+        r.mem = true;
+        r.isStore = true;
+        r.addr = addr;
+        r.data = {data};
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::SIMD_SW: {
+        Addr addr = regs[inst.rs1] + static_cast<Addr>(inst.imm);
+        r.mem = true;
+        r.isStore = true;
+        r.addr = addr;
+        bool own_spad = map_.isSpad(addr) && map_.spadCore(addr) == c;
+        if (!own_spad && !map_.isGlobal(addr))
+            fatal("ref core ", c, ": simd store to a remote scratchpad");
+        for (int l = 0; l < simd_width; ++l) {
+            Word w = rc.simd[static_cast<size_t>(l)]
+                            [inst.rs2 - simdRegBase];
+            Addr a = addr + static_cast<Addr>(l) * wordBytes;
+            if (own_spad)
+                spadWrite(c, map_.spadOffset(a), w, now);
+            else
+                mem_.writeWord(a, w);
+            r.data.push_back(w);
+        }
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::VLOAD:
+        r.aux = {regs[inst.rs1], regs[inst.rs2]};
+        applyVload(c, inst, now);
+        rc.pc += 1;
+        return r;
+
+      case Opcode::VISSUE:
+        if (rc.group >= 0) {
+            groups_[static_cast<size_t>(rc.group)].events.push_back(
+                {false, inst.imm});
+        }
+        rc.pc += 1;
+        return r;
+
+      case Opcode::VEND:
+        rc.inMt = false;
+        rc.pc += 1;
+        return r;
+
+      case Opcode::DEVEC:
+        if (rc.role == Role::Scalar) {
+            // The disband message fans out; the scalar itself keeps
+            // running in its own stream (pred flag untouched).
+            Group &g = groups_[static_cast<size_t>(rc.group)];
+            g.events.push_back({true, inst.imm});
+            rc.role = Role::Independent;
+            rc.pc += 1;
+            leaveGroup(g);
+        } else if (rc.role == Role::Expander ||
+                   rc.role == Role::Vector) {
+            rc.role = Role::Independent;
+            rc.inMt = false;
+            rc.pred = true;
+            rc.pc = inst.imm;
+            leaveGroup(groups_[static_cast<size_t>(rc.group)]);
+        } else {
+            rc.pc += 1;
+        }
+        return r;
+
+      case Opcode::FRAME_START: {
+        Frames &fr = rc.frames;
+        if (!fr.configured())
+            fatal("ref core ", c, ": frame_start with frames "
+                  "unconfigured");
+        if (!fr.ready())
+            diverge(c, now, rec_pc, inst,
+                    "frame_start committed with the head frame not "
+                    "full in the reference (refill ordering)");
+        Word base = map_.spadBase(c) + fr.headByteOffset();
+        set_int(inst.rd, base);
+        r.wrote = true;
+        r.rd = inst.rd;
+        r.value = {base};
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::REMEM: {
+        Frames &fr = rc.frames;
+        if (!fr.configured())
+            fatal("ref core ", c, ": remem with frames unconfigured");
+        if (!fr.ready())
+            diverge(c, now, rec_pc, inst,
+                    "remem of a non-full frame in the reference");
+        fr.fill[fr.head % static_cast<std::uint64_t>(fr.numFrames)] = 0;
+        ++fr.head;
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::PRED_EQ:
+        rc.pred = regs[inst.rs1] == regs[inst.rs2];
+        r.aux = {rc.pred ? Word(1) : Word(0)};
+        rc.pc += 1;
+        return r;
+      case Opcode::PRED_NEQ:
+        rc.pred = regs[inst.rs1] != regs[inst.rs2];
+        r.aux = {rc.pred ? Word(1) : Word(0)};
+        rc.pc += 1;
+        return r;
+
+      case Opcode::CSRW: {
+        Csr csr = static_cast<Csr>(inst.sub);
+        Word value = regs[inst.rs1];
+        r.aux = {value};
+        if (csr == Csr::Vconfig) {
+            if (value != 0 && rc.group >= 0) {
+                const Group &g = groups_[static_cast<size_t>(rc.group)];
+                if (g.chain[0] == c)
+                    rc.role = Role::Scalar;
+                else if (g.chain[1] == c)
+                    rc.role = Role::Expander;
+                else
+                    rc.role = Role::Vector;
+                rc.inMt = false;
+            }
+            rc.pc += 1;
+            return r;
+        }
+        if (csr == Csr::FrameCfg) {
+            Frames &fr = rc.frames;
+            auto frame_words = static_cast<int>(value & 0xffff);
+            auto num_frames = static_cast<int>(value >> 16);
+            if (frame_words == 0 && num_frames == 0) {
+                fr = Frames{};
+            } else {
+                if (frame_words <= 0 || num_frames <= 0 ||
+                    frame_words >= 1024 ||
+                    static_cast<Addr>(frame_words) *
+                            static_cast<Addr>(num_frames) * wordBytes >
+                        params_.spadBytes) {
+                    fatal("ref core ", c, ": bad frame config ", value);
+                }
+                fr.frameSize = frame_words;
+                fr.numFrames = num_frames;
+                fr.head = 0;
+                fr.fill.assign(static_cast<size_t>(num_frames), 0);
+            }
+            rc.pc += 1;
+            return r;
+        }
+        fatal("ref core ", c, ": write to read-only CSR");
+      }
+
+      case Opcode::CSRR: {
+        Csr csr = static_cast<Csr>(inst.sub);
+        Word value = 0;
+        switch (csr) {
+          case Csr::CoreId: value = static_cast<Word>(c); break;
+          case Csr::NumCores:
+            value = static_cast<Word>(params_.numCores());
+            break;
+          case Csr::GroupTid: value = static_cast<Word>(rc.tid); break;
+          case Csr::GroupLen:
+            // Formed iff this core currently holds a vector-mode role
+            // (reads are only meaningful inside the region).
+            if (rc.role != Role::Independent && rc.group >= 0) {
+                value = static_cast<Word>(
+                    groups_[static_cast<size_t>(rc.group)].chain.size() -
+                    1);
+            }
+            break;
+          default:
+            fatal("ref core ", c, ": read of unknown CSR");
+        }
+        set_int(inst.rd, value);
+        if (destReg(inst) >= 0) {
+            r.wrote = true;
+            r.rd = inst.rd;
+            r.value = {value};
+        }
+        rc.pc += 1;
+        return r;
+      }
+
+      case Opcode::BARRIER:
+        rc.pc += 1;
+        return r;
+
+      case Opcode::HALT:
+        // Never commits in the timing model; BATCH handles it before
+        // calling apply.
+        fatal("ref core ", c, ": halt reached the executor");
+
+      case Opcode::NOP:
+        rc.pc += 1;
+        return r;
+
+      default:
+        break;
+    }
+
+    // Plain functional instruction: mirror Core::execute exactly
+    // (including FP expression shapes, for bit-identical results).
+    switch (op) {
+      case Opcode::ADD: set_int(inst.rd, regs[inst.rs1] + regs[inst.rs2]); break;
+      case Opcode::SUB: set_int(inst.rd, regs[inst.rs1] - regs[inst.rs2]); break;
+      case Opcode::AND: set_int(inst.rd, regs[inst.rs1] & regs[inst.rs2]); break;
+      case Opcode::OR:  set_int(inst.rd, regs[inst.rs1] | regs[inst.rs2]); break;
+      case Opcode::XOR: set_int(inst.rd, regs[inst.rs1] ^ regs[inst.rs2]); break;
+      case Opcode::SLL:
+        set_int(inst.rd, regs[inst.rs1] << (regs[inst.rs2] & 31));
+        break;
+      case Opcode::SRL:
+        set_int(inst.rd, regs[inst.rs1] >> (regs[inst.rs2] & 31));
+        break;
+      case Opcode::SRA:
+        set_int(inst.rd, static_cast<Word>(si(inst.rs1) >>
+                                           (regs[inst.rs2] & 31)));
+        break;
+      case Opcode::SLT:
+        set_int(inst.rd, si(inst.rs1) < si(inst.rs2) ? 1 : 0);
+        break;
+      case Opcode::SLTU:
+        set_int(inst.rd, regs[inst.rs1] < regs[inst.rs2] ? 1 : 0);
+        break;
+      case Opcode::MUL:
+        // Unsigned wrap-around product, matching Core::execute.
+        set_int(inst.rd, regs[inst.rs1] * regs[inst.rs2]);
+        break;
+      case Opcode::MULH:
+        set_int(inst.rd, static_cast<Word>(
+            (static_cast<std::int64_t>(si(inst.rs1)) *
+             static_cast<std::int64_t>(si(inst.rs2))) >> 32));
+        break;
+      case Opcode::DIV:
+        set_int(inst.rd,
+                regs[inst.rs2] == 0
+                    ? static_cast<Word>(-1)
+                    : static_cast<Word>(si(inst.rs1) / si(inst.rs2)));
+        break;
+      case Opcode::REM:
+        set_int(inst.rd,
+                regs[inst.rs2] == 0
+                    ? regs[inst.rs1]
+                    : static_cast<Word>(si(inst.rs1) % si(inst.rs2)));
+        break;
+      case Opcode::ADDI:
+        set_int(inst.rd, regs[inst.rs1] + static_cast<Word>(inst.imm));
+        break;
+      case Opcode::ANDI:
+        set_int(inst.rd, regs[inst.rs1] & static_cast<Word>(inst.imm));
+        break;
+      case Opcode::ORI:
+        set_int(inst.rd, regs[inst.rs1] | static_cast<Word>(inst.imm));
+        break;
+      case Opcode::XORI:
+        set_int(inst.rd, regs[inst.rs1] ^ static_cast<Word>(inst.imm));
+        break;
+      case Opcode::SLLI: set_int(inst.rd, regs[inst.rs1] << inst.imm); break;
+      case Opcode::SRLI: set_int(inst.rd, regs[inst.rs1] >> inst.imm); break;
+      case Opcode::SRAI:
+        set_int(inst.rd, static_cast<Word>(si(inst.rs1) >> inst.imm));
+        break;
+      case Opcode::SLTI:
+        set_int(inst.rd, si(inst.rs1) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::LUI:
+        set_int(inst.rd, static_cast<Word>(inst.imm) << 12);
+        break;
+
+      case Opcode::FADD: set_fp(inst.rd, fp(inst.rs1) + fp(inst.rs2)); break;
+      case Opcode::FSUB: set_fp(inst.rd, fp(inst.rs1) - fp(inst.rs2)); break;
+      case Opcode::FMUL: set_fp(inst.rd, fp(inst.rs1) * fp(inst.rs2)); break;
+      case Opcode::FDIV: set_fp(inst.rd, fp(inst.rs1) / fp(inst.rs2)); break;
+      case Opcode::FSQRT: set_fp(inst.rd, std::sqrt(fp(inst.rs1))); break;
+      case Opcode::FMIN:
+        set_fp(inst.rd, std::fmin(fp(inst.rs1), fp(inst.rs2)));
+        break;
+      case Opcode::FMAX:
+        set_fp(inst.rd, std::fmax(fp(inst.rs1), fp(inst.rs2)));
+        break;
+      case Opcode::FMADD:
+        set_fp(inst.rd, fp(inst.rs1) * fp(inst.rs2) + fp(inst.rs3));
+        break;
+      case Opcode::FABS: set_fp(inst.rd, std::fabs(fp(inst.rs1))); break;
+      case Opcode::FSGNJ:
+        set_fp(inst.rd, std::copysign(fp(inst.rs1), fp(inst.rs2)));
+        break;
+      case Opcode::FEQ:
+        set_int(inst.rd, fp(inst.rs1) == fp(inst.rs2) ? 1 : 0);
+        break;
+      case Opcode::FLT:
+        set_int(inst.rd, fp(inst.rs1) < fp(inst.rs2) ? 1 : 0);
+        break;
+      case Opcode::FLE:
+        set_int(inst.rd, fp(inst.rs1) <= fp(inst.rs2) ? 1 : 0);
+        break;
+      case Opcode::FCVT_WS:
+        set_int(inst.rd, static_cast<Word>(
+            static_cast<std::int32_t>(fp(inst.rs1))));
+        break;
+      case Opcode::FCVT_SW:
+        set_fp(inst.rd, static_cast<float>(si(inst.rs1)));
+        break;
+      case Opcode::FMV_XW: set_int(inst.rd, regs[inst.rs1]); break;
+      case Opcode::FMV_WX: regs[inst.rd] = regs[inst.rs1]; break;
+
+      case Opcode::SIMD_ADD: case Opcode::SIMD_SUB:
+      case Opcode::SIMD_MUL: case Opcode::SIMD_FADD:
+      case Opcode::SIMD_FSUB: case Opcode::SIMD_FMUL:
+      case Opcode::SIMD_FMA: {
+        int rd = inst.rd - simdRegBase;
+        int a = inst.rs1 - simdRegBase;
+        int b = inst.rs2 - simdRegBase;
+        int cc = inst.rs3 - simdRegBase;
+        for (int l = 0; l < simd_width; ++l) {
+            auto &lane = rc.simd[static_cast<size_t>(l)];
+            switch (op) {
+              case Opcode::SIMD_ADD: lane[rd] = lane[a] + lane[b]; break;
+              case Opcode::SIMD_SUB: lane[rd] = lane[a] - lane[b]; break;
+              case Opcode::SIMD_MUL:
+                lane[rd] = lane[a] * lane[b];
+                break;
+              case Opcode::SIMD_FADD:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) +
+                                       wordToFloat(lane[b]));
+                break;
+              case Opcode::SIMD_FSUB:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) -
+                                       wordToFloat(lane[b]));
+                break;
+              case Opcode::SIMD_FMUL:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) *
+                                       wordToFloat(lane[b]));
+                break;
+              case Opcode::SIMD_FMA:
+                lane[rd] = floatToWord(wordToFloat(lane[a]) *
+                                           wordToFloat(lane[b]) +
+                                       wordToFloat(lane[cc]));
+                break;
+              default: break;
+            }
+        }
+        break;
+      }
+      case Opcode::SIMD_BCAST: {
+        int rd = inst.rd - simdRegBase;
+        for (int l = 0; l < simd_width; ++l)
+            rc.simd[static_cast<size_t>(l)][rd] = regs[inst.rs1];
+        break;
+      }
+      case Opcode::SIMD_REDSUM: {
+        int a = inst.rs1 - simdRegBase;
+        float sum = 0.0f;
+        for (int l = 0; l < simd_width; ++l)
+            sum += wordToFloat(rc.simd[static_cast<size_t>(l)][a]);
+        set_fp(inst.rd, sum);
+        break;
+      }
+
+      default:
+        fatal("ref core ", c, ": executor got unexpected op ",
+              opcodeName(op));
+    }
+
+    capture_dest();
+    rc.pc += 1;
+    return r;
+}
+
+void
+RefMachine::leaveGroup(Group &g)
+{
+    ++g.left;
+    if (g.left == static_cast<int>(g.chain.size())) {
+        // Fully disbanded: allow re-formation at the next kernel.
+        g.joined = 0;
+        g.left = 0;
+        for (CoreId m : g.chain)
+            core(m).joinCounted = false;
+    }
+}
+
+// --- DRIVEN mode ---------------------------------------------------------------
+
+void
+RefMachine::step(CoreId c, Cycle now, const CommitRecord &rec)
+{
+    RefCore &rc = core(c);
+    Instruction inst;
+    int ref_pc = -1;
+
+    auto consume_event = [&](bool &handled_devec) -> bool {
+        Group &g = groups_[static_cast<size_t>(rc.group)];
+        if (rc.eventIdx >= g.events.size())
+            diverge(c, now, -1, rec.inst,
+                    "vector-mode commit with no pending vissue/devec "
+                    "event from the scalar core");
+        Group::Event ev = g.events[rc.eventIdx++];
+        if (ev.isDevec) {
+            Instruction devec;
+            devec.op = Opcode::DEVEC;
+            devec.imm = ev.pc;
+            if (!(devec == rec.inst))
+                diverge(c, now, -1, rec.inst,
+                        "expected the group's devec, got " +
+                            disassemble(rec.inst));
+            CommitRecord exp = apply(c, devec, -1, &rec, now);
+            compareRecords(c, now, -1, exp, rec);
+            handled_devec = true;
+            return true;
+        }
+        rc.inMt = true;
+        rc.pc = ev.pc;
+        return false;
+    };
+
+    switch (rc.role) {
+      case Role::Independent:
+      case Role::Scalar:
+        inst = rc.program->at(rc.pc);
+        ref_pc = rc.pc;
+        break;
+
+      case Role::Expander: {
+        if (!rc.inMt) {
+            bool done = false;
+            if (consume_event(done), done)
+                return;
+        }
+        inst = rc.program->at(rc.pc);
+        ref_pc = rc.pc;
+        break;
+      }
+
+      case Role::Vector: {
+        // Replay the expander's stream: branches and vends are never
+        // forwarded, so resolve them silently with this core's own
+        // registers (the uniform-control-flow contract, DESIGN.md 5e).
+        std::uint64_t budget = opts_.maxSilentSteps;
+        for (;;) {
+            if (!rc.inMt) {
+                bool done = false;
+                if (consume_event(done), done)
+                    return;
+                continue;
+            }
+            inst = rc.program->at(rc.pc);
+            if (isBranch(inst.op)) {
+                resolveSilentBranch(rc, inst);
+            } else if (inst.op == Opcode::VEND) {
+                rc.inMt = false;
+            } else {
+                break;
+            }
+            if (budget-- == 0)
+                diverge(c, now, rc.pc, inst,
+                        "silent replay budget exhausted (runaway "
+                        "microthread loop?)");
+        }
+        ref_pc = -1;
+        break;
+      }
+    }
+
+    if (!(inst == rec.inst)) {
+        diverge(c, now, ref_pc, rec.inst,
+                "instruction mismatch\n  expected: " + disassemble(inst) +
+                    "\n  actual:   " + disassemble(rec.inst));
+    }
+    CommitRecord exp = apply(c, inst, ref_pc, &rec, now);
+    compareRecords(c, now, ref_pc, exp, rec);
+}
+
+void
+RefMachine::resolveSilentBranch(RefCore &rc, const Instruction &inst)
+{
+    auto si = [&](RegIdx reg) {
+        return static_cast<std::int32_t>(rc.regs[reg]);
+    };
+    bool taken = false;
+    switch (inst.op) {
+      case Opcode::BEQ: taken = si(inst.rs1) == si(inst.rs2); break;
+      case Opcode::BNE: taken = si(inst.rs1) != si(inst.rs2); break;
+      case Opcode::BLT: taken = si(inst.rs1) < si(inst.rs2); break;
+      case Opcode::BGE: taken = si(inst.rs1) >= si(inst.rs2); break;
+      case Opcode::BLTU: taken = rc.regs[inst.rs1] < rc.regs[inst.rs2];
+                         break;
+      case Opcode::BGEU: taken = rc.regs[inst.rs1] >= rc.regs[inst.rs2];
+                         break;
+      // Jumps: the link register is NOT written (the expander keeps
+      // it; trailing cores never see the instruction).
+      case Opcode::JAL: rc.pc = inst.imm; return;
+      case Opcode::JALR:
+        rc.pc = static_cast<int>(rc.regs[inst.rs1] +
+                                 static_cast<Word>(inst.imm));
+        return;
+      default:
+        fatal("ref: resolveSilentBranch on non-branch");
+    }
+    rc.pc = taken ? inst.imm : rc.pc + 1;
+}
+
+std::string
+RefMachine::finish(const MainMemory &timing_mem) const
+{
+    std::ostringstream os;
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const RefCore &rc = cores_[c];
+        if (rc.halted)
+            continue;  // BATCH mode marks halts explicitly.
+        if (rc.role != Role::Independent) {
+            os << "core " << c << ": walker still in vector mode (pc "
+               << rc.pc << ")\n";
+            continue;
+        }
+        const Instruction &inst = rc.program->at(rc.pc);
+        if (inst.op != Opcode::HALT) {
+            os << "core " << c << ": walker rests at pc " << rc.pc
+               << " (" << disassemble(inst) << "), not a halt\n";
+        }
+    }
+
+    Addr bytes = std::min(mem_.capacity(), timing_mem.capacity());
+    std::uint64_t bad = 0;
+    for (Addr off = 0; off < bytes; off += wordBytes) {
+        Addr a = AddrMap::globalBase + off;
+        Word want = mem_.readWord(a);
+        Word got = timing_mem.readWord(a);
+        if (want != got) {
+            if (bad < 8) {
+                os << "memory mismatch at " << a << ": expected " << want
+                   << ", actual " << got << "\n";
+            }
+            ++bad;
+        }
+    }
+    if (bad >= 8)
+        os << "(" << bad << " mismatching words total)\n";
+    return os.str();
+}
+
+// --- BATCH mode ----------------------------------------------------------------
+
+bool
+RefMachine::stepBatchOne(CoreId c,
+                         std::vector<std::vector<CommitRecord>> &streams)
+{
+    RefCore &rc = core(c);
+    rc.blocked.clear();
+    Instruction inst;
+    int ref_pc = -1;
+
+    auto consume_event = [&](bool &emitted) -> bool {
+        Group &g = groups_[static_cast<size_t>(rc.group)];
+        if (rc.eventIdx >= g.events.size()) {
+            rc.blocked = "awaiting vissue/devec";
+            return false;
+        }
+        Group::Event ev = g.events[rc.eventIdx++];
+        if (ev.isDevec) {
+            Instruction devec;
+            devec.op = Opcode::DEVEC;
+            devec.imm = ev.pc;
+            streams[static_cast<size_t>(c)].push_back(
+                apply(c, devec, -1, nullptr, 0));
+            emitted = true;
+            return true;
+        }
+        rc.inMt = true;
+        rc.pc = ev.pc;
+        return true;
+    };
+
+    switch (rc.role) {
+      case Role::Independent:
+      case Role::Scalar:
+        inst = rc.program->at(rc.pc);
+        ref_pc = rc.pc;
+        break;
+
+      case Role::Expander: {
+        if (!rc.inMt) {
+            bool emitted = false;
+            if (!consume_event(emitted))
+                return false;
+            if (emitted || !rc.inMt)
+                return true;
+        }
+        inst = rc.program->at(rc.pc);
+        ref_pc = rc.pc;
+        break;
+      }
+
+      case Role::Vector: {
+        std::uint64_t budget = opts_.maxSilentSteps;
+        for (;;) {
+            if (!rc.inMt) {
+                bool emitted = false;
+                if (!consume_event(emitted))
+                    return false;
+                if (emitted)
+                    return true;
+                continue;
+            }
+            inst = rc.program->at(rc.pc);
+            if (isBranch(inst.op)) {
+                resolveSilentBranch(rc, inst);
+            } else if (inst.op == Opcode::VEND) {
+                rc.inMt = false;
+            } else {
+                break;
+            }
+            if (budget-- == 0)
+                fatal("ref core ", c, ": silent replay budget "
+                      "exhausted (runaway microthread loop?)");
+        }
+        ref_pc = -1;
+        break;
+      }
+    }
+
+    // Blocking semantics (squashed instructions never block).
+    if (rc.pred) {
+        switch (inst.op) {
+          case Opcode::HALT:
+            rc.halted = true;
+            return true;
+          case Opcode::BARRIER:
+            rc.barrierWaiting = true;
+            rc.blocked = "barrier";
+            return false;
+          case Opcode::CSRW:
+            if (static_cast<Csr>(inst.sub) == Csr::Vconfig &&
+                rc.regs[inst.rs1] != 0) {
+                if (rc.group < 0)
+                    fatal("ref core ", c,
+                          ": vconfig write without a group plan");
+                Group &g = groups_[static_cast<size_t>(rc.group)];
+                if (!rc.joinCounted) {
+                    rc.joinCounted = true;
+                    ++g.joined;
+                }
+                if (g.joined < static_cast<int>(g.chain.size())) {
+                    rc.blocked = "vconfig join";
+                    return false;
+                }
+            }
+            break;
+          case Opcode::FRAME_START:
+            if (!rc.frames.configured())
+                fatal("ref core ", c,
+                      ": frame_start with frames unconfigured");
+            if (!rc.frames.ready()) {
+                rc.blocked = "frame_start (head frame not full)";
+                return false;
+            }
+            break;
+          case Opcode::VLOAD: {
+            // DAE pacing: block while any destination frame slot is
+            // still full from an earlier, not-yet-freed iteration.
+            Addr spad_off = rc.regs[inst.rs2];
+            Addr last = spad_off +
+                        static_cast<Addr>(inst.imm2 > 0 ? inst.imm2 - 1
+                                                        : 0) *
+                            wordBytes;
+            std::vector<CoreId> dests;
+            auto variant = static_cast<VloadVariant>(inst.sub);
+            if (variant == VloadVariant::Self) {
+                dests.push_back(c);
+            } else {
+                if (rc.group < 0)
+                    fatal("ref core ", c,
+                          ": group vload outside a vector group");
+                const Group &g = groups_[static_cast<size_t>(rc.group)];
+                int first = inst.imm;
+                int count =
+                    variant == VloadVariant::Single
+                        ? 1
+                        : static_cast<int>(g.chain.size()) - 1 - first;
+                for (int i = 0; i < count; ++i)
+                    dests.push_back(
+                        g.chain.at(static_cast<size_t>(first + i) + 1));
+            }
+            for (CoreId dst : dests) {
+                const Frames &fr = core(dst).frames;
+                if (!frameWindowOk(fr, spad_off) ||
+                    !frameWindowOk(fr, last)) {
+                    rc.blocked = "vload (destination frame window)";
+                    return false;
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    } else if (inst.op == Opcode::HALT) {
+        // A squashed halt still flows through as a nop (the timing
+        // model would deadlock afterwards; the verifier bans it).
+        streams[static_cast<size_t>(c)].push_back(
+            apply(c, inst, ref_pc, nullptr, 0));
+        return true;
+    }
+
+    streams[static_cast<size_t>(c)].push_back(
+        apply(c, inst, ref_pc, nullptr, 0));
+    return true;
+}
+
+RefMachine::BatchResult
+RefMachine::runBatch(std::uint64_t max_steps)
+{
+    BatchResult res;
+    res.streams.assign(cores_.size(), {});
+    std::uint64_t steps = 0;
+
+    for (;;) {
+        bool any_alive = false;
+        bool progress = false;
+        for (CoreId c = 0; c < static_cast<CoreId>(cores_.size()); ++c) {
+            if (core(c).halted)
+                continue;
+            any_alive = true;
+            if (stepBatchOne(c, res.streams))
+                progress = true;
+            if (++steps > max_steps) {
+                res.error = "reference run exceeded the step budget";
+                return res;
+            }
+        }
+        if (!any_alive) {
+            res.ok = true;
+            return res;
+        }
+
+        // Barrier release: every live core waiting (functional model
+        // has no in-flight memory, so release is immediate).
+        int alive = 0;
+        int waiting = 0;
+        for (const RefCore &rc : cores_) {
+            if (!rc.halted) {
+                ++alive;
+                if (rc.barrierWaiting)
+                    ++waiting;
+            }
+        }
+        if (alive > 0 && waiting == alive) {
+            for (CoreId c = 0; c < static_cast<CoreId>(cores_.size());
+                 ++c) {
+                RefCore &rc = core(c);
+                if (rc.halted)
+                    continue;
+                rc.barrierWaiting = false;
+                rc.blocked.clear();
+                res.streams[static_cast<size_t>(c)].push_back(
+                    apply(c, rc.program->at(rc.pc), rc.pc, nullptr, 0));
+            }
+            progress = true;
+        }
+
+        if (!progress) {
+            std::ostringstream os;
+            os << "reference deadlock after " << steps << " steps:\n";
+            for (size_t c = 0; c < cores_.size(); ++c) {
+                const RefCore &rc = cores_[c];
+                if (rc.halted)
+                    continue;
+                static const char *role_names[] = {"independent",
+                                                   "scalar", "expander",
+                                                   "vector"};
+                os << "  core " << c << ": role="
+                   << role_names[static_cast<int>(rc.role)] << " pc="
+                   << rc.pc << " blocked="
+                   << (rc.blocked.empty() ? "(no)" : rc.blocked) << "\n";
+            }
+            res.error = os.str();
+            return res;
+        }
+    }
+}
+
+} // namespace rockcress

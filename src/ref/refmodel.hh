@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The golden functional reference model: an ISA-level interpreter for
+ * the full Rockcress ISA (scalar ops, PCV SIMD, vconfig/vissue/vend/
+ * devec, frame-based vload, frame_start/remem, predication) that
+ * executes a loaded machine's programs to an architectural commit
+ * stream per core, with forwarded instructions replayed in issue
+ * order.
+ *
+ * Two modes share one executor:
+ *  - DRIVEN (co-simulation): the cycle-level core's commit stream
+ *    drives per-core walkers one architectural instruction per
+ *    commit; any mismatch in opcode, operands, register writeback,
+ *    memory effect, or resolved control flow throws CosimDivergence
+ *    with a structured report.
+ *  - BATCH (fuzzing / standalone): a round-robin scheduler with
+ *    blocking semantics (group formation, barriers, frame readiness,
+ *    vload pacing) runs the program to completion without the timing
+ *    model, producing the commit streams and the final memory image.
+ *
+ * Deliberate timing/function differences are documented in DESIGN.md
+ * section 5e (frame refill ordering, the uniform-control-flow
+ * contract for trailing cores, racy-load adoption).
+ */
+
+#ifndef ROCKCRESS_REF_REFMODEL_HH
+#define ROCKCRESS_REF_REFMODEL_HH
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/commit.hh"
+#include "machine/machine.hh"
+#include "mem/mainmem.hh"
+
+namespace rockcress
+{
+
+/** Knobs for the reference model. */
+struct RefOptions
+{
+    /**
+     * Compare global-load values against reference memory. Disable
+     * for racy kernels (bfs): the reference then adopts the timing
+     * model's loaded value, checking only the address, so that
+     * benign load-store races don't report false divergences.
+     */
+    bool strictLoads = true;
+    /** Bound on silently replayed instructions (trailing-core branch
+     * resolution) per committed instruction — runaway-loop backstop. */
+    std::uint64_t maxSilentSteps = 1'000'000;
+};
+
+/** Thrown on any reference/timing mismatch; carries the anchor. */
+class CosimDivergence : public std::runtime_error
+{
+  public:
+    CosimDivergence(CoreId core, Cycle cycle, int pc,
+                    const Instruction &inst, const std::string &report)
+        : std::runtime_error(report), core(core), cycle(cycle), pc(pc),
+          inst(inst)
+    {}
+
+    CoreId core;       ///< Core whose commit diverged.
+    Cycle cycle;       ///< Commit cycle.
+    int pc;            ///< Reference pc (-1 for inet-delivered).
+    Instruction inst;  ///< The diverging instruction.
+};
+
+/** The functional reference machine. */
+class RefMachine
+{
+  public:
+    /**
+     * Snapshot a configured machine (programs loaded, groups planned,
+     * memory initialized — i.e. after Benchmark::prepare) into a
+     * purely functional model. The timing machine is not referenced
+     * afterwards.
+     */
+    explicit RefMachine(const Machine &m, const RefOptions &opts = {});
+
+    /**
+     * DRIVEN mode: advance core `c` by one architectural instruction
+     * and check it against the committed record. Trailing vector
+     * cores silently replay expander-stream branches and vends to
+     * reach the next forwarded instruction.
+     * @throws CosimDivergence on any mismatch.
+     */
+    void step(CoreId c, Cycle now, const CommitRecord &rec);
+
+    /**
+     * After the timing run and commit drain: verify every walker
+     * rests at its halt and the final global memory matches.
+     * @return Empty string when clean, else a report.
+     */
+    std::string finish(const MainMemory &timing_mem) const;
+
+    /** Outcome of a BATCH run. */
+    struct BatchResult
+    {
+        bool ok = false;
+        std::string error;           ///< Deadlock/overrun diagnostics.
+        /** Per-core architectural commit streams. */
+        std::vector<std::vector<CommitRecord>> streams;
+    };
+
+    /** BATCH mode: run all cores functionally to completion. */
+    BatchResult runBatch(std::uint64_t max_steps = 50'000'000);
+
+    /** The reference memory image (final after a run). */
+    const MainMemory &mem() const { return mem_; }
+
+  private:
+    enum class Role
+    {
+        Independent,
+        Scalar,
+        Expander,
+        Vector,
+    };
+
+    /** Functional frame-queue state. Unlike the hardware counters the
+     * reference tracks all numFrames slots, so commit-order refill
+     * run-ahead never overflows the window (DESIGN.md 5e). */
+    struct Frames
+    {
+        int frameSize = 0;   ///< Words; 0 = unconfigured.
+        int numFrames = 0;
+        std::uint64_t head = 0;
+        std::vector<int> fill;   ///< Per physical slot.
+
+        bool configured() const { return frameSize > 0; }
+        bool inRegion(Addr off) const;
+        bool ready() const;
+        Addr headByteOffset() const;
+    };
+
+    struct RefCore
+    {
+        std::shared_ptr<const Program> program;
+        std::array<Word, numArchRegs> regs{};
+        std::vector<std::array<Word, 32>> simd;  ///< [lane][vreg].
+        bool pred = true;
+        int pc = 0;
+        Role role = Role::Independent;
+        bool inMt = false;       ///< Expander/Vector: inside a mt.
+        int group = -1;          ///< Planned group id (-1 = none).
+        int tid = 0;             ///< GroupTid CSR value.
+        std::size_t eventIdx = 0;
+        bool halted = false;     ///< BATCH mode only.
+        std::vector<Word> spad;
+        Frames frames;
+        // BATCH scheduling state.
+        bool joinCounted = false;
+        bool barrierWaiting = false;
+        std::string blocked;     ///< Last block reason (diagnostics).
+    };
+
+    /** Group-wide stream of launch/disband points, in scalar commit
+     * order; every non-scalar member consumes it with its own cursor. */
+    struct Group
+    {
+        std::vector<CoreId> chain;
+        struct Event
+        {
+            bool isDevec = false;
+            int pc = 0;
+        };
+        std::vector<Event> events;
+        // BATCH formation bookkeeping.
+        int joined = 0;
+        int left = 0;
+    };
+
+    RefCore &core(CoreId c) { return cores_[static_cast<size_t>(c)]; }
+
+    /** @name Scratchpad access (bounds-checked, frame-aware). */
+    ///@{
+    Word spadRead(CoreId c, Addr off, Cycle now);
+    void spadWrite(CoreId c, Addr off, Word data, Cycle now);
+    /** Arrival-path write: also fills the destination frame. */
+    void networkWrite(CoreId c, Addr off, Word data, Cycle now);
+    ///@}
+
+    /** Distribute one vload functionally (Section 2.3.2 formula). */
+    void applyVload(CoreId c, const Instruction &inst, Cycle now);
+
+    /** Tolerant run-ahead window check for one destination offset. */
+    static bool frameWindowOk(const Frames &fr, Addr off);
+
+    /** Group-disband bookkeeping shared by every devec path. */
+    void leaveGroup(Group &g);
+
+    /** Resolve a never-forwarded branch with the core's own registers
+     * (trailing-core silent replay; link registers are NOT written). */
+    static void resolveSilentBranch(RefCore &rc, const Instruction &inst);
+
+    /**
+     * Execute one architectural instruction on core `c`, mutating
+     * reference state and returning its commit record. `timing` is
+     * the matching timing-side record in DRIVEN mode (load adoption),
+     * null in BATCH mode. `rec_pc` follows the timing convention
+     * (own-stream pc, or -1 for inet-delivered instructions).
+     */
+    CommitRecord apply(CoreId c, const Instruction &inst, int rec_pc,
+                       const CommitRecord *timing, Cycle now);
+
+    /** Throw a structured divergence report. */
+    [[noreturn]] void diverge(CoreId c, Cycle now, int pc,
+                              const Instruction &inst,
+                              const std::string &what) const;
+
+    /** Field-wise record comparison; throws on mismatch. */
+    void compareRecords(CoreId c, Cycle now, int ref_pc,
+                        const CommitRecord &exp,
+                        const CommitRecord &got) const;
+
+    /** BATCH: try to advance one core; false when blocked. */
+    bool stepBatchOne(CoreId c, std::vector<std::vector<CommitRecord>> &streams);
+
+    MachineParams params_;
+    AddrMap map_;
+    RefOptions opts_;
+    MainMemory mem_;
+    std::vector<RefCore> cores_;
+    std::vector<Group> groups_;
+    mutable std::uint64_t silentBudget_ = 0;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_REF_REFMODEL_HH

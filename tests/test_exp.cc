@@ -50,6 +50,8 @@ fullResult()
     r.energy.noc = 8.0;
     r.icacheAccesses = 11;
     r.issued = 22;
+    r.vloadBytes = 4096;
+    r.nocWordHops = 2048;
     r.coreCycles = 33;
     r.stallFrame = 44;
     r.stallInet = 55;

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Golden stats snapshots: per-benchmark counters (cycles, vload
+ * bytes, NoC word-hops, energy, issued instructions) for small
+ * configurations are locked into tests/golden/*.json through the
+ * src/exp serializer. Any simulator change that moves a counter
+ * shows up as a diff here; regenerate intentionally with
+ * scripts/update_golden.sh (ROCKCRESS_UPDATE_GOLDEN=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "exp/json.hh"
+#include "exp/result_io.hh"
+#include "harness/runner.hh"
+
+using namespace rockcress;
+
+#ifndef ROCKCRESS_GOLDEN_DIR
+#error "ROCKCRESS_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace
+{
+
+struct Case
+{
+    std::string bench;
+    std::string config;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const Case &c)
+{
+    return os << c.bench << "_" << c.config;
+}
+
+/** Small, fast tier-1 points covering MIMD, vector, and PCV modes. */
+std::vector<Case>
+goldenCases()
+{
+    return {
+        {"atax", "NV_PF"},
+        {"atax", "V4"},
+        {"gemm", "V4_PCV"},
+        {"mvt", "V16"},
+        {"bfs", "NV_PF"},
+    };
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return info.param.bench + "_" + info.param.config;
+}
+
+std::string
+goldenPath(const Case &c)
+{
+    return std::string(ROCKCRESS_GOLDEN_DIR) + "/" + c.bench + "_" +
+           c.config + ".json";
+}
+
+class GoldenStats : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(GoldenStats, CountersMatchSnapshot)
+{
+    const Case &c = GetParam();
+    RunResult r = runManycore(c.bench, c.config);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    std::string path = goldenPath(c);
+    if (std::getenv("ROCKCRESS_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << resultToJson(r).dump() << "\n";
+        SUCCEED() << "updated " << path;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " missing; run scripts/update_golden.sh";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Json j;
+    ASSERT_TRUE(Json::parse(buf.str(), j)) << "unparsable " << path;
+    RunResult want;
+    ASSERT_TRUE(resultFromJson(j, want))
+        << path << " is stale (schema changed); run "
+        << "scripts/update_golden.sh";
+
+    // The locked counters. Energy is a pure function of the counters,
+    // so exact double equality is the right check.
+    EXPECT_EQ(r.cycles, want.cycles);
+    EXPECT_EQ(r.vloadBytes, want.vloadBytes);
+    EXPECT_EQ(r.nocWordHops, want.nocWordHops);
+    EXPECT_EQ(r.issued, want.issued);
+    EXPECT_EQ(r.icacheAccesses, want.icacheAccesses);
+    EXPECT_EQ(r.energyPj, want.energyPj);
+    EXPECT_EQ(r.llcMissRate, want.llcMissRate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, GoldenStats,
+                         ::testing::ValuesIn(goldenCases()), caseName);

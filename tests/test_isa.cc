@@ -201,3 +201,42 @@ TEST(Program, OutOfRangePcIsFatal)
     EXPECT_THROW(p.at(5), FatalError);
     EXPECT_THROW(p.at(-1), FatalError);
 }
+
+TEST(Assembler, DuplicateSymbolIsFatal)
+{
+    Assembler as("t");
+    as.symbol("entry");
+    as.nop();
+    try {
+        as.symbol("entry");
+        FAIL() << "duplicate symbol accepted";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        // The diagnostic names the symbol and both definition sites.
+        EXPECT_NE(msg.find("duplicate symbol 'entry'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("first defined at pc 0"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(Assembler, UnresolvedLinkPatchIsFatal)
+{
+    Assembler as("t");
+    Label never = as.newLabel();
+    as.beq(x(5), x(6), never);   // Referenced but never bound.
+    as.halt();
+    try {
+        as.finish();
+        FAIL() << "unbound label accepted";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        // The diagnostic carries the label id, the referencing
+        // instruction's disassembly, and its pc.
+        EXPECT_NE(msg.find("unresolved link patch"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("beq"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("at pc 0"), std::string::npos) << msg;
+    }
+}
