@@ -22,6 +22,9 @@ main()
                   {"Benchmark", "NV", "NV_PF", "BEST_V"});
     Report energy("Figure 10c: Total on-chip energy relative to NV",
                   {"Benchmark", "NV", "NV_PF", "BEST_V"});
+    Report lint("Perf-lint: simulated per-core IPC / certified "
+                "static bound",
+                {"Benchmark", "NV", "NV_PF", "V4", "V16"});
 
     const std::vector<std::string> benches = benchList();
 
@@ -63,6 +66,16 @@ main()
                               usable(nv) && usable(pf), &en_pf),
                     ratioCell(best.energyPj, nv.energyPj,
                               usable(nv) && usable(best), &en_best)});
+        // A measured IPC above the certified bound would already have
+        // failed the run (harness/runner.cc), so this table can only
+        // show utilizations <= 1.
+        auto ipcCell = [](const RunResult &r) {
+            if (!usable(r) || !(r.staticIpcBound > 0))
+                return std::string("FAIL");
+            return fmt(r.measuredIpc) + "/" + fmt(r.staticIpcBound);
+        };
+        lint.row({bench, ipcCell(nv), ipcCell(pf),
+                  ipcCell(s[ids[i].v4]), ipcCell(s[ids[i].v16])});
     }
 
     speed.row({"GeoMean", "1.00", meanCell(sp_pf), meanCell(sp_best),
@@ -73,6 +86,7 @@ main()
     speed.print(std::cout);
     icache.print(std::cout);
     energy.print(std::cout);
+    lint.print(std::cout);
 
     if (!sp_pf.empty() && !sp_best.empty() && !en_pf.empty() &&
         !en_best.empty()) {

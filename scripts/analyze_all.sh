@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the static analyzer + performance-bound lint (tools/rc_analyze)
+# over every shipped benchmark x configuration pair and fail on any
+# finding: the shipped kernels are the analyzer's zero-false-positive
+# regression suite. JSON reports land in <build>/analysis/ so a
+# failing run leaves the machine-readable evidence behind.
+#
+# Usage: scripts/analyze_all.sh [build-dir]
+#   build-dir defaults to ./build and must contain tools/rc_analyze.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+analyze="$build_dir/tools/rc_analyze"
+
+if [ ! -x "$analyze" ]; then
+    echo "analyze_all.sh: $analyze not built" >&2
+    echo "  Build first: cmake --build \"$build_dir\" --target rc_analyze" >&2
+    exit 1
+fi
+
+out_dir="$build_dir/analysis"
+mkdir -p "$out_dir"
+
+"$analyze" --out "$out_dir"
+status=$?
+reports=$(ls "$out_dir"/*.json 2> /dev/null | wc -l)
+if [ "$status" -ne 0 ]; then
+    echo "analyze_all.sh: $status benchmark/config pair(s) with" \
+         "findings (reports in $out_dir)" >&2
+    exit 1
+fi
+echo "analyze_all.sh: $reports reports, zero findings ($out_dir)"
+exit 0

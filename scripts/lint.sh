@@ -34,7 +34,8 @@ fi
 # Lint the project's own translation units (not tests' generated
 # files); the .clang-tidy at the repo root supplies the check list.
 files=$(find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
-             "$repo_root/examples" -name '*.cc' 2> /dev/null | sort)
+             "$repo_root/examples" "$repo_root/tools" \
+             -name '*.cc' 2> /dev/null | sort)
 if [ -z "$files" ]; then
     echo "lint.sh: no source files found" >&2
     exit 1

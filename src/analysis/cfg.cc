@@ -3,8 +3,52 @@
 #include <algorithm>
 #include <deque>
 
+#include "isa/instr.hh"
+
 namespace rockcress
 {
+
+namespace
+{
+
+/**
+ * Static resolution of a jalr target: when the link register has
+ * exactly one defining instruction in the whole program and that
+ * definition pins its value (the jal that made the call, or a
+ * constant li), the indirect jump has exactly one possible target.
+ * Returns false when the register's value cannot be pinned.
+ */
+bool
+resolveJalr(const Program &p, const Instruction &inst, int &target)
+{
+    if (inst.rs1 == regZero) {
+        target = inst.imm;
+        return true;
+    }
+    int defPc = -1;
+    for (int q = 0; q < p.size(); ++q) {
+        if (destReg(p.code[static_cast<size_t>(q)]) ==
+            static_cast<int>(inst.rs1)) {
+            if (defPc >= 0)
+                return false;  // Multiple definitions.
+            defPc = q;
+        }
+    }
+    if (defPc < 0)
+        return false;
+    const Instruction &d = p.code[static_cast<size_t>(defPc)];
+    if (d.op == Opcode::JAL) {
+        target = defPc + 1 + inst.imm;  // Link value is defPc + 1.
+        return true;
+    }
+    if (d.op == Opcode::ADDI && d.rs1 == regZero) {
+        target = d.imm + inst.imm;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
 
 Cfg
 buildCfg(const Program &p)
@@ -30,9 +74,14 @@ buildCfg(const Program &p)
           case Opcode::HALT:
           case Opcode::VEND:
             break;  // Terminates the stream.
-          case Opcode::JALR:
-            cfg.indirectJumps.push_back(pc);
+          case Opcode::JALR: {
+            int target = 0;
+            if (resolveJalr(p, inst, target))
+                addSucc(pc, target);
+            else
+                cfg.indirectJumps.push_back(pc);
             break;
+          }
           case Opcode::JAL:
             addSucc(pc, inst.imm);
             break;

@@ -28,7 +28,10 @@ struct Cfg
 {
     const Program *prog = nullptr;
 
-    /** Per-instruction successor indices (empty for HALT/VEND/JALR). */
+    /**
+     * Per-instruction successor indices (empty for HALT/VEND and for
+     * unresolved JALR).
+     */
     std::vector<std::vector<int>> succs;
 
     /** Distinct VISSUE targets in first-reference order. */
@@ -37,7 +40,13 @@ struct Cfg
     /** Instruction indices whose successor would fall off the end. */
     std::vector<int> fallsOffEnd;
 
-    /** Indices of JALR instructions (statically unanalyzable). */
+    /**
+     * Indices of JALR instructions that could not be resolved
+     * statically. A jalr whose link register has a unique defining
+     * instruction of known value (the matching jal, or a constant
+     * addi from x0) gets a normal edge to its one possible target
+     * instead of an entry here.
+     */
     std::vector<int> indirectJumps;
 
     int size() const { return static_cast<int>(succs.size()); }

@@ -1,0 +1,77 @@
+#include "analysis/dataflow.hh"
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+std::vector<Routine>
+partitionRoutines(const Cfg &cfg)
+{
+    std::vector<Routine> rs;
+    Routine main;
+    main.entry = 0;
+    main.name = "main body";
+    main.reach = reachableFrom(cfg, 0);
+    rs.push_back(std::move(main));
+    for (int e : cfg.microthreadEntries) {
+        Routine r;
+        r.entry = e;
+        r.name = "microthread at " + std::to_string(e);
+        r.reach = reachableFrom(cfg, e);
+        rs.push_back(std::move(r));
+    }
+    return rs;
+}
+
+std::vector<std::vector<int>>
+predecessors(const Cfg &cfg)
+{
+    std::vector<std::vector<int>> preds(
+        static_cast<size_t>(cfg.size()));
+    for (int pc = 0; pc < cfg.size(); ++pc)
+        for (int s : cfg.succs[static_cast<size_t>(pc)])
+            preds[static_cast<size_t>(s)].push_back(pc);
+    return preds;
+}
+
+std::vector<std::set<VissueToken>>
+vissueTokenFlow(const Cfg &cfg,
+                const std::function<bool(int)> &entersVectorRegion)
+{
+    const Program &p = *cfg.prog;
+    int n = cfg.size();
+    std::vector<std::set<VissueToken>> lastRun(static_cast<size_t>(n));
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    if (n == 0)
+        return lastRun;
+    std::deque<int> work{0};
+    seen[0] = true;
+    // Before any region entry nothing vector-side has run.
+    while (!work.empty()) {
+        int pc = work.front();
+        work.pop_front();
+        const Instruction &i = p.code[static_cast<size_t>(pc)];
+        std::set<VissueToken> out = lastRun[static_cast<size_t>(pc)];
+        if (i.op == Opcode::CSRW &&
+            static_cast<Csr>(i.sub) == Csr::Vconfig &&
+            entersVectorRegion(pc)) {
+            out = {VissueToken{true, pc}};
+        } else if (i.op == Opcode::VISSUE) {
+            out = {VissueToken{false, i.imm}};
+        }
+        for (int s : cfg.succs[static_cast<size_t>(pc)]) {
+            auto &dst = lastRun[static_cast<size_t>(s)];
+            size_t before = dst.size();
+            dst.insert(out.begin(), out.end());
+            if (!seen[static_cast<size_t>(s)] ||
+                dst.size() != before) {
+                seen[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return lastRun;
+}
+
+} // namespace rockcress

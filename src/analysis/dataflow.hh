@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Generic worklist dataflow / abstract-interpretation solver over the
+ * instruction-level Cfg (Section 4.1 toolchain support). Every
+ * verifier pass and the interval/token-flow/performance analyses are
+ * instances of one engine:
+ *
+ *  - a Domain supplies the lattice (bottom(), join()) and the
+ *    transfer function; optional hooks add edge-sensitive refinement
+ *    (branch conditions), widening for loops, and bottom detection so
+ *    infeasible edges are not propagated;
+ *  - solveDataflow() runs the chaotic iteration from a set of seeded
+ *    entry states, forward or backward, with widening after a
+ *    configurable number of joins per node followed by a bounded
+ *    narrowing phase that recovers loop-head precision lost to
+ *    widening (two descending passes, standard interval practice);
+ *  - partitionRoutines() names the analysis units: the main SPMD body
+ *    entered at instruction 0 plus one routine per microthread entry,
+ *    so diagnostics can be keyed and sorted by (routine, pc);
+ *  - vissueTokenFlow() computes, for every main-routine point, which
+ *    vector-side code ran last (the region entry or a previously
+ *    vissued microthread) — the interprocedural glue that chains
+ *    microthread entry states through the scalar core's issue order.
+ *
+ * The solver is deterministic: FIFO worklist, successors in CFG
+ * order, so diagnostics and reports are byte-stable.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_DATAFLOW_HH
+#define ROCKCRESS_ANALYSIS_DATAFLOW_HH
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace rockcress
+{
+
+/** One analysis unit: the main body or a microthread. */
+struct Routine
+{
+    int entry = 0;          ///< Entry instruction index.
+    std::string name;       ///< "main body" or "microthread at N".
+    std::vector<bool> reach;  ///< Instructions reachable from entry.
+};
+
+/**
+ * The routines of a program: index 0 is always the main body (entry
+ * 0), followed by one routine per microthread entry in first-vissue
+ * order. Out-of-range microthread entries get an empty reach set.
+ */
+std::vector<Routine> partitionRoutines(const Cfg &cfg);
+
+/** Per-instruction predecessor lists (reverse of cfg.succs). */
+std::vector<std::vector<int>> predecessors(const Cfg &cfg);
+
+/**
+ * What ran last on the vector side: the region entry itself (every
+ * core's state when the group formed) or a previously issued
+ * microthread.
+ */
+struct VissueToken
+{
+    bool isRegion = false;
+    int pc = -1;  ///< Region-entry (vconfig) pc or microthread entry.
+
+    bool
+    operator<(const VissueToken &o) const
+    {
+        return std::tie(isRegion, pc) < std::tie(o.isRegion, o.pc);
+    }
+};
+
+/**
+ * Forward token dataflow over the main routine: for each reachable
+ * instruction, the set of possible "last vector-side events".
+ * `entersVectorRegion(pc)` must say whether the CSRW at `pc` is a
+ * region-entering (nonzero) Vconfig write.
+ */
+std::vector<std::set<VissueToken>>
+vissueTokenFlow(const Cfg &cfg,
+                const std::function<bool(int)> &entersVectorRegion);
+
+/** Solver knobs. */
+struct SolveOptions
+{
+    bool backward = false;
+    /** Joins into one node before widening kicks in. */
+    int wideningThreshold = 4;
+    /** Descending (narrowing) passes after the ascending phase. */
+    int narrowingPasses = 2;
+};
+
+/** Result of one solve: per-instruction states. */
+template <typename State>
+struct Solution
+{
+    /**
+     * Forward: the state before each instruction executes.
+     * Backward: the state after it (facts that hold downstream).
+     */
+    std::vector<State> in;
+    std::vector<bool> reached;  ///< Node received any state at all.
+};
+
+/**
+ * Run one dataflow problem to fixpoint.
+ *
+ * Domain requirements:
+ *   using State;
+ *   State bottom() const;
+ *   State transfer(int pc, const State &in) const;
+ *   bool join(State &into, const State &from) const; // true: changed
+ * Optional hooks, detected at compile time:
+ *   State refineEdge(int from, int to, const State &out) const;
+ *   bool isBottom(const State &s) const;   // skip dead edges
+ *   void widen(State &cur, const State &prev) const;
+ *
+ * `seeds` are (node, entry state) pairs; `restrict` (when non-null)
+ * confines propagation to one routine's reachable set. Unreachable
+ * nodes keep bottom() and reached=false.
+ */
+template <typename Domain>
+Solution<typename Domain::State>
+solveDataflow(const Cfg &cfg, const Domain &dom,
+              const std::vector<std::pair<int, typename Domain::State>>
+                  &seeds,
+              const std::vector<bool> *restrictTo = nullptr,
+              SolveOptions opts = {})
+{
+    using State = typename Domain::State;
+    const int n = cfg.size();
+    Solution<State> sol;
+    sol.in.assign(static_cast<size_t>(n), dom.bottom());
+    sol.reached.assign(static_cast<size_t>(n), false);
+    if (n == 0)
+        return sol;
+
+    std::vector<std::vector<int>> preds;
+    if (opts.backward)
+        preds = predecessors(cfg);
+    auto flowTargets = [&](int pc) -> const std::vector<int> & {
+        return opts.backward ? preds[static_cast<size_t>(pc)]
+                             : cfg.succs[static_cast<size_t>(pc)];
+    };
+    auto inScope = [&](int pc) {
+        return !restrictTo || (*restrictTo)[static_cast<size_t>(pc)];
+    };
+    auto stateIsBottom = [&](const State &s) {
+        if constexpr (requires { dom.isBottom(s); })
+            return dom.isBottom(s);
+        else
+            return false;
+    };
+    auto edgeState = [&](int from, int to, const State &out) {
+        if constexpr (requires { dom.refineEdge(from, to, out); }) {
+            if (!opts.backward)
+                return dom.refineEdge(from, to, out);
+        }
+        (void)to;
+        return out;
+    };
+
+    std::vector<int> joins(static_cast<size_t>(n), 0);
+    std::vector<bool> queued(static_cast<size_t>(n), false);
+    std::deque<int> work;
+    auto enqueue = [&](int pc) {
+        if (!queued[static_cast<size_t>(pc)]) {
+            queued[static_cast<size_t>(pc)] = true;
+            work.push_back(pc);
+        }
+    };
+
+    for (const auto &[pc, st] : seeds) {
+        if (pc < 0 || pc >= n || !inScope(pc))
+            continue;
+        dom.join(sol.in[static_cast<size_t>(pc)], st);
+        sol.reached[static_cast<size_t>(pc)] = true;
+        enqueue(pc);
+    }
+
+    // Ascending phase with widening.
+    while (!work.empty()) {
+        int pc = work.front();
+        work.pop_front();
+        queued[static_cast<size_t>(pc)] = false;
+        State out = dom.transfer(pc, sol.in[static_cast<size_t>(pc)]);
+        if (stateIsBottom(out))
+            continue;
+        for (int s : flowTargets(pc)) {
+            if (!inScope(s))
+                continue;
+            State e = edgeState(pc, s, out);
+            if (stateIsBottom(e))
+                continue;
+            State &dst = sol.in[static_cast<size_t>(s)];
+            bool first = !sol.reached[static_cast<size_t>(s)];
+            State prev = dst;
+            bool changed = dom.join(dst, e);
+            if (first) {
+                sol.reached[static_cast<size_t>(s)] = true;
+                enqueue(s);
+                continue;
+            }
+            if (!changed)
+                continue;
+            if (++joins[static_cast<size_t>(s)] >=
+                opts.wideningThreshold) {
+                if constexpr (requires { dom.widen(dst, prev); })
+                    dom.widen(dst, prev);
+            }
+            enqueue(s);
+        }
+    }
+
+    // Descending (narrowing) phase: recompute each reached node's
+    // state fresh from its incoming edges. Sound for monotone
+    // transfers starting from a post-fixpoint; bounded pass count
+    // guarantees termination without a narrowing operator.
+    if (!opts.backward && opts.narrowingPasses > 0) {
+        std::vector<std::vector<int>> fpreds = predecessors(cfg);
+        std::vector<char> isSeed(static_cast<size_t>(n), 0);
+        std::vector<State> seedState(static_cast<size_t>(n),
+                                     dom.bottom());
+        for (const auto &[pc, st] : seeds) {
+            if (pc < 0 || pc >= n || !inScope(pc))
+                continue;
+            isSeed[static_cast<size_t>(pc)] = 1;
+            dom.join(seedState[static_cast<size_t>(pc)], st);
+        }
+        for (int pass = 0; pass < opts.narrowingPasses; ++pass) {
+            for (int s = 0; s < n; ++s) {
+                if (!sol.reached[static_cast<size_t>(s)] || !inScope(s))
+                    continue;
+                State acc = dom.bottom();
+                bool any = false;
+                if (isSeed[static_cast<size_t>(s)]) {
+                    dom.join(acc, seedState[static_cast<size_t>(s)]);
+                    any = true;
+                }
+                for (int p : fpreds[static_cast<size_t>(s)]) {
+                    if (!inScope(p) ||
+                        !sol.reached[static_cast<size_t>(p)]) {
+                        continue;
+                    }
+                    State out = dom.transfer(
+                        p, sol.in[static_cast<size_t>(p)]);
+                    if (stateIsBottom(out))
+                        continue;
+                    State e = edgeState(p, s, out);
+                    if (stateIsBottom(e))
+                        continue;
+                    dom.join(acc, e);
+                    any = true;
+                }
+                if (any)
+                    sol.in[static_cast<size_t>(s)] = std::move(acc);
+            }
+        }
+    }
+    return sol;
+}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_DATAFLOW_HH

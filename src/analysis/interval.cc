@@ -1,0 +1,971 @@
+#include "analysis/interval.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    return std::gcd(a < 0 ? -a : a, b < 0 ? -b : b);
+}
+
+std::int64_t
+posMod(std::int64_t v, std::int64_t m)
+{
+    return ((v % m) + m) % m;
+}
+
+std::int32_t
+wrap32(std::int64_t v)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(v));
+}
+
+/**
+ * Restore the invariants: interval clamped to 32-bit (a clamp means
+ * the computation may have wrapped, so the congruence is folded to
+ * gcd(m, 2^32), which preserves power-of-two alignment facts),
+ * residue in [0, m), endpoints snapped onto the congruence class,
+ * singletons represented exactly. Returns false if the set is empty
+ * (only possible after edge refinement).
+ */
+bool
+normalizeVal(AbsVal &v)
+{
+    if (v.m < 0)
+        v.m = -v.m;
+    if (v.lo > v.hi)
+        return false;
+    if (v.lo < INT32_MIN || v.hi > INT32_MAX) {
+        v.lo = INT32_MIN;
+        v.hi = INT32_MAX;
+        v.m = gcd64(v.m == 0 ? (std::int64_t{1} << 32) : v.m,
+                    std::int64_t{1} << 32);
+    }
+    if (v.m > 1) {
+        v.r = posMod(v.r, v.m);
+        std::int64_t lo2 = v.lo + posMod(v.r - v.lo, v.m);
+        std::int64_t hi2 = v.hi - posMod(v.hi - v.r, v.m);
+        if (lo2 > hi2)
+            return false;
+        v.lo = lo2;
+        v.hi = hi2;
+    } else if (v.m == 0) {
+        if (v.r < v.lo || v.r > v.hi)
+            return false;
+        v.lo = v.hi = v.r;
+    }
+    if (v.lo == v.hi) {
+        v.m = 0;
+        v.r = v.lo;
+    } else if (v.m == 0) {
+        v.m = 1;
+        v.r = 0;
+    }
+    return true;
+}
+
+AbsVal
+norm(AbsVal v)
+{
+    if (!normalizeVal(v))
+        return AbsVal::top();
+    return v;
+}
+
+AbsVal
+absAdd(const AbsVal &a, const AbsVal &b)
+{
+    if (a.frameFw != 0 && b.frameFw != 0)
+        return AbsVal::top();
+    AbsVal v;
+    v.frameFw = a.frameFw != 0 ? a.frameFw : b.frameFw;
+    v.lo = a.lo + b.lo;
+    v.hi = a.hi + b.hi;
+    v.m = gcd64(a.m, b.m);
+    v.r = a.r + b.r;
+    return norm(v);
+}
+
+AbsVal
+absSub(const AbsVal &a, const AbsVal &b)
+{
+    if (b.frameFw != 0)
+        return AbsVal::top();
+    AbsVal v;
+    v.frameFw = a.frameFw;
+    v.lo = a.lo - b.hi;
+    v.hi = a.hi - b.lo;
+    v.m = gcd64(a.m, b.m);
+    v.r = a.r - b.r;
+    return norm(v);
+}
+
+AbsVal
+absMulConst(const AbsVal &a, std::int64_t c)
+{
+    if (a.frameFw != 0)
+        return AbsVal::top();
+    if (c == 0)
+        return AbsVal::exact(0);
+    if (a.isExact())
+        return norm({a.r * c, a.r * c, 0, a.r * c, 0});
+    AbsVal v;
+    std::int64_t p1 = a.lo * c, p2 = a.hi * c;
+    v.lo = std::min(p1, p2);
+    v.hi = std::max(p1, p2);
+    std::int64_t ac = c < 0 ? -c : c;
+    if (a.m <= (std::int64_t{1} << 40) / ac) {
+        v.m = a.m * ac;
+        v.r = a.r * c;
+    }
+    return norm(v);
+}
+
+AbsVal
+absMul(const AbsVal &a, const AbsVal &b)
+{
+    if (a.frameFw != 0 || b.frameFw != 0)
+        return AbsVal::top();
+    if (a.isExact())
+        return absMulConst(b, a.r);
+    if (b.isExact())
+        return absMulConst(a, b.r);
+    AbsVal v;
+    std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                         a.hi * b.hi};
+    v.lo = *std::min_element(p, p + 4);
+    v.hi = *std::max_element(p, p + 4);
+    constexpr std::int64_t cap = std::int64_t{1} << 20;
+    if (a.m < cap && b.m < cap) {
+        // (r1 + j*m1)(r2 + k*m2) = r1*r2 (mod gcd(m1m2, m1r2, m2r1)).
+        v.m = gcd64(a.m * b.m, gcd64(a.m * b.r, b.m * a.r));
+        v.r = a.r * b.r;
+        if (v.m == 0)
+            v.m = 1;
+    }
+    return norm(v);
+}
+
+AbsVal
+absShiftRight(const AbsVal &a, int k, bool arithmetic)
+{
+    if (a.frameFw != 0)
+        return AbsVal::top();
+    if (!arithmetic && a.lo < 0)
+        return AbsVal::top();
+    AbsVal v;
+    v.lo = a.lo >> k;
+    v.hi = a.hi >> k;
+    std::int64_t pk = std::int64_t{1} << k;
+    if (a.m > 0 && a.m % pk == 0 && a.r % pk == 0) {
+        v.m = a.m >> k;
+        v.r = a.r >> k;
+    } else if (a.isExact()) {
+        v.m = 0;
+        v.r = a.r >> k;
+    }
+    return norm(v);
+}
+
+AbsVal
+absAndMask(const AbsVal &a, std::int32_t mask)
+{
+    if (mask < 0 || a.frameFw != 0)
+        return AbsVal::top();
+    AbsVal v;
+    v.lo = 0;
+    v.hi = mask;
+    if (a.lo >= 0)
+        v.hi = std::min(v.hi, a.hi);
+    std::int64_t width = std::int64_t{mask} + 1;
+    if ((width & mask) == 0) {  // mask = 2^k - 1
+        v.m = gcd64(a.m == 0 ? width : a.m, width);
+        v.r = a.r;
+    }
+    return norm(v);
+}
+
+AbsVal
+absDivConst(const AbsVal &a, std::int64_t c)
+{
+    if (c <= 0 || a.lo < 0 || a.frameFw != 0)
+        return AbsVal::top();
+    AbsVal v;
+    v.lo = a.lo / c;
+    v.hi = a.hi / c;
+    if (a.m > 0 && a.m % c == 0 && a.r % c == 0) {
+        v.m = a.m / c;
+        v.r = a.r / c;
+    } else if (a.isExact()) {
+        v.m = 0;
+        v.r = a.r / c;
+    }
+    return norm(v);
+}
+
+AbsVal
+absRemConst(const AbsVal &a, std::int64_t c)
+{
+    if (c <= 0 || a.lo < 0 || a.frameFw != 0)
+        return AbsVal::top();
+    AbsVal v;
+    v.lo = 0;
+    v.hi = std::min(c - 1, a.hi);
+    std::int64_t g = gcd64(a.m == 0 ? c : a.m, c);
+    if (g > 0) {
+        v.m = g;
+        v.r = posMod(a.r, g);
+    }
+    return norm(v);
+}
+
+AbsVal
+absLess(const AbsVal &a, const AbsVal &b, bool isUnsigned)
+{
+    if (a.frameFw != 0 || b.frameFw != 0)
+        return norm({0, 1, 1, 0, 0});
+    if (!isUnsigned || (a.lo >= 0 && b.lo >= 0)) {
+        if (a.hi < b.lo)
+            return AbsVal::exact(1);
+        if (a.lo >= b.hi)
+            return AbsVal::exact(0);
+    }
+    return norm({0, 1, 1, 0, 0});
+}
+
+/**
+ * Concrete 32-bit evaluation for singleton operands, replicating the
+ * machine's wrap-around integer semantics so singleton diagnostics
+ * (e.g. "misaligned vload address 6") print the value the hardware
+ * would compute.
+ */
+bool
+concreteEval(const Instruction &i, std::int32_t a, std::int32_t b,
+             std::int32_t &out)
+{
+    auto u32 = [](std::int32_t x) {
+        return static_cast<std::uint32_t>(x);
+    };
+    std::int32_t imm = i.imm;
+    switch (i.op) {
+      case Opcode::ADD: out = wrap32(std::int64_t{a} + b); return true;
+      case Opcode::SUB: out = wrap32(std::int64_t{a} - b); return true;
+      case Opcode::AND: out = a & b; return true;
+      case Opcode::OR: out = a | b; return true;
+      case Opcode::XOR: out = a ^ b; return true;
+      case Opcode::SLL:
+        out = static_cast<std::int32_t>(u32(a) << (u32(b) & 31));
+        return true;
+      case Opcode::SRL:
+        out = static_cast<std::int32_t>(u32(a) >> (u32(b) & 31));
+        return true;
+      case Opcode::SRA: out = a >> (u32(b) & 31); return true;
+      case Opcode::SLT: out = a < b ? 1 : 0; return true;
+      case Opcode::SLTU: out = u32(a) < u32(b) ? 1 : 0; return true;
+      case Opcode::MUL:
+        out = wrap32(static_cast<std::int64_t>(a) * b);
+        return true;
+      case Opcode::DIV:
+        out = b == 0                       ? -1
+              : (a == INT32_MIN && b == -1) ? INT32_MIN
+                                            : a / b;
+        return true;
+      case Opcode::REM:
+        out = b == 0                       ? a
+              : (a == INT32_MIN && b == -1) ? 0
+                                            : a % b;
+        return true;
+      case Opcode::ADDI: out = wrap32(std::int64_t{a} + imm); return true;
+      case Opcode::ANDI: out = a & imm; return true;
+      case Opcode::ORI: out = a | imm; return true;
+      case Opcode::XORI: out = a ^ imm; return true;
+      case Opcode::SLLI:
+        out = static_cast<std::int32_t>(u32(a) << (u32(imm) & 31));
+        return true;
+      case Opcode::SRLI:
+        out = static_cast<std::int32_t>(u32(a) >> (u32(imm) & 31));
+        return true;
+      case Opcode::SRAI: out = a >> (u32(imm) & 31); return true;
+      case Opcode::SLTI: out = a < imm ? 1 : 0; return true;
+      case Opcode::LUI:
+        out = static_cast<std::int32_t>(u32(imm) << 12);
+        return true;
+      default:
+        return false;
+    }
+}
+
+CfgBind
+joinCfg(const CfgBind &a, const CfgBind &b)
+{
+    if (a == b)
+        return a;
+    if (a.kind == CfgBind::Bottom)
+        return b;
+    if (b.kind == CfgBind::Bottom)
+        return a;
+    if (a.kind == CfgBind::Conflict || b.kind == CfgBind::Conflict)
+        return CfgBind::conflict();
+    // None joins with Known to Known: the path that skipped the
+    // FrameCfg write (the scalar side of a vector phase) has no
+    // binding of its own and defers to the path that wrote it.
+    if (a.kind == CfgBind::None)
+        return b;
+    if (b.kind == CfgBind::None)
+        return a;
+    return CfgBind::conflict();  // Known vs a different Known.
+}
+
+/** The interval domain plugged into solveDataflow (see interval.hh). */
+struct IntervalDomain
+{
+    using State = IntervalState;
+
+    const Program &p;
+    const BenchConfig &bench;
+    const MachineParams &params;
+    bool inMicrothread = false;
+
+    State bottom() const { return State{}; }
+    bool isBottom(const State &s) const { return s.bottom; }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return false;
+        if (into.bottom) {
+            into = from;
+            return true;
+        }
+        bool changed = false;
+        for (int r = 1; r < 32; ++r) {
+            auto ri = static_cast<size_t>(r);
+            AbsVal j = joinVal(into.reg[ri], from.reg[ri]);
+            if (!(j == into.reg[ri])) {
+                into.reg[ri] = j;
+                changed = true;
+            }
+        }
+        CfgBind cr = joinCfg(into.cfgRegion, from.cfgRegion);
+        CfgBind cs = joinCfg(into.cfgSelf, from.cfgSelf);
+        if (!(cr == into.cfgRegion) || !(cs == into.cfgSelf)) {
+            into.cfgRegion = cr;
+            into.cfgSelf = cs;
+            changed = true;
+        }
+        return changed;
+    }
+
+    /**
+     * Widening with thresholds: an unstable bound jumps to the next
+     * landmark on a short ladder (0, +-1024, ... +-2^26) instead of
+     * straight to +-infinity. Loop variables that are in fact bounded
+     * (a rotating frame offset masked to the frame region, a trip
+     * counter) settle on a landmark just past their true range even
+     * when another register's churn has already burned the node's
+     * widening budget; narrowing could not recover them afterwards
+     * because they circulate unchanged around the loop. Each bound
+     * descends the finite ladder monotonically, so termination is
+     * preserved.
+     */
+    static std::int64_t
+    widenDown(std::int64_t v)
+    {
+        static constexpr std::int64_t lad[] = {
+            0, -1024, -4096, -65536, -(std::int64_t{1} << 20),
+            -(std::int64_t{1} << 26)};
+        for (std::int64_t t : lad)
+            if (t <= v)
+                return t;
+        return INT32_MIN;
+    }
+
+    static std::int64_t
+    widenUp(std::int64_t v)
+    {
+        static constexpr std::int64_t lad[] = {
+            0, 1024, 4096, 65536, std::int64_t{1} << 20,
+            std::int64_t{1} << 26};
+        for (std::int64_t t : lad)
+            if (t >= v)
+                return t;
+        return INT32_MAX;
+    }
+
+    void
+    widen(State &cur, const State &prev) const
+    {
+        if (cur.bottom || prev.bottom)
+            return;
+        for (int r = 1; r < 32; ++r) {
+            auto ri = static_cast<size_t>(r);
+            AbsVal &c = cur.reg[ri];
+            const AbsVal &pv = prev.reg[ri];
+            if (c.frameFw != pv.frameFw)
+                continue;  // joinVal already widened the tag away.
+            if (c.lo < pv.lo)
+                c.lo = widenDown(c.lo);
+            if (c.hi > pv.hi)
+                c.hi = widenUp(c.hi);
+            if (c.m == 0 && c.lo != c.hi) {
+                c.m = 1;
+                c.r = 0;
+            }
+        }
+    }
+
+    AbsVal evalDest(int pc, const Instruction &i, const State &s) const;
+    State transfer(int pc, const State &in) const;
+    State refineEdge(int from, int to, const State &out) const;
+};
+
+AbsVal
+IntervalDomain::evalDest(int pc, const Instruction &i,
+                         const State &s) const
+{
+    switch (i.op) {
+      case Opcode::JAL:
+      case Opcode::JALR:
+        return AbsVal::exact(pc + 1);
+      case Opcode::LUI:
+        return AbsVal::exact(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(i.imm) << 12));
+      case Opcode::CSRR:
+        switch (static_cast<Csr>(i.sub)) {
+          case Csr::CoreId:
+            return AbsVal::range(0, params.numCores() - 1);
+          case Csr::NumCores:
+            return AbsVal::exact(params.numCores());
+          case Csr::GroupTid:
+            return AbsVal::range(0, bench.groupSize);
+          case Csr::GroupLen:
+            return AbsVal::range(0, bench.groupSize + 1);
+          default:
+            return AbsVal::top();
+        }
+      case Opcode::FRAME_START: {
+        const CfgBind &g = inMicrothread ? s.cfgRegion : s.cfgSelf;
+        if (g.isKnown())
+            return AbsVal{0, 0, 0, 0, g.fw};
+        return AbsVal::top();
+      }
+      default:
+        break;
+    }
+
+    const AbsVal &a = s.get(i.rs1);
+    const AbsVal &b = s.get(i.rs2);
+    bool immOp = i.op == Opcode::ADDI || i.op == Opcode::ANDI ||
+                 i.op == Opcode::ORI || i.op == Opcode::XORI ||
+                 i.op == Opcode::SLLI || i.op == Opcode::SRLI ||
+                 i.op == Opcode::SRAI || i.op == Opcode::SLTI;
+    if (a.isExact() && a.frameFw == 0 &&
+        (immOp || (b.isExact() && b.frameFw == 0))) {
+        std::int32_t out = 0;
+        if (concreteEval(i, static_cast<std::int32_t>(a.r),
+                         static_cast<std::int32_t>(b.r), out))
+            return AbsVal::exact(out);
+    }
+
+    switch (i.op) {
+      case Opcode::ADD: return absAdd(a, b);
+      case Opcode::SUB: return absSub(a, b);
+      case Opcode::MUL: return absMul(a, b);
+      case Opcode::DIV:
+        return b.isExact() ? absDivConst(a, b.r) : AbsVal::top();
+      case Opcode::REM:
+        return b.isExact() ? absRemConst(a, b.r) : AbsVal::top();
+      case Opcode::ADDI: return absAdd(a, AbsVal::exact(i.imm));
+      case Opcode::ANDI: return absAndMask(a, i.imm);
+      case Opcode::SLLI: {
+        int k = static_cast<int>(static_cast<std::uint32_t>(i.imm) & 31);
+        return k <= 30 ? absMulConst(a, std::int64_t{1} << k)
+                       : AbsVal::top();
+      }
+      case Opcode::SRLI:
+        return absShiftRight(
+            a, static_cast<int>(static_cast<std::uint32_t>(i.imm) & 31),
+            false);
+      case Opcode::SRAI:
+        return absShiftRight(
+            a, static_cast<int>(static_cast<std::uint32_t>(i.imm) & 31),
+            true);
+      case Opcode::SLL:
+        if (b.isExact()) {
+            int k = static_cast<int>(static_cast<std::uint32_t>(b.r) &
+                                     31);
+            return k <= 30 ? absMulConst(a, std::int64_t{1} << k)
+                           : AbsVal::top();
+        }
+        return AbsVal::top();
+      case Opcode::SRL:
+        if (b.isExact())
+            return absShiftRight(
+                a,
+                static_cast<int>(static_cast<std::uint32_t>(b.r) & 31),
+                false);
+        return AbsVal::top();
+      case Opcode::SRA:
+        if (b.isExact())
+            return absShiftRight(
+                a,
+                static_cast<int>(static_cast<std::uint32_t>(b.r) & 31),
+                true);
+        return AbsVal::top();
+      case Opcode::SLT: return absLess(a, b, false);
+      case Opcode::SLTU: return absLess(a, b, true);
+      case Opcode::SLTI: return absLess(a, AbsVal::exact(i.imm), false);
+      default:
+        return AbsVal::top();  // Loads, FP moves: value unknown.
+    }
+}
+
+IntervalState
+IntervalDomain::transfer(int pc, const State &in) const
+{
+    if (in.bottom)
+        return in;
+    State s = in;
+    const Instruction &i = p.code[static_cast<size_t>(pc)];
+    if (i.op == Opcode::BARRIER) {
+        s.cfgRegion = CfgBind::none();
+        return s;
+    }
+    if (i.op == Opcode::CSRW) {
+        if (static_cast<Csr>(i.sub) == Csr::FrameCfg) {
+            const AbsVal &v = s.get(i.rs1);
+            CfgBind b = CfgBind::conflict();
+            if (v.isExact() && v.frameFw == 0) {
+                auto raw = static_cast<std::uint32_t>(v.r);
+                b = CfgBind::known(static_cast<int>(raw & 0xffffu),
+                                   static_cast<int>(raw >> 16));
+            }
+            s.cfgRegion = b;
+            s.cfgSelf = b;
+        }
+        return s;
+    }
+    int rd = destReg(i);
+    if (rd < 0 || rd >= 32)
+        return s;
+    s.set(static_cast<RegIdx>(rd), evalDest(pc, i, in));
+    return s;
+}
+
+IntervalState
+IntervalDomain::refineEdge(int from, int to, const State &out) const
+{
+    if (out.bottom)
+        return out;
+    const Instruction &i = p.code[static_cast<size_t>(from)];
+    if (!isCondBranch(i.op))
+        return out;
+    bool takenEdge = to == i.imm;
+    bool fallEdge = to == from + 1;
+    if (takenEdge == fallEdge)
+        return out;  // Degenerate branch (both edges coincide).
+    AbsVal a = out.get(i.rs1);
+    AbsVal b = out.get(i.rs2);
+    if (a.frameFw != 0 || b.frameFw != 0)
+        return out;
+    bool isUnsigned = i.op == Opcode::BLTU || i.op == Opcode::BGEU;
+    if (isUnsigned && (a.lo < 0 || b.lo < 0))
+        return out;
+
+    auto lt = [](AbsVal &x, AbsVal &y) {  // Constrain x < y.
+        x.hi = std::min(x.hi, y.hi - 1);
+        y.lo = std::max(y.lo, x.lo + 1);
+    };
+    auto ge = [](AbsVal &x, AbsVal &y) {  // Constrain x >= y.
+        x.lo = std::max(x.lo, y.lo);
+        y.hi = std::min(y.hi, x.hi);
+    };
+    auto eq = [](AbsVal &x, AbsVal &y) {
+        x.lo = y.lo = std::max(x.lo, y.lo);
+        x.hi = y.hi = std::min(x.hi, y.hi);
+    };
+    auto ne = [](AbsVal &x, const AbsVal &y) {
+        if (!y.isExact())
+            return;
+        if (x.lo == y.r)
+            x.lo += 1;
+        if (x.hi == y.r)
+            x.hi -= 1;
+    };
+
+    switch (i.op) {
+      case Opcode::BLT:
+      case Opcode::BLTU:
+        takenEdge ? lt(a, b) : ge(a, b);
+        break;
+      case Opcode::BGE:
+      case Opcode::BGEU:
+        takenEdge ? ge(a, b) : lt(a, b);
+        break;
+      case Opcode::BEQ:
+        if (takenEdge) {
+            eq(a, b);
+        } else {
+            ne(a, b);
+            ne(b, a);
+        }
+        break;
+      case Opcode::BNE:
+        if (takenEdge) {
+            ne(a, b);
+            ne(b, a);
+        } else {
+            eq(a, b);
+        }
+        break;
+      default:
+        return out;
+    }
+    if (!normalizeVal(a) || !normalizeVal(b))
+        return bottom();  // Edge is infeasible.
+    State res = out;
+    res.set(i.rs1, a);
+    res.set(i.rs2, b);
+    return res;
+}
+
+} // namespace
+
+// --- AbsVal / IntervalState --------------------------------------------------
+
+AbsVal
+AbsVal::range(std::int64_t lo, std::int64_t hi)
+{
+    return norm({lo, hi, 1, 0, 0});
+}
+
+std::int64_t
+AbsVal::effHi() const
+{
+    if (m == 0)
+        return r;
+    if (m == 1)
+        return hi;
+    return hi - posMod(hi - r, m);
+}
+
+std::int64_t
+AbsVal::effLo() const
+{
+    if (m == 0)
+        return r;
+    if (m == 1)
+        return lo;
+    return lo + posMod(r - lo, m);
+}
+
+bool
+AbsVal::divisibleBy(std::int64_t d) const
+{
+    if (d <= 0)
+        return false;
+    if (m == 0)
+        return posMod(r, d) == 0;
+    return m % d == 0 && posMod(r, d) == 0;
+}
+
+bool
+AbsVal::residueMod(std::int64_t d, std::int64_t &out) const
+{
+    if (d <= 0)
+        return false;
+    if (m == 0 || m % d == 0) {
+        out = posMod(r, d);
+        return true;
+    }
+    return false;
+}
+
+std::string
+AbsVal::str() const
+{
+    if (m == 0)
+        return std::to_string(r);
+    std::string s =
+        "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    if (m > 1)
+        s += " = " + std::to_string(r) + " (mod " + std::to_string(m) +
+             ")";
+    return s;
+}
+
+AbsVal
+joinVal(const AbsVal &a, const AbsVal &b)
+{
+    if (a.frameFw != b.frameFw)
+        return AbsVal::top();
+    AbsVal v;
+    v.frameFw = a.frameFw;
+    v.lo = std::min(a.lo, b.lo);
+    v.hi = std::max(a.hi, b.hi);
+    std::int64_t mm = gcd64(gcd64(a.m, b.m), a.r - b.r);
+    if (mm == 0) {
+        v.m = 0;  // Both exact with the same value.
+        v.r = a.r;
+    } else {
+        v.m = mm;
+        v.r = posMod(a.r, mm);
+    }
+    return norm(v);
+}
+
+const AbsVal &
+IntervalState::get(RegIdx r) const
+{
+    static const AbsVal zero = AbsVal::exact(0);
+    static const AbsVal anything = AbsVal::top();
+    if (r == regZero)
+        return zero;
+    if (r >= 32)
+        return anything;
+    return reg[static_cast<size_t>(r)];
+}
+
+void
+IntervalState::set(RegIdx r, const AbsVal &v)
+{
+    if (r == regZero || r >= 32)
+        return;
+    reg[static_cast<size_t>(r)] = v;
+}
+
+// --- IntervalAnalysis --------------------------------------------------------
+
+IntervalAnalysis::IntervalAnalysis(const Program &p, const Cfg &cfg,
+                                   const BenchConfig &bench,
+                                   const MachineParams &params)
+    : p_(p), cfg_(cfg), bench_(bench), params_(params)
+{}
+
+void
+IntervalAnalysis::solve()
+{
+    routines_ = partitionRoutines(cfg_);
+    const int n = cfg_.size();
+    in_.assign(static_cast<size_t>(n), IntervalState{});
+    reached_.assign(static_cast<size_t>(n), false);
+    if (n == 0)
+        return;
+
+    IntervalDomain mainDom{p_, bench_, params_, false};
+    IntervalState entry;
+    entry.bottom = false;
+    entry.cfgRegion = CfgBind::none();
+    entry.cfgSelf = CfgBind::none();
+    auto mainSol = solveDataflow(cfg_, mainDom, {{0, entry}},
+                                 &routines_[0].reach);
+
+    auto enters = [&](int pc) {
+        const Instruction &i = p_.code[static_cast<size_t>(pc)];
+        if (!mainSol.reached[static_cast<size_t>(pc)])
+            return true;
+        const IntervalState &st = mainSol.in[static_cast<size_t>(pc)];
+        if (st.bottom)
+            return true;
+        const AbsVal &v = st.get(i.rs1);
+        if (v.isExact() && v.frameFw == 0)
+            return v.r != 0;
+        return true;
+    };
+    auto tokens = vissueTokenFlow(cfg_, enters);
+
+    // Microthread entry states, chained through the scalar core's
+    // vissue order and iterated to fixpoint (microthreads issued in a
+    // loop feed their exit state back into the next launch).
+    const size_t nmt = routines_.size() - 1;
+    IntervalDomain mtDom{p_, bench_, params_, true};
+    std::vector<IntervalState> mtEntry(nmt);
+    std::vector<IntervalState> mtExit(nmt);
+    std::vector<Solution<IntervalState>> mtSol(nmt);
+    std::map<int, size_t> mtIndex;
+    for (size_t k = 0; k < nmt; ++k)
+        mtIndex[routines_[k + 1].entry] = k;
+
+    auto computeEntry = [&](size_t k) {
+        IntervalState e;  // bottom
+        int epc = routines_[k + 1].entry;
+        for (int pc = 0; pc < n; ++pc) {
+            const Instruction &i = p_.code[static_cast<size_t>(pc)];
+            if (i.op != Opcode::VISSUE || i.imm != epc ||
+                !mainSol.reached[static_cast<size_t>(pc)]) {
+                continue;
+            }
+            for (const VissueToken &t :
+                 tokens[static_cast<size_t>(pc)]) {
+                if (t.isRegion) {
+                    if (t.pc >= 0 && t.pc < n &&
+                        mainSol.reached[static_cast<size_t>(t.pc)]) {
+                        mtDom.join(e,
+                                   mainSol.in[static_cast<size_t>(t.pc)]);
+                    }
+                } else {
+                    auto it = mtIndex.find(t.pc);
+                    if (it != mtIndex.end())
+                        mtDom.join(e, mtExit[it->second]);
+                }
+            }
+        }
+        return e;
+    };
+    auto solveMt = [&](size_t k) {
+        mtSol[k] = solveDataflow(
+            cfg_, mtDom, {{routines_[k + 1].entry, mtEntry[k]}},
+            &routines_[k + 1].reach);
+        IntervalState ex;  // bottom
+        for (int pc = 0; pc < n; ++pc) {
+            if (p_.code[static_cast<size_t>(pc)].op == Opcode::VEND &&
+                mtSol[k].reached[static_cast<size_t>(pc)]) {
+                mtDom.join(ex, mtSol[k].in[static_cast<size_t>(pc)]);
+            }
+        }
+        bool changed = !(ex == mtExit[k]);
+        mtExit[k] = std::move(ex);
+        return changed;
+    };
+
+    constexpr int maxRounds = 10;
+    bool converged = nmt == 0;
+    for (int round = 0; round < maxRounds && !converged; ++round) {
+        bool entriesChanged = false;
+        for (size_t k = 0; k < nmt; ++k) {
+            IntervalState e = computeEntry(k);
+            if (!(e == mtEntry[k])) {
+                mtEntry[k] = std::move(e);
+                entriesChanged = true;
+            }
+        }
+        if (!entriesChanged && round > 0) {
+            converged = true;
+            break;
+        }
+        bool exitsChanged = false;
+        for (size_t k = 0; k < nmt; ++k) {
+            if (mtEntry[k].bottom)
+                continue;
+            exitsChanged |= solveMt(k);
+        }
+        if (!exitsChanged)
+            converged = true;
+    }
+    if (!converged) {
+        // Give up on precision, not soundness: launch every reachable
+        // microthread from an unconstrained state.
+        for (size_t k = 0; k < nmt; ++k) {
+            if (mtEntry[k].bottom)
+                continue;
+            IntervalState top;
+            top.bottom = false;
+            top.cfgRegion = CfgBind::conflict();
+            top.cfgSelf = CfgBind::conflict();
+            mtEntry[k] = top;
+            solveMt(k);
+        }
+    }
+
+    for (int pc = 0; pc < n; ++pc) {
+        if (mainSol.reached[static_cast<size_t>(pc)]) {
+            in_[static_cast<size_t>(pc)] =
+                mainSol.in[static_cast<size_t>(pc)];
+            reached_[static_cast<size_t>(pc)] = true;
+        }
+    }
+    for (size_t k = 0; k < nmt; ++k) {
+        if (mtSol[k].in.empty())
+            continue;
+        for (int pc = 0; pc < n; ++pc) {
+            if (!mtSol[k].reached[static_cast<size_t>(pc)])
+                continue;
+            if (reached_[static_cast<size_t>(pc)]) {
+                mtDom.join(in_[static_cast<size_t>(pc)],
+                           mtSol[k].in[static_cast<size_t>(pc)]);
+            } else {
+                in_[static_cast<size_t>(pc)] =
+                    mtSol[k].in[static_cast<size_t>(pc)];
+                reached_[static_cast<size_t>(pc)] = true;
+            }
+        }
+    }
+}
+
+AbsVal
+IntervalAnalysis::valueAt(int pc, RegIdx r) const
+{
+    if (pc < 0 || pc >= static_cast<int>(in_.size()) ||
+        !reached_[static_cast<size_t>(pc)] ||
+        in_[static_cast<size_t>(pc)].bottom) {
+        return AbsVal::top();
+    }
+    return in_[static_cast<size_t>(pc)].get(r);
+}
+
+bool
+IntervalAnalysis::constAt(int pc, RegIdx r, std::int32_t &out) const
+{
+    if (pc < 0 || pc >= static_cast<int>(in_.size()) ||
+        !reached_[static_cast<size_t>(pc)]) {
+        return false;
+    }
+    AbsVal v = valueAt(pc, r);
+    if (v.isExact() && v.frameFw == 0) {
+        out = static_cast<std::int32_t>(v.r);
+        return true;
+    }
+    return false;
+}
+
+CfgBind
+IntervalAnalysis::regionCfgAt(int pc) const
+{
+    if (pc < 0 || pc >= static_cast<int>(in_.size()) ||
+        !reached_[static_cast<size_t>(pc)]) {
+        return {};
+    }
+    return in_[static_cast<size_t>(pc)].cfgRegion;
+}
+
+CfgBind
+IntervalAnalysis::selfCfgAt(int pc) const
+{
+    if (pc < 0 || pc >= static_cast<int>(in_.size()) ||
+        !reached_[static_cast<size_t>(pc)]) {
+        return {};
+    }
+    return in_[static_cast<size_t>(pc)].cfgSelf;
+}
+
+bool
+IntervalAnalysis::reached(int pc) const
+{
+    return pc >= 0 && pc < static_cast<int>(reached_.size()) &&
+           reached_[static_cast<size_t>(pc)];
+}
+
+bool
+IntervalAnalysis::entersVectorMode(int pc) const
+{
+    if (pc < 0 || pc >= static_cast<int>(in_.size()))
+        return true;
+    const Instruction &i = p_.code[static_cast<size_t>(pc)];
+    std::int32_t v = 0;
+    if (constAt(pc, i.rs1, v))
+        return v != 0;
+    return true;
+}
+
+} // namespace rockcress

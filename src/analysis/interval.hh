@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Interval + congruence abstract domain over the integer register
+ * file, with frame-pointer tracking and FrameCfg binding — the value
+ * analysis behind the verifier's alignment, scratchpad-bounds and
+ * frame-footprint proofs (and the constant queries the structural
+ * passes need). Subsumes plain constant propagation: a singleton
+ * interval is a constant.
+ *
+ * Abstract value: v in [lo, hi] and v == r (mod m), where m == 0
+ * means exactly r, m == 1 means no congruence information. The
+ * congruence component survives widening, which is what lets the
+ * analysis prove word alignment of addresses that grow without a
+ * static bound (e.g. streaming pointers bumped by 4*k each
+ * iteration). Values produced by FRAME_START carry a frame tag: the
+ * interval then describes the byte delta from the (dynamic) frame
+ * base, and the tag records the governing frame size so loads and
+ * stores through the pointer can be checked against the frame's
+ * byte footprint.
+ *
+ * Two FrameCfg bindings ride along in each state:
+ *  - cfgRegion governs group-routed fills and microthread frame ops;
+ *    it is killed at barriers so that a stale configuration from a
+ *    previous phase never merges into the next one (the scalar-core
+ *    path around a vector phase's FrameCfg write would otherwise
+ *    conflict at the phase-entry join);
+ *  - cfgSelf governs self-routed fills and inline frame_start/remem
+ *    (the MIMD prefetch configurations) and persists across barriers.
+ * A binding in conflict (or absent) makes the dependent checks
+ * inapplicable rather than wrong: the analysis only rejects what it
+ * can prove unsafe or cannot prove safe at an actual obligation.
+ *
+ * Microthread entry states are chained interprocedurally through the
+ * scalar core's vissue order (dataflow.hh vissueTokenFlow): a
+ * microthread inherits the join over the register states its group
+ * held when the region formed and the exit states of previously
+ * issued microthreads, iterated to fixpoint.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_INTERVAL_HH
+#define ROCKCRESS_ANALYSIS_INTERVAL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "compiler/codegen.hh"
+#include "isa/program.hh"
+#include "machine/params.hh"
+
+namespace rockcress
+{
+
+/** One abstract register value (see file comment). */
+struct AbsVal
+{
+    std::int64_t lo = INT32_MIN;
+    std::int64_t hi = INT32_MAX;
+    std::int64_t m = 1;   ///< Congruence modulus; 0 = exact value r.
+    std::int64_t r = 0;   ///< Residue (value when m == 0).
+    /** 0: plain value; >0: frame pointer, fw words per frame. */
+    std::int32_t frameFw = 0;
+
+    bool operator==(const AbsVal &) const = default;
+
+    static AbsVal top() { return {}; }
+    static AbsVal
+    exact(std::int64_t v)
+    {
+        return {v, v, 0, v, 0};
+    }
+    static AbsVal range(std::int64_t lo, std::int64_t hi);
+
+    bool isExact() const { return m == 0; }
+    bool
+    isTop() const
+    {
+        return frameFw == 0 && lo == INT32_MIN && hi == INT32_MAX &&
+               m == 1;
+    }
+
+    /** Largest/smallest representable member of the set. */
+    std::int64_t effHi() const;
+    std::int64_t effLo() const;
+
+    /** Is every member divisible by d (d > 0)? */
+    bool divisibleBy(std::int64_t d) const;
+    /** Is `v mod d` the same for every member? (out = residue) */
+    bool residueMod(std::int64_t d, std::int64_t &out) const;
+
+    /** "[lo, hi] = r (mod m)" rendering for diagnostics. */
+    std::string str() const;
+};
+
+/** Join (least upper bound) of two abstract values. */
+AbsVal joinVal(const AbsVal &a, const AbsVal &b);
+
+/** FrameCfg binding lattice. */
+struct CfgBind
+{
+    enum Kind : std::uint8_t { Bottom, None, Known, Conflict };
+    Kind kind = Bottom;
+    int fw = 0;  ///< Frame size in words (valid when Known).
+    int nf = 0;  ///< Number of frames (valid when Known).
+
+    bool operator==(const CfgBind &) const = default;
+
+    bool isKnown() const { return kind == Known && fw > 0; }
+
+    static CfgBind none() { return {None, 0, 0}; }
+    static CfgBind known(int fw, int nf) { return {Known, fw, nf}; }
+    static CfgBind conflict() { return {Conflict, 0, 0}; }
+};
+
+/** Per-program-point abstract state (x0..x31 plus the bindings). */
+struct IntervalState
+{
+    bool bottom = true;
+    std::array<AbsVal, 32> reg{};
+    CfgBind cfgRegion;
+    CfgBind cfgSelf;
+
+    bool operator==(const IntervalState &) const = default;
+
+    /** Value of a register (x0 is always exactly 0). */
+    const AbsVal &get(RegIdx r) const;
+    void set(RegIdx r, const AbsVal &v);
+};
+
+/**
+ * The whole-program interval analysis: per-instruction entry states
+ * for the main body and every microthread, chained through vissue.
+ */
+class IntervalAnalysis
+{
+  public:
+    IntervalAnalysis(const Program &p, const Cfg &cfg,
+                     const BenchConfig &bench,
+                     const MachineParams &params);
+
+    /** Run to fixpoint. Must be called before any query. */
+    void solve();
+
+    /** Abstract value of integer register `r` just before `pc`. */
+    AbsVal valueAt(int pc, RegIdx r) const;
+
+    /** Constant (singleton) value of a register before `pc`. */
+    bool constAt(int pc, RegIdx r, std::int32_t &out) const;
+
+    /** FrameCfg governing group/microthread frame traffic at `pc`. */
+    CfgBind regionCfgAt(int pc) const;
+    /** FrameCfg governing self-routed frame traffic at `pc`. */
+    CfgBind selfCfgAt(int pc) const;
+
+    /** Did any routine's solve reach `pc`? */
+    bool reached(int pc) const;
+
+    /** Is the CSRW-to-Vconfig at `pc` a region entry (nonzero)? */
+    bool entersVectorMode(int pc) const;
+
+    const std::vector<Routine> &routines() const { return routines_; }
+
+  private:
+    const Program &p_;
+    const Cfg &cfg_;
+    const BenchConfig &bench_;
+    const MachineParams &params_;
+    std::vector<Routine> routines_;
+    std::vector<IntervalState> in_;
+    std::vector<bool> reached_;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_INTERVAL_HH

@@ -1,0 +1,305 @@
+#include "analysis/perfbound.hh"
+
+#include <algorithm>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+/** Crude FU class of an opcode for the advisory block profile. */
+enum class FuClass
+{
+    Other,
+    Int,
+    Fp,
+    Mem,
+    Simd,
+};
+
+FuClass
+fuClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MUL: case Opcode::MULH:
+      case Opcode::DIV: case Opcode::REM: case Opcode::ADDI:
+      case Opcode::ANDI: case Opcode::ORI: case Opcode::XORI:
+      case Opcode::SLLI: case Opcode::SRLI: case Opcode::SRAI:
+      case Opcode::SLTI: case Opcode::LUI:
+        return FuClass::Int;
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FMADD: case Opcode::FEQ:
+      case Opcode::FLT: case Opcode::FLE: case Opcode::FCVT_WS:
+      case Opcode::FCVT_SW: case Opcode::FMV_XW: case Opcode::FMV_WX:
+      case Opcode::FSGNJ: case Opcode::FABS:
+        return FuClass::Fp;
+      case Opcode::LW: case Opcode::SW: case Opcode::FLW:
+      case Opcode::FSW:
+        return FuClass::Mem;
+      case Opcode::SIMD_LW: case Opcode::SIMD_SW:
+      case Opcode::SIMD_ADD: case Opcode::SIMD_SUB:
+      case Opcode::SIMD_MUL: case Opcode::SIMD_FADD:
+      case Opcode::SIMD_FSUB: case Opcode::SIMD_FMUL:
+      case Opcode::SIMD_FMA: case Opcode::SIMD_BCAST:
+      case Opcode::SIMD_REDSUM:
+        return FuClass::Simd;
+      default:
+        return FuClass::Other;
+    }
+}
+
+/**
+ * Longest branch-free instruction runs from every node of one
+ * routine: `toBranch[pc]` counts instructions from pc up to and
+ * including the first branch along the worst path (-1 when no branch
+ * is branch-free-reachable), `toEnd[pc]` the same to a stream
+ * terminator. A branch-free cycle makes both unbounded.
+ */
+struct RunLengths
+{
+    std::vector<int> toBranch;
+    std::vector<int> toEnd;
+    bool unbounded = false;
+};
+
+RunLengths
+longestRuns(const Program &p, const Cfg &cfg,
+            const std::vector<bool> &reach)
+{
+    const int n = cfg.size();
+    RunLengths rl;
+    rl.toBranch.assign(static_cast<size_t>(n), -1);
+    rl.toEnd.assign(static_cast<size_t>(n), -1);
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::vector<char> color(static_cast<size_t>(n), 0);
+
+    // Iterative DFS with an explicit post-order so deep programs do
+    // not overflow the host stack.
+    for (int root = 0; root < n; ++root) {
+        if (!reach[static_cast<size_t>(root)] ||
+            color[static_cast<size_t>(root)] != 0) {
+            continue;
+        }
+        std::vector<std::pair<int, size_t>> stack{{root, 0}};
+        color[static_cast<size_t>(root)] = 1;
+        while (!stack.empty()) {
+            auto &[pc, next] = stack.back();
+            const Instruction &i = p.code[static_cast<size_t>(pc)];
+            if (isBranch(i.op)) {
+                // A branch ends the run at itself.
+                rl.toBranch[static_cast<size_t>(pc)] = 1;
+                color[static_cast<size_t>(pc)] = 2;
+                stack.pop_back();
+                continue;
+            }
+            const auto &succs = cfg.succs[static_cast<size_t>(pc)];
+            if (next < succs.size()) {
+                int s = succs[next++];
+                if (!reach[static_cast<size_t>(s)])
+                    continue;
+                char c = color[static_cast<size_t>(s)];
+                if (c == 1) {
+                    rl.unbounded = true;  // Branch-free cycle.
+                    continue;
+                }
+                if (c == 0) {
+                    color[static_cast<size_t>(s)] = 1;
+                    stack.push_back({s, 0});
+                }
+                continue;
+            }
+            // Post-order: combine successors.
+            int tb = -1, te = -1;
+            bool terminator = true;
+            for (int s : succs) {
+                if (!reach[static_cast<size_t>(s)])
+                    continue;
+                terminator = false;
+                tb = std::max(tb, rl.toBranch[static_cast<size_t>(s)]);
+                te = std::max(te, rl.toEnd[static_cast<size_t>(s)]);
+            }
+            if (terminator) {
+                rl.toEnd[static_cast<size_t>(pc)] = 1;
+            } else {
+                if (tb >= 0)
+                    rl.toBranch[static_cast<size_t>(pc)] = tb + 1;
+                if (te >= 0)
+                    rl.toEnd[static_cast<size_t>(pc)] = te + 1;
+            }
+            color[static_cast<size_t>(pc)] = 2;
+            stack.pop_back();
+        }
+    }
+    return rl;
+}
+
+/** Is `pc` the first instruction of a basic block? */
+std::vector<bool>
+blockLeaders(const Cfg &cfg, const std::vector<bool> &reach)
+{
+    const int n = cfg.size();
+    std::vector<bool> leader(static_cast<size_t>(n), false);
+    std::vector<int> preds(static_cast<size_t>(n), 0);
+    for (int pc = 0; pc < n; ++pc) {
+        if (!reach[static_cast<size_t>(pc)])
+            continue;
+        for (int s : cfg.succs[static_cast<size_t>(pc)])
+            preds[static_cast<size_t>(s)] += 1;
+    }
+    for (int pc = 0; pc < n; ++pc) {
+        if (!reach[static_cast<size_t>(pc)])
+            continue;
+        const auto &succs = cfg.succs[static_cast<size_t>(pc)];
+        bool split = succs.size() != 1 ||
+                     isBranch(cfg.prog->code[static_cast<size_t>(pc)].op);
+        for (int s : succs) {
+            if (split || preds[static_cast<size_t>(s)] > 1 ||
+                s != pc + 1) {
+                leader[static_cast<size_t>(s)] = true;
+            }
+        }
+    }
+    leader[0] = reach[0];
+    return leader;
+}
+
+} // namespace
+
+PerfBoundReport
+computePerfBound(const Program &p, const BenchConfig &cfg,
+                 const MachineParams &params)
+{
+    PerfBoundReport rep;
+    Cfg graph = buildCfg(p);
+    const int n = graph.size();
+    if (n == 0)
+        return rep;
+    std::vector<Routine> routines = partitionRoutines(graph);
+    const std::vector<bool> &mainReach = routines[0].reach;
+    const double fd = static_cast<double>(params.core.frontendDelay);
+
+    // --- Certified per-core ceiling -------------------------------------
+    if (cfg.isVector()) {
+        // Receiver cores take forwarded instructions without branch
+        // bubbles: only the single-issue limit is certified.
+        rep.vectorCeiling = true;
+        rep.ipcBound = 1.0;
+    } else {
+        RunLengths rl = longestRuns(p, graph, mainReach);
+        if (rl.unbounded) {
+            rep.unboundedRun = true;
+            rep.ipcBound = 1.0;
+        } else {
+            for (int pc = 0; pc < n; ++pc) {
+                if (!mainReach[static_cast<size_t>(pc)])
+                    continue;
+                rep.runToBranch = std::max(
+                    rep.runToBranch,
+                    rl.toBranch[static_cast<size_t>(pc)]);
+                rep.runToEnd = std::max(
+                    rep.runToEnd, rl.toEnd[static_cast<size_t>(pc)]);
+            }
+            double bound = 0.0;
+            if (rep.runToBranch > 0) {
+                double lb = rep.runToBranch;
+                bound = std::max(bound, lb / (lb + fd));
+            }
+            if (rep.runToEnd > 0) {
+                double le = rep.runToEnd;
+                bound = std::max(bound, le / (le + fd + 1.0));
+            }
+            rep.ipcBound = bound > 0.0 ? bound : 1.0;
+        }
+    }
+
+    // --- Advisory per-block resource profile ----------------------------
+    std::vector<bool> anyReach(static_cast<size_t>(n), false);
+    for (const Routine &r : routines) {
+        for (int pc = 0; pc < n; ++pc) {
+            if (r.reach[static_cast<size_t>(pc)])
+                anyReach[static_cast<size_t>(pc)] = true;
+        }
+    }
+    std::vector<bool> leader = blockLeaders(graph, anyReach);
+    for (int pc = 0; pc < n; ++pc) {
+        if (!anyReach[static_cast<size_t>(pc)] ||
+            !leader[static_cast<size_t>(pc)]) {
+            continue;
+        }
+        BlockBound b;
+        b.first = pc;
+        int q = pc;
+        while (true) {
+            const Instruction &i = p.code[static_cast<size_t>(q)];
+            b.count += 1;
+            b.last = q;
+            switch (fuClass(i.op)) {
+              case FuClass::Int: b.intOps += 1; break;
+              case FuClass::Fp: b.fpOps += 1; break;
+              case FuClass::Mem: b.memOps += 1; break;
+              case FuClass::Simd: b.simdOps += 1; break;
+              default: break;
+            }
+            if (i.op == Opcode::VLOAD && i.imm2 > 0)
+                b.vloadWords += i.imm2;
+            b.endsInBranch = isBranch(i.op);
+            const auto &succs = graph.succs[static_cast<size_t>(q)];
+            bool fallthrough =
+                !b.endsInBranch && succs.size() == 1 &&
+                succs[0] == q + 1 && q + 1 < n &&
+                anyReach[static_cast<size_t>(q + 1)] &&
+                !leader[static_cast<size_t>(q + 1)];
+            if (!fallthrough)
+                break;
+            q += 1;
+        }
+        b.minCycles =
+            static_cast<double>(b.count) + (b.endsInBranch ? fd : 0.0);
+        rep.blocks.push_back(b);
+    }
+
+    // --- Advisory loop estimates (retreating edges) ---------------------
+    for (int pc = 0; pc < n; ++pc) {
+        if (!anyReach[static_cast<size_t>(pc)])
+            continue;
+        for (int s : graph.succs[static_cast<size_t>(pc)]) {
+            if (s > pc)
+                continue;
+            LoopBound lb;
+            lb.head = s;
+            lb.len = pc - s + 1;
+            for (int q = s; q <= pc; ++q) {
+                const Instruction &i = p.code[static_cast<size_t>(q)];
+                if (isBranch(i.op))
+                    lb.branches += 1;
+                if (i.op == Opcode::VLOAD && i.imm2 > 0)
+                    lb.vloadWords += i.imm2;
+            }
+            double cycFrontend =
+                static_cast<double>(lb.len) + fd * lb.branches;
+            lb.ipcFrontend = lb.len / cycFrontend;
+            // Roofline: with every core streaming, each iteration's
+            // vload bytes must fit the per-core DRAM share.
+            double bytes = static_cast<double>(lb.vloadWords) *
+                           static_cast<double>(wordBytes);
+            double cycDram =
+                params.dramBytesPerCycle > 0
+                    ? bytes * params.numCores() / params.dramBytesPerCycle
+                    : 0.0;
+            lb.ipcRoofline = lb.len / std::max(cycFrontend, cycDram);
+            rep.loops.push_back(lb);
+        }
+    }
+    return rep;
+}
+
+} // namespace rockcress

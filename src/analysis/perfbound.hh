@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Static performance bound for one (program, configuration) pair —
+ * the lint half of the analysis framework: an IPC ceiling the cycle
+ * model must never exceed, plus advisory per-block and per-loop
+ * resource estimates for the machine-readable report.
+ *
+ * The certified bound exploits one microarchitectural invariant of
+ * the tile frontend (src/core): every taken-or-not branch (including
+ * jal/jalr) pauses fetch until the branch issues, inserting at least
+ * `frontendDelay` issue bubbles, and the pipeline issues at most one
+ * instruction per cycle. A fetching core's issue stream therefore
+ * decomposes into branch-free runs, each followed by a mandatory
+ * bubble, and its IPC is at most
+ *
+ *     max( Lb / (Lb + frontendDelay),
+ *          Le / (Le + frontendDelay + 1) )
+ *
+ * where Lb is the longest branch-free instruction run ending at a
+ * branch and Le the longest branch-free run ending at a stream
+ * terminator (the one unpenalized tail, which also pays the cold
+ * frontend fill). Vector-group receiver cores execute instructions
+ * forwarded by their expander and are not throttled by the branch
+ * bubble, so under a vector configuration the certified per-core
+ * ceiling degrades to the single-issue limit of 1.0 — still a true
+ * bound, with the advisory sections carrying the sharper estimates.
+ *
+ * Everything else in the report (per-block FU mix, loop IPC
+ * estimates, DRAM roofline) is advisory: useful for the JSON report
+ * and regression triage, not certified.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_PERFBOUND_HH
+#define ROCKCRESS_ANALYSIS_PERFBOUND_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "isa/program.hh"
+#include "machine/params.hh"
+
+namespace rockcress
+{
+
+/** One basic block's advisory resource profile. */
+struct BlockBound
+{
+    int first = 0;          ///< First instruction index.
+    int last = 0;           ///< Last instruction index (inclusive).
+    int count = 0;          ///< Instructions in the block.
+    bool endsInBranch = false;
+    int intOps = 0;
+    int fpOps = 0;
+    int memOps = 0;         ///< Scalar loads/stores.
+    int simdOps = 0;
+    int vloadWords = 0;     ///< Words moved by vloads in the block.
+    /** Issue-limited minimum cycles to traverse the block once. */
+    double minCycles = 0;
+};
+
+/** One (retreating-edge) loop's advisory IPC estimate. */
+struct LoopBound
+{
+    int head = 0;           ///< Loop header instruction index.
+    int len = 0;            ///< Instructions in [head, backEdge].
+    int branches = 0;       ///< Branch instructions in the body.
+    int vloadWords = 0;     ///< Words vloaded per iteration.
+    /** Frontend-bubble-limited IPC for steady-state iterations. */
+    double ipcFrontend = 0;
+    /**
+     * DRAM-roofline IPC: body length over the larger of the frontend
+     * cycles and the cycles DRAM needs to stream the body's vload
+     * bytes with every core active.
+     */
+    double ipcRoofline = 0;
+};
+
+/** The full static performance report for one (bench, config). */
+struct PerfBoundReport
+{
+    /** Certified per-core IPC ceiling (see file comment). */
+    double ipcBound = 1.0;
+    /** Longest branch-free run ending at a branch (-1: none). */
+    int runToBranch = -1;
+    /** Longest branch-free run ending at a terminator (-1: none). */
+    int runToEnd = -1;
+    /** True when the 1.0 receiver-core ceiling applied. */
+    bool vectorCeiling = false;
+    /** True when a branch-free cycle forced the trivial 1.0 bound. */
+    bool unboundedRun = false;
+
+    std::vector<BlockBound> blocks;
+    std::vector<LoopBound> loops;
+};
+
+/** Compute the static performance bound for an assembled program. */
+PerfBoundReport computePerfBound(const Program &p,
+                                 const BenchConfig &cfg,
+                                 const MachineParams &params);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_PERFBOUND_HH

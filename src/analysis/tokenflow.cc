@@ -1,0 +1,390 @@
+#include "analysis/tokenflow.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr std::int64_t kInf = std::int64_t{1} << 60;
+
+std::int64_t
+satAdd(std::int64_t a, std::int64_t b)
+{
+    std::int64_t s = a + b;
+    return std::clamp(s, -kInf, kInf);
+}
+
+std::int64_t
+satMul(std::int64_t a, std::int64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > (kInf / b))
+        return kInf;
+    return std::clamp(a * b, -kInf, kInf);
+}
+
+/** [lo, hi] backlog of frame-region words for one scratchpad. */
+struct SlotRange
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    bool operator==(const SlotRange &) const = default;
+
+    static SlotRange top() { return {-kInf, kInf}; }
+};
+
+/** How many frame_starts one microthread performs per run. */
+struct CountState
+{
+    bool bottom = true;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    bool operator==(const CountState &) const = default;
+};
+
+struct CountDomain
+{
+    using State = CountState;
+    const Program &p;
+
+    State bottom() const { return State{}; }
+    bool isBottom(const State &s) const { return s.bottom; }
+
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in.bottom)
+            return in;
+        State s = in;
+        if (p.code[static_cast<size_t>(pc)].op == Opcode::FRAME_START) {
+            s.lo = satAdd(s.lo, 1);
+            s.hi = satAdd(s.hi, 1);
+        }
+        return s;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return false;
+        if (into.bottom) {
+            into = from;
+            return true;
+        }
+        std::int64_t lo = std::min(into.lo, from.lo);
+        std::int64_t hi = std::max(into.hi, from.hi);
+        bool changed = lo != into.lo || hi != into.hi;
+        into.lo = lo;
+        into.hi = hi;
+        return changed;
+    }
+
+    void
+    widen(State &cur, const State &prev) const
+    {
+        if (cur.bottom || prev.bottom)
+            return;
+        if (cur.lo < prev.lo)
+            cur.lo = 0;  // Counts never go below zero.
+        if (cur.hi > prev.hi)
+            cur.hi = kInf;
+    }
+};
+
+/** Per-slot word backlog across the group (+ one self slot). */
+struct TokenState
+{
+    bool bottom = true;
+    std::vector<SlotRange> w;
+
+    bool operator==(const TokenState &) const = default;
+};
+
+struct TokenDomain
+{
+    using State = TokenState;
+
+    const Program &p;
+    const MachineParams &params;
+    const IntervalAnalysis &vals;
+    /** frame_start count interval per microthread entry pc. */
+    const std::map<int, CountState> &mtCounts;
+    int groupSlots;
+
+    int selfSlot() const { return groupSlots; }
+
+    State
+    bottom() const
+    {
+        return State{};
+    }
+    bool isBottom(const State &s) const { return s.bottom; }
+
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in.bottom)
+            return in;
+        State s = in;
+        apply(pc, s, nullptr);
+        return s;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return false;
+        if (into.bottom) {
+            into = from;
+            return true;
+        }
+        bool changed = false;
+        for (size_t i = 0; i < into.w.size(); ++i) {
+            std::int64_t lo = std::min(into.w[i].lo, from.w[i].lo);
+            std::int64_t hi = std::max(into.w[i].hi, from.w[i].hi);
+            if (lo != into.w[i].lo || hi != into.w[i].hi) {
+                into.w[i] = {lo, hi};
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    widen(State &cur, const State &prev) const
+    {
+        if (cur.bottom || prev.bottom)
+            return;
+        for (size_t i = 0; i < cur.w.size(); ++i) {
+            if (cur.w[i].lo < prev.w[i].lo)
+                cur.w[i].lo = -kInf;
+            if (cur.w[i].hi > prev.w[i].hi)
+                cur.w[i].hi = kInf;
+        }
+    }
+
+    /**
+     * The shared transfer: mutates `s`; when `diags` is non-null the
+     * definite-wedge checks run too (the post-fixpoint report pass).
+     */
+    void apply(int pc, State &s, std::vector<TokenDiag> *diags) const;
+};
+
+void
+TokenDomain::apply(int pc, State &s, std::vector<TokenDiag> *diags) const
+{
+    const Instruction &i = p.code[static_cast<size_t>(pc)];
+    switch (i.op) {
+      case Opcode::CSRW:
+        if (static_cast<Csr>(i.sub) == Csr::FrameCfg) {
+            // Reconfiguration resets every frame counter.
+            for (SlotRange &sr : s.w)
+                sr = {0, 0};
+        }
+        return;
+
+      case Opcode::VLOAD: {
+        int w = i.imm2;
+        if (w <= 0)
+            return;
+        auto variant = static_cast<VloadVariant>(i.sub);
+        bool self = variant == VloadVariant::Self;
+        CfgBind cfg =
+            self ? vals.selfCfgAt(pc) : vals.regionCfgAt(pc);
+
+        // Where in the scratchpad does this fill land relative to
+        // the frame region? Only frame-region words bump counters.
+        bool inside = false, outside = false;
+        if (cfg.isKnown() && cfg.nf > 0) {
+            std::int64_t region =
+                std::int64_t{cfg.fw} * cfg.nf * 4;
+            AbsVal off = vals.valueAt(pc, i.rs2);
+            if (off.frameFw == 0) {
+                if (off.effLo() >= region)
+                    outside = true;
+                else if (off.effLo() >= 0 &&
+                         off.effHi() + std::int64_t{w} * 4 <= region)
+                    inside = true;
+            }
+        }
+        if (outside)
+            return;
+
+        int first = 0, last = -1;  // Affected group slots.
+        if (variant == VloadVariant::Group) {
+            first = std::max(0, i.imm);
+            last = groupSlots - 1;
+        } else if (variant == VloadVariant::Single) {
+            if (i.imm >= 0 && i.imm < groupSlots)
+                first = last = i.imm;
+        } else {
+            first = last = selfSlot();
+        }
+        std::int64_t limit =
+            cfg.isKnown()
+                ? std::int64_t{cfg.fw} * params.frameCounters
+                : kInf;
+        for (int sl = first; sl <= last; ++sl) {
+            SlotRange &sr = s.w[static_cast<size_t>(sl)];
+            if (inside) {
+                if (diags && sr.lo + w > limit) {
+                    diags->push_back(
+                        {pc,
+                         "vload paces " +
+                             std::to_string(sr.lo + w) +
+                             " words of frame data into a "
+                             "scratchpad whose " +
+                             std::to_string(params.frameCounters) +
+                             " frame counters track at most " +
+                             std::to_string(limit) +
+                             " words: the fill stalls forever with "
+                             "nothing left to drain the window"});
+                    sr = SlotRange::top();
+                    continue;
+                }
+                sr.lo = satAdd(sr.lo, w);
+                sr.hi = satAdd(sr.hi, w);
+            } else {
+                // Unknown destination: may or may not be counted.
+                sr.hi = satAdd(sr.hi, w);
+            }
+        }
+        return;
+      }
+
+      case Opcode::FRAME_START: {
+        // Restricted to the main routine, so this is an inline
+        // (self-routed) frame_start.
+        SlotRange &sr = s.w[static_cast<size_t>(selfSlot())];
+        CfgBind cfg = vals.selfCfgAt(pc);
+        if (!cfg.isKnown()) {
+            sr = SlotRange::top();
+            return;
+        }
+        if (diags && sr.hi < cfg.fw) {
+            diags->push_back(
+                {pc, "frame_start waits for a " +
+                         std::to_string(cfg.fw) +
+                         "-word frame but the preceding self vloads "
+                         "deliver at most " +
+                         std::to_string(std::max<std::int64_t>(
+                             sr.hi, 0)) +
+                         " words: the frame never becomes ready"});
+            sr = SlotRange::top();
+            return;
+        }
+        sr.lo = satAdd(sr.lo, -cfg.fw);
+        sr.hi = satAdd(sr.hi, -cfg.fw);
+        return;
+      }
+
+      case Opcode::VISSUE: {
+        CfgBind cfg = vals.regionCfgAt(pc);
+        auto it = mtCounts.find(i.imm);
+        if (!cfg.isKnown() || it == mtCounts.end() ||
+            it->second.bottom) {
+            for (int sl = 0; sl < groupSlots; ++sl)
+                s.w[static_cast<size_t>(sl)] = SlotRange::top();
+            return;
+        }
+        std::int64_t cl = it->second.lo, ch = it->second.hi;
+        std::int64_t need = satMul(cl, cfg.fw);
+        for (int sl = 0; sl < groupSlots; ++sl) {
+            SlotRange &sr = s.w[static_cast<size_t>(sl)];
+            if (diags && sr.hi < need) {
+                diags->push_back(
+                    {pc,
+                     "vissued microthread performs at least " +
+                         std::to_string(cl) +
+                         " frame_start(s) of " +
+                         std::to_string(cfg.fw) +
+                         " words each but the preceding vloads "
+                         "deliver at most " +
+                         std::to_string(
+                             std::max<std::int64_t>(sr.hi, 0)) +
+                         " words to a group core: the frame never "
+                         "becomes ready"});
+                sr = SlotRange::top();
+                continue;
+            }
+            sr.lo = satAdd(sr.lo, -satMul(ch, cfg.fw));
+            sr.hi = satAdd(sr.hi, -need);
+        }
+        return;
+      }
+
+      default:
+        return;
+    }
+}
+
+} // namespace
+
+std::vector<TokenDiag>
+checkFrameTokenFlow(const Program &p, const Cfg &cfg,
+                    const BenchConfig &bench,
+                    const MachineParams &params,
+                    const IntervalAnalysis &values)
+{
+    std::vector<TokenDiag> diags;
+    const int n = cfg.size();
+    if (n == 0)
+        return diags;
+    const std::vector<Routine> &routines = values.routines();
+
+    // Per-microthread frame_start execution counts.
+    std::map<int, CountState> mtCounts;
+    CountDomain cd{p};
+    for (size_t k = 1; k < routines.size(); ++k) {
+        CountState entry;
+        entry.bottom = false;
+        auto sol = solveDataflow(cfg, cd,
+                                 {{routines[k].entry, entry}},
+                                 &routines[k].reach);
+        CountState exit;  // bottom
+        for (int pc = 0; pc < n; ++pc) {
+            if (p.code[static_cast<size_t>(pc)].op == Opcode::VEND &&
+                sol.reached[static_cast<size_t>(pc)]) {
+                cd.join(exit, sol.in[static_cast<size_t>(pc)]);
+            }
+        }
+        if (exit.bottom) {
+            // No vend reached (structurally malformed): any count.
+            exit.bottom = false;
+            exit.lo = 0;
+            exit.hi = kInf;
+        }
+        mtCounts[routines[k].entry] = exit;
+    }
+
+    int groupSlots = std::max(1, bench.groupSize);
+    TokenDomain dom{p, params, values, mtCounts, groupSlots};
+    TokenState entry;
+    entry.bottom = false;
+    entry.w.assign(static_cast<size_t>(groupSlots) + 1, SlotRange{});
+    auto sol =
+        solveDataflow(cfg, dom, {{0, entry}}, &routines[0].reach);
+
+    for (int pc = 0; pc < n; ++pc) {
+        if (!sol.reached[static_cast<size_t>(pc)])
+            continue;
+        TokenState s = sol.in[static_cast<size_t>(pc)];
+        if (s.bottom)
+            continue;
+        dom.apply(pc, s, &diags);
+    }
+    return diags;
+}
+
+} // namespace rockcress

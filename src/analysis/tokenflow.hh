@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Group deadlock-freedom analysis (the "token flow" pass): a forward
+ * dataflow over the scalar-core instruction stream that counts frame
+ * fill tokens (vload words destined for the scratchpad frame region)
+ * against frame consumption (inline frame_start, and frame_starts
+ * executed by issued microthreads) for every vector-core slot in the
+ * group plus the core's own self slot.
+ *
+ * Two definite-wedge conditions are reported:
+ *  - starvation: a frame_start (inline, or the minimum number a
+ *    vissued microthread performs) needs more frame words than every
+ *    preceding fill path can have delivered; frameReady() then never
+ *    becomes true and the consumer spins forever;
+ *  - over-pacing: a fill's guaranteed backlog exceeds what the
+ *    hardware's frame counters can account (numCounters frames of
+ *    the bound FrameCfg size), so the scalar core stalls forever on
+ *    canAcceptFrameWrite with nothing left to drain the window.
+ *
+ * Both are evaluated on sound word-backlog intervals: fills with an
+ * offset interval provably inside the frame region add to both
+ * bounds, provably-outside fills are ignored, and unprovable fills
+ * only raise the upper bound — so neither check can fire on a
+ * correctly paced program (rejection-only soundness). Backlog grown
+ * along loops is widened; a loop that may skip a fill therefore
+ * disables the over-pacing check on that path rather than
+ * misreporting it. Iteration-dependent overfill (a loop whose
+ * backlog provably grows every trip) is a documented miss of this
+ * under-approximation, not a false positive.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_TOKENFLOW_HH
+#define ROCKCRESS_ANALYSIS_TOKENFLOW_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/interval.hh"
+
+namespace rockcress
+{
+
+/** One definite-wedge finding, anchored at an instruction. */
+struct TokenDiag
+{
+    int pc = 0;
+    std::string message;
+};
+
+/**
+ * Run the token-flow deadlock analysis over the main routine.
+ * `values` must already be solved; diagnostics come back in
+ * instruction order.
+ */
+std::vector<TokenDiag>
+checkFrameTokenFlow(const Program &p, const Cfg &cfg,
+                    const BenchConfig &bench,
+                    const MachineParams &params,
+                    const IntervalAnalysis &values);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_TOKENFLOW_HH

@@ -1,14 +1,17 @@
 #include "analysis/verifier.hh"
 
 #include <algorithm>
-#include <array>
 #include <bitset>
-#include <deque>
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/interval.hh"
+#include "analysis/tokenflow.hh"
+#include "isa/instr.hh"
 
 namespace rockcress
 {
@@ -16,194 +19,234 @@ namespace rockcress
 namespace
 {
 
-// --- Instruction read sets ---------------------------------------------------
+using DefSet = std::bitset<numArchRegs>;
 
-/** Flat register indices an instruction reads (x0 reads included). */
-void
-readRegs(const Instruction &i, std::vector<RegIdx> &out)
+// --- Vector-region domain ----------------------------------------------------
+
+/**
+ * Inside/outside-a-vector-region state. Conflict (inside on one
+ * incoming path, outside on another) is reported at the join node and
+ * then treated as bottom so it never propagates: code only reachable
+ * through an inconsistent join gets no further region findings, the
+ * same containment the hand-rolled pass had.
+ */
+enum RegionVal : std::uint8_t
 {
-    out.clear();
-    switch (i.op) {
-      case Opcode::NOP: case Opcode::LUI: case Opcode::JAL:
-      case Opcode::HALT: case Opcode::BARRIER: case Opcode::CSRR:
-      case Opcode::VISSUE: case Opcode::VEND: case Opcode::DEVEC:
-      case Opcode::REMEM: case Opcode::FRAME_START:
-        return;
-      case Opcode::CSRW: case Opcode::JALR:
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
-      case Opcode::SRAI: case Opcode::SLTI:
-      case Opcode::LW: case Opcode::FLW: case Opcode::SIMD_LW:
-      case Opcode::FSQRT: case Opcode::FABS: case Opcode::FCVT_WS:
-      case Opcode::FCVT_SW: case Opcode::FMV_XW: case Opcode::FMV_WX:
-      case Opcode::SIMD_BCAST: case Opcode::SIMD_REDSUM:
-        out.push_back(i.rs1);
-        return;
-      case Opcode::FMADD: case Opcode::SIMD_FMA:
-        out.push_back(i.rs1);
-        out.push_back(i.rs2);
-        out.push_back(i.rs3);
-        return;
-      default:
-        // Register-register ALU/FP/SIMD ops, branches, stores, vload,
-        // predication: rs1 and rs2 (unused slots hold x0).
-        out.push_back(i.rs1);
-        out.push_back(i.rs2);
-        return;
+    rvBottom = 0,
+    rvOutside,
+    rvInside,
+    rvConflict,
+};
+
+struct RegionDomain
+{
+    using State = RegionVal;
+
+    const Program &p;
+    const IntervalAnalysis &vals;
+
+    State bottom() const { return rvBottom; }
+    bool
+    isBottom(const State &s) const
+    {
+        return s == rvBottom || s == rvConflict;
     }
-}
 
-// --- Constant propagation ----------------------------------------------------
-
-/** Integer-register constant state (x0..x31 only). */
-struct ConstState
-{
-    std::uint32_t known = 0;             ///< Bit n: x(n) has value v[n].
-    std::array<std::int32_t, 32> v{};
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in == rvBottom || in == rvConflict)
+            return rvBottom;
+        const Instruction &i = p.code[static_cast<size_t>(pc)];
+        switch (i.op) {
+          case Opcode::CSRW:
+            if (static_cast<Csr>(i.sub) == Csr::Vconfig &&
+                vals.entersVectorMode(pc)) {
+                return rvInside;
+            }
+            return in;
+          case Opcode::DEVEC:
+            return rvOutside;
+          default:
+            return in;
+        }
+    }
 
     bool
-    get(RegIdx r, std::int32_t &out) const
+    join(State &into, const State &from) const
     {
-        if (r == regZero) {
-            out = 0;
+        if (from == rvBottom)
+            return false;
+        if (into == rvBottom) {
+            into = from;
             return true;
         }
-        if (r >= 32 || !(known & (1u << r)))
+        if (into == from || into == rvConflict)
             return false;
-        out = v[r];
+        into = rvConflict;
         return true;
-    }
-
-    void
-    set(RegIdx r, std::int32_t value)
-    {
-        if (r == regZero || r >= 32)
-            return;
-        known |= 1u << r;
-        v[r] = value;
-    }
-
-    void
-    clobber(RegIdx r)
-    {
-        if (r < 32)
-            known &= ~(1u << r);
-    }
-
-    /** Lattice meet: keep only registers equal on both sides. */
-    bool
-    meet(const ConstState &other)
-    {
-        std::uint32_t k = known & other.known;
-        for (int r = 1; r < 32; ++r) {
-            if ((k & (1u << r)) && v[static_cast<size_t>(r)] !=
-                                       other.v[static_cast<size_t>(r)]) {
-                k &= ~(1u << r);
-            }
-        }
-        bool changed = k != known;
-        known = k;
-        return changed;
     }
 };
 
-/** Apply one instruction to a constant state. */
-void
-constTransfer(const Instruction &i, ConstState &s)
+// --- Frame-balance domain ----------------------------------------------------
+
+/**
+ * Open-frame count per program point: -1 bottom, -2 join conflict,
+ * otherwise the count (clamped at the 4 the hardware queue holds).
+ * Conflicts are reported in the post-pass and not propagated.
+ */
+struct FrameDomain
 {
-    int rd = destReg(i);
-    if (rd < 0)
-        return;
-    if (rd >= 32) {
-        return;  // FP/SIMD destinations are not tracked.
+    using State = int;
+
+    const Program &p;
+
+    State bottom() const { return -1; }
+    bool isBottom(const State &s) const { return s < 0; }
+
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in < 0)
+            return -1;
+        switch (p.code[static_cast<size_t>(pc)].op) {
+          case Opcode::FRAME_START:
+            return std::min(in + 1, 4);
+          case Opcode::REMEM:
+            return in == 0 ? 0 : in - 1;
+          default:
+            return in;
+        }
     }
-    auto bin = [&](auto f) {
-        std::int32_t a, b;
-        if (s.get(i.rs1, a) && s.get(i.rs2, b))
-            s.set(static_cast<RegIdx>(rd), f(a, b));
-        else
-            s.clobber(static_cast<RegIdx>(rd));
-    };
-    auto uni = [&](auto f) {
-        std::int32_t a;
-        if (s.get(i.rs1, a))
-            s.set(static_cast<RegIdx>(rd), f(a));
-        else
-            s.clobber(static_cast<RegIdx>(rd));
-    };
-    auto u32 = [](std::int32_t x) { return static_cast<std::uint32_t>(x); };
-    std::int32_t imm = i.imm;
-    switch (i.op) {
-      case Opcode::ADD: bin([](auto a, auto b) { return a + b; }); return;
-      case Opcode::SUB: bin([](auto a, auto b) { return a - b; }); return;
-      case Opcode::AND: bin([](auto a, auto b) { return a & b; }); return;
-      case Opcode::OR:  bin([](auto a, auto b) { return a | b; }); return;
-      case Opcode::XOR: bin([](auto a, auto b) { return a ^ b; }); return;
-      case Opcode::SLL:
-        bin([&](auto a, auto b) {
-            return static_cast<std::int32_t>(u32(a) << (u32(b) & 31));
-        });
-        return;
-      case Opcode::SRL:
-        bin([&](auto a, auto b) {
-            return static_cast<std::int32_t>(u32(a) >> (u32(b) & 31));
-        });
-        return;
-      case Opcode::SRA:
-        bin([&](auto a, auto b) { return a >> (u32(b) & 31); });
-        return;
-      case Opcode::SLT:
-        bin([](auto a, auto b) { return a < b ? 1 : 0; });
-        return;
-      case Opcode::SLTU:
-        bin([&](auto a, auto b) { return u32(a) < u32(b) ? 1 : 0; });
-        return;
-      case Opcode::MUL:
-        bin([](auto a, auto b) {
-            return static_cast<std::int32_t>(
-                static_cast<std::int64_t>(a) * b);
-        });
-        return;
-      case Opcode::DIV:
-        bin([](auto a, auto b) { return b == 0 ? -1 : a / b; });
-        return;
-      case Opcode::REM:
-        bin([](auto a, auto b) { return b == 0 ? a : a % b; });
-        return;
-      case Opcode::ADDI: uni([&](auto a) { return a + imm; }); return;
-      case Opcode::ANDI: uni([&](auto a) { return a & imm; }); return;
-      case Opcode::ORI:  uni([&](auto a) { return a | imm; }); return;
-      case Opcode::XORI: uni([&](auto a) { return a ^ imm; }); return;
-      case Opcode::SLLI:
-        uni([&](auto a) {
-            return static_cast<std::int32_t>(u32(a) << (u32(imm) & 31));
-        });
-        return;
-      case Opcode::SRLI:
-        uni([&](auto a) {
-            return static_cast<std::int32_t>(u32(a) >> (u32(imm) & 31));
-        });
-        return;
-      case Opcode::SRAI:
-        uni([&](auto a) { return a >> (u32(imm) & 31); });
-        return;
-      case Opcode::SLTI:
-        uni([&](auto a) { return a < imm ? 1 : 0; });
-        return;
-      case Opcode::LUI:
-        s.set(static_cast<RegIdx>(rd),
-              static_cast<std::int32_t>(u32(imm) << 12));
-        return;
-      default:
-        // Loads, CSR reads, frame_start, FP moves: value unknown.
-        s.clobber(static_cast<RegIdx>(rd));
-        return;
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from < 0)
+            return false;
+        if (into == -1) {
+            into = from;
+            return true;
+        }
+        if (into == from || into == -2)
+            return false;
+        into = -2;
+        return true;
     }
+};
+
+// --- Predication domain ------------------------------------------------------
+
+enum PredVal : std::uint8_t
+{
+    pvBottom = 0,
+    pvTrue,
+    pvMaybeFalse,
+};
+
+/** Does this pred_eq/pred_neq certainly leave the flag on? */
+bool
+predDefinitelyTrue(const IntervalAnalysis &vals, int pc,
+                   const Instruction &i)
+{
+    std::int32_t a = 0, b = 0;
+    bool ka = vals.constAt(pc, i.rs1, a);
+    bool kb = vals.constAt(pc, i.rs2, b);
+    if (i.op == Opcode::PRED_EQ) {
+        if (i.rs1 == i.rs2)
+            return true;
+        return ka && kb && a == b;
+    }
+    return ka && kb && a != b;  // PRED_NEQ.
 }
 
-// --- The verifier ------------------------------------------------------------
+struct PredDomain
+{
+    using State = PredVal;
 
-using DefSet = std::bitset<numArchRegs>;
+    const Program &p;
+    const IntervalAnalysis &vals;
+
+    State bottom() const { return pvBottom; }
+    bool isBottom(const State &s) const { return s == pvBottom; }
+
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in == pvBottom)
+            return in;
+        const Instruction &i = p.code[static_cast<size_t>(pc)];
+        if (i.op == Opcode::PRED_EQ || i.op == Opcode::PRED_NEQ)
+            return predDefinitelyTrue(vals, pc, i) ? pvTrue
+                                                   : pvMaybeFalse;
+        return in;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from == pvBottom)
+            return false;
+        if (into == pvBottom) {
+            into = from;
+            return true;
+        }
+        if (into == from || into == pvMaybeFalse)
+            return false;
+        into = pvMaybeFalse;
+        return true;
+    }
+};
+
+// --- Definitely-defined-register domain --------------------------------------
+
+struct DefState
+{
+    bool bottom = true;
+    DefSet defs;
+
+    bool operator==(const DefState &) const = default;
+};
+
+struct DefDomain
+{
+    using State = DefState;
+
+    const Program &p;
+
+    State bottom() const { return {}; }
+    bool isBottom(const State &s) const { return s.bottom; }
+
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in.bottom)
+            return in;
+        State s = in;
+        int rd = destReg(p.code[static_cast<size_t>(pc)]);
+        if (rd >= 0)
+            s.defs.set(static_cast<size_t>(rd));
+        return s;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return false;
+        if (into.bottom) {
+            into = from;
+            return true;
+        }
+        DefSet m = into.defs & from.defs;  // Must-analysis: intersect.
+        if (m == into.defs)
+            return false;
+        into.defs = m;
+        return true;
+    }
+};
+
+// --- The verifier ------------------------------------------------------------
 
 class Verifier
 {
@@ -211,18 +254,23 @@ class Verifier
     Verifier(const Program &p, const BenchConfig &cfg,
              const MachineParams &params, const VerifierOptions &opts)
         : p_(p), cfg_(cfg), params_(params), opts_(opts),
-          graph_(buildCfg(p))
-    {}
+          graph_(buildCfg(p)), routines_(partitionRoutines(graph_)),
+          vals_(p, graph_, cfg, params)
+    {
+        for (size_t k = 1; k < routines_.size(); ++k)
+            mtOrder_.push_back(k);
+        std::sort(mtOrder_.begin(), mtOrder_.end(),
+                  [&](size_t a, size_t b) {
+                      return routines_[a].entry < routines_[b].entry;
+                  });
+    }
 
     VerifyReport
     run()
     {
-        mainReach_ = reachableFrom(graph_, 0);
-        for (int e : graph_.microthreadEntries)
-            mtReach_[e] = reachableFrom(graph_, e);
+        vals_.solve();
 
         checkStructure();
-        runConstProp();
         checkVectorRegions();
         checkMicrothreadBodies();
         checkFrameBalance();
@@ -231,6 +279,18 @@ class Verifier
         checkPredication();
         if (opts_.checkUseBeforeDef)
             checkUseBeforeDef();
+        checkDeadlock();
+
+        // Deterministic report order regardless of pass order.
+        std::sort(diags_.begin(), diags_.end(),
+                  [](const Diagnostic &a, const Diagnostic &b) {
+                      return std::make_tuple(a.routineEntry, a.pc,
+                                             static_cast<int>(a.check)) <
+                             std::make_tuple(b.routineEntry, b.pc,
+                                             static_cast<int>(b.check));
+                  });
+        if (static_cast<int>(diags_.size()) > opts_.maxDiagnostics)
+            diags_.resize(static_cast<size_t>(opts_.maxDiagnostics));
 
         VerifyReport rep;
         rep.diagnostics = std::move(diags_);
@@ -244,8 +304,6 @@ class Verifier
     diag(Check c, int pc, const std::string &msg,
          std::vector<int> path = {})
     {
-        if (static_cast<int>(diags_.size()) >= opts_.maxDiagnostics)
-            return;
         if (!reported_.insert({static_cast<int>(c), pc}).second)
             return;
         Diagnostic d;
@@ -253,6 +311,8 @@ class Verifier
         d.pc = pc;
         d.message = msg;
         d.path = std::move(path);
+        d.routineEntry = routineEntryOf(pc);
+        d.routine = routineName(d.routineEntry);
         diags_.push_back(std::move(d));
     }
 
@@ -267,18 +327,28 @@ class Verifier
     int
     routineEntryOf(int pc) const
     {
-        if (pc >= 0 && pc < graph_.size() &&
-            mainReach_[static_cast<size_t>(pc)]) {
+        if (pc < 0 || pc >= graph_.size())
+            return -1;
+        if (routines_[0].reach[static_cast<size_t>(pc)])
             return 0;
-        }
-        for (const auto &[entry, reach] : mtReach_) {
-            if (pc >= 0 && pc < graph_.size() &&
-                reach[static_cast<size_t>(pc)]) {
-                return entry;
-            }
+        for (size_t k : mtOrder_) {
+            if (routines_[k].reach[static_cast<size_t>(pc)])
+                return routines_[k].entry;
         }
         return -1;
     }
+
+    std::string
+    routineName(int entry) const
+    {
+        for (const Routine &r : routines_) {
+            if (r.entry == entry)
+                return r.name;
+        }
+        return "";
+    }
+
+    const std::vector<bool> &mainReach() const { return routines_[0].reach; }
 
     // --- Structural checks ---------------------------------------------------
 
@@ -305,7 +375,7 @@ class Verifier
         // VEND reachable from the main entry means either a vend in
         // plain SPMD code or main code flowing into a microthread.
         for (int pc = 0; pc < graph_.size(); ++pc) {
-            if (mainReach_[static_cast<size_t>(pc)] &&
+            if (mainReach()[static_cast<size_t>(pc)] &&
                 p_.code[static_cast<size_t>(pc)].op == Opcode::VEND) {
                 diag(Check::VectorRegion, pc,
                      "vend reached from the main instruction stream "
@@ -315,120 +385,55 @@ class Verifier
         }
         // A microthread that can flow into another microthread's entry
         // is missing its vend (a dangling vissue region).
-        for (const auto &[entry, reach] : mtReach_) {
+        for (size_t k : mtOrder_) {
+            const Routine &r = routines_[k];
             for (int other : graph_.microthreadEntries) {
-                if (other != entry && reach[static_cast<size_t>(other)]) {
+                if (other == r.entry || other < 0 ||
+                    other >= graph_.size()) {
+                    continue;
+                }
+                if (r.reach[static_cast<size_t>(other)]) {
                     diag(Check::VectorRegion, other,
-                         "microthread at " + std::to_string(entry) +
+                         "microthread at " + std::to_string(r.entry) +
                              " falls through into the microthread at " +
                              std::to_string(other) +
                              " (missing vend)",
-                         shortestPath(graph_, entry, other));
+                         shortestPath(graph_, r.entry, other));
                 }
             }
         }
-    }
-
-    // --- Constant propagation ------------------------------------------------
-
-    void
-    runConstProp()
-    {
-        int n = graph_.size();
-        constIn_.assign(static_cast<size_t>(n), ConstState{});
-        std::vector<bool> seeded(static_cast<size_t>(n), false);
-        std::deque<int> work;
-        auto seed = [&](int entry) {
-            if (entry < 0 || entry >= n ||
-                seeded[static_cast<size_t>(entry)]) {
-                return;
-            }
-            seeded[static_cast<size_t>(entry)] = true;
-            visited_.insert(entry);
-            work.push_back(entry);
-        };
-        seed(0);
-        for (int e : graph_.microthreadEntries)
-            seed(e);
-
-        // Entry states start with nothing known (x0 is implicit), so
-        // the meet with any propagated state only narrows.
-        std::vector<bool> inWork(static_cast<size_t>(n), false);
-        for (int pc : work)
-            inWork[static_cast<size_t>(pc)] = true;
-        while (!work.empty()) {
-            int pc = work.front();
-            work.pop_front();
-            inWork[static_cast<size_t>(pc)] = false;
-            ConstState out = constIn_[static_cast<size_t>(pc)];
-            constTransfer(p_.code[static_cast<size_t>(pc)], out);
-            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
-                ConstState &in = constIn_[static_cast<size_t>(s)];
-                bool changed;
-                if (!visited_.count(s)) {
-                    visited_.insert(s);
-                    in = out;
-                    changed = true;
-                } else {
-                    changed = in.meet(out);
-                }
-                if (changed && !inWork[static_cast<size_t>(s)]) {
-                    inWork[static_cast<size_t>(s)] = true;
-                    work.push_back(s);
-                }
-            }
-        }
-    }
-
-    /** Constant value of an integer register at a program point. */
-    bool
-    constAt(int pc, RegIdx r, std::int32_t &out) const
-    {
-        return constIn_[static_cast<size_t>(pc)].get(r, out);
-    }
-
-    /** Is this CSRW-to-Vconfig a region entry (nonzero write)? */
-    bool
-    entersVectorMode(int pc, const Instruction &i) const
-    {
-        std::int32_t v;
-        if (constAt(pc, i.rs1, v))
-            return v != 0;
-        return true;  // Unknown value: assume it enters.
     }
 
     // --- Vector regions ------------------------------------------------------
 
-    enum RegionState : std::uint8_t
-    {
-        rsUnreached = 0,
-        rsOutside,
-        rsInside,
-        rsConflict,
-    };
-
     void
     checkVectorRegions()
     {
-        int n = graph_.size();
-        region_.assign(static_cast<size_t>(n), rsUnreached);
-        if (n == 0)
+        if (graph_.size() == 0)
             return;
-        region_[0] = rsOutside;
-        std::deque<int> work{0};
-        while (!work.empty()) {
-            int pc = work.front();
-            work.pop_front();
-            RegionState in = region_[static_cast<size_t>(pc)];
-            if (in == rsConflict)
+        RegionDomain dom{p_, vals_};
+        auto sol = solveDataflow(graph_, dom, {{0, rvOutside}},
+                                 &routines_[0].reach);
+        for (int pc = 0; pc < graph_.size(); ++pc) {
+            if (!sol.reached[static_cast<size_t>(pc)])
                 continue;
+            RegionVal in = sol.in[static_cast<size_t>(pc)];
+            if (in == rvConflict) {
+                diag(Check::VectorRegion, pc,
+                     "inconsistent vector-region state at join: "
+                     "in a region on one incoming path, outside "
+                     "on another",
+                     witness(0, pc));
+                continue;
+            }
+            if (in == rvBottom)
+                continue;
+            bool inside = in == rvInside;
             const Instruction &i = p_.code[static_cast<size_t>(pc)];
-            RegionState out = in;
-            bool inside = in == rsInside;
             switch (i.op) {
               case Opcode::CSRW:
                 if (static_cast<Csr>(i.sub) == Csr::Vconfig &&
-                    entersVectorMode(pc, i)) {
+                    vals_.entersVectorMode(pc)) {
                     if (!cfg_.isVector()) {
                         diag(Check::VectorRegion, pc,
                              "vector region entered under the "
@@ -442,7 +447,6 @@ class Verifier
                              "while already in a vector region",
                              witness(0, pc));
                     }
-                    out = rsInside;
                 }
                 break;
               case Opcode::DEVEC:
@@ -451,7 +455,6 @@ class Verifier
                          "devec outside a vector region",
                          witness(0, pc));
                 }
-                out = rsOutside;
                 break;
               case Opcode::VISSUE:
                 if (!inside) {
@@ -489,32 +492,7 @@ class Verifier
               default:
                 break;
             }
-            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
-                RegionState &dst = region_[static_cast<size_t>(s)];
-                RegionState merged;
-                if (dst == rsUnreached) {
-                    merged = out;
-                } else if (dst == out || dst == rsConflict) {
-                    continue;
-                } else {
-                    merged = rsConflict;
-                    diag(Check::VectorRegion, s,
-                         "inconsistent vector-region state at join: "
-                         "in a region on one incoming path, outside "
-                         "on another",
-                         witness(0, s));
-                }
-                dst = merged;
-                work.push_back(s);
-            }
         }
-    }
-
-    /** Region state at a main-routine pc (valid after the pass). */
-    bool
-    insideRegion(int pc) const
-    {
-        return region_[static_cast<size_t>(pc)] == rsInside;
     }
 
     // --- Microthread body legality ------------------------------------------
@@ -522,9 +500,10 @@ class Verifier
     void
     checkMicrothreadBodies()
     {
-        for (const auto &[entry, reach] : mtReach_) {
+        for (size_t k : mtOrder_) {
+            const Routine &r = routines_[k];
             for (int pc = 0; pc < graph_.size(); ++pc) {
-                if (!reach[static_cast<size_t>(pc)])
+                if (!r.reach[static_cast<size_t>(pc)])
                     continue;
                 const Instruction &i = p_.code[static_cast<size_t>(pc)];
                 const char *what = nullptr;
@@ -542,9 +521,9 @@ class Verifier
                     diag(Check::VectorRegion, pc,
                          std::string(what) +
                              " inside the microthread entered at " +
-                             std::to_string(entry) +
+                             std::to_string(r.entry) +
                              " (microthreads must end in vend)",
-                         shortestPath(graph_, entry, pc));
+                         shortestPath(graph_, r.entry, pc));
                 }
             }
         }
@@ -555,42 +534,62 @@ class Verifier
     void
     checkFrameBalance()
     {
-        checkFrameBalanceRoutine(0, mainReach_, "main body");
-        for (const auto &[entry, reach] : mtReach_) {
-            checkFrameBalanceRoutine(
-                entry, reach,
-                "microthread at " + std::to_string(entry));
-        }
+        checkFrameBalanceRoutine(routines_[0]);
+        for (size_t k : mtOrder_)
+            checkFrameBalanceRoutine(routines_[k]);
     }
 
     void
-    checkFrameBalanceRoutine(int entry, const std::vector<bool> &reach,
-                             const std::string &where)
+    checkFrameBalanceRoutine(const Routine &r)
     {
         int n = graph_.size();
-        if (entry < 0 || entry >= n)
+        if (r.entry < 0 || r.entry >= n)
             return;
-        // Per-pc open-frame count; -1 unreached, -2 conflict.
-        std::vector<int> open(static_cast<size_t>(n), -1);
-        open[static_cast<size_t>(entry)] = 0;
-        std::deque<int> work{entry};
-        while (!work.empty()) {
-            int pc = work.front();
-            work.pop_front();
-            int in = open[static_cast<size_t>(pc)];
-            if (in == -2)
+        const std::string &where = r.name;
+        FrameDomain dom{p_};
+        auto sol = solveDataflow(graph_, dom, {{r.entry, 0}}, &r.reach);
+        std::vector<std::vector<int>> preds = predecessors(graph_);
+        for (int pc = 0; pc < n; ++pc) {
+            if (!sol.reached[static_cast<size_t>(pc)])
+                continue;
+            int in = sol.in[static_cast<size_t>(pc)];
+            if (in == -2) {
+                // Reconstruct two of the disagreeing incoming counts.
+                std::vector<int> seen;
+                for (int q : preds[static_cast<size_t>(pc)]) {
+                    if (!r.reach[static_cast<size_t>(q)] ||
+                        !sol.reached[static_cast<size_t>(q)]) {
+                        continue;
+                    }
+                    int v = dom.transfer(
+                        q, sol.in[static_cast<size_t>(q)]);
+                    if (v >= 0 && std::find(seen.begin(), seen.end(),
+                                            v) == seen.end()) {
+                        seen.push_back(v);
+                    }
+                }
+                int a = seen.empty() ? 0 : seen[0];
+                int b = seen.size() > 1 ? seen[1] : a;
+                diag(Check::FrameBalance, pc,
+                     "inconsistent frame_start/remem balance at "
+                     "join in the " + where + " (" +
+                         std::to_string(a) + " vs " +
+                         std::to_string(b) +
+                         " open frames depending on path)",
+                     shortestPath(graph_, r.entry, pc));
+                continue;
+            }
+            if (in < 0)
                 continue;
             const Instruction &i = p_.code[static_cast<size_t>(pc)];
-            int out = in;
             switch (i.op) {
               case Opcode::FRAME_START:
                 if (in >= 1) {
                     diag(Check::FrameBalance, pc,
                          "frame_start while a frame is already open in "
                          "the " + where + " (missing remem)",
-                         shortestPath(graph_, entry, pc));
+                         shortestPath(graph_, r.entry, pc));
                 }
-                out = std::min(in + 1, 4);
                 break;
               case Opcode::REMEM:
                 if (in == 0) {
@@ -599,10 +598,7 @@ class Verifier
                              where +
                              " (would free a frame that was never "
                              "consumed)",
-                         shortestPath(graph_, entry, pc));
-                    out = 0;
-                } else {
-                    out = in - 1;
+                         shortestPath(graph_, r.entry, pc));
                 }
                 break;
               case Opcode::HALT:
@@ -613,7 +609,7 @@ class Verifier
                              " ends with " + std::to_string(in) +
                              " open frame(s): frame_start without "
                              "remem deadlocks the frame queue",
-                         shortestPath(graph_, entry, pc));
+                         shortestPath(graph_, r.entry, pc));
                 }
                 break;
               case Opcode::DEVEC:
@@ -621,29 +617,11 @@ class Verifier
                     diag(Check::FrameBalance, pc,
                          "devec with " + std::to_string(in) +
                              " open frame(s) in the " + where,
-                         shortestPath(graph_, entry, pc));
+                         shortestPath(graph_, r.entry, pc));
                 }
                 break;
               default:
                 break;
-            }
-            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
-                if (!reach[static_cast<size_t>(s)])
-                    continue;
-                int &dst = open[static_cast<size_t>(s)];
-                if (dst == -1) {
-                    dst = out;
-                    work.push_back(s);
-                } else if (dst != out && dst != -2) {
-                    diag(Check::FrameBalance, s,
-                         "inconsistent frame_start/remem balance at "
-                         "join in the " + where + " (" +
-                             std::to_string(dst) + " vs " +
-                             std::to_string(out) +
-                             " open frames depending on path)",
-                         shortestPath(graph_, entry, s));
-                    dst = -2;
-                }
             }
         }
     }
@@ -667,7 +645,7 @@ class Verifier
             if (routineEntryOf(pc) < 0)
                 continue;  // Unreachable: no point checking values.
             std::int32_t v;
-            if (!constAt(pc, i.rs1, v))
+            if (!vals_.constAt(pc, i.rs1, v))
                 continue;
             int fw = v & 0xffff;
             int nf = (v >> 16) & 0xffff;
@@ -729,203 +707,305 @@ class Verifier
         Addr line = cfg_.longLines ? 1024 : params_.lineBytes;
         for (int pc = 0; pc < graph_.size(); ++pc) {
             const Instruction &i = p_.code[static_cast<size_t>(pc)];
-            if (i.op != Opcode::VLOAD)
-                continue;
-            int entry = routineEntryOf(pc);
-            if (entry < 0)
-                continue;  // Unreachable.
-            auto path = [&] { return witness(entry, pc); };
-            auto variant = static_cast<VloadVariant>(i.sub);
-            int w = i.imm2;
-            int coreOff = i.imm;
-            if (!cfg_.wideAccess) {
+            if (i.op == Opcode::VLOAD)
+                checkOneVload(pc, i, line);
+            else
+                checkFrameRelativeAccess(pc, i);
+        }
+    }
+
+    void
+    checkOneVload(int pc, const Instruction &i, Addr line)
+    {
+        int entry = routineEntryOf(pc);
+        if (entry < 0 || !vals_.reached(pc))
+            return;  // Unreachable (possibly only semantically so).
+        auto path = [&] { return witness(entry, pc); };
+        auto variant = static_cast<VloadVariant>(i.sub);
+        int w = i.imm2;
+        int coreOff = i.imm;
+        if (!cfg_.wideAccess) {
+            diag(Check::Vload, pc,
+                 "vload under configuration '" + cfg_.name +
+                     "', which has no wide-access support",
+                 path());
+            return;
+        }
+        if (w <= 0) {
+            diag(Check::Vload, pc,
+                 "vload width must be positive (got " +
+                     std::to_string(w) + ")",
+                 path());
+            return;
+        }
+        int total = w;
+        if (variant != VloadVariant::Self) {
+            if (!cfg_.isVector()) {
                 diag(Check::Vload, pc,
-                     "vload under configuration '" + cfg_.name +
-                         "', which has no wide-access support",
+                     "group-routed vload under the non-vector "
+                     "configuration '" + cfg_.name + "'",
                      path());
-                continue;
+                return;
             }
-            if (w <= 0) {
+            if (coreOff < 0 || coreOff >= cfg_.groupSize) {
                 diag(Check::Vload, pc,
-                     "vload width must be positive (got " +
-                         std::to_string(w) + ")",
+                     "vload core offset " + std::to_string(coreOff) +
+                         " outside the group [0, " +
+                         std::to_string(cfg_.groupSize) + ")",
                      path());
-                continue;
+                return;
             }
-            int total = w;
-            if (variant != VloadVariant::Self) {
-                if (!cfg_.isVector()) {
-                    diag(Check::Vload, pc,
-                         "group-routed vload under the non-vector "
-                         "configuration '" + cfg_.name + "'",
-                         path());
-                    continue;
-                }
-                if (coreOff < 0 || coreOff >= cfg_.groupSize) {
-                    diag(Check::Vload, pc,
-                         "vload core offset " + std::to_string(coreOff) +
-                             " outside the group [0, " +
-                             std::to_string(cfg_.groupSize) + ")",
-                         path());
-                    continue;
-                }
-                if (variant == VloadVariant::Group)
-                    total = w * (cfg_.groupSize - coreOff);
-            }
-            if (static_cast<Addr>(total) * wordBytes > line) {
-                diag(Check::Vload, pc,
-                     "vload of " + std::to_string(total) +
-                         " words exceeds the " + std::to_string(line) +
-                         "-byte cache line",
-                     path());
-            }
-            std::int32_t addr;
-            if (constAt(pc, i.rs1, addr) && addr % 4 != 0) {
+            if (variant == VloadVariant::Group)
+                total = w * (cfg_.groupSize - coreOff);
+        }
+        if (static_cast<Addr>(total) * wordBytes > line) {
+            diag(Check::Vload, pc,
+                 "vload of " + std::to_string(total) +
+                     " words exceeds the " + std::to_string(line) +
+                     "-byte cache line",
+                 path());
+        }
+
+        // DRAM address: exact values keep the classic message;
+        // everything else must be *proved* word-aligned on the
+        // interval + congruence domain (streaming pointers included).
+        std::int32_t addr;
+        AbsVal av = vals_.valueAt(pc, i.rs1);
+        if (vals_.constAt(pc, i.rs1, addr)) {
+            if (addr % 4 != 0) {
                 diag(Check::Vload, pc,
                      "misaligned vload address " + std::to_string(addr) +
                          " (must be word-aligned; the prefix/suffix "
                          "variants only handle line-boundary splits)",
                      path());
             }
-            std::int32_t spOff;
-            if (constAt(pc, i.rs2, spOff)) {
-                if (spOff % 4 != 0) {
+        } else if (av.frameFw != 0 || !av.divisibleBy(4)) {
+            diag(Check::Vload, pc,
+                 "cannot prove the vload address word-aligned: "
+                 "value " + av.str(),
+                 path());
+        }
+
+        // Scratchpad offset: alignment and bounds, proved the same way.
+        std::int32_t spOff;
+        AbsVal off = vals_.valueAt(pc, i.rs2);
+        if (vals_.constAt(pc, i.rs2, spOff)) {
+            if (spOff % 4 != 0) {
+                diag(Check::Vload, pc,
+                     "misaligned vload scratchpad offset " +
+                         std::to_string(spOff),
+                     path());
+            } else if (spOff < 0 ||
+                       static_cast<Addr>(spOff) +
+                               static_cast<Addr>(w) * wordBytes >
+                           params_.spadBytes) {
+                diag(Check::Vload, pc,
+                     "vload of " + std::to_string(w) +
+                         " words at scratchpad offset " +
+                         std::to_string(spOff) + " overruns the " +
+                         std::to_string(params_.spadBytes) +
+                         "B scratchpad",
+                     path());
+            }
+        } else if (off.frameFw != 0) {
+            diag(Check::Vload, pc,
+                 "cannot prove the vload scratchpad offset in bounds: "
+                 "frame-relative offset " + off.str(),
+                 path());
+        } else if (!off.divisibleBy(4)) {
+            diag(Check::Vload, pc,
+                 "cannot prove the vload scratchpad offset "
+                 "word-aligned: offset " + off.str(),
+                 path());
+        } else if (off.effLo() < 0 ||
+                   off.effHi() + std::int64_t{w} * wordBytes >
+                       static_cast<std::int64_t>(params_.spadBytes)) {
+            diag(Check::Vload, pc,
+                 "cannot prove the vload of " + std::to_string(w) +
+                     " words inside the " +
+                     std::to_string(params_.spadBytes) +
+                     "B scratchpad: offset " + off.str(),
+                 path());
+        }
+
+        // Per-frame footprint: a fill that lands in the frame region
+        // of the governing FrameCfg must stay within one frame, or
+        // the scratchpad's per-frame counters drift and the schedule
+        // wedges (the deadlock pass then has nothing sound to count).
+        CfgBind fcfg = variant == VloadVariant::Self
+                           ? vals_.selfCfgAt(pc)
+                           : vals_.regionCfgAt(pc);
+        if (fcfg.isKnown() && fcfg.nf > 0 && off.frameFw == 0) {
+            std::int64_t fB = std::int64_t{fcfg.fw} * wordBytes;
+            std::int64_t region = fB * fcfg.nf;
+            if (off.effLo() >= 0 &&
+                off.effHi() + std::int64_t{w} * wordBytes <= region) {
+                std::int64_t rem = 0;
+                if (!off.residueMod(fB, rem)) {
                     diag(Check::Vload, pc,
-                         "misaligned vload scratchpad offset " +
-                             std::to_string(spOff),
+                         "cannot prove the vload of " +
+                             std::to_string(w) +
+                             " words stays within one " +
+                             std::to_string(fcfg.fw) +
+                             "-word frame: scratchpad offset " +
+                             off.str(),
                          path());
-                } else if (spOff < 0 ||
-                           static_cast<Addr>(spOff) +
-                                   static_cast<Addr>(w) * wordBytes >
-                               params_.spadBytes) {
+                } else if (rem + std::int64_t{w} * wordBytes > fB) {
                     diag(Check::Vload, pc,
                          "vload of " + std::to_string(w) +
-                             " words at scratchpad offset " +
-                             std::to_string(spOff) + " overruns the " +
-                             std::to_string(params_.spadBytes) +
-                             "B scratchpad",
+                             " words at frame offset " +
+                             std::to_string(rem) + "B overruns the " +
+                             std::to_string(fcfg.fw) + "-word (" +
+                             std::to_string(fB) + "B) frame",
                          path());
                 }
             }
+        }
+    }
+
+    /**
+     * Loads/stores through a frame_start pointer: the byte delta from
+     * the frame base must stay inside the governing frame's footprint
+     * and be word-aligned. Plain (untagged) addresses are not frame
+     * traffic and are not checked here.
+     */
+    void
+    checkFrameRelativeAccess(int pc, const Instruction &i)
+    {
+        int accessWords;
+        switch (i.op) {
+          case Opcode::LW: case Opcode::SW:
+          case Opcode::FLW: case Opcode::FSW:
+            accessWords = 1;
+            break;
+          case Opcode::SIMD_LW: case Opcode::SIMD_SW:
+            accessWords = params_.core.simdWidth;
+            break;
+          default:
+            return;
+        }
+        int entry = routineEntryOf(pc);
+        if (entry < 0 || !vals_.reached(pc))
+            return;
+        AbsVal base = vals_.valueAt(pc, i.rs1);
+        if (base.frameFw <= 0)
+            return;
+        std::int64_t fB = std::int64_t{base.frameFw} * wordBytes;
+        std::int64_t lo = base.effLo() + i.imm;
+        std::int64_t hi =
+            base.effHi() + i.imm + std::int64_t{accessWords} * wordBytes;
+        std::string where =
+            "offset " + base.str() + " + " + std::to_string(i.imm) + "B";
+        if (lo < 0) {
+            diag(Check::Vload, pc,
+                 "frame-relative " + std::string(opcodeName(i.op)) +
+                     " may access below the frame base (" + where + ")",
+                 witness(entry, pc));
+            return;
+        }
+        if (hi > fB) {
+            diag(Check::Vload, pc,
+                 "frame-relative " + std::string(opcodeName(i.op)) +
+                     " overruns the " +
+                     std::to_string(base.frameFw) + "-word (" +
+                     std::to_string(fB) + "B) frame (" + where + ")",
+                 witness(entry, pc));
+            return;
+        }
+        std::int64_t res = ((base.r + i.imm) % 4 + 4) % 4;
+        bool aligned = res == 0 && (base.m == 0 || base.m % 4 == 0);
+        if (!aligned) {
+            diag(Check::Vload, pc,
+                 "cannot prove the frame-relative " +
+                     std::string(opcodeName(i.op)) +
+                     " word-aligned (" + where + ")",
+                 witness(entry, pc));
         }
     }
 
     // --- Predication ---------------------------------------------------------
 
-    enum PredState : std::uint8_t
-    {
-        psUnreached = 0,
-        psTrue,
-        psMaybeFalse,
-    };
-
     void
     checkPredication()
     {
-        checkPredicationRoutine(0, mainReach_, false);
-        for (const auto &[entry, reach] : mtReach_)
-            checkPredicationRoutine(entry, reach, true);
-    }
-
-    bool
-    predDefinitelyTrue(int pc, const Instruction &i) const
-    {
-        std::int32_t a = 0, b = 0;
-        bool ka = constAt(pc, i.rs1, a);
-        bool kb = constAt(pc, i.rs2, b);
-        if (i.op == Opcode::PRED_EQ) {
-            if (i.rs1 == i.rs2)
-                return true;
-            return ka && kb && a == b;
-        }
-        return ka && kb && a != b;  // PRED_NEQ.
+        checkPredicationRoutine(routines_[0], false);
+        for (size_t k : mtOrder_)
+            checkPredicationRoutine(routines_[k], true);
     }
 
     void
-    checkPredicationRoutine(int entry, const std::vector<bool> &reach,
-                            bool isMicrothread)
+    checkPredicationRoutine(const Routine &r, bool isMicrothread)
     {
         int n = graph_.size();
-        if (entry < 0 || entry >= n)
+        if (r.entry < 0 || r.entry >= n)
             return;
-        std::vector<PredState> st(static_cast<size_t>(n), psUnreached);
-        st[static_cast<size_t>(entry)] = psTrue;
-        std::deque<int> work{entry};
-        while (!work.empty()) {
-            int pc = work.front();
-            work.pop_front();
-            PredState in = st[static_cast<size_t>(pc)];
+        PredDomain dom{p_, vals_};
+        auto sol =
+            solveDataflow(graph_, dom, {{r.entry, pvTrue}}, &r.reach);
+        for (int pc = 0; pc < n; ++pc) {
+            if (!sol.reached[static_cast<size_t>(pc)])
+                continue;
+            PredVal in = sol.in[static_cast<size_t>(pc)];
+            if (in == pvBottom)
+                continue;
             const Instruction &i = p_.code[static_cast<size_t>(pc)];
-            PredState out = in;
             if (i.op == Opcode::PRED_EQ || i.op == Opcode::PRED_NEQ) {
                 if (i.op == Opcode::PRED_NEQ && i.rs1 == i.rs2) {
                     diag(Check::Predication, pc,
                          "pred_neq of a register with itself leaves "
                          "the predicate permanently false",
-                         shortestPath(graph_, entry, pc));
+                         shortestPath(graph_, r.entry, pc));
                 }
-                out = predDefinitelyTrue(pc, i) ? psTrue : psMaybeFalse;
-            } else if (in == psMaybeFalse) {
-                const char *why = nullptr;
-                switch (i.op) {
-                  case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
-                  case Opcode::BGE: case Opcode::BLTU:
-                  case Opcode::BGEU: case Opcode::JAL:
-                  case Opcode::JALR:
-                    why = "a squashed branch never resolves and "
-                          "deadlocks the frontend";
-                    break;
-                  case Opcode::FRAME_START:
-                  case Opcode::REMEM:
-                    why = "squashing it unbalances the frame queue";
-                    break;
-                  case Opcode::VISSUE:
-                    why = "squashing it desynchronizes the vector "
-                          "group";
-                    break;
-                  case Opcode::BARRIER:
-                    why = "a squashed barrier arrival hangs the "
-                          "machine";
-                    break;
-                  case Opcode::HALT:
-                    why = "a squashed halt never terminates the core";
-                    break;
-                  case Opcode::CSRW:
-                    why = "a squashed CSR write corrupts the "
-                          "vector-mode handshake";
-                    break;
-                  case Opcode::VEND:
-                    if (isMicrothread) {
-                        diag(Check::Predication, pc,
-                             "microthread may end with the predicate "
-                             "off; reset it (pred_eq x0, x0) before "
-                             "vend so the next microthread is not "
-                             "squashed",
-                             shortestPath(graph_, entry, pc));
-                    }
-                    break;
-                  default:
-                    break;
-                }
-                if (why) {
-                    diag(Check::Predication, pc,
-                         std::string(opcodeName(i.op)) +
-                             " while the predicate may be off: " + why,
-                         shortestPath(graph_, entry, pc));
-                }
+                continue;
             }
-            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
-                if (!reach[static_cast<size_t>(s)])
-                    continue;
-                PredState &dst = st[static_cast<size_t>(s)];
-                PredState merged =
-                    dst == psUnreached
-                        ? out
-                        : (dst == out ? dst : psMaybeFalse);
-                if (merged != dst) {
-                    dst = merged;
-                    work.push_back(s);
+            if (in != pvMaybeFalse)
+                continue;
+            const char *why = nullptr;
+            switch (i.op) {
+              case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+              case Opcode::BGE: case Opcode::BLTU:
+              case Opcode::BGEU: case Opcode::JAL:
+              case Opcode::JALR:
+                why = "a squashed branch never resolves and "
+                      "deadlocks the frontend";
+                break;
+              case Opcode::FRAME_START:
+              case Opcode::REMEM:
+                why = "squashing it unbalances the frame queue";
+                break;
+              case Opcode::VISSUE:
+                why = "squashing it desynchronizes the vector "
+                      "group";
+                break;
+              case Opcode::BARRIER:
+                why = "a squashed barrier arrival hangs the "
+                      "machine";
+                break;
+              case Opcode::HALT:
+                why = "a squashed halt never terminates the core";
+                break;
+              case Opcode::CSRW:
+                why = "a squashed CSR write corrupts the "
+                      "vector-mode handshake";
+                break;
+              case Opcode::VEND:
+                if (isMicrothread) {
+                    diag(Check::Predication, pc,
+                         "microthread may end with the predicate "
+                         "off; reset it (pred_eq x0, x0) before "
+                         "vend so the next microthread is not "
+                         "squashed",
+                         shortestPath(graph_, r.entry, pc));
                 }
+                break;
+              default:
+                break;
+            }
+            if (why) {
+                diag(Check::Predication, pc,
+                     std::string(opcodeName(i.op)) +
+                         " while the predicate may be off: " + why,
+                     shortestPath(graph_, r.entry, pc));
             }
         }
     }
@@ -938,54 +1018,38 @@ class Verifier
         int n = graph_.size();
         if (n == 0)
             return;
+        DefDomain dom{p_};
+
+        // One must-be-defined solve over a routine; unreached points
+        // come back as top so they are never flagged.
+        auto defStates = [&](int entry, const std::vector<bool> &reach,
+                             const DefSet &entryState) {
+            DefState seed;
+            seed.bottom = false;
+            seed.defs = entryState;
+            auto sol =
+                solveDataflow(graph_, dom, {{entry, seed}}, &reach);
+            std::vector<DefSet> in(static_cast<size_t>(n));
+            for (int pc = 0; pc < n; ++pc) {
+                if (sol.reached[static_cast<size_t>(pc)] &&
+                    !sol.in[static_cast<size_t>(pc)].bottom) {
+                    in[static_cast<size_t>(pc)] =
+                        sol.in[static_cast<size_t>(pc)].defs;
+                } else {
+                    in[static_cast<size_t>(pc)].set();
+                }
+            }
+            return in;
+        };
 
         // Pass 1: definitely-defined sets over the main routine.
-        std::vector<DefSet> mainIn = defDataflow(0, mainReach_, seedSet());
+        std::vector<DefSet> mainIn =
+            defStates(0, mainReach(), seedSet());
 
         // Pass 2: chain microthread entry states through the scalar
-        // core's vissue order. A token is either a region entry pc
-        // (the defs every core holds when the group forms) or a
-        // previously issued microthread (defs at its vend).
-        struct Token
-        {
-            bool isRegion;
-            int pc;  ///< Region-entry pc or microthread entry pc.
-            bool operator<(const Token &o) const
-            {
-                return std::tie(isRegion, pc) <
-                       std::tie(o.isRegion, o.pc);
-            }
-        };
-        std::vector<std::set<Token>> lastRun(static_cast<size_t>(n));
-        std::vector<bool> tokSeen(static_cast<size_t>(n), false);
-        {
-            std::deque<int> work{0};
-            tokSeen[0] = true;
-            // Before any region entry nothing vector-side has run.
-            while (!work.empty()) {
-                int pc = work.front();
-                work.pop_front();
-                const Instruction &i = p_.code[static_cast<size_t>(pc)];
-                std::set<Token> out = lastRun[static_cast<size_t>(pc)];
-                if (i.op == Opcode::CSRW &&
-                    static_cast<Csr>(i.sub) == Csr::Vconfig &&
-                    entersVectorMode(pc, i)) {
-                    out = {Token{true, pc}};
-                } else if (i.op == Opcode::VISSUE) {
-                    out = {Token{false, i.imm}};
-                }
-                for (int s : graph_.succs[static_cast<size_t>(pc)]) {
-                    auto &dst = lastRun[static_cast<size_t>(s)];
-                    size_t before = dst.size();
-                    dst.insert(out.begin(), out.end());
-                    if (!tokSeen[static_cast<size_t>(s)] ||
-                        dst.size() != before) {
-                        tokSeen[static_cast<size_t>(s)] = true;
-                        work.push_back(s);
-                    }
-                }
-            }
-        }
+        // core's vissue order (dataflow.hh's token analysis).
+        auto lastRun = vissueTokenFlow(
+            graph_, [&](int pc) { return vals_.entersVectorMode(pc); });
 
         // Fixpoint over microthread entry/exit def sets.
         std::map<int, DefSet> mtIn, mtOut;
@@ -1003,13 +1067,13 @@ class Verifier
                 in.set();
                 bool any = false;
                 for (int pc = 0; pc < n; ++pc) {
-                    if (!mainReach_[static_cast<size_t>(pc)])
+                    if (!mainReach()[static_cast<size_t>(pc)])
                         continue;
                     const Instruction &i =
                         p_.code[static_cast<size_t>(pc)];
                     if (i.op != Opcode::VISSUE || i.imm != e)
                         continue;
-                    for (const Token &t :
+                    for (const VissueToken &t :
                          lastRun[static_cast<size_t>(pc)]) {
                         any = true;
                         if (t.isRegion)
@@ -1027,15 +1091,17 @@ class Verifier
                 }
             }
             // Re-run each microthread's dataflow with its entry state.
-            for (int e : graph_.microthreadEntries) {
+            for (size_t k : mtOrder_) {
+                const Routine &r = routines_[k];
+                int e = r.entry;
                 if (e < 0 || e >= n)
                     continue;
-                auto states = defDataflow(e, mtReach_.at(e), mtIn[e]);
+                auto states = defStates(e, r.reach, mtIn[e]);
                 DefSet out;
                 out.set();
                 bool sawEnd = false;
                 for (int pc = 0; pc < n; ++pc) {
-                    if (!mtReach_.at(e)[static_cast<size_t>(pc)])
+                    if (!r.reach[static_cast<size_t>(pc)])
                         continue;
                     if (p_.code[static_cast<size_t>(pc)].op ==
                         Opcode::VEND) {
@@ -1053,59 +1119,23 @@ class Verifier
             }
         }
 
-        flagUndefinedReads(0, mainReach_, mainIn, "main body");
-        for (int e : graph_.microthreadEntries) {
-            if (e < 0 || e >= n || !mtStates.count(e))
+        flagUndefinedReads(0, mainReach(), mainIn, "main body");
+        for (size_t k : mtOrder_) {
+            const Routine &r = routines_[k];
+            if (r.entry < 0 || r.entry >= n || !mtStates.count(r.entry))
                 continue;
-            flagUndefinedReads(e, mtReach_.at(e), mtStates[e],
-                               "microthread at " + std::to_string(e));
+            flagUndefinedReads(r.entry, r.reach, mtStates[r.entry],
+                               r.name);
         }
     }
 
-    /** Registers treated as always defined (x0 and reserved regs). */
+    /** Registers treated as always defined (x0). */
     static DefSet
     seedSet()
     {
         DefSet s;
         s.set(regZero);
         return s;
-    }
-
-    /** Definitely-defined-register dataflow over one routine. */
-    std::vector<DefSet>
-    defDataflow(int entry, const std::vector<bool> &reach,
-                const DefSet &entryState) const
-    {
-        int n = graph_.size();
-        std::vector<DefSet> in(static_cast<size_t>(n));
-        std::vector<bool> seen(static_cast<size_t>(n), false);
-        for (auto &s : in)
-            s.set();  // Top for unreached; meets only narrow.
-        in[static_cast<size_t>(entry)] = entryState;
-        seen[static_cast<size_t>(entry)] = true;
-        std::deque<int> work{entry};
-        while (!work.empty()) {
-            int pc = work.front();
-            work.pop_front();
-            DefSet out = in[static_cast<size_t>(pc)];
-            int rd = destReg(p_.code[static_cast<size_t>(pc)]);
-            if (rd >= 0)
-                out.set(static_cast<size_t>(rd));
-            for (int s : graph_.succs[static_cast<size_t>(pc)]) {
-                if (!reach[static_cast<size_t>(s)])
-                    continue;
-                DefSet merged = in[static_cast<size_t>(s)] & out;
-                if (!seen[static_cast<size_t>(s)]) {
-                    seen[static_cast<size_t>(s)] = true;
-                    in[static_cast<size_t>(s)] = out;
-                    work.push_back(s);
-                } else if (merged != in[static_cast<size_t>(s)]) {
-                    in[static_cast<size_t>(s)] = merged;
-                    work.push_back(s);
-                }
-            }
-        }
-        return in;
     }
 
     /** Name a flat register index ("x5", "f0", "v2"). */
@@ -1156,6 +1186,17 @@ class Verifier
         }
     }
 
+    // --- Deadlock freedom ----------------------------------------------------
+
+    void
+    checkDeadlock()
+    {
+        for (const TokenDiag &d :
+             checkFrameTokenFlow(p_, graph_, cfg_, params_, vals_)) {
+            diag(Check::Deadlock, d.pc, d.message, witness(0, d.pc));
+        }
+    }
+
     // --- Members -------------------------------------------------------------
 
     const Program &p_;
@@ -1163,12 +1204,10 @@ class Verifier
     const MachineParams &params_;
     const VerifierOptions &opts_;
     Cfg graph_;
-
-    std::vector<bool> mainReach_;
-    std::map<int, std::vector<bool>> mtReach_;
-    std::vector<ConstState> constIn_;
-    std::set<int> visited_;  ///< Const-prop: pcs with initialized IN.
-    std::vector<RegionState> region_;
+    std::vector<Routine> routines_;
+    IntervalAnalysis vals_;
+    /** Microthread routine indices sorted by entry pc. */
+    std::vector<size_t> mtOrder_;
 
     std::vector<Diagnostic> diags_;
     std::set<std::pair<int, int>> reported_;
@@ -1188,6 +1227,7 @@ checkName(Check c)
       case Check::Vload: return "vload";
       case Check::Predication: return "predication";
       case Check::UseBeforeDef: return "use-before-def";
+      case Check::Deadlock: return "deadlock";
     }
     return "unknown";
 }
@@ -1197,6 +1237,8 @@ Diagnostic::render(const Program &p) const
 {
     std::ostringstream os;
     os << "[" << checkName(check) << "] pc " << pc;
+    if (!routine.empty())
+        os << " (" << routine << ")";
     if (pc >= 0 && pc < p.size())
         os << ": " << disassemble(p.code[static_cast<size_t>(pc)]);
     os << "\n    " << message;

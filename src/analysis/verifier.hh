@@ -7,7 +7,8 @@
  * readable diagnostic instead of deadlocking or corrupting statistics
  * deep inside the simulator.
  *
- * Checks, each a dataflow or structural pass over the CFG:
+ * Checks, each an instance of the generic dataflow solver
+ * (analysis/dataflow.hh) or a structural pass over the CFG:
  *  - vector-region: every vissue happens inside a vconfig/devec
  *    region on all paths, regions never nest or dangle, barriers and
  *    halts never fire mid-region;
@@ -16,8 +17,17 @@
  *    routine exit (the deadlock the DAE pacing of Section 2.3.1
  *    avoids), and FrameCfg writes satisfy the hardware limits;
  *  - vload: width against the cache line, core offsets against the
- *    group size, and — where constant propagation pins the operands —
- *    word alignment and scratchpad bounds;
+ *    group size, and — on the interval + congruence abstract domain
+ *    (analysis/interval.hh) — word alignment, scratchpad bounds and
+ *    per-frame byte footprint against the bound FrameCfg, proved for
+ *    unbounded (streaming) operands, not just constant-pinned ones;
+ *    frame-relative loads and stores through frame_start pointers are
+ *    checked against the frame footprint the same way;
+ *  - deadlock: the token-flow pass (analysis/tokenflow.hh) counts
+ *    frame fill words against frame consumption along every scalar
+ *    path and rejects schedules that wedge the group: a frame_start
+ *    no fill can satisfy, or pacing beyond the hardware's frame
+ *    counters;
  *  - predication: no branch, frame, vissue, barrier, halt, or CSR
  *    write is reachable while the pred_eq/pred_neq flag may be off
  *    (the pipeline squashes them, which desynchronizes the group or
@@ -27,8 +37,10 @@
  *    it, with microthread entry states chained through the scalar
  *    core's vissue order.
  *
- * Diagnostics carry the instruction index, its disassembly, and a
- * shortest witness path through the CFG.
+ * Diagnostics carry the instruction index, its disassembly, the
+ * routine it belongs to, and a shortest witness path through the CFG.
+ * They are reported in a deterministic order: sorted by (routine,
+ * instruction index, check).
  */
 
 #ifndef ROCKCRESS_ANALYSIS_VERIFIER_HH
@@ -53,6 +65,7 @@ enum class Check
     Vload,         ///< vload width/alignment/bounds legality.
     Predication,   ///< pred_eq/pred_neq region well-formedness.
     UseBeforeDef,  ///< Register read with no reaching definition.
+    Deadlock,      ///< Token-flow: schedule wedges the frame queue.
 };
 
 /** Short kebab-case name of a check ("vector-region", ...). */
@@ -65,8 +78,10 @@ struct Diagnostic
     int pc = -1;               ///< Offending instruction index.
     std::string message;
     std::vector<int> path;     ///< Witness CFG path ending at pc.
+    int routineEntry = -1;     ///< Entry pc of the enclosing routine.
+    std::string routine;       ///< "main body" / "microthread at N".
 
-    /** "[check] pc N: <disasm>: message" plus the witness path. */
+    /** "[check] pc N (routine): <disasm>: message" plus the path. */
     std::string render(const Program &p) const;
 };
 

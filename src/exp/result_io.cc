@@ -116,6 +116,8 @@ resultToJson(const RunResult &r)
     j["hopCycles"] = mapToJson(r.hopCycles);
     j["vectorCycles"] = Json(r.vectorCycles);
     j["frameStallVector"] = Json(r.frameStallVector);
+    j["staticIpcBound"] = Json(r.staticIpcBound);
+    j["measuredIpc"] = Json(r.measuredIpc);
     return j;
 }
 
@@ -161,7 +163,9 @@ resultFromJson(const Json &j, RunResult &out)
          readU64(j, "expStallOther", r.expStallOther) &&
          readDouble(j, "llcMissRate", r.llcMissRate) &&
          readU64(j, "vectorCycles", r.vectorCycles) &&
-         readU64(j, "frameStallVector", r.frameStallVector);
+         readU64(j, "frameStallVector", r.frameStallVector) &&
+         readDouble(j, "staticIpcBound", r.staticIpcBound) &&
+         readDouble(j, "measuredIpc", r.measuredIpc);
     if (!ok)
         return false;
     if (!j.has("hopInetStalls") ||
@@ -191,6 +195,8 @@ overridesToJson(const RunOverrides &o)
     j["verify"] = Json(o.verify);
     j["cosim"] = Json(o.cosim);
     j["cosimStrictLoads"] = Json(o.cosimStrictLoads);
+    j["perfLint"] = Json(o.perfLint);
+    j["perfLintMinFraction"] = Json(o.perfLintMinFraction);
     return j;
 }
 

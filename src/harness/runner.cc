@@ -1,7 +1,10 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <memory>
+#include <sstream>
 
+#include "analysis/perfbound.hh"
 #include "analysis/verifier.hh"
 #include "gpu/gpu.hh"
 #include "ref/cosim.hh"
@@ -38,6 +41,7 @@ runManycore(const std::string &bench, const std::string &config,
                 return r;
             }
         }
+        r.staticIpcBound = computePerfBound(*program, cfg, params).ipcBound;
         std::unique_ptr<CosimChecker> checker;
         if (overrides.cosim) {
             RefOptions ropts;
@@ -88,6 +92,40 @@ runManycore(const std::string &bench, const std::string &config,
 
     r.energy = computeEnergy(stats, params.core.simdWidth);
     r.energyPj = r.energy.total();
+
+    // Performance-bound lint: the certified static ceiling must
+    // dominate every core's simulated IPC (a violation means the
+    // bound derivation or the cycle model is broken, so it always
+    // fails the run); with perfLint on, the run also fails when it
+    // leaves almost the whole statically available issue rate unused.
+    for (CoreId c = 0; c < machine.numCores(); ++c) {
+        std::string p = "core" + std::to_string(c) + ".";
+        std::uint64_t cyc = stats.get(p + "cycles");
+        if (cyc == 0)
+            continue;
+        double ipc = static_cast<double>(stats.get(p + "issued")) /
+                     static_cast<double>(cyc);
+        r.measuredIpc = std::max(r.measuredIpc, ipc);
+    }
+    if (r.ok && r.staticIpcBound > 0) {
+        std::ostringstream lint;
+        if (r.measuredIpc > r.staticIpcBound + 1e-9) {
+            lint << "perf-lint: simulated per-core IPC "
+                 << r.measuredIpc << " exceeds the certified static "
+                 << "bound " << r.staticIpcBound;
+        } else if (overrides.perfLint &&
+                   r.measuredIpc <
+                       overrides.perfLintMinFraction * r.staticIpcBound) {
+            lint << "perf-lint: simulated per-core IPC "
+                 << r.measuredIpc << " is below "
+                 << overrides.perfLintMinFraction
+                 << " of the static bound " << r.staticIpcBound;
+        }
+        if (!lint.str().empty()) {
+            r.ok = false;
+            r.error = lint.str();
+        }
+    }
 
     // Per-hop inet statistics and expander-only CPI stacks.
     if (cfg.isVector()) {

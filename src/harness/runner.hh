@@ -48,6 +48,19 @@ struct RunOverrides
      * is checked and the reference adopts the loaded value.
      */
     bool cosimStrictLoads = true;
+    /**
+     * Static performance-bound lint (analysis/perfbound.hh). The
+     * certified IPC ceiling is always computed and enforced — a run
+     * whose simulated per-core IPC exceeds it fails, because that can
+     * only mean the bound derivation or the cycle model is broken.
+     * With perfLint on, a run is additionally failed when its best
+     * per-core IPC falls below `perfLintMinFraction` of the bound:
+     * the schedule leaves almost all of the statically available
+     * issue slots on the table, which is a performance regression the
+     * figures would silently absorb.
+     */
+    bool perfLint = false;
+    double perfLintMinFraction = 0.02;
 
     bool operator==(const RunOverrides &) const = default;
 };
@@ -92,6 +105,11 @@ struct RunResult
     std::map<int, std::uint64_t> hopCycles;
     std::uint64_t vectorCycles = 0;
     std::uint64_t frameStallVector = 0;   ///< Frame stalls, vector cores.
+
+    /** Certified static IPC ceiling for this (bench, config). */
+    double staticIpcBound = 0;
+    /** Best per-core simulated IPC (issued / non-halted cycles). */
+    double measuredIpc = 0;
 
     /** Field-wise (bit-identical) equality: determinism audits. */
     bool operator==(const RunResult &) const = default;

@@ -153,6 +153,40 @@ writesIntReg(const Instruction &inst)
     return rd >= intRegBase && rd < fpRegBase;
 }
 
+void
+readRegs(const Instruction &i, std::vector<RegIdx> &out)
+{
+    out.clear();
+    switch (i.op) {
+      case Opcode::NOP: case Opcode::LUI: case Opcode::JAL:
+      case Opcode::HALT: case Opcode::BARRIER: case Opcode::CSRR:
+      case Opcode::VISSUE: case Opcode::VEND: case Opcode::DEVEC:
+      case Opcode::REMEM: case Opcode::FRAME_START:
+        return;
+      case Opcode::CSRW: case Opcode::JALR:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::LW: case Opcode::FLW: case Opcode::SIMD_LW:
+      case Opcode::FSQRT: case Opcode::FABS: case Opcode::FCVT_WS:
+      case Opcode::FCVT_SW: case Opcode::FMV_XW: case Opcode::FMV_WX:
+      case Opcode::SIMD_BCAST: case Opcode::SIMD_REDSUM:
+        out.push_back(i.rs1);
+        return;
+      case Opcode::FMADD: case Opcode::SIMD_FMA:
+        out.push_back(i.rs1);
+        out.push_back(i.rs2);
+        out.push_back(i.rs3);
+        return;
+      default:
+        // Register-register ALU/FP/SIMD ops, branches, stores, vload,
+        // predication: rs1 and rs2 (unused slots hold x0).
+        out.push_back(i.rs1);
+        out.push_back(i.rs2);
+        return;
+    }
+}
+
 int
 fuLatency(Opcode op)
 {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -136,6 +137,12 @@ bool isVectorCtl(Opcode op);    ///< VISSUE/VEND/DEVEC/VLOAD/frames/pred.
 bool writesIntReg(const Instruction &inst);
 /** Destination register if any (flat index), else -1. */
 int destReg(const Instruction &inst);
+/**
+ * Append the flat register indices `inst` reads to `out` (cleared
+ * first; x0 reads included). Unused source slots hold x0 and are only
+ * reported when the opcode actually reads that slot.
+ */
+void readRegs(const Instruction &inst, std::vector<RegIdx> &out);
 /** Execution latency in cycles on the tile FUs (Table 1a). */
 int fuLatency(Opcode op);
 ///@}

@@ -10,7 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/perfbound.hh"
 #include "analysis/verifier.hh"
 #include "harness/runner.hh"
 #include "isa/assembler.hh"
@@ -375,7 +379,7 @@ TEST(VerifierAcceptsFixture, WellFormedVectorFixture)
     Assembler as("well_formed");
     Label resume = as.newLabel();
     Label mt = as.newLabel();
-    as.li(x(5), 16 | (5 << 16));
+    as.li(x(5), 4 | (5 << 16));
     as.csrw(Csr::FrameCfg, x(5));
     as.li(x(5), 1);
     as.csrw(Csr::Vconfig, x(5));
@@ -394,6 +398,358 @@ TEST(VerifierAcceptsFixture, WellFormedVectorFixture)
 
     Fixture f = verifyFixture(as);
     EXPECT_TRUE(f.rep.ok()) << f.rep.text(f.p);
+}
+
+TEST(VerifierRejects, SeededDeadlockFixture)
+{
+    // The well-formed fixture with a 16-word frame but only a 4-word
+    // fill: every frame_start waits for words no vload ever delivers,
+    // so the group wedges. The token-flow pass must reject it with a
+    // witness path to the offending frame_start.
+    Assembler as("seeded_deadlock");
+    Label resume = as.newLabel();
+    Label mt = as.newLabel();
+    as.li(x(5), 16 | (5 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.li(x(6), 1024);
+    as.li(x(7), 0);
+    as.vload(x(6), x(7), 0, 4, VloadVariant::Group);
+    as.vissue(mt);
+    as.devec(resume);
+    as.bind(resume);
+    as.halt();
+    as.bind(mt);
+    as.frameStart(x(8));
+    as.lw(x(9), x(8), 0);
+    as.remem();
+    as.vend();
+
+    Fixture f = verifyFixture(as);
+    ASSERT_FALSE(f.rep.ok());
+    const Diagnostic *d = findDiag(f.rep, Check::Deadlock);
+    ASSERT_NE(d, nullptr) << f.rep.text(f.p);
+    EXPECT_NE(d->message.find("frame_start"), std::string::npos);
+    EXPECT_FALSE(d->path.empty());
+    EXPECT_EQ(d->path.back(), d->pc);
+}
+
+TEST(VerifierRejects, VloadCrossingAFrameBoundary)
+{
+    // A 4-word fill at scratchpad offset 8 under 4-word (16-byte)
+    // frames covers bytes [8, 24): it straddles frames 0 and 1, which
+    // desynchronizes the per-frame fill counters.
+    Assembler as("frame_overflow");
+    Label resume = as.newLabel();
+    Label mt = as.newLabel();
+    as.li(x(5), 4 | (5 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.li(x(6), 1024);
+    as.li(x(7), 8);
+    as.vload(x(6), x(7), 0, 4, VloadVariant::Group);
+    as.vissue(mt);
+    as.devec(resume);
+    as.bind(resume);
+    as.halt();
+    as.bind(mt);
+    as.frameStart(x(8));
+    as.lw(x(9), x(8), 0);
+    as.remem();
+    as.vend();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::Vload);
+    ASSERT_NE(d, nullptr) << f.rep.text(f.p);
+    EXPECT_NE(d->message.find("overruns the 4-word (16B) frame"),
+              std::string::npos);
+    EXPECT_FALSE(d->path.empty());
+}
+
+TEST(VerifierRejects, VloadPastTheScratchpad)
+{
+    Assembler as("spad_overflow");
+    as.li(x(5), 64);
+    as.li(x(6), 8192);  // Past the 4096-byte scratchpad.
+    as.vload(x(5), x(6), 0, 4, VloadVariant::Self);
+    as.halt();
+
+    Fixture f = verifyFixture(as);
+    const Diagnostic *d = findDiag(f.rep, Check::Vload);
+    ASSERT_NE(d, nullptr) << f.rep.text(f.p);
+    EXPECT_NE(d->message.find("overruns the 4096B scratchpad"),
+              std::string::npos);
+}
+
+// --- Deterministic diagnostics -----------------------------------------------
+
+TEST(Diagnostics, SortedByRoutineThenInstruction)
+{
+    // One malformed vload in the main body, one in a microthread; the
+    // report must order them main-body first (routine entry 0) and
+    // name the routine each diagnostic belongs to.
+    Assembler as("two_routines");
+    Label resume = as.newLabel();
+    Label mt = as.newLabel();
+    as.li(x(9), 6);
+    as.li(x(10), 0);
+    as.vload(x(9), x(10), 0, 4, VloadVariant::Self);  // Misaligned.
+    as.li(x(5), 4 | (5 << 16));
+    as.csrw(Csr::FrameCfg, x(5));
+    as.li(x(5), 1);
+    as.csrw(Csr::Vconfig, x(5));
+    as.li(x(6), 1024);
+    as.li(x(7), 0);
+    as.vload(x(6), x(7), 0, 4, VloadVariant::Group);
+    as.vissue(mt);
+    as.devec(resume);
+    as.bind(resume);
+    as.halt();
+    as.bind(mt);
+    as.frameStart(x(8));
+    as.li(x(11), 10);
+    as.li(x(12), 0);
+    as.vload(x(11), x(12), 0, 4, VloadVariant::Self);  // Misaligned.
+    as.remem();
+    as.vend();
+
+    Fixture f = verifyFixture(as);
+    ASSERT_GE(f.rep.diagnostics.size(), 2u) << f.rep.text(f.p);
+    const Diagnostic &first = f.rep.diagnostics.front();
+    const Diagnostic &last = f.rep.diagnostics.back();
+    EXPECT_EQ(first.routine, "main body");
+    EXPECT_EQ(first.routineEntry, 0);
+    EXPECT_NE(last.routine.find("microthread at"), std::string::npos);
+    EXPECT_GT(last.routineEntry, 0);
+    for (std::size_t i = 1; i < f.rep.diagnostics.size(); ++i) {
+        const Diagnostic &a = f.rep.diagnostics[i - 1];
+        const Diagnostic &b = f.rep.diagnostics[i];
+        EXPECT_LE(std::tie(a.routineEntry, a.pc),
+                  std::tie(b.routineEntry, b.pc));
+    }
+}
+
+// --- JALR static resolution --------------------------------------------------
+
+TEST(CfgJalr, UniquelyLinkedReturnGetsAStaticEdge)
+{
+    Assembler as("jalr_ret");
+    Label sub = as.newLabel();
+    as.li(x(5), 1);          // 0
+    as.jal(x(1), sub);       // 1: link value is 2.
+    as.halt();               // 2
+    as.bind(sub);
+    as.addi(x(6), x(5), 1);  // 3
+    as.jalr(x(0), x(1), 0);  // 4: must resolve to 2.
+
+    Program p = as.finish();
+    Cfg cfg = buildCfg(p);
+    EXPECT_TRUE(cfg.indirectJumps.empty());
+    ASSERT_EQ(cfg.succs[4].size(), 1u);
+    EXPECT_EQ(cfg.succs[4][0], 2);
+
+    // And the verifier accepts the whole program.
+    BenchConfig bc = configByName("V4");
+    VerifyReport rep = verifyProgram(p, bc, machineFor(bc));
+    EXPECT_TRUE(rep.ok()) << rep.text(p);
+}
+
+TEST(CfgJalr, MultiplyDefinedLinkRegisterStaysIndirect)
+{
+    Assembler as("jalr_multi");
+    as.li(x(1), 3);          // 0
+    as.li(x(1), 5);          // 1: second definition of x1.
+    as.jalr(x(0), x(1), 0);  // 2: cannot be pinned statically.
+    as.halt();               // 3
+
+    Program p = as.finish();
+    Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.indirectJumps.size(), 1u);
+    EXPECT_EQ(cfg.indirectJumps[0], 2);
+    EXPECT_TRUE(cfg.succs[2].empty());
+
+    BenchConfig bc = configByName("V4");
+    VerifyReport rep = verifyProgram(p, bc, machineFor(bc));
+    EXPECT_NE(findDiag(rep, Check::Cfg), nullptr) << rep.text(p);
+}
+
+// --- Dataflow solver corner cases --------------------------------------------
+
+/**
+ * Toy domain with an (almost) infinite ascending chain: the state
+ * counts transfer applications, saturating at kSat. Without widening
+ * a self-loop would take ~kSat iterations to stabilize; the widening
+ * hook jumps straight to the saturation point.
+ */
+struct CounterDomain
+{
+    static constexpr long kSat = 1'000'000'000;
+    struct State
+    {
+        long v = -1;  ///< -1 = bottom.
+    };
+    State bottom() const { return {}; }
+    State transfer(int, const State &in) const
+    {
+        if (in.v < 0 || in.v >= kSat)
+            return in;
+        return {in.v + 1};
+    }
+    bool join(State &into, const State &from) const
+    {
+        if (from.v > into.v) {
+            into.v = from.v;
+            return true;
+        }
+        return false;
+    }
+    void widen(State &cur, const State &prev) const
+    {
+        if (cur.v > prev.v)
+            cur.v = kSat;
+    }
+};
+
+TEST(DataflowSolver, UnreachableNodesStayBottom)
+{
+    Assembler as("dead_code");
+    Label skip = as.newLabel();
+    as.j(skip);      // 0
+    as.li(x(5), 7);  // 1: dead.
+    as.bind(skip);
+    as.halt();       // 2
+
+    Program p = as.finish();
+    Cfg cfg = buildCfg(p);
+    CounterDomain dom;
+    auto sol = solveDataflow(cfg, dom, {{0, CounterDomain::State{0}}});
+    EXPECT_TRUE(sol.reached[0]);
+    EXPECT_FALSE(sol.reached[1]);
+    EXPECT_TRUE(sol.reached[2]);
+    EXPECT_EQ(sol.in[1].v, -1);  // Still bottom.
+}
+
+TEST(DataflowSolver, WideningTerminatesAnAscendingLoop)
+{
+    Assembler as("tight_loop");
+    Label l = as.newLabel();
+    as.bind(l);
+    as.addi(x(5), x(5), 1);  // 0
+    as.j(l);                 // 1
+
+    Program p = as.finish();
+    Cfg cfg = buildCfg(p);
+    CounterDomain dom;
+    // Would take ~1e9 joins without the widening hook.
+    auto sol = solveDataflow(cfg, dom, {{0, CounterDomain::State{0}}});
+    EXPECT_TRUE(sol.reached[0]);
+    EXPECT_TRUE(sol.reached[1]);
+    EXPECT_EQ(sol.in[0].v, CounterDomain::kSat);
+}
+
+/** Backward may-reach-terminator domain (finite powerset lattice). */
+struct ExitSetDomain
+{
+    const Cfg *cfg = nullptr;
+    using State = std::set<int>;
+    State bottom() const { return {}; }
+    State transfer(int pc, const State &in) const
+    {
+        State out = in;
+        if (cfg->succs[static_cast<size_t>(pc)].empty())
+            out.insert(pc);
+        return out;
+    }
+    bool join(State &into, const State &from) const
+    {
+        bool changed = false;
+        for (int v : from)
+            changed |= into.insert(v).second;
+        return changed;
+    }
+};
+
+TEST(DataflowSolver, BackwardSolveConvergesAroundALoop)
+{
+    Assembler as("backward_loop");
+    Label l = as.newLabel();
+    as.li(x(5), 0);           // 0
+    as.li(x(6), 3);           // 1
+    as.bind(l);
+    as.addi(x(5), x(5), 1);   // 2
+    as.blt(x(5), x(6), l);    // 3
+    as.halt();                // 4
+
+    Program p = as.finish();
+    Cfg cfg = buildCfg(p);
+    ExitSetDomain dom{&cfg};
+    SolveOptions opts;
+    opts.backward = true;
+    auto sol = solveDataflow(cfg, dom, {{4, ExitSetDomain::State{}}},
+                             nullptr, opts);
+    for (int pc = 0; pc < cfg.size(); ++pc)
+        EXPECT_TRUE(sol.reached[static_cast<size_t>(pc)]) << pc;
+    EXPECT_EQ(sol.in[0], (std::set<int>{4}));
+    EXPECT_EQ(sol.in[2], (std::set<int>{4}));
+}
+
+// --- Static performance bound ------------------------------------------------
+
+TEST(PerfBound, StraightLineProgramBoundedByColdFrontend)
+{
+    Assembler as("straight");
+    as.li(x(5), 1);
+    as.li(x(6), 2);
+    as.li(x(7), 3);
+    as.halt();
+
+    Program p = as.finish();
+    BenchConfig cfg = configByName("NV");
+    PerfBoundReport r = computePerfBound(p, cfg, machineFor(cfg));
+    EXPECT_FALSE(r.vectorCeiling);
+    EXPECT_FALSE(r.unboundedRun);
+    EXPECT_EQ(r.runToBranch, -1);
+    EXPECT_EQ(r.runToEnd, 4);
+    // Le / (Le + frontendDelay + 1) with frontendDelay = 2.
+    EXPECT_DOUBLE_EQ(r.ipcBound, 4.0 / 7.0);
+}
+
+TEST(PerfBound, LoopBoundReflectsTheBranchBubble)
+{
+    Assembler as("loop");
+    Label l = as.newLabel();
+    as.li(x(5), 0);          // 0
+    as.li(x(6), 3);          // 1
+    as.bind(l);
+    as.addi(x(5), x(5), 1);  // 2
+    as.blt(x(5), x(6), l);   // 3
+    as.halt();               // 4
+
+    Program p = as.finish();
+    BenchConfig cfg = configByName("NV");
+    PerfBoundReport r = computePerfBound(p, cfg, machineFor(cfg));
+    EXPECT_EQ(r.runToBranch, 4);  // li li addi blt.
+    EXPECT_DOUBLE_EQ(r.ipcBound, 4.0 / 6.0);
+    ASSERT_EQ(r.loops.size(), 1u);
+    EXPECT_EQ(r.loops[0].head, 2);
+    EXPECT_EQ(r.loops[0].len, 2);
+    EXPECT_DOUBLE_EQ(r.loops[0].ipcFrontend, 0.5);
+    EXPECT_FALSE(r.blocks.empty());
+}
+
+TEST(PerfBound, VectorConfigsCertifyOnlySingleIssue)
+{
+    Assembler as("vec");
+    as.li(x(5), 1);
+    as.halt();
+
+    Program p = as.finish();
+    BenchConfig cfg = configByName("V4");
+    PerfBoundReport r = computePerfBound(p, cfg, machineFor(cfg));
+    EXPECT_TRUE(r.vectorCeiling);
+    EXPECT_DOUBLE_EQ(r.ipcBound, 1.0);
 }
 
 // --- Report plumbing ---------------------------------------------------------
@@ -424,6 +780,31 @@ TEST(RunnerGate, AcceptsAHealthyRun)
     ASSERT_TRUE(ov.verify);
     RunResult r = runManycore("mvt", "V4", ov);
     EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(RunnerGate, SimulatedIpcNeverExceedsTheStaticBound)
+{
+    RunOverrides ov;
+    ov.perfLint = true;
+    RunResult r = runManycore("mvt", "V4", ov);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.staticIpcBound, 0.0);
+    EXPECT_GT(r.measuredIpc, 0.0);
+    EXPECT_LE(r.measuredIpc, r.staticIpcBound + 1e-9);
+}
+
+TEST(RunnerGate, PerfLintFlagsRunsFarBelowTheBound)
+{
+    // With an (unrealistically) strict utilization floor the same
+    // healthy run must be flagged: no real schedule reaches 99.9% of
+    // the certified ceiling.
+    RunOverrides ov;
+    ov.perfLint = true;
+    ov.perfLintMinFraction = 0.999;
+    RunResult r = runManycore("mvt", "V4", ov);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("perf-lint"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("below"), std::string::npos) << r.error;
 }
 
 // --- Program lookup diagnostics ----------------------------------------------

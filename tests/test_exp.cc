@@ -68,6 +68,8 @@ fullResult()
     r.hopCycles = {{1, 0}, {2, 0xffffffffffffffffull}};
     r.vectorCycles = 143;
     r.frameStallVector = 154;
+    r.staticIpcBound = 0.875;
+    r.measuredIpc = 0.5;
     return r;
 }
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Command-line front end for the static analysis framework: runs the
+ * program verifier (analysis/verifier.hh) and the performance-bound
+ * lint (analysis/perfbound.hh) over benchmark x configuration pairs
+ * and emits one machine-readable JSON report per pair.
+ *
+ * Usage:
+ *   rc_analyze [--out DIR] [--config NAME]... [BENCH]...
+ *
+ * With no benchmarks named, the full suite (Table 2 plus bfs) is
+ * analyzed; with no --config, every Table 3 configuration. Reports go
+ * to DIR/<bench>_<config>.json when --out is given, otherwise a
+ * single JSON array is printed to stdout. The exit status is the
+ * number of (bench, config) pairs with at least one diagnostic
+ * (clamped to 125), so "no findings" is exit 0 — the property
+ * scripts/analyze_all.sh gates on.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/perfbound.hh"
+#include "analysis/verifier.hh"
+#include "exp/json.hh"
+#include "kernels/common.hh"
+#include "machine/machine.hh"
+
+namespace
+{
+
+using namespace rockcress;
+
+Json
+diagnosticToJson(const Diagnostic &d, const Program &p)
+{
+    Json j = Json::object();
+    j["check"] = Json(checkName(d.check));
+    j["pc"] = Json(static_cast<double>(d.pc));
+    j["routine"] = Json(d.routine);
+    j["message"] = Json(d.message);
+    Json path = Json::array();
+    for (int pc : d.path)
+        path.push(Json(static_cast<std::uint64_t>(pc)));
+    j["path"] = std::move(path);
+    j["render"] = Json(d.render(p));
+    return j;
+}
+
+Json
+perfToJson(const PerfBoundReport &r)
+{
+    Json j = Json::object();
+    j["ipcBound"] = Json(r.ipcBound);
+    j["runToBranch"] = Json(static_cast<double>(r.runToBranch));
+    j["runToEnd"] = Json(static_cast<double>(r.runToEnd));
+    j["vectorCeiling"] = Json(r.vectorCeiling);
+    j["unboundedRun"] = Json(r.unboundedRun);
+
+    Json blocks = Json::array();
+    for (const BlockBound &b : r.blocks) {
+        Json o = Json::object();
+        o["first"] = Json(static_cast<std::uint64_t>(b.first));
+        o["last"] = Json(static_cast<std::uint64_t>(b.last));
+        o["count"] = Json(static_cast<std::uint64_t>(b.count));
+        o["endsInBranch"] = Json(b.endsInBranch);
+        o["intOps"] = Json(static_cast<std::uint64_t>(b.intOps));
+        o["fpOps"] = Json(static_cast<std::uint64_t>(b.fpOps));
+        o["memOps"] = Json(static_cast<std::uint64_t>(b.memOps));
+        o["simdOps"] = Json(static_cast<std::uint64_t>(b.simdOps));
+        o["vloadWords"] =
+            Json(static_cast<std::uint64_t>(b.vloadWords));
+        o["minCycles"] = Json(b.minCycles);
+        blocks.push(std::move(o));
+    }
+    j["blocks"] = std::move(blocks);
+
+    Json loops = Json::array();
+    for (const LoopBound &l : r.loops) {
+        Json o = Json::object();
+        o["head"] = Json(static_cast<std::uint64_t>(l.head));
+        o["len"] = Json(static_cast<std::uint64_t>(l.len));
+        o["branches"] = Json(static_cast<std::uint64_t>(l.branches));
+        o["vloadWords"] =
+            Json(static_cast<std::uint64_t>(l.vloadWords));
+        o["ipcFrontend"] = Json(l.ipcFrontend);
+        o["ipcRoofline"] = Json(l.ipcRoofline);
+        loops.push(std::move(o));
+    }
+    j["loops"] = std::move(loops);
+    return j;
+}
+
+/** Analyze one pair; returns the report and whether it was clean. */
+Json
+analyzeOne(const std::string &bench, const std::string &config,
+           bool &clean)
+{
+    Json j = Json::object();
+    j["bench"] = Json(bench);
+    j["config"] = Json(config);
+
+    BenchConfig cfg = configByName(config);
+    MachineParams params = machineFor(cfg);
+    Machine machine(params);
+    auto benchmark = makeBenchmark(bench);
+    std::shared_ptr<const Program> program;
+    try {
+        program = benchmark->prepare(machine, cfg);
+    } catch (const std::exception &e) {
+        clean = false;
+        j["ok"] = Json(false);
+        j["error"] = Json(std::string("prepare: ") + e.what());
+        return j;
+    }
+
+    VerifyReport report = verifyProgram(*program, cfg, params);
+    Json diags = Json::array();
+    for (const Diagnostic &d : report.diagnostics)
+        diags.push(diagnosticToJson(d, *program));
+    j["diagnostics"] = std::move(diags);
+    j["ok"] = Json(report.ok());
+    j["perf"] = perfToJson(computePerfBound(*program, cfg, params));
+    clean = report.ok();
+    return j;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+              text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rockcress;
+
+    std::string outDir;
+    std::vector<std::string> configs;
+    std::vector<std::string> benches;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outDir = argv[++i];
+        } else if (arg == "--config" && i + 1 < argc) {
+            configs.push_back(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: rc_analyze [--out DIR] "
+                        "[--config NAME]... [BENCH]...\n");
+            return 0;
+        } else {
+            benches.push_back(arg);
+        }
+    }
+    if (benches.empty()) {
+        benches = suiteNames();
+        benches.push_back("bfs");
+    }
+    if (configs.empty())
+        configs = allConfigNames();
+
+    int failures = 0;
+    Json all = Json::array();
+    for (const std::string &bench : benches) {
+        for (const std::string &config : configs) {
+            bool clean = true;
+            Json j = analyzeOne(bench, config, clean);
+            if (!clean) {
+                ++failures;
+                std::fprintf(stderr, "rc_analyze: findings in %s/%s\n",
+                             bench.c_str(), config.c_str());
+            }
+            if (outDir.empty()) {
+                all.push(std::move(j));
+            } else {
+                std::string path =
+                    outDir + "/" + bench + "_" + config + ".json";
+                if (!writeFile(path, j.dump() + "\n")) {
+                    std::fprintf(stderr,
+                                 "rc_analyze: cannot write %s\n",
+                                 path.c_str());
+                    return 126;
+                }
+            }
+        }
+    }
+    if (outDir.empty())
+        std::printf("%s\n", all.dump().c_str());
+    return failures > 125 ? 125 : failures;
+}
