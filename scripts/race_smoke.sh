@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Race-detection smoke: a seeded racy fixture must be rejected by the
+# static race pass (two-sided witness) AND flagged by the frame
+# sanitizer, while the golden bench x config suite runs clean with
+# the sanitizer enabled. If an ASan build (build-asan/, or
+# $ROCKCRESS_ASAN_BUILD) has the rc_racesmoke binary, the same smoke
+# also runs under ASan, mirroring fuzz_smoke.sh's pattern.
+#
+# Usage: scripts/race_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bin="$build_dir/tools/rc_racesmoke"
+if [[ ! -x "$bin" ]]; then
+    echo "race_smoke: $bin not built" >&2
+    exit 1
+fi
+
+"$bin" >&2
+
+asan_dir="${ROCKCRESS_ASAN_BUILD:-$(dirname "$build_dir")/build-asan}"
+asan_bin="$asan_dir/tools/rc_racesmoke"
+if [[ -x "$asan_bin" ]]; then
+    echo "race_smoke: re-running under ASan" >&2
+    "$asan_bin" >&2
+    echo "race_smoke: ASan run OK" >&2
+else
+    echo "race_smoke: no ASan build at $asan_dir (skipping;" \
+         "configure with -DENABLE_SANITIZERS=address to enable)" >&2
+fi
+echo "race_smoke: PASS" >&2

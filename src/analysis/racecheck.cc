@@ -1,0 +1,439 @@
+#include "analysis/racecheck.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+/**
+ * Version numbering. A version names the dynamic value a register
+ * held at one program event; two offsets with equal versions denote
+ * the same runtime value (plus their respective byte deltas).
+ *
+ *  - kVerConst: the literal base 0 — the delta IS the absolute
+ *    scratchpad offset (constant-folded through the interval domain);
+ *  - entryVer(r): the value register r held at routine entry;
+ *  - defVer(pc): the value produced by the (opaque) definition at pc;
+ *  - phiVer(pc, r): the value r holds when it is first *used* at pc
+ *    after a join lost track of it. Re-materializing the same phi on
+ *    a later visit kills fills keyed to it first, because the value
+ *    may have changed in between (see useReg).
+ */
+constexpr std::int64_t kVerUnknown = -1;
+constexpr std::int64_t kVerConst = 0;
+
+std::int64_t
+entryVer(int r)
+{
+    return 1 + r;
+}
+
+std::int64_t
+defVer(int pc)
+{
+    return 64 + pc;
+}
+
+std::int64_t
+phiVer(int pc, int r)
+{
+    return std::int64_t{1} << 32 | (std::int64_t{pc} * 32 + r);
+}
+
+/** (version, byte delta): the symbolic value of one register. */
+struct SymVal
+{
+    std::int64_t ver = kVerUnknown;
+    std::int64_t delta = 0;
+
+    bool operator==(const SymVal &) const = default;
+};
+
+/** One tracked in-flight remote fill window. */
+struct FillRec
+{
+    int pc = -1;               ///< The vload.
+    std::int64_t ver = kVerUnknown;
+    std::int64_t lo = 0;       ///< Byte range [lo, hi) from the base.
+    std::int64_t hi = 0;
+    int slotFirst = 0;         ///< Destination slot range (self slot
+    int slotLast = 0;          ///< == groupSlots for self routing).
+
+    bool operator==(const FillRec &) const = default;
+    auto
+    key() const
+    {
+        return std::tie(pc, ver, lo, hi, slotFirst, slotLast);
+    }
+    bool operator<(const FillRec &o) const { return key() < o.key(); }
+};
+
+/** Bound on tracked fills; oldest are dropped (sound: drops only
+ * lose detection, never invent overlap). */
+constexpr size_t kMaxFills = 16;
+
+struct RaceState
+{
+    bool bottom = true;
+    std::array<SymVal, 32> reg{};
+    std::vector<FillRec> fills;  ///< Kept sorted (canonical form).
+
+    bool operator==(const RaceState &) const = default;
+};
+
+struct RaceDomain
+{
+    using State = RaceState;
+
+    const Program &p;
+    const IntervalAnalysis &vals;
+    /** May the microthread at this entry pc consume frames? */
+    const std::map<int, bool> &mtConsumes;
+    int groupSlots;
+
+    int selfSlot() const { return groupSlots; }
+
+    State bottom() const { return State{}; }
+    bool isBottom(const State &s) const { return s.bottom; }
+
+    State
+    transfer(int pc, const State &in) const
+    {
+        if (in.bottom)
+            return in;
+        State s = in;
+        apply(pc, s, nullptr, nullptr);
+        return s;
+    }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        if (from.bottom)
+            return false;
+        if (into.bottom) {
+            into = from;
+            return true;
+        }
+        bool changed = false;
+        for (size_t r = 0; r < into.reg.size(); ++r) {
+            if (into.reg[r].ver != kVerUnknown &&
+                !(into.reg[r] == from.reg[r])) {
+                into.reg[r] = SymVal{};
+                changed = true;
+            }
+        }
+        // Fills are a must-set: keep only windows open on every path.
+        std::vector<FillRec> kept;
+        for (const FillRec &f : into.fills) {
+            if (std::find(from.fills.begin(), from.fills.end(), f) !=
+                from.fills.end())
+                kept.push_back(f);
+        }
+        if (kept.size() != into.fills.size()) {
+            into.fills = std::move(kept);
+            changed = true;
+        }
+        return changed;
+    }
+
+    void
+    widen(State &cur, const State &prev) const
+    {
+        if (cur.bottom || prev.bottom)
+            return;
+        for (size_t r = 0; r < cur.reg.size(); ++r) {
+            if (!(cur.reg[r] == prev.reg[r]))
+                cur.reg[r] = SymVal{};
+        }
+        std::vector<FillRec> kept;
+        for (const FillRec &f : cur.fills) {
+            if (std::find(prev.fills.begin(), prev.fills.end(), f) !=
+                prev.fills.end())
+                kept.push_back(f);
+        }
+        cur.fills = std::move(kept);
+    }
+
+    /**
+     * Value of rs at pc. An unknown register is materialized as the
+     * phi version keyed to this use site — after killing any fill
+     * still keyed to that phi, since reaching the same use again with
+     * the register untracked means its value may have changed (the
+     * rotating-cursor wrap-around case).
+     */
+    SymVal
+    useReg(int pc, RegIdx r, State &s) const
+    {
+        if (r == regZero)
+            return {kVerConst, 0};
+        std::int32_t c = 0;
+        if (vals.constAt(pc, r, c))
+            return {kVerConst, c};
+        if (r >= 32)
+            return SymVal{};
+        SymVal &v = s.reg[static_cast<size_t>(r)];
+        if (v.ver == kVerUnknown) {
+            std::int64_t phi = phiVer(pc, r);
+            std::erase_if(s.fills, [phi](const FillRec &f) {
+                return f.ver == phi;
+            });
+            v = {phi, 0};
+        }
+        return v;
+    }
+
+    void
+    defReg(RegIdx rd, SymVal v, State &s) const
+    {
+        if (rd > regZero && rd < 32)
+            s.reg[static_cast<size_t>(rd)] = v;
+    }
+
+    void
+    killSlots(State &s, int first, int last) const
+    {
+        std::erase_if(s.fills, [first, last](const FillRec &f) {
+            return f.slotLast >= first && last >= f.slotFirst;
+        });
+    }
+
+    /**
+     * The shared transfer: mutates `s`; with `findings` non-null the
+     * overlap reports fire too (the post-fixpoint report pass, with
+     * `seen` deduplicating (producer, consumer) pc pairs).
+     */
+    void apply(int pc, State &s, std::vector<RaceFinding> *findings,
+               std::set<std::pair<int, int>> *seen) const;
+};
+
+std::string
+slotDesc(int first, int last, int group_slots)
+{
+    if (first == group_slots)
+        return "the issuing core's own frame queue";
+    if (first == last)
+        return "group slot " + std::to_string(first);
+    return "group slots [" + std::to_string(first) + ", " +
+           std::to_string(last) + "]";
+}
+
+void
+RaceDomain::apply(int pc, State &s, std::vector<RaceFinding> *findings,
+                  std::set<std::pair<int, int>> *seen) const
+{
+    const Instruction &i = p.code[static_cast<size_t>(pc)];
+    switch (i.op) {
+      case Opcode::ADDI: {
+        SymVal v = useReg(pc, i.rs1, s);
+        if (v.ver != kVerUnknown)
+            v.delta += i.imm;
+        defReg(i.rd, v, s);
+        return;
+      }
+
+      case Opcode::ADD: {
+        // A move through x0 preserves the value; anything else is a
+        // new (opaque) definition.
+        if (i.rs2 == regZero)
+            defReg(i.rd, useReg(pc, i.rs1, s), s);
+        else if (i.rs1 == regZero)
+            defReg(i.rd, useReg(pc, i.rs2, s), s);
+        else
+            defReg(i.rd, {defVer(pc), 0}, s);
+        return;
+      }
+
+      case Opcode::VLOAD: {
+        int w = i.imm2;
+        if (w <= 0)
+            return;
+        auto variant = static_cast<VloadVariant>(i.sub);
+        bool self = variant == VloadVariant::Self;
+        CfgBind cfg = self ? vals.selfCfgAt(pc) : vals.regionCfgAt(pc);
+
+        // Participate only when the whole footprint provably lands
+        // in the bound frame region (the same proof token-flow
+        // counting uses): everything else is untracked, never raced.
+        if (!cfg.isKnown() || cfg.nf <= 0)
+            return;
+        std::int64_t region = std::int64_t{cfg.fw} * cfg.nf * 4;
+        AbsVal off = vals.valueAt(pc, i.rs2);
+        if (off.frameFw != 0 || off.effLo() < 0 ||
+            off.effHi() + std::int64_t{w} * 4 > region)
+            return;
+
+        int first = 0, last = -1;
+        if (variant == VloadVariant::Group) {
+            first = std::max(0, i.imm);
+            last = groupSlots - 1;
+        } else if (variant == VloadVariant::Single) {
+            if (i.imm < 0 || i.imm >= groupSlots)
+                return;
+            first = last = i.imm;
+        } else {
+            first = last = selfSlot();
+        }
+        if (first > last)
+            return;
+
+        SymVal base = useReg(pc, i.rs2, s);
+        if (base.ver == kVerUnknown)
+            return;
+        FillRec rec{pc, base.ver, base.delta,
+                    base.delta + std::int64_t{w} * 4, first, last};
+
+        for (const FillRec &f : s.fills) {
+            if (f.ver != rec.ver)
+                continue;
+            if (f.slotLast < first || last < f.slotFirst)
+                continue;
+            std::int64_t lo = std::max(f.lo, rec.lo);
+            std::int64_t hi = std::min(f.hi, rec.hi);
+            if (lo >= hi)
+                continue;
+            if (!findings || !seen->insert({f.pc, pc}).second)
+                continue;
+            RaceFinding rf;
+            rf.producerPc = f.pc;
+            rf.consumerPc = pc;
+            rf.byteLo = lo;
+            rf.byteHi = hi;
+            rf.absoluteRange = rec.ver == kVerConst;
+            rf.slotFirst = std::max(f.slotFirst, first);
+            rf.slotLast = std::min(f.slotLast, last);
+            std::ostringstream os;
+            os << "remote frame fills race: the vloads at pc " << f.pc
+               << " and pc " << pc << " both fill bytes [" << lo
+               << ", " << hi << ") "
+               << (rf.absoluteRange
+                       ? "of the scratchpad frame region"
+                       : "past the same dynamic fill cursor")
+               << " on " << slotDesc(rf.slotFirst, rf.slotLast,
+                                     groupSlots)
+               << " with no frame handover in between: the second "
+                  "arrival lands on a word still filling or armed "
+                  "(double-fill)";
+            rf.message = os.str();
+            findings->push_back(std::move(rf));
+        }
+
+        if (s.fills.size() >= kMaxFills)
+            s.fills.erase(s.fills.begin());
+        if (std::find(s.fills.begin(), s.fills.end(), rec) ==
+            s.fills.end()) {
+            s.fills.push_back(rec);
+            std::sort(s.fills.begin(), s.fills.end());
+        }
+        return;
+      }
+
+      case Opcode::FRAME_START:
+        // Inline (self-routed) handover: the head self frame may now
+        // be consumed and freed, closing self fill windows.
+        killSlots(s, selfSlot(), selfSlot());
+        defReg(i.rd, {defVer(pc), 0}, s);
+        return;
+
+      case Opcode::REMEM:
+        killSlots(s, selfSlot(), selfSlot());
+        return;
+
+      case Opcode::VISSUE: {
+        // A microthread that provably performs no frame_start/remem
+        // cannot retire frames; group fill windows survive it.
+        auto it = mtConsumes.find(i.imm);
+        if (it == mtConsumes.end() || it->second)
+            killSlots(s, 0, groupSlots - 1);
+        return;
+      }
+
+      case Opcode::CSRW:
+        // FrameCfg rewrites reset the counters; Vconfig transitions
+        // reshape the group. Both end every tracked window.
+        s.fills.clear();
+        return;
+
+      case Opcode::DEVEC:
+      case Opcode::BARRIER:
+        s.fills.clear();
+        return;
+
+      default: {
+        int rd = destReg(i);
+        if (rd > regZero && rd < 32)
+            defReg(static_cast<RegIdx>(rd), {defVer(pc), 0}, s);
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::vector<RaceFinding>
+checkScratchpadRaces(const Program &p, const Cfg &cfg,
+                     const BenchConfig &bench,
+                     const MachineParams &params,
+                     const IntervalAnalysis &values)
+{
+    (void)params;
+    std::vector<RaceFinding> findings;
+    const int n = cfg.size();
+    if (n == 0)
+        return findings;
+    const std::vector<Routine> &routines = values.routines();
+
+    // Which microthreads may consume frames? A frame_start or remem
+    // anywhere in the routine's reach means "may".
+    std::map<int, bool> mtConsumes;
+    for (size_t k = 1; k < routines.size(); ++k) {
+        bool consumes = false;
+        for (int pc : routines[k].reach) {
+            Opcode op = p.code[static_cast<size_t>(pc)].op;
+            if (op == Opcode::FRAME_START || op == Opcode::REMEM) {
+                consumes = true;
+                break;
+            }
+        }
+        mtConsumes[routines[k].entry] = consumes;
+    }
+
+    int groupSlots = std::max(1, bench.groupSize);
+    RaceDomain dom{p, values, mtConsumes, groupSlots};
+    RaceState entry;
+    entry.bottom = false;
+    for (size_t r = 0; r < entry.reg.size(); ++r)
+        entry.reg[r] = {entryVer(static_cast<int>(r)), 0};
+    auto sol =
+        solveDataflow(cfg, dom, {{0, entry}}, &routines[0].reach);
+
+    std::set<std::pair<int, int>> seen;
+    for (int pc = 0; pc < n; ++pc) {
+        if (!sol.reached[static_cast<size_t>(pc)])
+            continue;
+        RaceState s = sol.in[static_cast<size_t>(pc)];
+        if (s.bottom)
+            continue;
+        dom.apply(pc, s, &findings, &seen);
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const RaceFinding &a, const RaceFinding &b) {
+                  return std::tie(a.consumerPc, a.byteLo, a.byteHi,
+                                  a.producerPc) <
+                         std::tie(b.consumerPc, b.byteLo, b.byteHi,
+                                  b.producerPc);
+              });
+    return findings;
+}
+
+} // namespace rockcress

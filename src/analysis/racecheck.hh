@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Static scratchpad race detection (the MHP pass): a forward dataflow
+ * over the scalar-core instruction stream that proves, per (producer
+ * core, consumer slot, frame) triple, that remote frame fills are
+ * disjoint in time or address from every other access to the same
+ * scratchpad words — and rejects programs where two fills provably
+ * overlap with a two-sided witness (producer path, consumer path, and
+ * the overlapping byte range).
+ *
+ * The pass composes the verifier's existing machinery:
+ *  - the interval + congruence domain (analysis/interval.hh) proves
+ *    each fill's byte footprint inside the bound FrameCfg's frame
+ *    region — only proven frame traffic participates;
+ *  - the token-flow consumption structure (analysis/tokenflow.hh)
+ *    informs the kill set: a vissue of a microthread that provably
+ *    performs no frame_start/remem cannot retire frames, so active
+ *    fills survive it; consuming vissues, inline frame_start/remem,
+ *    FrameCfg rewrites and region boundaries retire the open fill
+ *    window;
+ *  - on top rides a light relational value numbering: each register
+ *    is (version, byte delta), where a version names a definition
+ *    site, a routine-entry value, or a join (phi) point. Two fills
+ *    whose scratchpad offsets share a version with overlapping
+ *    [delta, delta + words*4) ranges and intersecting destination
+ *    slots target the *same dynamic frame words* with no possible
+ *    handover in between: on the machine, the second arrival lands on
+ *    a word still in the Filling/Armed shadow state — exactly what
+ *    the frame sanitizer (mem/scratchpad.hh) flags as double-fill or
+ *    fill-on-consume.
+ *
+ * Soundness is rejection-only, mirroring the other passes: offsets
+ * the value numbering cannot relate, fills outside a provable frame
+ * region, and windows interrupted by any possibly-consuming event are
+ * dropped from tracking, never reported. Phi versions are killed on
+ * re-materialization so a value that may change across a loop
+ * iteration can never alias its previous self (the legal wrap-around
+ * refill of a rotating fill cursor is therefore silent).
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_RACECHECK_HH
+#define ROCKCRESS_ANALYSIS_RACECHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.hh"
+
+namespace rockcress
+{
+
+/** One proven fill/fill race, with its two-sided witness anchors. */
+struct RaceFinding
+{
+    int producerPc = -1;  ///< First fill of the raced words.
+    int consumerPc = -1;  ///< Second access hitting the same words.
+    /** Overlapping byte range [byteLo, byteHi): absolute scratchpad
+     * offsets when the shared base is a constant, else deltas from
+     * the common (dynamic) fill base. */
+    std::int64_t byteLo = 0;
+    std::int64_t byteHi = 0;
+    bool absoluteRange = false;
+    /** Raced destination slots: group slot indices, or the self slot
+     * (== group size) for self-routed fills. */
+    int slotFirst = 0;
+    int slotLast = 0;
+    std::string message;
+    /** Witness paths, filled by the verifier: routine entry to the
+     * producer, then producer to the conflicting access. */
+    std::vector<int> producerPath;
+    std::vector<int> consumerPath;
+    int routineEntry = -1;
+    std::string routine;
+};
+
+/**
+ * Run the race analysis over the main routine. `values` must already
+ * be solved. Findings come back sorted by (consumerPc, byte range,
+ * producerPc); witness paths and routine attribution are left to the
+ * caller (the verifier).
+ */
+std::vector<RaceFinding>
+checkScratchpadRaces(const Program &p, const Cfg &cfg,
+                     const BenchConfig &bench,
+                     const MachineParams &params,
+                     const IntervalAnalysis &values);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_RACECHECK_HH

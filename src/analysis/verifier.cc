@@ -10,6 +10,7 @@
 #include "analysis/cfg.hh"
 #include "analysis/dataflow.hh"
 #include "analysis/interval.hh"
+#include "analysis/racecheck.hh"
 #include "analysis/tokenflow.hh"
 #include "isa/instr.hh"
 
@@ -280,6 +281,7 @@ class Verifier
         if (opts_.checkUseBeforeDef)
             checkUseBeforeDef();
         checkDeadlock();
+        checkRaces();
 
         // Deterministic report order regardless of pass order.
         std::sort(diags_.begin(), diags_.end(),
@@ -294,6 +296,7 @@ class Verifier
 
         VerifyReport rep;
         rep.diagnostics = std::move(diags_);
+        rep.races = std::move(races_);
         return rep;
     }
 
@@ -1197,6 +1200,34 @@ class Verifier
         }
     }
 
+    // --- Scratchpad races ----------------------------------------------------
+
+    void
+    checkRaces()
+    {
+        for (RaceFinding f :
+             checkScratchpadRaces(p_, graph_, cfg_, params_, vals_)) {
+            // The two-sided witness: how the first fill is reached,
+            // then how execution carries the conflict forward.
+            f.producerPath = witness(0, f.producerPc);
+            f.consumerPath =
+                shortestPath(graph_, f.producerPc, f.consumerPc);
+            f.routineEntry = routineEntryOf(f.consumerPc);
+            f.routine = routineName(f.routineEntry);
+            diag(Check::Race, f.consumerPc, f.message, f.consumerPath);
+            races_.push_back(std::move(f));
+        }
+        std::sort(races_.begin(), races_.end(),
+                  [](const RaceFinding &a, const RaceFinding &b) {
+                      return std::tie(a.routineEntry, a.consumerPc,
+                                      a.byteLo, a.byteHi,
+                                      a.producerPc) <
+                             std::tie(b.routineEntry, b.consumerPc,
+                                      b.byteLo, b.byteHi,
+                                      b.producerPc);
+                  });
+    }
+
     // --- Members -------------------------------------------------------------
 
     const Program &p_;
@@ -1210,6 +1241,7 @@ class Verifier
     std::vector<size_t> mtOrder_;
 
     std::vector<Diagnostic> diags_;
+    std::vector<RaceFinding> races_;
     std::set<std::pair<int, int>> reported_;
 };
 
@@ -1228,6 +1260,7 @@ checkName(Check c)
       case Check::Predication: return "predication";
       case Check::UseBeforeDef: return "use-before-def";
       case Check::Deadlock: return "deadlock";
+      case Check::Race: return "race";
     }
     return "unknown";
 }

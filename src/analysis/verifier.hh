@@ -35,7 +35,13 @@
  *    before vend;
  *  - use-before-def: no register is read on a path that never defined
  *    it, with microthread entry states chained through the scalar
- *    core's vissue order.
+ *    core's vissue order;
+ *  - race: the MHP pass (analysis/racecheck.hh) proves remote frame
+ *    fills disjoint in time or address from every other access to the
+ *    same scratchpad words, and rejects programs where two fills
+ *    provably overlap — reported with a two-sided witness (producer
+ *    path, consumer path, overlapping byte range) and mirrored at run
+ *    time by the frame sanitizer (mem/scratchpad.hh).
  *
  * Diagnostics carry the instruction index, its disassembly, the
  * routine it belongs to, and a shortest witness path through the CFG.
@@ -49,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/racecheck.hh"
 #include "compiler/codegen.hh"
 #include "isa/program.hh"
 #include "machine/params.hh"
@@ -66,6 +73,7 @@ enum class Check
     Predication,   ///< pred_eq/pred_neq region well-formedness.
     UseBeforeDef,  ///< Register read with no reaching definition.
     Deadlock,      ///< Token-flow: schedule wedges the frame queue.
+    Race,          ///< MHP: overlapping remote fills of live words.
 };
 
 /** Short kebab-case name of a check ("vector-region", ...). */
@@ -97,6 +105,9 @@ struct VerifierOptions
 struct VerifyReport
 {
     std::vector<Diagnostic> diagnostics;
+    /** Structured race findings (each also appears as a Check::Race
+     * diagnostic), sorted by (routine, pc, byte range). */
+    std::vector<RaceFinding> races;
 
     bool ok() const { return diagnostics.empty(); }
 

@@ -186,7 +186,8 @@ Core::receive(const Packet &pkt)
       case PacketKind::MemRespKind: {
         const MemResp &resp = pkt.resp;
         if (resp.toSpad) {
-            spad_.networkWrite(resp.spadOffset, resp.data);
+            spad_.networkWrite(resp.spadOffset, resp.data,
+                               resp.srcCore, resp.srcPc);
             return;
         }
         for (size_t i = 0; i < lq_.size(); ++i) {
@@ -210,7 +211,8 @@ Core::receive(const Packet &pkt)
               resp.reqId);
       }
       case PacketKind::SpadWriteKind:
-        spad_.networkWrite(pkt.spadWrite.spadOffset, pkt.spadWrite.data);
+        spad_.networkWrite(pkt.spadWrite.spadOffset, pkt.spadWrite.data,
+                           pkt.spadWrite.src, pkt.spadWrite.srcPc);
         return;
       default:
         panic("core ", id_, ": unexpected packet kind");
@@ -322,7 +324,7 @@ Core::vloadGuardOk(const Instruction &inst) const
 }
 
 void
-Core::doVload(const Instruction &inst, Cycle)
+Core::doVload(const Instruction &inst, Cycle, int pc)
 {
     VloadGeom g = vloadGeom(inst);
     const AddrMap &map = env_.addrMap();
@@ -333,6 +335,7 @@ Core::doVload(const Instruction &inst, Cycle)
     req.op = MemOp::ReadWide;
     req.addr = g.addr;
     req.src = id_;
+    req.srcPc = pc;
     req.variant = g.variant;
     req.baseCoreOff = g.coreOff;
     req.spadOffset = g.spadOffset;
@@ -387,7 +390,7 @@ Core::doLoadGlobal(const Instruction &inst, Cycle, RobEntry &rob)
 }
 
 void
-Core::doStore(const Instruction &inst, Cycle)
+Core::doStore(const Instruction &inst, Cycle, int pc)
 {
     Addr addr = intReg(inst.rs1) + static_cast<Addr>(inst.imm);
     const AddrMap &map = env_.addrMap();
@@ -398,7 +401,8 @@ Core::doStore(const Instruction &inst, Cycle)
             for (int l = 0; l < params_.simdWidth; ++l) {
                 spad_.writeWord(off + static_cast<Addr>(l) * wordBytes,
                                 simdRegs_[static_cast<size_t>(l)]
-                                         [inst.rs2 - simdRegBase]);
+                                         [inst.rs2 - simdRegBase],
+                                pc);
             }
             *statStoreSpad_ += 1;
             return;
@@ -435,7 +439,7 @@ Core::doStore(const Instruction &inst, Cycle)
         env_.sendMemReq(id_, req);
         *statStoreGlobal_ += 1;
     } else if (map.spadCore(addr) == id_) {
-        spad_.writeWord(map.spadOffset(addr), data);
+        spad_.writeWord(map.spadOffset(addr), data, pc);
         *statStoreSpad_ += 1;
     } else {
         // Remote scratchpad store (shuffles, Section 2.4).
@@ -443,6 +447,8 @@ Core::doStore(const Instruction &inst, Cycle)
         w.dst = map.spadCore(addr);
         w.spadOffset = map.spadOffset(addr);
         w.data = data;
+        w.src = id_;
+        w.srcPc = pc;
         env_.sendSpadWrite(id_, w);
         *statStoreRemote_ += 1;
     }
@@ -838,7 +844,7 @@ Core::issue(Cycle now)
         }
         if (map.spadCore(addr) != id_)
             fatal("core ", id_, ": load from a remote scratchpad");
-        Word data = spad_.readWord(map.spadOffset(addr));
+        Word data = spad_.readWord(map.spadOffset(addr), instPc);
         setIntReg(inst.rd, data);
         int rd = destReg(inst);
         if (rd >= 0)
@@ -865,7 +871,8 @@ Core::issue(Cycle now)
         int rd = inst.rd - simdRegBase;
         for (int l = 0; l < params_.simdWidth; ++l) {
             simdRegs_[static_cast<size_t>(l)][rd] =
-                spad_.readWord(off + static_cast<Addr>(l) * wordBytes);
+                spad_.readWord(off + static_cast<Addr>(l) * wordBytes,
+                               instPc);
         }
         setBusy(destReg(inst), true);
         retire_simple(now + params_.spadLatency);
@@ -884,7 +891,7 @@ Core::issue(Cycle now)
       }
 
       case Opcode::SW: case Opcode::FSW: case Opcode::SIMD_SW:
-        doStore(inst, now);
+        doStore(inst, now, instPc);
         retire_simple(now + 1);
         if (auto *r = attachRecord(inst, instPc)) {
             r->mem = true;
@@ -908,7 +915,7 @@ Core::issue(Cycle now)
             *statStallDae_ += 1;
             return;
         }
-        doVload(inst, now);
+        doVload(inst, now, instPc);
         retire_simple(now + 1);
         if (auto *r = attachRecord(inst, instPc))
             r->aux = {intReg(inst.rs1), intReg(inst.rs2)};
@@ -953,6 +960,7 @@ Core::issue(Cycle now)
         }
         Word base = env_.addrMap().spadBase(id_) +
                     spad_.headFrameByteOffset();
+        spad_.beginConsume(instPc);
         setIntReg(inst.rd, base);
         retire_simple(now + 1);
         if (auto *r = attachRecord(inst, instPc)) {

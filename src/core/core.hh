@@ -145,10 +145,10 @@ class Core : public Ticked
     /** Execute the instruction functionally and write results. */
     void execute(const Instruction &inst, Cycle now, RobEntry &rob);
 
-    /** Issue-side memory operations. */
+    /** Issue-side memory operations (pc: sanitizer attribution). */
     void doLoadGlobal(const Instruction &inst, Cycle now, RobEntry &rob);
-    void doStore(const Instruction &inst, Cycle now);
-    void doVload(const Instruction &inst, Cycle now);
+    void doStore(const Instruction &inst, Cycle now, int pc);
+    void doVload(const Instruction &inst, Cycle now, int pc);
 
     /** True when the vload's destination frames fit the counter window. */
     bool vloadGuardOk(const Instruction &inst) const;

@@ -118,6 +118,7 @@ resultToJson(const RunResult &r)
     j["frameStallVector"] = Json(r.frameStallVector);
     j["staticIpcBound"] = Json(r.staticIpcBound);
     j["measuredIpc"] = Json(r.measuredIpc);
+    j["spSanViolations"] = Json(r.spSanViolations);
     return j;
 }
 
@@ -165,7 +166,8 @@ resultFromJson(const Json &j, RunResult &out)
          readU64(j, "vectorCycles", r.vectorCycles) &&
          readU64(j, "frameStallVector", r.frameStallVector) &&
          readDouble(j, "staticIpcBound", r.staticIpcBound) &&
-         readDouble(j, "measuredIpc", r.measuredIpc);
+         readDouble(j, "measuredIpc", r.measuredIpc) &&
+         readU64(j, "spSanViolations", r.spSanViolations);
     if (!ok)
         return false;
     if (!j.has("hopInetStalls") ||
@@ -197,6 +199,7 @@ overridesToJson(const RunOverrides &o)
     j["cosimStrictLoads"] = Json(o.cosimStrictLoads);
     j["perfLint"] = Json(o.perfLint);
     j["perfLintMinFraction"] = Json(o.perfLintMinFraction);
+    j["spSan"] = Json(o.spSan);
     return j;
 }
 

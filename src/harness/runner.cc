@@ -30,6 +30,10 @@ runManycore(const std::string &bench, const std::string &config,
     params.nocWidthWords = overrides.nocWidthWords;
 
     Machine machine(params);
+    if (overrides.spSan) {
+        for (CoreId c = 0; c < machine.numCores(); ++c)
+            machine.spadOf(c).enableSanitizer();
+    }
     auto benchmark = makeBenchmark(bench);
     try {
         auto program = benchmark->prepare(machine, cfg);
@@ -78,6 +82,23 @@ runManycore(const std::string &bench, const std::string &config,
                    stats.sumSuffix(".stall_dae");
     r.vloadBytes = stats.sumSuffix(".vload_words") * wordBytes;
     r.nocWordHops = stats.get("noc.word_hops");
+
+    // Frame sanitizer: any flagged access fails the run with the
+    // attributed records (the dynamic leg of the race differential).
+    r.spSanViolations = stats.sumSuffix(".san_violations");
+    if (overrides.spSan && r.ok && r.spSanViolations > 0) {
+        std::ostringstream san;
+        san << "frame sanitizer: " << r.spSanViolations
+            << " violation(s)";
+        for (CoreId c = 0; c < machine.numCores(); ++c) {
+            for (const SpadSanRecord &rec :
+                 machine.spadOf(c).sanRecords()) {
+                san << "\n  " << rec.str();
+            }
+        }
+        r.ok = false;
+        r.error = san.str();
+    }
 
     std::uint64_t llc_accesses = 0, llc_misses = 0;
     for (int b = 0; b < params.numBanks(); ++b) {

@@ -61,6 +61,13 @@ struct RunOverrides
      */
     bool perfLint = false;
     double perfLintMinFraction = 0.02;
+    /**
+     * Frame sanitizer (mem/scratchpad.hh): track a shadow state per
+     * scratchpad frame-region word and fail the run on any double
+     * fill, fill of a word being consumed, or consumption before
+     * handover — the dynamic ground truth for the static race pass.
+     */
+    bool spSan = false;
 
     bool operator==(const RunOverrides &) const = default;
 };
@@ -110,6 +117,9 @@ struct RunResult
     double staticIpcBound = 0;
     /** Best per-core simulated IPC (issued / non-halted cycles). */
     double measuredIpc = 0;
+
+    /** Frame-sanitizer violations (0 unless RunOverrides::spSan). */
+    std::uint64_t spSanViolations = 0;
 
     /** Field-wise (bit-identical) equality: determinism audits. */
     bool operator==(const RunResult &) const = default;

@@ -111,6 +111,8 @@ LlcBank::emitOneWord(Cycle)
                           wordBytes;
     resp.reqId = req.reqId;
     resp.destReg = req.destReg;
+    resp.srcCore = req.src;
+    resp.srcPc = req.srcPc;
 
     Packet pkt;
     pkt.srcNode = node_;

@@ -50,6 +50,7 @@ struct MemReq
     Addr addr = 0;             ///< Global byte address.
     Word data = 0;             ///< Store data (WriteWord).
     CoreId src = -1;           ///< Requesting core.
+    int srcPc = -1;            ///< Issuing pc (frame-sanitizer attribution).
     std::uint32_t reqId = 0;   ///< Matches ReadWord responses to LQ slots.
     RegIdx destReg = 0;        ///< Register target for ReadWord.
     int sizeWords = 1;         ///< Payload words (store data width).
@@ -78,6 +79,8 @@ struct MemResp
     Word spadOffset = 0;       ///< Byte offset within the scratchpad.
     std::uint32_t reqId = 0;
     RegIdx destReg = 0;
+    CoreId srcCore = -1;       ///< Requesting core (sanitizer attribution).
+    int srcPc = -1;            ///< Its issuing pc.
 };
 
 /** Remote scratchpad store (shuffles, Section 2.4). */
@@ -86,6 +89,8 @@ struct SpadWrite
     CoreId dst = -1;
     Word spadOffset = 0;       ///< Byte offset within the scratchpad.
     Word data = 0;
+    CoreId src = -1;           ///< Storing core (sanitizer attribution).
+    int srcPc = -1;            ///< Its issuing pc.
 };
 
 /** What a NoC packet carries. */

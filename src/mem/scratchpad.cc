@@ -1,9 +1,46 @@
 #include "mem/scratchpad.hh"
 
+#include <sstream>
+
 #include "sim/log.hh"
 
 namespace rockcress
 {
+
+namespace
+{
+
+/** Cap on retained violation records per scratchpad. */
+constexpr size_t kMaxSanRecords = 16;
+
+} // namespace
+
+const char *
+spadWordStateName(SpadWordState s)
+{
+    switch (s) {
+    case SpadWordState::Free:
+        return "free";
+    case SpadWordState::Filling:
+        return "filling";
+    case SpadWordState::Armed:
+        return "armed";
+    case SpadWordState::Consuming:
+        return "consuming";
+    }
+    return "?";
+}
+
+std::string
+SpadSanRecord::str() const
+{
+    std::ostringstream os;
+    os << "spad " << owner << " +" << offset << ": " << kind
+       << " by core " << accessCore << " pc " << accessPc
+       << " (word " << spadWordStateName(prior) << " since core "
+       << priorCore << " pc " << priorPc << ")";
+    return os.str();
+}
 
 Scratchpad::Scratchpad(CoreId owner, Addr size_bytes, int num_counters,
                        const StatScope &stats)
@@ -13,23 +50,66 @@ Scratchpad::Scratchpad(CoreId owner, Addr size_bytes, int num_counters,
     statReads_ = stats.counter("reads");
     statWrites_ = stats.counter("writes");
     statNetworkWrites_ = stats.counter("network_writes");
+    statSanViolations_ = stats.counter("san_violations");
+}
+
+void
+Scratchpad::enableSanitizer()
+{
+    sanEnabled_ = true;
+    shadow_.assign(
+        static_cast<size_t>(frameSize_) * static_cast<size_t>(numFrames_),
+        Shadow{});
+}
+
+void
+Scratchpad::sanFlag(const char *kind, Addr offset, const Shadow &prior,
+                    CoreId access_core, int access_pc) const
+{
+    *statSanViolations_ += 1;
+    ++sanCount_;
+    if (sanRecords_.size() >= kMaxSanRecords)
+        return;
+    SpadSanRecord r;
+    r.kind = kind;
+    r.owner = owner_;
+    r.offset = offset;
+    r.prior = prior.st;
+    r.accessCore = access_core;
+    r.accessPc = access_pc;
+    r.priorCore = prior.core;
+    r.priorPc = prior.pc;
+    sanRecords_.push_back(std::move(r));
 }
 
 Word
-Scratchpad::readWord(Addr offset) const
+Scratchpad::readWord(Addr offset, int pc) const
 {
     if (offset % wordBytes != 0 || offset >= size_)
         fatal("spad ", owner_, ": bad read offset ", offset);
     *statReads_ += 1;
+    if (sanEnabled_ && inFrameRegion(offset)) {
+        const Shadow &w = shadow_[offset / wordBytes];
+        // Reading a word the producer still owns (pre-handover).
+        if (w.st == SpadWordState::Filling ||
+            w.st == SpadWordState::Armed)
+            sanFlag("consume-before-handover", offset, w, owner_, pc);
+    }
     return words_[offset / wordBytes];
 }
 
 void
-Scratchpad::writeWord(Addr offset, Word data)
+Scratchpad::writeWord(Addr offset, Word data, int pc)
 {
     if (offset % wordBytes != 0 || offset >= size_)
         fatal("spad ", owner_, ": bad write offset ", offset);
     *statWrites_ += 1;
+    if (sanEnabled_ && inFrameRegion(offset)) {
+        const Shadow &w = shadow_[offset / wordBytes];
+        if (w.st == SpadWordState::Filling ||
+            w.st == SpadWordState::Armed)
+            sanFlag("consume-before-handover", offset, w, owner_, pc);
+    }
     words_[offset / wordBytes] = data;
 }
 
@@ -41,6 +121,7 @@ Scratchpad::configureFrames(int frame_size_words, int num_frames)
         numFrames_ = 0;
         counters_.clear();
         head_ = 0;
+        shadow_.clear();
         return;
     }
     if (frame_size_words <= 0 || num_frames <= 0)
@@ -59,6 +140,10 @@ Scratchpad::configureFrames(int frame_size_words, int num_frames)
     numFrames_ = num_frames;
     head_ = 0;
     counters_.assign(static_cast<size_t>(numCounters_), 0);
+    if (sanEnabled_)
+        shadow_.assign(static_cast<size_t>(frameSize_) *
+                           static_cast<size_t>(numFrames_),
+                       Shadow{});
 }
 
 bool
@@ -78,7 +163,18 @@ Scratchpad::frameDelta(Addr offset) const
 }
 
 void
-Scratchpad::networkWrite(Addr offset, Word data)
+Scratchpad::armSlot(int slot)
+{
+    size_t lo = static_cast<size_t>(slot) *
+                static_cast<size_t>(frameSize_);
+    for (size_t i = lo; i < lo + static_cast<size_t>(frameSize_); ++i)
+        if (shadow_[i].st == SpadWordState::Filling)
+            shadow_[i].st = SpadWordState::Armed;
+}
+
+void
+Scratchpad::networkWrite(Addr offset, Word data, CoreId src_core,
+                         int src_pc)
 {
     if (offset % wordBytes != 0 || offset >= size_)
         fatal("spad ", owner_, ": bad network write offset ", offset);
@@ -86,6 +182,24 @@ Scratchpad::networkWrite(Addr offset, Word data)
     words_[offset / wordBytes] = data;
     if (!inFrameRegion(offset))
         return;
+    // The sanitizer sees every arrival first, so protocol violations
+    // are attributed even when the fill also trips a hard guard
+    // (overfill / mis-paced run-ahead) below.
+    if (sanEnabled_) {
+        Shadow &w = shadow_[offset / wordBytes];
+        switch (w.st) {
+        case SpadWordState::Free:
+            w = Shadow{SpadWordState::Filling, src_core, src_pc};
+            break;
+        case SpadWordState::Filling:
+        case SpadWordState::Armed:
+            sanFlag("double-fill", offset, w, src_core, src_pc);
+            break;
+        case SpadWordState::Consuming:
+            sanFlag("fill-on-consume", offset, w, src_core, src_pc);
+            break;
+        }
+    }
     int delta = frameDelta(offset);
     if (delta >= numCounters_)
         fatal("spad ", owner_, ": arrival for frame +", delta,
@@ -94,6 +208,8 @@ Scratchpad::networkWrite(Addr offset, Word data)
     int &cnt = counters_[static_cast<size_t>(delta)];
     if (++cnt > frameSize_)
         fatal("spad ", owner_, ": frame overfilled");
+    if (sanEnabled_ && cnt == frameSize_)
+        armSlot(static_cast<int>((head_ + delta) % numFrames_));
 }
 
 bool
@@ -112,12 +228,28 @@ Scratchpad::headFrameByteOffset() const
 }
 
 void
+Scratchpad::beginConsume(int pc)
+{
+    if (!sanEnabled_ || frameSize_ == 0)
+        return;
+    size_t lo = headFrameByteOffset() / wordBytes;
+    for (size_t i = lo; i < lo + static_cast<size_t>(frameSize_); ++i)
+        shadow_[i] = Shadow{SpadWordState::Consuming, owner_, pc};
+}
+
+void
 Scratchpad::freeFrame()
 {
     if (frameSize_ == 0)
         fatal("spad ", owner_, ": remem with frames unconfigured");
     if (counters_[0] != frameSize_)
         fatal("spad ", owner_, ": remem of a non-full frame");
+    if (sanEnabled_) {
+        size_t lo = headFrameByteOffset() / wordBytes;
+        for (size_t i = lo; i < lo + static_cast<size_t>(frameSize_);
+             ++i)
+            shadow_[i] = Shadow{};
+    }
     // Shift counters left; the rightmost count becomes zero.
     for (size_t i = 0; i + 1 < counters_.size(); ++i)
         counters_[i] = counters_[i + 1];

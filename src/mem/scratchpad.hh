@@ -5,12 +5,22 @@
  * counters (five 10-bit counters in Rockcress) tracks how many words
  * have arrived in each open frame, allowing out-of-order arrival
  * within a frame while enforcing in-order consumption of frames.
+ *
+ * The scratchpad also hosts the optional *frame sanitizer*: a shadow
+ * state per frame-region word (free / filling / armed / consuming)
+ * that tracks the DAE handover protocol at word granularity and flags
+ * cross-core interleavings the static race detector
+ * (analysis/racecheck.hh) is supposed to reject — remote fills
+ * landing on words already filled or being consumed, and local
+ * accesses to words still owned by the producer. Violations are
+ * counted in the "san_violations" stat and the first few are kept as
+ * attributed records (writer core + pc, prior owner + pc).
  */
 
 #ifndef ROCKCRESS_MEM_SCRATCHPAD_HH
 #define ROCKCRESS_MEM_SCRATCHPAD_HH
 
-#include <deque>
+#include <string>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -18,6 +28,33 @@
 
 namespace rockcress
 {
+
+/** Frame-sanitizer shadow state of one frame-region word. */
+enum class SpadWordState : std::uint8_t
+{
+    Free,       ///< Not part of any in-flight frame round.
+    Filling,    ///< A remote fill has landed; frame not yet complete.
+    Armed,      ///< Frame counter full; awaiting frame_start handover.
+    Consuming,  ///< Handed to the consumer; owned until remem.
+};
+
+const char *spadWordStateName(SpadWordState s);
+
+/** One attributed frame-sanitizer violation. */
+struct SpadSanRecord
+{
+    std::string kind;       ///< double-fill | fill-on-consume |
+                            ///< consume-before-handover.
+    CoreId owner = -1;      ///< Scratchpad whose word was raced.
+    Addr offset = 0;        ///< Byte offset of the raced word.
+    SpadWordState prior = SpadWordState::Free;
+    CoreId accessCore = -1; ///< Core performing the offending access.
+    int accessPc = -1;      ///< Its instruction pc (-1 when unknown).
+    CoreId priorCore = -1;  ///< Core that drove the word into `prior`.
+    int priorPc = -1;
+
+    std::string str() const;
+};
 
 /** One core's scratchpad: functional storage plus DAE frame queue. */
 class Scratchpad
@@ -31,10 +68,13 @@ class Scratchpad
     Scratchpad(CoreId owner, Addr size_bytes, int num_counters,
                const StatScope &stats);
 
-    /** @name Functional access (local loads/stores, 2-cycle hit). */
+    /**
+     * @name Functional access (local loads/stores, 2-cycle hit).
+     * @param pc Issuing instruction pc (sanitizer attribution only).
+     */
     ///@{
-    Word readWord(Addr offset) const;
-    void writeWord(Addr offset, Word data);
+    Word readWord(Addr offset, int pc = -1) const;
+    void writeWord(Addr offset, Word data, int pc = -1);
     ///@}
 
     /**
@@ -48,9 +88,11 @@ class Scratchpad
     /**
      * A word arriving from the data network. Bumps the counter of the
      * frame containing the destination address when it lands in the
-     * frame region.
+     * frame region. src_core/src_pc attribute the originating store
+     * (sanitizer only; -1 when unknown).
      */
-    void networkWrite(Addr offset, Word data);
+    void networkWrite(Addr offset, Word data, CoreId src_core = -1,
+                      int src_pc = -1);
 
     /** @name DAE consumption (frame_start / remem). */
     ///@{
@@ -58,6 +100,11 @@ class Scratchpad
     bool frameReady() const;
     /** Byte offset of the head frame (frame_start writeback value). */
     Addr headFrameByteOffset() const;
+    /**
+     * Sanitizer hook: a frame_start just handed the head frame to the
+     * consumer at pc. Marks its words Consuming. No-op when disabled.
+     */
+    void beginConsume(int pc);
     /** Free the head frame: shift counters left (remem). */
     void freeFrame();
     ///@}
@@ -70,6 +117,20 @@ class Scratchpad
      */
     bool canAcceptFrameWrite(Addr offset) const;
 
+    /** @name Frame sanitizer (RunOverrides::spSan). */
+    ///@{
+    /** Turn on shadow-state tracking (off by default: zero cost). */
+    void enableSanitizer();
+    bool sanitizerEnabled() const { return sanEnabled_; }
+    /** Total violations flagged on this scratchpad. */
+    std::uint64_t sanViolationCount() const { return sanCount_; }
+    /** The first few violations, in flag order, with attribution. */
+    const std::vector<SpadSanRecord> &sanRecords() const
+    {
+        return sanRecords_;
+    }
+    ///@}
+
     /** Words per frame (0 when frames are disabled). */
     int frameSizeWords() const { return frameSize_; }
     int numFrames() const { return numFrames_; }
@@ -78,9 +139,22 @@ class Scratchpad
     Addr sizeBytes() const { return size_; }
 
   private:
+    /** Shadow word: state plus who drove it into that state. */
+    struct Shadow
+    {
+        SpadWordState st = SpadWordState::Free;
+        CoreId core = -1;
+        int pc = -1;
+    };
+
     /** Frame-queue slot delta of an offset relative to the head. */
     int frameDelta(Addr offset) const;
     bool inFrameRegion(Addr offset) const;
+    /** Record one violation (mutable: reads may flag too). */
+    void sanFlag(const char *kind, Addr offset, const Shadow &prior,
+                 CoreId access_core, int access_pc) const;
+    /** Counter for slot just filled: Filling words become Armed. */
+    void armSlot(int slot);
 
     CoreId owner_;
     Addr size_;
@@ -92,9 +166,15 @@ class Scratchpad
     long head_ = 0;        ///< Absolute index of the head frame.
     std::vector<int> counters_;
 
+    bool sanEnabled_ = false;
+    std::vector<Shadow> shadow_;   ///< One per frame-region word.
+    mutable std::uint64_t sanCount_ = 0;
+    mutable std::vector<SpadSanRecord> sanRecords_;
+
     std::uint64_t *statReads_;
     std::uint64_t *statWrites_;
     std::uint64_t *statNetworkWrites_;
+    std::uint64_t *statSanViolations_;
 };
 
 } // namespace rockcress

@@ -195,9 +195,26 @@ emitRandomOps(Assembler &as, Rng &rng, const CaseSpec &c)
         as.predEq(x(0), x(0));
 }
 
+/**
+ * Race-mode program shaping: schedule knobs that squeeze the fill
+ * window (shallow run-ahead issues the consumer early; a 5-frame ring
+ * keeps the rotator wrapping hot) plus the balanced mutation — one
+ * fill slice emitted twice at the same offset register while another
+ * is dropped, so per-frame arrival totals still equal the frame size
+ * and the program completes; only the duplicated words land on a
+ * still-filling shadow state.
+ */
+struct RaceMut
+{
+    bool racy = false;
+    int dupSlice = 0;
+    int dropSlice = 0;
+    int ahead = 4;
+};
+
 std::shared_ptr<const Program>
 buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
-             const MachineParams &params)
+             const MachineParams &params, const RaceMut *mut = nullptr)
 {
     SpmdBuilder b("fuzz_" + std::to_string(c.seed), cfg, params);
     Label init = b.declareMicrothread();
@@ -257,20 +274,27 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
     int w = c.w;
     Addr in = c.in;
     int iters = c.iters;
+    RaceMut m = mut ? *mut : RaceMut{};
     b.vectorPhase(F, c.numFrames, [=](Assembler &as) {
         as.vissue(init);
         as.la(x(5), in);
         DaeStreamRegs regs;
-        FrameRotator rot(as, regs.off, F * 4, cc.numFrames);
+        int regionBytes = F * 4 * cc.numFrames;
+        bool pow2 = (regionBytes & (regionBytes - 1)) == 0;
+        FrameRotator rot(as, regs.off, F * 4, cc.numFrames,
+                         pow2 ? regZero : x(20));
         rot.emitInit();
         DaeStreamSpec spec;
         spec.iters = iters;
         spec.frameBytes = F * 4;
         spec.numFrames = cc.numFrames;
+        spec.ahead = mut ? m.ahead : spec.ahead;
         spec.bodyMt = body;
         int vps = F / w;
         spec.fill = [=](Assembler &a, RegIdx off) {
             for (int si = 0; si < vps; ++si) {
+                if (m.racy && si == m.dropSlice)
+                    continue;
                 RegIdx areg = x(5);
                 RegIdx oreg = off;
                 if (si > 0) {
@@ -280,6 +304,8 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
                     oreg = x(14);
                 }
                 a.vload(areg, oreg, 0, w, VloadVariant::Group);
+                if (m.racy && si == m.dupSlice)
+                    a.vload(areg, oreg, 0, w, VloadVariant::Group);
             }
             a.addi(x(5), x(5), F * gs * 4);
         };
@@ -409,6 +435,153 @@ runFuzzCase(std::uint64_t seed, bool verbose)
     }
     (void)verbose;
     return res;
+}
+
+FuzzCaseResult
+runRaceFuzzCase(std::uint64_t seed, bool verbose)
+{
+    FuzzCaseResult res;
+    // A distinct stream constant keeps race-mode draws independent of
+    // the co-simulation campaign at the same seed.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xace5ULL);
+    CaseSpec c = drawCase(rng, seed);
+
+    // Race-prone schedule: tight or standard frame ring, shallow to
+    // full run-ahead (shallow issues the consumer early, maximizing
+    // fill/consume overlap for the sanitizer's clean leg).
+    c.numFrames = rng.below(2) == 0 ? 5 : 8;
+    RaceMut mut;
+    mut.ahead = 1 + static_cast<int>(rng.below(4));
+    mut.racy = rng.below(2) == 0;
+    if (mut.racy) {
+        if (c.w == c.F)
+            c.w = c.F / 2;  // Need >= 2 slices: duplicate one, drop one.
+        int vps = c.F / c.w;
+        mut.dupSlice = static_cast<int>(rng.below(vps));
+        mut.dropSlice = (mut.dupSlice + 1 +
+                         static_cast<int>(rng.below(vps - 1))) % vps;
+    }
+    res.shape = c.describe() + " nf=" + std::to_string(c.numFrames) +
+                " ahead=" + std::to_string(mut.ahead) +
+                (mut.racy ? " RACY" : " clean");
+
+    BenchConfig cfg;
+    cfg.name = "FUZZ";
+    cfg.groupSize = c.geo.gs;
+    cfg.simdWords = c.simd ? 4 : 1;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+
+    MachineParams params = machineFor(cfg, c.geo.cols, c.geo.rows);
+    params.heapBytes = 1u << 20;
+
+    try {
+        Machine machine(params);
+        Addr inWords = static_cast<Addr>(c.iters) * c.F * c.geo.gs;
+        for (Addr i = 0; i < inWords; ++i) {
+            float f =
+                0.25f + 0.75f * static_cast<float>(rng.uniform());
+            machine.mem().writeWord(c.in + i * 4, floatToWord(f));
+        }
+
+        auto prog = buildProgram(c, rng, cfg, params, &mut);
+        machine.loadAll(prog);
+        for (int g = 0; g < c.groups; ++g) {
+            GroupPlan plan;
+            for (int i = 0; i < c.tpg; ++i)
+                plan.chain.push_back(g * c.tpg + i);
+            machine.planGroup(plan);
+        }
+
+        // Static leg. The mutation must never trip any other pass —
+        // a non-race finding means the generator (not the program)
+        // is broken.
+        VerifyReport rep = verifyProgram(*prog, cfg, params);
+        for (const Diagnostic &d : rep.diagnostics) {
+            if (d.check != Check::Race) {
+                res.error = "non-race finding on generated program:\n" +
+                            rep.text(*prog);
+                return res;
+            }
+        }
+        bool staticRace = rep.has(Check::Race);
+        if (staticRace) {
+            if (rep.races.empty()) {
+                res.error = "race diagnostic without a structured "
+                            "race finding";
+                return res;
+            }
+            const RaceFinding &f = rep.races.front();
+            if (f.producerPath.empty() || f.consumerPath.empty() ||
+                f.producerPc < 0 || f.consumerPc < 0 ||
+                f.byteLo >= f.byteHi) {
+                res.error =
+                    "race finding lacks a two-sided witness: " +
+                    f.message;
+                return res;
+            }
+        }
+
+        // Dynamic leg: sanitizer on, verifier verdict ignored — the
+        // machine is the ground truth.
+        for (CoreId core = 0; core < machine.numCores(); ++core)
+            machine.spadOf(core).enableSanitizer();
+        machine.run(20'000'000);
+        std::uint64_t violations = 0;
+        std::string firstRec;
+        for (CoreId core = 0; core < machine.numCores(); ++core) {
+            const Scratchpad &sp = machine.spadOf(core);
+            violations += sp.sanViolationCount();
+            if (firstRec.empty() && !sp.sanRecords().empty())
+                firstRec = sp.sanRecords().front().str();
+        }
+
+        // The differential: the two layers must agree, and mutated
+        // programs must be caught by both.
+        bool dynRace = violations > 0;
+        if (staticRace != dynRace || staticRace != mut.racy) {
+            std::ostringstream os;
+            os << "race differential mismatch: mutated=" << mut.racy
+               << " static=" << staticRace << " sanitizer="
+               << violations << " violation(s)";
+            if (staticRace)
+                os << "\n  static: " << rep.races.front().message;
+            if (!firstRec.empty())
+                os << "\n  dynamic: " << firstRec;
+            res.error = os.str();
+            return res;
+        }
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    (void)verbose;
+    return res;
+}
+
+FuzzSummary
+runRaceFuzz(const FuzzOptions &opts)
+{
+    FuzzSummary sum;
+    std::vector<std::string> geoms;
+    for (int i = 0; i < opts.seeds; ++i) {
+        std::uint64_t seed =
+            opts.baseSeed + static_cast<std::uint64_t>(i);
+        FuzzCaseResult r = runRaceFuzzCase(seed, opts.verbose);
+        std::string geo = r.shape.substr(0, r.shape.find(' '));
+        if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
+            geoms.push_back(geo);
+        if (r.ok) {
+            ++sum.passed;
+        } else {
+            ++sum.failed;
+            sum.failures.push_back("seed " + std::to_string(seed) +
+                                   " (" + r.shape + "): " + r.error);
+        }
+    }
+    std::sort(geoms.begin(), geoms.end());
+    sum.geometries = geoms;
+    return sum;
 }
 
 FuzzSummary

@@ -53,6 +53,20 @@ struct FuzzSummary
 /** Run the full campaign. */
 FuzzSummary runFuzz(const FuzzOptions &opts);
 
+/**
+ * Race-differential mode: generate programs under a race-prone
+ * schedule (shallow run-ahead, tight frame rings, overlapping
+ * producer offsets) and mutate half of them with a balanced
+ * duplicate-fill/dropped-fill pair, then require the static race
+ * verdict (analysis/racecheck.hh) and the frame sanitizer's dynamic
+ * verdict (mem/scratchpad.hh) to agree on every program: mutated
+ * programs must be caught by BOTH layers, clean ones by NEITHER.
+ */
+FuzzCaseResult runRaceFuzzCase(std::uint64_t seed, bool verbose = false);
+
+/** Run the full race-differential campaign. */
+FuzzSummary runRaceFuzz(const FuzzOptions &opts);
+
 } // namespace rockcress
 
 #endif // ROCKCRESS_REF_FUZZ_HH

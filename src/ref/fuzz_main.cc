@@ -4,7 +4,11 @@
  * vector-group programs and cross-checks the cycle-level machine
  * against the functional reference (commit streams + final memory).
  *
- *   ref_fuzz [--seeds N] [--base B] [--verbose]
+ *   ref_fuzz [--seeds N] [--base B] [--race] [--verbose]
+ *
+ * With --race, runs the race-differential campaign instead: mutated
+ * and clean programs where the static race verdict must match the
+ * frame sanitizer's dynamic verdict on every seed.
  *
  * Exits nonzero on the first summary with failures.
  */
@@ -19,18 +23,23 @@ int
 main(int argc, char **argv)
 {
     rockcress::FuzzOptions opts;
+    bool race = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
             opts.seeds = std::atoi(argv[++i]);
         } else if (!std::strcmp(argv[i], "--base") && i + 1 < argc) {
             opts.baseSeed =
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--race")) {
+            race = true;
         } else if (!std::strcmp(argv[i], "--verbose")) {
             opts.verbose = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--seeds N] [--base B] [--verbose]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--seeds N] [--base B] [--race] "
+                "[--verbose]\n",
+                argv[0]);
             return 2;
         }
     }
@@ -40,7 +49,8 @@ main(int argc, char **argv)
             std::uint64_t seed =
                 opts.baseSeed + static_cast<std::uint64_t>(i);
             rockcress::FuzzCaseResult r =
-                rockcress::runFuzzCase(seed, true);
+                race ? rockcress::runRaceFuzzCase(seed, true)
+                     : rockcress::runFuzzCase(seed, true);
             std::printf("seed %llu: %s [%s]\n",
                         static_cast<unsigned long long>(seed),
                         r.ok ? "ok" : "FAIL", r.shape.c_str());
@@ -53,7 +63,8 @@ main(int argc, char **argv)
         return 0;
     }
 
-    rockcress::FuzzSummary sum = rockcress::runFuzz(opts);
+    rockcress::FuzzSummary sum =
+        race ? rockcress::runRaceFuzz(opts) : rockcress::runFuzz(opts);
     std::printf("ref_fuzz: %d passed, %d failed; geometries:",
                 sum.passed, sum.failed);
     for (const auto &g : sum.geometries)

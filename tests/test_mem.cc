@@ -221,3 +221,127 @@ TEST(Scratchpad, NonFrameRegionWritesDontCount)
     EXPECT_EQ(sp.readWord(outside), 42u);
     EXPECT_FALSE(sp.frameReady());
 }
+
+TEST(Scratchpad, FillWrapsAcrossRegionBoundary)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp8"));
+    sp.configureFrames(4, 8);   // 128-byte circular region.
+    // Advance the head to the last frame of the region.
+    for (Addr fr = 0; fr < 7; ++fr) {
+        for (Addr w = 0; w < 4; ++w)
+            sp.networkWrite(fr * 16 + w * 4, 1);
+        ASSERT_TRUE(sp.frameReady());
+        sp.freeFrame();
+    }
+    EXPECT_EQ(sp.headFrameByteOffset(), 112u);
+    // The in-flight window now spans the circular boundary: frame 7
+    // (head) and next round's frame 0 (head+1) fill concurrently,
+    // words interleaved across the wrap.
+    sp.networkWrite(0, 21);
+    sp.networkWrite(4, 22);
+    sp.networkWrite(112, 11);
+    EXPECT_FALSE(sp.frameReady());
+    sp.networkWrite(116, 12);
+    sp.networkWrite(120, 13);
+    sp.networkWrite(124, 14);
+    EXPECT_TRUE(sp.frameReady());
+    sp.freeFrame();
+    EXPECT_EQ(sp.headFrameByteOffset(), 0u);   // Wrapped.
+    EXPECT_FALSE(sp.frameReady());             // Frame 0 half full.
+    sp.networkWrite(8, 23);
+    sp.networkWrite(12, 24);
+    EXPECT_TRUE(sp.frameReady());
+    EXPECT_EQ(sp.readWord(0), 21u);
+    EXPECT_EQ(sp.readWord(12), 24u);
+}
+
+TEST(Scratchpad, BackToBackReuseUnderAllCounters)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp9"));
+    sp.enableSanitizer();
+    sp.configureFrames(2, 8);
+    // Keep all five hardware counters occupied while streaming three
+    // full rotations of the region: fill five frames ahead, then free
+    // one / top up one per step. Every counter and every region slot
+    // gets reused back to back.
+    auto fill = [&sp](int fr) {
+        sp.networkWrite(static_cast<Addr>(fr % 8) * 8, 100 + fr, 1,
+                        fr);
+        sp.networkWrite(static_cast<Addr>(fr % 8) * 8 + 4, 200 + fr, 1,
+                        fr);
+    };
+    for (int fr = 0; fr < 5; ++fr)
+        fill(fr);
+    for (int fr = 0; fr < 24; ++fr) {
+        ASSERT_TRUE(sp.frameReady());
+        EXPECT_EQ(sp.headFrameByteOffset(),
+                  static_cast<Addr>(fr % 8) * 8);
+        sp.beginConsume(fr);
+        EXPECT_EQ(sp.readWord(sp.headFrameByteOffset()),
+                  static_cast<Word>(100 + fr));
+        EXPECT_EQ(sp.readWord(sp.headFrameByteOffset() + 4),
+                  static_cast<Word>(200 + fr));
+        sp.freeFrame();
+        if (fr + 5 < 24)
+            fill(fr + 5);
+    }
+    EXPECT_FALSE(sp.frameReady());
+    // A correctly paced fill/consume stream is sanitizer-clean.
+    EXPECT_EQ(sp.sanViolationCount(), 0u);
+}
+
+TEST(Scratchpad, SanitizerFlagsDoubleFill)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp10"));
+    sp.enableSanitizer();
+    sp.configureFrames(4, 8);
+    sp.networkWrite(0, 1, 2, 10);
+    sp.networkWrite(0, 2, 3, 11);   // Same word, still filling.
+    EXPECT_EQ(sp.sanViolationCount(), 1u);
+    ASSERT_EQ(sp.sanRecords().size(), 1u);
+    const SpadSanRecord &r = sp.sanRecords().front();
+    EXPECT_EQ(r.kind, "double-fill");
+    EXPECT_EQ(r.prior, SpadWordState::Filling);
+    EXPECT_EQ(r.priorCore, 2);
+    EXPECT_EQ(r.priorPc, 10);
+    EXPECT_EQ(r.accessCore, 3);
+    EXPECT_EQ(r.accessPc, 11);
+}
+
+TEST(Scratchpad, SanitizerFlagsFillOnConsume)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp11"));
+    sp.enableSanitizer();
+    sp.configureFrames(2, 8);
+    sp.networkWrite(0, 1, 2, 10);
+    sp.networkWrite(4, 2, 2, 11);
+    ASSERT_TRUE(sp.frameReady());
+    sp.beginConsume(20);
+    // The sanitizer attributes the violation before the arrival trips
+    // the hard overfill guard.
+    EXPECT_THROW(sp.networkWrite(0, 9, 3, 12), FatalError);
+    EXPECT_EQ(sp.sanViolationCount(), 1u);
+    ASSERT_EQ(sp.sanRecords().size(), 1u);
+    EXPECT_EQ(sp.sanRecords().front().kind, "fill-on-consume");
+    EXPECT_EQ(sp.sanRecords().front().prior, SpadWordState::Consuming);
+}
+
+TEST(Scratchpad, SanitizerFlagsConsumeBeforeHandover)
+{
+    Scratchpad sp(0, 4096, 5, scope("sp12"));
+    sp.enableSanitizer();
+    sp.configureFrames(2, 8);
+    sp.networkWrite(0, 1, 2, 10);
+    sp.readWord(0, 30);             // Word still Filling.
+    EXPECT_EQ(sp.sanViolationCount(), 1u);
+    EXPECT_EQ(sp.sanRecords().front().kind, "consume-before-handover");
+    sp.networkWrite(4, 2, 2, 11);   // Frame completes: words Armed.
+    sp.writeWord(4, 7, 31);         // Pre-handover write also flags.
+    EXPECT_EQ(sp.sanViolationCount(), 2u);
+    EXPECT_EQ(sp.sanRecords().back().prior, SpadWordState::Armed);
+    // After the frame_start handover, consumption is clean.
+    sp.beginConsume(40);
+    sp.readWord(0, 41);
+    sp.writeWord(4, 8, 42);
+    EXPECT_EQ(sp.sanViolationCount(), 2u);
+}

@@ -15,15 +15,24 @@
  * number of (bench, config) pairs with at least one diagnostic
  * (clamped to 125), so "no findings" is exit 0 — the property
  * scripts/analyze_all.sh gates on.
+ *
+ * Pairs are analyzed in parallel on a thread pool sized by
+ * ROCKCRESS_JOBS (default: hardware concurrency), but every byte of
+ * output — stderr finding lines, per-pair files, the stdout array —
+ * is emitted in pair order after the pool drains, so -j1 and -j8
+ * runs are byte-identical.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/perfbound.hh"
 #include "analysis/verifier.hh"
 #include "exp/json.hh"
+#include "exp/pool.hh"
 #include "kernels/common.hh"
 #include "machine/machine.hh"
 
@@ -92,6 +101,30 @@ perfToJson(const PerfBoundReport &r)
     return j;
 }
 
+Json
+raceToJson(const RaceFinding &f)
+{
+    Json j = Json::object();
+    j["producerPc"] = Json(static_cast<std::uint64_t>(f.producerPc));
+    j["consumerPc"] = Json(static_cast<std::uint64_t>(f.consumerPc));
+    j["byteLo"] = Json(static_cast<std::uint64_t>(f.byteLo));
+    j["byteHi"] = Json(static_cast<std::uint64_t>(f.byteHi));
+    j["absoluteRange"] = Json(f.absoluteRange);
+    j["slotFirst"] = Json(static_cast<std::uint64_t>(f.slotFirst));
+    j["slotLast"] = Json(static_cast<std::uint64_t>(f.slotLast));
+    j["routine"] = Json(f.routine);
+    j["message"] = Json(f.message);
+    Json pp = Json::array();
+    for (int pc : f.producerPath)
+        pp.push(Json(static_cast<std::uint64_t>(pc)));
+    j["producerPath"] = std::move(pp);
+    Json cp = Json::array();
+    for (int pc : f.consumerPath)
+        cp.push(Json(static_cast<std::uint64_t>(pc)));
+    j["consumerPath"] = std::move(cp);
+    return j;
+}
+
 /** Analyze one pair; returns the report and whether it was clean. */
 Json
 analyzeOne(const std::string &bench, const std::string &config,
@@ -120,10 +153,29 @@ analyzeOne(const std::string &bench, const std::string &config,
     for (const Diagnostic &d : report.diagnostics)
         diags.push(diagnosticToJson(d, *program));
     j["diagnostics"] = std::move(diags);
+    Json races = Json::array();
+    for (const RaceFinding &f : report.races)
+        races.push(raceToJson(f));
+    j["races"] = std::move(races);
     j["ok"] = Json(report.ok());
     j["perf"] = perfToJson(computePerfBound(*program, cfg, params));
     clean = report.ok();
     return j;
+}
+
+int
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("ROCKCRESS_JOBS")) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+        std::fprintf(stderr,
+                     "rc_analyze: ignoring ROCKCRESS_JOBS='%s'\n",
+                     env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 bool
@@ -169,28 +221,46 @@ main(int argc, char **argv)
     if (configs.empty())
         configs = allConfigNames();
 
+    struct Pair
+    {
+        std::string bench;
+        std::string config;
+        Json report;
+        bool clean = true;
+    };
+    std::vector<Pair> pairs;
+    for (const std::string &bench : benches)
+        for (const std::string &config : configs)
+            pairs.push_back({bench, config, Json(), true});
+
+    // Fan the pairs out, but buffer every result in its slot and emit
+    // all output in pair order afterwards: -j1 and -jN byte-identical.
+    {
+        ThreadPool pool(jobsFromEnv());
+        for (Pair &pr : pairs)
+            pool.submit([&pr] {
+                pr.report = analyzeOne(pr.bench, pr.config, pr.clean);
+            });
+        pool.wait();
+    }
+
     int failures = 0;
     Json all = Json::array();
-    for (const std::string &bench : benches) {
-        for (const std::string &config : configs) {
-            bool clean = true;
-            Json j = analyzeOne(bench, config, clean);
-            if (!clean) {
-                ++failures;
-                std::fprintf(stderr, "rc_analyze: findings in %s/%s\n",
-                             bench.c_str(), config.c_str());
-            }
-            if (outDir.empty()) {
-                all.push(std::move(j));
-            } else {
-                std::string path =
-                    outDir + "/" + bench + "_" + config + ".json";
-                if (!writeFile(path, j.dump() + "\n")) {
-                    std::fprintf(stderr,
-                                 "rc_analyze: cannot write %s\n",
-                                 path.c_str());
-                    return 126;
-                }
+    for (Pair &pr : pairs) {
+        if (!pr.clean) {
+            ++failures;
+            std::fprintf(stderr, "rc_analyze: findings in %s/%s\n",
+                         pr.bench.c_str(), pr.config.c_str());
+        }
+        if (outDir.empty()) {
+            all.push(std::move(pr.report));
+        } else {
+            std::string path =
+                outDir + "/" + pr.bench + "_" + pr.config + ".json";
+            if (!writeFile(path, pr.report.dump() + "\n")) {
+                std::fprintf(stderr, "rc_analyze: cannot write %s\n",
+                             path.c_str());
+                return 126;
             }
         }
     }
