@@ -52,6 +52,21 @@ benchList()
 }
 
 /**
+ * ROCKCRESS_TRACE=1 runs every manycore point of a figure sweep with
+ * the event trace attached (DESIGN.md S5h). The trace is an observer
+ * — every table is unchanged — but each full-coverage run is then
+ * cross-checked exactly against its flat CPI-stack counters, turning
+ * a figure regeneration into a self-test of the cycle accounting.
+ * Traced points key the result cache separately from untraced ones.
+ */
+inline bool
+traceFromEnv()
+{
+    const char *env = std::getenv("ROCKCRESS_TRACE");
+    return env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+/**
  * A declared batch of simulation points. Declare every point with
  * add()/addGpu(), run() the batch once, then index results by the
  * returned handles. Identical points collapse onto one simulation.
@@ -66,7 +81,10 @@ class Sweep
     add(const std::string &bench, const std::string &config,
         const RunOverrides &overrides = {})
     {
-        points_.push_back(RunPoint{bench, config, overrides});
+        RunOverrides o = overrides;
+        if (traceFromEnv())
+            o.trace = true;
+        points_.push_back(RunPoint{bench, config, o});
         return points_.size() - 1;
     }
 

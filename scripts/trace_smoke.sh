@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Trace-subsystem smoke, the end-to-end gate for src/trace:
+#
+#   1. `rc_trace summarize` over the full golden suite must report
+#      "cross-check vs flat counters: OK" for every pair — the
+#      trace-rebuilt CPI stack equals the flat statistics exactly.
+#   2. The summarize output must be byte-identical at ROCKCRESS_JOBS=1
+#      and ROCKCRESS_JOBS=4 (deterministic parallel fan-out).
+#   3. An exported trace must be valid JSON in the Chrome trace-event
+#      shape Perfetto loads (non-empty traceEvents with ph records).
+#
+# Full-coverage traces of a golden pair hold ~10M 24-byte events, so
+# the parallel-determinism and export passes bound the capture with
+# --max; only the serial full-coverage pass traces everything.
+#
+# Usage: scripts/trace_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+rc="$build_dir/tools/rc_trace"
+if [[ ! -x "$rc" ]]; then
+    echo "trace_smoke: $rc not built" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "trace_smoke: full-coverage summarize of the golden suite" >&2
+ROCKCRESS_JOBS=1 "$rc" summarize > "$tmp/full.txt"
+ok_lines=$(grep -c "cross-check vs flat counters: OK" "$tmp/full.txt")
+if [[ "$ok_lines" -ne 5 ]]; then
+    echo "trace_smoke: expected 5 cross-check OK lines, got $ok_lines" >&2
+    cat "$tmp/full.txt" >&2
+    exit 1
+fi
+
+echo "trace_smoke: job-count determinism (bounded capture)" >&2
+ROCKCRESS_JOBS=1 "$rc" summarize --max 1000000 > "$tmp/j1.txt"
+ROCKCRESS_JOBS=4 "$rc" summarize --max 1000000 > "$tmp/j4.txt"
+if ! cmp -s "$tmp/j1.txt" "$tmp/j4.txt"; then
+    echo "trace_smoke: summarize output differs across job counts" >&2
+    diff "$tmp/j1.txt" "$tmp/j4.txt" >&2 || true
+    exit 1
+fi
+
+echo "trace_smoke: Perfetto export shape" >&2
+"$rc" export --out "$tmp" --max 200000 atax/V4 >&2
+json="$tmp/atax_V4.trace.json"
+if [[ ! -s "$json" ]]; then
+    echo "trace_smoke: $json missing or empty" >&2
+    exit 1
+fi
+python3 - "$json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+phases = {e["ph"] for e in events}
+assert "M" in phases, "no metadata records"
+assert "X" in phases, "no duration spans"
+assert all("ph" in e for e in events)
+print(f"trace_smoke: {len(events)} trace events, phases {sorted(phases)}",
+      file=sys.stderr)
+EOF
+
+echo "trace_smoke: PASS" >&2

@@ -59,7 +59,84 @@ Core::setProgram(std::shared_ptr<const Program> program, int entry_pc)
     halted_ = false;
     barrierWaiting_ = false;
     joinPending_ = false;
+    cycleStat_ = nullptr;
+    spanOpen_ = false;
+    issuedPc_ = -1;
     icache_.flush();
+}
+
+// --- Exclusive CPI accounting and trace spans --------------------------------
+
+void
+Core::stallCycle(std::uint64_t *counter)
+{
+    *counter += 1;
+    cycleStat_ = counter;
+}
+
+void
+Core::chargeBackpressure()
+{
+    // A busy cycle stays busy: the frontend being blocked did not cost
+    // an issue slot. A cycle already attributed to backpressure is
+    // never charged twice (pumpInet and fetch can both block).
+    if (cycleStat_ == statIssued_ ||
+        cycleStat_ == statStallBackpressure_) {
+        return;
+    }
+    if (cycleStat_ != nullptr)
+        *cycleStat_ -= 1;
+    *statStallBackpressure_ += 1;
+    cycleStat_ = statStallBackpressure_;
+}
+
+void
+Core::traceCycle(Cycle now)
+{
+    if (cycleStat_ == nullptr) {
+        // Halted this whole cycle: close any open span.
+        flushTraceSpan();
+        return;
+    }
+    TraceCause cause = TraceCause::Other;
+    if (cycleStat_ == statIssued_)
+        cause = TraceCause::Busy;
+    else if (cycleStat_ == statStallFrame_)
+        cause = TraceCause::Frame;
+    else if (cycleStat_ == statStallInetInput_)
+        cause = TraceCause::InetInput;
+    else if (cycleStat_ == statStallBackpressure_)
+        cause = TraceCause::Backpressure;
+    else if (cycleStat_ == statStallDae_)
+        cause = TraceCause::Dae;
+
+    if (spanOpen_ && spanCause_ == cause &&
+        spanStart_ + spanLen_ == now) {
+        ++spanLen_;
+        return;
+    }
+    flushTraceSpan();
+    spanOpen_ = true;
+    spanCause_ = cause;
+    spanStart_ = now;
+    spanLen_ = 1;
+    spanPc_ = issuedPc_;
+}
+
+void
+Core::flushTraceSpan()
+{
+    if (trace_ == nullptr || !spanOpen_)
+        return;
+    TraceEvent ev;
+    ev.cycle = static_cast<std::uint32_t>(spanStart_);
+    ev.tile = static_cast<std::uint16_t>(id_);
+    ev.kind = static_cast<std::uint8_t>(TraceKind::CoreSpan);
+    ev.sub = static_cast<std::uint8_t>(spanCause_);
+    ev.pc = spanPc_;
+    ev.a = spanLen_;
+    trace_->record(ev);
+    spanOpen_ = false;
 }
 
 Word
@@ -711,22 +788,23 @@ Core::issue(Cycle now)
     }
 
     if (static_cast<int>(rob_.size()) >= params_.robEntries) {
-        *statStallOther_ += 1;
+        stallCycle(statStallOther_);
         return;
     }
 
     if (decodeQueue_.empty() || decodeQueue_.front().readyAt > now) {
         if (vector_mode && !mtActive_ && !inet_.hasMsg(id_) &&
             decodeQueue_.empty() && !fetchBusy_) {
-            *statStallInetInput_ += 1;
+            stallCycle(statStallInetInput_);
         } else {
-            *statStallOther_ += 1;
+            stallCycle(statStallOther_);
         }
         return;
     }
 
     const Instruction inst = decodeQueue_.front().inst;
     const int instPc = decodeQueue_.front().pc;
+    issuedPc_ = instPc;
     Opcode op = inst.op;
 
     auto retire_simple = [&](Cycle done_at) {
@@ -738,6 +816,7 @@ Core::issue(Cycle now)
         e.doneAt = done_at;
         rob_.push_back(std::move(e));
         *statIssued_ += 1;
+        cycleStat_ = statIssued_;
     };
 
     // Predication: with the flag clear, non-predicate instructions
@@ -752,9 +831,9 @@ Core::issue(Cycle now)
     bool load_wait = false;
     if (!sourcesReady(inst, load_wait) || !destReady(inst)) {
         if (load_wait)
-            *statStallFrame_ += 1;
+            stallCycle(statStallFrame_);
         else
-            *statStallOther_ += 1;
+            stallCycle(statStallOther_);
         return;
     }
 
@@ -824,7 +903,7 @@ Core::issue(Cycle now)
         const AddrMap &map = env_.addrMap();
         if (map.isGlobal(addr)) {
             if (static_cast<int>(lq_.size()) >= params_.lqEntries) {
-                *statStallOther_ += 1;
+                stallCycle(statStallOther_);
                 return;
             }
             decodeQueue_.pop_front();
@@ -840,6 +919,7 @@ Core::issue(Cycle now)
                 r->addr = addr;  // Value lands with the response.
             }
             *statIssued_ += 1;
+            cycleStat_ = statIssued_;
             return;
         }
         if (map.spadCore(addr) != id_)
@@ -912,7 +992,7 @@ Core::issue(Cycle now)
 
       case Opcode::VLOAD:
         if (!vloadGuardOk(inst)) {
-            *statStallDae_ += 1;
+            stallCycle(statStallDae_);
             return;
         }
         doVload(inst, now, instPc);
@@ -945,6 +1025,7 @@ Core::issue(Cycle now)
             rob_.push_back(std::move(e));
             attachRecord(inst, instPc);
             *statIssued_ += 1;
+            cycleStat_ = statIssued_;
             exitVectorMode(resume);
             return;
         }
@@ -955,7 +1036,7 @@ Core::issue(Cycle now)
 
       case Opcode::FRAME_START: {
         if (!spad_.frameReady()) {
-            *statStallFrame_ += 1;
+            stallCycle(statStallFrame_);
             return;
         }
         Word base = env_.addrMap().spadBase(id_) +
@@ -972,7 +1053,7 @@ Core::issue(Cycle now)
       }
 
       case Opcode::REMEM:
-        spad_.freeFrame();
+        spad_.freeFrame(instPc);
         retire_simple(now + 1);
         attachRecord(inst, instPc);
         return;
@@ -1000,7 +1081,7 @@ Core::issue(Cycle now)
                     joinPending_ = true;
                 }
                 if (!env_.groupFormed(id_)) {
-                    *statStallOther_ += 1;
+                    stallCycle(statStallOther_);
                     return;
                 }
                 joinPending_ = false;
@@ -1060,6 +1141,7 @@ Core::issue(Cycle now)
       case Opcode::HALT:
         halted_ = true;
         *statIssued_ += 1;
+        cycleStat_ = statIssued_;
         return;
 
       case Opcode::BARRIER:
@@ -1068,7 +1150,7 @@ Core::issue(Cycle now)
             barrierWaiting_ = true;
         }
         if (!env_.barrierReleased(id_)) {
-            *statStallOther_ += 1;
+            stallCycle(statStallOther_);
             return;
         }
         barrierWaiting_ = false;
@@ -1100,6 +1182,7 @@ Core::issue(Cycle now)
             }
         }
         *statIssued_ += 1;
+        cycleStat_ = statIssued_;
         if (isSimd(op))
             *statSimd_ += 1;
         else if (op == Opcode::MUL || op == Opcode::MULH)
@@ -1168,7 +1251,7 @@ Core::pumpInet(Cycle now)
         const InetMsg &msg = inet_.front(id_);
         bool must_forward = inet_.hasDownstream(id_);
         if (must_forward && !inet_.canSend(id_)) {
-            *statStallBackpressure_ += 1;
+            chargeBackpressure();
             return;
         }
         switch (msg.kind) {
@@ -1220,7 +1303,7 @@ Core::pumpInet(Cycle now)
             }
             bool must_forward = inet_.hasDownstream(id_);
             if (must_forward && !inet_.canSend(id_)) {
-                *statStallBackpressure_ += 1;
+                chargeBackpressure();
                 return;
             }
             DecodedOp d;
@@ -1263,7 +1346,7 @@ Core::fetch(Cycle now)
                        inet_.hasDownstream(id_);
         if (forward && !inet_.canSend(id_)) {
             forwardBlocked_ = true;
-            *statStallBackpressure_ += 1;
+            chargeBackpressure();
             return;  // Retry next cycle; fetch buffer holds the inst.
         }
         forwardBlocked_ = false;
@@ -1307,10 +1390,13 @@ Core::fetch(Cycle now)
 void
 Core::tick(Cycle now)
 {
+    cycleStat_ = nullptr;
     commit(now);
     issue(now);
     pumpInet(now);
     fetch(now);
+    if (trace_ != nullptr)
+        traceCycle(now);
 }
 
 } // namespace rockcress

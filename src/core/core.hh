@@ -28,6 +28,7 @@
 #include "noc/inet.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "trace/trace.hh"
 
 namespace rockcress
 {
@@ -97,6 +98,23 @@ class Core : public Ticked
     bool drainCosim(Cycle now);
     ///@}
 
+    /** @name Event tracing (RunOverrides::trace). */
+    ///@{
+    /**
+     * Attach (null: detach) the trace sink. While attached, every
+     * non-halted cycle extends or opens a CoreSpan whose cause is the
+     * cycle's exclusive CPI attribution; spans are emitted to the
+     * sink when the cause changes (or at flushTraceSpan).
+     */
+    void setTrace(TraceSink *sink) { trace_ = sink; }
+    /**
+     * Emit the still-open span, if any. The machine calls this after
+     * the simulation stops — the final span has no following
+     * cause-change to close it.
+     */
+    void flushTraceSpan();
+    ///@}
+
     /** @name Architectural state access (for tests). */
     ///@{
     Word readIntReg(int n) const;
@@ -140,6 +158,30 @@ class Core : public Ticked
     void issue(Cycle now);
     void pumpInet(Cycle now);
     void fetch(Cycle now);
+    ///@}
+
+    /**
+     * @name Exclusive per-cycle CPI accounting.
+     * Every non-halted cycle is attributed to exactly one counter —
+     * issued or one of the five stall causes — so that per core
+     * cycles == issued + stall_frame + stall_inet_input +
+     * stall_backpressure + stall_other + stall_dae holds as an
+     * identity (the baseline the trace aggregation reconciles
+     * against). issue() charges the primary attribution;
+     * pumpInet()/fetch() may re-attribute a stalled cycle to
+     * backpressure when the inet is what is actually blocking.
+     */
+    ///@{
+    /** Charge this cycle to a stall counter (from issue()). */
+    void stallCycle(std::uint64_t *counter);
+    /**
+     * The frontend hit inet backpressure this cycle: re-attribute a
+     * tentative stall to stall_backpressure. A busy cycle stays busy
+     * (the backpressure did not cost an issue slot).
+     */
+    void chargeBackpressure();
+    /** Close/extend the cycle's trace span (end of tick). */
+    void traceCycle(Cycle now);
     ///@}
 
     /** Execute the instruction functionally and write results. */
@@ -229,6 +271,18 @@ class Core : public Ticked
     CommitRecord *attachRecord(const Instruction &inst, int pc);
     /** Deliver one record to the sink (applies the fault hook). */
     void emitRecord(RobEntry &e, Cycle now);
+
+    // Event tracing (null: off; record sites cost one branch).
+    TraceSink *trace_ = nullptr;
+    bool spanOpen_ = false;
+    TraceCause spanCause_ = TraceCause::Busy;
+    Cycle spanStart_ = 0;
+    std::uint32_t spanLen_ = 0;
+    int spanPc_ = -1;
+    int issuedPc_ = -1;    ///< pc at the issue stage this cycle.
+
+    // Exclusive CPI attribution of the current cycle (see stallCycle).
+    std::uint64_t *cycleStat_ = nullptr;
 
     // Statistics.
     std::uint64_t *statCycles_;

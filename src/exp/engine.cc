@@ -1,5 +1,6 @@
 #include "exp/engine.hh"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,21 +16,28 @@
 namespace rockcress
 {
 
-namespace
-{
-
 int
 jobsFromEnv()
 {
     if (const char *env = std::getenv("ROCKCRESS_JOBS")) {
-        int v = std::atoi(env);
-        if (v >= 1)
-            return v;
-        warn("exp: ignoring ROCKCRESS_JOBS='", env, "'");
+        // Strict parse: the whole string must be one integer in
+        // range, so "4abc" or "" warn instead of silently running
+        // with whatever prefix atoi happened to accept.
+        errno = 0;
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (errno == 0 && end != env && *end == '\0' && v >= 1 &&
+            v <= 4096)
+            return static_cast<int>(v);
+        warn("exp: ignoring ROCKCRESS_JOBS='", env,
+             "' (want an integer in [1, 4096])");
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
+
+namespace
+{
 
 std::string
 cacheDirFromEnv()
@@ -41,8 +49,15 @@ cacheDirFromEnv()
 bool
 auditDefault()
 {
-    if (const char *env = std::getenv("ROCKCRESS_AUDIT"))
-        return std::atoi(env) != 0;
+    if (const char *env = std::getenv("ROCKCRESS_AUDIT")) {
+        errno = 0;
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (errno == 0 && end != env && *end == '\0')
+            return v != 0;
+        warn("exp: ignoring ROCKCRESS_AUDIT='", env,
+             "' (want an integer)");
+    }
 #ifndef NDEBUG
     return true;
 #else

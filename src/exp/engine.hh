@@ -51,6 +51,14 @@ struct SweepStats
     double wallSeconds = 0;
 };
 
+/**
+ * Worker-thread count from ROCKCRESS_JOBS: a strict full-string
+ * integer parse in [1, 4096]. Anything else — a partial number like
+ * "4abc", zero, negatives, overflow — warns and falls back to the
+ * hardware concurrency (1 when unknown).
+ */
+int jobsFromEnv();
+
 /** Thread-pooled, cache-memoized sweep runner. */
 class ExperimentEngine
 {

@@ -119,6 +119,22 @@ resultToJson(const RunResult &r)
     j["staticIpcBound"] = Json(r.staticIpcBound);
     j["measuredIpc"] = Json(r.measuredIpc);
     j["spSanViolations"] = Json(r.spSanViolations);
+    // Only traced runs carry a trace object, so untraced artifacts —
+    // including the golden snapshots — keep the pre-trace format
+    // byte for byte.
+    if (r.trace.enabled) {
+        Json t = Json::object();
+        t["events"] = Json(r.trace.events);
+        t["dropped"] = Json(r.trace.dropped);
+        t["coreSpans"] = Json(r.trace.coreSpans);
+        t["frameEvents"] = Json(r.trace.frameEvents);
+        t["nocLinkEvents"] = Json(r.trace.nocLinkEvents);
+        t["inetHopEvents"] = Json(r.trace.inetHopEvents);
+        t["llcEvents"] = Json(r.trace.llcEvents);
+        t["fullCoverage"] = Json(r.trace.fullCoverage);
+        t["cpiCrossChecked"] = Json(r.trace.cpiCrossChecked);
+        j["trace"] = std::move(t);
+    }
     return j;
 }
 
@@ -179,6 +195,23 @@ resultFromJson(const Json &j, RunResult &out)
     if (!j.has("hopCycles") ||
         !mapFromJson(j.at("hopCycles"), r.hopCycles))
         return false;
+    if (j.has("trace")) {
+        const Json &t = j.at("trace");
+        if (!t.isObj())
+            return false;
+        r.trace.enabled = true;
+        ok = readU64(t, "events", r.trace.events) &&
+             readU64(t, "dropped", r.trace.dropped) &&
+             readU64(t, "coreSpans", r.trace.coreSpans) &&
+             readU64(t, "frameEvents", r.trace.frameEvents) &&
+             readU64(t, "nocLinkEvents", r.trace.nocLinkEvents) &&
+             readU64(t, "inetHopEvents", r.trace.inetHopEvents) &&
+             readU64(t, "llcEvents", r.trace.llcEvents) &&
+             readBool(t, "fullCoverage", r.trace.fullCoverage) &&
+             readBool(t, "cpiCrossChecked", r.trace.cpiCrossChecked);
+        if (!ok)
+            return false;
+    }
     out = std::move(r);
     return true;
 }
@@ -200,6 +233,9 @@ overridesToJson(const RunOverrides &o)
     j["perfLint"] = Json(o.perfLint);
     j["perfLintMinFraction"] = Json(o.perfLintMinFraction);
     j["spSan"] = Json(o.spSan);
+    j["trace"] = Json(o.trace);
+    j["traceStartCycle"] = Json(o.traceStartCycle);
+    j["traceMaxEvents"] = Json(o.traceMaxEvents);
     return j;
 }
 

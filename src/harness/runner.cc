@@ -9,13 +9,14 @@
 #include "gpu/gpu.hh"
 #include "ref/cosim.hh"
 #include "sim/log.hh"
+#include "trace/aggregate.hh"
 
 namespace rockcress
 {
 
 RunResult
 runManycore(const std::string &bench, const std::string &config,
-            const RunOverrides &overrides)
+            const RunOverrides &overrides, TraceCapture *capture)
 {
     RunResult r;
     r.bench = bench;
@@ -33,6 +34,14 @@ runManycore(const std::string &bench, const std::string &config,
     if (overrides.spSan) {
         for (CoreId c = 0; c < machine.numCores(); ++c)
             machine.spadOf(c).enableSanitizer();
+    }
+    std::unique_ptr<TraceSink> sink;
+    if (overrides.trace) {
+        TraceOptions topts;
+        topts.startCycle = overrides.traceStartCycle;
+        topts.maxEventsPerCategory = overrides.traceMaxEvents;
+        sink = std::make_unique<TraceSink>(topts);
+        machine.attachTrace(sink.get());
     }
     auto benchmark = makeBenchmark(bench);
     try {
@@ -54,6 +63,8 @@ runManycore(const std::string &bench, const std::string &config,
             machine.attachCosim(checker.get());
         }
         r.cycles = machine.run(overrides.maxCycles);
+        if (sink)
+            machine.flushTrace();
         if (checker) {
             machine.drainCosim();
             std::string div = checker->finish(machine.mem());
@@ -82,6 +93,31 @@ runManycore(const std::string &bench, const std::string &config,
                    stats.sumSuffix(".stall_dae");
     r.vloadBytes = stats.sumSuffix(".vload_words") * wordBytes;
     r.nocWordHops = stats.get("noc.word_hops");
+
+    // The exclusive-attribution identity (Core::stallCycle): every
+    // non-halted cycle lands in exactly one CPI-stack counter. Checked
+    // on every run — traced or not — because the figures and the trace
+    // reconciliation both build on it.
+    if (r.ok) {
+        for (CoreId c = 0; c < machine.numCores(); ++c) {
+            std::string p = "core" + std::to_string(c) + ".";
+            std::uint64_t cyc = stats.get(p + "cycles");
+            std::uint64_t parts = stats.get(p + "issued") +
+                                  stats.get(p + "stall_frame") +
+                                  stats.get(p + "stall_inet_input") +
+                                  stats.get(p + "stall_backpressure") +
+                                  stats.get(p + "stall_other") +
+                                  stats.get(p + "stall_dae");
+            if (cyc != parts) {
+                std::ostringstream os;
+                os << "cpi identity: core " << c << " has " << cyc
+                   << " cycles but " << parts << " attributed";
+                r.ok = false;
+                r.error = os.str();
+                break;
+            }
+        }
+    }
 
     // Frame sanitizer: any flagged access fails the run with the
     // attributed records (the dynamic leg of the race differential).
@@ -146,6 +182,66 @@ runManycore(const std::string &bench, const std::string &config,
             r.ok = false;
             r.error = lint.str();
         }
+    }
+
+    // Traced run: summarize the capture and, on full coverage,
+    // reconcile the trace-rebuilt CPI stack against the flat counters
+    // — exactly, per core, since both observe the same attribution.
+    if (sink) {
+        TraceSummary &ts = r.trace;
+        ts.enabled = true;
+        ts.events = sink->recordedTotal();
+        ts.dropped = sink->droppedTotal();
+        ts.coreSpans = sink->recorded(TraceKind::CoreSpan);
+        ts.frameEvents = sink->recorded(TraceKind::Frame);
+        ts.nocLinkEvents = sink->recorded(TraceKind::NocLink);
+        ts.inetHopEvents = sink->recorded(TraceKind::InetHop);
+        ts.llcEvents = sink->recorded(TraceKind::LlcReq) +
+                       sink->recorded(TraceKind::LlcResp);
+        ts.fullCoverage = sink->fullCoverage();
+        if (ts.fullCoverage) {
+            TraceAggregate agg = aggregateTrace(*sink);
+            CpiTotals want;
+            want.cycles = r.coreCycles;
+            want.issued = r.issued;
+            want.stallFrame = r.stallFrame;
+            want.stallInet = r.stallInet;
+            want.stallBackpressure = r.stallBackpressure;
+            want.stallOther = stats.sumSuffix(".stall_other");
+            want.stallDae = stats.sumSuffix(".stall_dae");
+            std::string diff = crossCheckCpi(agg, want);
+            for (CoreId c = 0; diff.empty() && c < machine.numCores();
+                 ++c) {
+                std::string p = "core" + std::to_string(c) + ".";
+                CpiStack wc;
+                wc.busy = stats.get(p + "issued");
+                wc.frame = stats.get(p + "stall_frame");
+                wc.inetInput = stats.get(p + "stall_inet_input");
+                wc.backpressure = stats.get(p + "stall_backpressure");
+                wc.other = stats.get(p + "stall_other");
+                wc.dae = stats.get(p + "stall_dae");
+                CpiStack got;
+                auto it = agg.perCore.find(c);
+                if (it != agg.perCore.end())
+                    got = it->second;
+                if (!(got == wc)) {
+                    std::ostringstream os;
+                    os << "per-core stack of core " << c
+                       << " diverges from its counters (trace "
+                       << got.total() << " vs stats " << wc.total()
+                       << " attributed cycles)";
+                    diff = os.str();
+                }
+            }
+            if (diff.empty()) {
+                ts.cpiCrossChecked = true;
+            } else if (r.ok) {
+                r.ok = false;
+                r.error = "trace cross-check: " + diff;
+            }
+        }
+        if (capture != nullptr)
+            capture->sink = std::move(sink);
     }
 
     // Per-hop inet statistics and expander-only CPI stacks.

@@ -11,10 +11,12 @@
 #define ROCKCRESS_HARNESS_RUNNER_HH
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "energy/energy.hh"
 #include "kernels/common.hh"
+#include "trace/trace.hh"
 
 namespace rockcress
 {
@@ -68,6 +70,20 @@ struct RunOverrides
      * handover — the dynamic ground truth for the static race pass.
      */
     bool spSan = false;
+    /**
+     * Structured event tracing (src/trace): capture typed events —
+     * core CPI spans, frame lifecycle, NoC link occupancy, inet hops,
+     * LLC requests — into a per-run TraceSink. Purely an observer:
+     * cycle counts, statistics, and run artifacts of untraced fields
+     * are unchanged. A full-coverage trace is cross-checked exactly
+     * against the flat CPI-stack counters before the run is reported
+     * ok.
+     */
+    bool trace = false;
+    /** Skip events before this cycle (trace sampling window). */
+    Cycle traceStartCycle = 0;
+    /** Per-category event capacity; beyond it events are dropped. */
+    std::uint64_t traceMaxEvents = 16'777'216;
 
     bool operator==(const RunOverrides &) const = default;
 };
@@ -121,13 +137,27 @@ struct RunResult
     /** Frame-sanitizer violations (0 unless RunOverrides::spSan). */
     std::uint64_t spSanViolations = 0;
 
+    /** Event-trace summary (all-zero unless RunOverrides::trace). */
+    TraceSummary trace;
+
     /** Field-wise (bit-identical) equality: determinism audits. */
     bool operator==(const RunResult &) const = default;
 };
 
-/** Run a benchmark under a Table 3 configuration on the manycore. */
+/** Out-param keeping a traced run's events alive for export. */
+struct TraceCapture
+{
+    std::unique_ptr<TraceSink> sink;
+};
+
+/**
+ * Run a benchmark under a Table 3 configuration on the manycore.
+ * With overrides.trace, pass `capture` to receive the event sink
+ * (otherwise events are discarded with the machine).
+ */
 RunResult runManycore(const std::string &bench, const std::string &config,
-                      const RunOverrides &overrides = {});
+                      const RunOverrides &overrides = {},
+                      TraceCapture *capture = nullptr);
 
 /** Run a benchmark on the GPU model. */
 RunResult runGpu(const std::string &bench);

@@ -135,6 +135,28 @@ Machine::drainCosim()
 }
 
 void
+Machine::attachTrace(TraceSink *sink)
+{
+    if (sink != nullptr)
+        sink->setClock(sim_.nowPtr());
+    for (auto &core : cores_)
+        core->setTrace(sink);
+    for (auto &spad : spads_)
+        spad->setTrace(sink);
+    mesh_->setTrace(sink);
+    inet_->setTrace(sink);
+    for (auto &bank : banks_)
+        bank->setTrace(sink);
+}
+
+void
+Machine::flushTrace()
+{
+    for (auto &core : cores_)
+        core->flushTraceSpan();
+}
+
+void
 Machine::planGroup(const GroupPlan &plan)
 {
     if (plan.chain.size() < 2)

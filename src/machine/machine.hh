@@ -92,6 +92,21 @@ class Machine : public CoreEnv, public Ticked
     }
     ///@}
 
+    /** @name Event tracing (see trace/trace.hh). */
+    ///@{
+    /**
+     * Attach (or with null, detach) a trace sink on every traced
+     * component — cores, scratchpads, the mesh, the inet, the LLC
+     * banks — and point its clock at the simulator's cycle counter.
+     */
+    void attachTrace(TraceSink *sink);
+    /**
+     * After run(): emit every core's still-open CPI span (the final
+     * span has no following cause-change to close it).
+     */
+    void flushTrace();
+    ///@}
+
     /** @name Co-simulation (see core/commit.hh). */
     ///@{
     /** Attach (or with null, detach) a commit sink on every core. */

@@ -43,8 +43,34 @@ LlcBank::responseDest(const MemReq &req, int cnt) const
 }
 
 void
+LlcBank::traceReq(const MemReq &req, Cycle now, bool hit) const
+{
+    TraceEvent ev;
+    ev.cycle = static_cast<std::uint32_t>(now);
+    ev.tile = static_cast<std::uint16_t>(bank_);
+    ev.kind = static_cast<std::uint8_t>(TraceKind::LlcReq);
+    ev.sub = static_cast<std::uint8_t>(static_cast<int>(req.op) * 2 +
+                                       (hit ? 1 : 0));
+    ev.pc = req.srcPc;
+    ev.a = static_cast<std::uint32_t>(req.addr);
+    ev.b = static_cast<std::uint64_t>(req.src);
+    trace_->record(ev);
+}
+
+void
 LlcBank::enqueueResponses(const MemReq &req)
 {
+    if (trace_ != nullptr) {
+        TraceEvent ev;
+        ev.cycle = static_cast<std::uint32_t>(trace_->now());
+        ev.tile = static_cast<std::uint16_t>(bank_);
+        ev.kind = static_cast<std::uint8_t>(TraceKind::LlcResp);
+        ev.sub = 0;
+        ev.pc = req.srcPc;
+        ev.a = static_cast<std::uint32_t>(req.addr);
+        ev.b = static_cast<std::uint64_t>(req.wordHi - req.wordLo);
+        trace_->record(ev);
+    }
     ActiveResp ar;
     ar.req = req;
     ar.cnt = req.wordLo;
@@ -72,11 +98,16 @@ LlcBank::startRequest(const MemReq &req, Cycle now)
 
     auto it = mshrs_.find(line);
     if (it != mshrs_.end()) {
+        // Coalesced under an outstanding fill: a miss for attribution.
+        if (trace_ != nullptr)
+            traceReq(req, now, false);
         it->second.waiting.push_back(req);
         return;
     }
 
     TagAccess result = tags_.access(line, is_write);
+    if (trace_ != nullptr)
+        traceReq(req, now, result.hit);
     if (result.hit) {
         if (!is_write)
             enqueueResponses(req);

@@ -25,6 +25,7 @@
 #include "noc/mesh.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "trace/trace.hh"
 
 namespace rockcress
 {
@@ -59,6 +60,13 @@ class LlcBank : public Ticked
     /** True when no requests, fills, or responses are outstanding. */
     bool idle() const;
 
+    /**
+     * Attach (null: detach) the trace sink. While attached, accepted
+     * requests record LlcReq events (hit/miss per op) and response
+     * streams record LlcResp events.
+     */
+    void setTrace(TraceSink *sink) { trace_ = sink; }
+
     const CacheTags &tags() const { return tags_; }
 
   private:
@@ -78,6 +86,8 @@ class LlcBank : public Ticked
 
     void startRequest(const MemReq &req, Cycle now);
     void enqueueResponses(const MemReq &req);
+    /** Record a request acceptance (LlcReq) or response (LlcResp). */
+    void traceReq(const MemReq &req, Cycle now, bool hit) const;
     void emitOneWord(Cycle now);
     CoreId responseDest(const MemReq &req, int cnt) const;
 
@@ -90,6 +100,8 @@ class LlcBank : public Ticked
     const AddrMap &map_;
     std::vector<int> coreNodeOf_;
     CacheTags tags_;
+
+    TraceSink *trace_ = nullptr;
 
     std::deque<MemReq> reqQueue_;
     std::map<Addr, Mshr> mshrs_;

@@ -163,6 +163,21 @@ Scratchpad::frameDelta(Addr offset) const
 }
 
 void
+Scratchpad::traceFrame(FramePhase phase, long abs_frame, Addr offset,
+                       int pc) const
+{
+    TraceEvent ev;
+    ev.cycle = static_cast<std::uint32_t>(trace_->now());
+    ev.tile = static_cast<std::uint16_t>(owner_);
+    ev.kind = static_cast<std::uint8_t>(TraceKind::Frame);
+    ev.sub = static_cast<std::uint8_t>(phase);
+    ev.pc = pc;
+    ev.a = static_cast<std::uint32_t>(offset);
+    ev.b = static_cast<std::uint64_t>(abs_frame);
+    trace_->record(ev);
+}
+
+void
 Scratchpad::armSlot(int slot)
 {
     size_t lo = static_cast<size_t>(slot) *
@@ -208,6 +223,13 @@ Scratchpad::networkWrite(Addr offset, Word data, CoreId src_core,
     int &cnt = counters_[static_cast<size_t>(delta)];
     if (++cnt > frameSize_)
         fatal("spad ", owner_, ": frame overfilled");
+    if (trace_ != nullptr) {
+        if (cnt == 1)
+            traceFrame(FramePhase::Fill, head_ + delta, offset, src_pc);
+        if (cnt == frameSize_)
+            traceFrame(FramePhase::Armed, head_ + delta, offset,
+                       src_pc);
+    }
     if (sanEnabled_ && cnt == frameSize_)
         armSlot(static_cast<int>((head_ + delta) % numFrames_));
 }
@@ -230,7 +252,12 @@ Scratchpad::headFrameByteOffset() const
 void
 Scratchpad::beginConsume(int pc)
 {
-    if (!sanEnabled_ || frameSize_ == 0)
+    if (frameSize_ == 0)
+        return;
+    if (trace_ != nullptr)
+        traceFrame(FramePhase::Consume, head_, headFrameByteOffset(),
+                   pc);
+    if (!sanEnabled_)
         return;
     size_t lo = headFrameByteOffset() / wordBytes;
     for (size_t i = lo; i < lo + static_cast<size_t>(frameSize_); ++i)
@@ -238,12 +265,14 @@ Scratchpad::beginConsume(int pc)
 }
 
 void
-Scratchpad::freeFrame()
+Scratchpad::freeFrame(int pc)
 {
     if (frameSize_ == 0)
         fatal("spad ", owner_, ": remem with frames unconfigured");
     if (counters_[0] != frameSize_)
         fatal("spad ", owner_, ": remem of a non-full frame");
+    if (trace_ != nullptr)
+        traceFrame(FramePhase::Free, head_, headFrameByteOffset(), pc);
     if (sanEnabled_) {
         size_t lo = headFrameByteOffset() / wordBytes;
         for (size_t i = lo; i < lo + static_cast<size_t>(frameSize_);

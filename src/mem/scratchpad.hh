@@ -25,6 +25,7 @@
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace rockcress
 {
@@ -101,12 +102,16 @@ class Scratchpad
     /** Byte offset of the head frame (frame_start writeback value). */
     Addr headFrameByteOffset() const;
     /**
-     * Sanitizer hook: a frame_start just handed the head frame to the
-     * consumer at pc. Marks its words Consuming. No-op when disabled.
+     * A frame_start just handed the head frame to the consumer at pc.
+     * Marks its words Consuming (sanitizer) and emits a Consume trace
+     * event. No-op when frames are disabled.
      */
     void beginConsume(int pc);
-    /** Free the head frame: shift counters left (remem). */
-    void freeFrame();
+    /**
+     * Free the head frame: shift counters left (remem). pc attributes
+     * the remem in the trace (-1 when unknown).
+     */
+    void freeFrame(int pc = -1);
     ///@}
 
     /**
@@ -130,6 +135,12 @@ class Scratchpad
         return sanRecords_;
     }
     ///@}
+
+    /**
+     * Attach (null: detach) the trace sink. While attached, frame
+     * lifecycle transitions (Fill/Armed/Consume/Free) are recorded.
+     */
+    void setTrace(TraceSink *sink) { trace_ = sink; }
 
     /** Words per frame (0 when frames are disabled). */
     int frameSizeWords() const { return frameSize_; }
@@ -155,6 +166,9 @@ class Scratchpad
                  CoreId access_core, int access_pc) const;
     /** Counter for slot just filled: Filling words become Armed. */
     void armSlot(int slot);
+    /** Record one frame lifecycle event (abs_frame: head_-relative). */
+    void traceFrame(FramePhase phase, long abs_frame, Addr offset,
+                    int pc) const;
 
     CoreId owner_;
     Addr size_;
@@ -165,6 +179,8 @@ class Scratchpad
     int numFrames_ = 0;
     long head_ = 0;        ///< Absolute index of the head frame.
     std::vector<int> counters_;
+
+    TraceSink *trace_ = nullptr;
 
     bool sanEnabled_ = false;
     std::vector<Shadow> shadow_;   ///< One per frame-region word.

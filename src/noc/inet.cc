@@ -59,6 +59,17 @@ Inet::send(CoreId core, const InetMsg &msg)
     n.linkBusy = true;
     n.inFlight = msg;
     *statSends_ += 1;
+    if (trace_ != nullptr) {
+        TraceEvent ev;
+        ev.cycle = static_cast<std::uint32_t>(trace_->now());
+        ev.tile = static_cast<std::uint16_t>(core);
+        ev.kind = static_cast<std::uint8_t>(TraceKind::InetHop);
+        ev.sub = static_cast<std::uint8_t>(msg.kind);
+        ev.pc = msg.pc;
+        ev.a = static_cast<std::uint32_t>(n.downstream);
+        ev.b = 0;
+        trace_->record(ev);
+    }
 }
 
 bool

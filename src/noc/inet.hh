@@ -18,6 +18,7 @@
 #include "isa/instr.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "trace/trace.hh"
 
 namespace rockcress
 {
@@ -89,6 +90,12 @@ class Inet : public Ticked
     /** True when all queues and links are empty. */
     bool idle() const;
 
+    /**
+     * Attach (null: detach) the trace sink. While attached, every
+     * send records an InetHop event (sender, message kind, receiver).
+     */
+    void setTrace(TraceSink *sink) { trace_ = sink; }
+
   private:
     struct Node
     {
@@ -100,6 +107,7 @@ class Inet : public Ticked
 
     std::vector<Node> nodes_;
     int capacity_;
+    TraceSink *trace_ = nullptr;
     std::uint64_t *statSends_;
 };
 

@@ -104,6 +104,17 @@ Mesh::tick(Cycle now)
                 1, static_cast<Cycle>(ceilDiv(pkt.words, width_)));
             port.busyUntil = now + span;
             *statWordHops_ += static_cast<std::uint64_t>(pkt.words);
+            if (trace_ != nullptr) {
+                TraceEvent ev;
+                ev.cycle = static_cast<std::uint32_t>(now);
+                ev.tile = static_cast<std::uint16_t>(rid);
+                ev.kind = static_cast<std::uint8_t>(TraceKind::NocLink);
+                ev.sub = static_cast<std::uint8_t>(d);
+                ev.pc = -1;
+                ev.a = static_cast<std::uint32_t>(span);
+                ev.b = static_cast<std::uint64_t>(pkt.words);
+                trace_->record(ev);
+            }
             Transit t;
             t.ready = now + span;
             if (d == Local) {

@@ -21,6 +21,7 @@
 #include "mem/msg.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "trace/trace.hh"
 
 namespace rockcress
 {
@@ -55,6 +56,13 @@ class Mesh : public Ticked
     bool idle() const { return inFlightPackets_ == 0; }
 
     void tick(Cycle now) override;
+
+    /**
+     * Attach (null: detach) the trace sink. While attached, every
+     * link launch records a NocLink event (router, direction,
+     * occupancy span, words) for link-utilization heatmaps.
+     */
+    void setTrace(TraceSink *sink) { trace_ = sink; }
 
     int cols() const { return cols_; }
     int rows() const { return rows_; }
@@ -92,6 +100,8 @@ class Mesh : public Ticked
     std::vector<Router> routers_;
     std::vector<Transit> transits_;
     long inFlightPackets_ = 0;
+
+    TraceSink *trace_ = nullptr;
 
     std::uint64_t *statPackets_;
     std::uint64_t *statWords_;

@@ -52,6 +52,12 @@ class Simulator
     /** Current simulated time. */
     Cycle now() const { return now_; }
 
+    /**
+     * Stable pointer to the cycle counter, for observers (the trace
+     * sink) that need a timestamp in paths where `now` is not passed.
+     */
+    const Cycle *nowPtr() const { return &now_; }
+
     /** Advance exactly one cycle (for fine-grained tests). */
     void step();
 

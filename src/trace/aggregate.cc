@@ -1,0 +1,117 @@
+#include "trace/aggregate.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rockcress
+{
+
+std::uint64_t &
+CpiStack::of(TraceCause c)
+{
+    switch (c) {
+    case TraceCause::Busy:
+        return busy;
+    case TraceCause::Frame:
+        return frame;
+    case TraceCause::InetInput:
+        return inetInput;
+    case TraceCause::Backpressure:
+        return backpressure;
+    case TraceCause::Other:
+        return other;
+    case TraceCause::Dae:
+        return dae;
+    }
+    return other;
+}
+
+std::uint64_t
+CpiStack::of(TraceCause c) const
+{
+    return const_cast<CpiStack *>(this)->of(c);
+}
+
+TraceAggregate
+aggregateTrace(const TraceSink &sink)
+{
+    TraceAggregate agg;
+    agg.events = sink.recordedTotal();
+    agg.dropped = sink.droppedTotal();
+    agg.fullCoverage = sink.fullCoverage();
+
+    bool first = true;
+    auto touch = [&](const TraceEvent &ev, Cycle end) {
+        if (first || ev.cycle < agg.firstCycle)
+            agg.firstCycle = ev.cycle;
+        if (first || end > agg.lastCycle)
+            agg.lastCycle = end;
+        first = false;
+    };
+
+    for (const TraceEvent &ev : sink.events(TraceKind::CoreSpan)) {
+        auto cause = static_cast<TraceCause>(ev.sub);
+        CpiStack &core = agg.perCore[ev.tile];
+        core.of(cause) += ev.a;
+        agg.cpi.of(cause) += ev.a;
+        touch(ev, static_cast<Cycle>(ev.cycle) + ev.a);
+    }
+
+    std::map<std::pair<int, int>, LinkUse> links;
+    for (const TraceEvent &ev : sink.events(TraceKind::NocLink)) {
+        LinkUse &l = links[{ev.tile, ev.sub}];
+        l.node = ev.tile;
+        l.dir = ev.sub;
+        l.busyCycles += ev.a;
+        l.words += ev.b;
+        touch(ev, static_cast<Cycle>(ev.cycle) + ev.a);
+    }
+    for (const auto &[key, use] : links)
+        agg.links.push_back(use);
+
+    for (const TraceEvent &ev : sink.events(TraceKind::Frame)) {
+        if (static_cast<FramePhase>(ev.sub) == FramePhase::Free)
+            agg.framesPerCore[ev.tile] += 1;
+        touch(ev, ev.cycle);
+    }
+    for (const TraceEvent &ev : sink.events(TraceKind::InetHop))
+        touch(ev, ev.cycle);
+    for (const TraceEvent &ev : sink.events(TraceKind::LlcReq))
+        touch(ev, ev.cycle);
+    for (const TraceEvent &ev : sink.events(TraceKind::LlcResp))
+        touch(ev, ev.cycle);
+
+    return agg;
+}
+
+std::string
+crossCheckCpi(const TraceAggregate &agg, const CpiTotals &want)
+{
+    struct Row
+    {
+        const char *name;
+        std::uint64_t got;
+        std::uint64_t want;
+    };
+    const Row rows[] = {
+        {"busy", agg.cpi.busy, want.issued},
+        {"stall_frame", agg.cpi.frame, want.stallFrame},
+        {"stall_inet_input", agg.cpi.inetInput, want.stallInet},
+        {"stall_backpressure", agg.cpi.backpressure,
+         want.stallBackpressure},
+        {"stall_other", agg.cpi.other, want.stallOther},
+        {"stall_dae", agg.cpi.dae, want.stallDae},
+        {"cycles", agg.cpi.total(), want.cycles},
+    };
+    for (const Row &r : rows) {
+        if (r.got != r.want) {
+            std::ostringstream os;
+            os << "trace CPI cross-check: " << r.name << " from trace "
+               << r.got << " != flat counter " << r.want;
+            return os.str();
+        }
+    }
+    return std::string();
+}
+
+} // namespace rockcress

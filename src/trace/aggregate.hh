@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace aggregation: rebuild the fig12 CPI stack and a NoC
+ * link-utilization table from a captured event trace, and cross-check
+ * the rebuilt stack against the simulator's flat statistics counters.
+ * On a full-coverage trace the two must agree *exactly* — every core
+ * cycle is attributed to exactly one cause by the issue stage, and
+ * the trace records precisely those attributions as spans — so any
+ * difference is a bug in either the span compression or the counter
+ * bookkeeping, and the harness fails the run.
+ */
+
+#ifndef ROCKCRESS_TRACE_AGGREGATE_HH
+#define ROCKCRESS_TRACE_AGGREGATE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace rockcress
+{
+
+/** One core's (or the fleet's) cycle-attribution totals. */
+struct CpiStack
+{
+    std::uint64_t busy = 0;  ///< Cycles that issued an instruction.
+    std::uint64_t frame = 0;
+    std::uint64_t inetInput = 0;
+    std::uint64_t backpressure = 0;
+    std::uint64_t other = 0;
+    std::uint64_t dae = 0;
+
+    std::uint64_t total() const
+    {
+        return busy + frame + inetInput + backpressure + other + dae;
+    }
+    std::uint64_t &of(TraceCause c);
+    std::uint64_t of(TraceCause c) const;
+    bool operator==(const CpiStack &) const = default;
+};
+
+/** Occupancy of one mesh output link over the capture window. */
+struct LinkUse
+{
+    int node = 0;                  ///< Router id (row-major grid).
+    int dir = 0;                   ///< Output direction (Mesh::Dir).
+    std::uint64_t busyCycles = 0;  ///< Cycles the link was occupied.
+    std::uint64_t words = 0;       ///< Payload words launched.
+};
+
+/** Everything the summarize/export paths derive from a trace. */
+struct TraceAggregate
+{
+    CpiStack cpi;                        ///< Summed over all cores.
+    std::map<int, CpiStack> perCore;
+    std::vector<LinkUse> links;          ///< Sorted by (node, dir).
+    std::map<int, std::uint64_t> framesPerCore;  ///< Free transitions.
+    Cycle firstCycle = 0;
+    Cycle lastCycle = 0;
+    std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
+    bool fullCoverage = false;
+};
+
+/** Fold a captured trace into totals (deterministic). */
+TraceAggregate aggregateTrace(const TraceSink &sink);
+
+/** Flat-counter totals to reconcile a full-coverage trace against. */
+struct CpiTotals
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t stallFrame = 0;
+    std::uint64_t stallInet = 0;
+    std::uint64_t stallBackpressure = 0;
+    std::uint64_t stallOther = 0;  ///< stall_other only (not dae).
+    std::uint64_t stallDae = 0;
+};
+
+/**
+ * Compare the trace-rebuilt stack against flat counters.
+ * @return An empty string when every component matches exactly, else
+ *         a human-readable description of the first mismatch.
+ */
+std::string crossCheckCpi(const TraceAggregate &agg,
+                          const CpiTotals &want);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_TRACE_AGGREGATE_HH

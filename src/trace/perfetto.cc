@@ -1,0 +1,225 @@
+#include "trace/perfetto.hh"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace rockcress
+{
+
+namespace
+{
+
+/** Mesh output directions, in Mesh::Dir order. */
+constexpr int kNumDirs = 5;
+const char *const kDirNames[kNumDirs] = {"N", "S", "E", "W", "local"};
+
+const char *
+llcOpName(std::uint8_t sub)
+{
+    // sub = op * 2 + hit, MemOp order: ReadWord, WriteWord, ReadWide.
+    switch (sub / 2) {
+    case 0:
+        return "read";
+    case 1:
+        return "write";
+    case 2:
+        return "vload";
+    default:
+        return "?";
+    }
+}
+
+const char *
+inetKindName(std::uint8_t sub)
+{
+    // InetMsg::Kind order: Instr, Vissue, Devec.
+    switch (sub) {
+    case 0:
+        return "instr";
+    case 1:
+        return "vissue";
+    case 2:
+        return "devec";
+    default:
+        return "?";
+    }
+}
+
+class Doc
+{
+  public:
+    explicit Doc(const std::string &title)
+    {
+        out_.reserve(1u << 20);
+        out_ += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"title\":\"";
+        out_ += title;  // Bench/config names: no escaping needed.
+        out_ += "\"},\"traceEvents\":[";
+    }
+
+    void push(const std::string &ev)
+    {
+        if (!first_)
+            out_ += ",\n";
+        first_ = false;
+        out_ += ev;
+    }
+
+    void meta(int pid, long tid, const char *what, const std::string &name)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"M\",\"pid\":%d,\"tid\":%ld,\"name\":"
+                      "\"%s\",\"args\":{\"name\":\"%s\"}}",
+                      pid, tid, what, name.c_str());
+        push(buf);
+    }
+
+    std::string finish()
+    {
+        out_ += "]}\n";
+        return std::move(out_);
+    }
+
+  private:
+    std::string out_;
+    bool first_ = true;
+};
+
+} // namespace
+
+std::string
+perfettoJson(const TraceSink &sink, const std::string &title)
+{
+    Doc doc(title);
+    char buf[320];
+
+    doc.meta(0, 0, "process_name", "cores");
+    doc.meta(1, 0, "process_name", "frames");
+    doc.meta(2, 0, "process_name", "noc");
+    doc.meta(3, 0, "process_name", "inet");
+    doc.meta(4, 0, "process_name", "llc");
+
+    // Core pipeline spans: one thread per core.
+    std::set<int> coreTids;
+    for (const TraceEvent &ev : sink.events(TraceKind::CoreSpan))
+        coreTids.insert(ev.tile);
+    for (int tid : coreTids)
+        doc.meta(0, tid, "thread_name",
+                 "core" + std::to_string(tid));
+    for (const TraceEvent &ev : sink.events(TraceKind::CoreSpan)) {
+        auto cause = static_cast<TraceCause>(ev.sub);
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"ts\":%u,"
+                      "\"dur\":%u,\"name\":\"%s\",\"cat\":\"core\","
+                      "\"args\":{\"pc\":%d}}",
+                      ev.tile, ev.cycle, ev.a, traceCauseName(cause),
+                      ev.pc);
+        doc.push(buf);
+    }
+
+    // Frame lifecycle: async spans keyed by (core, absolute frame).
+    std::set<int> frameTids;
+    for (const TraceEvent &ev : sink.events(TraceKind::Frame))
+        frameTids.insert(ev.tile);
+    for (int tid : frameTids)
+        doc.meta(1, tid, "thread_name",
+                 "spad" + std::to_string(tid));
+    for (const TraceEvent &ev : sink.events(TraceKind::Frame)) {
+        auto phase = static_cast<FramePhase>(ev.sub);
+        const char *ph = phase == FramePhase::Fill    ? "b"
+                         : phase == FramePhase::Free ? "e"
+                                                     : "n";
+        unsigned long long id =
+            (static_cast<unsigned long long>(ev.tile) << 40) | ev.b;
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%u,"
+                      "\"name\":\"frame\",\"cat\":\"frame\",\"id\":"
+                      "\"0x%llx\",\"args\":{\"phase\":\"%s\",\"pc\":%d,"
+                      "\"offset\":%u}}",
+                      ph, ev.tile, ev.cycle, id, framePhaseName(phase),
+                      ev.pc, ev.a);
+        doc.push(buf);
+    }
+
+    // NoC link occupancy spans plus cumulative word counters.
+    std::set<std::pair<int, int>> linkTids;
+    for (const TraceEvent &ev : sink.events(TraceKind::NocLink))
+        linkTids.insert({ev.tile, ev.sub});
+    for (auto [node, dir] : linkTids) {
+        doc.meta(2, static_cast<long>(node) * kNumDirs + dir,
+                 "thread_name",
+                 "r" + std::to_string(node) + "." +
+                     kDirNames[dir % kNumDirs]);
+    }
+    std::map<std::pair<int, int>, std::uint64_t> linkWords;
+    for (const TraceEvent &ev : sink.events(TraceKind::NocLink)) {
+        long tid = static_cast<long>(ev.tile) * kNumDirs + ev.sub;
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":2,\"tid\":%ld,\"ts\":%u,"
+                      "\"dur\":%u,\"name\":\"pkt\",\"cat\":\"noc\","
+                      "\"args\":{\"words\":%llu}}",
+                      tid, ev.cycle, ev.a,
+                      static_cast<unsigned long long>(ev.b));
+        doc.push(buf);
+        std::uint64_t &words = linkWords[{ev.tile, ev.sub}];
+        words += ev.b;
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"C\",\"pid\":2,\"tid\":%ld,\"ts\":%u,"
+                      "\"name\":\"words r%u.%s\",\"args\":{\"words\":"
+                      "%llu}}",
+                      tid, ev.cycle, ev.tile,
+                      kDirNames[ev.sub % kNumDirs],
+                      static_cast<unsigned long long>(words));
+        doc.push(buf);
+    }
+
+    // Inet hops: instants at the sending core.
+    std::set<int> inetTids;
+    for (const TraceEvent &ev : sink.events(TraceKind::InetHop))
+        inetTids.insert(ev.tile);
+    for (int tid : inetTids)
+        doc.meta(3, tid, "thread_name",
+                 "core" + std::to_string(tid));
+    for (const TraceEvent &ev : sink.events(TraceKind::InetHop)) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"i\",\"pid\":3,\"tid\":%u,\"ts\":%u,"
+                      "\"s\":\"t\",\"name\":\"%s\",\"cat\":\"inet\","
+                      "\"args\":{\"down\":%u,\"pc\":%d}}",
+                      ev.tile, ev.cycle, inetKindName(ev.sub), ev.a,
+                      ev.pc);
+        doc.push(buf);
+    }
+
+    // LLC requests and response streams: instants per bank.
+    std::set<int> llcTids;
+    for (const TraceEvent &ev : sink.events(TraceKind::LlcReq))
+        llcTids.insert(ev.tile);
+    for (const TraceEvent &ev : sink.events(TraceKind::LlcResp))
+        llcTids.insert(ev.tile);
+    for (int tid : llcTids)
+        doc.meta(4, tid, "thread_name", "llc" + std::to_string(tid));
+    for (const TraceEvent &ev : sink.events(TraceKind::LlcReq)) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"i\",\"pid\":4,\"tid\":%u,\"ts\":%u,"
+                      "\"s\":\"t\",\"name\":\"%s %s\",\"cat\":\"llc\","
+                      "\"args\":{\"addr\":%u,\"core\":%llu,\"pc\":%d}}",
+                      ev.tile, ev.cycle, llcOpName(ev.sub),
+                      ev.sub % 2 ? "hit" : "miss", ev.a,
+                      static_cast<unsigned long long>(ev.b), ev.pc);
+        doc.push(buf);
+    }
+    for (const TraceEvent &ev : sink.events(TraceKind::LlcResp)) {
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"i\",\"pid\":4,\"tid\":%u,\"ts\":%u,"
+                      "\"s\":\"t\",\"name\":\"resp\",\"cat\":\"llc\","
+                      "\"args\":{\"addr\":%u,\"words\":%llu,\"pc\":%d}}",
+                      ev.tile, ev.cycle, ev.a,
+                      static_cast<unsigned long long>(ev.b), ev.pc);
+        doc.push(buf);
+    }
+
+    return doc.finish();
+}
+
+} // namespace rockcress

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Chrome trace-event JSON export (loadable in Perfetto / chrome://
+ * tracing). The capture is laid out as five processes:
+ *
+ *   pid 0 "cores"   one thread per core; complete ("X") spans named
+ *                   by cycle attribution (busy / the five stalls),
+ *                   with the attributed pc in args.
+ *   pid 1 "frames"  per-core async spans ("b"/"n"/"e"), one per frame
+ *                   round: begins at first fill, instants at armed
+ *                   and consume, ends at free.
+ *   pid 2 "noc"     one thread per (router, direction) output link;
+ *                   "X" spans while a packet occupies the link, plus
+ *                   a cumulative words counter ("C") track per link.
+ *   pid 3 "inet"    instants per source core for every chain hop.
+ *   pid 4 "llc"     instants per bank for requests (hit/miss) and
+ *                   response streams.
+ *
+ * Timestamps are simulated cycles, durations likewise; the exported
+ * document is strict JSON (validated by the Json parser in tests and
+ * by rc_trace before writing).
+ */
+
+#ifndef ROCKCRESS_TRACE_PERFETTO_HH
+#define ROCKCRESS_TRACE_PERFETTO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace rockcress
+{
+
+/** Serialize a capture as Chrome trace-event JSON. */
+std::string perfettoJson(const TraceSink &sink,
+                         const std::string &title);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_TRACE_PERFETTO_HH

@@ -1,0 +1,125 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace rockcress
+{
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+    case TraceKind::CoreSpan:
+        return "core_span";
+    case TraceKind::Frame:
+        return "frame";
+    case TraceKind::NocLink:
+        return "noc_link";
+    case TraceKind::InetHop:
+        return "inet_hop";
+    case TraceKind::LlcReq:
+        return "llc_req";
+    case TraceKind::LlcResp:
+        return "llc_resp";
+    }
+    return "?";
+}
+
+const char *
+traceCauseName(TraceCause c)
+{
+    switch (c) {
+    case TraceCause::Busy:
+        return "busy";
+    case TraceCause::Frame:
+        return "stall_frame";
+    case TraceCause::InetInput:
+        return "stall_inet_input";
+    case TraceCause::Backpressure:
+        return "stall_backpressure";
+    case TraceCause::Other:
+        return "stall_other";
+    case TraceCause::Dae:
+        return "stall_dae";
+    }
+    return "?";
+}
+
+const char *
+framePhaseName(FramePhase p)
+{
+    switch (p) {
+    case FramePhase::Fill:
+        return "fill";
+    case FramePhase::Armed:
+        return "armed";
+    case FramePhase::Consume:
+        return "consume";
+    case FramePhase::Free:
+        return "free";
+    }
+    return "?";
+}
+
+TraceSink::TraceSink(TraceOptions opts) : opts_(opts)
+{
+    // Preallocate enough that short runs never reallocate, capped so
+    // a tight maxEventsPerCategory doesn't overshoot the bound.
+    constexpr std::uint64_t kPrealloc = 1u << 16;
+    for (Buffer &b : buffers_)
+        b.events.reserve(static_cast<size_t>(
+            std::min(opts_.maxEventsPerCategory, kPrealloc)));
+}
+
+void
+TraceSink::record(const TraceEvent &ev)
+{
+    Buffer &b = buffers_[ev.kind];
+    if (ev.cycle < opts_.startCycle)
+        return;  // Outside the capture window: not a drop.
+    if (b.events.size() >=
+        static_cast<size_t>(opts_.maxEventsPerCategory)) {
+        ++b.dropped;
+        return;
+    }
+    b.events.push_back(ev);
+}
+
+std::uint64_t
+TraceSink::recordedTotal() const
+{
+    std::uint64_t n = 0;
+    for (const Buffer &b : buffers_)
+        n += b.events.size();
+    return n;
+}
+
+std::uint64_t
+TraceSink::droppedTotal() const
+{
+    std::uint64_t n = 0;
+    for (const Buffer &b : buffers_)
+        n += b.dropped;
+    return n;
+}
+
+std::vector<TraceEvent>
+TraceSink::sortedEvents() const
+{
+    std::vector<TraceEvent> all;
+    all.reserve(static_cast<size_t>(recordedTotal()));
+    for (const Buffer &b : buffers_)
+        all.insert(all.end(), b.events.begin(), b.events.end());
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent &x, const TraceEvent &y) {
+                         if (x.cycle != y.cycle)
+                             return x.cycle < y.cycle;
+                         if (x.kind != y.kind)
+                             return x.kind < y.kind;
+                         return x.tile < y.tile;
+                     });
+    return all;
+}
+
+} // namespace rockcress

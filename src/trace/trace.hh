@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Structured event-trace subsystem (DESIGN.md S5h): a per-simulation
+ * TraceSink records compact typed binary events — core pipeline
+ * phases (one span per run of identically-attributed cycles), frame
+ * lifecycle transitions, NoC link occupancy, inet hops, and LLC
+ * request/response activity — each stamped with cycle, tile, and pc.
+ *
+ * Cost model: tracing is attached by pointer; a null pointer means
+ * every record site is a single branch (zero cost when off, and no
+ * perturbation of timing or statistics when on — the sink only
+ * observes). Buffers are preallocated per category and bounded by
+ * TraceOptions::maxEventsPerCategory; once a category is full,
+ * further events are counted as dropped rather than recorded, so a
+ * trace of a long run degrades to a sampled prefix instead of
+ * exhausting memory. TraceOptions::startCycle skips the warm-up
+ * prefix of a run. A trace is *full-coverage* — and only then
+ * eligible for the exact CPI-stack cross-check — when it starts at
+ * cycle 0 and dropped nothing.
+ */
+
+#ifndef ROCKCRESS_TRACE_TRACE_HH
+#define ROCKCRESS_TRACE_TRACE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Event categories; each owns one preallocated buffer. */
+enum class TraceKind : std::uint8_t
+{
+    CoreSpan,  ///< A run of identically-attributed core cycles.
+    Frame,     ///< Scratchpad frame lifecycle transition.
+    NocLink,   ///< A packet occupying one mesh output link.
+    InetHop,   ///< One message sent on an inet chain link.
+    LlcReq,    ///< Request accepted at an LLC bank's tag port.
+    LlcResp,   ///< Response stream enqueued at an LLC bank.
+};
+
+constexpr int numTraceKinds = 6;
+
+/** Per-cycle attribution of a CoreSpan (the five stall causes). */
+enum class TraceCause : std::uint8_t
+{
+    Busy,          ///< Issued an instruction.
+    Frame,         ///< Load-use / frame_start wait.
+    InetInput,     ///< Vector core starved for inet input.
+    Backpressure,  ///< Downstream inet queue full.
+    Other,         ///< Structural (ROB/LQ/decode/barrier/...).
+    Dae,           ///< vload held back by the frame-counter window.
+};
+
+/** Frame lifecycle transition (mirrors the sanitizer shadow states). */
+enum class FramePhase : std::uint8_t
+{
+    Fill,     ///< First word of a frame round arrived (Free->Filling).
+    Armed,    ///< Counter reached frame size (Filling->Armed).
+    Consume,  ///< frame_start handed the frame over (Armed->Consuming).
+    Free,     ///< remem released the frame (Consuming->Free).
+};
+
+const char *traceKindName(TraceKind k);
+const char *traceCauseName(TraceCause c);
+const char *framePhaseName(FramePhase p);
+
+/**
+ * One compact binary event (24 bytes). Field use by kind:
+ *
+ * kind      tile        sub           pc            a            b
+ * CoreSpan  core        TraceCause    first pc      span cycles  0
+ * Frame     owner core  FramePhase    attributed pc byte offset  abs frame #
+ * NocLink   router      direction     -1            span cycles  words
+ * InetHop   src core    InetMsg kind  msg pc        downstream   0
+ * LlcReq    bank        op*2+hit      issuing pc    address      src core
+ * LlcResp   bank        0             issuing pc    address      words
+ */
+struct TraceEvent
+{
+    std::uint32_t cycle = 0;  ///< Start cycle (u32: runs < 2^32 cycles).
+    std::uint16_t tile = 0;   ///< Core / router node / bank index.
+    std::uint8_t kind = 0;    ///< TraceKind.
+    std::uint8_t sub = 0;     ///< Kind-specific discriminator.
+    std::int32_t pc = -1;     ///< Attributed instruction (-1: none).
+    std::uint32_t a = 0;      ///< Kind-specific (see table above).
+    std::uint64_t b = 0;      ///< Kind-specific (see table above).
+
+    bool operator==(const TraceEvent &) const = default;
+};
+
+/** Capture window and capacity knobs (RunOverrides::trace*). */
+struct TraceOptions
+{
+    Cycle startCycle = 0;  ///< Drop events that start before this.
+    /**
+     * Buffers grow on demand up to this bound, so a generous default
+     * costs nothing on small runs; it is sized to hold the busiest
+     * category of the largest golden-suite pair (atax/NV_PF peaks at
+     * ~8.8M NoC link events) with full coverage.
+     */
+    std::uint64_t maxEventsPerCategory = 16'777'216;
+};
+
+/**
+ * The per-simulation event store. One instance is shared by every
+ * component of a Machine; the machine points the sink at the
+ * simulator clock so components without a `now` in scope can stamp
+ * events.
+ */
+class TraceSink
+{
+  public:
+    explicit TraceSink(TraceOptions opts = {});
+
+    /** Point at the simulator's cycle counter (Machine::attachTrace). */
+    void setClock(const Cycle *now) { clock_ = now; }
+    /** Current simulated time (0 before a clock is attached). */
+    Cycle now() const { return clock_ ? *clock_ : 0; }
+
+    /** Record one event into its category (window/capacity checked). */
+    void record(const TraceEvent &ev);
+
+    /** @name Reading the capture. */
+    ///@{
+    const std::vector<TraceEvent> &events(TraceKind k) const
+    {
+        return buffers_[static_cast<size_t>(k)].events;
+    }
+    std::uint64_t recorded(TraceKind k) const
+    {
+        return buffers_[static_cast<size_t>(k)].events.size();
+    }
+    std::uint64_t dropped(TraceKind k) const
+    {
+        return buffers_[static_cast<size_t>(k)].dropped;
+    }
+    std::uint64_t recordedTotal() const;
+    std::uint64_t droppedTotal() const;
+    /**
+     * Started at cycle 0 and dropped nothing: every simulated cycle
+     * of every core is covered, so the trace-rebuilt CPI stack must
+     * equal the flat counters exactly.
+     */
+    bool fullCoverage() const
+    {
+        return opts_.startCycle == 0 && droppedTotal() == 0;
+    }
+    /** All categories merged, stably sorted by (cycle, kind, tile). */
+    std::vector<TraceEvent> sortedEvents() const;
+    const TraceOptions &options() const { return opts_; }
+    ///@}
+
+  private:
+    struct Buffer
+    {
+        std::vector<TraceEvent> events;
+        std::uint64_t dropped = 0;
+    };
+
+    TraceOptions opts_;
+    const Cycle *clock_ = nullptr;
+    std::array<Buffer, numTraceKinds> buffers_;
+};
+
+/**
+ * What a traced run reports back in its artifact (RunResult::trace).
+ * Serialized into run artifacts only when enabled, so untraced run
+ * artifacts — including the golden snapshots — are byte-identical to
+ * the pre-trace format.
+ */
+struct TraceSummary
+{
+    bool enabled = false;
+    std::uint64_t events = 0;   ///< Total events kept.
+    std::uint64_t dropped = 0;  ///< Events lost to capacity limits.
+    std::uint64_t coreSpans = 0;
+    std::uint64_t frameEvents = 0;
+    std::uint64_t nocLinkEvents = 0;
+    std::uint64_t inetHopEvents = 0;
+    std::uint64_t llcEvents = 0;
+    bool fullCoverage = false;
+    /** The trace-rebuilt CPI stack matched the flat counters. */
+    bool cpiCrossChecked = false;
+
+    bool operator==(const TraceSummary &) const = default;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_TRACE_TRACE_HH

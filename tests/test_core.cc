@@ -232,6 +232,7 @@ TEST(CorePipeline, CpiStackAccountsEveryCycle)
     std::uint64_t covered = s.get("core0.issued") +
                             s.get("core0.stall_frame") +
                             s.get("core0.stall_inet_input") +
+                            s.get("core0.stall_backpressure") +
                             s.get("core0.stall_other") +
                             s.get("core0.stall_dae");
     EXPECT_EQ(covered, s.get("core0.cycles"));

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -469,4 +470,34 @@ TEST(Engine, CacheKeyDependsOnEveryCoordinate)
     RunPoint other_budget = base;
     other_budget.overrides.maxCycles = 123;
     EXPECT_NE(k0, ExperimentEngine::cacheKey(other_budget));
+}
+
+TEST(Engine, JobsFromEnvParsesStrictly)
+{
+    // jobsFromEnv() is the single job-count authority shared by the
+    // engine, rc_analyze, and rc_trace; only a complete integer in
+    // [1, 4096] overrides the hardware default.
+    const char *saved = std::getenv("ROCKCRESS_JOBS");
+    std::string savedVal = saved ? saved : "";
+
+    setenv("ROCKCRESS_JOBS", "4", 1);
+    EXPECT_EQ(jobsFromEnv(), 4);
+    setenv("ROCKCRESS_JOBS", "1", 1);
+    EXPECT_EQ(jobsFromEnv(), 1);
+
+    unsetenv("ROCKCRESS_JOBS");
+    int fallback = jobsFromEnv();
+    EXPECT_GE(fallback, 1);
+
+    // Trailing garbage, zero, negatives, and out-of-range values all
+    // fall back instead of being half-parsed.
+    for (const char *bad : {"4abc", "0", "-2", "", "99999"}) {
+        setenv("ROCKCRESS_JOBS", bad, 1);
+        EXPECT_EQ(jobsFromEnv(), fallback) << "input '" << bad << "'";
+    }
+
+    if (saved)
+        setenv("ROCKCRESS_JOBS", savedVal.c_str(), 1);
+    else
+        unsetenv("ROCKCRESS_JOBS");
 }

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The event-trace subsystem: sink windowing/capacity semantics,
+ * aggregation over synthetic captures, the exact CPI-stack
+ * reconciliation on real traced runs, zero perturbation of untraced
+ * results, determinism of the export, and the Perfetto JSON shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/json.hh"
+#include "harness/runner.hh"
+#include "trace/aggregate.hh"
+#include "trace/perfetto.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+TraceEvent
+ev(TraceKind kind, Cycle cycle, int tile, int sub, std::uint32_t a,
+   std::uint64_t b = 0, int pc = -1)
+{
+    TraceEvent e;
+    e.cycle = static_cast<std::uint32_t>(cycle);
+    e.tile = static_cast<std::uint16_t>(tile);
+    e.kind = static_cast<std::uint8_t>(kind);
+    e.sub = static_cast<std::uint8_t>(sub);
+    e.a = a;
+    e.b = b;
+    e.pc = pc;
+    return e;
+}
+
+TraceEvent
+span(Cycle cycle, int tile, TraceCause cause, std::uint32_t len,
+     int pc = -1)
+{
+    return ev(TraceKind::CoreSpan, cycle, tile,
+              static_cast<int>(cause), len, 0, pc);
+}
+
+} // namespace
+
+TEST(TraceSink, RecordsAndCounts)
+{
+    TraceSink sink;
+    sink.record(span(0, 0, TraceCause::Busy, 10));
+    sink.record(span(10, 1, TraceCause::Frame, 5));
+    sink.record(ev(TraceKind::InetHop, 3, 0, 0, 1));
+    EXPECT_EQ(sink.recorded(TraceKind::CoreSpan), 2u);
+    EXPECT_EQ(sink.recorded(TraceKind::InetHop), 1u);
+    EXPECT_EQ(sink.recordedTotal(), 3u);
+    EXPECT_EQ(sink.droppedTotal(), 0u);
+    EXPECT_TRUE(sink.fullCoverage());
+}
+
+TEST(TraceSink, StartCycleWindowSkipsSilently)
+{
+    TraceOptions opts;
+    opts.startCycle = 100;
+    TraceSink sink(opts);
+    sink.record(span(99, 0, TraceCause::Busy, 1));
+    sink.record(span(100, 0, TraceCause::Busy, 1));
+    EXPECT_EQ(sink.recorded(TraceKind::CoreSpan), 1u);
+    // Pre-window events are skipped by design, not "dropped".
+    EXPECT_EQ(sink.droppedTotal(), 0u);
+    // A windowed capture can never claim full coverage.
+    EXPECT_FALSE(sink.fullCoverage());
+}
+
+TEST(TraceSink, CapacityBoundsEachCategory)
+{
+    TraceOptions opts;
+    opts.maxEventsPerCategory = 4;
+    TraceSink sink(opts);
+    for (int i = 0; i < 10; ++i)
+        sink.record(span(i, 0, TraceCause::Busy, 1));
+    sink.record(ev(TraceKind::NocLink, 0, 0, 0, 1, 1));
+    EXPECT_EQ(sink.recorded(TraceKind::CoreSpan), 4u);
+    EXPECT_EQ(sink.dropped(TraceKind::CoreSpan), 6u);
+    // Independent budgets: the NocLink category is unaffected.
+    EXPECT_EQ(sink.recorded(TraceKind::NocLink), 1u);
+    EXPECT_FALSE(sink.fullCoverage());
+}
+
+TEST(TraceSink, SortedEventsOrderedByCycle)
+{
+    TraceSink sink;
+    sink.record(span(50, 1, TraceCause::Busy, 1));
+    sink.record(ev(TraceKind::Frame, 20, 0,
+                   static_cast<int>(FramePhase::Fill), 0, 7));
+    sink.record(span(20, 0, TraceCause::Other, 3));
+    auto all = sink.sortedEvents();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].cycle, 20u);
+    // Equal cycle: CoreSpan (kind 0) sorts before Frame (kind 1).
+    EXPECT_EQ(all[0].kind,
+              static_cast<std::uint8_t>(TraceKind::CoreSpan));
+    EXPECT_EQ(all[2].cycle, 50u);
+}
+
+TEST(TraceAggregate, FoldsSpansLinksAndFrames)
+{
+    TraceSink sink;
+    sink.record(span(0, 0, TraceCause::Busy, 10));
+    sink.record(span(10, 0, TraceCause::Frame, 4));
+    sink.record(span(0, 1, TraceCause::Busy, 14));
+    sink.record(ev(TraceKind::NocLink, 2, 5, 2 /*East*/, 3, 12));
+    sink.record(ev(TraceKind::NocLink, 6, 5, 2 /*East*/, 1, 4));
+    sink.record(ev(TraceKind::NocLink, 4, 3, 4 /*local*/, 2, 8));
+    sink.record(ev(TraceKind::Frame, 5, 1,
+                   static_cast<int>(FramePhase::Fill), 0, 0));
+    sink.record(ev(TraceKind::Frame, 9, 1,
+                   static_cast<int>(FramePhase::Free), 0, 0));
+
+    TraceAggregate agg = aggregateTrace(sink);
+    EXPECT_EQ(agg.cpi.busy, 24u);
+    EXPECT_EQ(agg.cpi.frame, 4u);
+    EXPECT_EQ(agg.cpi.total(), 28u);
+    EXPECT_EQ(agg.perCore.at(0).busy, 10u);
+    EXPECT_EQ(agg.perCore.at(0).frame, 4u);
+    EXPECT_EQ(agg.perCore.at(1).busy, 14u);
+
+    // Links merge per (node, dir) and come out sorted by (node, dir).
+    ASSERT_EQ(agg.links.size(), 2u);
+    EXPECT_EQ(agg.links[0].node, 3);
+    EXPECT_EQ(agg.links[0].busyCycles, 2u);
+    EXPECT_EQ(agg.links[1].node, 5);
+    EXPECT_EQ(agg.links[1].busyCycles, 4u);
+    EXPECT_EQ(agg.links[1].words, 16u);
+
+    // One Free transition = one retired frame round.
+    EXPECT_EQ(agg.framesPerCore.at(1), 1u);
+    EXPECT_EQ(agg.firstCycle, 0u);
+    EXPECT_EQ(agg.lastCycle, 14u);
+}
+
+TEST(TraceAggregate, CrossCheckDetectsMismatch)
+{
+    TraceSink sink;
+    sink.record(span(0, 0, TraceCause::Busy, 10));
+    sink.record(span(10, 0, TraceCause::Dae, 2));
+    TraceAggregate agg = aggregateTrace(sink);
+
+    CpiTotals want;
+    want.issued = 10;
+    want.stallDae = 2;
+    want.cycles = 12;
+    EXPECT_EQ(crossCheckCpi(agg, want), "");
+
+    want.stallDae = 3;
+    want.cycles = 13;
+    EXPECT_NE(crossCheckCpi(agg, want), "");
+}
+
+TEST(TraceRun, UntracedResultIsUnperturbed)
+{
+    // Attaching the sink must not move a single counter: the traced
+    // result equals the untraced one in every field but the summary.
+    RunResult off = runManycore("atax", "NV_PF");
+    ASSERT_TRUE(off.ok) << off.error;
+    EXPECT_FALSE(off.trace.enabled);
+
+    RunOverrides o;
+    o.trace = true;
+    RunResult on = runManycore("atax", "NV_PF", o);
+    ASSERT_TRUE(on.ok) << on.error;
+    EXPECT_TRUE(on.trace.enabled);
+    EXPECT_TRUE(on.trace.fullCoverage);
+    EXPECT_TRUE(on.trace.cpiCrossChecked);
+
+    on.trace = TraceSummary{};
+    EXPECT_EQ(off, on);
+}
+
+TEST(TraceRun, CpiIdentityHoldsOnGoldenSuite)
+{
+    // Every non-halted cycle lands in exactly one CPI-stack counter;
+    // the fleet sums must therefore tile the core cycles exactly.
+    // (runManycore additionally enforces this per core.)
+    const char *const pairs[][2] = {
+        {"atax", "NV_PF"}, {"atax", "V4"},   {"gemm", "V4_PCV"},
+        {"mvt", "V16"},    {"bfs", "NV_PF"},
+    };
+    for (const auto &p : pairs) {
+        RunResult r = runManycore(p[0], p[1]);
+        ASSERT_TRUE(r.ok) << p[0] << "/" << p[1] << ": " << r.error;
+        EXPECT_EQ(r.coreCycles, r.issued + r.stallFrame + r.stallInet +
+                                    r.stallBackpressure + r.stallOther)
+            << p[0] << "/" << p[1];
+    }
+}
+
+TEST(TraceRun, FullCoverageCrossChecksExactly)
+{
+    RunOverrides o;
+    o.trace = true;
+    TraceCapture cap;
+    RunResult r = runManycore("atax", "V4", o, &cap);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_NE(cap.sink, nullptr);
+    EXPECT_TRUE(r.trace.fullCoverage);
+    EXPECT_TRUE(r.trace.cpiCrossChecked);
+    EXPECT_GT(r.trace.coreSpans, 0u);
+    EXPECT_GT(r.trace.frameEvents, 0u);
+    EXPECT_GT(r.trace.nocLinkEvents, 0u);
+    EXPECT_GT(r.trace.inetHopEvents, 0u);
+    EXPECT_GT(r.trace.llcEvents, 0u);
+    EXPECT_EQ(r.trace.dropped, 0u);
+
+    // The vector config actually exercises the DAE machinery.
+    TraceAggregate agg = aggregateTrace(*cap.sink);
+    EXPECT_GT(agg.cpi.dae, 0u);
+    std::uint64_t frames = 0;
+    for (const auto &[core, n] : agg.framesPerCore)
+        frames += n;
+    EXPECT_GT(frames, 0u);
+}
+
+TEST(TraceRun, CapacityCapDegradesToSampledPrefix)
+{
+    RunOverrides o;
+    o.trace = true;
+    o.traceMaxEvents = 1000;
+    RunResult r = runManycore("atax", "V4", o);
+    ASSERT_TRUE(r.ok) << r.error;  // Dropping must not fail the run.
+    EXPECT_GT(r.trace.dropped, 0u);
+    EXPECT_FALSE(r.trace.fullCoverage);
+    EXPECT_FALSE(r.trace.cpiCrossChecked);
+    EXPECT_LE(r.trace.coreSpans, 1000u);
+}
+
+TEST(TraceRun, StartCycleWindowsTheCapture)
+{
+    RunOverrides o;
+    o.trace = true;
+    o.traceStartCycle = 1000;
+    TraceCapture cap;
+    RunResult r = runManycore("atax", "NV_PF", o, &cap);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.trace.fullCoverage);
+    ASSERT_NE(cap.sink, nullptr);
+    for (const TraceEvent &e : cap.sink->events(TraceKind::CoreSpan))
+        EXPECT_GE(e.cycle, 1000u);
+}
+
+TEST(TraceRun, ExportIsDeterministic)
+{
+    RunOverrides o;
+    o.trace = true;
+    o.traceMaxEvents = 20000;
+    TraceCapture capA, capB;
+    RunResult a = runManycore("atax", "NV_PF", o, &capA);
+    RunResult b = runManycore("atax", "NV_PF", o, &capB);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(perfettoJson(*capA.sink, "t"),
+              perfettoJson(*capB.sink, "t"));
+}
+
+TEST(TracePerfetto, ExportParsesAndMatchesCapture)
+{
+    RunOverrides o;
+    o.trace = true;
+    o.traceMaxEvents = 20000;
+    TraceCapture cap;
+    RunResult r = runManycore("atax", "NV_PF", o, &cap);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    std::string doc = perfettoJson(*cap.sink, "atax/NV_PF");
+    Json j;
+    ASSERT_TRUE(Json::parse(doc, j)) << "export is not valid JSON";
+    ASSERT_TRUE(j.isObj());
+    ASSERT_TRUE(j.has("traceEvents"));
+    const Json &evs = j.at("traceEvents");
+    ASSERT_TRUE(evs.isArr());
+    ASSERT_GT(evs.size(), 0u);
+
+    std::uint64_t coreSpans = 0, metadata = 0;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const Json &e = evs.at(i);
+        ASSERT_TRUE(e.isObj());
+        ASSERT_TRUE(e.has("ph"));
+        const std::string &ph = e.at("ph").asStr();
+        if (ph == "M")
+            ++metadata;
+        else if (ph == "X" && e.at("pid").asU64() == 0)
+            ++coreSpans;
+    }
+    EXPECT_GT(metadata, 0u);
+    // Every captured core span round-trips into a pid-0 "X" event.
+    EXPECT_EQ(coreSpans, cap.sink->recorded(TraceKind::CoreSpan));
+}

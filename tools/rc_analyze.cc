@@ -31,6 +31,7 @@
 
 #include "analysis/perfbound.hh"
 #include "analysis/verifier.hh"
+#include "exp/engine.hh"
 #include "exp/json.hh"
 #include "exp/pool.hh"
 #include "kernels/common.hh"
@@ -161,21 +162,6 @@ analyzeOne(const std::string &bench, const std::string &config,
     j["perf"] = perfToJson(computePerfBound(*program, cfg, params));
     clean = report.ok();
     return j;
-}
-
-int
-jobsFromEnv()
-{
-    if (const char *env = std::getenv("ROCKCRESS_JOBS")) {
-        int v = std::atoi(env);
-        if (v >= 1)
-            return v;
-        std::fprintf(stderr,
-                     "rc_analyze: ignoring ROCKCRESS_JOBS='%s'\n",
-                     env);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 bool

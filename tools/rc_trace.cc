@@ -1,0 +1,383 @@
+/**
+ * @file
+ * rc_trace: capture, export, and summarize event traces.
+ *
+ *   rc_trace export --out DIR [PAIR]...   Perfetto JSON per pair
+ *   rc_trace summarize [PAIR]...          CPI stack + NoC heatmap
+ *   rc_trace diff PAIR PAIR               CPI stacks side by side
+ *
+ * A PAIR is "bench/config" (e.g. atax/V4); with no pairs, the golden
+ * suite (tests/golden/) is traced. Every run is executed with
+ * tracing on and full coverage, and the trace-rebuilt CPI stack is
+ * cross-checked exactly against the flat statistics counters — a
+ * mismatch fails the pair. The exit status is the number of failed
+ * pairs (clamped to 125).
+ *
+ * Pairs are simulated in parallel on a thread pool sized by
+ * ROCKCRESS_JOBS, but all output is buffered per pair and emitted in
+ * pair order after the pool drains, so -j1 and -jN are
+ * byte-identical.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/json.hh"
+#include "exp/pool.hh"
+#include "harness/runner.hh"
+#include "trace/aggregate.hh"
+#include "trace/perfetto.hh"
+
+namespace
+{
+
+using namespace rockcress;
+
+/** The five pairs pinned by the golden snapshots (tests/golden/). */
+const char *const kGoldenPairs[] = {
+    "atax/NV_PF", "atax/V4", "gemm/V4_PCV", "mvt/V16", "bfs/NV_PF",
+};
+
+struct PairJob
+{
+    std::string bench;
+    std::string config;
+    RunResult result;
+    TraceCapture cap;
+    std::string text;    ///< Buffered stdout, emitted in pair order.
+    bool failed = false;
+};
+
+const char *kDirNames[] = {"N", "S", "E", "W", "local"};
+
+std::string
+percent(std::uint64_t part, std::uint64_t whole)
+{
+    char buf[32];
+    double p = whole == 0 ? 0.0
+                          : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+    std::snprintf(buf, sizeof buf, "%5.1f%%", p);
+    return buf;
+}
+
+void
+appendCpiStack(std::ostringstream &os, const CpiStack &cpi)
+{
+    struct Row
+    {
+        const char *name;
+        std::uint64_t v;
+    };
+    const Row rows[] = {
+        {"busy", cpi.busy},
+        {"stall_frame", cpi.frame},
+        {"stall_inet_input", cpi.inetInput},
+        {"stall_backpressure", cpi.backpressure},
+        {"stall_other", cpi.other},
+        {"stall_dae", cpi.dae},
+    };
+    std::uint64_t total = cpi.total();
+    for (const Row &r : rows) {
+        char line[96];
+        std::snprintf(line, sizeof line, "    %-20s %12llu  %s\n",
+                      r.name, static_cast<unsigned long long>(r.v),
+                      percent(r.v, total).c_str());
+        os << line;
+    }
+    os << "    total attributed cycles: " << total << "\n";
+}
+
+/**
+ * The link-utilization heatmap: per router, the busy cycles of its
+ * five output links summed, laid out on the mesh grid (row-major,
+ * `cols` wide) and normalized to the capture window.
+ */
+void
+appendNocHeatmap(std::ostringstream &os, const TraceAggregate &agg,
+                 int cols)
+{
+    if (agg.links.empty()) {
+        os << "  noc: no link activity captured\n";
+        return;
+    }
+    int max_node = 0;
+    std::map<int, std::uint64_t> perNode;
+    for (const LinkUse &l : agg.links) {
+        perNode[l.node] += l.busyCycles;
+        if (l.node > max_node)
+            max_node = l.node;
+    }
+    Cycle window = agg.lastCycle > agg.firstCycle
+                       ? agg.lastCycle - agg.firstCycle
+                       : 1;
+    int rows = max_node / cols + 1;
+    os << "  noc link occupancy per router (% of " << window
+       << "-cycle window, links summed):\n";
+    for (int y = 0; y < rows; ++y) {
+        os << "   ";
+        for (int x = 0; x < cols; ++x) {
+            auto it = perNode.find(y * cols + x);
+            std::uint64_t busy = it == perNode.end() ? 0 : it->second;
+            char cell[16];
+            std::snprintf(cell, sizeof cell, " %6.1f",
+                          100.0 * static_cast<double>(busy) /
+                              static_cast<double>(window));
+            os << cell;
+        }
+        os << "\n";
+    }
+    // The hottest individual links, for attribution.
+    std::vector<LinkUse> top = agg.links;
+    std::stable_sort(top.begin(), top.end(),
+                     [](const LinkUse &a, const LinkUse &b) {
+                         return a.busyCycles > b.busyCycles;
+                     });
+    size_t n = std::min<size_t>(5, top.size());
+    os << "  hottest links:";
+    for (size_t i = 0; i < n; ++i) {
+        const LinkUse &l = top[i];
+        os << " r" << l.node << "." << kDirNames[l.dir] << "="
+           << l.busyCycles << "c/" << l.words << "w";
+    }
+    os << "\n";
+}
+
+/** Run one pair with tracing on; false when it cannot be reported. */
+bool
+runTraced(PairJob &job, Cycle start_cycle, std::uint64_t max_events)
+{
+    RunOverrides o;
+    o.trace = true;
+    o.traceStartCycle = start_cycle;
+    o.traceMaxEvents = max_events;
+    job.result = runManycore(job.bench, job.config, o, &job.cap);
+    if (!job.result.ok) {
+        job.failed = true;
+        job.text = "rc_trace: " + job.bench + "/" + job.config +
+                   " failed: " + job.result.error + "\n";
+        return false;
+    }
+    if (job.cap.sink == nullptr) {
+        job.failed = true;
+        job.text = "rc_trace: " + job.bench + "/" + job.config +
+                   " returned no capture\n";
+        return false;
+    }
+    return true;
+}
+
+void
+summarizeOne(PairJob &job, Cycle start_cycle, std::uint64_t max_events)
+{
+    if (!runTraced(job, start_cycle, max_events))
+        return;
+    const TraceSink &sink = *job.cap.sink;
+    TraceAggregate agg = aggregateTrace(sink);
+    std::ostringstream os;
+    os << "== " << job.bench << "/" << job.config << " ==\n";
+    os << "  " << job.result.cycles << " cycles, " << agg.events
+       << " events (" << agg.dropped << " dropped), window ["
+       << agg.firstCycle << ", " << agg.lastCycle << "]"
+       << (agg.fullCoverage ? ", full coverage" : "") << "\n";
+    os << "  events: " << sink.recorded(TraceKind::CoreSpan)
+       << " core spans, " << sink.recorded(TraceKind::Frame)
+       << " frame, " << sink.recorded(TraceKind::NocLink)
+       << " noc link, " << sink.recorded(TraceKind::InetHop)
+       << " inet hop, " << sink.recorded(TraceKind::LlcReq) << "+"
+       << sink.recorded(TraceKind::LlcResp) << " llc req+resp\n";
+    os << "  cpi stack (all cores, from trace):\n";
+    appendCpiStack(os, agg.cpi);
+    os << "  cross-check vs flat counters: "
+       << (agg.fullCoverage
+               ? (job.result.trace.cpiCrossChecked ? "OK" : "FAIL")
+               : "skipped (partial coverage)")
+       << "\n";
+    if (agg.fullCoverage && !job.result.trace.cpiCrossChecked)
+        job.failed = true;
+    std::uint64_t frames = 0;
+    for (const auto &[core, n] : agg.framesPerCore)
+        frames += n;
+    if (frames > 0)
+        os << "  frames retired: " << frames << " across "
+           << agg.framesPerCore.size() << " cores\n";
+    appendNocHeatmap(os, agg, RunOverrides{}.cols);
+    job.text = os.str();
+}
+
+void
+exportOne(PairJob &job, const std::string &out_dir, Cycle start_cycle,
+          std::uint64_t max_events)
+{
+    if (!runTraced(job, start_cycle, max_events))
+        return;
+    std::string doc =
+        perfettoJson(*job.cap.sink, job.bench + "/" + job.config);
+    Json parsed;
+    if (!Json::parse(doc, parsed)) {
+        job.failed = true;
+        job.text = "rc_trace: " + job.bench + "/" + job.config +
+                   " produced invalid JSON\n";
+        return;
+    }
+    std::string path =
+        out_dir + "/" + job.bench + "_" + job.config + ".trace.json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(doc.data(), 1, doc.size(), f) != doc.size()) {
+        if (f != nullptr)
+            std::fclose(f);
+        job.failed = true;
+        job.text = "rc_trace: cannot write " + path + "\n";
+        return;
+    }
+    std::fclose(f);
+    std::ostringstream os;
+    os << "exported " << path << " ("
+       << job.cap.sink->recordedTotal() << " events, "
+       << doc.size() << " bytes)\n";
+    job.text = os.str();
+}
+
+int
+usage()
+{
+    std::printf(
+        "usage: rc_trace <command> [options] [BENCH/CONFIG]...\n"
+        "  export --out DIR   write Perfetto trace JSON per pair\n"
+        "  summarize          CPI stack, cross-check, NoC heatmap\n"
+        "  diff A/B C/D       compare two pairs' CPI stacks\n"
+        "options: --start CYCLE (trace window start)\n"
+        "         --max N (events per category before dropping)\n"
+        "default pairs: the golden suite\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd != "export" && cmd != "summarize" && cmd != "diff")
+        return usage();
+
+    std::string outDir;
+    Cycle startCycle = 0;
+    std::uint64_t maxEvents = TraceOptions{}.maxEventsPerCategory;
+    std::vector<PairJob> jobs;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outDir = argv[++i];
+        } else if (arg == "--start" && i + 1 < argc) {
+            startCycle = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--max" && i + 1 < argc) {
+            maxEvents = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            size_t slash = arg.find('/');
+            if (slash == std::string::npos) {
+                std::fprintf(stderr,
+                             "rc_trace: '%s' is not BENCH/CONFIG\n",
+                             arg.c_str());
+                return 2;
+            }
+            PairJob j;
+            j.bench = arg.substr(0, slash);
+            j.config = arg.substr(slash + 1);
+            jobs.push_back(std::move(j));
+        }
+    }
+    if (cmd == "export" && outDir.empty()) {
+        std::fprintf(stderr, "rc_trace: export needs --out DIR\n");
+        return 2;
+    }
+    if (cmd == "diff" && jobs.size() != 2) {
+        std::fprintf(stderr, "rc_trace: diff needs exactly two "
+                             "BENCH/CONFIG pairs\n");
+        return 2;
+    }
+    if (jobs.empty()) {
+        for (const char *pair : kGoldenPairs) {
+            PairJob j;
+            std::string s = pair;
+            size_t slash = s.find('/');
+            j.bench = s.substr(0, slash);
+            j.config = s.substr(slash + 1);
+            jobs.push_back(std::move(j));
+        }
+    }
+
+    // Fan out, but buffer each pair's output and emit it in pair
+    // order after the pool drains: -j1 and -jN byte-identical.
+    {
+        ThreadPool pool(jobsFromEnv());
+        for (PairJob &job : jobs) {
+            pool.submit([&job, &cmd, &outDir, startCycle, maxEvents] {
+                if (cmd == "export")
+                    exportOne(job, outDir, startCycle, maxEvents);
+                else
+                    summarizeOne(job, startCycle, maxEvents);
+            });
+        }
+        pool.wait();
+    }
+
+    if (cmd == "diff") {
+        PairJob &a = jobs[0], &b = jobs[1];
+        if (!a.failed && !b.failed) {
+            TraceAggregate aa = aggregateTrace(*a.cap.sink);
+            TraceAggregate bb = aggregateTrace(*b.cap.sink);
+            std::ostringstream os;
+            os << "cpi stack, " << a.bench << "/" << a.config
+               << " vs " << b.bench << "/" << b.config << ":\n";
+            const TraceCause causes[] = {
+                TraceCause::Busy,         TraceCause::Frame,
+                TraceCause::InetInput,    TraceCause::Backpressure,
+                TraceCause::Other,        TraceCause::Dae,
+            };
+            for (TraceCause c : causes) {
+                std::uint64_t va = aa.cpi.of(c), vb = bb.cpi.of(c);
+                char line[128];
+                std::snprintf(
+                    line, sizeof line,
+                    "  %-20s %12llu %12llu  %+lld\n",
+                    traceCauseName(c),
+                    static_cast<unsigned long long>(va),
+                    static_cast<unsigned long long>(vb),
+                    static_cast<long long>(vb) -
+                        static_cast<long long>(va));
+                os << line;
+            }
+            os << "  cycles: " << a.result.cycles << " vs "
+               << b.result.cycles << "\n";
+            std::printf("%s", os.str().c_str());
+        }
+        for (PairJob &job : jobs)
+            if (job.failed)
+                std::fputs(job.text.c_str(), stderr);
+        return (a.failed ? 1 : 0) + (b.failed ? 1 : 0);
+    }
+
+    int failures = 0;
+    for (PairJob &job : jobs) {
+        if (job.failed) {
+            ++failures;
+            std::fputs(job.text.c_str(), stderr);
+        } else {
+            std::fputs(job.text.c_str(), stdout);
+        }
+    }
+    return failures > 125 ? 125 : failures;
+}
