@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Wall-clock perf-regression smoke for the fast-tick simulation
+# kernel: run rc_perf on the perf basket (the 15-bench NV column,
+# where quiescent stretches are longest and the scheduler's win is
+# robustly above host noise) and require the median speedup of
+# fast-tick over the naive tick-everything oracle to clear the gate. rc_perf itself asserts that simulated cycle counts are
+# identical between the kernels on every repetition, so the gate
+# measures host time only and cannot be satisfied by changing
+# simulated behaviour.
+#
+# The gate (default 1.5x) is deliberately far below the typical
+# speedup so that a shared/loaded CI host does not flake; a genuine
+# scheduling regression (fast-tick degenerating to naive) lands at
+# ~1.0x and still fails crisply.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: ./build)
+# Env:   ROCKCRESS_PERF_GATE     speedup gate (default 1.5)
+#        ROCKCRESS_PERF_REPS     repetitions per kernel (default 3)
+#        ROCKCRESS_PERF_BASKET   perf|golden|fig10 (default perf)
+#        ROCKCRESS_PERF_OUT      output JSON (default: temp file)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bin="$build_dir/tools/rc_perf"
+if [[ ! -x "$bin" ]]; then
+    echo "perf_smoke: $bin not built" >&2
+    exit 1
+fi
+
+gate="${ROCKCRESS_PERF_GATE:-1.5}"
+reps="${ROCKCRESS_PERF_REPS:-3}"
+basket="${ROCKCRESS_PERF_BASKET:-perf}"
+
+if [[ -n "${ROCKCRESS_PERF_OUT:-}" ]]; then
+    out="$ROCKCRESS_PERF_OUT"
+else
+    workdir="$(mktemp -d)"
+    trap 'rm -rf "$workdir"' EXIT
+    out="$workdir/BENCH_perf.json"
+fi
+
+echo "perf_smoke: basket=$basket reps=$reps gate=${gate}x" >&2
+"$bin" --basket "$basket" --reps "$reps" --out "$out" \
+       --min-speedup "$gate"
+
+# The artifact must be parseable JSON with a median_speedup field
+# (CI archives it; a malformed file would poison the perf history).
+grep -q '"median_speedup"' "$out" || {
+    echo "perf_smoke: $out is missing median_speedup" >&2
+    exit 1
+}
+echo "perf_smoke: ok ($out)" >&2

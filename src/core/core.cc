@@ -1,5 +1,6 @@
 #include "core/core.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/log.hh"
@@ -62,7 +63,9 @@ Core::setProgram(std::shared_ptr<const Program> program, int entry_pc)
     cycleStat_ = nullptr;
     spanOpen_ = false;
     issuedPc_ = -1;
+    mutated_ = false;
     icache_.flush();
+    dcache_.flush();
 }
 
 // --- Exclusive CPI accounting and trace spans --------------------------------
@@ -256,16 +259,15 @@ Core::drainCosim(Cycle now)
 
 // --- Mesh sink --------------------------------------------------------------
 
-void
+bool
 Core::receive(const Packet &pkt)
 {
     switch (pkt.kind) {
       case PacketKind::MemRespKind: {
         const MemResp &resp = pkt.resp;
         if (resp.toSpad) {
-            spad_.networkWrite(resp.spadOffset, resp.data,
-                               resp.srcCore, resp.srcPc);
-            return;
+            return spad_.networkWrite(resp.spadOffset, resp.data,
+                                      resp.srcCore, resp.srcPc);
         }
         for (size_t i = 0; i < lq_.size(); ++i) {
             if (lq_[i].reqId == resp.reqId) {
@@ -281,16 +283,16 @@ Core::receive(const Packet &pkt)
                     }
                 }
                 lq_.erase(lq_.begin() + static_cast<long>(i));
-                return;
+                return true;
             }
         }
         panic("core ", id_, ": load response with unknown reqId ",
               resp.reqId);
       }
       case PacketKind::SpadWriteKind:
-        spad_.networkWrite(pkt.spadWrite.spadOffset, pkt.spadWrite.data,
-                           pkt.spadWrite.src, pkt.spadWrite.srcPc);
-        return;
+        return spad_.networkWrite(pkt.spadWrite.spadOffset,
+                                  pkt.spadWrite.data, pkt.spadWrite.src,
+                                  pkt.spadWrite.srcPc);
       default:
         panic("core ", id_, ": unexpected packet kind");
     }
@@ -784,6 +786,7 @@ Core::issue(Cycle now)
             if (rd >= 0)
                 setBusy(rd, false);
             e.busyCleared = true;
+            mutated_ = true;
         }
     }
 
@@ -1054,6 +1057,7 @@ Core::issue(Cycle now)
 
       case Opcode::REMEM:
         spad_.freeFrame(instPc);
+        env_.frameWindowMoved(id_);
         retire_simple(now + 1);
         attachRecord(inst, instPc);
         return;
@@ -1079,6 +1083,7 @@ Core::issue(Cycle now)
                 if (!joinPending_) {
                     env_.groupJoin(id_);
                     joinPending_ = true;
+                    mutated_ = true;
                 }
                 if (!env_.groupFormed(id_)) {
                     stallCycle(statStallOther_);
@@ -1099,6 +1104,7 @@ Core::issue(Cycle now)
         if (csr == Csr::FrameCfg) {
             spad_.configureFrames(static_cast<int>(value & 0xffff),
                                   static_cast<int>(value >> 16));
+            env_.frameWindowMoved(id_);
             retire_simple(now + 1);
             if (auto *r = attachRecord(inst, instPc))
                 r->aux = {value};
@@ -1140,6 +1146,7 @@ Core::issue(Cycle now)
 
       case Opcode::HALT:
         halted_ = true;
+        env_.coreHalted(id_);
         *statIssued_ += 1;
         cycleStat_ = statIssued_;
         return;
@@ -1148,6 +1155,7 @@ Core::issue(Cycle now)
         if (!barrierWaiting_) {
             env_.barrierArrive(id_);
             barrierWaiting_ = true;
+            mutated_ = true;
         }
         if (!env_.barrierReleased(id_)) {
             stallCycle(statStallOther_);
@@ -1211,15 +1219,21 @@ Core::commit(Cycle now)
 
     Opcode op = head.inst.op;
     if (op == Opcode::VISSUE) {
-        if (!inet_.canSend(id_))
-            return;  // Hold commit until the launch message can go out.
+        if (!inet_.canSend(id_)) {
+            // Hold commit until the launch message can go out; the
+            // flag makes the inet wake us when it can.
+            inet_.noteSendBlocked(id_);
+            return;
+        }
         InetMsg msg;
         msg.kind = InetMsg::Kind::Vissue;
         msg.pc = head.inst.imm;
         inet_.send(id_, msg);
     } else if (op == Opcode::DEVEC && role_ == Role::Scalar) {
-        if (!inet_.canSend(id_))
+        if (!inet_.canSend(id_)) {
+            inet_.noteSendBlocked(id_);
             return;
+        }
         InetMsg msg;
         msg.kind = InetMsg::Kind::Devec;
         msg.pc = head.inst.imm;
@@ -1228,6 +1242,7 @@ Core::commit(Cycle now)
         role_ = Role::Independent;
     }
 
+    mutated_ = true;
     int rd = destReg(head.inst);
     if (rd >= 0 && !head.waitingLoad && !head.busyCleared)
         setBusy(rd, false);
@@ -1251,6 +1266,7 @@ Core::pumpInet(Cycle now)
         const InetMsg &msg = inet_.front(id_);
         bool must_forward = inet_.hasDownstream(id_);
         if (must_forward && !inet_.canSend(id_)) {
+            inet_.noteSendBlocked(id_);
             chargeBackpressure();
             return;
         }
@@ -1264,6 +1280,7 @@ Core::pumpInet(Cycle now)
                 inet_.send(id_, msg);
             decodeQueue_.push_back(d);
             inet_.pop(id_);
+            mutated_ = true;
             *statInetInstrs_ += 1;
             return;
           }
@@ -1277,6 +1294,7 @@ Core::pumpInet(Cycle now)
                 inet_.send(id_, msg);
             decodeQueue_.push_back(d);
             inet_.pop(id_);
+            mutated_ = true;
             return;
           }
           case InetMsg::Kind::Vissue:
@@ -1295,6 +1313,7 @@ Core::pumpInet(Cycle now)
             mtActive_ = true;
             fetchPc_ = msg.pc;
             inet_.pop(id_);
+            mutated_ = true;
             return;
           case InetMsg::Kind::Devec: {
             if (static_cast<int>(decodeQueue_.size()) >=
@@ -1303,6 +1322,7 @@ Core::pumpInet(Cycle now)
             }
             bool must_forward = inet_.hasDownstream(id_);
             if (must_forward && !inet_.canSend(id_)) {
+                inet_.noteSendBlocked(id_);
                 chargeBackpressure();
                 return;
             }
@@ -1315,6 +1335,7 @@ Core::pumpInet(Cycle now)
                 inet_.send(id_, msg);
             decodeQueue_.push_back(d);
             inet_.pop(id_);
+            mutated_ = true;
             return;
           }
           case InetMsg::Kind::Instr:
@@ -1340,16 +1361,17 @@ Core::fetch(Cycle now)
     // Complete an outstanding fetch.
     if (fetchBusy_ && fetchReadyAt_ <= now) {
         const Instruction &inst = fetchedInst_;
-        bool is_ctl = isBranch(inst.op);
+        bool is_ctl = fetchedIsCtl_;
         bool forward = role_ == Role::Expander && !is_ctl &&
-                       inst.op != Opcode::VEND &&
-                       inet_.hasDownstream(id_);
+                       !fetchedIsVend_ && inet_.hasDownstream(id_);
         if (forward && !inet_.canSend(id_)) {
+            inet_.noteSendBlocked(id_);
             forwardBlocked_ = true;
             chargeBackpressure();
             return;  // Retry next cycle; fetch buffer holds the inst.
         }
         forwardBlocked_ = false;
+        mutated_ = true;
         if (forward) {
             InetMsg msg;
             msg.kind = InetMsg::Kind::Instr;
@@ -1363,13 +1385,13 @@ Core::fetch(Cycle now)
         d.pc = fetchPc_;
         decodeQueue_.push_back(d);
         fetchBusy_ = false;
-        if (is_ctl || inst.op == Opcode::HALT) {
+        if (is_ctl || fetchedIsHalt_) {
             // Pause until the branch issues (also keeps the expander
             // from ever forwarding wrong-path instructions). A HALT
             // terminates the stream, so never fetch past it.
             fetchPausedForBranch_ = true;
         } else {
-            if (role_ == Role::Expander && inst.op == Opcode::VEND)
+            if (role_ == Role::Expander && fetchedIsVend_)
                 mtActive_ = false;
             else
                 fetchPc_ += 1;
@@ -1381,9 +1403,14 @@ Core::fetch(Cycle now)
         static_cast<int>(decodeQueue_.size()) < params_.decodeDepth) {
         if (role_ == Role::Expander && !mtActive_)
             return;  // vend consumed; wait for the next vissue.
-        fetchedInst_ = program_->at(fetchPc_);
+        const DecodeCache::Entry &de = dcache_.lookup(*program_, fetchPc_);
+        fetchedInst_ = de.inst;
+        fetchedIsCtl_ = de.isCtl;
+        fetchedIsHalt_ = de.isHalt;
+        fetchedIsVend_ = de.isVend;
         fetchReadyAt_ = icache_.fetch(fetchPc_, now);
         fetchBusy_ = true;
+        mutated_ = true;
     }
 }
 
@@ -1391,12 +1418,79 @@ void
 Core::tick(Cycle now)
 {
     cycleStat_ = nullptr;
+    mutated_ = false;
     commit(now);
     issue(now);
     pumpInet(now);
     fetch(now);
+    // An issuing cycle always mutated state (retire paths cover every
+    // instruction class); checking the attribution here is cheaper
+    // than marking each of them.
+    if (cycleStat_ == statIssued_)
+        mutated_ = true;
     if (trace_ != nullptr)
         traceCycle(now);
+}
+
+Cycle
+Core::nextTickAt(Cycle now)
+{
+    if (mutated_)
+        return now + 1;  // New state may re-classify the next cycle.
+
+    Cycle at = kNeverTick;
+    auto consider = [&at](Cycle c) { at = std::min(at, c); };
+
+    // Commit: the rob head becomes committable at its doneAt. A head
+    // whose doneAt already passed yet was not committed this tick
+    // (mutated_ is clear) is necessarily a VISSUE / DEVEC launch held
+    // by inet backpressure — every other done head commits and sets
+    // mutated_ — and the inet wakes this core when the link or the
+    // downstream queue slot frees, so no deadline is needed for it.
+    if (!rob_.empty() && rob_.front().done && rob_.front().doneAt > now)
+        consider(rob_.front().doneAt);
+
+    if (halted_) {
+        // Only commit drains a halted core; everything else is off.
+        // With an empty (or load-blocked) rob, sleep until the mesh
+        // sink delivers the response and wakes us.
+        return at;
+    }
+
+    // Busy-release deadlines of completed FU ops still in the rob.
+    for (const RobEntry &e : rob_) {
+        if (e.done && !e.waitingLoad && !e.busyCleared && e.doneAt > now)
+            consider(e.doneAt);
+    }
+    // Decode-front readiness and the fetch in flight. Everything else
+    // that could unblock this core is an external event — inet
+    // arrivals, mesh deliveries, barrier release, group formation,
+    // frame-window movement — and each of those wakes us explicitly.
+    if (!decodeQueue_.empty() && decodeQueue_.front().readyAt > now)
+        consider(decodeQueue_.front().readyAt);
+    if (fetchBusy_ && fetchReadyAt_ > now)
+        consider(fetchReadyAt_);
+    return at;
+}
+
+void
+Core::skipTicks(Cycle begin, Cycle end)
+{
+    // Replay the per-cycle bookkeeping of `end - begin` provably inert
+    // cycles in one step: the naive kernel would have charged each of
+    // them to statCycles_ and to the same exclusive CPI counter as the
+    // last executed tick (the classification is a pure function of
+    // state that did not change), and extended the same trace span.
+    if (halted_)
+        return;  // Halted cycles charge nothing.
+    std::uint64_t k = end - begin;
+    *statCycles_ += k;
+    if (role_ == Role::Vector || role_ == Role::Expander)
+        *statVectorCycles_ += k;
+    if (cycleStat_ != nullptr)
+        *cycleStat_ += k;
+    if (trace_ != nullptr && spanOpen_)
+        spanLen_ += static_cast<std::uint32_t>(k);
 }
 
 } // namespace rockcress

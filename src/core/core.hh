@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/commit.hh"
+#include "core/decode_cache.hh"
 #include "core/env.hh"
 #include "isa/program.hh"
 #include "mem/icache.hh"
@@ -64,10 +65,21 @@ class Core : public Ticked
     /** Load a program and reset architectural state. */
     void setProgram(std::shared_ptr<const Program> program, int entry_pc);
 
-    /** Mesh sink: memory responses and remote scratchpad writes. */
-    void receive(const Packet &pkt);
+    /**
+     * Mesh sink: memory responses and remote scratchpad writes.
+     *
+     * @return True when the delivery could unblock this core's tick
+     * (a register-load completion or a head-frame-ready edge) — the
+     * fast-tick wake condition. Word arrivals that merely land data
+     * or advance a frame counter return false: a sleeping core is
+     * blocked on one of the tracked conditions and none of them
+     * observe those until the completing edge, which does wake it.
+     */
+    bool receive(const Packet &pkt);
 
     void tick(Cycle now) override;
+    Cycle nextTickAt(Cycle now) override;
+    void skipTicks(Cycle begin, Cycle end) override;
 
     bool halted() const { return halted_; }
     Role role() const { return role_; }
@@ -246,6 +258,10 @@ class Core : public Ticked
     bool fetchBusy_ = false;
     Cycle fetchReadyAt_ = 0;
     Instruction fetchedInst_;
+    bool fetchedIsCtl_ = false;    ///< Cached isBranch(fetchedInst_).
+    bool fetchedIsHalt_ = false;
+    bool fetchedIsVend_ = false;
+    DecodeCache dcache_;
     bool fetchPausedForBranch_ = false;
     bool forwardBlocked_ = false;
     bool mtActive_ = false;     ///< Expander: microthread in progress.
@@ -261,6 +277,16 @@ class Core : public Ticked
     bool halted_ = false;
     bool barrierWaiting_ = false;
     bool joinPending_ = false;
+
+    /**
+     * Set whenever the current tick changes any state — architectural,
+     * microarchitectural, or a peer's (sends, env calls). Reset at
+     * tick start. A tick that ends with this clear is provably inert,
+     * so nextTickAt() may sleep past a whole span of identical cycles;
+     * a set flag always forces a tick next cycle, because the new
+     * state may change the cycle's CPI classification.
+     */
+    bool mutated_ = false;
 
     // Co-simulation.
     CommitSink *cosim_ = nullptr;

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-core decoded-instruction cache: a small direct-mapped table in
+ * front of Program::at() that also precomputes the frontend's static
+ * instruction properties (branch/HALT/VEND classification), so the
+ * fetch stage stops re-deriving them for every hot-loop iteration.
+ * Purely a host-side accelerator — it never changes what is fetched,
+ * so cycle counts and statistics are unaffected (the hit/miss
+ * counters are host diagnostics, deliberately kept out of the
+ * StatRegistry).
+ */
+
+#ifndef ROCKCRESS_CORE_DECODE_CACHE_HH
+#define ROCKCRESS_CORE_DECODE_CACHE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace rockcress
+{
+
+/** Direct-mapped cache of decoded instructions, indexed by pc. */
+class DecodeCache
+{
+  public:
+    struct Entry
+    {
+        int pc = -1;            ///< Cached pc; -1 marks an empty slot.
+        Instruction inst;
+        bool isCtl = false;     ///< isBranch(): fetch pauses after it.
+        bool isHalt = false;
+        bool isVend = false;
+    };
+
+    /**
+     * Fetch the decoded entry for `pc`, filling the slot on a miss.
+     * Out-of-range pcs take the miss path and die in Program::at()
+     * with its usual diagnostic.
+     */
+    const Entry &
+    lookup(const Program &prog, int pc)
+    {
+        Entry &e = entries_[static_cast<std::size_t>(
+            static_cast<unsigned>(pc) & (kEntries - 1))];
+        if (pc < 0 || e.pc != pc) {
+            e.inst = prog.at(pc);
+            e.pc = pc;
+            e.isCtl = isBranch(e.inst.op);
+            e.isHalt = e.inst.op == Opcode::HALT;
+            e.isVend = e.inst.op == Opcode::VEND;
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        return e;
+    }
+
+    /** Invalidate every slot (program image changed). */
+    void
+    flush()
+    {
+        for (Entry &e : entries_)
+            e.pc = -1;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    static constexpr unsigned kEntries = 64;   // Power of two.
+    std::array<Entry, kEntries> entries_{};
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_CORE_DECODE_CACHE_HH

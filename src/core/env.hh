@@ -52,6 +52,23 @@ class CoreEnv
     virtual bool barrierReleased(CoreId core) const = 0;
     ///@}
 
+    /** @name Quiescence notifications (fast-tick scheduler hooks). */
+    ///@{
+    /**
+     * This core just executed HALT. Lets the machine maintain the
+     * halted count in O(1) instead of rescanning every tile per
+     * cycle. Default: ignore (standalone-core tests).
+     */
+    virtual void coreHalted(CoreId core) { (void)core; }
+    /**
+     * This core's scratchpad frame window advanced (freeFrame) or was
+     * reconfigured (configureFrames): remote issuers sleeping on the
+     * DAE run-ahead guard against this scratchpad must be re-armed.
+     * Default: ignore.
+     */
+    virtual void frameWindowMoved(CoreId core) { (void)core; }
+    ///@}
+
     /** Another core's scratchpad (DAE run-ahead guard checks). */
     virtual Scratchpad &spadOf(CoreId core) = 0;
 

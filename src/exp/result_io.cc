@@ -227,6 +227,7 @@ overridesToJson(const RunOverrides &o)
     j["nocWidthWords"] =
         Json(static_cast<std::uint64_t>(o.nocWidthWords));
     j["maxCycles"] = Json(o.maxCycles);
+    j["naiveTick"] = Json(o.naiveTick);
     j["verify"] = Json(o.verify);
     j["cosim"] = Json(o.cosim);
     j["cosimStrictLoads"] = Json(o.cosimStrictLoads);

@@ -1,6 +1,7 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <sstream>
 
@@ -62,7 +63,14 @@ runManycore(const std::string &bench, const std::string &config,
             checker = std::make_unique<CosimChecker>(machine, ropts);
             machine.attachCosim(checker.get());
         }
+        machine.setNaiveTick(overrides.naiveTick);
+        auto t0 = std::chrono::steady_clock::now();
         r.cycles = machine.run(overrides.maxCycles);
+        auto t1 = std::chrono::steady_clock::now();
+        r.diag.runSeconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        r.diag.simTicks = machine.ticksExecuted();
+        r.diag.simSkips = machine.ticksSkipped();
         if (sink)
             machine.flushTrace();
         if (checker) {

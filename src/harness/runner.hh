@@ -29,7 +29,16 @@ struct RunOverrides
     double dramBytesPerCycle = 16.0;   ///< Fig. 13: 32.0 for 2xBW.
     Addr llcBankBytes = 16 * 1024;     ///< Fig. 17b: 32 kB.
     int nocWidthWords = 4;             ///< Fig. 17c: 1.
-    Cycle maxCycles = 400'000'000;
+    /** Watchdog; 0 scales with the grid (Machine::run). */
+    Cycle maxCycles = 0;
+    /**
+     * Escape hatch: simulate with the naive tick-everything kernel
+     * instead of the quiescence-aware fast-tick scheduler. Both are
+     * cycle-exact and produce byte-identical artifacts (DESIGN.md
+     * S5i); this knob exists for differential testing and for
+     * bisecting a suspected scheduler bug.
+     */
+    bool naiveTick = false;
     /**
      * Statically verify the assembled program before simulating and
      * fail the run on any finding. Off only for experiments that
@@ -139,6 +148,24 @@ struct RunResult
 
     /** Event-trace summary (all-zero unless RunOverrides::trace). */
     TraceSummary trace;
+
+    /**
+     * Scheduler diagnostics: kernel- and host-dependent by design, so
+     * they are deliberately NOT serialized into run artifacts (see
+     * exp/result_io.cc), excluded from result identity (the vacuous
+     * operator== below keeps the RunResult determinism audits exact
+     * on every simulation field), and only feed rc_perf's report.
+     */
+    struct KernelDiag
+    {
+        std::uint64_t simTicks = 0;   ///< Component ticks executed.
+        std::uint64_t simSkips = 0;   ///< Component-cycles skipped.
+        /** Wall-clock seconds inside Machine::run() alone. */
+        double runSeconds = 0;
+
+        bool operator==(const KernelDiag &) const { return true; }
+    };
+    KernelDiag diag;
 
     /** Field-wise (bit-identical) equality: determinism audits. */
     bool operator==(const RunResult &) const = default;

@@ -1,5 +1,6 @@
 #include "machine/machine.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -44,8 +45,15 @@ Machine::Machine(const MachineParams &params)
         cores_.push_back(std::make_unique<Core>(
             c, params_.core, *this, *spads_.back(), *inet_, scope));
         Core *core = cores_.back().get();
-        mesh_->setSink(tileNode(c),
-                       [core](const Packet &pkt) { core->receive(pkt); });
+        // The sink wrapper re-arms the core only when the delivery is
+        // actionable (a load completion or a head-frame-ready edge);
+        // intermediate frame-fill words cannot unblock a sleeping
+        // core, and suppressing those wakes is what lets frame-armed
+        // consumers sleep through a whole fill.
+        mesh_->setSink(tileNode(c), [this, core](const Packet &pkt) {
+            if (core->receive(pkt))
+                sim_.wake(core);
+        });
     }
 
     // LLC banks.
@@ -65,9 +73,20 @@ Machine::Machine(const MachineParams &params)
             b, bankNode(b), llc, *mesh_, *dram_, *mem_, map_, core_nodes,
             scope));
         LlcBank *bank = banks_.back().get();
-        mesh_->setSink(bankNode(b),
-                       [bank](const Packet &pkt) { bank->receive(pkt); });
+        mesh_->setSink(bankNode(b), [this, bank](const Packet &pkt) {
+            bank->receive(pkt);
+            sim_.wake(bank);
+        });
     }
+
+    // Fast-tick wakeups for the NoCs: a send re-arms the network, a
+    // delivery or pop re-arms the affected endpoint cores.
+    mesh_->setWakeSelf([this] { sim_.wake(mesh_.get()); });
+    inet_->setWake(
+        [this] { sim_.wake(inet_.get()); },
+        [this](CoreId c) {
+            sim_.wake(cores_.at(static_cast<size_t>(c)).get());
+        });
 
     // Tick order: cores, inet, mesh, LLCs, then machine bookkeeping.
     for (auto &core : cores_)
@@ -189,15 +208,18 @@ Machine::planGroup(const GroupPlan &plan)
 Cycle
 Machine::run(Cycle max_cycles)
 {
-    return sim_.run(
-        [this] {
-            for (const auto &core : cores_) {
-                if (!core->halted())
-                    return false;
-            }
-            return true;
-        },
-        max_cycles);
+    if (max_cycles == 0)
+        max_cycles = kWatchdogCyclesPerCore *
+                     static_cast<Cycle>(numCores());
+    // setProgram clears halted_ without an env callback; recount so a
+    // reloaded machine can run again.
+    haltedCount_ = 0;
+    for (const auto &core : cores_) {
+        if (core->halted())
+            ++haltedCount_;
+    }
+    return sim_.run([this] { return haltedCount_ >= numCores(); },
+                    max_cycles);
 }
 
 bool
@@ -218,15 +240,23 @@ Machine::tick(Cycle now)
     (void)now;
     // Release the barrier when every live core has arrived and the
     // memory system has drained (gives kernels store-drain semantics).
-    int alive = 0;
-    for (const auto &core : cores_) {
-        if (!core->halted())
-            ++alive;
-    }
+    int alive = numCores() - haltedCount_;
     if (alive > 0 && arrivals_ >= alive && memIdle()) {
         ++barrierGen_;
         arrivals_ = 0;
+        // Waiters observe the release next cycle (the machine ticks
+        // after the cores), exactly as under the naive kernel.
+        for (auto &core : cores_)
+            sim_.wake(core.get());
     }
+}
+
+Cycle
+Machine::nextTickAt(Cycle now)
+{
+    // The machine's only per-cycle duty is polling barrier release;
+    // with no arrivals pending its tick is a no-op.
+    return arrivals_ > 0 ? now + 1 : kNeverTick;
 }
 
 // --- CoreEnv ------------------------------------------------------------------
@@ -244,7 +274,7 @@ Machine::sendMemReq(CoreId src, const MemReq &req)
     pkt.kind = PacketKind::MemReqKind;
     pkt.req = req;
     pkt.words = req.op == MemOp::WriteWord ? 1 + req.sizeWords : 1;
-    mesh_->send(pkt);
+    mesh_->send(std::move(pkt));
 }
 
 void
@@ -256,7 +286,7 @@ Machine::sendSpadWrite(CoreId src, const SpadWrite &write)
     pkt.kind = PacketKind::SpadWriteKind;
     pkt.spadWrite = write;
     pkt.words = 2;
-    mesh_->send(pkt);
+    mesh_->send(std::move(pkt));
 }
 
 void
@@ -271,6 +301,8 @@ Machine::groupJoin(CoreId core)
     if (g.joined == static_cast<int>(g.plan.chain.size())) {
         g.formed = true;
         inet_->configureChain(g.plan.chain);
+        // Chain members sleeping on groupFormed() can proceed.
+        wakeGroupChain(core);
     }
 }
 
@@ -351,6 +383,8 @@ Machine::leftGroup(CoreId core)
         g.joined = 0;
         g.formed = false;
         g.left = 0;
+        // Members may be waiting to re-form at the next kernel.
+        wakeGroupChain(core);
     }
 }
 
@@ -359,6 +393,36 @@ Machine::barrierArrive(CoreId core)
 {
     arrivedGen_.at(static_cast<size_t>(core)) = barrierGen_;
     ++arrivals_;
+    // Arm barrier-release polling (the machine sleeps between
+    // barriers; it ticks after the cores, so it sees this arrival in
+    // the same cycle, like the naive kernel).
+    sim_.wake(this);
+}
+
+void
+Machine::coreHalted(CoreId core)
+{
+    (void)core;
+    ++haltedCount_;
+}
+
+void
+Machine::frameWindowMoved(CoreId core)
+{
+    // A REMEM (or frame reconfiguration) on this core widens the DAE
+    // issue window its group's producers are gated on; they may be
+    // asleep in a stall_frame span.
+    wakeGroupChain(core);
+}
+
+void
+Machine::wakeGroupChain(CoreId core)
+{
+    int gid = groupOfCore_.at(static_cast<size_t>(core));
+    if (gid < 0)
+        return;
+    for (CoreId c : groups_[static_cast<size_t>(gid)].plan.chain)
+        sim_.wake(cores_.at(static_cast<size_t>(c)).get());
 }
 
 bool

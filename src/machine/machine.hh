@@ -59,10 +59,32 @@ class Machine : public CoreEnv, public Ticked
     void planGroup(const GroupPlan &plan);
     ///@}
 
-    /** Run until all cores halt. @return total cycles. */
-    Cycle run(Cycle max_cycles = 500'000'000);
+    /**
+     * Run until all cores halt. @return total cycles.
+     * @param max_cycles Watchdog limit; 0 scales it with the grid
+     * size (kWatchdogCyclesPerCore per tile), so small fuzz grids
+     * trip as eagerly as the full 8x8 machine.
+     */
+    Cycle run(Cycle max_cycles = 0);
+
+    /** Watchdog budget per tile when run() is passed max_cycles = 0. */
+    static constexpr Cycle kWatchdogCyclesPerCore = 8'000'000;
+
+    /**
+     * Select the simulation kernel: false (default) is the
+     * quiescence-aware fast-tick scheduler, true the naive
+     * tick-everything oracle. Both produce byte-identical runs
+     * (DESIGN.md S5i); the naive loop exists as the differential
+     * baseline and escape hatch.
+     */
+    void setNaiveTick(bool naive) { sim_.setNaive(naive); }
+
+    /** Fast-tick diagnostics (see Simulator). */
+    std::uint64_t ticksExecuted() const { return sim_.ticksExecuted(); }
+    std::uint64_t ticksSkipped() const { return sim_.ticksSkipped(); }
 
     void tick(Cycle now) override;
+    Cycle nextTickAt(Cycle now) override;
 
     /** @name Accessors. */
     ///@{
@@ -131,6 +153,8 @@ class Machine : public CoreEnv, public Ticked
     void leftGroup(CoreId core) override;
     void barrierArrive(CoreId core) override;
     bool barrierReleased(CoreId core) const override;
+    void coreHalted(CoreId core) override;
+    void frameWindowMoved(CoreId core) override;
     Scratchpad &spadOf(CoreId core) override;
     MainMemory &mainMem() override { return *mem_; }
     const AddrMap &addrMap() const override { return map_; }
@@ -175,6 +199,12 @@ class Machine : public CoreEnv, public Ticked
     std::uint64_t barrierGen_ = 1;
     std::vector<std::uint64_t> arrivedGen_;  ///< 0 = not waiting.
     int arrivals_ = 0;
+
+    /** Halted tiles, maintained via coreHalted (recounted at run()). */
+    int haltedCount_ = 0;
+
+    /** Re-arm every non-halted member of this core's group chain. */
+    void wakeGroupChain(CoreId core);
 };
 
 } // namespace rockcress

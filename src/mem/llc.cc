@@ -1,5 +1,7 @@
 #include "mem/llc.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace rockcress
@@ -71,16 +73,21 @@ LlcBank::enqueueResponses(const MemReq &req)
         ev.b = static_cast<std::uint64_t>(req.wordHi - req.wordLo);
         trace_->record(ev);
     }
-    ActiveResp ar;
+    ActiveResp &ar = respQueue_.emplace_back();
     ar.req = req;
     ar.cnt = req.wordLo;
+    // One division at stream start; emitOneWord then carries the
+    // per-core word index and core index incrementally (the modulo
+    // and divide were measurable at one response word per cycle).
+    ar.wordInCore = req.wordLo % req.respPerCore;
+    ar.coreIdx = req.wordLo / req.respPerCore;
     // Data is read functionally when the line becomes available (hit
     // or fill completion); the serial response engine then streams
     // the captured words one per cycle.
+    ar.snap.reserve(static_cast<size_t>(req.wordHi - req.wordLo));
     for (int c = req.wordLo; c < req.wordHi; ++c)
         ar.snap.push_back(
             mem_.readWord(req.addr + static_cast<Addr>(c) * wordBytes));
-    respQueue_.push_back(ar);
 }
 
 void
@@ -121,6 +128,7 @@ LlcBank::startRequest(const MemReq &req, Cycle now)
     mshr.ready = dram_.request(bank_, bytes, now);
     if (!is_write)
         mshr.waiting.push_back(req);
+    mshrMinReady_ = std::min(mshrMinReady_, mshr.ready);
     mshrs_.emplace(line, std::move(mshr));
 }
 
@@ -133,13 +141,16 @@ LlcBank::emitOneWord(Cycle)
     const MemReq &req = ar.req;
 
     MemResp resp;
-    resp.dst = responseDest(req, ar.cnt);
+    resp.dst = req.variant == VloadVariant::Group
+                   ? req.group->vectorCores.at(static_cast<size_t>(
+                         req.baseCoreOff + ar.coreIdx))
+                   : responseDest(req, ar.cnt);
     resp.addr = req.addr + static_cast<Addr>(ar.cnt) * wordBytes;
     resp.data = ar.snap[static_cast<size_t>(ar.cnt - ar.req.wordLo)];
     resp.toSpad = req.op == MemOp::ReadWide;
-    resp.spadOffset = req.spadOffset +
-                      static_cast<Word>(ar.cnt % req.respPerCore) *
-                          wordBytes;
+    resp.spadOffset =
+        req.spadOffset +
+        static_cast<Word>(ar.wordInCore) * wordBytes;
     resp.reqId = req.reqId;
     resp.destReg = req.destReg;
     resp.srcCore = req.src;
@@ -151,10 +162,14 @@ LlcBank::emitOneWord(Cycle)
     pkt.words = 1;
     pkt.kind = PacketKind::MemRespKind;
     pkt.resp = resp;
-    mesh_.send(pkt);
+    mesh_.send(std::move(pkt));
     *statRespWords_ += 1;
 
     ++ar.cnt;
+    if (++ar.wordInCore == req.respPerCore) {
+        ar.wordInCore = 0;
+        ++ar.coreIdx;
+    }
     if (ar.cnt >= req.wordHi)
         respQueue_.pop_front();
 }
@@ -162,17 +177,22 @@ LlcBank::emitOneWord(Cycle)
 void
 LlcBank::tick(Cycle now)
 {
-    // Retire completed fills.
-    for (auto it = mshrs_.begin(); it != mshrs_.end();) {
-        if (it->second.ready <= now) {
-            for (const MemReq &req : it->second.waiting) {
-                if (req.op != MemOp::WriteWord)
-                    enqueueResponses(req);
+    // Retire completed fills (skip the sweep while none is due).
+    if (mshrMinReady_ <= now) {
+        Cycle next_ready = kNeverTick;
+        for (auto it = mshrs_.begin(); it != mshrs_.end();) {
+            if (it->second.ready <= now) {
+                for (const MemReq &req : it->second.waiting) {
+                    if (req.op != MemOp::WriteWord)
+                        enqueueResponses(req);
+                }
+                it = mshrs_.erase(it);
+            } else {
+                next_ready = std::min(next_ready, it->second.ready);
+                ++it;
             }
-            it = mshrs_.erase(it);
-        } else {
-            ++it;
         }
+        mshrMinReady_ = next_ready;
     }
 
     // Accept one request per cycle (tag port).
@@ -184,6 +204,19 @@ LlcBank::tick(Cycle now)
 
     // One response word per cycle per CPU-side port.
     emitOneWord(now);
+}
+
+Cycle
+LlcBank::nextTickAt(Cycle now)
+{
+    // Queued requests and active response streams advance every
+    // cycle; otherwise the only future work is a fill completing.
+    // The machine's sink wrapper wakes us on request arrival.
+    if (!reqQueue_.empty() || !respQueue_.empty())
+        return now + 1;
+    if (mshrMinReady_ == kNeverTick)
+        return kNeverTick;
+    return std::max(mshrMinReady_, now + 1);
 }
 
 bool

@@ -56,6 +56,7 @@ class LlcBank : public Ticked
     void receive(const Packet &pkt);
 
     void tick(Cycle now) override;
+    Cycle nextTickAt(Cycle now) override;
 
     /** True when no requests, fills, or responses are outstanding. */
     bool idle() const;
@@ -80,7 +81,9 @@ class LlcBank : public Ticked
     struct ActiveResp
     {
         MemReq req;
-        int cnt = 0;   ///< Next response index in [wordLo, wordHi).
+        int cnt = 0;        ///< Next response index in [wordLo, wordHi).
+        int wordInCore = 0; ///< cnt % respPerCore, carried incrementally.
+        int coreIdx = 0;    ///< cnt / respPerCore, carried incrementally.
         std::vector<Word> snap;
     };
 
@@ -105,6 +108,12 @@ class LlcBank : public Ticked
 
     std::deque<MemReq> reqQueue_;
     std::map<Addr, Mshr> mshrs_;
+    /**
+     * Earliest mshrs_ fill completion (kNeverTick when none): lets
+     * tick() skip the retirement sweep on the (dominant) cycles where
+     * no fill is due, and makes nextTickAt O(1).
+     */
+    Cycle mshrMinReady_ = kNeverTick;
     std::deque<ActiveResp> respQueue_;
     Cycle respPortFreeAt_ = 0;
 

@@ -187,7 +187,7 @@ Scratchpad::armSlot(int slot)
             shadow_[i].st = SpadWordState::Armed;
 }
 
-void
+bool
 Scratchpad::networkWrite(Addr offset, Word data, CoreId src_core,
                          int src_pc)
 {
@@ -196,7 +196,7 @@ Scratchpad::networkWrite(Addr offset, Word data, CoreId src_core,
     *statNetworkWrites_ += 1;
     words_[offset / wordBytes] = data;
     if (!inFrameRegion(offset))
-        return;
+        return false;
     // The sanitizer sees every arrival first, so protocol violations
     // are attributed even when the fill also trips a hard guard
     // (overfill / mis-paced run-ahead) below.
@@ -232,6 +232,7 @@ Scratchpad::networkWrite(Addr offset, Word data, CoreId src_core,
     }
     if (sanEnabled_ && cnt == frameSize_)
         armSlot(static_cast<int>((head_ + delta) % numFrames_));
+    return delta == 0 && cnt == frameSize_;
 }
 
 bool

@@ -91,8 +91,15 @@ class Scratchpad
      * frame containing the destination address when it lands in the
      * frame region. src_core/src_pc attribute the originating store
      * (sanitizer only; -1 when unknown).
+     *
+     * @return True when this word completed the HEAD frame — the only
+     * arrival that can unblock the owning core's tick (frameReady()
+     * edge). Everything else the core reads from the scratchpad
+     * (canAcceptFrameWrite, data words) is unaffected by arrivals or
+     * is only sampled while the core is demonstrably awake, so the
+     * fast-tick sink wrappers use this to suppress spurious wakes.
      */
-    void networkWrite(Addr offset, Word data, CoreId src_core = -1,
+    bool networkWrite(Addr offset, Word data, CoreId src_core = -1,
                       int src_pc = -1);
 
     /** @name DAE consumption (frame_start / remem). */

@@ -1,5 +1,7 @@
 #include "noc/inet.hh"
 
+#include <bit>
+
 #include "sim/log.hh"
 
 namespace rockcress
@@ -11,6 +13,7 @@ Inet::Inet(int num_cores, int queue_capacity, const StatScope &stats)
     if (num_cores <= 0 || queue_capacity <= 0)
         fatal("inet: invalid parameters");
     nodes_.resize(static_cast<size_t>(num_cores));
+    busyBits_.resize((static_cast<size_t>(num_cores) + 63) / 64, 0);
     statSends_ = stats.counter("sends");
 }
 
@@ -22,6 +25,7 @@ Inet::configureChain(const std::vector<CoreId> &chain)
         if (n.downstream != -1)
             fatal("inet: core ", chain[i], " already in a chain");
         n.downstream = chain[i + 1];
+        nodes_.at(static_cast<size_t>(chain[i + 1])).upstream = chain[i];
     }
 }
 
@@ -29,9 +33,18 @@ void
 Inet::clearCore(CoreId core)
 {
     Node &n = nodes_.at(static_cast<size_t>(core));
+    if (n.downstream != -1)
+        nodes_[static_cast<size_t>(n.downstream)].upstream = -1;
     n.downstream = -1;
+    n.upstream = -1;
     n.queue.clear();
+    if (n.linkBusy) {
+        --busyLinks_;
+        auto i = static_cast<size_t>(core);
+        busyBits_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
     n.linkBusy = false;
+    n.sendWaiter = false;
 }
 
 bool
@@ -57,7 +70,15 @@ Inet::send(CoreId core, const InetMsg &msg)
     if (!canSend(core))
         panic("inet: send from core ", core, " without space");
     n.linkBusy = true;
+    n.sendWaiter = false;   // A core that sends is not blocked on it.
     n.inFlight = msg;
+    auto i = static_cast<size_t>(core);
+    busyBits_[i / 64] |= std::uint64_t{1} << (i % 64);
+    // The message needs a delivery tick; while any link is busy,
+    // nextTickAt() keeps the inet scheduled every cycle, so only the
+    // idle->busy edge has to re-arm it.
+    if (++busyLinks_ == 1 && wakeSelf_)
+        wakeSelf_();
     *statSends_ += 1;
     if (trace_ != nullptr) {
         TraceEvent ev;
@@ -94,6 +115,18 @@ Inet::pop(CoreId core)
     if (n.queue.empty())
         panic("inet: pop() on empty queue of core ", core);
     n.queue.pop_front();
+    // The freed slot may unblock the upstream sender, but only when
+    // the queue was full (canSend() compares the size against the
+    // capacity, so this pop is the only one that changes its value)
+    // and only if that sender actually blocked on canSend().
+    if (n.upstream != -1 && wakeCore_ &&
+        static_cast<int>(n.queue.size()) == capacity_ - 1) {
+        Node &up = nodes_[static_cast<size_t>(n.upstream)];
+        if (up.sendWaiter) {
+            up.sendWaiter = false;
+            wakeCore_(n.upstream);
+        }
+    }
 }
 
 int
@@ -106,16 +139,48 @@ Inet::queueSize(CoreId core) const
 void
 Inet::tick(Cycle)
 {
-    // Deliver in-flight messages: one register write per link per cycle.
-    for (Node &n : nodes_) {
-        if (!n.linkBusy)
-            continue;
-        Node &down = nodes_[static_cast<size_t>(n.downstream)];
-        if (static_cast<int>(down.queue.size()) >= capacity_)
-            panic("inet: downstream queue overflow");
-        down.queue.push_back(n.inFlight);
-        n.linkBusy = false;
+    // Deliver in-flight messages: one register write per link per
+    // cycle. Only busy links are visited, in ascending node order —
+    // the order the full sweep would deliver in. No sends happen
+    // during delivery, so iterating a snapshot of each word is safe.
+    for (size_t w = 0; w < busyBits_.size(); ++w) {
+        std::uint64_t bits = busyBits_[w];
+        busyBits_[w] = 0;
+        while (bits != 0) {
+            auto b = static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            size_t i = w * 64 + b;
+            Node &n = nodes_[i];
+            Node &down = nodes_[static_cast<size_t>(n.downstream)];
+            if (static_cast<int>(down.queue.size()) >= capacity_)
+                panic("inet: downstream queue overflow");
+            down.queue.push_back(n.inFlight);
+            n.linkBusy = false;
+            --busyLinks_;
+            if (wakeCore_) {
+                // The receiver gained a message — an edge only when
+                // the queue was empty (a sleeping core with a backlog
+                // is blocked on something else with its own wake).
+                // The sender's link freed — canSend() turns true only
+                // when the queue it feeds still has room, and matters
+                // only to a sender that blocked on it.
+                if (down.queue.size() == 1)
+                    wakeCore_(n.downstream);
+                if (n.sendWaiter &&
+                    static_cast<int>(down.queue.size()) < capacity_) {
+                    n.sendWaiter = false;
+                    wakeCore_(static_cast<CoreId>(i));
+                }
+            }
+        }
     }
+}
+
+Cycle
+Inet::nextTickAt(Cycle now)
+{
+    // A tick with no in-flight messages is a no-op; send() re-arms.
+    return busyLinks_ > 0 ? now + 1 : kNeverTick;
 }
 
 bool

@@ -13,6 +13,7 @@
 #define ROCKCRESS_NOC_INET_HH
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "isa/instr.hh"
@@ -75,6 +76,20 @@ class Inet : public Ticked
     /** Send one message downstream; arrives next cycle. */
     void send(CoreId core, const InetMsg &msg);
 
+    /**
+     * Record that `core` is blocked on canSend() and must be woken
+     * when its link frees or its downstream queue gains space. Called
+     * by the core every tick it observes canSend() false and has a
+     * message to send; without the flag, queue-space and link-free
+     * events wake nobody (a core that never asked cannot be waiting
+     * on them — every canSend() consultation in the core flags
+     * itself here before blocking).
+     */
+    void noteSendBlocked(CoreId core)
+    {
+        nodes_.at(static_cast<size_t>(core)).sendWaiter = true;
+    }
+
     /** @name Input queue access for the receiving core. */
     ///@{
     bool hasMsg(CoreId core) const;
@@ -86,6 +101,21 @@ class Inet : public Ticked
     int queueCapacity() const { return capacity_; }
 
     void tick(Cycle now) override;
+    Cycle nextTickAt(Cycle now) override;
+
+    /**
+     * Wire the fast-tick wakeup callbacks: `self` re-arms the inet
+     * itself (a send needs a delivery tick), `core` re-arms a tile
+     * whose inet-visible state changed (message arrival, queue space,
+     * link freed). Unset callbacks (standalone unit tests) are
+     * ignored.
+     */
+    void
+    setWake(std::function<void()> self, std::function<void(CoreId)> core)
+    {
+        wakeSelf_ = std::move(self);
+        wakeCore_ = std::move(core);
+    }
 
     /** True when all queues and links are empty. */
     bool idle() const;
@@ -100,14 +130,25 @@ class Inet : public Ticked
     struct Node
     {
         CoreId downstream = -1;
+        CoreId upstream = -1;   ///< Node whose downstream is this one.
         std::deque<InetMsg> queue;
         bool linkBusy = false;
+        bool sendWaiter = false;   ///< Blocked on canSend(); wake me.
         InetMsg inFlight;
     };
 
     std::vector<Node> nodes_;
     int capacity_;
+    int busyLinks_ = 0;   ///< Links with an in-flight message.
+    /**
+     * Bit per node whose link is busy; tick() visits set bits in
+     * ascending order — the same order the full node sweep delivers
+     * in — instead of scanning every node every cycle.
+     */
+    std::vector<std::uint64_t> busyBits_;
     TraceSink *trace_ = nullptr;
+    std::function<void()> wakeSelf_;
+    std::function<void(CoreId)> wakeCore_;
     std::uint64_t *statSends_;
 };
 

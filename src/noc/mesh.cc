@@ -1,6 +1,7 @@
 #include "noc/mesh.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/log.hh"
 
@@ -14,6 +15,31 @@ Mesh::Mesh(int cols, int rows, int width_words, const StatScope &stats)
         fatal("mesh: invalid geometry ", cols, "x", rows, " width ",
               width_words);
     routers_.resize(static_cast<size_t>(cols * rows));
+    activeBits_.resize(
+        (static_cast<size_t>(cols * rows) * NumDirs + 63) / 64, 0);
+    wheel_.resize(64);
+    wheelMask_ = wheel_.size() - 1;
+    if ((width_ & (width_ - 1)) == 0)
+        widthShift_ = std::countr_zero(static_cast<unsigned>(width_));
+    auto nodes = static_cast<size_t>(cols * rows);
+    dirTable_.resize(nodes * nodes);
+    for (size_t r = 0; r < nodes; ++r)
+        for (size_t d = 0; d < nodes; ++d)
+            dirTable_[r * nodes + d] = static_cast<std::uint8_t>(
+                computeDir(static_cast<int>(r), static_cast<int>(d)));
+    hopTable_.assign(nodes * NumDirs, -1);
+    for (size_t r = 0; r < nodes; ++r) {
+        int rx = static_cast<int>(r) % cols_;
+        int ry = static_cast<int>(r) / cols_;
+        if (ry > 0)
+            hopTable_[r * NumDirs + North] = nodeId(rx, ry - 1);
+        if (ry < rows_ - 1)
+            hopTable_[r * NumDirs + South] = nodeId(rx, ry + 1);
+        if (rx < cols_ - 1)
+            hopTable_[r * NumDirs + East] = nodeId(rx + 1, ry);
+        if (rx > 0)
+            hopTable_[r * NumDirs + West] = nodeId(rx - 1, ry);
+    }
     statPackets_ = stats.counter("packets");
     statWords_ = stats.counter("words");
     statWordHops_ = stats.counter("word_hops");
@@ -26,7 +52,7 @@ Mesh::setSink(int node, Sink sink)
 }
 
 int
-Mesh::routeDir(int router, int dst) const
+Mesh::computeDir(int router, int dst) const
 {
     if (router == dst)
         return Local;
@@ -40,13 +66,36 @@ Mesh::routeDir(int router, int dst) const
     return dy > ry ? South : North;
 }
 
-void
-Mesh::acceptAt(int router, Packet &&pkt)
+int
+Mesh::routeDir(int router, int dst) const
 {
-    int dir = routeDir(router, pkt.dstNode);
-    routers_[static_cast<size_t>(router)]
-        .ports[dir]
-        .queue.push_back(std::move(pkt));
+    return dirTable_[static_cast<size_t>(router) * routers_.size() +
+                     static_cast<size_t>(dst)];
+}
+
+int
+Mesh::allocPacket(Packet &&pkt)
+{
+    if (freeList_.empty()) {
+        pool_.push_back(std::move(pkt));
+        return static_cast<int>(pool_.size()) - 1;
+    }
+    int h = freeList_.back();
+    freeList_.pop_back();
+    pool_[static_cast<size_t>(h)] = std::move(pkt);
+    return h;
+}
+
+void
+Mesh::acceptAt(int router, QEnt ent)
+{
+    int dir = routeDir(router, ent.dst);
+    OutPort &port = routers_[static_cast<size_t>(router)].ports[dir];
+    if (port.empty()) {
+        auto pid = static_cast<size_t>(router * NumDirs + dir);
+        activeBits_[pid / 64] |= std::uint64_t{1} << (pid % 64);
+    }
+    port.push(ent);
 }
 
 void
@@ -57,53 +106,110 @@ Mesh::send(Packet pkt)
         panic("mesh: packet with bad endpoints ", pkt.srcNode, " -> ",
               pkt.dstNode);
     }
-    ++inFlightPackets_;
+    // Re-arm only on the idle->busy edge: while packets are in
+    // flight, nextTickAt() keeps the mesh scheduled every cycle.
+    if (++inFlightPackets_ == 1 && wakeSelf_)
+        wakeSelf_();
     *statPackets_ += 1;
     *statWords_ += static_cast<std::uint64_t>(pkt.words);
-    acceptAt(pkt.srcNode, std::move(pkt));
+    QEnt ent;
+    ent.dst = pkt.dstNode;
+    ent.words = pkt.words;
+    int src = pkt.srcNode;
+    ent.handle = allocPacket(std::move(pkt));
+    acceptAt(src, ent);
+}
+
+Cycle
+Mesh::nextTickAt(Cycle now)
+{
+    // While packets are in flight the mesh runs every cycle, exactly
+    // like the naive kernel (port-occupancy horizons make finer
+    // prediction fragile for no gain — memory-busy phases tick the
+    // mesh anyway). An empty mesh's tick is a no-op; send() re-arms.
+    return inFlightPackets_ > 0 ? now + 1 : kNeverTick;
+}
+
+void
+Mesh::growWheel(std::size_t need)
+{
+    std::size_t ns = wheel_.size();
+    while (ns < need)
+        ns *= 2;
+    wheelMask_ = ns - 1;
+    std::vector<std::vector<Transit>> nw(ns);
+    // Each old bucket holds transits of a single ready value (spans
+    // stayed below the old size), so moving buckets whole preserves
+    // the per-cycle insertion order the completion scan relies on.
+    for (auto &bucket : wheel_) {
+        if (bucket.empty())
+            continue;
+        auto slot = static_cast<std::size_t>(bucket.front().ready) % ns;
+        if (nw[slot].empty()) {
+            nw[slot] = std::move(bucket);
+        } else {
+            for (Transit &t : bucket)
+                nw[slot].push_back(std::move(t));
+        }
+    }
+    wheel_ = std::move(nw);
 }
 
 void
 Mesh::tick(Cycle now)
 {
     // Complete transits that arrive this cycle.
-    size_t keep = 0;
-    for (size_t i = 0; i < transits_.size(); ++i) {
-        Transit &t = transits_[i];
-        if (t.ready > now) {
-            if (keep != i)
-                transits_[keep] = std::move(transits_[i]);
-            ++keep;
-            continue;
-        }
+    std::vector<Transit> &arrived =
+        wheel_[static_cast<std::size_t>(now) & wheelMask_];
+    for (Transit &t : arrived) {
         if (t.router < 0) {
             Router &r = routers_[static_cast<size_t>(t.localOf)];
             if (!r.sink)
                 panic("mesh: packet for node ", t.localOf,
                       " which has no sink");
             --inFlightPackets_;
-            r.sink(t.pkt);
+            // Move out and free before the sink runs: a sink is then
+            // free to send() (reallocating or reusing pool slots)
+            // without invalidating the packet it was handed.
+            Packet pkt =
+                std::move(pool_[static_cast<size_t>(t.ent.handle)]);
+            freePacket(t.ent.handle);
+            r.sink(pkt);
         } else {
-            acceptAt(t.router, std::move(t.pkt));
+            acceptAt(t.router, t.ent);
         }
     }
-    transits_.resize(keep);
+    arrived.clear();
 
-    // Launch packets from output ports.
-    for (size_t rid = 0; rid < routers_.size(); ++rid) {
-        Router &r = routers_[rid];
-        int rx = static_cast<int>(rid) % cols_;
-        int ry = static_cast<int>(rid) / cols_;
-        for (int d = 0; d < NumDirs; ++d) {
-            OutPort &port = r.ports[d];
-            if (port.queue.empty() || port.busyUntil > now)
+    // Launch packets from output ports. Only ports with queued
+    // packets are visited; ascending bit order makes this the same
+    // scan the full router x direction sweep performs. Completions
+    // above may have activated ports; launches only deactivate (and
+    // only the bit being visited), so iterating a copied word while
+    // clearing drained bits in place is safe.
+    for (size_t w = 0; w < activeBits_.size(); ++w) {
+        std::uint64_t bits = activeBits_[w];
+        while (bits != 0) {
+            auto bit = static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            size_t pid = w * 64 + bit;
+            auto rid = pid / NumDirs;
+            int d = static_cast<int>(pid % NumDirs);
+            OutPort &port = routers_[rid].ports[d];
+            if (port.busyUntil > now)
                 continue;
-            Packet pkt = std::move(port.queue.front());
-            port.queue.pop_front();
-            Cycle span = std::max<Cycle>(
-                1, static_cast<Cycle>(ceilDiv(pkt.words, width_)));
+            QEnt ent = port.pop();
+            if (port.empty())
+                activeBits_[w] &= ~(std::uint64_t{1} << bit);
+            Cycle span =
+                widthShift_ >= 0
+                    ? std::max<Cycle>(
+                          1, static_cast<Cycle>(ent.words + width_ - 1)
+                                 >> widthShift_)
+                    : std::max<Cycle>(1, static_cast<Cycle>(ceilDiv(
+                                             ent.words, width_)));
             port.busyUntil = now + span;
-            *statWordHops_ += static_cast<std::uint64_t>(pkt.words);
+            *statWordHops_ += static_cast<std::uint64_t>(ent.words);
             if (trace_ != nullptr) {
                 TraceEvent ev;
                 ev.cycle = static_cast<std::uint32_t>(now);
@@ -112,7 +218,7 @@ Mesh::tick(Cycle now)
                 ev.sub = static_cast<std::uint8_t>(d);
                 ev.pc = -1;
                 ev.a = static_cast<std::uint32_t>(span);
-                ev.b = static_cast<std::uint64_t>(pkt.words);
+                ev.b = static_cast<std::uint64_t>(ent.words);
                 trace_->record(ev);
             }
             Transit t;
@@ -121,21 +227,16 @@ Mesh::tick(Cycle now)
                 t.router = -1;
                 t.localOf = static_cast<int>(rid);
             } else {
-                int nx = rx, ny = ry;
-                switch (d) {
-                  case North: ny -= 1; break;
-                  case South: ny += 1; break;
-                  case East:  nx += 1; break;
-                  case West:  nx -= 1; break;
-                  default: break;
-                }
-                if (nx < 0 || nx >= cols_ || ny < 0 || ny >= rows_)
+                t.router = hopTable_[pid];
+                if (t.router < 0)
                     panic("mesh: route off grid at router ", rid);
-                t.router = nodeId(nx, ny);
                 t.localOf = -1;
             }
-            t.pkt = std::move(pkt);
-            transits_.push_back(std::move(t));
+            t.ent = ent;
+            if (span > static_cast<Cycle>(wheel_.size()))
+                growWheel(static_cast<std::size_t>(span));
+            wheel_[static_cast<std::size_t>(t.ready) & wheelMask_]
+                .push_back(std::move(t));
         }
     }
 }

@@ -14,7 +14,7 @@
 #ifndef ROCKCRESS_NOC_MESH_HH
 #define ROCKCRESS_NOC_MESH_HH
 
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -56,6 +56,17 @@ class Mesh : public Ticked
     bool idle() const { return inFlightPackets_ == 0; }
 
     void tick(Cycle now) override;
+    Cycle nextTickAt(Cycle now) override;
+
+    /**
+     * Wire the fast-tick wakeup: send() re-arms the mesh after an
+     * idle stretch. Unset (standalone unit tests) is ignored. Sink
+     * side-effects are woken by the machine's sink wrappers.
+     */
+    void setWakeSelf(std::function<void()> wake)
+    {
+        wakeSelf_ = std::move(wake);
+    }
 
     /**
      * Attach (null: detach) the trace sink. While attached, every
@@ -71,10 +82,40 @@ class Mesh : public Ticked
     /** Output port directions. */
     enum Dir { North = 0, South, East, West, Local, NumDirs };
 
+    /**
+     * A queued hop: the pool handle plus the routing metadata the
+     * launch path needs (destination and size), carried inline so
+     * forwarding a packet across the fabric never touches the pool
+     * until final delivery.
+     */
+    struct QEnt
+    {
+        int handle;
+        int dst;
+        int words;
+    };
+
+    /**
+     * An output link's queue: a vector ring that recycles its storage
+     * when drained, so steady-state push/pop never allocates.
+     */
     struct OutPort
     {
-        std::deque<Packet> queue;
+        std::vector<QEnt> queue;
+        std::size_t head = 0;
         Cycle busyUntil = 0;
+
+        bool empty() const { return head == queue.size(); }
+        void push(QEnt e) { queue.push_back(e); }
+        QEnt pop()
+        {
+            QEnt e = queue[head++];
+            if (head == queue.size()) {
+                queue.clear();
+                head = 0;
+            }
+            return e;
+        }
     };
 
     struct Router
@@ -88,20 +129,70 @@ class Mesh : public Ticked
         Cycle ready;
         int router;     ///< Destination router (or -1 for local sink).
         int localOf;    ///< If delivering locally, the router id.
-        Packet pkt;
+        QEnt ent;       ///< Pool handle + inline routing metadata.
     };
 
+    /** XY routing arithmetic; builds dirTable_ at construction. */
+    int computeDir(int router, int dst) const;
+    /** Table-lookup routing decision (== computeDir by construction). */
     int routeDir(int router, int dst) const;
-    void acceptAt(int router, Packet &&pkt);
+    void acceptAt(int router, QEnt ent);
+
+    /** @name Packet pool.
+     * Packets live in pool_ from send() to sink delivery; queues and
+     * transits move 4-byte handles instead of ~200-byte packets (the
+     * launch path runs tens of times per cycle — this is the mesh's
+     * hottest data motion). Handle recycling order is internal state
+     * only; no simulated behaviour observes it.
+     */
+    ///@{
+    int allocPacket(Packet &&pkt);
+    void freePacket(int handle) { freeList_.push_back(handle); }
+    ///@}
+
+    /** Grow the wheel so a span of `need` cycles fits (rare). */
+    void growWheel(std::size_t need);
 
     int cols_;
     int rows_;
     int width_;
     std::vector<Router> routers_;
-    std::vector<Transit> transits_;
+    /**
+     * Timing wheel of in-flight hops, bucketed by ready % size. The
+     * mesh ticks every cycle while packets are in flight, so the
+     * bucket visited at cycle `now` holds exactly the transits with
+     * ready == now (spans are kept < size by growWheel), in insertion
+     * order — the same completion order a linear in-flight list would
+     * produce, without move-compacting every live packet every cycle.
+     */
+    std::vector<std::vector<Transit>> wheel_;
+    std::size_t wheelMask_ = 63;   ///< wheel_.size() - 1 (power of two).
+    int widthShift_ = -1;          ///< log2(width_) when a power of two.
+    std::vector<Packet> pool_;      ///< Handle-indexed packet storage.
+    std::vector<int> freeList_;     ///< Recyclable pool slots.
+    /**
+     * Bitmap of ports with queued packets, bit index router * NumDirs
+     * + dir. Iterating set bits in ascending order visits ports in
+     * exactly the order the full router x direction sweep would
+     * (transit insertion order — and therefore same-cycle arrival
+     * order downstream — depends on it). A port's bit is set on its
+     * queue's empty->nonempty edge and cleared when the queue drains.
+     */
+    std::vector<std::uint64_t> activeBits_;
+    /**
+     * Precomputed XY routing: dirTable_[router * nodes + dst] is the
+     * output direction, hopTable_[router * NumDirs + dir] the
+     * neighbor router entered through it (-1 off-grid). The grid is
+     * at most a few thousand entries, so baking the div/mod routing
+     * arithmetic into tables at construction keeps the per-hop
+     * forwarding path to two loads.
+     */
+    std::vector<std::uint8_t> dirTable_;
+    std::vector<int> hopTable_;
     long inFlightPackets_ = 0;
 
     TraceSink *trace_ = nullptr;
+    std::function<void()> wakeSelf_;
 
     std::uint64_t *statPackets_;
     std::uint64_t *statWords_;

@@ -584,6 +584,207 @@ runRaceFuzz(const FuzzOptions &opts)
     return sum;
 }
 
+FuzzCaseResult
+runTickDiffCase(std::uint64_t seed, bool verbose)
+{
+    FuzzCaseResult res;
+    // Same draw stream as the co-simulation campaign: every seed's
+    // program is identical across both campaigns, so a tick-diff
+    // failure reproduces directly under --verbose there.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+    CaseSpec c = drawCase(rng, seed);
+    res.shape = c.describe();
+
+    BenchConfig cfg;
+    cfg.name = "FUZZ";
+    cfg.groupSize = c.geo.gs;
+    cfg.simdWords = c.simd ? 4 : 1;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+
+    MachineParams params = machineFor(cfg, c.geo.cols, c.geo.rows);
+    params.heapBytes = 1u << 20;
+
+    try {
+        Machine fast(params);
+        Machine naive(params);
+        naive.setNaiveTick(true);
+
+        Addr inWords =
+            static_cast<Addr>(c.iters) * c.F * c.geo.gs;
+        for (Addr i = 0; i < inWords; ++i) {
+            float f = 0.25f +
+                      0.75f * static_cast<float>(rng.uniform());
+            Word wv = floatToWord(f);
+            fast.mem().writeWord(c.in + i * 4, wv);
+            naive.mem().writeWord(c.in + i * 4, wv);
+        }
+
+        auto prog = buildProgram(c, rng, cfg, params);
+        for (Machine *m : {&fast, &naive}) {
+            m->loadAll(prog);
+            for (int g = 0; g < c.groups; ++g) {
+                GroupPlan plan;
+                for (int i = 0; i < c.tpg; ++i)
+                    plan.chain.push_back(g * c.tpg + i);
+                m->planGroup(plan);
+            }
+        }
+
+        VerifyReport rep = verifyProgram(*prog, cfg, params);
+        if (!rep.ok()) {
+            res.error = "verifier rejected generated program:\n" +
+                        rep.text(*prog);
+            return res;
+        }
+
+        // Third implementation: the functional reference, snapshotted
+        // before the timing runs mutate memory.
+        RefMachine batch(fast);
+        CosimChecker fastCheck(fast);
+        fastCheck.recordStreams(fast.numCores());
+        fast.attachCosim(&fastCheck);
+        CosimChecker naiveCheck(naive);
+        naiveCheck.recordStreams(naive.numCores());
+        naive.attachCosim(&naiveCheck);
+
+        Cycle fastCycles = fast.run(20'000'000);
+        Cycle naiveCycles = naive.run(20'000'000);
+        fast.drainCosim();
+        naive.drainCosim();
+        std::string div = fastCheck.finish(fast.mem());
+        if (!div.empty()) {
+            res.error = "fast-tick cosim: " + div;
+            return res;
+        }
+        div = naiveCheck.finish(naive.mem());
+        if (!div.empty()) {
+            res.error = "naive-tick cosim: " + div;
+            return res;
+        }
+
+        if (fastCycles != naiveCycles) {
+            res.error = "cycle count diverges: fast-tick " +
+                        std::to_string(fastCycles) + " vs naive " +
+                        std::to_string(naiveCycles);
+            return res;
+        }
+
+        // Per-core commit streams, instruction by instruction.
+        const auto &fs = fastCheck.streams();
+        const auto &ns = naiveCheck.streams();
+        for (size_t core = 0; core < fs.size(); ++core) {
+            const auto &a = fs[core];
+            const auto &b = ns[core];
+            size_t n = std::min(a.size(), b.size());
+            for (size_t i = 0; i < n; ++i) {
+                if (recordsEqual(a[i], b[i]))
+                    continue;
+                std::ostringstream os;
+                os << "commit stream diverges, core " << core
+                   << " record " << i
+                   << ":\n  fast:  " << describeRecord(a[i])
+                   << "\n  naive: " << describeRecord(b[i]);
+                res.error = os.str();
+                return res;
+            }
+            if (a.size() != b.size()) {
+                std::ostringstream os;
+                os << "commit stream length diverges, core " << core
+                   << ": fast " << a.size() << " vs naive "
+                   << b.size();
+                res.error = os.str();
+                return res;
+            }
+        }
+
+        // Every statistics counter (CPI stacks, cache, NoC, energy
+        // inputs): the schedulers must be observationally identical.
+        auto fstats = fast.stats().all();
+        auto nstats = naive.stats().all();
+        if (fstats != nstats) {
+            std::ostringstream os;
+            os << "stat registries diverge:";
+            for (const auto &[name, v] : fstats) {
+                auto it = nstats.find(name);
+                std::uint64_t nv = it == nstats.end() ? 0 : it->second;
+                if (nv != v)
+                    os << "\n  " << name << ": fast " << v
+                       << " vs naive " << nv;
+            }
+            for (const auto &[name, v] : nstats) {
+                if (fstats.find(name) == fstats.end())
+                    os << "\n  " << name << ": fast 0 vs naive " << v;
+            }
+            res.error = os.str();
+            return res;
+        }
+
+        // Final memory images, word by word over the global heap.
+        for (Addr a = AddrMap::globalBase;
+             a < AddrMap::globalBase + params.heapBytes; a += 4) {
+            if (fast.mem().readWord(a) != naive.mem().readWord(a)) {
+                std::ostringstream os;
+                os << "memory diverges at " << a << ": fast "
+                   << fast.mem().readWord(a) << " vs naive "
+                   << naive.mem().readWord(a);
+                res.error = os.str();
+                return res;
+            }
+        }
+
+        // And both must match the functional reference.
+        auto br = batch.runBatch();
+        if (!br.ok) {
+            res.error = "batch reference failed: " + br.error;
+            return res;
+        }
+        std::string md = batch.finish(fast.mem());
+        if (!md.empty()) {
+            res.error = "batch memory mismatch: " + md;
+            return res;
+        }
+
+        std::uint64_t done = fast.ticksExecuted();
+        std::uint64_t skipped = fast.ticksSkipped();
+        std::ostringstream os;
+        os << " skip=" << (100 * skipped / std::max<std::uint64_t>(
+                                               1, done + skipped))
+           << "%";
+        res.shape += os.str();
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    (void)verbose;
+    return res;
+}
+
+FuzzSummary
+runTickDiffFuzz(const FuzzOptions &opts)
+{
+    FuzzSummary sum;
+    std::vector<std::string> geoms;
+    for (int i = 0; i < opts.seeds; ++i) {
+        std::uint64_t seed =
+            opts.baseSeed + static_cast<std::uint64_t>(i);
+        FuzzCaseResult r = runTickDiffCase(seed, opts.verbose);
+        std::string geo = r.shape.substr(0, r.shape.find(' '));
+        if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
+            geoms.push_back(geo);
+        if (r.ok) {
+            ++sum.passed;
+        } else {
+            ++sum.failed;
+            sum.failures.push_back("seed " + std::to_string(seed) +
+                                   " (" + r.shape + "): " + r.error);
+        }
+    }
+    std::sort(geoms.begin(), geoms.end());
+    sum.geometries = geoms;
+    return sum;
+}
+
 FuzzSummary
 runFuzz(const FuzzOptions &opts)
 {

@@ -67,6 +67,21 @@ FuzzCaseResult runRaceFuzzCase(std::uint64_t seed, bool verbose = false);
 /** Run the full race-differential campaign. */
 FuzzSummary runRaceFuzz(const FuzzOptions &opts);
 
+/**
+ * Tick-kernel differential mode: run the same seeded program on THREE
+ * implementations — the fast-tick machine, the naive tick-everything
+ * machine, and the batch functional reference — and require exact
+ * agreement: identical cycle counts, identical per-core commit
+ * streams, an identical statistics registry (every counter), and
+ * identical final memory images. Any divergence is a quiescence bug
+ * in the fast-tick scheduler (or, symmetrically, a naive-kernel
+ * regression).
+ */
+FuzzCaseResult runTickDiffCase(std::uint64_t seed, bool verbose = false);
+
+/** Run the full tick-differential campaign. */
+FuzzSummary runTickDiffFuzz(const FuzzOptions &opts);
+
 } // namespace rockcress
 
 #endif // ROCKCRESS_REF_FUZZ_HH

@@ -4,11 +4,16 @@
  * vector-group programs and cross-checks the cycle-level machine
  * against the functional reference (commit streams + final memory).
  *
- *   ref_fuzz [--seeds N] [--base B] [--race] [--verbose]
+ *   ref_fuzz [--seeds N] [--base B] [--race | --tick-diff] [--verbose]
  *
  * With --race, runs the race-differential campaign instead: mutated
  * and clean programs where the static race verdict must match the
  * frame sanitizer's dynamic verdict on every seed.
+ *
+ * With --tick-diff, runs each seed on three implementations — the
+ * fast-tick machine, the naive tick-everything machine, and the batch
+ * functional reference — and requires exact agreement on cycles,
+ * commit streams, every statistics counter, and final memory.
  *
  * Exits nonzero on the first summary with failures.
  */
@@ -19,11 +24,18 @@
 
 #include "ref/fuzz.hh"
 
+namespace
+{
+
+enum class Mode { Cosim, Race, TickDiff };
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     rockcress::FuzzOptions opts;
-    bool race = false;
+    Mode mode = Mode::Cosim;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
             opts.seeds = std::atoi(argv[++i]);
@@ -31,26 +43,38 @@ main(int argc, char **argv)
             opts.baseSeed =
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (!std::strcmp(argv[i], "--race")) {
-            race = true;
+            mode = Mode::Race;
+        } else if (!std::strcmp(argv[i], "--tick-diff")) {
+            mode = Mode::TickDiff;
         } else if (!std::strcmp(argv[i], "--verbose")) {
             opts.verbose = true;
         } else {
             std::fprintf(
                 stderr,
-                "usage: %s [--seeds N] [--base B] [--race] "
-                "[--verbose]\n",
+                "usage: %s [--seeds N] [--base B] "
+                "[--race | --tick-diff] [--verbose]\n",
                 argv[0]);
             return 2;
         }
     }
 
+    auto runCase = [mode](std::uint64_t seed, bool verbose) {
+        switch (mode) {
+          case Mode::Race:
+            return rockcress::runRaceFuzzCase(seed, verbose);
+          case Mode::TickDiff:
+            return rockcress::runTickDiffCase(seed, verbose);
+          case Mode::Cosim:
+            break;
+        }
+        return rockcress::runFuzzCase(seed, verbose);
+    };
+
     if (opts.verbose) {
         for (int i = 0; i < opts.seeds; ++i) {
             std::uint64_t seed =
                 opts.baseSeed + static_cast<std::uint64_t>(i);
-            rockcress::FuzzCaseResult r =
-                race ? rockcress::runRaceFuzzCase(seed, true)
-                     : rockcress::runFuzzCase(seed, true);
+            rockcress::FuzzCaseResult r = runCase(seed, true);
             std::printf("seed %llu: %s [%s]\n",
                         static_cast<unsigned long long>(seed),
                         r.ok ? "ok" : "FAIL", r.shape.c_str());
@@ -63,8 +87,18 @@ main(int argc, char **argv)
         return 0;
     }
 
-    rockcress::FuzzSummary sum =
-        race ? rockcress::runRaceFuzz(opts) : rockcress::runFuzz(opts);
+    rockcress::FuzzSummary sum;
+    switch (mode) {
+      case Mode::Race:
+        sum = rockcress::runRaceFuzz(opts);
+        break;
+      case Mode::TickDiff:
+        sum = rockcress::runTickDiffFuzz(opts);
+        break;
+      case Mode::Cosim:
+        sum = rockcress::runFuzz(opts);
+        break;
+    }
     std::printf("ref_fuzz: %d passed, %d failed; geometries:",
                 sum.passed, sum.failed);
     for (const auto &g : sum.geometries)

@@ -1,5 +1,7 @@
 #include "sim/ticked.hh"
 
+#include <bit>
+
 #include "sim/log.hh"
 
 namespace rockcress
@@ -13,8 +15,52 @@ Simulator::step()
     ++now_;
 }
 
+void
+Simulator::scheduleAt(int idx, Cycle at)
+{
+    auto slot = static_cast<std::size_t>(idx);
+    if (at >= scheduledAt_[slot])
+        return;   // An earlier live entry already covers this wake.
+    scheduledAt_[slot] = at;
+    if (processing_ && at == now_) {
+        // Same-cycle wake: only a slot after the scan point can be
+        // the target (wake() placement), so the due scan will still
+        // reach this bit.
+        dueBits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+    } else if (at == now_ + 1) {
+        nextBits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+    } else {
+        agenda_.emplace(at, idx);
+    }
+}
+
+void
+Simulator::flushSkips(Cycle end)
+{
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (doneThrough_[i] < end) {
+            components_[i]->skipTicks(doneThrough_[i], end);
+            statSkipped_ += end - doneThrough_[i];
+            doneThrough_[i] = end;
+        }
+    }
+}
+
+void
+Simulator::tripWatchdog(Cycle max_cycles)
+{
+    // Every remaining cycle up to the limit is provably quiescent, so
+    // charging the skips first leaves all per-cycle bookkeeping in
+    // exactly the state the naive kernel reaches before it trips.
+    now_ = max_cycles;
+    flushSkips(max_cycles);
+    running_ = false;
+    fatal("simulation watchdog tripped at cycle ", now_,
+          " (deadlock or runaway program?)");
+}
+
 Cycle
-Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
+Simulator::runNaive(const std::function<bool()> &done, Cycle max_cycles)
 {
     while (!done()) {
         if (now_ >= max_cycles) {
@@ -24,6 +70,127 @@ Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
         step();
     }
     return now_;
+}
+
+Cycle
+Simulator::runFast(const std::function<bool()> &done, Cycle max_cycles)
+{
+    std::size_t n = components_.size();
+    std::size_t words = (n + 63) / 64;
+    scheduledAt_.assign(n, now_);
+    doneThrough_.assign(n, now_);
+    agenda_ = {};
+    dueBits_.assign(words, 0);
+    nextBits_.assign(words, 0);
+    running_ = true;
+
+    // Everything starts due: the first cycle matches the naive
+    // kernel's unconditional tick of every component.
+    for (std::size_t i = 0; i < n; ++i)
+        dueBits_[i / 64] |= std::uint64_t{1} << (i % 64);
+
+    while (!done()) {
+        std::uint64_t any = 0;
+        for (std::uint64_t w : dueBits_)
+            any |= w;
+        if (any == 0) {
+            // Nothing due next cycle: jump to the earliest heap
+            // deadline (discarding stale entries superseded by
+            // earlier wakes that already ran).
+            while (!agenda_.empty() &&
+                   agenda_.top().first !=
+                       scheduledAt_[static_cast<std::size_t>(
+                           agenda_.top().second)]) {
+                agenda_.pop();
+            }
+            if (agenda_.empty()) {
+                // Global quiescence with done() false: no component
+                // can ever change state again — a deadlock. The naive
+                // kernel would spin inert ticks to the watchdog; trip
+                // it now.
+                tripWatchdog(max_cycles);
+            }
+            now_ = agenda_.top().first;
+            while (!agenda_.empty() && agenda_.top().first == now_) {
+                auto idx = static_cast<std::size_t>(agenda_.top().second);
+                agenda_.pop();
+                if (scheduledAt_[idx] == now_)
+                    dueBits_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+            }
+        }
+        if (now_ >= max_cycles)
+            tripWatchdog(max_cycles);
+
+        // Scan due bits in ascending slot order — exactly the naive
+        // kernel's registration-order sweep over the live subset. The
+        // word is re-read after every tick because a same-cycle wake
+        // may set a bit the scan has not passed yet (never one it
+        // has: wake() places those at now+1).
+        processing_ = true;
+        for (std::size_t w = 0; w < words; ++w) {
+            while (true) {
+                std::uint64_t bits = dueBits_[w];
+                if (bits == 0)
+                    break;
+                auto b = static_cast<unsigned>(std::countr_zero(bits));
+                dueBits_[w] = bits & (bits - 1);
+                auto slot = w * 64 + b;
+                int idx = static_cast<int>(slot);
+                if (scheduledAt_[slot] != now_)
+                    continue;   // Stale (defensive; bits stay live).
+                scheduledAt_[slot] = kNeverTick;
+                currentIdx_ = idx;
+
+                Ticked *c = components_[slot];
+                if (doneThrough_[slot] < now_) {
+                    c->skipTicks(doneThrough_[slot], now_);
+                    statSkipped_ += now_ - doneThrough_[slot];
+                }
+                c->tick(now_);
+                doneThrough_[slot] = now_ + 1;
+                ++statTicks_;
+
+                Cycle nxt = c->nextTickAt(now_);
+                if (nxt <= now_)
+                    nxt = now_ + 1;
+                if (nxt != kNeverTick)
+                    scheduleAt(idx, nxt);
+            }
+        }
+        processing_ = false;
+        currentIdx_ = -1;
+        ++now_;
+
+        // The now+1 wakes become due (the scan left dueBits_ zero),
+        // plus any heap deadlines landing exactly at the new now.
+        dueBits_.swap(nextBits_);
+        while (!agenda_.empty()) {
+            Entry top = agenda_.top();
+            auto idx = static_cast<std::size_t>(top.second);
+            if (top.first != scheduledAt_[idx]) {
+                agenda_.pop();   // Stale.
+                continue;
+            }
+            if (top.first != now_)
+                break;
+            agenda_.pop();
+            dueBits_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+        }
+    }
+
+    // done() observed at now_: charge the still-sleeping components'
+    // quiescent tails so every slot is accounted through now_.
+    flushSkips(now_);
+    running_ = false;
+    return now_;
+}
+
+Cycle
+Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
+{
+    if (naive_)
+        return runNaive(done, max_cycles);
+    return runFast(done, max_cycles);
 }
 
 } // namespace rockcress

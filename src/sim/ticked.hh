@@ -1,24 +1,35 @@
 /**
  * @file
- * Cycle-ticked simulation kernel.
+ * Cycle-ticked simulation kernel with quiescence-aware scheduling.
  *
- * The paper's artifact uses gem5's event-driven core; this reproduction
- * substitutes a deterministic fixed-order per-cycle tick, which is
- * sufficient because every modeled component does work every cycle
- * (pipelines, routers, cache response engines). See DESIGN.md S1.
+ * The paper's artifact uses gem5's event-driven core; this
+ * reproduction keeps a deterministic fixed-order per-cycle tick as
+ * the semantic model, but lets each component report when it can
+ * next change state (`nextTickAt`) so the scheduler skips the cycles
+ * where a tick would provably be a no-op. Cross-component effects
+ * re-arm sleepers through `Simulator::wake`. The naive
+ * tick-everything loop survives behind `setNaive(true)` as the
+ * differential oracle; both kernels must produce byte-identical
+ * machine state, statistics, and traces (DESIGN.md S5i).
  */
 
 #ifndef ROCKCRESS_SIM_TICKED_HH
 #define ROCKCRESS_SIM_TICKED_HH
 
+#include <cstdint>
 #include <functional>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace rockcress
 {
+
+/** Sentinel wake time: the component needs no tick until woken. */
+constexpr Cycle kNeverTick = ~Cycle{0};
 
 /** Interface for a component that does work once per clock cycle. */
 class Ticked
@@ -28,17 +39,89 @@ class Ticked
 
     /** Advance the component by one cycle. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest future cycle at which tick() could change any
+     * observable state (its own, a peer's, or a statistic), given
+     * that no external event intervenes. Called right after tick(now)
+     * returns; must be > now, or kNeverTick to sleep until woken.
+     * Conservatively early answers are always safe — a tick replayed
+     * on a quiescent component must be a no-op — but a late answer
+     * breaks cycle accuracy. The default keeps legacy components
+     * ticking every cycle.
+     */
+    virtual Cycle nextTickAt(Cycle now) { return now + 1; }
+
+    /**
+     * Account for the skipped quiescent cycles [begin, end): the
+     * scheduler proved tick() would have been inert for each of them,
+     * but per-cycle bookkeeping (stat counters, open trace spans)
+     * still owes `end - begin` increments. Called before the tick at
+     * `end` (or at end of run).
+     */
+    virtual void skipTicks(Cycle begin, Cycle end)
+    {
+        (void)begin;
+        (void)end;
+    }
+
+  private:
+    friend class Simulator;
+    int simIndex_ = -1;   ///< Registration slot, set by Simulator::add.
 };
 
 /**
  * Drives a set of Ticked components in registration order until a
  * completion predicate holds or a watchdog limit trips.
+ *
+ * Two equivalent kernels:
+ *  - naive (setNaive(true)): every component ticks every cycle in
+ *    registration order — the oracle.
+ *  - fast (default): only due components tick, still in registration
+ *    order within a cycle, and whole quiescent stretches are handed
+ *    to skipTicks(). wake() placement reproduces the naive kernel's
+ *    intra-cycle visibility exactly: an effect produced while slot i
+ *    ticks is visible to slot j the same cycle iff j > i.
+ *
+ * The fast agenda is two-level, because the dominant schedule is
+ * "again next cycle": wakes for now+1 append to a plain vector that
+ * becomes the next cycle's (sorted, deduplicated-by-liveness) due
+ * list, and only far-future deadlines (LLC fills, FU completions,
+ * fetch latency) go through a lazy-deletion min-heap. A busy machine
+ * therefore pays near the naive loop's cost per active component,
+ * while idle stretches collapse to one heap pop.
  */
 class Simulator
 {
   public:
     /** Register a component. Order of registration is tick order. */
-    void add(Ticked *component) { components_.push_back(component); }
+    void
+    add(Ticked *component)
+    {
+        component->simIndex_ = static_cast<int>(components_.size());
+        components_.push_back(component);
+    }
+
+    /** Select the naive every-cycle oracle kernel (default: fast). */
+    void setNaive(bool naive) { naive_ = naive; }
+
+    /**
+     * Re-arm a sleeping component after an external event. Safe to
+     * call at any time, including for already-scheduled components
+     * and from inside tick(). In the fast kernel the wake lands at
+     * the earliest cycle the naive kernel could observe the effect:
+     * the current cycle when the target ticks after the caller this
+     * cycle, the next cycle otherwise.
+     */
+    void
+    wake(Ticked *component)
+    {
+        if (!running_ || naive_)
+            return;
+        int idx = component->simIndex_;
+        Cycle at = (processing_ && idx > currentIdx_) ? now_ : now_ + 1;
+        scheduleAt(idx, at);
+    }
 
     /**
      * Run until done() returns true.
@@ -58,12 +141,53 @@ class Simulator
      */
     const Cycle *nowPtr() const { return &now_; }
 
-    /** Advance exactly one cycle (for fine-grained tests). */
+    /** Advance exactly one cycle, naive-style (fine-grained tests). */
     void step();
 
+    /** Ticks executed by the fast kernel (diagnostics only). */
+    std::uint64_t ticksExecuted() const { return statTicks_; }
+
+    /** Component-cycles skipped as quiescent (diagnostics only). */
+    std::uint64_t ticksSkipped() const { return statSkipped_; }
+
   private:
+    using Entry = std::pair<Cycle, int>;
+
+    void scheduleAt(int idx, Cycle at);
+    Cycle runNaive(const std::function<bool()> &done, Cycle max_cycles);
+    Cycle runFast(const std::function<bool()> &done, Cycle max_cycles);
+    /** Charge every component's outstanding quiescent span up to `end`. */
+    void flushSkips(Cycle end);
+    [[noreturn]] void tripWatchdog(Cycle max_cycles);
+
     std::vector<Ticked *> components_;
     Cycle now_ = 0;
+
+    bool naive_ = false;
+    bool running_ = false;      ///< Inside run(): wake() is live.
+    bool processing_ = false;   ///< Inside the current cycle's ticks.
+    int currentIdx_ = -1;       ///< Slot being ticked right now.
+
+    /** Far-future wakes (> now+1); stale entries skipped on pop. */
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        agenda_;
+    /**
+     * Slots due at now_, one bit per slot. Scanning set bits in
+     * ascending order IS the registration-order sweep, so no sorting
+     * or deduplication is ever needed; same-cycle wakes (always for a
+     * slot after the scan point) just set a bit the scan has not
+     * reached yet.
+     */
+    std::vector<std::uint64_t> dueBits_;
+    /** Slots scheduled for now_+1; becomes dueBits_ at cycle end. */
+    std::vector<std::uint64_t> nextBits_;
+    /** Earliest live agenda entry per slot (kNeverTick: none). */
+    std::vector<Cycle> scheduledAt_;
+    /** First cycle not yet charged to the slot (tick or skip). */
+    std::vector<Cycle> doneThrough_;
+
+    std::uint64_t statTicks_ = 0;
+    std::uint64_t statSkipped_ = 0;
 };
 
 } // namespace rockcress

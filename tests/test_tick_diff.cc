@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tick-kernel differential over the golden suite: every tier-1
+ * (bench, config) point is run under the fast-tick scheduler and
+ * under the naive tick-everything oracle, with co-simulation and
+ * full event tracing on, and the complete serialized run artifact —
+ * every RunResult field through the src/exp serializer — plus the
+ * exported Perfetto document must be byte-identical. This is the
+ * "invisible by construction" contract of the quiescence-aware
+ * kernel: no counter, no trace span, no cycle may move.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/result_io.hh"
+#include "harness/runner.hh"
+#include "trace/perfetto.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+struct Case
+{
+    std::string bench;
+    std::string config;
+};
+
+std::vector<Case>
+diffCases()
+{
+    return {
+        {"atax", "NV_PF"},
+        {"atax", "V4"},
+        {"gemm", "V4_PCV"},
+        {"mvt", "V16"},
+        {"bfs", "NV_PF"},
+    };
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return info.param.bench + "_" + info.param.config;
+}
+
+class TickDiff : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(TickDiff, ArtifactsAreByteIdentical)
+{
+    const Case &c = GetParam();
+
+    RunOverrides ov;
+    ov.cosim = true;
+    // bfs races benignly on the frontier; only load addresses are
+    // checkable there (see RunOverrides::cosimStrictLoads).
+    ov.cosimStrictLoads = c.bench != "bfs";
+    ov.trace = true;
+
+    ov.naiveTick = false;
+    TraceCapture fast_cap;
+    RunResult fast = runManycore(c.bench, c.config, ov, &fast_cap);
+    ASSERT_TRUE(fast.ok) << "fast-tick: " << fast.error;
+
+    ov.naiveTick = true;
+    TraceCapture naive_cap;
+    RunResult naive = runManycore(c.bench, c.config, ov, &naive_cap);
+    ASSERT_TRUE(naive.ok) << "naive-tick: " << naive.error;
+
+    // The full serialized artifact: cycles, CPI stacks, energy,
+    // per-hop maps, trace summary — every field, byte for byte.
+    EXPECT_EQ(resultToJson(fast).dump(), resultToJson(naive).dump());
+
+    // And the exported trace document (events carry cycle stamps, so
+    // this pins every span boundary, not just the totals).
+    ASSERT_TRUE(fast_cap.sink != nullptr);
+    ASSERT_TRUE(naive_cap.sink != nullptr);
+    EXPECT_EQ(perfettoJson(*fast_cap.sink, "tickdiff"),
+              perfettoJson(*naive_cap.sink, "tickdiff"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TickDiff,
+                         ::testing::ValuesIn(diffCases()), caseName);

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * rc_perf: wall-clock performance harness for the simulation kernel.
+ *
+ * Times a fixed benchmark basket under the fast-tick scheduler and
+ * under the naive tick-everything oracle, over N repetitions each,
+ * and reports the best-rep simulated-cycles-per-host-second (Mcps)
+ * for both kernels plus the per-pair and basket-median speedups.
+ * Best-of-reps is the standard wall-clock methodology: host
+ * interference only ever inflates a rep's time, so the minimum is
+ * the least-noisy estimate of each kernel's true cost. Only the time
+ * spent inside Machine::run() counts: program assembly, machine
+ * construction, and result checking are identical under both kernels
+ * and would just dilute the comparison. Writes the results as JSON
+ * (default BENCH_perf.json) so CI can archive the numbers and the
+ * perf-regression gate can compare them.
+ *
+ * Baskets:
+ *   perf    The 15-bench NV column — the config with the longest
+ *           quiescent stretches (no prefetch, frequent full-tile
+ *           memory stalls), where the scheduler's win is largest and
+ *           robustly above host noise. The CI regression gate runs
+ *           here.
+ *   golden  The five mixed-profile golden pairs — a quick local
+ *           sanity basket spanning high- and low-skip behaviour.
+ *   fig10   The full bench x {NV, NV_PF, V4, V16} matrix — the
+ *           complete wall-clock picture across the evaluation space.
+ *
+ *   rc_perf [--basket perf|golden|fig10] [--reps N] [--out FILE]
+ *           [--min-speedup X]
+ *
+ * With --min-speedup, exits nonzero when the basket's median speedup
+ * falls below X — the wall-clock regression gate for the fast-tick
+ * kernel (simulated cycles are asserted identical between kernels on
+ * every rep, so the gate cannot pass by changing simulated time).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "harness/runner.hh"
+#include "kernels/common.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+struct PairSpec
+{
+    std::string bench;
+    std::string config;
+};
+
+std::vector<PairSpec>
+basketPairs(const std::string &basket)
+{
+    if (basket == "golden") {
+        return {{"atax", "NV_PF"},
+                {"atax", "V4"},
+                {"gemm", "V4_PCV"},
+                {"mvt", "V16"},
+                {"bfs", "NV_PF"}};
+    }
+    if (basket == "perf") {
+        std::vector<PairSpec> pairs;
+        for (const std::string &bench : suiteNames())
+            pairs.push_back({bench, "NV"});
+        return pairs;
+    }
+    if (basket == "fig10") {
+        std::vector<PairSpec> pairs;
+        for (const std::string &bench : suiteNames()) {
+            for (const char *cfg : {"NV", "NV_PF", "V4", "V16"})
+                pairs.push_back({bench, cfg});
+        }
+        return pairs;
+    }
+    std::fprintf(stderr, "rc_perf: unknown basket '%s'\n",
+                 basket.c_str());
+    std::exit(2);
+}
+
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    std::size_t n = v.size();
+    if (n % 2 == 1)
+        return v[n / 2];
+    return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/** One timed simulation; exits on a failed run. */
+double
+timedRun(const PairSpec &p, bool naive, Cycle &cycles_out,
+         double *skip_frac = nullptr)
+{
+    RunOverrides ov;
+    ov.naiveTick = naive;
+    RunResult r = runManycore(p.bench, p.config, ov);
+    if (!r.ok) {
+        std::fprintf(stderr, "rc_perf: %s/%s (%s) failed: %s\n",
+                     p.bench.c_str(), p.config.c_str(),
+                     naive ? "naive" : "fast", r.error.c_str());
+        std::exit(1);
+    }
+    cycles_out = r.cycles;
+    if (skip_frac) {
+        std::uint64_t total = r.diag.simTicks + r.diag.simSkips;
+        *skip_frac =
+            total ? static_cast<double>(r.diag.simSkips) /
+                        static_cast<double>(total)
+                  : 0.0;
+    }
+    // The kernel's own wall-clock: program assembly, machine
+    // construction, and result checking are identical for both
+    // kernels and are not what this harness regresses.
+    return r.diag.runSeconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string basket = "golden";
+    std::string out_path = "BENCH_perf.json";
+    int reps = 3;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--basket") && i + 1 < argc) {
+            basket = argv[++i];
+        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--min-speedup") &&
+                   i + 1 < argc) {
+            min_speedup = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--basket perf|golden|fig10] [--reps N]"
+                         " [--out FILE] [--min-speedup X]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (reps < 1)
+        reps = 1;
+
+    std::vector<PairSpec> pairs = basketPairs(basket);
+    Json jpairs = Json::array();
+    std::vector<double> speedups;
+    double total_fast = 0, total_naive = 0;
+    std::uint64_t total_cycles = 0;
+
+    for (const PairSpec &p : pairs) {
+        std::vector<double> fast_s, naive_s;
+        Cycle cycles = 0;
+        double skip_frac = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+            Cycle cf = 0, cn = 0;
+            fast_s.push_back(timedRun(p, false, cf, &skip_frac));
+            naive_s.push_back(timedRun(p, true, cn));
+            if (cf != cn) {
+                std::fprintf(stderr,
+                             "rc_perf: %s/%s cycle divergence: fast "
+                             "%llu vs naive %llu\n",
+                             p.bench.c_str(), p.config.c_str(),
+                             static_cast<unsigned long long>(cf),
+                             static_cast<unsigned long long>(cn));
+                return 1;
+            }
+            cycles = cf;
+        }
+        double fm = *std::min_element(fast_s.begin(), fast_s.end());
+        double nm = *std::min_element(naive_s.begin(), naive_s.end());
+        double fast_mcps = static_cast<double>(cycles) / fm / 1e6;
+        double naive_mcps = static_cast<double>(cycles) / nm / 1e6;
+        double speedup = nm / fm;
+        speedups.push_back(speedup);
+        total_fast += fm;
+        total_naive += nm;
+        total_cycles += cycles;
+
+        Json jp = Json::object();
+        jp["bench"] = Json(p.bench);
+        jp["config"] = Json(p.config);
+        jp["cycles"] = Json(static_cast<std::uint64_t>(cycles));
+        jp["fast_sec_best"] = Json(fm);
+        jp["naive_sec_best"] = Json(nm);
+        jp["fast_mcps"] = Json(fast_mcps);
+        jp["naive_mcps"] = Json(naive_mcps);
+        jp["speedup"] = Json(speedup);
+        jp["skip_frac"] = Json(skip_frac);
+        jpairs.push(std::move(jp));
+
+        std::printf("%-10s %-8s %12llu cyc  fast %7.2f Mcps  naive "
+                    "%7.2f Mcps  skip %4.1f%%  speedup %5.2fx\n",
+                    p.bench.c_str(), p.config.c_str(),
+                    static_cast<unsigned long long>(cycles),
+                    fast_mcps, naive_mcps, 100.0 * skip_frac,
+                    speedup);
+        std::fflush(stdout);
+    }
+
+    double median_speedup = medianOf(speedups);
+    Json j = Json::object();
+    j["basket"] = Json(basket);
+    j["reps"] = Json(static_cast<std::uint64_t>(reps));
+    j["pairs"] = std::move(jpairs);
+    j["median_speedup"] = Json(median_speedup);
+    j["total_fast_sec"] = Json(total_fast);
+    j["total_naive_sec"] = Json(total_naive);
+    j["total_cycles"] = Json(total_cycles);
+    j["aggregate_fast_mcps"] =
+        Json(static_cast<double>(total_cycles) / total_fast / 1e6);
+    j["aggregate_naive_mcps"] =
+        Json(static_cast<double>(total_cycles) / total_naive / 1e6);
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out.good()) {
+        std::fprintf(stderr, "rc_perf: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << j.dump() << "\n";
+
+    std::printf("rc_perf: basket %s, median speedup %.2fx, aggregate "
+                "%.2f -> %.2f Mcps, wrote %s\n",
+                basket.c_str(), median_speedup,
+                static_cast<double>(total_cycles) / total_naive / 1e6,
+                static_cast<double>(total_cycles) / total_fast / 1e6,
+                out_path.c_str());
+
+    if (min_speedup > 0 && median_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "rc_perf: median speedup %.2fx below the %.2fx "
+                     "gate\n",
+                     median_speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}
