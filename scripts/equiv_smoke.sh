@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Translation-validation smoke: each seeded miscompile kind (shifted
+# fill lane, skewed stream stride, off-by-one trip count, flipped
+# predicate polarity) must be rejected by the static equivalence pass
+# with the expected finding kind AND diverge on the batch functional
+# reference, while a golden bench x config sample proves clean through
+# the RunOverrides::equiv plumbing. If an ASan build (build-asan/, or
+# $ROCKCRESS_ASAN_BUILD) has the rc_equivsmoke binary, the same smoke
+# also runs under ASan, mirroring race_smoke.sh's pattern.
+#
+# Usage: scripts/equiv_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bin="$build_dir/tools/rc_equivsmoke"
+if [[ ! -x "$bin" ]]; then
+    echo "equiv_smoke: $bin not built" >&2
+    exit 1
+fi
+
+"$bin" >&2
+
+asan_dir="${ROCKCRESS_ASAN_BUILD:-$(dirname "$build_dir")/build-asan}"
+asan_bin="$asan_dir/tools/rc_equivsmoke"
+if [[ -x "$asan_bin" ]]; then
+    echo "equiv_smoke: re-running under ASan" >&2
+    "$asan_bin" >&2
+    echo "equiv_smoke: ASan run OK" >&2
+else
+    echo "equiv_smoke: no ASan build at $asan_dir (skipping;" \
+         "configure with -DENABLE_SANITIZERS=address to enable)" >&2
+fi
+echo "equiv_smoke: PASS" >&2

@@ -1,0 +1,369 @@
+#include "analysis/equiv.hh"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "analysis/symexec.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+/** One word of a lane-expanded wide load. */
+struct LaneWord
+{
+    int lane = 0;               ///< -1 = the requesting scalar core.
+    const Term *spOff = nullptr;
+    const Term *addr = nullptr;
+    const Term *pred = nullptr;
+};
+
+/**
+ * Expand a vload effect into per-lane word placements, mirroring the
+ * reference model's response distribution (ref/refmodel.cc): Group
+ * sends `width`-word chunks to consecutive lanes starting at
+ * coreOff; Single sends every word to lane coreOff; Self sends every
+ * word back to the requester.
+ */
+std::vector<LaneWord>
+expandVload(TermPool &pool, const SymEffect &e, int groupSize)
+{
+    std::vector<LaneWord> out;
+    auto variant = static_cast<VloadVariant>(e.variant);
+    int w = std::max(e.width, 0);
+    auto at = [&](int lane, int word, int spWord) {
+        LaneWord lw;
+        lw.lane = lane;
+        lw.spOff = pool.app(
+            "add", {e.spOff,
+                    pool.constant(spWord * static_cast<int>(wordBytes))});
+        lw.addr = pool.app(
+            "add", {e.addr,
+                    pool.constant(word * static_cast<int>(wordBytes))});
+        lw.pred = e.pred;
+        out.push_back(lw);
+    };
+    switch (variant) {
+      case VloadVariant::Group: {
+        int total = w * std::max(groupSize - e.coreOff, 0);
+        for (int word = 0; word < total; ++word)
+            at(e.coreOff + word / w, word, word % w);
+        break;
+      }
+      case VloadVariant::Single:
+        for (int word = 0; word < w; ++word)
+            at(e.coreOff, word, word);
+        break;
+      case VloadVariant::Self:
+        for (int word = 0; word < w; ++word)
+            at(-1, word, word);
+        break;
+    }
+    return out;
+}
+
+const char *
+effectKindName(SymEffect::Kind k)
+{
+    switch (k) {
+      case SymEffect::Kind::StoreWord: return "store";
+      case SymEffect::Kind::StoreSimd: return "simd store";
+      case SymEffect::Kind::Vload: return "vload";
+      case SymEffect::Kind::FrameStart: return "frame_start";
+      case SymEffect::Kind::Remem: return "remem";
+      case SymEffect::Kind::Vissue: return "vissue";
+    }
+    return "?";
+}
+
+std::string
+termStr(const Term *t)
+{
+    return t ? t->str() : "true";
+}
+
+class EquivChecker
+{
+  public:
+    EquivChecker(const Program &p, const BenchConfig &cfg)
+        : p_(p), cfg_(cfg)
+    {
+    }
+
+    EquivReport
+    run()
+    {
+        EquivReport rep;
+        rep.streams =
+            static_cast<int>(p_.manifest.streams.size());
+        for (int si = 0; si < rep.streams; ++si) {
+            size_t before = findings_.size();
+            checkStream(si);
+            if (findings_.size() == before)
+                ++rep.proved;
+        }
+        std::sort(findings_.begin(), findings_.end(),
+                  [](const EquivFinding &a, const EquivFinding &b) {
+                      return std::tie(a.routineEntry, a.pc, a.lane,
+                                      a.kind) <
+                             std::tie(b.routineEntry, b.pc, b.lane,
+                                      b.kind);
+                  });
+        rep.findings = std::move(findings_);
+        return rep;
+    }
+
+  private:
+    struct RegionCtx
+    {
+        const char *name;
+        int lo = -1, hi = -1;
+        const std::vector<Instruction> *ref = nullptr;
+    };
+
+    void
+    checkStream(int si)
+    {
+        const ManifestStream &ms =
+            p_.manifest.streams[static_cast<size_t>(si)];
+        checkRegion(si, ms,
+                    {"prologue", ms.prologueLo, ms.prologueHi,
+                     &ms.refPrologue});
+        checkRegion(si, ms,
+                    {"preheader", ms.preheaderLo, ms.preheaderHi,
+                     &ms.refPreheader});
+        checkRegion(si, ms, {"fill", ms.fillLo, ms.fillHi, &ms.refFill});
+        checkRegion(si, ms, {"body", ms.bodyLo, ms.bodyHi, &ms.refBody});
+    }
+
+    void
+    checkRegion(int si, const ManifestStream &ms, const RegionCtx &rc)
+    {
+        if (rc.lo < 0 || rc.hi < rc.lo || rc.hi > p_.size()) {
+            finding(si, ms, rc, "structure", rc.lo, rc.lo, -1,
+                    "manifest records an invalid region range");
+            return;
+        }
+        // Structural fast path: identical instructions are proved
+        // outright. This is the steady state for every real kernel;
+        // only post-capture mutation can reach the symbolic leg.
+        int len = rc.hi - rc.lo;
+        int refLen = static_cast<int>(rc.ref->size());
+        int firstDiff = -1;
+        for (int k = 0; k < std::min(len, refLen); ++k) {
+            if (!(p_.code[static_cast<size_t>(rc.lo + k)] ==
+                  (*rc.ref)[static_cast<size_t>(k)])) {
+                firstDiff = k;
+                break;
+            }
+        }
+        if (firstDiff < 0) {
+            if (len == refLen)
+                return;  // Proved.
+            firstDiff = std::min(len, refLen);
+        }
+        semanticCheck(si, ms, rc, firstDiff);
+    }
+
+    /** The symbolic differential over one region pair. */
+    void
+    semanticCheck(int si, const ManifestStream &ms,
+                  const RegionCtx &rc, int firstDiff)
+    {
+        std::vector<Instruction> actual(
+            p_.code.begin() + rc.lo, p_.code.begin() + rc.hi);
+        // A shared pool: identical symbols (register entry values,
+        // frame bases) intern to identical term pointers across legs.
+        TermPool pool;
+        SymResult got = symExecRegion(pool, actual, rc.lo);
+        SymResult want = symExecRegion(pool, *rc.ref, rc.lo);
+        int pc = rc.lo + firstDiff;
+        if (!got.ok || !want.ok) {
+            finding(si, ms, rc, "structure", pc, pc, -1,
+                    "cannot prove the region equivalent: " +
+                        (!got.ok ? got.reason : want.reason));
+            return;
+        }
+        if (compareEffects(si, ms, rc, pool, got, want))
+            return;
+        compareRegs(si, ms, rc, pc, pool, got, want);
+    }
+
+    /** Returns true when a finding was reported. */
+    bool
+    compareEffects(int si, const ManifestStream &ms,
+                   const RegionCtx &rc, TermPool &pool,
+                   const SymResult &got, const SymResult &want)
+    {
+        size_t m = std::min(got.effects.size(), want.effects.size());
+        for (size_t j = 0; j < m; ++j) {
+            const SymEffect &ea = got.effects[j];
+            const SymEffect &er = want.effects[j];
+            if (ea.kind == SymEffect::Kind::Vload &&
+                er.kind == SymEffect::Kind::Vload) {
+                if (compareVloads(si, ms, rc, pool, ea, er))
+                    return true;
+                continue;
+            }
+            if (ea.sameAs(er))
+                continue;
+            std::string kind = "effect";
+            std::string msg;
+            if (ea.kind == er.kind && ea.pred != er.pred) {
+                kind = "predication";
+                msg = std::string(effectKindName(ea.kind)) +
+                      " commits under predicate " + termStr(ea.pred) +
+                      " (manifest: " + termStr(er.pred) + ")";
+            } else if (ea.kind != er.kind) {
+                msg = std::string("commits a ") +
+                      effectKindName(ea.kind) + " where the manifest "
+                      "commits a " + effectKindName(er.kind);
+            } else {
+                msg = std::string(effectKindName(ea.kind)) +
+                      " diverges: address " + termStr(ea.addr) +
+                      " value " + termStr(ea.value) + " (manifest: " +
+                      termStr(er.addr) + " / " + termStr(er.value) +
+                      ")";
+            }
+            finding(si, ms, rc, kind, rc.lo + ea.pc, rc.lo + er.pc,
+                    -1, msg);
+            return true;
+        }
+        if (got.effects.size() != want.effects.size()) {
+            size_t j = m;
+            int pcA = got.effects.size() > j
+                          ? rc.lo + got.effects[j].pc
+                          : rc.hi;
+            int pcR = want.effects.size() > j
+                          ? rc.lo + want.effects[j].pc
+                          : rc.hi;
+            finding(si, ms, rc, "effect", pcA, pcR, -1,
+                    "commits " + std::to_string(got.effects.size()) +
+                        " side effects where the manifest commits " +
+                        std::to_string(want.effects.size()));
+            return true;
+        }
+        return false;
+    }
+
+    /** Lane-expanded vload comparison; true when a finding fired. */
+    bool
+    compareVloads(int si, const ManifestStream &ms,
+                  const RegionCtx &rc, TermPool &pool,
+                  const SymEffect &ea, const SymEffect &er)
+    {
+        auto la = expandVload(pool, ea, cfg_.groupSize);
+        auto lr = expandVload(pool, er, cfg_.groupSize);
+        size_t m = std::min(la.size(), lr.size());
+        for (size_t w = 0; w < m; ++w) {
+            const LaneWord &a = la[w];
+            const LaneWord &r = lr[w];
+            if (a.lane == r.lane && a.spOff == r.spOff &&
+                a.addr == r.addr && a.pred == r.pred) {
+                continue;
+            }
+            finding(si, ms, rc, "lane-map", rc.lo + ea.pc,
+                    rc.lo + er.pc, r.lane,
+                    "word " + std::to_string(w) + " of the vload "
+                    "lands on lane " + std::to_string(a.lane) +
+                        " at scratchpad offset " + termStr(a.spOff) +
+                        " from " + termStr(a.addr) +
+                        " (manifest: lane " + std::to_string(r.lane) +
+                        " at " + termStr(r.spOff) + " from " +
+                        termStr(r.addr) + ")");
+            return true;
+        }
+        if (la.size() != lr.size()) {
+            int lane = lr.size() > la.size()
+                           ? lr[la.size()].lane
+                           : la[lr.size()].lane;
+            finding(si, ms, rc, "lane-map", rc.lo + ea.pc,
+                    rc.lo + er.pc, lane,
+                    "vload delivers " + std::to_string(la.size()) +
+                        " words where the manifest delivers " +
+                        std::to_string(lr.size()) +
+                        " (a lane is starved)");
+            return true;
+        }
+        return false;
+    }
+
+    void
+    compareRegs(int si, const ManifestStream &ms, const RegionCtx &rc,
+                int pc, TermPool &pool, const SymResult &got,
+                const SymResult &want)
+    {
+        std::set<RegIdx> keys;
+        for (const auto &[r, t] : got.regs)
+            keys.insert(r);
+        for (const auto &[r, t] : want.regs)
+            keys.insert(r);
+        for (RegIdx r : keys) {
+            auto valOf = [&](const SymResult &res) -> const Term * {
+                auto it = res.regs.find(r);
+                return it != res.regs.end() ? it->second
+                                            : pool.sym(symRegName(r));
+            };
+            const Term *va = valOf(got);
+            const Term *vr = valOf(want);
+            if (va == vr)
+                continue;
+            bool isBound = std::string(rc.name) == "preheader" &&
+                           r == ms.boundReg;
+            std::string kind =
+                isBound ? "trip-count"
+                        : (std::string(rc.name) == "body"
+                               ? "register"
+                               : "stride");
+            std::string msg =
+                isBound ? "trip count seats " + termStr(va) +
+                              " iterations (manifest intends " +
+                              std::to_string(ms.iters) + ")"
+                        : "register " + symRegName(r) + " ends as " +
+                              termStr(va) + " (manifest: " +
+                              termStr(vr) + ")";
+            finding(si, ms, rc, kind, pc, pc, -1, msg);
+            return;  // One diverging register is witness enough.
+        }
+    }
+
+    void
+    finding(int si, const ManifestStream &ms, const RegionCtx &rc,
+            const std::string &kind, int pc, int refPc, int lane,
+            const std::string &msg)
+    {
+        EquivFinding f;
+        f.streamIdx = si;
+        f.region = rc.name;
+        f.kind = kind;
+        f.pc = pc;
+        f.refPc = refPc;
+        f.lane = lane;
+        bool body = std::string(rc.name) == "body";
+        f.routineEntry = body ? ms.bodyLo : 0;
+        f.routine = body && ms.bodyLo >= 0
+                        ? "microthread at " + std::to_string(ms.bodyLo)
+                        : "main body";
+        f.message = "stream " + std::to_string(si) + " " + f.region +
+                    " [" + kind + "]: " + msg;
+        findings_.push_back(std::move(f));
+    }
+
+    const Program &p_;
+    const BenchConfig &cfg_;
+    std::vector<EquivFinding> findings_;
+};
+
+} // namespace
+
+EquivReport
+checkEquivalence(const Program &p, const BenchConfig &cfg,
+                 const MachineParams &)
+{
+    return EquivChecker(p, cfg).run();
+}
+
+} // namespace rockcress

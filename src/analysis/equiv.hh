@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Translation validation for the software-defined vectorizer: prove
+ * that the instructions the compiler *emitted* for each strip-mined
+ * DAE stream are equivalent to the reference transcript its
+ * VectorizationManifest recorded — per region (run-ahead prologue,
+ * loop preheader, steady-state fill, vector body), up to the
+ * documented lane remapping of group vloads.
+ *
+ * The proof strategy is standard translation validation:
+ *  1. Structural fast path: a region whose emitted instructions are
+ *     byte-identical to the manifest's reference copy is proved
+ *     outright (this is the steady state for every shipped kernel —
+ *     the manifest is captured from the same emission).
+ *  2. Symbolic differential: a differing region is executed
+ *     symbolically on both legs from a shared entry environment
+ *     (analysis/symexec.hh) and proved equivalent iff the committed
+ *     effect lists match — group vloads expanded through the lane
+ *     distribution formula of the reference model — and every
+ *     written register ends with the same term. The trip-count seat
+ *     is additionally checked against the manifest's iteration count.
+ *  3. Anything the engine cannot execute is rejected with a
+ *     "structure" finding: cannot prove means not proved.
+ *
+ * Findings carry a counterexample witness — the (emitted pc,
+ * reference pc) pair, the diverging lane for lane-map findings, and
+ * the two diverging terms rendered into the message — and are sorted
+ * by (routine, pc, lane).
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_EQUIV_HH
+#define ROCKCRESS_ANALYSIS_EQUIV_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "isa/program.hh"
+#include "machine/params.hh"
+
+namespace rockcress
+{
+
+/** One equivalence counterexample (or failure to prove). */
+struct EquivFinding
+{
+    int streamIdx = 0;        ///< Manifest stream index.
+    std::string region;       ///< prologue/preheader/fill/body.
+    /** Finding class: "trip-count", "lane-map", "stride", "effect",
+     * "register", "predication", "structure". */
+    std::string kind;
+    int pc = -1;              ///< Diverging pc in the emitted code.
+    int refPc = -1;           ///< Matching reference-transcript pc.
+    int lane = -1;            ///< Diverging lane (lane-map), else -1.
+    int routineEntry = -1;
+    std::string routine;      ///< "main body" / "microthread at N".
+    std::string message;      ///< Includes the diverging terms.
+};
+
+/** Verdict over every manifest stream of one program. */
+struct EquivReport
+{
+    int streams = 0;   ///< Streams examined.
+    int proved = 0;    ///< Streams proved equivalent.
+    /** Sorted by (routineEntry, pc, lane). */
+    std::vector<EquivFinding> findings;
+
+    bool ok() const { return findings.empty(); }
+};
+
+/**
+ * Validate every manifest stream of `p`. Programs with no manifest
+ * (hand-assembled tests, MIMD configurations) report zero streams
+ * and trivially pass.
+ */
+EquivReport checkEquivalence(const Program &p, const BenchConfig &cfg,
+                             const MachineParams &params);
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_EQUIV_HH

@@ -1,0 +1,616 @@
+#include "analysis/symexec.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace rockcress
+{
+
+// --- Terms -------------------------------------------------------------------
+
+std::string
+Term::str() const
+{
+    switch (kind) {
+      case Kind::Const:
+        return std::to_string(value);
+      case Kind::Sym:
+        return op;
+      case Kind::App: {
+        std::string s = "(" + op;
+        for (const Term *a : args)
+            s += " " + a->str();
+        return s + ")";
+      }
+    }
+    return "?";
+}
+
+// --- TermPool ----------------------------------------------------------------
+
+const Term *
+TermPool::intern(Term t)
+{
+    std::string key;
+    switch (t.kind) {
+      case Term::Kind::Const:
+        key = "C:" + std::to_string(t.value);
+        break;
+      case Term::Kind::Sym:
+        key = "S:" + t.op;
+        break;
+      case Term::Kind::App:
+        key = "A:" + t.op;
+        for (const Term *a : t.args)
+            key += ":" + std::to_string(a->id);
+        break;
+    }
+    auto it = table_.find(key);
+    if (it != table_.end())
+        return it->second;
+    t.id = static_cast<int>(terms_.size());
+    terms_.push_back(std::make_unique<Term>(std::move(t)));
+    const Term *p = terms_.back().get();
+    table_.emplace(std::move(key), p);
+    return p;
+}
+
+const Term *
+TermPool::constant(std::int32_t v)
+{
+    Term t;
+    t.kind = Term::Kind::Const;
+    t.value = v;
+    return intern(std::move(t));
+}
+
+const Term *
+TermPool::sym(const std::string &name)
+{
+    Term t;
+    t.kind = Term::Kind::Sym;
+    t.op = name;
+    return intern(std::move(t));
+}
+
+namespace
+{
+
+bool
+isCommutative(const std::string &op)
+{
+    return op == "add" || op == "mul" || op == "and" || op == "or" ||
+           op == "xor" || op == "eq" || op == "ne";
+}
+
+std::int32_t
+wrap(std::uint32_t v)
+{
+    return static_cast<std::int32_t>(v);
+}
+
+/** 32-bit wrapping fold matching the reference model's integer ALU. */
+bool
+foldBinary(const std::string &op, std::int32_t a, std::int32_t b,
+           std::int32_t &out)
+{
+    auto ua = static_cast<std::uint32_t>(a);
+    auto ub = static_cast<std::uint32_t>(b);
+    if (op == "add") {
+        out = wrap(ua + ub);
+    } else if (op == "sub") {
+        out = wrap(ua - ub);
+    } else if (op == "mul") {
+        out = wrap(ua * ub);
+    } else if (op == "mulh") {
+        out = static_cast<std::int32_t>(
+            (static_cast<std::int64_t>(a) * b) >> 32);
+    } else if (op == "and") {
+        out = wrap(ua & ub);
+    } else if (op == "or") {
+        out = wrap(ua | ub);
+    } else if (op == "xor") {
+        out = wrap(ua ^ ub);
+    } else if (op == "sll") {
+        out = wrap(ua << (ub & 31u));
+    } else if (op == "srl") {
+        out = wrap(ua >> (ub & 31u));
+    } else if (op == "sra") {
+        out = a >> (ub & 31u);
+    } else if (op == "slt") {
+        out = a < b ? 1 : 0;
+    } else if (op == "sltu") {
+        out = ua < ub ? 1 : 0;
+    } else if (op == "div") {
+        out = b == 0 ? -1
+                     : (a == INT32_MIN && b == -1 ? a : a / b);
+    } else if (op == "rem") {
+        out = b == 0 ? a : (a == INT32_MIN && b == -1 ? 0 : a % b);
+    } else if (op == "eq") {
+        out = a == b ? 1 : 0;
+    } else if (op == "ne") {
+        out = a != b ? 1 : 0;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const Term *
+TermPool::app(const std::string &op, std::vector<const Term *> args)
+{
+    auto isConst = [](const Term *t) {
+        return t->kind == Term::Kind::Const;
+    };
+
+    if (args.size() == 2) {
+        const Term *a = args[0];
+        const Term *b = args[1];
+        // Rewrites that re-enter app() for further normalization.
+        if (op == "sll" && isConst(b) && b->value >= 0 &&
+            b->value < 31) {
+            return app("mul", {a, constant(1 << b->value)});
+        }
+        if (op == "sub" && isConst(b))
+            return app("add", {a, constant(wrap(0u - static_cast<std::uint32_t>(b->value)))});
+
+        // Canonical commutative order: const last, then by term id.
+        if (isCommutative(op)) {
+            bool swap = isConst(a) != isConst(b)
+                            ? isConst(a)
+                            : a->id > b->id;
+            if (swap) {
+                std::swap(args[0], args[1]);
+                a = args[0];
+                b = args[1];
+            }
+        }
+
+        std::int32_t folded;
+        if (isConst(a) && isConst(b) &&
+            foldBinary(op, a->value, b->value, folded)) {
+            return constant(folded);
+        }
+
+        // Identities.
+        if ((op == "add" || op == "xor" || op == "or" || op == "srl" ||
+             op == "sra") &&
+            isConst(b) && b->value == 0) {
+            return a;
+        }
+        if (op == "sub" && a == b)
+            return constant(0);
+        if (op == "mul" && isConst(b)) {
+            if (b->value == 1)
+                return a;
+            if (b->value == 0)
+                return constant(0);
+        }
+        if (op == "xor" && a == b)
+            return constant(0);
+        if ((op == "and" || op == "or") && a == b)
+            return a;
+        if (op == "and" && isConst(b)) {
+            if (b->value == 0)
+                return constant(0);
+            if (b->value == -1)
+                return a;
+        }
+        if (op == "eq" && a == b)
+            return constant(1);
+        if (op == "ne" && a == b)
+            return constant(0);
+        // (add (add x c1) c2) -> (add x (c1+c2)).
+        if (op == "add" && isConst(b) && a->kind == Term::Kind::App &&
+            a->op == "add" && a->args.size() == 2 &&
+            isConst(a->args[1])) {
+            std::int32_t c = wrap(
+                static_cast<std::uint32_t>(a->args[1]->value) +
+                static_cast<std::uint32_t>(b->value));
+            return app("add", {a->args[0], constant(c)});
+        }
+    }
+    if (op == "ite" && args.size() == 3) {
+        if (args[1] == args[2])
+            return args[1];
+        if (isConst(args[0]))
+            return args[0]->value != 0 ? args[1] : args[2];
+    }
+
+    Term t;
+    t.kind = Term::Kind::App;
+    t.op = op;
+    t.args = std::move(args);
+    return intern(std::move(t));
+}
+
+const Term *
+TermPool::ite(const Term *c, const Term *a, const Term *b)
+{
+    if (!c)
+        return a;
+    return app("ite", {c, a, b});
+}
+
+const Term *
+TermPool::notOf(const Term *c)
+{
+    return app("xor", {c, constant(1)});
+}
+
+const Term *
+TermPool::conj(const Term *a, const Term *b)
+{
+    if (!a)
+        return b;
+    if (!b)
+        return a;
+    return app("and", {a, b});
+}
+
+// --- Effects -----------------------------------------------------------------
+
+bool
+SymEffect::sameAs(const SymEffect &o) const
+{
+    return kind == o.kind && addr == o.addr && value == o.value &&
+           spOff == o.spOff && pred == o.pred && coreOff == o.coreOff &&
+           width == o.width && variant == o.variant &&
+           target == o.target;
+}
+
+// --- Region execution --------------------------------------------------------
+
+std::string
+symRegName(RegIdx r)
+{
+    if (r < fpRegBase)
+        return "x" + std::to_string(r);
+    if (r < simdRegBase)
+        return "f" + std::to_string(r - fpRegBase);
+    return "v" + std::to_string(r - simdRegBase);
+}
+
+namespace
+{
+
+struct PathState
+{
+    int pc = 0;
+    std::map<RegIdx, const Term *> regs;
+    const Term *pred = nullptr;   ///< Predicate flag term.
+    const Term *cond = nullptr;   ///< Path condition (branch picks).
+    std::vector<SymEffect> effects;
+    int frames = 0;               ///< frame_start symbols handed out.
+};
+
+bool
+isConstVal(const Term *t, std::int32_t v)
+{
+    return t && t->kind == Term::Kind::Const && t->value == v;
+}
+
+} // namespace
+
+SymResult
+symExecRegion(TermPool &pool, const std::vector<Instruction> &code,
+              int baseIndex, const SymExecOptions &opts)
+{
+    SymResult res;
+    int n = static_cast<int>(code.size());
+    std::vector<PathState> done;
+    std::vector<PathState> work;
+    work.emplace_back();
+    int steps = 0;
+
+    auto fail = [&](std::string why) {
+        res.ok = false;
+        res.reason = std::move(why);
+        return res;
+    };
+    auto get = [&](PathState &st, RegIdx r) -> const Term * {
+        if (r == regZero)
+            return pool.constant(0);
+        auto it = st.regs.find(r);
+        return it != st.regs.end() ? it->second
+                                   : pool.sym(symRegName(r));
+    };
+
+    while (!work.empty()) {
+        PathState st = std::move(work.back());
+        work.pop_back();
+
+        auto setReg = [&](RegIdx rd, const Term *v) {
+            if (rd == regZero)
+                return;
+            if (st.pred)
+                v = pool.ite(st.pred, v, get(st, rd));
+            st.regs[rd] = v;
+        };
+        auto effect = [&](SymEffect e) {
+            if (isConstVal(st.pred, 0))
+                return;  // Statically squashed.
+            e.pred = st.pred;
+            e.pc = st.pc;
+            st.effects.push_back(e);
+        };
+        auto binApp = [&](const char *op, const Instruction &i) {
+            setReg(i.rd,
+                   pool.app(op, {get(st, i.rs1), get(st, i.rs2)}));
+        };
+        auto immApp = [&](const char *op, const Instruction &i) {
+            setReg(i.rd, pool.app(op, {get(st, i.rs1),
+                                       pool.constant(i.imm)}));
+        };
+        auto ufApp = [&](const Instruction &i, int nsrc) {
+            std::vector<const Term *> a{get(st, i.rs1)};
+            if (nsrc >= 2)
+                a.push_back(get(st, i.rs2));
+            if (nsrc >= 3)
+                a.push_back(get(st, i.rs3));
+            setReg(i.rd, pool.app(opcodeName(i.op), std::move(a)));
+        };
+
+        bool ended = false;
+        while (st.pc < n && !ended) {
+            if (++steps > opts.maxSteps)
+                return fail("step budget exhausted");
+            const Instruction &i = code[static_cast<size_t>(st.pc)];
+            switch (i.op) {
+              case Opcode::NOP:
+                break;
+              case Opcode::ADD: binApp("add", i); break;
+              case Opcode::SUB: binApp("sub", i); break;
+              case Opcode::AND: binApp("and", i); break;
+              case Opcode::OR: binApp("or", i); break;
+              case Opcode::XOR: binApp("xor", i); break;
+              case Opcode::SLL: binApp("sll", i); break;
+              case Opcode::SRL: binApp("srl", i); break;
+              case Opcode::SRA: binApp("sra", i); break;
+              case Opcode::SLT: binApp("slt", i); break;
+              case Opcode::SLTU: binApp("sltu", i); break;
+              case Opcode::MUL: binApp("mul", i); break;
+              case Opcode::MULH: binApp("mulh", i); break;
+              case Opcode::DIV: binApp("div", i); break;
+              case Opcode::REM: binApp("rem", i); break;
+              case Opcode::ADDI: immApp("add", i); break;
+              case Opcode::ANDI: immApp("and", i); break;
+              case Opcode::ORI: immApp("or", i); break;
+              case Opcode::XORI: immApp("xor", i); break;
+              case Opcode::SLLI: immApp("sll", i); break;
+              case Opcode::SRLI: immApp("srl", i); break;
+              case Opcode::SRAI: immApp("sra", i); break;
+              case Opcode::SLTI: immApp("slt", i); break;
+              case Opcode::LUI:
+                setReg(i.rd,
+                       pool.constant(wrap(
+                           static_cast<std::uint32_t>(i.imm) << 12)));
+                break;
+
+              case Opcode::LW:
+              case Opcode::FLW:
+                setReg(i.rd,
+                       pool.app("load", {pool.app("add",
+                                                  {get(st, i.rs1),
+                                                   pool.constant(i.imm)})}));
+                break;
+              case Opcode::SIMD_LW:
+                setReg(i.rd,
+                       pool.app("simd.load",
+                                {pool.app("add", {get(st, i.rs1),
+                                                  pool.constant(i.imm)})}));
+                break;
+              case Opcode::SW:
+              case Opcode::FSW: {
+                SymEffect e;
+                e.kind = SymEffect::Kind::StoreWord;
+                e.addr = pool.app("add", {get(st, i.rs1),
+                                          pool.constant(i.imm)});
+                e.value = get(st, i.rs2);
+                effect(e);
+                break;
+              }
+              case Opcode::SIMD_SW: {
+                SymEffect e;
+                e.kind = SymEffect::Kind::StoreSimd;
+                e.addr = pool.app("add", {get(st, i.rs1),
+                                          pool.constant(i.imm)});
+                e.value = get(st, i.rs2);
+                effect(e);
+                break;
+              }
+
+              case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+              case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+              case Opcode::FSGNJ: case Opcode::FEQ: case Opcode::FLT:
+              case Opcode::FLE:
+              case Opcode::SIMD_ADD: case Opcode::SIMD_SUB:
+              case Opcode::SIMD_MUL: case Opcode::SIMD_FADD:
+              case Opcode::SIMD_FSUB: case Opcode::SIMD_FMUL:
+                ufApp(i, 2);
+                break;
+              case Opcode::FSQRT: case Opcode::FABS:
+              case Opcode::FCVT_WS: case Opcode::FCVT_SW:
+              case Opcode::SIMD_BCAST: case Opcode::SIMD_REDSUM:
+                ufApp(i, 1);
+                break;
+              case Opcode::FMADD: case Opcode::SIMD_FMA:
+                ufApp(i, 3);
+                break;
+              case Opcode::FMV_XW:
+              case Opcode::FMV_WX:
+                // Bit-identical register moves.
+                setReg(i.rd, get(st, i.rs1));
+                break;
+
+              case Opcode::CSRR:
+                setReg(i.rd,
+                       pool.sym("csr" + std::to_string(i.sub)));
+                break;
+
+              case Opcode::VLOAD: {
+                SymEffect e;
+                e.kind = SymEffect::Kind::Vload;
+                e.addr = get(st, i.rs1);
+                e.spOff = get(st, i.rs2);
+                e.coreOff = i.imm;
+                e.width = i.imm2;
+                e.variant = i.sub;
+                effect(e);
+                break;
+              }
+              case Opcode::FRAME_START: {
+                SymEffect e;
+                e.kind = SymEffect::Kind::FrameStart;
+                effect(e);
+                setReg(i.rd, pool.sym(
+                    "frame#" + std::to_string(st.frames++)));
+                break;
+              }
+              case Opcode::REMEM: {
+                SymEffect e;
+                e.kind = SymEffect::Kind::Remem;
+                effect(e);
+                break;
+              }
+              case Opcode::VISSUE: {
+                SymEffect e;
+                e.kind = SymEffect::Kind::Vissue;
+                e.target = i.imm;
+                effect(e);
+                break;
+              }
+              case Opcode::VEND:
+                // Microthread terminator: the path is complete.
+                ended = true;
+                break;
+              case Opcode::PRED_EQ:
+              case Opcode::PRED_NEQ: {
+                const char *op =
+                    i.op == Opcode::PRED_EQ ? "eq" : "ne";
+                const Term *c = pool.app(
+                    op, {get(st, i.rs1), get(st, i.rs2)});
+                st.pred = isConstVal(c, 1) ? nullptr : c;
+                break;
+              }
+
+              case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+              case Opcode::BGE: case Opcode::BLTU:
+              case Opcode::BGEU: case Opcode::JAL: {
+                const Term *taken = nullptr;  // null = unconditional.
+                switch (i.op) {
+                  case Opcode::BEQ:
+                    taken = pool.app("eq", {get(st, i.rs1),
+                                            get(st, i.rs2)});
+                    break;
+                  case Opcode::BNE:
+                    taken = pool.app("ne", {get(st, i.rs1),
+                                            get(st, i.rs2)});
+                    break;
+                  case Opcode::BLT:
+                    taken = pool.app("slt", {get(st, i.rs1),
+                                             get(st, i.rs2)});
+                    break;
+                  case Opcode::BGE:
+                    taken = pool.notOf(pool.app(
+                        "slt", {get(st, i.rs1), get(st, i.rs2)}));
+                    break;
+                  case Opcode::BLTU:
+                    taken = pool.app("sltu", {get(st, i.rs1),
+                                              get(st, i.rs2)});
+                    break;
+                  case Opcode::BGEU:
+                    taken = pool.notOf(pool.app(
+                        "sltu", {get(st, i.rs1), get(st, i.rs2)}));
+                    break;
+                  default:
+                    if (i.rd != regZero)
+                        return fail("linking jal in region");
+                    break;
+                }
+                if (st.pred)
+                    return fail("branch under a symbolic predicate");
+                int t = i.imm - baseIndex;
+                bool jump;
+                if (!taken || taken->kind == Term::Kind::Const) {
+                    jump = !taken || taken->value != 0;
+                } else {
+                    // Symbolic condition: fork.
+                    if (static_cast<int>(done.size() + work.size()) +
+                            2 > opts.maxPaths) {
+                        return fail("fork budget exhausted");
+                    }
+                    if (t <= st.pc || t > n)
+                        return fail("branch target outside the "
+                                    "region or backward");
+                    PathState other = st;
+                    other.pc = t;
+                    other.cond = pool.conj(st.cond, taken);
+                    work.push_back(std::move(other));
+                    st.cond = pool.conj(st.cond, pool.notOf(taken));
+                    jump = false;
+                }
+                if (jump) {
+                    if (t <= st.pc || t > n)
+                        return fail("branch target outside the "
+                                    "region or backward");
+                    st.pc = t;
+                    continue;
+                }
+                break;
+              }
+
+              case Opcode::JALR:
+              case Opcode::HALT:
+              case Opcode::BARRIER:
+              case Opcode::CSRW:
+              case Opcode::DEVEC:
+              default:
+                return fail(std::string(opcodeName(i.op)) +
+                            " is not modeled inside a region");
+            }
+            ++st.pc;
+        }
+        done.push_back(std::move(st));
+        if (static_cast<int>(done.size() + work.size()) >
+            opts.maxPaths) {
+            return fail("fork budget exhausted");
+        }
+    }
+
+    // Merge the completed paths: effect lists must agree exactly;
+    // registers join through ite-chains over the path conditions.
+    res.paths = static_cast<int>(done.size());
+    for (size_t k = 1; k < done.size(); ++k) {
+        if (done[k].effects.size() != done[0].effects.size())
+            return fail("paths commit different effect lists");
+        for (size_t j = 0; j < done[0].effects.size(); ++j) {
+            if (!done[k].effects[j].sameAs(done[0].effects[j]))
+                return fail("paths commit different effect lists");
+        }
+    }
+    res.effects = done[0].effects;
+    std::set<RegIdx> written;
+    for (const PathState &p : done) {
+        for (const auto &[r, t] : p.regs)
+            written.insert(r);
+    }
+    for (RegIdx r : written) {
+        auto valOf = [&](const PathState &p) -> const Term * {
+            auto it = p.regs.find(r);
+            return it != p.regs.end() ? it->second
+                                      : pool.sym(symRegName(r));
+        };
+        const Term *v = valOf(done[0]);
+        for (size_t k = 1; k < done.size(); ++k)
+            v = pool.ite(done[k].cond, valOf(done[k]), v);
+        res.regs[r] = v;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace rockcress

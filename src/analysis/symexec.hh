@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A small symbolic-execution engine over the Rockcress ISA, built for
+ * the translation validator (analysis/equiv.hh). Values are terms in
+ * a hash-consed DAG: 32-bit constants, free symbols (a register's
+ * entry value, a CSR, a frame base), and applications (integer ALU
+ * ops with constant folding and canonicalization; floating-point and
+ * SIMD ops as uninterpreted functions; loads as `load`/`simd.load`
+ * applications over the pre-region memory). Committed architectural
+ * side effects — global stores, vloads, frame_start/remem, vissue —
+ * come out as an ordered effect list, each carrying the predicate
+ * term it executes under (pred_eq/pred_neq fold register writes into
+ * ite-terms). Bounded forward-branch forking handles the diamond
+ * shapes the emitters produce (the non-power-of-two frame-rotator
+ * wrap); paths re-merge at region exit with ite-joined registers.
+ *
+ * Deliberate incompletenesses (documented in DESIGN.md §5j): loads
+ * always read the pre-region memory (no store-to-load forwarding),
+ * backward branches are rejected, and a region whose paths commit
+ * different effect lists is rejected — all of which fail *conservative*
+ * (cannot prove), never unsound.
+ */
+
+#ifndef ROCKCRESS_ANALYSIS_SYMEXEC_HH
+#define ROCKCRESS_ANALYSIS_SYMEXEC_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+/** One node of the hash-consed term DAG. Never compare by content —
+ * pool interning makes pointer equality the semantic equality. */
+struct Term
+{
+    enum class Kind : std::uint8_t
+    {
+        Const,
+        Sym,
+        App,
+    };
+
+    Kind kind = Kind::Const;
+    std::int32_t value = 0;           ///< Const payload.
+    std::string op;                   ///< Sym name / App operator.
+    std::vector<const Term *> args;   ///< App operands.
+    /** Monotonic creation index — the canonical commutative-argument
+     * order, deterministic across runs (unlike pointer order). */
+    int id = 0;
+
+    /** Render as an s-expression ("(add x5 12)"). */
+    std::string str() const;
+};
+
+/**
+ * Interning pool. app() normalizes before interning: constant
+ * folding on 32-bit wrapping semantics matching the reference model,
+ * const-last canonical order for commutative operators (then by term
+ * id), add-of-const reassociation, shifts-by-constant lowered to
+ * multiplies, and the usual identities (x+0, x*1, x^x, ite(c,a,a),
+ * eq(x,x), ...).
+ */
+class TermPool
+{
+  public:
+    const Term *constant(std::int32_t v);
+    const Term *sym(const std::string &name);
+    const Term *app(const std::string &op,
+                    std::vector<const Term *> args);
+
+    /** ite(cond, a, b); cond is a 0/1 term. */
+    const Term *ite(const Term *c, const Term *a, const Term *b);
+    /** Logical negation of a 0/1 term. */
+    const Term *notOf(const Term *c);
+    /** Conjunction of 0/1 terms (nullptr = true). */
+    const Term *conj(const Term *a, const Term *b);
+
+    size_t size() const { return terms_.size(); }
+
+  private:
+    const Term *intern(Term t);
+
+    std::map<std::string, const Term *> table_;
+    std::vector<std::unique_ptr<Term>> terms_;
+};
+
+/** One committed architectural side effect, in program order. */
+struct SymEffect
+{
+    enum class Kind : std::uint8_t
+    {
+        StoreWord,   ///< SW/FSW: one word at addr.
+        StoreSimd,   ///< SIMD_SW: simdWidth words at addr.
+        Vload,       ///< Wide load: addr -> scratchpad spOff.
+        FrameStart,
+        Remem,
+        Vissue,      ///< Launches the microthread at `target`.
+    };
+
+    Kind kind = Kind::StoreWord;
+    const Term *addr = nullptr;
+    const Term *value = nullptr;
+    const Term *spOff = nullptr;
+    /** Predicate term the effect commits under; nullptr = always. */
+    const Term *pred = nullptr;
+    int coreOff = 0;     ///< Vload base core offset.
+    int width = 0;       ///< Vload words per core.
+    int variant = 0;     ///< VloadVariant.
+    int target = -1;     ///< Vissue target (absolute pc).
+    int pc = -1;         ///< Local index within the region.
+
+    /** Field equality ignoring pc (terms compare by pointer). */
+    bool sameAs(const SymEffect &o) const;
+};
+
+/** Outcome of executing one region. */
+struct SymResult
+{
+    bool ok = false;
+    std::string reason;              ///< Failure cause when !ok.
+    std::vector<SymEffect> effects;  ///< In commit order.
+    /** Final value of every register the region wrote. Registers it
+     * only read keep their entry symbol and are not listed. */
+    std::map<RegIdx, const Term *> regs;
+    int paths = 0;                   ///< Paths merged at exit.
+};
+
+struct SymExecOptions
+{
+    int maxPaths = 8;     ///< Fork budget (then: cannot prove).
+    int maxSteps = 8192;  ///< Total instruction budget, all paths.
+};
+
+/** Name a flat register index ("x5", "f1", "v2"). */
+std::string symRegName(RegIdx r);
+
+/**
+ * Symbolically execute `code` as one region entered at its first
+ * instruction with every register holding its entry symbol.
+ * `baseIndex` is the absolute program index of code[0]; branch and
+ * jump targets (absolute) are mapped into the region with it, and a
+ * target exactly one past the region is the normal exit.
+ */
+SymResult symExecRegion(TermPool &pool,
+                        const std::vector<Instruction> &code,
+                        int baseIndex,
+                        const SymExecOptions &opts = {});
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ANALYSIS_SYMEXEC_HH

@@ -9,6 +9,7 @@
 
 #include "analysis/cfg.hh"
 #include "analysis/dataflow.hh"
+#include "analysis/equiv.hh"
 #include "analysis/interval.hh"
 #include "analysis/racecheck.hh"
 #include "analysis/tokenflow.hh"
@@ -282,6 +283,7 @@ class Verifier
             checkUseBeforeDef();
         checkDeadlock();
         checkRaces();
+        checkEquiv();
 
         // Deterministic report order regardless of pass order.
         std::sort(diags_.begin(), diags_.end(),
@@ -297,6 +299,9 @@ class Verifier
         VerifyReport rep;
         rep.diagnostics = std::move(diags_);
         rep.races = std::move(races_);
+        rep.equiv = std::move(equiv_);
+        rep.equivStreams = equivStreams_;
+        rep.equivProved = equivProved_;
         return rep;
     }
 
@@ -1228,6 +1233,25 @@ class Verifier
                   });
     }
 
+    // --- Translation validation ----------------------------------------------
+
+    void
+    checkEquiv()
+    {
+        EquivReport er = checkEquivalence(p_, cfg_, params_);
+        equivStreams_ = er.streams;
+        equivProved_ = er.proved;
+        // Findings arrive sorted by (routineEntry, pc, lane); mirror
+        // each as a Check::Equiv diagnostic with a CFG witness path.
+        for (EquivFinding &f : er.findings) {
+            std::vector<int> path;
+            if (f.pc >= 0 && f.pc < graph_.size())
+                path = witness(std::max(0, routineEntryOf(f.pc)), f.pc);
+            diag(Check::Equiv, f.pc, f.message, std::move(path));
+            equiv_.push_back(std::move(f));
+        }
+    }
+
     // --- Members -------------------------------------------------------------
 
     const Program &p_;
@@ -1242,6 +1266,9 @@ class Verifier
 
     std::vector<Diagnostic> diags_;
     std::vector<RaceFinding> races_;
+    std::vector<EquivFinding> equiv_;
+    int equivStreams_ = 0;
+    int equivProved_ = 0;
     std::set<std::pair<int, int>> reported_;
 };
 
@@ -1261,6 +1288,7 @@ checkName(Check c)
       case Check::UseBeforeDef: return "use-before-def";
       case Check::Deadlock: return "deadlock";
       case Check::Race: return "race";
+      case Check::Equiv: return "equiv";
     }
     return "unknown";
 }

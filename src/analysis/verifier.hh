@@ -42,6 +42,12 @@
  *    provably overlap — reported with a two-sided witness (producer
  *    path, consumer path, overlapping byte range) and mirrored at run
  *    time by the frame sanitizer (mem/scratchpad.hh).
+ *  - equiv: translation validation (analysis/equiv.hh) — every
+ *    strip-mined stream recorded in the program's
+ *    VectorizationManifest is proved equivalent to the reference
+ *    transcript the compiler captured, region by region, up to the
+ *    documented lane remapping of group vloads; anything the
+ *    symbolic engine cannot prove is reported, never assumed.
  *
  * Diagnostics carry the instruction index, its disassembly, the
  * routine it belongs to, and a shortest witness path through the CFG.
@@ -55,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/equiv.hh"
 #include "analysis/racecheck.hh"
 #include "compiler/codegen.hh"
 #include "isa/program.hh"
@@ -74,6 +81,7 @@ enum class Check
     UseBeforeDef,  ///< Register read with no reaching definition.
     Deadlock,      ///< Token-flow: schedule wedges the frame queue.
     Race,          ///< MHP: overlapping remote fills of live words.
+    Equiv,         ///< Translation validation vs the manifest.
 };
 
 /** Short kebab-case name of a check ("vector-region", ...). */
@@ -108,6 +116,11 @@ struct VerifyReport
     /** Structured race findings (each also appears as a Check::Race
      * diagnostic), sorted by (routine, pc, byte range). */
     std::vector<RaceFinding> races;
+    /** Structured translation-validation findings (each also appears
+     * as a Check::Equiv diagnostic), sorted by (routine, pc, lane). */
+    std::vector<EquivFinding> equiv;
+    int equivStreams = 0;  ///< Manifest streams examined.
+    int equivProved = 0;   ///< Streams proved equivalent.
 
     bool ok() const { return diagnostics.empty(); }
 

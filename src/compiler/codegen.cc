@@ -227,25 +227,121 @@ emitScalarStream(Assembler &as, const DaeStreamSpec &spec,
 {
     if (!spec.fill)
         fatal("codegen: scalar stream needs a fill callback");
-    int ahead = std::min(spec.ahead, spec.iters);
+    // Record what this stream intends as it is emitted; the manifest
+    // is the reference leg of the translation-validation proof
+    // (analysis/equiv.hh). Assembler::finish() resolves the body
+    // range and snapshots the reference instruction copies.
+    ManifestStream ms;
+    ms.iters = spec.iters;
+    ms.ahead = std::min(spec.ahead, spec.iters);
+    ms.frameWords = spec.frameBytes / static_cast<int>(wordBytes);
+    ms.numFrames = spec.numFrames;
+    ms.boundReg = regs.bound;
+
+    int ahead = ms.ahead;
+    ms.prologueLo = as.pc();
     for (int k = 0; k < ahead; ++k) {
         spec.fill(as, regs.off);
         rot.emitAdvance();
     }
+    ms.prologueHi = as.pc();
+    ms.preheaderLo = as.pc();
     as.li(regs.it, 0);
+    ms.boundPc = as.pc();
     as.li(regs.bound, spec.iters);
+    ms.preheaderHi = as.pc();
+    ms.loopLo = as.pc();
     Loop loop(as, regs.it, regs.bound, 1);
     {
         Label skip = as.newLabel();
         as.addi(regs.tmp, regs.it, ahead);
         as.bge(regs.tmp, regs.bound, skip);
+        ms.fillLo = as.pc();
         spec.fill(as, regs.off);
         rot.emitAdvance();
+        ms.fillHi = as.pc();
         as.bind(skip);
 
+        ms.vissuePc = as.pc();
         as.vissue(spec.bodyMt);
     }
     loop.end();
+    ms.loopHi = as.pc();
+    as.manifest().streams.push_back(ms);
+}
+
+// --- Seeded miscompiles ------------------------------------------------------
+
+int
+applyMiscompile(Program &p, const MiscompileSpec &spec)
+{
+    if (spec.kind == MiscompileSpec::Kind::None)
+        return -1;
+    if (spec.streamIdx < 0 ||
+        spec.streamIdx >=
+            static_cast<int>(p.manifest.streams.size())) {
+        return -1;
+    }
+    const ManifestStream &ms =
+        p.manifest.streams[static_cast<size_t>(spec.streamIdx)];
+    auto nth = [&](int lo, int hi, auto &&match) {
+        int seen = 0;
+        for (int pc = std::max(lo, 0);
+             pc < std::min(hi, p.size()); ++pc) {
+            if (match(p.code[static_cast<size_t>(pc)]) &&
+                seen++ == spec.occurrence) {
+                return pc;
+            }
+        }
+        return -1;
+    };
+    switch (spec.kind) {
+      case MiscompileSpec::Kind::DropLane: {
+        int pc = nth(ms.fillLo, ms.fillHi, [](const Instruction &i) {
+            return i.op == Opcode::VLOAD &&
+                   static_cast<VloadVariant>(i.sub) ==
+                       VloadVariant::Group;
+        });
+        if (pc >= 0)
+            p.code[static_cast<size_t>(pc)].imm += spec.delta;
+        return pc;
+      }
+      case MiscompileSpec::Kind::WrongStride: {
+        // Skew a stream-pointer bump: an addi rd, rd, imm in the fill.
+        int pc = nth(ms.fillLo, ms.fillHi, [](const Instruction &i) {
+            return i.op == Opcode::ADDI && i.rd == i.rs1 &&
+                   i.rd != regZero;
+        });
+        if (pc >= 0)
+            p.code[static_cast<size_t>(pc)].imm +=
+                spec.delta * static_cast<int>(wordBytes);
+        return pc;
+      }
+      case MiscompileSpec::Kind::TripCount: {
+        int pc = ms.boundPc;
+        if (pc < 0 || pc >= p.size() ||
+            p.code[static_cast<size_t>(pc)].op != Opcode::ADDI) {
+            return -1;
+        }
+        p.code[static_cast<size_t>(pc)].imm += spec.delta;
+        return pc;
+      }
+      case MiscompileSpec::Kind::PredPolarity: {
+        int pc = nth(ms.bodyLo, ms.bodyHi, [](const Instruction &i) {
+            return i.op == Opcode::PRED_EQ ||
+                   i.op == Opcode::PRED_NEQ;
+        });
+        if (pc >= 0) {
+            Instruction &i = p.code[static_cast<size_t>(pc)];
+            i.op = i.op == Opcode::PRED_EQ ? Opcode::PRED_NEQ
+                                           : Opcode::PRED_EQ;
+        }
+        return pc;
+      }
+      case MiscompileSpec::Kind::None:
+        break;
+    }
+    return -1;
 }
 
 // --- SpmdBuilder ------------------------------------------------------------------
@@ -381,7 +477,13 @@ SpmdBuilder::finish()
         as_.vend();
     }
     finished_ = true;
-    return as_.finish();
+    Program p = as_.finish();
+    if (sabotage_.kind != MiscompileSpec::Kind::None &&
+        applyMiscompile(p, sabotage_) < 0) {
+        fatal("codegen: armed miscompile matched no site in '",
+              p.name, "'");
+    }
+    return p;
 }
 
 } // namespace rockcress

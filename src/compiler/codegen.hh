@@ -158,6 +158,38 @@ void emitScalarStream(Assembler &as, const DaeStreamSpec &spec,
                       FrameRotator &rot, const DaeStreamRegs &regs = {});
 
 /**
+ * A seeded miscompile, injected into the emitted program *after* the
+ * vectorization manifest has captured the reference instruction
+ * stream — so the manifest still records what the emitter intended
+ * and the translation validator (analysis/equiv.hh) must catch the
+ * divergence. Used by ref_fuzz --equiv and the equiv smoke fixture;
+ * production callers never set one.
+ */
+struct MiscompileSpec
+{
+    enum class Kind
+    {
+        None,
+        DropLane,      ///< Bump a fill vload's core offset: lane starved.
+        WrongStride,   ///< Skew the fill's stream-pointer increment.
+        TripCount,     ///< Off-by-one on the steady loop's bound seat.
+        PredPolarity,  ///< Swap a body pred_eq <-> pred_neq.
+    };
+
+    Kind kind = Kind::None;
+    int streamIdx = 0;    ///< Which manifest stream to corrupt.
+    int occurrence = 0;   ///< n-th candidate site within the region.
+    int delta = 1;        ///< Stride skew (words) / trip-count delta.
+};
+
+/**
+ * Apply `spec` to an already-finished program, mutating Program::code
+ * in place (the manifest's reference copies are left untouched).
+ * Returns the mutated pc, or -1 when no matching site exists.
+ */
+int applyMiscompile(Program &p, const MiscompileSpec &spec);
+
+/**
  * Builds one SPMD program shared by every core of a configuration:
  * entry dispatch (core id, group id, position), per-phase vector
  * group formation/disband, the global barrier between kernels, and
@@ -212,6 +244,13 @@ class SpmdBuilder
      */
     void emitWorkerId(Assembler &as, RegIdx wid, RegIdx tmp);
 
+    /**
+     * Arm a seeded miscompile: finish() applies it to the emitted
+     * code after the manifest has captured the reference stream.
+     * Fatal at finish() if the spec matches no site (a broken test).
+     */
+    void setSabotage(const MiscompileSpec &spec) { sabotage_ = spec; }
+
     /** Finish: emits halt + deferred microthreads; returns program. */
     Program finish();
 
@@ -223,6 +262,7 @@ class SpmdBuilder
     Assembler as_;
     std::vector<std::pair<Label, std::function<void(Assembler &)>>>
         microthreads_;
+    MiscompileSpec sabotage_;
     bool finished_ = false;
 };
 

@@ -135,6 +135,18 @@ resultToJson(const RunResult &r)
         t["cpiCrossChecked"] = Json(r.trace.cpiCrossChecked);
         j["trace"] = std::move(t);
     }
+    // Same pattern for translation validation: only runs that asked
+    // for the verdict carry an equiv object.
+    if (r.equiv.checked) {
+        Json q = Json::object();
+        q["streams"] = Json(static_cast<std::uint64_t>(r.equiv.streams));
+        q["proved"] = Json(static_cast<std::uint64_t>(r.equiv.proved));
+        Json w = Json::array();
+        for (const std::string &s : r.equiv.witnesses)
+            w.push(Json(s));
+        q["witnesses"] = std::move(w);
+        j["equiv"] = std::move(q);
+    }
     return j;
 }
 
@@ -212,6 +224,26 @@ resultFromJson(const Json &j, RunResult &out)
         if (!ok)
             return false;
     }
+    if (j.has("equiv")) {
+        const Json &q = j.at("equiv");
+        if (!q.isObj())
+            return false;
+        r.equiv.checked = true;
+        std::uint64_t streams = 0, proved = 0;
+        if (!readU64(q, "streams", streams) ||
+            !readU64(q, "proved", proved) || !q.has("witnesses") ||
+            !q.at("witnesses").isArr()) {
+            return false;
+        }
+        r.equiv.streams = static_cast<int>(streams);
+        r.equiv.proved = static_cast<int>(proved);
+        const Json &w = q.at("witnesses");
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            if (w.at(i).kind() != Json::Kind::Str)
+                return false;
+            r.equiv.witnesses.push_back(w.at(i).asStr());
+        }
+    }
     out = std::move(r);
     return true;
 }
@@ -229,6 +261,7 @@ overridesToJson(const RunOverrides &o)
     j["maxCycles"] = Json(o.maxCycles);
     j["naiveTick"] = Json(o.naiveTick);
     j["verify"] = Json(o.verify);
+    j["equiv"] = Json(o.equiv);
     j["cosim"] = Json(o.cosim);
     j["cosimStrictLoads"] = Json(o.cosimStrictLoads);
     j["perfLint"] = Json(o.perfLint);

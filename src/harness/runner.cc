@@ -47,9 +47,16 @@ runManycore(const std::string &bench, const std::string &config,
     auto benchmark = makeBenchmark(bench);
     try {
         auto program = benchmark->prepare(machine, cfg);
-        if (overrides.verify) {
+        if (overrides.verify || overrides.equiv) {
             VerifyReport report = verifyProgram(*program, cfg, params);
-            if (!report.ok()) {
+            if (overrides.equiv) {
+                r.equiv.checked = true;
+                r.equiv.streams = report.equivStreams;
+                r.equiv.proved = report.equivProved;
+                for (const EquivFinding &f : report.equiv)
+                    r.equiv.witnesses.push_back(f.message);
+            }
+            if (overrides.verify && !report.ok()) {
                 r.ok = false;
                 r.error = report.text(*program);
                 return r;

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "energy/energy.hh"
 #include "kernels/common.hh"
@@ -45,6 +46,15 @@ struct RunOverrides
      * deliberately run malformed programs (fault injection).
      */
     bool verify = true;
+    /**
+     * Surface the translation-validation verdict (analysis/equiv.hh)
+     * in the run artifact: how many manifest streams were examined,
+     * how many were proved equivalent, and the sorted counterexample
+     * witnesses. The pass itself always runs as part of `verify`;
+     * this knob only controls whether the verdict is recorded in the
+     * RunResult (and serialized), keeping old artifacts byte-stable.
+     */
+    bool equiv = false;
     /**
      * Differential co-simulation: check every committed instruction
      * against the functional reference model (src/ref) and the final
@@ -148,6 +158,21 @@ struct RunResult
 
     /** Event-trace summary (all-zero unless RunOverrides::trace). */
     TraceSummary trace;
+
+    /** Translation-validation verdict (unset unless
+     * RunOverrides::equiv; the pass itself always runs under
+     * `verify`). */
+    struct EquivSummary
+    {
+        bool checked = false;  ///< RunOverrides::equiv was set.
+        int streams = 0;       ///< Manifest streams examined.
+        int proved = 0;        ///< Streams proved equivalent.
+        /** Rendered witnesses, sorted by (routine, pc, lane). */
+        std::vector<std::string> witnesses;
+
+        bool operator==(const EquivSummary &) const = default;
+    };
+    EquivSummary equiv;
 
     /**
      * Scheduler diagnostics: kernel- and host-dependent by design, so

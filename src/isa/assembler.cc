@@ -1,5 +1,7 @@
 #include "isa/assembler.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace rockcress
@@ -433,7 +435,41 @@ Assembler::finish()
     p.name = name_;
     p.code = std::move(code_);
     p.symbols = std::move(symbols_);
+    resolveManifest(p);
+    p.manifest = std::move(manifest_);
     return p;
+}
+
+void
+Assembler::resolveManifest(const Program &p)
+{
+    auto slice = [&](int lo, int hi) {
+        std::vector<Instruction> out;
+        if (lo >= 0 && hi >= lo && hi <= p.size()) {
+            out.assign(p.code.begin() + lo, p.code.begin() + hi);
+        }
+        return out;
+    };
+    for (ManifestStream &ms : manifest_.streams) {
+        if (ms.vissuePc >= 0 && ms.vissuePc < p.size() &&
+            p.code[static_cast<size_t>(ms.vissuePc)].op ==
+                Opcode::VISSUE) {
+            ms.bodyEntry = p.code[static_cast<size_t>(ms.vissuePc)].imm;
+        }
+        if (ms.bodyEntry >= 0 && ms.bodyEntry < p.size()) {
+            ms.bodyLo = ms.bodyEntry;
+            int end = ms.bodyEntry;
+            while (end < p.size() &&
+                   p.code[static_cast<size_t>(end)].op != Opcode::VEND) {
+                ++end;
+            }
+            ms.bodyHi = std::min(end + 1, p.size());
+        }
+        ms.refPrologue = slice(ms.prologueLo, ms.prologueHi);
+        ms.refPreheader = slice(ms.preheaderLo, ms.preheaderHi);
+        ms.refFill = slice(ms.fillLo, ms.fillHi);
+        ms.refBody = slice(ms.bodyLo, ms.bodyHi);
+    }
 }
 
 } // namespace rockcress

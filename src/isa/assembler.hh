@@ -168,6 +168,15 @@ class Assembler
     ///@}
 
     /**
+     * Vectorization metadata under construction. The compiler's
+     * stream emitters append a ManifestStream per DAE scalar stream;
+     * finish() resolves each stream's vissue target into a body
+     * range, captures the reference instruction copies, and moves
+     * the manifest into the Program.
+     */
+    VectorizationManifest &manifest() { return manifest_; }
+
+    /**
      * Resolve all label references and produce the program.
      * Fatal if any referenced label is unbound.
      */
@@ -176,12 +185,14 @@ class Assembler
   private:
     void branchTo(Opcode op, RegIdx rs1, RegIdx rs2, Label target);
     void useLabel(Label l, int at);
+    void resolveManifest(const Program &p);
 
     std::string name_;
     std::vector<Instruction> code_;
     std::vector<int> labelPcs_;                 ///< -1 while unbound.
     std::vector<std::pair<int, int>> fixups_;   ///< (instr idx, label id).
     std::map<std::string, int> symbols_;
+    VectorizationManifest manifest_;
     bool finished_ = false;
 };
 

@@ -297,6 +297,13 @@ disassemble(const Instruction &inst)
 Encoded
 encode(const Instruction &inst)
 {
+    // imm2 travels in a 16-bit field and decode() sign-extends it, so
+    // any value outside int16 range would round-trip to a different
+    // instruction. No producer emits one (vload widths are bounded by
+    // the cache line), so an overflow here is a programming error.
+    if (inst.imm2 < -32768 || inst.imm2 > 32767)
+        fatal("encode: imm2 ", inst.imm2,
+              " does not fit the 16-bit field");
     Encoded e;
     e.w0 = (static_cast<std::uint32_t>(inst.op) << 24) |
            (static_cast<std::uint32_t>(inst.rd) << 16) |

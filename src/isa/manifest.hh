@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The vectorization manifest: metadata the compiler records while it
+ * strip-mines a kernel into the scalar/expander/vector split, so the
+ * translation validator (analysis/equiv.hh) can later re-derive what
+ * the emitters *intended* and prove the emitted instructions faithful
+ * to it. Each DAE scalar stream (compiler/codegen.hh,
+ * emitScalarStream) contributes one ManifestStream: the pc ranges of
+ * its prologue / preheader / steady-state fill, the trip-count seat,
+ * the vissue site and the body microthread it launches — plus a
+ * verbatim copy of the instructions as the emitter produced them,
+ * taken before any downstream mutation (the reference leg of the
+ * equivalence proof).
+ */
+
+#ifndef ROCKCRESS_ISA_MANIFEST_HH
+#define ROCKCRESS_ISA_MANIFEST_HH
+
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace rockcress
+{
+
+/** One strip-mined DAE stream (scalar fill loop + vector body). */
+struct ManifestStream
+{
+    int iters = 0;        ///< Compile-time trip count.
+    int ahead = 0;        ///< Effective run-ahead depth (min'd).
+    int frameWords = 0;   ///< Frame size the fills target.
+    int numFrames = 0;    ///< Frames in the rotation region.
+    RegIdx boundReg = 0;  ///< Register seated with the trip count.
+
+    // Instruction-index ranges, all half-open [lo, hi).
+    int prologueLo = -1, prologueHi = -1;   ///< Run-ahead fills.
+    int preheaderLo = -1, preheaderHi = -1; ///< Induction/bound seats.
+    int fillLo = -1, fillHi = -1;           ///< Steady-state fill.
+    int loopLo = -1, loopHi = -1;           ///< Whole steady loop.
+    int boundPc = -1;     ///< The li seating boundReg with iters.
+    int vissuePc = -1;    ///< The vissue inside the steady loop.
+
+    // Resolved at Assembler::finish(), once labels are patched.
+    int bodyEntry = -1;   ///< Microthread entry (vissue target).
+    int bodyLo = -1, bodyHi = -1;  ///< Body range, vend inclusive.
+
+    // Reference copies of each region, captured at finish() before
+    // any post-capture mutation of Program::code. These are the
+    // trusted transcript of what the emitter produced.
+    std::vector<Instruction> refPrologue;
+    std::vector<Instruction> refPreheader;
+    std::vector<Instruction> refFill;
+    std::vector<Instruction> refBody;
+
+    bool operator==(const ManifestStream &) const = default;
+};
+
+/** Everything the compiler asserts about its vectorization. */
+struct VectorizationManifest
+{
+    std::vector<ManifestStream> streams;
+
+    bool operator==(const VectorizationManifest &) const = default;
+};
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_ISA_MANIFEST_HH

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "isa/instr.hh"
+#include "isa/manifest.hh"
 
 namespace rockcress
 {
@@ -23,6 +24,8 @@ struct Program
     std::string name;
     std::vector<Instruction> code;
     std::map<std::string, int> symbols;  ///< Named entry points.
+    /** Compiler-asserted vectorization metadata (may be empty). */
+    VectorizationManifest manifest;
 
     /** Number of instructions. */
     int size() const { return static_cast<int>(code.size()); }

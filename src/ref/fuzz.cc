@@ -100,6 +100,17 @@ struct CaseSpec
     bool mimdEpilogue = false;
     int nOps = 0;       ///< Random ALU ops in the body.
     int S = 0;          ///< Words stored per worker per iteration.
+    /**
+     * Equivalence-mode body shaping: load frame word 0 into a probe
+     * register the random ALU tail never touches and store it raw as
+     * the first output word, so any change to what lands in the frame
+     * (a dropped lane, a skewed stream pointer, a different trip
+     * count) is always architecturally visible to the batch oracle.
+     */
+    bool equivShape = false;
+    /** Additionally commit one predicated store of the probe —
+     * exactly one pred_neq/pred_eq pair, the PredPolarity target. */
+    bool predStore = false;
 
     Addr in = 0;
     Addr out = 0;
@@ -117,6 +128,22 @@ struct CaseSpec
         return os.str();
     }
 };
+
+/**
+ * (Re)place the input/output/signature heap regions. The layout
+ * depends on iters and S, so callers that reshape a drawn case
+ * (equivalence-mode shaping) must call this again afterwards.
+ */
+void
+placeHeap(CaseSpec &c)
+{
+    c.in = AddrMap::globalBase;
+    Addr inBytes = static_cast<Addr>(c.iters) * c.F * c.geo.gs * 4;
+    c.out = c.in + roundUp(inBytes, 64);
+    int workers = c.groups * c.geo.gs;
+    Addr outBytes = static_cast<Addr>(workers) * c.iters * c.S * 4;
+    c.sig = c.out + roundUp(outBytes, 64);
+}
 
 CaseSpec
 drawCase(Rng &rng, std::uint64_t seed)
@@ -148,12 +175,7 @@ drawCase(Rng &rng, std::uint64_t seed)
     c.nOps = 3 + static_cast<int>(rng.below(6));
     c.S = c.nFsw + (c.simdStore ? 4 : 0);
 
-    c.in = AddrMap::globalBase;
-    Addr inBytes = static_cast<Addr>(c.iters) * c.F * c.geo.gs * 4;
-    c.out = c.in + roundUp(inBytes, 64);
-    int workers = c.groups * c.geo.gs;
-    Addr outBytes = static_cast<Addr>(workers) * c.iters * c.S * 4;
-    c.sig = c.out + roundUp(outBytes, 64);
+    placeHeap(c);
     return c;
 }
 
@@ -214,7 +236,8 @@ struct RaceMut
 
 std::shared_ptr<const Program>
 buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
-             const MachineParams &params, const RaceMut *mut = nullptr)
+             const MachineParams &params, const RaceMut *mut = nullptr,
+             const MiscompileSpec *sab = nullptr)
 {
     SpmdBuilder b("fuzz_" + std::to_string(c.seed), cfg, params);
     Label init = b.declareMicrothread();
@@ -225,6 +248,7 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
     int itersBytes = c.iters * c.S * 4;
     Addr out = c.out;
     bool simd = c.simd;
+    bool predStore = c.predStore;
 
     b.defineMicrothread(init, [=](Assembler &as) {
         as.csrr(x(5), Csr::GroupTid);
@@ -242,6 +266,8 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
         as.fmvWX(f(0), x(11));
         if (simd)
             as.simdBcast(v(2), f(0));
+        if (predStore)
+            as.li(x(15), 1);  // The probe predicate, always taken.
     });
 
     // The Rng is consumed inside the deferred body lambda exactly
@@ -252,6 +278,8 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
     b.defineMicrothread(body, [=](Assembler &as) {
         Rng &r = *prng;
         as.frameStart(x(13));
+        if (cc.equivShape)
+            as.flw(f(cc.nLoads + 1), x(13), 0);  // The probe word.
         for (int i = 0; i < cc.nLoads; ++i)
             as.flw(f(1 + i), x(13),
                    static_cast<std::int32_t>(r.below(cc.F)) * 4);
@@ -261,11 +289,26 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
             as.simdLw(v(1), x(13), off * 4);
             as.simdFma(v(2), v(1), v(1), v(2));
         }
+        int slot = 0;
+        if (cc.equivShape)
+            as.fsw(f(cc.nLoads + 1), x(9), (slot++) * 4);
         for (int i = 0; i < cc.nFsw; ++i)
             as.fsw(f(1 + static_cast<int>(r.below(cc.nLoads))),
-                   x(9), i * 4);
-        if (cc.simdStore)
-            as.simdSw(v(2), x(9), cc.nFsw * 4);
+                   x(9), (slot++) * 4);
+        if (cc.simdStore) {
+            as.simdSw(v(2), x(9), slot * 4);
+            slot += 4;
+        }
+        if (cc.predStore) {
+            // x15 is set once in init and never touched by the random
+            // ALU tail (pool x10..x12), so the symbolic pred cannot
+            // constant-fold: a flipped polarity always compares as a
+            // predication difference, never as a squashed store.
+            as.predNeq(x(15), x(0));
+            as.fsw(f(cc.nLoads + 1), x(9), slot * 4);
+            as.predEq(x(0), x(0));
+            ++slot;
+        }
         as.addi(x(9), x(9), cc.S * 4);
         as.remem();
     });
@@ -325,6 +368,8 @@ buildProgram(const CaseSpec &c, Rng &rng, const BenchConfig &cfg,
             as.sw(x(7), x(5), 0);
         });
     }
+    if (sab)
+        b.setSabotage(*sab);
     return std::make_shared<const Program>(b.finish());
 }
 
@@ -568,6 +613,250 @@ runRaceFuzz(const FuzzOptions &opts)
         std::uint64_t seed =
             opts.baseSeed + static_cast<std::uint64_t>(i);
         FuzzCaseResult r = runRaceFuzzCase(seed, opts.verbose);
+        std::string geo = r.shape.substr(0, r.shape.find(' '));
+        if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
+            geoms.push_back(geo);
+        if (r.ok) {
+            ++sum.passed;
+        } else {
+            ++sum.failed;
+            sum.failures.push_back("seed " + std::to_string(seed) +
+                                   " (" + r.shape + "): " + r.error);
+        }
+    }
+    std::sort(geoms.begin(), geoms.end());
+    sum.geometries = geoms;
+    return sum;
+}
+
+FuzzCaseResult
+runEquivFuzzCase(std::uint64_t seed, bool verbose)
+{
+    FuzzCaseResult res;
+    // A third stream constant keeps equivalence-mode draws
+    // independent of the cosim (0x5eed) and race (0xace5) campaigns
+    // at the same seed.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xe9f1ULL);
+    CaseSpec c = drawCase(rng, seed);
+    c.equivShape = true;
+    c.mimdEpilogue = false;
+
+    // Half the seeds are armed with one of the four seeded
+    // miscompiles. Sabotage lands AFTER the manifest snapshot
+    // (SpmdBuilder::finish), so the manifest keeps the intended code
+    // and the validator must notice the divergence.
+    MiscompileSpec sab;
+    bool mutated = rng.below(2) == 0;
+    const char *expectKind = "";
+    const char *mutName = "";
+    if (mutated) {
+        switch (rng.below(4)) {
+          case 0:
+            sab.kind = MiscompileSpec::Kind::DropLane;
+            expectKind = "lane-map";
+            mutName = " MUT:drop-lane";
+            break;
+          case 1:
+            sab.kind = MiscompileSpec::Kind::WrongStride;
+            sab.delta = rng.below(2) == 0 ? 1 : -1;
+            expectKind = "stride";
+            mutName = " MUT:stride";
+            break;
+          case 2:
+            sab.kind = MiscompileSpec::Kind::TripCount;
+            expectKind = "trip-count";
+            mutName = " MUT:trip-count";
+            break;
+          default:
+            sab.kind = MiscompileSpec::Kind::PredPolarity;
+            expectKind = "predication";
+            mutName = " MUT:pred-polarity";
+            break;
+        }
+    }
+    if (mutated && sab.kind == MiscompileSpec::Kind::PredPolarity) {
+        c.predRegion = false;  // The probe wrapper is the only pair.
+        c.predStore = true;
+    }
+    // A skewed stream advance is only consumed by the NEXT steady
+    // fill, and with ahead=1 the steady loop runs iters-1 times — so
+    // a stride mutant needs at least two steady fills to become
+    // architecturally visible to the batch oracle.
+    if (mutated && sab.kind == MiscompileSpec::Kind::WrongStride &&
+        c.iters < 3) {
+        c.iters = 3;
+    }
+    c.S = 1 + c.nFsw + (c.simdStore ? 4 : 0) + (c.predStore ? 1 : 0);
+    placeHeap(c);  // iters and S changed after drawCase laid out heap.
+    res.shape = c.describe() + (mutated ? mutName : " clean");
+
+    BenchConfig cfg;
+    cfg.name = "FUZZ";
+    cfg.groupSize = c.geo.gs;
+    cfg.simdWords = c.simd ? 4 : 1;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+
+    MachineParams params = machineFor(cfg, c.geo.cols, c.geo.rows);
+    params.heapBytes = 1u << 20;
+
+    try {
+        // Shallow run-ahead so the steady-state fill (where DropLane
+        // and WrongStride land) executes on every seed (iters >= 2).
+        RaceMut shallow;
+        shallow.ahead = 1;
+
+        // Two identically seeded draw streams build byte-identical
+        // programs; only the armed sabotage differs.
+        Rng rngMut = rng;
+        auto clean = buildProgram(c, rng, cfg, params, &shallow);
+        std::shared_ptr<const Program> evil;
+        if (mutated)
+            evil = buildProgram(c, rngMut, cfg, params, &shallow, &sab);
+        else
+            evil = clean;
+
+        // Static leg, clean program: the validator must prove every
+        // stream — any finding is a false positive, any other
+        // diagnostic a generator bug.
+        VerifyReport repClean = verifyProgram(*clean, cfg, params);
+        if (!repClean.ok()) {
+            res.error = "verifier rejected the clean program:\n" +
+                        repClean.text(*clean);
+            return res;
+        }
+        if (repClean.equivStreams < 1 ||
+            repClean.equivProved != repClean.equivStreams) {
+            res.error =
+                "clean program not proved equivalent (" +
+                std::to_string(repClean.equivProved) + "/" +
+                std::to_string(repClean.equivStreams) + " streams)";
+            return res;
+        }
+
+        // Static leg, mutated program.
+        bool staticFlag = false;
+        std::string staticWitness;
+        if (mutated) {
+            VerifyReport repMut = verifyProgram(*evil, cfg, params);
+            staticFlag = !repMut.equiv.empty();
+            if (staticFlag != repMut.has(Check::Equiv)) {
+                res.error = "equiv diagnostics and structured "
+                            "findings disagree";
+                return res;
+            }
+            if (staticFlag) {
+                bool kindSeen = false;
+                for (const EquivFinding &fnd : repMut.equiv) {
+                    if (fnd.pc < 0 || fnd.refPc < 0 ||
+                        fnd.routine.empty() || fnd.message.empty()) {
+                        res.error = "equiv finding lacks a witness: " +
+                                    fnd.message;
+                        return res;
+                    }
+                    if (fnd.kind == expectKind)
+                        kindSeen = true;
+                }
+                if (!kindSeen) {
+                    res.error =
+                        std::string("expected a '") + expectKind +
+                        "' finding, got: " +
+                        repMut.equiv.front().message;
+                    return res;
+                }
+                staticWitness = repMut.equiv.front().message;
+            }
+        }
+
+        // Dynamic leg: the batch functional reference run on both
+        // programs from identical inputs; divergence = a failed run
+        // or any differing heap word.
+        Addr inWords = static_cast<Addr>(c.iters) * c.F * c.geo.gs;
+        std::vector<Word> input(inWords);
+        for (Addr i = 0; i < inWords; ++i) {
+            float fv =
+                0.25f + 0.75f * static_cast<float>(rng.uniform());
+            input[static_cast<size_t>(i)] = floatToWord(fv);
+        }
+        auto setup = [&](Machine &m,
+                         const std::shared_ptr<const Program> &p) {
+            for (Addr i = 0; i < inWords; ++i)
+                m.mem().writeWord(c.in + i * 4,
+                                  input[static_cast<size_t>(i)]);
+            m.loadAll(p);
+            for (int g = 0; g < c.groups; ++g) {
+                GroupPlan plan;
+                for (int i = 0; i < c.tpg; ++i)
+                    plan.chain.push_back(g * c.tpg + i);
+                m.planGroup(plan);
+            }
+        };
+
+        Machine mClean(params);
+        setup(mClean, clean);
+        RefMachine batchClean(mClean);
+        auto ra = batchClean.runBatch();
+        if (!ra.ok) {
+            res.error = "clean batch reference failed: " + ra.error;
+            return res;
+        }
+
+        bool dynDiverged = false;
+        std::string dynWhy;
+        if (mutated) {
+            Machine mMut(params);
+            setup(mMut, evil);
+            RefMachine batchMut(mMut);
+            auto rb = batchMut.runBatch();
+            if (!rb.ok) {
+                dynDiverged = true;
+                dynWhy = "mutant run failed: " + rb.error;
+            } else {
+                for (Addr a = AddrMap::globalBase;
+                     a < AddrMap::globalBase + params.heapBytes;
+                     a += 4) {
+                    if (batchClean.mem().readWord(a) !=
+                        batchMut.mem().readWord(a)) {
+                        dynDiverged = true;
+                        dynWhy = "heap diverges at " +
+                                 std::to_string(a);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // The differential: static verdict == dynamic verdict ==
+        // mutated, on every seed.
+        if (staticFlag != mutated || dynDiverged != mutated) {
+            std::ostringstream os;
+            os << "equiv differential mismatch: mutated=" << mutated
+               << " static=" << staticFlag << " dynamic="
+               << dynDiverged;
+            if (!staticWitness.empty())
+                os << "\n  static: " << staticWitness;
+            if (!dynWhy.empty())
+                os << "\n  dynamic: " << dynWhy;
+            res.error = os.str();
+            return res;
+        }
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    (void)verbose;
+    return res;
+}
+
+FuzzSummary
+runEquivFuzz(const FuzzOptions &opts)
+{
+    FuzzSummary sum;
+    std::vector<std::string> geoms;
+    for (int i = 0; i < opts.seeds; ++i) {
+        std::uint64_t seed =
+            opts.baseSeed + static_cast<std::uint64_t>(i);
+        FuzzCaseResult r = runEquivFuzzCase(seed, opts.verbose);
         std::string geo = r.shape.substr(0, r.shape.find(' '));
         if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
             geoms.push_back(geo);

@@ -68,6 +68,23 @@ FuzzCaseResult runRaceFuzzCase(std::uint64_t seed, bool verbose = false);
 FuzzSummary runRaceFuzz(const FuzzOptions &opts);
 
 /**
+ * Translation-validation differential mode: build each seeded program
+ * twice from identical draws — once clean, once (on half the seeds)
+ * with a seeded miscompile injected into the emitter AFTER the
+ * vectorization manifest is captured (a dropped lane, a skewed stream
+ * stride, an off-by-one trip count, a swapped predicate polarity) —
+ * then require the static equivalence verdict (analysis/equiv.hh)
+ * and the batch-reference dynamic verdict (differing final heaps) to
+ * agree on every seed: mutants flagged by BOTH layers with the
+ * expected finding kind, clean programs proved by the validator and
+ * flagged by NEITHER.
+ */
+FuzzCaseResult runEquivFuzzCase(std::uint64_t seed, bool verbose = false);
+
+/** Run the full translation-validation campaign. */
+FuzzSummary runEquivFuzz(const FuzzOptions &opts);
+
+/**
  * Tick-kernel differential mode: run the same seeded program on THREE
  * implementations — the fast-tick machine, the naive tick-everything
  * machine, and the batch functional reference — and require exact

@@ -4,11 +4,17 @@
  * vector-group programs and cross-checks the cycle-level machine
  * against the functional reference (commit streams + final memory).
  *
- *   ref_fuzz [--seeds N] [--base B] [--race | --tick-diff] [--verbose]
+ *   ref_fuzz [--seeds N] [--base B] [--race | --equiv | --tick-diff]
+ *            [--verbose]
  *
  * With --race, runs the race-differential campaign instead: mutated
  * and clean programs where the static race verdict must match the
  * frame sanitizer's dynamic verdict on every seed.
+ *
+ * With --equiv, runs the translation-validation campaign: half the
+ * seeds get a seeded miscompile injected after the vectorization
+ * manifest is captured, and the static equivalence verdict must match
+ * the batch reference's dynamic verdict on every seed.
  *
  * With --tick-diff, runs each seed on three implementations — the
  * fast-tick machine, the naive tick-everything machine, and the batch
@@ -27,7 +33,7 @@
 namespace
 {
 
-enum class Mode { Cosim, Race, TickDiff };
+enum class Mode { Cosim, Race, Equiv, TickDiff };
 
 } // namespace
 
@@ -44,6 +50,8 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (!std::strcmp(argv[i], "--race")) {
             mode = Mode::Race;
+        } else if (!std::strcmp(argv[i], "--equiv")) {
+            mode = Mode::Equiv;
         } else if (!std::strcmp(argv[i], "--tick-diff")) {
             mode = Mode::TickDiff;
         } else if (!std::strcmp(argv[i], "--verbose")) {
@@ -52,7 +60,7 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: %s [--seeds N] [--base B] "
-                "[--race | --tick-diff] [--verbose]\n",
+                "[--race | --equiv | --tick-diff] [--verbose]\n",
                 argv[0]);
             return 2;
         }
@@ -62,6 +70,8 @@ main(int argc, char **argv)
         switch (mode) {
           case Mode::Race:
             return rockcress::runRaceFuzzCase(seed, verbose);
+          case Mode::Equiv:
+            return rockcress::runEquivFuzzCase(seed, verbose);
           case Mode::TickDiff:
             return rockcress::runTickDiffCase(seed, verbose);
           case Mode::Cosim:
@@ -91,6 +101,9 @@ main(int argc, char **argv)
     switch (mode) {
       case Mode::Race:
         sum = rockcress::runRaceFuzz(opts);
+        break;
+      case Mode::Equiv:
+        sum = rockcress::runEquivFuzz(opts);
         break;
       case Mode::TickDiff:
         sum = rockcress::runTickDiffFuzz(opts);

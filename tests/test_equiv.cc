@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the translation validator: term-pool hash-consing
+ * and normalization, the symbolic region executor, the equivalence
+ * pass over a seeded-miscompile fixture (every mutant kind caught
+ * with the expected finding, clean twin proved), witness determinism,
+ * and the RunResult equiv-summary JSON round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/equiv.hh"
+#include "analysis/symexec.hh"
+#include "analysis/verifier.hh"
+#include "compiler/codegen.hh"
+#include "exp/result_io.hh"
+#include "harness/runner.hh"
+#include "machine/machine.hh"
+
+using namespace rockcress;
+
+TEST(TermPool, InterningMakesPointerEquality)
+{
+    TermPool pool;
+    EXPECT_EQ(pool.constant(7), pool.constant(7));
+    EXPECT_NE(pool.constant(7), pool.constant(8));
+    EXPECT_EQ(pool.sym("x5"), pool.sym("x5"));
+
+    const Term *a = pool.sym("a");
+    const Term *b = pool.sym("b");
+    EXPECT_EQ(pool.app("add", {a, b}), pool.app("add", {a, b}));
+}
+
+TEST(TermPool, NormalizationAndFolding)
+{
+    TermPool pool;
+    const Term *a = pool.sym("a");
+    const Term *b = pool.sym("b");
+
+    // Constant folding on 32-bit wrapping semantics.
+    const Term *sum = pool.app("add", {pool.constant(3),
+                                       pool.constant(4)});
+    ASSERT_EQ(sum->kind, Term::Kind::Const);
+    EXPECT_EQ(sum->value, 7);
+
+    // Commutative canonicalization: both orders intern to one term.
+    EXPECT_EQ(pool.app("add", {a, b}), pool.app("add", {b, a}));
+
+    // Identities.
+    EXPECT_EQ(pool.app("add", {a, pool.constant(0)}), a);
+    const Term *c = pool.sym("c");
+    EXPECT_EQ(pool.ite(c, a, a), a);
+}
+
+TEST(TermPool, IdsAreCreationOrderedAndDeterministic)
+{
+    // Two pools fed the same sequence render identical s-expressions
+    // — the property the checker's witness text depends on.
+    auto build = [](TermPool &pool) {
+        const Term *x = pool.sym("x5");
+        const Term *y = pool.sym("x6");
+        return pool.app("add", {pool.app("mul", {y, x}),
+                                pool.constant(12)})
+            ->str();
+    };
+    TermPool p1, p2;
+    EXPECT_EQ(build(p1), build(p2));
+}
+
+TEST(SymExec, StraightLineConstantPropagation)
+{
+    Assembler as("t");
+    as.addi(x(5), x(0), 8);
+    as.sw(x(6), x(5), 4);
+    Program p = as.finish();
+
+    TermPool pool;
+    SymResult r = symExecRegion(pool, p.code, 0);
+    ASSERT_TRUE(r.ok) << r.reason;
+    ASSERT_EQ(r.effects.size(), 1u);
+    const SymEffect &e = r.effects[0];
+    EXPECT_EQ(e.kind, SymEffect::Kind::StoreWord);
+    ASSERT_EQ(e.addr->kind, Term::Kind::Const);
+    EXPECT_EQ(e.addr->value, 12);
+    EXPECT_EQ(e.value, pool.sym(symRegName(x(6))));
+    EXPECT_EQ(e.pred, nullptr);
+}
+
+TEST(SymExec, PredicationGuardsEffectsAndRegisters)
+{
+    Assembler as("t");
+    as.predNeq(x(5), x(0));
+    as.addi(x(6), x(6), 1);
+    as.sw(x(6), x(7), 0);
+    as.predEq(x(0), x(0));
+    Program p = as.finish();
+
+    TermPool pool;
+    SymResult r = symExecRegion(pool, p.code, 0);
+    ASSERT_TRUE(r.ok) << r.reason;
+    ASSERT_EQ(r.effects.size(), 1u);
+    ASSERT_NE(r.effects[0].pred, nullptr);
+    EXPECT_NE(r.effects[0].pred->str().find("ne"), std::string::npos);
+    // The register write folds into an ite on the same predicate.
+    ASSERT_TRUE(r.regs.count(x(6)));
+    EXPECT_NE(r.regs.at(x(6))->str().find("ite"), std::string::npos);
+}
+
+TEST(SymExec, BackwardBranchIsConservative)
+{
+    Assembler as("t");
+    Label top = as.here();
+    as.addi(x(5), x(5), -1);
+    as.bne(x(5), x(0), top);
+    Program p = as.finish();
+
+    TermPool pool;
+    SymResult r = symExecRegion(pool, p.code, 0);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.reason.empty());
+}
+
+namespace
+{
+
+/** The rc_equivsmoke fixture in miniature: one DAE stream whose body
+ * stores a probe of frame word 0 plus one predicated store. */
+std::shared_ptr<const Program>
+buildFixture(const BenchConfig &cfg, const MachineParams &params,
+             const MiscompileSpec *sab)
+{
+    SpmdBuilder b("equiv_test", cfg, params);
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+
+    b.defineMicrothread(init, [](Assembler &as) {
+        as.la(x(9), AddrMap::globalBase + 4096);
+        as.li(x(15), 1);
+    });
+    b.defineMicrothread(body, [](Assembler &as) {
+        as.frameStart(x(13));
+        as.flw(f(1), x(13), 0);
+        as.fsw(f(1), x(9), 0);
+        as.predNeq(x(15), x(0));
+        as.fsw(f(1), x(9), 4);
+        as.predEq(x(0), x(0));
+        as.addi(x(9), x(9), 8);
+        as.remem();
+    });
+
+    const int F = 4, numFrames = 8, iters = 3, w = 2;
+    int gs = cfg.groupSize;
+    b.vectorPhase(F, numFrames, [=](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), AddrMap::globalBase);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, F * 4, numFrames);
+        rot.emitInit();
+        DaeStreamSpec spec;
+        spec.iters = iters;
+        spec.frameBytes = F * 4;
+        spec.numFrames = numFrames;
+        spec.ahead = 1;
+        spec.bodyMt = body;
+        spec.fill = [=](Assembler &a, RegIdx off) {
+            a.vload(x(5), off, 0, w, VloadVariant::Group);
+            a.addi(x(13), x(5), w * gs * 4);
+            a.addi(x(14), off, w * 4);
+            a.vload(x(13), x(14), 0, w, VloadVariant::Group);
+            a.addi(x(5), x(5), F * gs * 4);
+        };
+        emitScalarStream(as, spec, rot, regs);
+    });
+
+    if (sab)
+        b.setSabotage(*sab);
+    return std::make_shared<const Program>(b.finish());
+}
+
+VerifyReport
+verifyFixture(const MiscompileSpec *sab)
+{
+    BenchConfig cfg = configByName("V4");
+    cfg.dae = true;
+    MachineParams params = machineFor(cfg, 4, 2);
+    auto p = buildFixture(cfg, params, sab);
+    return verifyProgram(*p, cfg, params);
+}
+
+} // namespace
+
+TEST(Equiv, CleanFixtureProved)
+{
+    VerifyReport rep = verifyFixture(nullptr);
+    EXPECT_TRUE(rep.ok());
+    EXPECT_GE(rep.equivStreams, 1);
+    EXPECT_EQ(rep.equivProved, rep.equivStreams);
+    EXPECT_TRUE(rep.equiv.empty());
+}
+
+TEST(Equiv, EveryMiscompileKindCaught)
+{
+    const struct
+    {
+        MiscompileSpec::Kind kind;
+        const char *expect;
+    } kMutants[] = {
+        {MiscompileSpec::Kind::DropLane, "lane-map"},
+        {MiscompileSpec::Kind::WrongStride, "stride"},
+        {MiscompileSpec::Kind::TripCount, "trip-count"},
+        {MiscompileSpec::Kind::PredPolarity, "predication"},
+    };
+    for (const auto &mu : kMutants) {
+        MiscompileSpec sab;
+        sab.kind = mu.kind;
+        VerifyReport rep = verifyFixture(&sab);
+        EXPECT_TRUE(rep.has(Check::Equiv)) << mu.expect;
+        bool kindSeen = false;
+        for (const EquivFinding &f : rep.equiv) {
+            if (f.kind == mu.expect)
+                kindSeen = true;
+            // Every finding carries a complete anchored witness.
+            EXPECT_GE(f.pc, 0);
+            EXPECT_GE(f.refPc, 0);
+            EXPECT_FALSE(f.routine.empty());
+            EXPECT_FALSE(f.message.empty());
+        }
+        EXPECT_TRUE(kindSeen)
+            << mu.expect << ": "
+            << (rep.equiv.empty() ? "no findings"
+                                  : rep.equiv.front().message);
+    }
+}
+
+TEST(Equiv, FindingsDeterministicAndSorted)
+{
+    MiscompileSpec sab;
+    sab.kind = MiscompileSpec::Kind::DropLane;
+    VerifyReport a = verifyFixture(&sab);
+    VerifyReport b = verifyFixture(&sab);
+    ASSERT_EQ(a.equiv.size(), b.equiv.size());
+    for (size_t i = 0; i < a.equiv.size(); ++i)
+        EXPECT_EQ(a.equiv[i].message, b.equiv[i].message);
+    for (size_t i = 1; i < a.equiv.size(); ++i) {
+        const EquivFinding &p = a.equiv[i - 1];
+        const EquivFinding &q = a.equiv[i];
+        EXPECT_LE(std::tie(p.routineEntry, p.pc, p.lane),
+                  std::tie(q.routineEntry, q.pc, q.lane));
+    }
+}
+
+TEST(Equiv, RunResultJsonRoundTrip)
+{
+    RunResult r;
+    r.bench = "atax";
+    r.config = "V4";
+    r.ok = true;
+    r.equiv.checked = true;
+    r.equiv.streams = 2;
+    r.equiv.proved = 1;
+    r.equiv.witnesses = {"stream 0 fill [stride]: skewed"};
+
+    RunResult back;
+    ASSERT_TRUE(resultFromJson(resultToJson(r), back));
+    EXPECT_EQ(back.equiv, r.equiv);
+
+    // Unchecked runs must not grow an equiv key: old artifacts and
+    // golden snapshots keep the pre-validator format byte for byte.
+    RunResult plain;
+    EXPECT_FALSE(resultToJson(plain).has("equiv"));
+    RunResult plainBack;
+    ASSERT_TRUE(resultFromJson(resultToJson(plain), plainBack));
+    EXPECT_FALSE(plainBack.equiv.checked);
+
+    RunOverrides ov;
+    ov.equiv = true;
+    EXPECT_TRUE(overridesToJson(ov).has("equiv"));
+    EXPECT_TRUE(overridesToJson(ov).at("equiv").asBool());
+}

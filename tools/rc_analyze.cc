@@ -126,6 +126,21 @@ raceToJson(const RaceFinding &f)
     return j;
 }
 
+Json
+equivFindingToJson(const EquivFinding &f)
+{
+    Json j = Json::object();
+    j["stream"] = Json(static_cast<std::uint64_t>(f.streamIdx));
+    j["region"] = Json(f.region);
+    j["kind"] = Json(f.kind);
+    j["pc"] = Json(static_cast<double>(f.pc));
+    j["refPc"] = Json(static_cast<double>(f.refPc));
+    j["lane"] = Json(static_cast<double>(f.lane));
+    j["routine"] = Json(f.routine);
+    j["message"] = Json(f.message);
+    return j;
+}
+
 /** Analyze one pair; returns the report and whether it was clean. */
 Json
 analyzeOne(const std::string &bench, const std::string &config,
@@ -158,6 +173,16 @@ analyzeOne(const std::string &bench, const std::string &config,
     for (const RaceFinding &f : report.races)
         races.push(raceToJson(f));
     j["races"] = std::move(races);
+    Json equiv = Json::object();
+    equiv["streams"] =
+        Json(static_cast<std::uint64_t>(report.equivStreams));
+    equiv["proved"] =
+        Json(static_cast<std::uint64_t>(report.equivProved));
+    Json findings = Json::array();
+    for (const EquivFinding &f : report.equiv)
+        findings.push(equivFindingToJson(f));
+    equiv["findings"] = std::move(findings);
+    j["equiv"] = std::move(equiv);
     j["ok"] = Json(report.ok());
     j["perf"] = perfToJson(computePerfBound(*program, cfg, params));
     clean = report.ok();

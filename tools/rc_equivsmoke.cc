@@ -1,0 +1,300 @@
+/**
+ * @file
+ * rc_equivsmoke: end-to-end translation-validation smoke.
+ *
+ *  1. A hand-built vector-group DAE fixture is compiled twice: once
+ *     clean (the validator must prove every stream against the
+ *     vectorization manifest) and once per seeded miscompile kind —
+ *     a shifted fill lane, a skewed stream stride, an off-by-one trip
+ *     count, a flipped predicate polarity — injected AFTER the
+ *     manifest snapshot. Each mutant must be rejected by the static
+ *     equivalence pass with the expected finding kind AND diverge
+ *     from the clean program on the batch functional reference.
+ *  2. A golden benchmark x configuration sample must prove clean
+ *     through the RunOverrides::equiv plumbing: every stream proved,
+ *     zero witnesses — the zero-false-positive gate.
+ *
+ * Exits 0 when both legs hold.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/verifier.hh"
+#include "compiler/codegen.hh"
+#include "harness/runner.hh"
+#include "machine/machine.hh"
+#include "ref/cosim.hh"
+
+namespace
+{
+
+using namespace rockcress;
+
+constexpr int kF = 4;          ///< Frame words.
+constexpr int kNumFrames = 8;
+constexpr int kIters = 3;      ///< Two steady fills: strides visible.
+constexpr int kW = 2;          ///< Words per core per vload slice.
+constexpr int kS = 3;          ///< Output words per worker per iter.
+
+/**
+ * The fixture mirrors the equivalence-fuzzer's shaped programs in
+ * miniature: the body loads frame word 0 into a probe register the
+ * rest of the body never overwrites and stores it raw (any change to
+ * the frame contents is architecturally visible), plus one predicated
+ * store guarded by the only pred pair in the program (the
+ * PredPolarity target, never constant-foldable since x15 is set once
+ * in init).
+ */
+std::shared_ptr<const Program>
+buildFixture(const BenchConfig &cfg, const MachineParams &params,
+             const MiscompileSpec *sab)
+{
+    SpmdBuilder b("equiv_fixture", cfg, params);
+    Label init = b.declareMicrothread();
+    Label body = b.declareMicrothread();
+
+    int gs = cfg.groupSize;
+    int tpg = gs + 1;
+
+    b.defineMicrothread(init, [=](Assembler &as) {
+        as.csrr(x(5), Csr::GroupTid);
+        as.csrr(x(6), Csr::CoreId);
+        as.li(x(7), tpg);
+        as.div(x(6), x(6), x(7));          // group id
+        as.li(x(7), gs);
+        as.mul(x(6), x(6), x(7));
+        as.add(x(5), x(5), x(6));          // worker id
+        as.li(x(7), kIters * kS * 4);
+        as.mul(x(7), x(5), x(7));
+        as.la(x(9), AddrMap::globalBase + 4096);
+        as.add(x(9), x(9), x(7));          // per-worker output cursor
+        as.li(x(15), 1);                   // probe predicate, taken
+    });
+
+    b.defineMicrothread(body, [](Assembler &as) {
+        as.frameStart(x(13));
+        as.flw(f(1), x(13), 0);            // the probe word
+        as.flw(f(2), x(13), 4);
+        as.fmul(f(3), f(1), f(2));
+        as.fsw(f(1), x(9), 0);
+        as.fsw(f(3), x(9), 4);
+        as.predNeq(x(15), x(0));
+        as.fsw(f(1), x(9), 8);
+        as.predEq(x(0), x(0));
+        as.addi(x(9), x(9), kS * 4);
+        as.remem();
+    });
+
+    b.vectorPhase(kF, kNumFrames, [=](Assembler &as) {
+        as.vissue(init);
+        as.la(x(5), AddrMap::globalBase);
+        DaeStreamRegs regs;
+        FrameRotator rot(as, regs.off, kF * 4, kNumFrames);
+        rot.emitInit();
+        DaeStreamSpec spec;
+        spec.iters = kIters;
+        spec.frameBytes = kF * 4;
+        spec.numFrames = kNumFrames;
+        spec.ahead = 1;                    // two steady fills
+        spec.bodyMt = body;
+        spec.fill = [=](Assembler &a, RegIdx off) {
+            a.vload(x(5), off, 0, kW, VloadVariant::Group);
+            a.addi(x(13), x(5), kW * gs * 4);
+            a.addi(x(14), off, kW * 4);
+            a.vload(x(13), x(14), 0, kW, VloadVariant::Group);
+            a.addi(x(5), x(5), kF * gs * 4);
+        };
+        emitScalarStream(as, spec, rot, regs);
+    });
+
+    if (sab)
+        b.setSabotage(*sab);
+    return std::make_shared<const Program>(b.finish());
+}
+
+/** Run the fixture on the batch reference; false = run failed. */
+bool
+runBatchRef(const std::shared_ptr<const Program> &prog,
+            const MachineParams &params, const BenchConfig &cfg,
+            std::vector<Word> &heap)
+{
+    Machine m(params);
+    int inWords = kIters * kF * cfg.groupSize;
+    for (int i = 0; i < inWords; ++i)
+        m.mem().writeFloat(AddrMap::globalBase +
+                               static_cast<Addr>(i) * 4,
+                           0.5f + 0.25f * static_cast<float>(i % 7));
+    m.loadAll(prog);
+    int tpg = cfg.groupSize + 1;
+    int groups = m.numCores() / tpg;
+    for (int g = 0; g < groups; ++g) {
+        GroupPlan plan;
+        for (int i = 0; i < tpg; ++i)
+            plan.chain.push_back(g * tpg + i);
+        m.planGroup(plan);
+    }
+    RefMachine batch(m);
+    auto r = batch.runBatch();
+    if (!r.ok) {
+        heap.clear();
+        return false;
+    }
+    heap.clear();
+    for (Addr a = AddrMap::globalBase;
+         a < AddrMap::globalBase + params.heapBytes; a += 4)
+        heap.push_back(batch.mem().readWord(a));
+    return true;
+}
+
+int
+checkMiscompiles()
+{
+    BenchConfig cfg = configByName("V4");
+    cfg.dae = true;
+    MachineParams params = machineFor(cfg, 4, 2);
+    params.heapBytes = 1u << 16;
+
+    // Clean leg: proved outright, and a dynamic baseline to diff
+    // the mutants against.
+    auto clean = buildFixture(cfg, params, nullptr);
+    VerifyReport rep = verifyProgram(*clean, cfg, params);
+    if (!rep.ok()) {
+        std::fprintf(stderr,
+                     "equiv_smoke: verifier rejected the clean "
+                     "fixture\n%s",
+                     rep.text(*clean).c_str());
+        return 1;
+    }
+    if (rep.equivStreams < 1 || rep.equivProved != rep.equivStreams) {
+        std::fprintf(stderr,
+                     "equiv_smoke: clean fixture not proved (%d/%d "
+                     "streams)\n",
+                     rep.equivProved, rep.equivStreams);
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "equiv_smoke: clean fixture proved (%d/%d streams)\n",
+                 rep.equivProved, rep.equivStreams);
+    std::vector<Word> heapClean;
+    if (!runBatchRef(clean, params, cfg, heapClean)) {
+        std::fprintf(stderr,
+                     "equiv_smoke: clean batch reference failed\n");
+        return 1;
+    }
+
+    const struct
+    {
+        MiscompileSpec::Kind kind;
+        const char *name;
+        const char *expect;
+    } kMutants[] = {
+        {MiscompileSpec::Kind::DropLane, "drop-lane", "lane-map"},
+        {MiscompileSpec::Kind::WrongStride, "stride", "stride"},
+        {MiscompileSpec::Kind::TripCount, "trip-count", "trip-count"},
+        {MiscompileSpec::Kind::PredPolarity, "pred-polarity",
+         "predication"},
+    };
+    int rc = 0;
+    for (const auto &mu : kMutants) {
+        MiscompileSpec sab;
+        sab.kind = mu.kind;
+        auto evil = buildFixture(cfg, params, &sab);
+
+        // Static leg: Check::Equiv with the expected finding kind and
+        // a complete witness.
+        VerifyReport mrep = verifyProgram(*evil, cfg, params);
+        const EquivFinding *hit = nullptr;
+        for (const EquivFinding &fnd : mrep.equiv)
+            if (fnd.kind == mu.expect)
+                hit = &fnd;
+        if (!mrep.has(Check::Equiv) || !hit) {
+            std::fprintf(stderr,
+                         "equiv_smoke: static pass MISSED the seeded "
+                         "%s miscompile (%zu findings)\n",
+                         mu.name, mrep.equiv.size());
+            rc = 1;
+            continue;
+        }
+        if (hit->pc < 0 || hit->refPc < 0 || hit->routine.empty() ||
+            hit->message.empty()) {
+            std::fprintf(stderr,
+                         "equiv_smoke: %s finding lacks a witness: "
+                         "%s\n",
+                         mu.name, hit->message.c_str());
+            rc = 1;
+            continue;
+        }
+
+        // Dynamic leg: the mutant must diverge from the clean heap.
+        std::vector<Word> heapMut;
+        bool ran = runBatchRef(evil, params, cfg, heapMut);
+        if (ran && heapMut == heapClean) {
+            std::fprintf(stderr,
+                         "equiv_smoke: %s mutant is architecturally "
+                         "invisible (heaps identical)\n",
+                         mu.name);
+            rc = 1;
+            continue;
+        }
+        std::fprintf(stderr, "equiv_smoke: %s caught: %s\n", mu.name,
+                     hit->message.c_str());
+    }
+    return rc;
+}
+
+int
+checkCleanSuite()
+{
+    const struct
+    {
+        const char *bench;
+        const char *config;
+        bool vector;   ///< Must the config carry DAE streams?
+    } kPairs[] = {
+        {"atax", "V4", true},
+        {"gemm", "V4_PCV", true},
+        {"mvt", "V16", true},
+        {"atax", "NV_PF", false},
+    };
+    RunOverrides ov;
+    ov.verify = true;
+    ov.equiv = true;
+    int rc = 0;
+    for (const auto &p : kPairs) {
+        RunResult r = runManycore(p.bench, p.config, ov);
+        bool proved = r.equiv.checked &&
+                      r.equiv.proved == r.equiv.streams &&
+                      r.equiv.witnesses.empty() &&
+                      (!p.vector || r.equiv.streams > 0);
+        if (!r.ok || !proved) {
+            std::fprintf(stderr,
+                         "equiv_smoke: %s/%s: ok=%d checked=%d "
+                         "proved=%d/%d witnesses=%zu\n%s\n",
+                         p.bench, p.config, r.ok ? 1 : 0,
+                         r.equiv.checked ? 1 : 0, r.equiv.proved,
+                         r.equiv.streams, r.equiv.witnesses.size(),
+                         r.error.c_str());
+            rc = 1;
+        } else {
+            std::fprintf(stderr,
+                         "equiv_smoke: %s/%s proved (%d/%d streams)\n",
+                         p.bench, p.config, r.equiv.proved,
+                         r.equiv.streams);
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main()
+{
+    int rc = checkMiscompiles();
+    rc |= checkCleanSuite();
+    if (rc == 0)
+        std::fprintf(stderr, "rc_equivsmoke: PASS\n");
+    return rc;
+}
