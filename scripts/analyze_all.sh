@@ -7,7 +7,7 @@
 #
 # Usage: scripts/analyze_all.sh [build-dir]
 #   build-dir defaults to ./build and must contain tools/rc_analyze.
-set -u
+set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
@@ -22,9 +22,11 @@ fi
 out_dir="$build_dir/analysis"
 mkdir -p "$out_dir"
 
-"$analyze" --out "$out_dir"
-status=$?
-reports=$(ls "$out_dir"/*.json 2> /dev/null | wc -l)
+# Capture the exit status explicitly: under `set -e` a bare failing
+# command would abort before the diagnostic below could print.
+status=0
+"$analyze" --out "$out_dir" || status=$?
+reports=$(find "$out_dir" -maxdepth 1 -name '*.json' | wc -l)
 if [ "$status" -ne 0 ]; then
     echo "analyze_all.sh: $status benchmark/config pair(s) with" \
          "findings (reports in $out_dir)" >&2

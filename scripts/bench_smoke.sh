@@ -19,7 +19,7 @@ if [[ ! -x "$bin" ]]; then
     exit 1
 fi
 
-workdir="$(mktemp -d)"
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/rockcress_bench.XXXXXX")"
 trap 'rm -rf "$workdir"' EXIT
 
 export ROCKCRESS_BENCHES="${ROCKCRESS_BENCHES:-atax}"

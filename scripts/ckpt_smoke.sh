@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Checkpoint/resume smoke: the snapshot layer's three load-bearing
+# guarantees, end to end.
+#   1. Byte-equality: snapshots taken mid-run are byte-identical
+#      between the fast-tick and naive kernels on golden benches, and
+#      a file-based runner resume reproduces the straight run's
+#      artifact exactly (the focused test_checkpoint subset).
+#   2. Bisection: rc_bisect localizes a seeded register-corruption
+#      fixture to a <=1024-cycle window from checkpoints alone; the
+#      report is left at <build>/bisect_report.txt for CI to archive.
+#   3. Fuzz: a short ref_fuzz --checkpoint campaign (chunked runs
+#      through seeded snapshot/restore hops must match unchunked).
+# If an ASan build (build-asan/, or $ROCKCRESS_ASAN_BUILD) has the
+# ref_fuzz binary, the fuzz leg also runs under ASan, mirroring
+# fuzz_smoke.sh's pattern.
+#
+# Usage: scripts/ckpt_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+gtest_bin="$build_dir/tests/test_checkpoint"
+bisect_bin="$build_dir/tools/rc_bisect"
+fuzz_bin="$build_dir/src/ref/ref_fuzz"
+for bin in "$gtest_bin" "$bisect_bin" "$fuzz_bin"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "ckpt_smoke: $bin not built" >&2
+        exit 1
+    fi
+done
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/rockcress_ckpt.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "ckpt_smoke: [1/3] snapshot byte-equality (golden subset)" >&2
+TMPDIR="$workdir" "$gtest_bin" --gtest_brief=1 --gtest_filter=\
+'*FastAndNaiveSnapshotsAreByteIdentical*:CheckpointFormat.*:CheckpointRunner.*' >&2
+
+report="$build_dir/bisect_report.txt"
+echo "ckpt_smoke: [2/3] rc_bisect seeded divergence fixture" >&2
+"$bisect_bin" --bench atax --config V4 \
+              --fault-cycle 40000 --fault-core 3 --fault-reg 2 \
+              --fault-mask 0x4 --report "$report" >&2
+grep -q 'divergence window' "$report" || {
+    echo "ckpt_smoke: $report is missing the divergence window" >&2
+    exit 1
+}
+echo "ckpt_smoke: bisect report at $report" >&2
+
+seeds="${ROCKCRESS_CKPT_SEEDS:-25}"
+echo "ckpt_smoke: [3/3] checkpoint fuzz ($seeds seeds)" >&2
+"$fuzz_bin" --checkpoint --seeds "$seeds" >&2
+
+asan_dir="${ROCKCRESS_ASAN_BUILD:-$(dirname "$build_dir")/build-asan}"
+asan_bin="$asan_dir/src/ref/ref_fuzz"
+if [[ -x "$asan_bin" ]]; then
+    echo "ckpt_smoke: running 10 seeds under ASan" >&2
+    "$asan_bin" --checkpoint --seeds 10 >&2
+    echo "ckpt_smoke: ASan campaign OK" >&2
+else
+    echo "ckpt_smoke: no ASan build at $asan_dir (skipping;" \
+         "configure with -DENABLE_SANITIZERS=address to enable)" >&2
+fi
+echo "ckpt_smoke: PASS" >&2

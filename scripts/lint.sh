@@ -4,7 +4,7 @@
 # Usage: scripts/lint.sh [build-dir] [extra clang-tidy args...]
 #   build-dir defaults to ./build; it must have been configured (the
 #   root CMakeLists.txt exports compile_commands.json automatically).
-set -u
+set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
@@ -33,9 +33,14 @@ fi
 
 # Lint the project's own translation units (not tests' generated
 # files); the .clang-tidy at the repo root supplies the check list.
-files=$(find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
-             "$repo_root/examples" "$repo_root/tools" \
-             -name '*.cc' 2> /dev/null | sort)
+# Only pass directories that exist so `find` cannot fail the pipe
+# under pipefail on a partial checkout.
+dirs=""
+for d in src tests bench examples tools; do
+    [ -d "$repo_root/$d" ] && dirs="$dirs $repo_root/$d"
+done
+# shellcheck disable=SC2086  # dirs is a space-separated list.
+files=$(find $dirs -name '*.cc' | sort)
 if [ -z "$files" ]; then
     echo "lint.sh: no source files found" >&2
     exit 1

@@ -34,7 +34,7 @@ basket="${ROCKCRESS_PERF_BASKET:-perf}"
 if [[ -n "${ROCKCRESS_PERF_OUT:-}" ]]; then
     out="$ROCKCRESS_PERF_OUT"
 else
-    workdir="$(mktemp -d)"
+    workdir="$(mktemp -d "${TMPDIR:-/tmp}/rockcress_perf.XXXXXX")"
     trap 'rm -rf "$workdir"' EXIT
     out="$workdir/BENCH_perf.json"
 fi

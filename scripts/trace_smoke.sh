@@ -23,7 +23,7 @@ if [[ ! -x "$rc" ]]; then
     exit 1
 fi
 
-tmp="$(mktemp -d)"
+tmp="$(mktemp -d "${TMPDIR:-/tmp}/rockcress_trace.XXXXXX")"
 trap 'rm -rf "$tmp"' EXIT
 
 echo "trace_smoke: full-coverage summarize of the golden suite" >&2

@@ -45,6 +45,14 @@ struct CommitRecord
     std::vector<Word> data;       ///< Stored words.
 
     std::vector<Word> aux;        ///< Opcode-specific extras (above).
+
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(inst, pc, wrote, rd, value, mem, isStore, addr, data, aux);
+    }
 };
 
 /** Consumer of a core's commit stream (the co-simulation checker). */

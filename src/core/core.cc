@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/checkpoint.hh"
 #include "sim/log.hh"
 
 namespace rockcress
@@ -228,6 +229,15 @@ Core::injectCosimFault(std::uint64_t nth, Word mask)
     cosimFaultNth_ = nth;
     cosimFaultMask_ = mask;
     cosimWritebacks_ = 0;
+}
+
+void
+Core::injectTimedFault(Cycle at, RegIdx reg, Word mask)
+{
+    timedFaultArmed_ = true;
+    timedFaultAt_ = at;
+    timedFaultReg_ = reg;
+    timedFaultMask_ = mask;
 }
 
 void
@@ -1419,6 +1429,16 @@ Core::tick(Cycle now)
 {
     cycleStat_ = nullptr;
     mutated_ = false;
+    if (timedFaultArmed_ && now >= timedFaultAt_) {
+        // Debug hook (rc_bisect fixtures): corrupt architectural
+        // state at a chosen cycle. nextTickAt() guarantees a tick at
+        // exactly timedFaultAt_, so both kernels fire identically.
+        regs_[timedFaultReg_] ^= timedFaultMask_;
+        mutated_ = true;
+        // Zero the whole fixture so post-fire snapshots of a faulted
+        // and a clean core differ only in the corruption itself.
+        clearTimedFault();
+    }
     commit(now);
     issue(now);
     pumpInet(now);
@@ -1470,8 +1490,73 @@ Core::nextTickAt(Cycle now)
         consider(decodeQueue_.front().readyAt);
     if (fetchBusy_ && fetchReadyAt_ > now)
         consider(fetchReadyAt_);
+    if (timedFaultArmed_)
+        consider(std::max(timedFaultAt_, now + 1));
     return at;
 }
+
+// --- Checkpointing ----------------------------------------------------------
+
+int
+Core::cycleStatIndex() const
+{
+    if (cycleStat_ == statIssued_)
+        return 1;
+    if (cycleStat_ == statStallFrame_)
+        return 2;
+    if (cycleStat_ == statStallInetInput_)
+        return 3;
+    if (cycleStat_ == statStallBackpressure_)
+        return 4;
+    if (cycleStat_ == statStallOther_)
+        return 5;
+    if (cycleStat_ == statStallDae_)
+        return 6;
+    return 0;   // nullptr (no attribution yet this run).
+}
+
+std::uint64_t *
+Core::cycleStatFromIndex(int idx) const
+{
+    switch (idx) {
+      case 1: return statIssued_;
+      case 2: return statStallFrame_;
+      case 3: return statStallInetInput_;
+      case 4: return statStallBackpressure_;
+      case 5: return statStallOther_;
+      case 6: return statStallDae_;
+      default: return nullptr;
+    }
+}
+
+template <class Ar>
+void
+Core::serializeFields(Ar &ar)
+{
+    ar(regs_, simdRegs_, predFlag_, role_, fetchPc_, fetchBusy_,
+       fetchReadyAt_, fetchedInst_, fetchedIsCtl_, fetchedIsHalt_,
+       fetchedIsVend_, fetchPausedForBranch_, forwardBlocked_,
+       mtActive_, decodeQueue_, rob_, lq_, busy_, nextSeq_,
+       nextReqId_, halted_, barrierWaiting_, joinPending_, mutated_,
+       cosimFaultNth_, cosimFaultMask_, cosimWritebacks_,
+       timedFaultArmed_, timedFaultAt_, timedFaultReg_,
+       timedFaultMask_, spanOpen_, spanCause_, spanStart_, spanLen_,
+       spanPc_, issuedPc_, icache_);
+    // The exclusive-CPI attribution pointer travels as a stable
+    // index: skipTicks() keeps charging it after a resume, so it is
+    // load-bearing state, not a transient.
+    int cs = cycleStatIndex();
+    ar(cs);
+    if constexpr (Ar::isReader) {
+        cycleStat_ = cycleStatFromIndex(cs);
+        // Host-side accelerator over the (digest-validated) program
+        // image; contents never affect simulated behaviour.
+        dcache_.flush();
+    }
+}
+
+template void Core::serializeFields<SnapshotWriter>(SnapshotWriter &);
+template void Core::serializeFields<SnapshotReader>(SnapshotReader &);
 
 void
 Core::skipTicks(Cycle begin, Cycle end)

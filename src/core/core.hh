@@ -34,6 +34,9 @@
 namespace rockcress
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Tile microarchitectural parameters (Table 1a). */
 struct CoreParams
 {
@@ -103,6 +106,27 @@ class Core : public Ticked
      */
     void injectCosimFault(std::uint64_t nth, Word mask);
     /**
+     * Debug-only fault hook: at cycle `at`, XOR `mask` into
+     * architectural register `reg` — a real state corruption (unlike
+     * injectCosimFault, which only perturbs the delivered record), so
+     * checkpoint digests diverge from the corrupted cycle on. Fires
+     * exactly at `at` under both tick kernels (rc_bisect fixtures).
+     */
+    void injectTimedFault(Cycle at, RegIdx reg, Word mask);
+    /**
+     * Zero the timed-fault fixture (also done automatically when it
+     * fires). rc_bisect clears it on restored scratch machines so
+     * state digests compare only architectural state, not whether a
+     * fixture is still armed on one side.
+     */
+    void clearTimedFault()
+    {
+        timedFaultArmed_ = false;
+        timedFaultAt_ = 0;
+        timedFaultReg_ = 0;
+        timedFaultMask_ = 0;
+    }
+    /**
      * Flush records of completed-but-uncommitted ROB entries to the
      * sink after the machine stops (halt never drains the ROB).
      * @return false if an incomplete entry (in-flight load) remained.
@@ -133,6 +157,16 @@ class Core : public Ticked
     float readFpReg(int n) const;
     ///@}
 
+    /**
+     * Checkpoint field visitor (sim/checkpoint.hh): every run-varying
+     * member except the observer pointers (trace/cosim reattach after
+     * restore), the stat pointers (values live in the registry), the
+     * program (validated by digest), and the decode cache (a
+     * host-side accelerator, flushed on restore). Defined in core.cc;
+     * instantiated for both archives there.
+     */
+    template <class Ar> void serializeFields(Ar &ar);
+
   private:
     struct RobEntry
     {
@@ -146,6 +180,13 @@ class Core : public Ticked
         bool busyCleared = false;
         /** Architectural effects, captured only while cosim runs. */
         std::unique_ptr<CommitRecord> rec;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(inst, seq, doneAt, waitingLoad, done, busyCleared, rec);
+        }
     };
 
     struct LqEntry
@@ -154,6 +195,13 @@ class Core : public Ticked
         RegIdx destReg = 0;
         std::uint64_t robSeq = 0;
         Addr addr = 0;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(reqId, destReg, robSeq, addr);
+        }
     };
 
     struct DecodedOp
@@ -162,6 +210,13 @@ class Core : public Ticked
         Cycle readyAt = 0;
         bool isMicrothread = false;  ///< Came from the inet / mt fetch.
         int pc = -1;                 ///< Fetch pc; -1 for inet ops.
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(inst, readyAt, isMicrothread, pc);
+        }
     };
 
     /** @name Stage logic, called in reverse pipeline order. */
@@ -293,6 +348,16 @@ class Core : public Ticked
     std::uint64_t cosimFaultNth_ = 0;   ///< 0 = no fault pending.
     Word cosimFaultMask_ = 0;
     std::uint64_t cosimWritebacks_ = 0;
+
+    // Timed state-corruption hook (injectTimedFault).
+    bool timedFaultArmed_ = false;
+    Cycle timedFaultAt_ = 0;
+    RegIdx timedFaultReg_ = 0;
+    Word timedFaultMask_ = 0;
+
+    /** Exclusive-CPI pointer as a stable index (checkpointing). */
+    int cycleStatIndex() const;
+    std::uint64_t *cycleStatFromIndex(int idx) const;
     /** Attach a fresh record to rob_.back(); null when detached. */
     CommitRecord *attachRecord(const Instruction &inst, int pc);
     /** Deliver one record to the sink (applies the fault hook). */

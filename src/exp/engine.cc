@@ -11,6 +11,7 @@
 #include "exp/pool.hh"
 #include "exp/result_io.hh"
 #include "gpu/gpu.hh"
+#include "sim/checkpoint.hh"
 #include "sim/log.hh"
 
 namespace rockcress
@@ -157,6 +158,92 @@ ExperimentEngine::cacheKey(const RunPoint &point)
         return std::string();
     }
     return h.hex();
+}
+
+RunResult
+ExperimentEngine::runSegmented(const RunPoint &point,
+                               Cycle segmentCycles)
+{
+    // GPU runs have no checkpointable machine; cosim/trace observers
+    // are process-local history resumeFrom rejects by design.
+    if (point.isGpu() || segmentCycles == 0 ||
+        point.overrides.cosim || point.overrides.trace)
+        return runPoint(point);
+
+    // Identity of the whole point, independent of how it is sharded:
+    // the checkpoint knobs are stripped before hashing, so a
+    // segmented and an unsegmented run share one cache entry.
+    RunPoint base = point;
+    base.overrides.stopAtCycle = 0;
+    base.overrides.checkpointEveryN = 0;
+    base.overrides.resumeFrom.clear();
+    base.overrides.ckptDir.clear();
+    base.overrides.ckptTag.clear();
+    std::string key = cacheKey(base);
+    if (key.empty())
+        return runPoint(base);  // Unassemblable: surface the error.
+    RunResult cached;
+    if (cache_.enabled() && cache_.load(key, cached))
+        return cached;
+
+    std::string dir = point.overrides.ckptDir;
+    if (dir.empty()) {
+        const char *env = std::getenv("ROCKCRESS_CKPT_DIR");
+        dir = (env != nullptr && *env != '\0') ? env : ".";
+    }
+    // Segment files are content-addressed by (program, config,
+    // boundary cycle): the key prefix names the point, the runner's
+    // `_c<cycle>` suffix names the segment.
+    std::string tag = "seg_" + key.substr(0, 16);
+    auto segPath = [&](std::uint64_t boundary) {
+        return dir + "/" + tag + "_c" +
+               std::to_string(boundary * segmentCycles) + ".rkcp";
+    };
+
+    // Resume from the newest intact boundary file, if any.
+    std::uint64_t seg = 0;
+    for (std::uint64_t i = 1;; ++i) {
+        try {
+            peekCheckpoint(readCheckpointFile(segPath(i)));
+        } catch (const std::exception &) {
+            break;
+        }
+        seg = i;
+    }
+
+    bool retried_cold = false;
+    RunResult r;
+    for (;;) {
+        RunOverrides ov = base.overrides;
+        ov.checkpointEveryN = segmentCycles;
+        ov.stopAtCycle = (seg + 1) * segmentCycles;
+        ov.ckptDir = dir;
+        ov.ckptTag = tag;
+        if (seg > 0)
+            ov.resumeFrom = segPath(seg);
+        r = runManycore(point.bench, point.config, ov);
+        if (!r.ok) {
+            // A stale or corrupt segment file (frame-intact but from
+            // another program/geometry) fails restore; fall back to a
+            // cold start once rather than trusting it.
+            if (seg > 0 && !retried_cold) {
+                retried_cold = true;
+                seg = 0;
+                continue;
+            }
+            return r;
+        }
+        if (!r.partial)
+            break;
+        ++seg;
+    }
+    // The checkpoint files are segmentation plumbing, not part of the
+    // point's artifact: the returned result is byte-identical to an
+    // unsegmented run.
+    r.checkpoints.clear();
+    if (cache_.enabled() && r.ok)
+        cache_.store(key, r);
+    return r;
 }
 
 std::vector<RunResult>

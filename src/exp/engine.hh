@@ -105,6 +105,24 @@ class ExperimentEngine
     /** Run one point inline, no pool/cache (for audits and tests). */
     static RunResult runPoint(const RunPoint &point);
 
+    /**
+     * Run one manycore point in resumable segments of segmentCycles
+     * cycles. Each segment boundary writes a checkpoint file into the
+     * point's checkpoint directory ($ROCKCRESS_CKPT_DIR unless the
+     * overrides name one), content-addressed by the point's cache key
+     * and the boundary cycle; an interrupted sweep restarted later
+     * resumes from the newest intact segment instead of simulating
+     * from cycle 0. The returned result is the completing segment's,
+     * with the intermediate checkpoint bookkeeping stripped, and is
+     * byte-identical (through resultToJson) to an unsegmented run of
+     * the same point. Points the segment machinery cannot shard — GPU
+     * runs, cosim or trace observers (process-local history), or a
+     * zero segmentCycles — fall back to one straight runPoint. A
+     * stale or corrupt segment file is discarded and the point rerun
+     * from cycle 0, never trusted.
+     */
+    RunResult runSegmented(const RunPoint &point, Cycle segmentCycles);
+
   private:
     int jobs_;
     ResultCache cache_;

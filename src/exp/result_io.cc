@@ -135,6 +135,16 @@ resultToJson(const RunResult &r)
         t["cpiCrossChecked"] = Json(r.trace.cpiCrossChecked);
         j["trace"] = std::move(t);
     }
+    // Only paused / checkpointing runs carry the checkpoint fields,
+    // keeping complete-run artifacts byte-stable.
+    if (r.partial)
+        j["partial"] = Json(true);
+    if (!r.checkpoints.empty()) {
+        Json c = Json::array();
+        for (const std::string &p : r.checkpoints)
+            c.push(Json(p));
+        j["checkpoints"] = std::move(c);
+    }
     // Same pattern for translation validation: only runs that asked
     // for the verdict carry an equiv object.
     if (r.equiv.checked) {
@@ -224,6 +234,20 @@ resultFromJson(const Json &j, RunResult &out)
         if (!ok)
             return false;
     }
+    if (j.has("partial")) {
+        if (!readBool(j, "partial", r.partial))
+            return false;
+    }
+    if (j.has("checkpoints")) {
+        const Json &c = j.at("checkpoints");
+        if (!c.isArr())
+            return false;
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (c.at(i).kind() != Json::Kind::Str)
+                return false;
+            r.checkpoints.push_back(c.at(i).asStr());
+        }
+    }
     if (j.has("equiv")) {
         const Json &q = j.at("equiv");
         if (!q.isObj())
@@ -270,6 +294,18 @@ overridesToJson(const RunOverrides &o)
     j["trace"] = Json(o.trace);
     j["traceStartCycle"] = Json(o.traceStartCycle);
     j["traceMaxEvents"] = Json(o.traceMaxEvents);
+    // Checkpoint knobs appear only when set, so pre-checkpoint cache
+    // keys (exp/engine.cc hashes this document) stay byte-stable.
+    if (o.stopAtCycle != 0)
+        j["stopAtCycle"] = Json(o.stopAtCycle);
+    if (o.checkpointEveryN != 0)
+        j["checkpointEveryN"] = Json(o.checkpointEveryN);
+    if (!o.resumeFrom.empty())
+        j["resumeFrom"] = Json(o.resumeFrom);
+    if (!o.ckptDir.empty())
+        j["ckptDir"] = Json(o.ckptDir);
+    if (!o.ckptTag.empty())
+        j["ckptTag"] = Json(o.ckptTag);
     return j;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "analysis/verifier.hh"
 #include "gpu/gpu.hh"
 #include "ref/cosim.hh"
+#include "sim/checkpoint.hh"
 #include "sim/log.hh"
 #include "trace/aggregate.hh"
 
@@ -22,6 +24,18 @@ runManycore(const std::string &bench, const std::string &config,
     RunResult r;
     r.bench = bench;
     r.config = config;
+
+    if (!overrides.resumeFrom.empty() &&
+        (overrides.cosim || overrides.trace)) {
+        r.ok = false;
+        r.error = "checkpoint: resumeFrom cannot be combined with "
+                  "cosim or trace — those observers accumulate "
+                  "history outside the machine state and cannot be "
+                  "rebuilt from a snapshot in a new process (pause "
+                  "and resume within one process via the Machine API "
+                  "to keep them attached)";
+        return r;
+    }
 
     BenchConfig cfg = configByName(config);
     MachineParams params =
@@ -71,8 +85,52 @@ runManycore(const std::string &bench, const std::string &config,
             machine.attachCosim(checker.get());
         }
         machine.setNaiveTick(overrides.naiveTick);
+        if (!overrides.resumeFrom.empty())
+            restoreCheckpoint(machine,
+                              readCheckpointFile(overrides.resumeFrom));
+        std::string ckpt_dir = overrides.ckptDir;
+        if (ckpt_dir.empty()) {
+            const char *env = std::getenv("ROCKCRESS_CKPT_DIR");
+            ckpt_dir = (env != nullptr && *env != '\0') ? env : ".";
+        }
+        std::string ckpt_tag = overrides.ckptTag.empty()
+                                   ? bench + "_" + config
+                                   : overrides.ckptTag;
         auto t0 = std::chrono::steady_clock::now();
-        r.cycles = machine.run(overrides.maxCycles);
+        // Segmented run: pause at every checkpointEveryN boundary to
+        // snapshot, and at stopAtCycle for good (a partial result).
+        // With neither knob this is a single run() to completion.
+        for (;;) {
+            Cycle stop = overrides.stopAtCycle;
+            if (overrides.checkpointEveryN != 0) {
+                Cycle next = (machine.cycles() /
+                                  overrides.checkpointEveryN +
+                              1) *
+                             overrides.checkpointEveryN;
+                if (stop == 0 || next < stop)
+                    stop = next;
+            }
+            r.cycles = machine.run(overrides.maxCycles, stop);
+            if (machine.finished())
+                break;
+            // A pause landing on a checkpoint boundary still writes
+            // the snapshot (a stopAtCycle segment ends with the file
+            // its successor resumes from).
+            if (overrides.checkpointEveryN != 0 &&
+                machine.cycles() % overrides.checkpointEveryN == 0) {
+                std::string path = ckpt_dir + "/" + ckpt_tag + "_c" +
+                                   std::to_string(machine.cycles()) +
+                                   ".rkcp";
+                writeCheckpointFile(path,
+                                    saveCheckpoint(machine, ckpt_tag));
+                r.checkpoints.push_back(path);
+            }
+            if (overrides.stopAtCycle != 0 &&
+                machine.cycles() >= overrides.stopAtCycle) {
+                r.partial = true;
+                break;
+            }
+        }
         auto t1 = std::chrono::steady_clock::now();
         r.diag.runSeconds =
             std::chrono::duration<double>(t1 - t0).count();
@@ -80,7 +138,7 @@ runManycore(const std::string &bench, const std::string &config,
         r.diag.simSkips = machine.ticksSkipped();
         if (sink)
             machine.flushTrace();
-        if (checker) {
+        if (checker && !r.partial) {
             machine.drainCosim();
             std::string div = checker->finish(machine.mem());
             if (!div.empty()) {
@@ -89,7 +147,9 @@ runManycore(const std::string &bench, const std::string &config,
                 return r;
             }
         }
-        r.error = benchmark->check(machine.mem());
+        // A paused run's memory is mid-flight; the golden compare
+        // belongs to the segment that reaches the halt.
+        r.error = r.partial ? "" : benchmark->check(machine.mem());
         r.ok = r.error.empty();
     } catch (const std::exception &e) {
         r.ok = false;
@@ -185,7 +245,7 @@ runManycore(const std::string &bench, const std::string &config,
             lint << "perf-lint: simulated per-core IPC "
                  << r.measuredIpc << " exceeds the certified static "
                  << "bound " << r.staticIpcBound;
-        } else if (overrides.perfLint &&
+        } else if (overrides.perfLint && !r.partial &&
                    r.measuredIpc <
                        overrides.perfLintMinFraction * r.staticIpcBound) {
             lint << "perf-lint: simulated per-core IPC "

@@ -104,6 +104,35 @@ struct RunOverrides
     /** Per-category event capacity; beyond it events are dropped. */
     std::uint64_t traceMaxEvents = 16'777'216;
 
+    /**
+     * @name Checkpoint & resume (sim/checkpoint.hh). Pausing at
+     * `stopAtCycle` returns a partial result (correctness checks are
+     * deferred to the completing segment); `checkpointEveryN` writes a
+     * framed snapshot file at every multiple of N cycles; `resumeFrom`
+     * restores one such file into the freshly prepared machine before
+     * running. A resumed run must be prepared identically (bench,
+     * config, geometry) — restoreCheckpoint validates this against
+     * the snapshot header and fails the run otherwise. resumeFrom is
+     * rejected with cosim or trace: those observers accumulate
+     * history outside the machine and cannot be rebuilt from a
+     * snapshot in another process (in-process pause/resume via the
+     * Machine API carries them across segments instead).
+     */
+    ///@{
+    /** Pause the run before executing this cycle (0: run to halt). */
+    Cycle stopAtCycle = 0;
+    /** Write a checkpoint file every N cycles (0: never). */
+    Cycle checkpointEveryN = 0;
+    /** Checkpoint file to restore before running (empty: cold start). */
+    std::string resumeFrom;
+    /** Directory for written checkpoints; empty means
+     * $ROCKCRESS_CKPT_DIR, falling back to the working directory. */
+    std::string ckptDir;
+    /** Filename stem for written checkpoints (default bench_config);
+     * files are named `<tag>_c<cycle>.rkcp`. */
+    std::string ckptTag;
+    ///@}
+
     bool operator==(const RunOverrides &) const = default;
 };
 
@@ -155,6 +184,17 @@ struct RunResult
 
     /** Frame-sanitizer violations (0 unless RunOverrides::spSan). */
     std::uint64_t spSanViolations = 0;
+
+    /**
+     * True when RunOverrides::stopAtCycle paused the run before every
+     * core halted. Partial results carry mid-run statistics and skip
+     * the end-of-run correctness checks (golden memory compare, cosim
+     * finish, perf-lint utilization floor); `cycles` is the pause
+     * point.
+     */
+    bool partial = false;
+    /** Checkpoint files written (RunOverrides::checkpointEveryN). */
+    std::vector<std::string> checkpoints;
 
     /** Event-trace summary (all-zero unless RunOverrides::trace). */
     TraceSummary trace;

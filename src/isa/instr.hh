@@ -122,6 +122,14 @@ struct Instruction
     std::uint8_t sub = 0;      ///< Subfunction (vload variant, CSR id).
 
     bool operator==(const Instruction &) const = default;
+
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(op, rd, rs1, rs2, rs3, imm, imm2, sub);
+    }
 };
 
 /** @name Static instruction properties. */

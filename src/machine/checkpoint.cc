@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Machine-level checkpoint API (sim/checkpoint.hh): framing the
+ * serialized machine body with a validated header, the program
+ * digest that ties a snapshot to the software it was taken under,
+ * and the layout tripwires that turn "added a member, forgot the
+ * serializer" into a compile error on the reference platform.
+ */
+
+#include <string>
+
+#include "machine/machine.hh"
+#include "sim/checkpoint.hh"
+
+namespace rockcress
+{
+
+namespace
+{
+
+void
+digestU64(std::uint64_t &h, std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    h = fnv1a(b, sizeof(b), h);
+}
+
+} // namespace
+
+std::uint64_t
+machineProgramDigest(const Machine &m)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    digestU64(h, static_cast<std::uint64_t>(m.numCores()));
+    for (CoreId c = 0; c < m.numCores(); ++c) {
+        auto prog = m.programOf(c);
+        digestU64(h, prog != nullptr ? 1 : 0);
+        if (prog == nullptr)
+            continue;
+        digestU64(h, static_cast<std::uint64_t>(m.entryOf(c)));
+        digestU64(h, static_cast<std::uint64_t>(prog->size()));
+        for (const Instruction &inst : prog->code) {
+            Encoded e = encode(inst);
+            digestU64(h, e.w0);
+            digestU64(h, e.w1);
+            digestU64(h, e.w2);
+        }
+    }
+    const auto &plans = m.groupPlans();
+    digestU64(h, plans.size());
+    for (const GroupPlan &p : plans) {
+        digestU64(h, p.chain.size());
+        for (CoreId c : p.chain)
+            digestU64(h, static_cast<std::uint64_t>(c));
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+saveCheckpoint(Machine &m, const std::string &tag)
+{
+    SnapshotWriter w;
+    m.save(w);
+    CheckpointMeta meta;
+    meta.tag = tag;
+    meta.programDigest = machineProgramDigest(m);
+    meta.cols = static_cast<std::uint32_t>(m.params().cols);
+    meta.rows = static_cast<std::uint32_t>(m.params().rows);
+    meta.cycle = m.cycles();
+    return frameCheckpoint(meta, w.bytes());
+}
+
+void
+restoreCheckpoint(Machine &m, const std::vector<std::uint8_t> &bytes)
+{
+    CheckpointMeta meta;
+    std::vector<std::uint8_t> body = checkpointBody(bytes, &meta);
+    if (meta.cols != static_cast<std::uint32_t>(m.params().cols) ||
+        meta.rows != static_cast<std::uint32_t>(m.params().rows)) {
+        throw CheckpointError(
+            "checkpoint: geometry mismatch (snapshot " +
+            std::to_string(meta.cols) + "x" + std::to_string(meta.rows) +
+            ", machine " + std::to_string(m.params().cols) + "x" +
+            std::to_string(m.params().rows) + ")");
+    }
+    std::uint64_t digest = machineProgramDigest(m);
+    if (meta.programDigest != digest) {
+        throw CheckpointError(
+            "checkpoint: program digest mismatch (snapshot was taken "
+            "under different programs, entry points, or group plans)");
+    }
+    SnapshotReader r(body);
+    m.restore(r);
+    if (r.remaining() != 0) {
+        throw CheckpointError(
+            "checkpoint: " + std::to_string(r.remaining()) +
+            " trailing bytes after the machine state (format drift?)");
+    }
+}
+
+std::uint64_t
+machineStateDigest(Machine &m)
+{
+    SnapshotWriter w;
+    m.save(w);
+    return fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+// --- Layout tripwires --------------------------------------------------------
+//
+// Every class with a serializeFields() has its size pinned here for
+// the reference platform (x86-64 libstdc++). Adding a member without
+// visiting it in the serializer changes the size and fails this
+// static_assert, forcing the author to update both together. Sizes
+// are ABI facts of the platform, not of the build type; other
+// platforms skip the check (the differential tests still cover them).
+#if defined(__x86_64__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+#define ROCKCRESS_PIN_SIZE(T, N) \
+    static_assert(sizeof(T) == (N), \
+                  #T " layout changed: update serializeFields() and " \
+                  "re-pin the size in machine/checkpoint.cc")
+ROCKCRESS_PIN_SIZE(Instruction, 20);
+ROCKCRESS_PIN_SIZE(CommitRecord, 112);
+ROCKCRESS_PIN_SIZE(MemReq, 72);
+ROCKCRESS_PIN_SIZE(MemResp, 36);
+ROCKCRESS_PIN_SIZE(SpadWrite, 20);
+ROCKCRESS_PIN_SIZE(Packet, 144);
+ROCKCRESS_PIN_SIZE(InetMsg, 28);
+ROCKCRESS_PIN_SIZE(SpadSanRecord, 64);
+ROCKCRESS_PIN_SIZE(Scratchpad, 184);
+ROCKCRESS_PIN_SIZE(CacheTags, 96);
+ROCKCRESS_PIN_SIZE(Dram, 56);
+ROCKCRESS_PIN_SIZE(MainMemory, 32);
+ROCKCRESS_PIN_SIZE(LlcBank, 464);
+ROCKCRESS_PIN_SIZE(Inet, 152);
+ROCKCRESS_PIN_SIZE(Mesh, 280);
+ROCKCRESS_PIN_SIZE(Core, 3400);
+ROCKCRESS_PIN_SIZE(Machine, 680);
+#undef ROCKCRESS_PIN_SIZE
+#endif
+
+} // namespace rockcress

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "sim/checkpoint.hh"
 #include "sim/log.hh"
 
 namespace rockcress
@@ -206,7 +207,7 @@ Machine::planGroup(const GroupPlan &plan)
 }
 
 Cycle
-Machine::run(Cycle max_cycles)
+Machine::run(Cycle max_cycles, Cycle stop_at)
 {
     if (max_cycles == 0)
         max_cycles = kWatchdogCyclesPerCore *
@@ -219,7 +220,63 @@ Machine::run(Cycle max_cycles)
             ++haltedCount_;
     }
     return sim_.run([this] { return haltedCount_ >= numCores(); },
-                    max_cycles);
+                    max_cycles, stop_at);
+}
+
+// --- Checkpointing -----------------------------------------------------------
+
+template <class Ar>
+void
+Machine::serializeFields(Ar &ar)
+{
+    // Components in tick order, then the machine's own bookkeeping.
+    for (auto &core : cores_)
+        ar(*core);
+    for (auto &spad : spads_)
+        ar(*spad);
+    ar(*inet_);
+    if constexpr (Ar::isReader)
+        mesh_->restore(ar);
+    else
+        mesh_->save(ar);
+    for (auto &bank : banks_)
+        ar(*bank);
+    ar(*dram_, *mem_, registry_);
+
+    // Group formation progress. Plans and layouts are configuration
+    // (rebuilt by replaying planGroup before restore); the per-group
+    // counters are run state.
+    for (auto &g : groups_)
+        ar(g.joined, g.formed, g.left);
+    ar(barrierGen_, arrivedGen_, arrivals_);
+
+    Cycle now = sim_.now();
+    ar(now);
+    if constexpr (Ar::isReader) {
+        sim_.restoreNow(now);
+        // finished() must be valid immediately after a restore; run()
+        // recounts again on entry.
+        haltedCount_ = 0;
+        for (const auto &core : cores_) {
+            if (core->halted())
+                ++haltedCount_;
+        }
+    }
+}
+
+template void Machine::serializeFields<SnapshotWriter>(SnapshotWriter &);
+template void Machine::serializeFields<SnapshotReader>(SnapshotReader &);
+
+void
+Machine::save(SnapshotWriter &w)
+{
+    serializeFields(w);
+}
+
+void
+Machine::restore(SnapshotReader &r)
+{
+    serializeFields(r);
 }
 
 bool

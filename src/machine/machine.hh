@@ -64,8 +64,15 @@ class Machine : public CoreEnv, public Ticked
      * @param max_cycles Watchdog limit; 0 scales it with the grid
      * size (kWatchdogCyclesPerCore per tile), so small fuzz grids
      * trip as eagerly as the full 8x8 machine.
+     * @param stop_at Pause the simulation before executing cycle
+     * stop_at (0: run to completion). A paused machine checkpoints
+     * and resumes transparently: calling run() again continues
+     * exactly where the uninterrupted run would be.
      */
-    Cycle run(Cycle max_cycles = 0);
+    Cycle run(Cycle max_cycles = 0, Cycle stop_at = 0);
+
+    /** Did the last run() end because every core halted? */
+    bool finished() const { return haltedCount_ >= numCores(); }
 
     /** Watchdog budget per tile when run() is passed max_cycles = 0. */
     static constexpr Cycle kWatchdogCyclesPerCore = 8'000'000;
@@ -138,6 +145,19 @@ class Machine : public CoreEnv, public Ticked
      * every core to the sink (halt stops the clock mid-drain).
      */
     void drainCosim();
+    ///@}
+
+    /**
+     * @name Checkpointing (sim/checkpoint.hh). save/restore walk
+     * every component in tick order. restore() expects a machine
+     * prepared exactly like the saved one — same params, programs,
+     * group plans — which the free functions saveCheckpoint /
+     * restoreCheckpoint validate via the framed header.
+     */
+    ///@{
+    void save(SnapshotWriter &w);
+    void restore(SnapshotReader &r);
+    template <class Ar> void serializeFields(Ar &ar);
     ///@}
 
     /** @name CoreEnv implementation. */

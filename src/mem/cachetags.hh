@@ -60,12 +60,27 @@ class CacheTags
     int numSets() const { return numSets_; }
     int ways() const { return ways_; }
 
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(lines_, plru_);
+    }
+
   private:
     struct Line
     {
         bool valid = false;
         bool dirty = false;
         Addr tag = 0;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(valid, dirty, tag);
+        }
     };
 
     Addr setIndex(Addr addr) const;

@@ -41,6 +41,16 @@ class Dram
 
     Cycle latency() const { return latency_; }
 
+    /** Checkpoint field visitor (sim/checkpoint.hh). The bandwidth
+     * horizons are the channels' only run-varying state; rate and
+     * latency are construction parameters. */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(freeAt_);
+    }
+
   private:
     std::vector<double> freeAt_;   ///< Per-channel bandwidth horizon.
     double cyclesPerByte_;

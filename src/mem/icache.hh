@@ -53,6 +53,14 @@ class ICache
 
     void flush() { tags_.flush(); }
 
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(tags_);
+    }
+
   private:
     Params params_;
     CacheTags tags_;

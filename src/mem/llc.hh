@@ -70,11 +70,27 @@ class LlcBank : public Ticked
 
     const CacheTags &tags() const { return tags_; }
 
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(reqQueue_, mshrs_, mshrMinReady_, respQueue_,
+           respPortFreeAt_, tags_);
+    }
+
   private:
     struct Mshr
     {
         Cycle ready = 0;
         std::vector<MemReq> waiting;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(ready, waiting);
+        }
     };
 
     /** An accepted read generating serial word responses. */
@@ -85,6 +101,13 @@ class LlcBank : public Ticked
         int wordInCore = 0; ///< cnt % respPerCore, carried incrementally.
         int coreIdx = 0;    ///< cnt / respPerCore, carried incrementally.
         std::vector<Word> snap;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(req, cnt, wordInCore, coreIdx, snap);
+        }
     };
 
     void startRequest(const MemReq &req, Cycle now);

@@ -34,6 +34,14 @@ class MainMemory
 
     Addr capacity() const { return bytes_; }
 
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(words_);
+    }
+
   private:
     Addr index(Addr a) const;
 

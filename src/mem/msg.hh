@@ -67,6 +67,38 @@ struct MemReq
     int wordLo = 0;            ///< First block word covered here.
     int wordHi = 1;            ///< One past the last block word.
     GroupLayoutPtr group;      ///< Layout for Group/Single routing.
+
+    /**
+     * Checkpoint field visitor (sim/checkpoint.hh). The layout is
+     * serialized by value and rebuilt as a fresh shared_ptr on
+     * restore: nothing in the machine observes layout pointer
+     * identity, only the scalar/vectorCores contents.
+     */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(op, addr, data, src, srcPc, reqId, destReg, sizeWords,
+           variant, baseCoreOff, spadOffset, respPerCore, wordLo,
+           wordHi);
+        bool present = group != nullptr;
+        ar(present);
+        if constexpr (Ar::isReader) {
+            if (present) {
+                auto g = std::make_shared<GroupLayout>();
+                ar(g->scalar, g->vectorCores);
+                group = std::move(g);
+            } else {
+                group = nullptr;
+            }
+        } else {
+            if (present) {
+                CoreId scalar = group->scalar;
+                std::vector<CoreId> vcs = group->vectorCores;
+                ar(scalar, vcs);
+            }
+        }
+    }
 };
 
 /** A single-word response from an LLC bank to a tile. */
@@ -81,6 +113,15 @@ struct MemResp
     RegIdx destReg = 0;
     CoreId srcCore = -1;       ///< Requesting core (sanitizer attribution).
     int srcPc = -1;            ///< Its issuing pc.
+
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(dst, addr, data, toSpad, spadOffset, reqId, destReg,
+           srcCore, srcPc);
+    }
 };
 
 /** Remote scratchpad store (shuffles, Section 2.4). */
@@ -91,6 +132,14 @@ struct SpadWrite
     Word data = 0;
     CoreId src = -1;           ///< Storing core (sanitizer attribution).
     int srcPc = -1;            ///< Its issuing pc.
+
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(dst, spadOffset, data, src, srcPc);
+    }
 };
 
 /** What a NoC packet carries. */
@@ -111,6 +160,14 @@ struct Packet
     MemReq req;
     MemResp resp;
     SpadWrite spadWrite;
+
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(srcNode, dstNode, words, kind, req, resp, spadWrite);
+    }
 };
 
 } // namespace rockcress

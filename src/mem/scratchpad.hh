@@ -55,6 +55,14 @@ struct SpadSanRecord
     int priorPc = -1;
 
     std::string str() const;
+
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(kind, owner, offset, prior, accessCore, accessPc, priorCore,
+           priorPc);
+    }
 };
 
 /** One core's scratchpad: functional storage plus DAE frame queue. */
@@ -156,6 +164,15 @@ class Scratchpad
 
     Addr sizeBytes() const { return size_; }
 
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(words_, frameSize_, numFrames_, head_, counters_,
+           sanEnabled_, shadow_, sanCount_, sanRecords_);
+    }
+
   private:
     /** Shadow word: state plus who drove it into that state. */
     struct Shadow
@@ -163,6 +180,13 @@ class Scratchpad
         SpadWordState st = SpadWordState::Free;
         CoreId core = -1;
         int pc = -1;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(st, core, pc);
+        }
     };
 
     /** Frame-queue slot delta of an offset relative to the head. */

@@ -37,6 +37,14 @@ struct InetMsg
     Kind kind = Kind::Instr;
     Instruction inst;
     int pc = 0;
+
+    /** Checkpoint field visitor (sim/checkpoint.hh). */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(kind, inst, pc);
+    }
 };
 
 /**
@@ -126,6 +134,30 @@ class Inet : public Ticked
      */
     void setTrace(TraceSink *sink) { trace_ = sink; }
 
+    /**
+     * Checkpoint field visitor (sim/checkpoint.hh). The chain wiring
+     * is restored through the node records directly — replaying
+     * configureChain would reject links that are already set — and
+     * the busy-link bookkeeping is re-derived from the node flags.
+     */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(nodes_);
+        if constexpr (Ar::isReader) {
+            busyLinks_ = 0;
+            for (auto &w : busyBits_)
+                w = 0;
+            for (std::size_t i = 0; i < nodes_.size(); ++i) {
+                if (nodes_[i].linkBusy) {
+                    ++busyLinks_;
+                    busyBits_[i / 64] |= std::uint64_t{1} << (i % 64);
+                }
+            }
+        }
+    }
+
   private:
     struct Node
     {
@@ -135,6 +167,14 @@ class Inet : public Ticked
         bool linkBusy = false;
         bool sendWaiter = false;   ///< Blocked on canSend(); wake me.
         InetMsg inFlight;
+
+        template <class Ar>
+        void
+        serializeFields(Ar &ar)
+        {
+            ar(downstream, upstream, queue, linkBusy, sendWaiter,
+               inFlight);
+        }
     };
 
     std::vector<Node> nodes_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/checkpoint.hh"
 #include "sim/log.hh"
 
 namespace rockcress
@@ -237,6 +238,94 @@ Mesh::tick(Cycle now)
                 growWheel(static_cast<std::size_t>(span));
             wheel_[static_cast<std::size_t>(t.ready) & wheelMask_]
                 .push_back(std::move(t));
+        }
+    }
+}
+
+void
+Mesh::save(SnapshotWriter &w)
+{
+    // Port queues: live entries only (head onward), packets inline.
+    for (auto &router : routers_) {
+        for (auto &port : router.ports) {
+            w(port.busyUntil);
+            auto live = static_cast<std::uint64_t>(port.queue.size() -
+                                                   port.head);
+            w(live);
+            for (std::size_t i = port.head; i < port.queue.size(); ++i) {
+                QEnt &e = port.queue[i];
+                w(e.dst, e.words, pool_[static_cast<size_t>(e.handle)]);
+            }
+        }
+    }
+    // The wheel: size (bucket index = ready % size must be preserved)
+    // then every transit in bucket-then-insertion order, packets
+    // inline for final-delivery hops.
+    auto wheelSize = static_cast<std::uint64_t>(wheel_.size());
+    w(wheelSize);
+    for (auto &bucket : wheel_) {
+        auto n = static_cast<std::uint64_t>(bucket.size());
+        w(n);
+        for (Transit &t : bucket) {
+            w(t.ready, t.router, t.localOf, t.ent.dst, t.ent.words,
+              pool_[static_cast<size_t>(t.ent.handle)]);
+        }
+    }
+}
+
+void
+Mesh::restore(SnapshotReader &r)
+{
+    pool_.clear();
+    freeList_.clear();
+    inFlightPackets_ = 0;
+    for (auto &word : activeBits_)
+        word = 0;
+
+    for (std::size_t rid = 0; rid < routers_.size(); ++rid) {
+        for (int d = 0; d < NumDirs; ++d) {
+            OutPort &port = routers_[rid].ports[d];
+            port.queue.clear();
+            port.head = 0;
+            r(port.busyUntil);
+            std::uint64_t live = 0;
+            r(live);
+            for (std::uint64_t i = 0; i < live; ++i) {
+                QEnt e;
+                Packet pkt;
+                r(e.dst, e.words, pkt);
+                e.handle = allocPacket(std::move(pkt));
+                port.push(e);
+                ++inFlightPackets_;
+            }
+            if (!port.empty()) {
+                std::size_t pid = rid * NumDirs +
+                                  static_cast<std::size_t>(d);
+                activeBits_[pid / 64] |= std::uint64_t{1} << (pid % 64);
+            }
+        }
+    }
+
+    std::uint64_t wheelSize = 0;
+    r(wheelSize);
+    if (wheelSize == 0 || (wheelSize & (wheelSize - 1)) != 0) {
+        throw CheckpointError("checkpoint: corrupt mesh wheel size " +
+                              std::to_string(wheelSize));
+    }
+    wheel_.assign(static_cast<std::size_t>(wheelSize), {});
+    wheelMask_ = wheel_.size() - 1;
+    for (std::uint64_t b = 0; b < wheelSize; ++b) {
+        std::uint64_t n = 0;
+        r(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Transit t;
+            Packet pkt;
+            r(t.ready, t.router, t.localOf, t.ent.dst, t.ent.words,
+              pkt);
+            t.ent.handle = allocPacket(std::move(pkt));
+            wheel_[static_cast<std::size_t>(t.ready) & wheelMask_]
+                .push_back(std::move(t));
+            ++inFlightPackets_;
         }
     }
 }

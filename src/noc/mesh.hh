@@ -26,6 +26,9 @@
 namespace rockcress
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * A cols x rows router grid. Every router has an attached local node
  * whose sink callback receives packets addressed to it.
@@ -77,6 +80,19 @@ class Mesh : public Ticked
 
     int cols() const { return cols_; }
     int rows() const { return rows_; }
+
+    /**
+     * @name Checkpointing (sim/checkpoint.hh). Saved semantically —
+     * per-port queue contents and in-flight transits with their
+     * packets inline — because pool handle values are recycling
+     * order, internal state no simulated behaviour observes. Restore
+     * rebuilds the pool, the active-port bitmap, and the in-flight
+     * count from the restored queues and wheel.
+     */
+    ///@{
+    void save(SnapshotWriter &w);
+    void restore(SnapshotReader &r);
+    ///@}
 
   private:
     /** Output port directions. */

@@ -4,10 +4,13 @@
 #include <memory>
 #include <sstream>
 
+#include <set>
+
 #include "analysis/verifier.hh"
 #include "compiler/codegen.hh"
 #include "machine/machine.hh"
 #include "ref/cosim.hh"
+#include "sim/checkpoint.hh"
 #include "sim/rng.hh"
 
 namespace rockcress
@@ -1058,6 +1061,211 @@ runTickDiffFuzz(const FuzzOptions &opts)
         std::uint64_t seed =
             opts.baseSeed + static_cast<std::uint64_t>(i);
         FuzzCaseResult r = runTickDiffCase(seed, opts.verbose);
+        std::string geo = r.shape.substr(0, r.shape.find(' '));
+        if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
+            geoms.push_back(geo);
+        if (r.ok) {
+            ++sum.passed;
+        } else {
+            ++sum.failed;
+            sum.failures.push_back("seed " + std::to_string(seed) +
+                                   " (" + r.shape + "): " + r.error);
+        }
+    }
+    std::sort(geoms.begin(), geoms.end());
+    sum.geometries = geoms;
+    return sum;
+}
+
+FuzzCaseResult
+runCheckpointFuzzCase(std::uint64_t seed, bool verbose)
+{
+    FuzzCaseResult res;
+    // Same draw stream as the co-simulation and tick-diff campaigns:
+    // every seed's program is identical across all three, so a
+    // checkpoint failure reproduces directly under --verbose there.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+    CaseSpec c = drawCase(rng, seed);
+    res.shape = c.describe();
+
+    BenchConfig cfg;
+    cfg.name = "FUZZ";
+    cfg.groupSize = c.geo.gs;
+    cfg.simdWords = c.simd ? 4 : 1;
+    cfg.wideAccess = true;
+    cfg.dae = true;
+
+    MachineParams params = machineFor(cfg, c.geo.cols, c.geo.rows);
+    params.heapBytes = 1u << 20;
+
+    try {
+        Addr inWords =
+            static_cast<Addr>(c.iters) * c.F * c.geo.gs;
+        std::vector<Word> input;
+        input.reserve(inWords);
+        for (Addr i = 0; i < inWords; ++i) {
+            float f = 0.25f +
+                      0.75f * static_cast<float>(rng.uniform());
+            input.push_back(floatToWord(f));
+        }
+        auto prog = buildProgram(c, rng, cfg, params);
+
+        // Identical preparation for the straight machine and every
+        // resume hop: restoreCheckpoint expects the restored machine
+        // to be software-configured exactly like the saved one.
+        auto prepare = [&](Machine &m) {
+            for (Addr i = 0; i < inWords; ++i)
+                m.mem().writeWord(c.in + i * 4, input[i]);
+            m.loadAll(prog);
+            for (int g = 0; g < c.groups; ++g) {
+                GroupPlan plan;
+                for (int i = 0; i < c.tpg; ++i)
+                    plan.chain.push_back(g * c.tpg + i);
+                m.planGroup(plan);
+            }
+        };
+
+        VerifyReport rep = verifyProgram(*prog, cfg, params);
+        if (!rep.ok()) {
+            res.error = "verifier rejected generated program:\n" +
+                        rep.text(*prog);
+            return res;
+        }
+
+        // The unchunked reference run.
+        auto straight = std::make_unique<Machine>(params);
+        prepare(*straight);
+        CosimChecker straightCheck(*straight);
+        straightCheck.recordStreams(straight->numCores());
+        straight->attachCosim(&straightCheck);
+        Cycle total = straight->run(20'000'000);
+        straight->drainCosim();
+        std::string straightDiv = straightCheck.finish(straight->mem());
+
+        // The chunked run: snapshot/restore at seeded mid-run cycles
+        // into freshly prepared machines, alternating the tick kernel
+        // every hop, one checker carried across all of them.
+        std::set<Cycle> splits;
+        while (splits.size() < 3 && total > 4) {
+            splits.insert(1 + static_cast<Cycle>(
+                                  rng.uniform() *
+                                  static_cast<float>(total - 2)));
+        }
+        auto chunked = std::make_unique<Machine>(params);
+        prepare(*chunked);
+        CosimChecker chunkCheck(*chunked);
+        chunkCheck.recordStreams(chunked->numCores());
+        chunked->attachCosim(&chunkCheck);
+        bool naive = false;
+        for (Cycle stop : splits) {
+            chunked->run(20'000'000, stop);
+            std::vector<std::uint8_t> bytes = saveCheckpoint(*chunked);
+            auto next = std::make_unique<Machine>(params);
+            prepare(*next);
+            restoreCheckpoint(*next, bytes);
+            naive = !naive;
+            next->setNaiveTick(naive);
+            next->attachCosim(&chunkCheck);
+            chunked = std::move(next);
+        }
+        Cycle chunkCycles = chunked->run(20'000'000);
+        chunked->drainCosim();
+        std::string chunkDiv = chunkCheck.finish(chunked->mem());
+
+        // Verdict equality with the unchunked run, then the full
+        // observational cross-check (the tick-diff battery).
+        if (straightDiv != chunkDiv) {
+            res.error = "cosim verdict diverges:\n  straight: " +
+                        (straightDiv.empty() ? "clean" : straightDiv) +
+                        "\n  chunked:  " +
+                        (chunkDiv.empty() ? "clean" : chunkDiv);
+            return res;
+        }
+        if (!straightDiv.empty()) {
+            res.error = "cosim (both runs): " + straightDiv;
+            return res;
+        }
+        if (total != chunkCycles) {
+            res.error = "cycle count diverges: straight " +
+                        std::to_string(total) + " vs chunked " +
+                        std::to_string(chunkCycles);
+            return res;
+        }
+        const auto &ss = straightCheck.streams();
+        const auto &cs = chunkCheck.streams();
+        for (size_t core = 0; core < ss.size(); ++core) {
+            const auto &a = ss[core];
+            const auto &b = cs[core];
+            size_t n = std::min(a.size(), b.size());
+            for (size_t i = 0; i < n; ++i) {
+                if (recordsEqual(a[i], b[i]))
+                    continue;
+                std::ostringstream os;
+                os << "commit stream diverges, core " << core
+                   << " record " << i
+                   << ":\n  straight: " << describeRecord(a[i])
+                   << "\n  chunked:  " << describeRecord(b[i]);
+                res.error = os.str();
+                return res;
+            }
+            if (a.size() != b.size()) {
+                std::ostringstream os;
+                os << "commit stream length diverges, core " << core
+                   << ": straight " << a.size() << " vs chunked "
+                   << b.size();
+                res.error = os.str();
+                return res;
+            }
+        }
+        auto sstats = straight->stats().all();
+        auto cstats = chunked->stats().all();
+        if (sstats != cstats) {
+            std::ostringstream os;
+            os << "stat registries diverge:";
+            for (const auto &[name, v] : sstats) {
+                auto it = cstats.find(name);
+                std::uint64_t cv = it == cstats.end() ? 0 : it->second;
+                if (cv != v)
+                    os << "\n  " << name << ": straight " << v
+                       << " vs chunked " << cv;
+            }
+            for (const auto &[name, v] : cstats) {
+                if (sstats.find(name) == sstats.end())
+                    os << "\n  " << name << ": straight 0 vs chunked "
+                       << v;
+            }
+            res.error = os.str();
+            return res;
+        }
+        for (Addr a = AddrMap::globalBase;
+             a < AddrMap::globalBase + params.heapBytes; a += 4) {
+            if (straight->mem().readWord(a) !=
+                chunked->mem().readWord(a)) {
+                std::ostringstream os;
+                os << "memory diverges at " << a << ": straight "
+                   << straight->mem().readWord(a) << " vs chunked "
+                   << chunked->mem().readWord(a);
+                res.error = os.str();
+                return res;
+            }
+        }
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    (void)verbose;
+    return res;
+}
+
+FuzzSummary
+runCheckpointFuzz(const FuzzOptions &opts)
+{
+    FuzzSummary sum;
+    std::vector<std::string> geoms;
+    for (int i = 0; i < opts.seeds; ++i) {
+        std::uint64_t seed =
+            opts.baseSeed + static_cast<std::uint64_t>(i);
+        FuzzCaseResult r = runCheckpointFuzzCase(seed, opts.verbose);
         std::string geo = r.shape.substr(0, r.shape.find(' '));
         if (std::find(geoms.begin(), geoms.end(), geo) == geoms.end())
             geoms.push_back(geo);

@@ -99,6 +99,22 @@ FuzzCaseResult runTickDiffCase(std::uint64_t seed, bool verbose = false);
 /** Run the full tick-differential campaign. */
 FuzzSummary runTickDiffFuzz(const FuzzOptions &opts);
 
+/**
+ * Checkpoint differential mode: run each seeded program twice — once
+ * straight, once chunked through seeded mid-run snapshot/restore hops
+ * (each chunk resumed into a freshly prepared machine on an
+ * alternating tick kernel, with the same co-simulation checker
+ * carried across the hops) — and require exact agreement: identical
+ * cosim verdicts, cycle counts, per-core commit streams, statistics
+ * registries, and final memory images. Any divergence means a state
+ * field the snapshot misses or restores wrong.
+ */
+FuzzCaseResult runCheckpointFuzzCase(std::uint64_t seed,
+                                     bool verbose = false);
+
+/** Run the full checkpoint-differential campaign. */
+FuzzSummary runCheckpointFuzz(const FuzzOptions &opts);
+
 } // namespace rockcress
 
 #endif // ROCKCRESS_REF_FUZZ_HH

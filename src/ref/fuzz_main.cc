@@ -4,7 +4,8 @@
  * vector-group programs and cross-checks the cycle-level machine
  * against the functional reference (commit streams + final memory).
  *
- *   ref_fuzz [--seeds N] [--base B] [--race | --equiv | --tick-diff]
+ *   ref_fuzz [--seeds N] [--base B]
+ *            [--race | --equiv | --tick-diff | --checkpoint]
  *            [--verbose]
  *
  * With --race, runs the race-differential campaign instead: mutated
@@ -21,6 +22,11 @@
  * functional reference — and requires exact agreement on cycles,
  * commit streams, every statistics counter, and final memory.
  *
+ * With --checkpoint, runs each seed straight and chunked through
+ * seeded mid-run snapshot/restore hops (alternating tick kernels, one
+ * cosim checker carried across) and requires exact agreement on the
+ * verdicts, cycles, commit streams, stats, and final memory.
+ *
  * Exits nonzero on the first summary with failures.
  */
 
@@ -33,7 +39,7 @@
 namespace
 {
 
-enum class Mode { Cosim, Race, Equiv, TickDiff };
+enum class Mode { Cosim, Race, Equiv, TickDiff, Checkpoint };
 
 } // namespace
 
@@ -54,13 +60,16 @@ main(int argc, char **argv)
             mode = Mode::Equiv;
         } else if (!std::strcmp(argv[i], "--tick-diff")) {
             mode = Mode::TickDiff;
+        } else if (!std::strcmp(argv[i], "--checkpoint")) {
+            mode = Mode::Checkpoint;
         } else if (!std::strcmp(argv[i], "--verbose")) {
             opts.verbose = true;
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--seeds N] [--base B] "
-                "[--race | --equiv | --tick-diff] [--verbose]\n",
+                "[--race | --equiv | --tick-diff | --checkpoint] "
+                "[--verbose]\n",
                 argv[0]);
             return 2;
         }
@@ -74,6 +83,8 @@ main(int argc, char **argv)
             return rockcress::runEquivFuzzCase(seed, verbose);
           case Mode::TickDiff:
             return rockcress::runTickDiffCase(seed, verbose);
+          case Mode::Checkpoint:
+            return rockcress::runCheckpointFuzzCase(seed, verbose);
           case Mode::Cosim:
             break;
         }
@@ -107,6 +118,9 @@ main(int argc, char **argv)
         break;
       case Mode::TickDiff:
         sum = rockcress::runTickDiffFuzz(opts);
+        break;
+      case Mode::Checkpoint:
+        sum = rockcress::runCheckpointFuzz(opts);
         break;
       case Mode::Cosim:
         sum = rockcress::runFuzz(opts);

@@ -1,0 +1,156 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+
+namespace rockcress
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'R', 'C', 'K', 'P'};
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 8;
+
+} // namespace
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size, std::uint64_t h)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+frameCheckpoint(const CheckpointMeta &meta,
+                const std::vector<std::uint8_t> &body)
+{
+    SnapshotWriter mw;
+    CheckpointMeta m = meta;
+    m.serializeFields(mw);
+    std::vector<std::uint8_t> rest = mw.take();
+    rest.insert(rest.end(), body.begin(), body.end());
+
+    SnapshotWriter hw;
+    std::uint32_t version = kCheckpointVersion;
+    std::uint64_t checksum = fnv1a(rest.data(), rest.size());
+    auto restSize = static_cast<std::uint64_t>(rest.size());
+    hw(version, checksum, restSize);
+
+    std::vector<std::uint8_t> out(kMagic, kMagic + 4);
+    const auto &hb = hw.bytes();
+    out.insert(out.end(), hb.begin(), hb.end());
+    out.insert(out.end(), rest.begin(), rest.end());
+    return out;
+}
+
+namespace
+{
+
+/** Validate framing; return a reader positioned at the meta block. */
+SnapshotReader
+openFrame(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < kFrameHeaderBytes) {
+        throw CheckpointError(
+            "checkpoint: file too short to hold a header (" +
+            std::to_string(bytes.size()) + " bytes)");
+    }
+    if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+        throw CheckpointError(
+            "checkpoint: bad magic (not a Rockcress checkpoint)");
+    }
+    SnapshotReader hr(bytes.data() + 4, bytes.size() - 4);
+    std::uint32_t version = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t restSize = 0;
+    hr(version, checksum, restSize);
+    if (version != kCheckpointVersion) {
+        throw CheckpointError(
+            "checkpoint: format version " + std::to_string(version) +
+            ", this build reads version " +
+            std::to_string(kCheckpointVersion) +
+            " (stale snapshot? re-create it)");
+    }
+    if (restSize != bytes.size() - kFrameHeaderBytes) {
+        throw CheckpointError(
+            "checkpoint: payload size " + std::to_string(restSize) +
+            " does not match file size (truncated or padded file)");
+    }
+    if (fnv1a(bytes.data() + kFrameHeaderBytes,
+              static_cast<std::size_t>(restSize)) != checksum) {
+        throw CheckpointError(
+            "checkpoint: checksum mismatch (corrupt snapshot)");
+    }
+    return {bytes.data() + kFrameHeaderBytes,
+            static_cast<std::size_t>(restSize)};
+}
+
+} // namespace
+
+CheckpointMeta
+peekCheckpoint(const std::vector<std::uint8_t> &bytes)
+{
+    SnapshotReader r = openFrame(bytes);
+    CheckpointMeta meta;
+    meta.serializeFields(r);
+    return meta;
+}
+
+std::vector<std::uint8_t>
+checkpointBody(const std::vector<std::uint8_t> &bytes,
+               CheckpointMeta *meta)
+{
+    SnapshotReader r = openFrame(bytes);
+    CheckpointMeta m;
+    m.serializeFields(r);
+    if (meta != nullptr)
+        *meta = m;
+    return {r.cursor(), r.cursor() + r.remaining()};
+}
+
+void
+writeCheckpointFile(const std::string &path,
+                    const std::vector<std::uint8_t> &bytes)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        throw CheckpointError("checkpoint: cannot open " + tmp +
+                              " for writing");
+    }
+    std::size_t wrote =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = wrote == bytes.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("checkpoint: short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("checkpoint: cannot rename " + tmp +
+                              " to " + path);
+    }
+}
+
+std::vector<std::uint8_t>
+readCheckpointFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw CheckpointError("checkpoint: cannot open " + path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw CheckpointError("checkpoint: read error on " + path);
+    return bytes;
+}
+
+} // namespace rockcress

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Deterministic machine checkpoints (DESIGN.md S5k): a versioned,
+ * self-describing binary snapshot of complete machine state that a
+ * freshly constructed machine (same params, same programs, same group
+ * plans) restores byte-identically, under either tick kernel.
+ *
+ * Two archive visitors — SnapshotWriter and SnapshotReader — share a
+ * single `serializeFields` template per component, so save and
+ * restore can never drift apart field-by-field. Field *coverage* is
+ * enforced separately: src/machine/checkpoint.cc pins sizeof() of
+ * every serialized class on the reference platform, so adding a
+ * member without touching its serializeFields fails to compile there.
+ *
+ * The on-disk frame is:
+ *
+ *   "RCKP" | u32 version | u64 fnv1a(rest) | u64 len(rest) | rest
+ *   rest = meta (tag, programDigest, cols, rows, cycle) ++ body
+ *
+ * Every malformed input — wrong magic, version skew, truncation,
+ * checksum mismatch, or an over-long length prefix inside the body —
+ * throws CheckpointError with a structured message; no input bytes
+ * are ever trusted for allocation sizes beyond the bytes remaining.
+ */
+
+#ifndef ROCKCRESS_SIM_CHECKPOINT_HH
+#define ROCKCRESS_SIM_CHECKPOINT_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rockcress
+{
+
+/** Structured failure loading or validating a checkpoint. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Checkpoint format version; bump on any layout change. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+namespace detail
+{
+
+template <class T> struct IsVector : std::false_type {};
+template <class T, class A>
+struct IsVector<std::vector<T, A>> : std::true_type {};
+
+template <class T> struct IsDeque : std::false_type {};
+template <class T, class A>
+struct IsDeque<std::deque<T, A>> : std::true_type {};
+
+template <class T> struct IsArray : std::false_type {};
+template <class T, std::size_t N>
+struct IsArray<std::array<T, N>> : std::true_type {};
+
+template <class T> struct IsMap : std::false_type {};
+template <class K, class V, class C, class A>
+struct IsMap<std::map<K, V, C, A>> : std::true_type {};
+
+template <class T> struct IsPair : std::false_type {};
+template <class A, class B>
+struct IsPair<std::pair<A, B>> : std::true_type {};
+
+template <class T> struct IsUniquePtr : std::false_type {};
+template <class T, class D>
+struct IsUniquePtr<std::unique_ptr<T, D>> : std::true_type {};
+
+template <class> inline constexpr bool dependentFalse = false;
+
+} // namespace detail
+
+/** A type that serializes itself through either archive. */
+template <class T, class Ar>
+concept SnapshotClass = requires(T &t, Ar &ar) { t.serializeFields(ar); };
+
+/**
+ * Serializing archive: appends fields to a growing byte buffer.
+ * Integrals are fixed-width little-endian two's complement, bool one
+ * byte, floating point its IEEE bit pattern, containers a u64 count
+ * followed by elements, strings a u32 length followed by bytes.
+ */
+class SnapshotWriter
+{
+  public:
+    static constexpr bool isReader = false;
+
+    template <class... Ts>
+    void
+    operator()(Ts &...fields)
+    {
+        (field(fields), ...);
+    }
+
+    template <class T>
+    void
+    field(T &v)
+    {
+        if constexpr (std::is_same_v<T, bool>) {
+            putByte(v ? 1 : 0);
+        } else if constexpr (std::is_enum_v<T>) {
+            auto u = static_cast<std::underlying_type_t<T>>(v);
+            field(u);
+        } else if constexpr (std::is_integral_v<T>) {
+            putUint(static_cast<std::make_unsigned_t<T>>(v));
+        } else if constexpr (std::is_same_v<T, double>) {
+            putUint(std::bit_cast<std::uint64_t>(v));
+        } else if constexpr (std::is_same_v<T, float>) {
+            putUint(std::bit_cast<std::uint32_t>(v));
+        } else if constexpr (std::is_same_v<T, std::string>) {
+            putUint(static_cast<std::uint32_t>(v.size()));
+            buf_.insert(buf_.end(), v.begin(), v.end());
+        } else if constexpr (detail::IsVector<T>::value ||
+                             detail::IsDeque<T>::value) {
+            putUint(static_cast<std::uint64_t>(v.size()));
+            for (auto &e : v)
+                field(e);
+        } else if constexpr (detail::IsArray<T>::value) {
+            for (auto &e : v)
+                field(e);
+        } else if constexpr (detail::IsMap<T>::value) {
+            putUint(static_cast<std::uint64_t>(v.size()));
+            for (auto &kv : v) {
+                auto key = kv.first;   // Map keys are const in place.
+                field(key);
+                field(kv.second);
+            }
+        } else if constexpr (detail::IsPair<T>::value) {
+            field(v.first);
+            field(v.second);
+        } else if constexpr (detail::IsUniquePtr<T>::value) {
+            bool present = v != nullptr;
+            field(present);
+            if (present)
+                field(*v);
+        } else if constexpr (SnapshotClass<T, SnapshotWriter>) {
+            v.serializeFields(*this);
+        } else {
+            static_assert(detail::dependentFalse<T>,
+                          "no snapshot serialization for this type");
+        }
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    void putByte(std::uint8_t b) { buf_.push_back(b); }
+
+    template <class U>
+    void
+    putUint(U v)
+    {
+        static_assert(std::is_unsigned_v<U>);
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            putByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Deserializing archive: consumes the SnapshotWriter byte stream.
+ * Every read is bounds-checked against the remaining bytes; container
+ * counts are additionally bounded by the remaining byte budget before
+ * any allocation, so a corrupt length prefix throws CheckpointError
+ * instead of attempting a huge resize.
+ */
+class SnapshotReader
+{
+  public:
+    static constexpr bool isReader = true;
+
+    SnapshotReader(const std::uint8_t *data, std::size_t size)
+        : p_(data), end_(data + size)
+    {}
+
+    explicit SnapshotReader(const std::vector<std::uint8_t> &bytes)
+        : SnapshotReader(bytes.data(), bytes.size())
+    {}
+
+    template <class... Ts>
+    void
+    operator()(Ts &...fields)
+    {
+        (field(fields), ...);
+    }
+
+    template <class T>
+    void
+    field(T &v)
+    {
+        if constexpr (std::is_same_v<T, bool>) {
+            v = getByte() != 0;
+        } else if constexpr (std::is_enum_v<T>) {
+            std::underlying_type_t<T> u{};
+            field(u);
+            v = static_cast<T>(u);
+        } else if constexpr (std::is_integral_v<T>) {
+            std::make_unsigned_t<T> u{};
+            getUint(u);
+            v = static_cast<T>(u);
+        } else if constexpr (std::is_same_v<T, double>) {
+            std::uint64_t u = 0;
+            getUint(u);
+            v = std::bit_cast<double>(u);
+        } else if constexpr (std::is_same_v<T, float>) {
+            std::uint32_t u = 0;
+            getUint(u);
+            v = std::bit_cast<float>(u);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+            std::uint32_t n = 0;
+            getUint(n);
+            need(n);
+            v.assign(reinterpret_cast<const char *>(p_), n);
+            p_ += n;
+        } else if constexpr (detail::IsVector<T>::value ||
+                             detail::IsDeque<T>::value) {
+            std::uint64_t n = boundedCount();
+            v.clear();
+            v.resize(static_cast<std::size_t>(n));
+            for (auto &e : v)
+                field(e);
+        } else if constexpr (detail::IsArray<T>::value) {
+            for (auto &e : v)
+                field(e);
+        } else if constexpr (detail::IsMap<T>::value) {
+            std::uint64_t n = boundedCount();
+            v.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                typename T::key_type key{};
+                typename T::mapped_type val{};
+                field(key);
+                field(val);
+                v.emplace(std::move(key), std::move(val));
+            }
+        } else if constexpr (detail::IsPair<T>::value) {
+            field(v.first);
+            field(v.second);
+        } else if constexpr (detail::IsUniquePtr<T>::value) {
+            bool present = false;
+            field(present);
+            if (present) {
+                v = std::make_unique<typename T::element_type>();
+                field(*v);
+            } else {
+                v.reset();
+            }
+        } else if constexpr (SnapshotClass<T, SnapshotReader>) {
+            v.serializeFields(*this);
+        } else {
+            static_assert(detail::dependentFalse<T>,
+                          "no snapshot serialization for this type");
+        }
+    }
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end_ - p_);
+    }
+    const std::uint8_t *cursor() const { return p_; }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (remaining() < n) {
+            throw CheckpointError(
+                "checkpoint: truncated snapshot (wanted " +
+                std::to_string(n) + " bytes, " +
+                std::to_string(remaining()) + " remain)");
+        }
+    }
+
+    std::uint8_t
+    getByte()
+    {
+        need(1);
+        return *p_++;
+    }
+
+    template <class U>
+    void
+    getUint(U &v)
+    {
+        static_assert(std::is_unsigned_v<U>);
+        need(sizeof(U));
+        v = 0;
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            v |= static_cast<U>(p_[i]) << (8 * i);
+        p_ += sizeof(U);
+    }
+
+    /** Container count, rejected before allocation when implausible. */
+    std::uint64_t
+    boundedCount()
+    {
+        std::uint64_t n = 0;
+        getUint(n);
+        // Every element occupies at least one byte in the stream.
+        if (n > remaining()) {
+            throw CheckpointError(
+                "checkpoint: corrupt container count " +
+                std::to_string(n) + " with " +
+                std::to_string(remaining()) + " bytes remaining");
+        }
+        return n;
+    }
+
+    const std::uint8_t *p_;
+    const std::uint8_t *end_;
+};
+
+/** Self-describing header carried by every checkpoint. */
+struct CheckpointMeta
+{
+    std::string tag;                  ///< Free-form run label.
+    std::uint64_t programDigest = 0;  ///< machineProgramDigest() value.
+    std::uint32_t cols = 0;           ///< Grid geometry at save time.
+    std::uint32_t rows = 0;
+    Cycle cycle = 0;                  ///< Simulated cycle of the snapshot.
+
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        ar(tag, programDigest, cols, rows, cycle);
+    }
+};
+
+/** @name Framing (magic, version, checksum). */
+///@{
+/** Wrap a serialized machine body into a framed checkpoint blob. */
+std::vector<std::uint8_t> frameCheckpoint(
+    const CheckpointMeta &meta, const std::vector<std::uint8_t> &body);
+/**
+ * Validate framing and return the header without touching the body.
+ * @throws CheckpointError on any malformed input.
+ */
+CheckpointMeta peekCheckpoint(const std::vector<std::uint8_t> &bytes);
+/**
+ * Validate framing and return the machine body.
+ * @throws CheckpointError on any malformed input.
+ */
+std::vector<std::uint8_t> checkpointBody(
+    const std::vector<std::uint8_t> &bytes,
+    CheckpointMeta *meta = nullptr);
+///@}
+
+/** @name File I/O (atomic write-then-rename). */
+///@{
+void writeCheckpointFile(const std::string &path,
+                         const std::vector<std::uint8_t> &bytes);
+/** @throws CheckpointError when the file cannot be read. */
+std::vector<std::uint8_t> readCheckpointFile(const std::string &path);
+///@}
+
+/** FNV-1a over a byte range (checksums and state digests). */
+std::uint64_t fnv1a(const std::uint8_t *data, std::size_t size,
+                    std::uint64_t h = 0xcbf29ce484222325ULL);
+
+/** @name Machine-level API (defined in src/machine/checkpoint.cc). */
+///@{
+class Machine;
+
+/** Serialize the complete machine state into a framed checkpoint. */
+std::vector<std::uint8_t> saveCheckpoint(Machine &m,
+                                         const std::string &tag = {});
+/**
+ * Restore a checkpoint into a freshly prepared machine: same params,
+ * same programs loaded, same groups planned. Validates geometry and
+ * the program digest against the header.
+ * @throws CheckpointError on any mismatch or malformed input.
+ */
+void restoreCheckpoint(Machine &m,
+                       const std::vector<std::uint8_t> &bytes);
+/** Digest of the loaded software (programs, entry pcs, group plans). */
+std::uint64_t machineProgramDigest(const Machine &m);
+/** Digest of the full serialized state (bisection probes). */
+std::uint64_t machineStateDigest(Machine &m);
+///@}
+
+} // namespace rockcress
+
+#endif // ROCKCRESS_SIM_CHECKPOINT_HH

@@ -60,6 +60,26 @@ class StatRegistry
     /** Human-readable dump, one counter per line, sorted by name. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Checkpoint field visitor (sim/checkpoint.hh). Restore assigns
+     * through counter(), so component-held pointers stay valid; every
+     * counter a component allocated at construction exists in the
+     * snapshot map, so no value survives from before the restore.
+     */
+    template <class Ar>
+    void
+    serializeFields(Ar &ar)
+    {
+        std::map<std::string, std::uint64_t> snap;
+        if constexpr (!Ar::isReader)
+            snap = all();
+        ar(snap);
+        if constexpr (Ar::isReader) {
+            for (const auto &[name, value] : snap)
+                *counter(name) = value;
+        }
+    }
+
   private:
     std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
 };

@@ -60,9 +60,10 @@ Simulator::tripWatchdog(Cycle max_cycles)
 }
 
 Cycle
-Simulator::runNaive(const std::function<bool()> &done, Cycle max_cycles)
+Simulator::runNaive(const std::function<bool()> &done, Cycle max_cycles,
+                    Cycle stop_at)
 {
-    while (!done()) {
+    while (!done() && !(stop_at != 0 && now_ >= stop_at)) {
         if (now_ >= max_cycles) {
             fatal("simulation watchdog tripped at cycle ", now_,
                   " (deadlock or runaway program?)");
@@ -73,7 +74,8 @@ Simulator::runNaive(const std::function<bool()> &done, Cycle max_cycles)
 }
 
 Cycle
-Simulator::runFast(const std::function<bool()> &done, Cycle max_cycles)
+Simulator::runFast(const std::function<bool()> &done, Cycle max_cycles,
+                   Cycle stop_at)
 {
     std::size_t n = components_.size();
     std::size_t words = (n + 63) / 64;
@@ -89,7 +91,7 @@ Simulator::runFast(const std::function<bool()> &done, Cycle max_cycles)
     for (std::size_t i = 0; i < n; ++i)
         dueBits_[i / 64] |= std::uint64_t{1} << (i % 64);
 
-    while (!done()) {
+    while (!done() && !(stop_at != 0 && now_ >= stop_at)) {
         std::uint64_t any = 0;
         for (std::uint64_t w : dueBits_)
             any |= w;
@@ -111,6 +113,14 @@ Simulator::runFast(const std::function<bool()> &done, Cycle max_cycles)
                 tripWatchdog(max_cycles);
             }
             now_ = agenda_.top().first;
+            if (stop_at != 0 && now_ >= stop_at) {
+                // The idle jump would overshoot the stop point: clamp
+                // and exit through the loop condition. The skipped
+                // span is charged by the flushSkips below, exactly as
+                // far as the naive kernel would have charged it.
+                now_ = stop_at;
+                continue;
+            }
             while (!agenda_.empty() && agenda_.top().first == now_) {
                 auto idx = static_cast<std::size_t>(agenda_.top().second);
                 agenda_.pop();
@@ -186,11 +196,12 @@ Simulator::runFast(const std::function<bool()> &done, Cycle max_cycles)
 }
 
 Cycle
-Simulator::run(const std::function<bool()> &done, Cycle max_cycles)
+Simulator::run(const std::function<bool()> &done, Cycle max_cycles,
+               Cycle stop_at)
 {
     if (naive_)
-        return runNaive(done, max_cycles);
-    return runFast(done, max_cycles);
+        return runNaive(done, max_cycles, stop_at);
+    return runFast(done, max_cycles, stop_at);
 }
 
 } // namespace rockcress

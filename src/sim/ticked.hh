@@ -128,12 +128,26 @@ class Simulator
      *
      * @param done Completion predicate, checked once per cycle.
      * @param max_cycles Watchdog: exceeding this aborts via fatal().
+     * @param stop_at Pause before executing any tick scheduled at
+     *        this cycle (0: never). Stopping is transparent: all
+     *        per-cycle bookkeeping is charged through stop_at - 1,
+     *        and a later run() resumes exactly where the uninterrupted
+     *        run would be, because run() re-derives all scheduling
+     *        state on entry (a spurious tick on a quiescent component
+     *        is a no-op by the Ticked contract).
      * @return The cycle count at completion.
      */
-    Cycle run(const std::function<bool()> &done, Cycle max_cycles);
+    Cycle run(const std::function<bool()> &done, Cycle max_cycles,
+              Cycle stop_at = 0);
 
     /** Current simulated time. */
     Cycle now() const { return now_; }
+
+    /**
+     * Restore the clock from a checkpoint. Only valid outside run();
+     * all scheduling state is re-derived at the next run() entry.
+     */
+    void restoreNow(Cycle now) { now_ = now; }
 
     /**
      * Stable pointer to the cycle counter, for observers (the trace
@@ -154,8 +168,10 @@ class Simulator
     using Entry = std::pair<Cycle, int>;
 
     void scheduleAt(int idx, Cycle at);
-    Cycle runNaive(const std::function<bool()> &done, Cycle max_cycles);
-    Cycle runFast(const std::function<bool()> &done, Cycle max_cycles);
+    Cycle runNaive(const std::function<bool()> &done, Cycle max_cycles,
+                   Cycle stop_at);
+    Cycle runFast(const std::function<bool()> &done, Cycle max_cycles,
+                  Cycle stop_at);
     /** Charge every component's outstanding quiescent span up to `end`. */
     void flushSkips(Cycle end);
     [[noreturn]] void tripWatchdog(Cycle max_cycles);

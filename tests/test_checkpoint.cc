@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Checkpoint/resume differential over the golden suite. The hard
+ * invariant (DESIGN.md S5k): snapshot-at-C then resume must be
+ * invisible — a run chunked through any sequence of pause points
+ * produces byte-identical final snapshots, run artifacts, and
+ * Perfetto trace documents versus the straight run, under both tick
+ * kernels. Plus the format's failure modes: every malformed or
+ * mismatched input throws a structured CheckpointError, never UB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "exp/engine.hh"
+#include "exp/result_io.hh"
+#include "harness/runner.hh"
+#include "kernels/common.hh"
+#include "machine/machine.hh"
+#include "sim/checkpoint.hh"
+#include "trace/perfetto.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+struct Case
+{
+    std::string bench;
+    std::string config;
+};
+
+std::vector<Case>
+ckptCases()
+{
+    return {
+        {"atax", "NV_PF"},
+        {"atax", "V4"},
+        {"gemm", "V4_PCV"},
+        {"mvt", "V16"},
+        {"bfs", "NV_PF"},
+    };
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return info.param.bench + "_" + info.param.config;
+}
+
+/** A prepared machine plus what keeps it alive. */
+struct Sys
+{
+    std::unique_ptr<Benchmark> benchmark;
+    std::unique_ptr<Machine> machine;
+};
+
+Sys
+makeSys(const Case &c, bool naive)
+{
+    Sys s;
+    BenchConfig cfg = configByName(c.config);
+    s.machine = std::make_unique<Machine>(machineFor(cfg));
+    s.benchmark = makeBenchmark(c.bench);
+    s.benchmark->prepare(*s.machine, cfg);
+    s.machine->setNaiveTick(naive);
+    return s;
+}
+
+/** 16 distinct seeded pause cycles in (0, total). */
+std::vector<Cycle>
+pausePoints(const Case &c, bool naive, Cycle total)
+{
+    std::seed_seq seq{std::hash<std::string>{}(c.bench),
+                      std::hash<std::string>{}(c.config),
+                      static_cast<std::size_t>(naive)};
+    std::mt19937_64 rng(seq);
+    std::set<Cycle> stops;
+    std::uniform_int_distribution<Cycle> dist(1, total - 1);
+    while (stops.size() < 16 && stops.size() + 1 < total)
+        stops.insert(dist(rng));
+    return {stops.begin(), stops.end()};
+}
+
+class Checkpoint : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+/**
+ * The tentpole invariant, machine level: one straight run versus one
+ * run chunked through 16 seeded pause points, each chunk resumed by
+ * restoring the snapshot into a freshly prepared machine. The final
+ * snapshots must be byte-identical, under both kernels.
+ */
+TEST_P(Checkpoint, ChainedResumeIsInvisible)
+{
+    const Case &c = GetParam();
+    for (bool naive : {false, true}) {
+        SCOPED_TRACE(naive ? "naive kernel" : "fast kernel");
+        Sys straight = makeSys(c, naive);
+        Cycle total = straight.machine->run();
+        ASSERT_TRUE(straight.machine->finished());
+        std::vector<std::uint8_t> want =
+            saveCheckpoint(*straight.machine);
+
+        Sys cur = makeSys(c, naive);
+        bool verifiedRoundTrip = false;
+        for (Cycle stop : pausePoints(c, naive, total)) {
+            cur.machine->run(0, stop);
+            ASSERT_EQ(cur.machine->cycles(), stop);
+            ASSERT_FALSE(cur.machine->finished());
+            std::vector<std::uint8_t> bytes =
+                saveCheckpoint(*cur.machine);
+            Sys next = makeSys(c, naive);
+            restoreCheckpoint(*next.machine, bytes);
+            if (!verifiedRoundTrip) {
+                // Restore then re-save reproduces the exact snapshot.
+                EXPECT_EQ(bytes, saveCheckpoint(*next.machine));
+                verifiedRoundTrip = true;
+            }
+            cur = std::move(next);
+        }
+        EXPECT_EQ(cur.machine->run(), total);
+        EXPECT_TRUE(cur.machine->finished());
+        EXPECT_EQ(want, saveCheckpoint(*cur.machine));
+    }
+}
+
+/**
+ * Kernel transparency of the snapshot itself: pausing the fast-tick
+ * and the naive machine at the same cycle yields byte-identical
+ * snapshots — the checkpoint sees no trace of the scheduler. Also
+ * covers cross-kernel resume: a fast-tick snapshot finished on the
+ * naive kernel reaches the same final state.
+ */
+TEST_P(Checkpoint, FastAndNaiveSnapshotsAreByteIdentical)
+{
+    const Case &c = GetParam();
+    Sys probe = makeSys(c, false);
+    Cycle total = probe.machine->run();
+    Cycle stop = total / 2;
+
+    Sys fast = makeSys(c, false);
+    Sys naive = makeSys(c, true);
+    fast.machine->run(0, stop);
+    naive.machine->run(0, stop);
+    std::vector<std::uint8_t> fastSnap = saveCheckpoint(*fast.machine);
+    EXPECT_EQ(fastSnap, saveCheckpoint(*naive.machine));
+
+    // Cross-kernel resume: fast snapshot, naive finish.
+    Sys cross = makeSys(c, true);
+    restoreCheckpoint(*cross.machine, fastSnap);
+    EXPECT_EQ(cross.machine->run(), total);
+    EXPECT_EQ(saveCheckpoint(*cross.machine),
+              saveCheckpoint(*probe.machine));
+}
+
+/**
+ * Traced runs resume transparently in-process: a chunked run that
+ * carries its TraceSink across restores into fresh machines exports
+ * the byte-identical Perfetto document of the straight traced run
+ * (open CPI spans live inside the cores and must survive the hop).
+ */
+TEST_P(Checkpoint, TracedResumeExportsIdenticalPerfetto)
+{
+    const Case &c = GetParam();
+    Sys straight = makeSys(c, false);
+    TraceSink straightSink{TraceOptions{}};
+    straight.machine->attachTrace(&straightSink);
+    Cycle total = straight.machine->run();
+    straight.machine->flushTrace();
+    std::string want = perfettoJson(straightSink, "ckpt");
+
+    TraceSink chunkSink{TraceOptions{}};
+    Sys cur = makeSys(c, false);
+    cur.machine->attachTrace(&chunkSink);
+    for (Cycle stop :
+         {total / 5, total / 2, total - total / 4, total - 7}) {
+        cur.machine->run(0, stop);
+        std::vector<std::uint8_t> bytes = saveCheckpoint(*cur.machine);
+        Sys next = makeSys(c, false);
+        restoreCheckpoint(*next.machine, bytes);
+        next.machine->attachTrace(&chunkSink);
+        cur = std::move(next);
+    }
+    EXPECT_EQ(cur.machine->run(), total);
+    cur.machine->flushTrace();
+    EXPECT_EQ(want, perfettoJson(chunkSink, "ckpt"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, Checkpoint,
+                         ::testing::ValuesIn(ckptCases()), caseName);
+
+namespace
+{
+
+/** Straight-run artifact of a point, for byte comparisons. */
+std::string
+straightArtifact(const std::string &bench, const std::string &config)
+{
+    return resultToJson(runManycore(bench, config)).dump();
+}
+
+} // namespace
+
+/**
+ * Runner-level file-based resume: pause at a checkpoint boundary,
+ * write the file, resume it in a "new process" (a second runManycore
+ * call that shares nothing with the first) — the completing
+ * segment's serialized artifact must be byte-identical to the
+ * straight run's.
+ */
+TEST(CheckpointRunner, FileResumeArtifactIsByteIdentical)
+{
+    std::string dir = ::testing::TempDir();
+    std::string want = straightArtifact("atax", "V4");
+
+    RunOverrides seg1;
+    seg1.stopAtCycle = 60000;
+    seg1.checkpointEveryN = 60000;
+    seg1.ckptDir = dir;
+    seg1.ckptTag = "resume_test";
+    RunResult first = runManycore("atax", "V4", seg1);
+    ASSERT_TRUE(first.ok) << first.error;
+    ASSERT_TRUE(first.partial);
+    ASSERT_EQ(first.cycles, 60000u);
+    ASSERT_EQ(first.checkpoints.size(), 1u);
+
+    RunOverrides seg2;
+    seg2.resumeFrom = first.checkpoints[0];
+    RunResult second = runManycore("atax", "V4", seg2);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_FALSE(second.partial);
+    EXPECT_EQ(want, resultToJson(second).dump());
+    std::remove(first.checkpoints[0].c_str());
+}
+
+/** resumeFrom with process-local observers is a structured error. */
+TEST(CheckpointRunner, ResumeRejectsCosimAndTrace)
+{
+    for (bool cosim : {true, false}) {
+        RunOverrides ov;
+        ov.resumeFrom = "/nonexistent.rkcp";
+        ov.cosim = cosim;
+        ov.trace = !cosim;
+        RunResult r = runManycore("atax", "V4", ov);
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("checkpoint:"), std::string::npos)
+            << r.error;
+    }
+}
+
+/**
+ * Sharded sweep segments: ExperimentEngine::runSegmented chunks the
+ * run through content-addressed segment checkpoints, and the final
+ * result is byte-identical to the unsegmented run. A second call
+ * reuses the on-disk segments only if valid; stale files from a
+ * different program must be discarded, not trusted.
+ */
+TEST(CheckpointRunner, SegmentedSweepMatchesStraightRun)
+{
+    std::string dir = ::testing::TempDir();
+    setenv("ROCKCRESS_CKPT_DIR", dir.c_str(), 1);
+    std::string want = straightArtifact("atax", "V4");
+
+    ExperimentEngine::Options opts;
+    opts.progress = false;
+    opts.audit = 0;
+    ExperimentEngine engine(opts);
+    RunPoint point;
+    point.bench = "atax";
+    point.config = "V4";
+    RunResult r = engine.runSegmented(point, 50000);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.partial);
+    EXPECT_EQ(want, resultToJson(r).dump());
+    unsetenv("ROCKCRESS_CKPT_DIR");
+}
+
+namespace
+{
+
+/** A small paused machine's framed snapshot, for format tests. */
+std::vector<std::uint8_t>
+sampleSnapshot()
+{
+    Sys s = makeSys({"atax", "V4"}, false);
+    s.machine->run(0, 5000);
+    return saveCheckpoint(*s.machine);
+}
+
+} // namespace
+
+/**
+ * Version-skew and corruption fixtures: every malformed input fails
+ * loudly with a structured CheckpointError — wrong magic, a stale
+ * format version, truncation at any point, a flipped payload byte
+ * (checksum), and a snapshot from a different program or geometry.
+ * None of them may reach the body deserializer.
+ */
+TEST(CheckpointFormat, MalformedInputsThrowStructuredErrors)
+{
+    std::vector<std::uint8_t> good = sampleSnapshot();
+
+    {
+        // Round-trip sanity: the unmodified frame restores.
+        Sys s = makeSys({"atax", "V4"}, false);
+        restoreCheckpoint(*s.machine, good);
+        EXPECT_EQ(s.machine->cycles(), 5000u);
+    }
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] = 'X';
+        EXPECT_THROW(peekCheckpoint(bad), CheckpointError);
+    }
+    {
+        // Version skew: a bumped format version is refused with a
+        // diagnostic naming both versions, before any payload parse.
+        std::vector<std::uint8_t> bad = good;
+        bad[4] = static_cast<std::uint8_t>(kCheckpointVersion + 1);
+        try {
+            peekCheckpoint(bad);
+            FAIL() << "stale version accepted";
+        } catch (const CheckpointError &e) {
+            EXPECT_NE(std::string(e.what()).find("version"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    {
+        std::vector<std::uint8_t> bad(good.begin(),
+                                      good.begin() + 16);
+        EXPECT_THROW(peekCheckpoint(bad), CheckpointError);
+    }
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad.resize(bad.size() - 1);
+        EXPECT_THROW(peekCheckpoint(bad), CheckpointError);
+    }
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[bad.size() / 2] ^= 0x40;
+        EXPECT_THROW(peekCheckpoint(bad), CheckpointError);
+    }
+    {
+        // Same frame, wrong software: the program digest check.
+        Sys other = makeSys({"gemm", "V4_PCV"}, false);
+        try {
+            restoreCheckpoint(*other.machine, good);
+            FAIL() << "foreign program accepted";
+        } catch (const CheckpointError &e) {
+            EXPECT_NE(std::string(e.what()).find("digest"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    {
+        // Wrong geometry: refused before the digest comparison.
+        BenchConfig cfg = configByName("V4");
+        Machine small(machineFor(cfg, 4, 4));
+        try {
+            restoreCheckpoint(small, good);
+            FAIL() << "foreign geometry accepted";
+        } catch (const CheckpointError &e) {
+            EXPECT_NE(std::string(e.what()).find("geometry"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}

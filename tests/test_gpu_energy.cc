@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "energy/energy.hh"
 #include "gpu/gpu.hh"
 #include "harness/runner.hh"
@@ -104,6 +107,169 @@ TEST(Gpu, CoalescedBeatsScattered)
     Cycle coalesced = run(1);
     Cycle scattered = run(16);
     EXPECT_LT(coalesced * 2, scattered);
+}
+
+TEST(Gpu, SweepCyclesAndTrafficMonotone)
+{
+    // Problem-size sweep over the elementwise kernel: a bigger
+    // dispatch must never be cheaper. Instructions grow strictly
+    // (more wavefronts execute the same lane program), cycles and
+    // DRAM traffic grow monotonically (more work, more cold lines).
+    std::vector<Cycle> cycles;
+    std::vector<std::uint64_t> instructions;
+    std::vector<std::uint64_t> dramBytes;
+    for (int n : {64, 128, 256, 512}) {
+        GpuMachine gpu;
+        Addr in = AddrMap::globalBase;
+        Addr out = AddrMap::globalBase + 64 * 1024;
+        for (int i = 0; i < n; ++i)
+            gpu.mem().writeFloat(in + 4 * static_cast<Addr>(i),
+                                 static_cast<float>(i));
+        GpuProgram p;
+        p.dispatches.push_back({n, [&](Assembler &as) {
+            as.la(x(5), in);
+            emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+            as.flw(f(0), x(6), 0);
+            as.fadd(f(0), f(0), f(0));
+            as.la(x(5), out);
+            emitAffine(as, x(6), x(5), gpuTidReg, 4, x(7));
+            as.fsw(f(0), x(6), 0);
+        }});
+        gpu.run(p);
+        cycles.push_back(gpu.cycles());
+        instructions.push_back(gpu.stats().get("gpu.instructions"));
+        dramBytes.push_back(gpu.stats().get("gpu.dram.bytes"));
+    }
+    for (size_t i = 1; i < cycles.size(); ++i) {
+        EXPECT_LT(instructions[i - 1], instructions[i]) << i;
+        EXPECT_LE(cycles[i - 1], cycles[i]) << i;
+        EXPECT_LE(dramBytes[i - 1], dramBytes[i]) << i;
+    }
+    // The sweep actually exercised the DRAM path (cold misses).
+    EXPECT_GT(dramBytes.front(), 0u);
+    EXPECT_LT(dramBytes.front(), dramBytes.back());
+}
+
+namespace
+{
+
+/** A registry with every counter class the energy model reads. */
+void
+fillEnergyCounters(StatRegistry &reg, std::uint64_t k)
+{
+    *reg.counter("core0.icache.accesses") = 1000 * k;
+    *reg.counter("core0.issued") = 1200 * k;
+    *reg.counter("core1.issued") = 800 * k;
+    *reg.counter("core0.n_int_alu") = 500 * k;
+    *reg.counter("core0.n_mul") = 100 * k;
+    *reg.counter("core0.n_div") = 10 * k;
+    *reg.counter("core0.n_fp") = 300 * k;
+    *reg.counter("core0.n_simd") = 50 * k;
+    *reg.counter("core0.n_load_global") = 200 * k;
+    *reg.counter("core0.n_load_spad") = 100 * k;
+    *reg.counter("core0.n_store_global") = 50 * k;
+    *reg.counter("core0.n_store_spad") = 25 * k;
+    *reg.counter("core0.n_store_remote") = 10 * k;
+    *reg.counter("core0.n_vload") = 15 * k;
+    *reg.counter("core0.spad.reads") = 60 * k;
+    *reg.counter("core0.spad.writes") = 30 * k;
+    *reg.counter("core0.spad.network_writes") = 10 * k;
+    *reg.counter("llc0.wide_accesses") = 40 * k;
+    *reg.counter("llc0.word_reads") = 20 * k;
+    *reg.counter("llc0.word_writes") = 10 * k;
+    *reg.counter("llc0.response_words") = 160 * k;
+    *reg.counter("inet.sends") = 400 * k;
+    *reg.counter("noc.word_hops") = 250 * k;
+}
+
+} // namespace
+
+TEST(Energy, GoldenPinnedBreakdown)
+{
+    // Golden regression: every component of the default-cost model
+    // pinned to its hand-computed value. A change to any cost
+    // constant or to the counter-to-bucket wiring must show up here.
+    StatRegistry reg;
+    fillEnergyCounters(reg, 1);
+    EnergyBreakdown e = computeEnergy(reg, 4);
+    EXPECT_DOUBLE_EQ(e.fetch, 28000.0);    // 1000 * (20 + 8)
+    EXPECT_DOUBLE_EQ(e.pipeline, 30000.0); // 2000 * 15
+    // 500*6 + 100*24 + 10*120 + 300*12 + 50*10*4
+    EXPECT_DOUBLE_EQ(e.functional, 12200.0);
+    EXPECT_DOUBLE_EQ(e.memOps, 4000.0);    // 400 * 10
+    EXPECT_DOUBLE_EQ(e.spad, 1200.0);      // 100 * 12
+    // reqs 70 * 15 + words (160 + 10) * 25
+    EXPECT_DOUBLE_EQ(e.llc, 5300.0);
+    EXPECT_DOUBLE_EQ(e.inet, 600.0);       // 400 * 1.5
+    EXPECT_DOUBLE_EQ(e.noc, 1000.0);       // 250 * 4
+    EXPECT_DOUBLE_EQ(e.total(), 82300.0);
+}
+
+TEST(Energy, LinearInCounters)
+{
+    // The model is a fixed linear form over the counters: scaling
+    // every counter by k scales every component by exactly k (exact
+    // in doubles for these integer products).
+    StatRegistry base;
+    fillEnergyCounters(base, 1);
+    EnergyBreakdown e1 = computeEnergy(base, 4);
+    for (std::uint64_t k : {2u, 4u, 8u}) {
+        StatRegistry reg;
+        fillEnergyCounters(reg, k);
+        EnergyBreakdown ek = computeEnergy(reg, 4);
+        double kd = static_cast<double>(k);
+        EXPECT_DOUBLE_EQ(ek.fetch, kd * e1.fetch);
+        EXPECT_DOUBLE_EQ(ek.pipeline, kd * e1.pipeline);
+        EXPECT_DOUBLE_EQ(ek.functional, kd * e1.functional);
+        EXPECT_DOUBLE_EQ(ek.memOps, kd * e1.memOps);
+        EXPECT_DOUBLE_EQ(ek.spad, kd * e1.spad);
+        EXPECT_DOUBLE_EQ(ek.llc, kd * e1.llc);
+        EXPECT_DOUBLE_EQ(ek.inet, kd * e1.inet);
+        EXPECT_DOUBLE_EQ(ek.noc, kd * e1.noc);
+        EXPECT_DOUBLE_EQ(ek.total(), kd * e1.total());
+    }
+}
+
+TEST(Energy, MonotoneInCyclesAndTraffic)
+{
+    // Holding traffic fixed and adding issued work must raise energy;
+    // holding issued work fixed and adding traffic (LLC words, NoC
+    // hops, DRAM-feeding requests) must raise energy. Together:
+    // energy is monotone in cycles and in traffic, never the inverse.
+    StatRegistry base;
+    fillEnergyCounters(base, 2);
+    double e0 = computeEnergy(base, 4).total();
+
+    StatRegistry busier;
+    fillEnergyCounters(busier, 2);
+    *busier.counter("core0.issued") += 500;
+    *busier.counter("core0.icache.accesses") += 500;
+    *busier.counter("core0.n_int_alu") += 500;
+    double eBusy = computeEnergy(busier, 4).total();
+    EXPECT_GT(eBusy, e0);
+
+    StatRegistry heavier;
+    fillEnergyCounters(heavier, 2);
+    *heavier.counter("llc0.word_reads") += 300;
+    *heavier.counter("llc0.response_words") += 300;
+    *heavier.counter("noc.word_hops") += 1200;
+    *heavier.counter("inet.sends") += 100;
+    double eHeavy = computeEnergy(heavier, 4).total();
+    EXPECT_GT(eHeavy, e0);
+
+    // And both at once dominates either alone.
+    StatRegistry both;
+    fillEnergyCounters(both, 2);
+    *both.counter("core0.issued") += 500;
+    *both.counter("core0.icache.accesses") += 500;
+    *both.counter("core0.n_int_alu") += 500;
+    *both.counter("llc0.word_reads") += 300;
+    *both.counter("llc0.response_words") += 300;
+    *both.counter("noc.word_hops") += 1200;
+    *both.counter("inet.sends") += 100;
+    double eBoth = computeEnergy(both, 4).total();
+    EXPECT_GT(eBoth, eBusy);
+    EXPECT_GT(eBoth, eHeavy);
 }
 
 TEST(Energy, CountsEvents)

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Checkpoint-driven divergence bisection. Runs a (bench, config)
+ * point twice — a clean baseline and a perturbed twin (by default a
+ * timed register-corruption fixture, Core::injectTimedFault) — and
+ * localizes the first cycle window where their machine states
+ * diverge, using snapshots (sim/checkpoint.hh) so refinement only
+ * ever re-simulates window-sized spans: after the two initial
+ * full-length runs, no probe costs more than one coarse segment.
+ *
+ * The search compares canonical state digests: each probe snapshot is
+ * restored into a scratch machine whose timed-fault fixture is
+ * cleared, so an armed-but-not-yet-fired fixture on the perturbed
+ * side does not register as divergence — only architectural state
+ * does. The final report replays the localized window on both sides
+ * with commit-stream recording and event tracing attached, and dumps
+ * the first differing commit plus the surrounding streams.
+ *
+ * Exit codes: 0 divergence localized, 2 no divergence, 1 error.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "kernels/common.hh"
+#include "machine/machine.hh"
+#include "sim/checkpoint.hh"
+#include "trace/trace.hh"
+
+using namespace rockcress;
+
+namespace
+{
+
+struct Options
+{
+    std::string bench = "atax";
+    std::string config = "V4";
+    bool naive = false;
+    Cycle faultCycle = 0;   ///< 0: no fixture (compare clean twins).
+    CoreId faultCore = 0;
+    RegIdx faultReg = 1;
+    Word faultMask = 1;
+    Cycle window = 1024;    ///< Stop refining at this width.
+    int coarse = 32;        ///< Initial lockstep segments.
+    std::string report = "bisect_report.txt";
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rc_bisect [--bench B] [--config C] [--naive]\n"
+        "                 [--fault-cycle N] [--fault-core I]\n"
+        "                 [--fault-reg R] [--fault-mask M]\n"
+        "                 [--window W] [--coarse K] [--report PATH]\n"
+        "Localizes the first divergent cycle window between a clean\n"
+        "run and one with a timed register corruption at cycle N\n"
+        "(N = 0 compares two clean runs). Exits 0 when a divergence\n"
+        "is localized, 2 when the runs are identical.\n");
+}
+
+/** One prepared side: the machine plus what keeps it alive. */
+struct Side
+{
+    std::unique_ptr<Benchmark> benchmark;
+    std::unique_ptr<Machine> machine;
+};
+
+Side
+makeSide(const Options &opt)
+{
+    Side s;
+    BenchConfig cfg = configByName(opt.config);
+    MachineParams params = machineFor(cfg);
+    s.machine = std::make_unique<Machine>(params);
+    s.benchmark = makeBenchmark(opt.bench);
+    s.benchmark->prepare(*s.machine, cfg);
+    s.machine->setNaiveTick(opt.naive);
+    return s;
+}
+
+/**
+ * Digest of architectural state only: restore the snapshot into a
+ * scratch machine, clear the fault fixture, digest that.
+ */
+std::uint64_t
+canonicalDigest(const Options &opt, Machine &m)
+{
+    std::vector<std::uint8_t> bytes = saveCheckpoint(m);
+    Side scratch = makeSide(opt);
+    restoreCheckpoint(*scratch.machine, bytes);
+    for (CoreId c = 0; c < scratch.machine->numCores(); ++c)
+        scratch.machine->core(c).clearTimedFault();
+    return machineStateDigest(*scratch.machine);
+}
+
+/** Commit-stream recorder for the final window replay. */
+struct CommitRecorder : CommitSink
+{
+    struct Rec
+    {
+        CoreId core;
+        Cycle now;
+        CommitRecord rec;
+    };
+    std::vector<Rec> recs;
+
+    void
+    onCommit(CoreId core, Cycle now, const CommitRecord &rec) override
+    {
+        recs.push_back({core, now, rec});
+    }
+};
+
+std::string
+renderRec(const CommitRecorder::Rec &r)
+{
+    std::ostringstream os;
+    os << "cycle " << r.now << " core " << r.core << " pc " << r.rec.pc
+       << "  " << disassemble(r.rec.inst);
+    if (r.rec.wrote) {
+        os << "  -> r" << static_cast<int>(r.rec.rd) << " =";
+        for (Word w : r.rec.value)
+            os << " 0x" << std::hex << w << std::dec;
+    }
+    if (r.rec.mem) {
+        os << (r.rec.isStore ? "  store" : "  load") << " @0x"
+           << std::hex << r.rec.addr << std::dec;
+        for (Word w : r.rec.data)
+            os << " 0x" << std::hex << w << std::dec;
+    }
+    return os.str();
+}
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoull(s, &end, 0);
+    return errno == 0 && end != s && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        std::uint64_t v = 0;
+        if (a == "--bench") {
+            opt.bench = next();
+        } else if (a == "--config") {
+            opt.config = next();
+        } else if (a == "--naive") {
+            opt.naive = true;
+        } else if (a == "--fault-cycle" && parseU64(next(), v)) {
+            opt.faultCycle = v;
+        } else if (a == "--fault-core" && parseU64(next(), v)) {
+            opt.faultCore = static_cast<CoreId>(v);
+        } else if (a == "--fault-reg" && parseU64(next(), v)) {
+            opt.faultReg = static_cast<RegIdx>(v);
+        } else if (a == "--fault-mask" && parseU64(next(), v)) {
+            opt.faultMask = v;
+        } else if (a == "--window" && parseU64(next(), v)) {
+            opt.window = v;
+        } else if (a == "--coarse" && parseU64(next(), v)) {
+            opt.coarse = static_cast<int>(v);
+        } else if (a == "--report") {
+            opt.report = next();
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (opt.window == 0 || opt.coarse <= 0) {
+        usage();
+        return 1;
+    }
+
+    try {
+        // The one full-length run: the clean baseline, for the total
+        // cycle count that scales the coarse segments.
+        Side probe = makeSide(opt);
+        Cycle total = probe.machine->run();
+        std::printf("[bisect] baseline %s/%s: %" PRIu64 " cycles\n",
+                    opt.bench.c_str(), opt.config.c_str(), total);
+
+        Cycle step = total / static_cast<Cycle>(opt.coarse);
+        if (step == 0)
+            step = 1;
+
+        // Lockstep coarse sweep: advance both sides segment by
+        // segment, keeping only the last boundary where the canonical
+        // digests agreed (its snapshots seed the refinement).
+        Side a = makeSide(opt);
+        Side b = makeSide(opt);
+        if (opt.faultCycle != 0) {
+            b.machine->core(opt.faultCore)
+                .injectTimedFault(opt.faultCycle, opt.faultReg,
+                                  opt.faultMask);
+        }
+        Cycle lo = 0;
+        std::vector<std::uint8_t> aLo = saveCheckpoint(*a.machine);
+        std::vector<std::uint8_t> bLo = saveCheckpoint(*b.machine);
+        Cycle hi = 0;
+        bool diverged = false;
+        for (Cycle at = step;; at += step) {
+            a.machine->run(0, at);
+            b.machine->run(0, at);
+            std::uint64_t da = canonicalDigest(opt, *a.machine);
+            std::uint64_t db = canonicalDigest(opt, *b.machine);
+            if (da != db) {
+                hi = at;
+                diverged = true;
+                break;
+            }
+            lo = at;
+            aLo = saveCheckpoint(*a.machine);
+            bLo = saveCheckpoint(*b.machine);
+            if (a.machine->finished() && b.machine->finished())
+                break;
+        }
+        if (!diverged) {
+            std::printf("[bisect] no divergence: runs are "
+                        "state-identical through halt\n");
+            return 2;
+        }
+        std::printf("[bisect] coarse: diverged in (%" PRIu64
+                    ", %" PRIu64 "]\n",
+                    lo, hi);
+
+        // Refine: restore both sides at lo, probe the midpoint. Every
+        // probe costs at most (hi - lo) simulated cycles.
+        while (hi - lo > opt.window) {
+            Cycle mid = lo + (hi - lo) / 2;
+            Side ra = makeSide(opt);
+            Side rb = makeSide(opt);
+            restoreCheckpoint(*ra.machine, aLo);
+            restoreCheckpoint(*rb.machine, bLo);
+            ra.machine->run(0, mid);
+            rb.machine->run(0, mid);
+            std::uint64_t da = canonicalDigest(opt, *ra.machine);
+            std::uint64_t db = canonicalDigest(opt, *rb.machine);
+            if (da != db) {
+                hi = mid;
+            } else {
+                lo = mid;
+                aLo = saveCheckpoint(*ra.machine);
+                bLo = saveCheckpoint(*rb.machine);
+            }
+        }
+        std::printf("[bisect] localized: first divergence in (%" PRIu64
+                    ", %" PRIu64 "] (width %" PRIu64 ")\n",
+                    lo, hi, hi - lo);
+
+        // Replay the window with commit streams and tracing attached.
+        Side ra = makeSide(opt);
+        Side rb = makeSide(opt);
+        restoreCheckpoint(*ra.machine, aLo);
+        restoreCheckpoint(*rb.machine, bLo);
+        CommitRecorder ca, cb;
+        ra.machine->attachCosim(&ca);
+        rb.machine->attachCosim(&cb);
+        TraceSink ta{TraceOptions{}}, tb{TraceOptions{}};
+        ra.machine->attachTrace(&ta);
+        rb.machine->attachTrace(&tb);
+        ra.machine->run(0, hi);
+        rb.machine->run(0, hi);
+        ra.machine->flushTrace();
+        rb.machine->flushTrace();
+
+        std::ofstream rep(opt.report);
+        rep << "rc_bisect report\n"
+            << "bench " << opt.bench << " config " << opt.config
+            << (opt.naive ? " (naive kernel)\n" : " (fast kernel)\n")
+            << "baseline cycles " << total << "\n";
+        if (opt.faultCycle != 0) {
+            rep << "fixture: core " << opt.faultCore << " reg "
+                << static_cast<int>(opt.faultReg) << " mask 0x"
+                << std::hex << opt.faultMask << std::dec
+                << " at cycle " << opt.faultCycle << "\n";
+        }
+        rep << "divergence window (" << lo << ", " << hi
+            << "] width " << hi - lo << "\n\n";
+        rep << "trace events in window: baseline "
+            << ta.recordedTotal() << ", perturbed "
+            << tb.recordedTotal() << "\n\n";
+
+        std::size_t n =
+            std::min(ca.recs.size(), cb.recs.size());
+        std::size_t firstDiff = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (renderRec(ca.recs[i]) != renderRec(cb.recs[i])) {
+                firstDiff = i;
+                break;
+            }
+        }
+        if (firstDiff == n && ca.recs.size() == cb.recs.size()) {
+            rep << "commit streams identical in the window (state "
+                   "diverges without a commit-visible effect here; "
+                   "see the digests)\n";
+        } else {
+            rep << "first differing commit at index " << firstDiff
+                << " of " << ca.recs.size() << " / " << cb.recs.size()
+                << "\n\n";
+            std::size_t from =
+                firstDiff >= 4 ? firstDiff - 4 : 0;
+            std::size_t to = std::min(firstDiff + 8,
+                                      std::max(ca.recs.size(),
+                                               cb.recs.size()));
+            for (std::size_t i = from; i < to; ++i) {
+                rep << (i == firstDiff ? ">" : " ") << " baseline  ";
+                if (i < ca.recs.size())
+                    rep << renderRec(ca.recs[i]);
+                else
+                    rep << "(end of stream)";
+                rep << "\n";
+                rep << (i == firstDiff ? ">" : " ") << " perturbed ";
+                if (i < cb.recs.size())
+                    rep << renderRec(cb.recs[i]);
+                else
+                    rep << "(end of stream)";
+                rep << "\n";
+            }
+        }
+        rep.close();
+        std::printf("[bisect] report written to %s\n",
+                    opt.report.c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rc_bisect: %s\n", e.what());
+        return 1;
+    }
+}
